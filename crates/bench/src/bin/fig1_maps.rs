@@ -1,0 +1,151 @@
+//! **E1 — Fig. 1 reproduction.** Thermal maps of the register file under
+//! the three assignment policies of the paper's motivating example:
+//! (a) deterministic first-free order, (b) random, (c) chessboard —
+//! plus the spreading policies of §4 for context.
+//!
+//! Expected shape (paper): (a) and (b) show concentrated hot spots with
+//! steep gradients; (c) is homogenised.
+//!
+//! Run: `cargo run -p tadfa-bench --bin fig1_maps [workload]`
+
+use tadfa_bench::{default_register_file, evaluate_policy, k2, k3, print_table};
+use tadfa_core::ThermalDfaConfig;
+use tadfa_thermal::render_ascii;
+use tadfa_workloads::{generate, standard_suite, GeneratorConfig, Workload};
+
+/// The Fig. 1 scenario: sustained execution with register pressure at
+/// half the file (the regime where the three policies separate — §2).
+/// `hot_vars = 0` gives the uniform-traffic case of the published maps;
+/// a skewed variant (`hot-rf`) reproduces the §2 closing caveat where
+/// "certain registers are accessed more than others".
+fn half_pressure_workload(num_regs: usize, hot_vars: usize) -> Workload {
+    Workload {
+        name: if hot_vars == 0 { "half-rf" } else { "hot-rf" },
+        description: if hot_vars == 0 {
+            "generated program, pressure = half the file, uniform traffic"
+        } else {
+            "generated program, pressure = half the file, skewed traffic"
+        },
+        func: generate(&GeneratorConfig {
+            seed: 2009,
+            segments: 6,
+            exprs_per_segment: 12,
+            pressure: 3 * num_regs / 8, // just under half once temporaries are counted
+            loops: 3,
+            trip_count: 150,
+            memory: false,
+            hot_vars,
+            hot_weight: 8,
+        }),
+        args: vec![3, 7],
+        expected: None,
+        preload: vec![],
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("half-rf");
+
+    let rf_probe = default_register_file();
+    let suite = standard_suite();
+    let half = half_pressure_workload(rf_probe.num_regs(), 0);
+    let hot = half_pressure_workload(rf_probe.num_regs(), 6);
+    let workload = match which {
+        "half-rf" => &half,
+        "hot-rf" => &hot,
+        _ => suite.iter().find(|w| w.name == which).unwrap_or_else(|| {
+            eprintln!(
+                "unknown workload '{which}'; available: half-rf, hot-rf, {}",
+                suite.iter().map(|w| w.name).collect::<Vec<_>>().join(", ")
+            );
+            std::process::exit(2);
+        }),
+    };
+
+    let rf = default_register_file();
+    let fp = rf.floorplan();
+    let policies = ["first-free", "random", "chessboard", "round-robin", "coldest-first"];
+    let fig1_panels = ["first-free", "random", "chessboard"];
+
+    println!("== E1 / Fig. 1: register-file thermal maps by assignment policy ==");
+    println!(
+        "workload: {} ({}), RF: {}x{} = {} registers\n",
+        workload.name,
+        workload.description,
+        fp.rows(),
+        fp.cols(),
+        rf.num_regs()
+    );
+
+    let mut rows = Vec::new();
+    let mut maps = Vec::new();
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for p in policies {
+        // The random policy's map is a draw from a distribution: evaluate
+        // several seeds and display the worst draw — the paper's point is
+        // that random *can* (and eventually will) produce hot spots,
+        // while chessboard is deterministic.
+        let seeds: &[u64] = if p == "random" { &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9] } else { &[42] };
+        let mut evals = Vec::new();
+        for &seed in seeds {
+            match evaluate_policy(workload, &rf, p, seed, ThermalDfaConfig::default()) {
+                Ok(e) => evals.push(e),
+                Err(e) => {
+                    rows.push(vec![p.to_string(), format!("error: {e}")]);
+                }
+            }
+        }
+        if evals.is_empty() {
+            continue;
+        }
+        let worst = evals
+            .iter()
+            .max_by(|a, b| {
+                a.measured_stats
+                    .peak
+                    .partial_cmp(&b.measured_stats.peak)
+                    .expect("peaks are finite")
+            })
+            .expect("non-empty");
+        let s = worst.measured_stats;
+        let label = if seeds.len() > 1 {
+            format!("{p} (worst of {})", seeds.len())
+        } else {
+            p.to_string()
+        };
+        rows.push(vec![
+            label,
+            k2(s.peak),
+            k2(s.mean),
+            k3(s.max_gradient),
+            k3(s.stddev),
+            k2(s.range()),
+            worst.spilled.to_string(),
+            worst.cycles.to_string(),
+        ]);
+        lo = lo.min(worst.measured.min());
+        hi = hi.max(worst.measured.peak());
+        maps.push((p, worst.measured.clone()));
+    }
+
+    print_table(
+        &["policy", "peak(K)", "mean(K)", "grad(K)", "sigma(K)", "range(K)", "spills", "cycles"],
+        &rows,
+    );
+
+    println!("\nmeasured maps (shared scale {:.2}..{:.2} K, '@' hottest):\n", lo, hi);
+    for (p, map) in &maps {
+        if fig1_panels.contains(p) {
+            let panel = match *p {
+                "first-free" => "(a) deterministic order",
+                "random" => "(b) random",
+                _ => "(c) chessboard",
+            };
+            println!("Fig. 1{panel} — {p}");
+            println!("{}", render_ascii(map, fp, lo, hi));
+        }
+    }
+    println!("(extended panels: round-robin, coldest-first — see table above)");
+}

@@ -1,0 +1,563 @@
+//! The thermal data flow analysis — a faithful implementation of the
+//! paper's Fig. 2 pseudocode:
+//!
+//! ```text
+//! Do
+//!   Boolean: stop ← True
+//!   For each basic block B
+//!     For each instruction I ∈ B, taken in forward order
+//!       Estimate thermal state after I
+//!       If the change in I's thermal state exceeds δ
+//!         stop ← False
+//!       EndIf
+//!     EndFor
+//!   EndFor
+//! While( stop = False )
+//! Output the thermal state of each instruction
+//! ```
+//!
+//! The per-instruction estimate advances the RC model by the
+//! instruction's (scaled) duration under the power its register accesses
+//! deposit; block entries merge predecessor exit states under the
+//! configured [`MergeRule`](crate::MergeRule).
+
+use crate::config::{Convergence, MergeRule, ThermalDfaConfig};
+use crate::grid::AnalysisGrid;
+use tadfa_ir::{BlockId, Cfg, Function, Inst, InstId, Terminator, VReg};
+use tadfa_regalloc::Assignment;
+use tadfa_thermal::{PowerModel, ThermalState};
+
+/// The thermal DFA over one function.
+///
+/// Requires a completed register [`Assignment`] ("the proposed thermal
+/// analysis makes the most sense if applied after register assignment, as
+/// the precise registers accessed by each instruction are known", §4).
+/// The pre-assignment predictive variant lives in
+/// [`crate::PredictiveDfa`].
+///
+/// # Examples
+///
+/// ```
+/// use tadfa_ir::FunctionBuilder;
+/// use tadfa_regalloc::{allocate_linear_scan, FirstFree, RegAllocConfig};
+/// use tadfa_thermal::{Floorplan, PowerModel, RcParams, RegisterFile};
+/// use tadfa_core::{AnalysisGrid, ThermalDfa, ThermalDfaConfig};
+///
+/// let mut b = FunctionBuilder::new("f");
+/// let x = b.param();
+/// let y = b.add(x, x);
+/// let z = b.mul(y, y);
+/// b.ret(Some(z));
+/// let mut f = b.finish();
+///
+/// let rf = RegisterFile::new(Floorplan::grid(4, 4));
+/// let alloc = allocate_linear_scan(
+///     &mut f, &rf, &mut FirstFree, &RegAllocConfig::default()).unwrap();
+/// let grid = AnalysisGrid::full(&rf, RcParams::default());
+///
+/// let dfa = ThermalDfa::new(&f, &alloc.assignment, &grid,
+///                           PowerModel::default(), ThermalDfaConfig::default());
+/// let result = dfa.run();
+/// assert!(result.convergence.is_converged());
+/// assert!(result.peak_temperature() > grid.model().ambient());
+/// ```
+#[derive(Debug)]
+pub struct ThermalDfa<'a> {
+    func: &'a Function,
+    assignment: &'a Assignment,
+    grid: &'a AnalysisGrid,
+    power_model: PowerModel,
+    config: ThermalDfaConfig,
+}
+
+impl<'a> ThermalDfa<'a> {
+    /// Creates the analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation.
+    pub fn new(
+        func: &'a Function,
+        assignment: &'a Assignment,
+        grid: &'a AnalysisGrid,
+        power_model: PowerModel,
+        config: ThermalDfaConfig,
+    ) -> ThermalDfa<'a> {
+        config.validate();
+        ThermalDfa { func, assignment, grid, power_model, config }
+    }
+
+    /// The analysis-point/energy pairs an instruction's register accesses
+    /// deposit per execution. Registers without an assignment (possible
+    /// only mid-allocation) contribute nothing — their value lives in
+    /// memory.
+    pub fn access_energies(&self, inst: &Inst) -> Vec<(usize, f64)> {
+        let mut out = Vec::with_capacity(inst.srcs.len() + 1);
+        for &u in inst.uses() {
+            if let Some(p) = self.assignment.preg_of(u) {
+                out.push((self.grid.point_of(p), self.power_model.read_energy));
+            }
+        }
+        if let Some(d) = inst.def() {
+            if let Some(p) = self.assignment.preg_of(d) {
+                out.push((self.grid.point_of(p), self.power_model.write_energy));
+            }
+        }
+        out
+    }
+
+    fn term_energies(&self, term: &Terminator) -> Vec<(usize, f64)> {
+        term.uses()
+            .iter()
+            .filter_map(|&u: &VReg| self.assignment.preg_of(u))
+            .map(|p| (self.grid.point_of(p), self.power_model.read_energy))
+            .collect()
+    }
+
+    /// Advances `state` across one instruction (or terminator) given its
+    /// access list and latency: power = energy / natural duration,
+    /// applied for the time-scaled duration.
+    fn advance(&self, state: &mut ThermalState, accesses: &[(usize, f64)], latency: u32) {
+        let n = self.grid.num_points();
+        let natural = latency as f64 * self.config.seconds_per_cycle;
+        let dt = self.config.step_duration(latency);
+        let mut power = vec![0.0; n];
+        for &(p, e) in accesses {
+            power[p] += e / natural;
+        }
+        if self.config.leakage_feedback {
+            self.power_model.add_leakage(&mut power, state);
+        }
+        self.grid.model().step(state, &power, dt);
+    }
+
+    fn merge(&self, states: &[&ThermalState]) -> ThermalState {
+        debug_assert!(!states.is_empty());
+        match self.config.merge {
+            MergeRule::Max => {
+                let mut acc = states[0].clone();
+                for s in &states[1..] {
+                    acc.max_with(s);
+                }
+                acc
+            }
+            MergeRule::Average => {
+                let mut acc = ThermalState::uniform(states[0].len(), 0.0);
+                let w = 1.0 / states.len() as f64;
+                for s in states {
+                    acc.add_scaled(s, w);
+                }
+                acc
+            }
+        }
+    }
+
+    /// Runs the fixpoint iteration of Fig. 2 and returns the thermal
+    /// state following each instruction.
+    pub fn run(&self) -> ThermalDfaResult {
+        let func = self.func;
+        let cfg = Cfg::compute(func);
+        let initial = self.grid.model().ambient_state();
+
+        let mut after: Vec<Option<ThermalState>> = vec![None; func.arena_len()];
+        let mut entry: Vec<Option<ThermalState>> = vec![None; func.num_blocks()];
+        let mut exit: Vec<Option<ThermalState>> = vec![None; func.num_blocks()];
+        let mut history: Vec<f64> = Vec::new();
+
+        let mut convergence = Convergence::DidNotConverge {
+            iterations: self.config.max_iterations,
+            residual: f64::INFINITY,
+        };
+
+        for iteration in 1..=self.config.max_iterations {
+            let mut max_change: f64 = 0.0;
+
+            for &bb in cfg.rpo() {
+                let s_in = if bb == func.entry() {
+                    initial.clone()
+                } else {
+                    let preds: Vec<&ThermalState> = cfg
+                        .preds(bb)
+                        .iter()
+                        .filter_map(|p| exit[p.index()].as_ref())
+                        .collect();
+                    if preds.is_empty() {
+                        initial.clone()
+                    } else {
+                        self.merge(&preds)
+                    }
+                };
+                entry[bb.index()] = Some(s_in.clone());
+
+                let mut s = s_in;
+                for &id in func.block(bb).insts() {
+                    let inst = func.inst(id);
+                    let accesses = self.access_energies(inst);
+                    self.advance(&mut s, &accesses, inst.op.latency());
+                    let change = match &after[id.index()] {
+                        Some(prev) => prev.linf_distance(&s),
+                        None => f64::INFINITY,
+                    };
+                    max_change = max_change.max(change);
+                    after[id.index()] = Some(s.clone());
+                }
+                if let Some(t) = func.terminator(bb) {
+                    let accesses = self.term_energies(t);
+                    self.advance(&mut s, &accesses, t.latency());
+                }
+                let exit_change = match &exit[bb.index()] {
+                    Some(prev) => prev.linf_distance(&s),
+                    None => f64::INFINITY,
+                };
+                max_change = max_change.max(exit_change);
+                exit[bb.index()] = Some(s);
+            }
+
+            // The first sweep necessarily "changes" everything from
+            // nothing; record it as infinite residual but never converge
+            // on it.
+            history.push(max_change);
+            if iteration > 1 && max_change <= self.config.delta {
+                convergence = Convergence::Converged { iterations: iteration };
+                break;
+            }
+            if iteration == self.config.max_iterations {
+                convergence = Convergence::DidNotConverge {
+                    iterations: iteration,
+                    residual: max_change,
+                };
+            }
+        }
+
+        ThermalDfaResult {
+            after,
+            block_entry: entry,
+            block_exit: exit,
+            convergence,
+            residual_history: history,
+            ambient: self.grid.model().ambient(),
+            num_points: self.grid.num_points(),
+        }
+    }
+}
+
+/// Output of the thermal DFA: "the thermal state following each
+/// instruction" (Fig. 2) plus convergence diagnostics.
+#[derive(Clone, Debug)]
+pub struct ThermalDfaResult {
+    after: Vec<Option<ThermalState>>,
+    block_entry: Vec<Option<ThermalState>>,
+    block_exit: Vec<Option<ThermalState>>,
+    /// How the fixpoint iteration ended.
+    pub convergence: Convergence,
+    /// Largest per-instruction change in each iteration (first entry is
+    /// ∞: everything changes from "unknown").
+    pub residual_history: Vec<f64>,
+    ambient: f64,
+    num_points: usize,
+}
+
+impl ThermalDfaResult {
+    /// The thermal state immediately after `inst`, if the instruction is
+    /// reachable.
+    pub fn state_after(&self, inst: InstId) -> Option<&ThermalState> {
+        self.after.get(inst.index()).and_then(Option::as_ref)
+    }
+
+    /// The merged thermal state on entry to `bb`.
+    pub fn block_entry(&self, bb: BlockId) -> Option<&ThermalState> {
+        self.block_entry.get(bb.index()).and_then(Option::as_ref)
+    }
+
+    /// The thermal state on exit from `bb` (after its terminator).
+    pub fn block_exit(&self, bb: BlockId) -> Option<&ThermalState> {
+        self.block_exit.get(bb.index()).and_then(Option::as_ref)
+    }
+
+    /// Element-wise maximum over every per-instruction state: the "worst
+    /// case anywhere in the program" map used for hot-spot reporting.
+    pub fn peak_map(&self) -> ThermalState {
+        let mut acc = ThermalState::uniform(self.num_points, self.ambient);
+        for s in self.after.iter().flatten() {
+            acc.max_with(s);
+        }
+        acc
+    }
+
+    /// The single hottest temperature predicted anywhere in the program.
+    pub fn peak_temperature(&self) -> f64 {
+        self.peak_map().peak()
+    }
+
+    /// The analysis point reaching the peak temperature.
+    pub fn hottest_point(&self) -> usize {
+        self.peak_map().argmax()
+    }
+
+    /// The ambient temperature of the underlying model.
+    pub fn ambient(&self) -> f64 {
+        self.ambient
+    }
+
+    /// Number of instructions with a computed state.
+    pub fn num_states(&self) -> usize {
+        self.after.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MergeRule;
+    use tadfa_ir::FunctionBuilder;
+    use tadfa_regalloc::{allocate_linear_scan, FirstFree, RegAllocConfig, RoundRobin};
+    use tadfa_thermal::{Floorplan, RcParams, RegisterFile};
+
+    fn rf_4x4() -> RegisterFile {
+        RegisterFile::new(Floorplan::grid(4, 4))
+    }
+
+    fn analyse(
+        f: &mut Function,
+        config: ThermalDfaConfig,
+    ) -> (ThermalDfaResult, Assignment, AnalysisGrid) {
+        let rf = rf_4x4();
+        let alloc =
+            allocate_linear_scan(f, &rf, &mut FirstFree, &RegAllocConfig::default()).unwrap();
+        let grid = AnalysisGrid::full(&rf, RcParams::default());
+        let dfa = ThermalDfa::new(f, &alloc.assignment, &grid, PowerModel::default(), config);
+        let r = dfa.run();
+        (r, alloc.assignment, grid)
+    }
+
+    fn straightline() -> Function {
+        let mut b = FunctionBuilder::new("s");
+        let x = b.param();
+        let mut v = x;
+        for _ in 0..6 {
+            v = b.add(v, v);
+        }
+        b.ret(Some(v));
+        b.finish()
+    }
+
+    use tadfa_ir::Function;
+
+    fn loopy(iterish: i64) -> Function {
+        let mut b = FunctionBuilder::new("l");
+        let h = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let n = b.iconst(iterish);
+        let i = b.iconst(0);
+        let acc = b.iconst(0);
+        b.jump(h);
+        b.switch_to(h);
+        let d = b.cmpge(i, n);
+        b.branch(d, exit, body);
+        b.switch_to(body);
+        let acc2 = b.mul(acc, i);
+        let one = b.iconst(1);
+        let i2 = b.add(i, one);
+        b.mov_into(acc, acc2);
+        b.mov_into(i, i2);
+        b.jump(h);
+        b.switch_to(exit);
+        b.ret(Some(acc));
+        b.finish()
+    }
+
+    #[test]
+    fn straightline_converges_quickly() {
+        let mut f = straightline();
+        let (r, _, _) = analyse(&mut f, ThermalDfaConfig::default());
+        assert!(r.convergence.is_converged());
+        // One sweep computes, the second confirms (no loops).
+        assert_eq!(r.convergence.iterations(), 2);
+        assert_eq!(r.num_states(), f.num_insts());
+    }
+
+    #[test]
+    fn temperature_rises_along_straightline_execution() {
+        let mut f = straightline();
+        let (r, _, _) = analyse(&mut f, ThermalDfaConfig::default());
+        let order = f.inst_ids_in_layout_order();
+        let first = r.state_after(order[0].1).unwrap();
+        let last = r.state_after(order.last().unwrap().1).unwrap();
+        assert!(
+            last.peak() > first.peak(),
+            "sustained accesses heat the file: {} -> {}",
+            first.peak(),
+            last.peak()
+        );
+        assert!(last.peak() > r.ambient());
+    }
+
+    #[test]
+    fn accessed_registers_are_the_hot_ones() {
+        let mut f = straightline();
+        let (r, assignment, grid) = analyse(&mut f, ThermalDfaConfig::default());
+        let peak = r.peak_map();
+        // The hottest point hosts one of the assigned registers.
+        let assigned_points: Vec<usize> =
+            assignment.iter().map(|(_, p)| grid.point_of(p)).collect();
+        assert!(assigned_points.contains(&peak.argmax()));
+        // A point with no assigned register stays cooler than the peak.
+        let cold = (0..grid.num_points())
+            .find(|p| !assigned_points.contains(p))
+            .expect("first-free on a chain leaves most registers untouched");
+        assert!(peak.get(cold) < peak.peak());
+    }
+
+    #[test]
+    fn loop_saturates_and_converges() {
+        let mut f = loopy(100);
+        let (r, _, _) = analyse(&mut f, ThermalDfaConfig::default());
+        assert!(r.convergence.is_converged());
+        assert!(
+            r.convergence.iterations() > 2,
+            "loops need multiple sweeps: {}",
+            r.convergence.iterations()
+        );
+        // Residuals decay monotonically after the first sweep (contracting
+        // iteration).
+        let h = &r.residual_history;
+        assert!(h.len() >= 3);
+        assert!(h[h.len() - 1] <= h[1], "residuals shrink: {h:?}");
+    }
+
+    #[test]
+    fn smaller_delta_needs_more_iterations() {
+        // A larger time scale speeds the contraction so the tight-delta
+        // run converges well inside the default iteration budget.
+        let mut base = ThermalDfaConfig::default();
+        base.time_scale = 10_000.0;
+        let mut f1 = loopy(100);
+        let (r_loose, _, _) = analyse(&mut f1, base.with_delta(1.0));
+        let mut f2 = loopy(100);
+        let (r_tight, _, _) = analyse(&mut f2, base.with_delta(1e-4));
+        assert!(r_loose.convergence.is_converged());
+        assert!(r_tight.convergence.is_converged());
+        assert!(
+            r_tight.convergence.iterations() >= r_loose.convergence.iterations(),
+            "tight {} vs loose {}",
+            r_tight.convergence.iterations(),
+            r_loose.convergence.iterations()
+        );
+    }
+
+    #[test]
+    fn iteration_cap_reports_non_convergence() {
+        let mut f = loopy(100);
+        let cfg = ThermalDfaConfig::default()
+            .with_delta(1e-9)
+            .with_max_iterations(3);
+        let (r, _, _) = analyse(&mut f, cfg);
+        assert!(!r.convergence.is_converged());
+        match r.convergence {
+            Convergence::DidNotConverge { iterations, residual } => {
+                assert_eq!(iterations, 3);
+                assert!(residual > 1e-9);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn thermal_runaway_never_converges() {
+        // Leakage feedback strong enough that heating outpaces
+        // dissipation: the paper's "no way to guarantee convergence" in
+        // its physically honest form.
+        let mut f = loopy(100);
+        let rf = rf_4x4();
+        let alloc =
+            allocate_linear_scan(&mut f, &rf, &mut FirstFree, &RegAllocConfig::default())
+                .unwrap();
+        let grid = AnalysisGrid::full(&rf, RcParams::default());
+        let mut pm = PowerModel::default();
+        // Loop gain = dP/dT · R_eff with R_eff = 1/(G_vert + 4·G_lat)
+        // ≈ 5.2e3 K/W per cell; gain > 1 needs dP/dT > ~1.9e-4 W/K,
+        // i.e. a coefficient above ~10/K at 20 µW of base leakage.
+        pm.leakage_temp_coeff = 60.0;
+        let mut cfg = ThermalDfaConfig::default().with_max_iterations(30);
+        cfg.time_scale = 10_000.0;
+        let dfa = ThermalDfa::new(&f, &alloc.assignment, &grid, pm, cfg);
+        let r = dfa.run();
+        assert!(!r.convergence.is_converged(), "runaway must not converge");
+        let h = &r.residual_history;
+        assert!(
+            h[h.len() - 1] > h[1],
+            "residuals grow under runaway: {:?}",
+            &h[1..]
+        );
+    }
+
+    #[test]
+    fn merge_rules_bound_each_other() {
+        // Max merge is an upper bound on Average merge everywhere.
+        let mut f1 = loopy(50);
+        let (r_max, _, _) =
+            analyse(&mut f1, ThermalDfaConfig::default().with_merge(MergeRule::Max));
+        let mut f2 = loopy(50);
+        let (r_avg, _, _) =
+            analyse(&mut f2, ThermalDfaConfig::default().with_merge(MergeRule::Average));
+        assert!(r_max.peak_temperature() >= r_avg.peak_temperature() - 1e-9);
+    }
+
+    #[test]
+    fn block_entry_and_exit_states_exist_for_reachable_blocks() {
+        let mut f = loopy(10);
+        let (r, _, _) = analyse(&mut f, ThermalDfaConfig::default());
+        for bb in f.block_ids() {
+            assert!(r.block_entry(bb).is_some(), "{bb} entry");
+            assert!(r.block_exit(bb).is_some(), "{bb} exit");
+        }
+    }
+
+    #[test]
+    fn policy_changes_the_predicted_map() {
+        // Same program, two assignment policies: first-free should
+        // concentrate heat more than round-robin.
+        let rf = rf_4x4();
+        let grid = AnalysisGrid::full(&rf, RcParams::default());
+
+        let mut f1 = straightline();
+        let a1 =
+            allocate_linear_scan(&mut f1, &rf, &mut FirstFree, &RegAllocConfig::default())
+                .unwrap();
+        let r1 = ThermalDfa::new(
+            &f1,
+            &a1.assignment,
+            &grid,
+            PowerModel::default(),
+            ThermalDfaConfig::default(),
+        )
+        .run();
+
+        let mut f2 = straightline();
+        let a2 = allocate_linear_scan(
+            &mut f2,
+            &rf,
+            &mut RoundRobin::default(),
+            &RegAllocConfig::default(),
+        )
+        .unwrap();
+        let r2 = ThermalDfa::new(
+            &f2,
+            &a2.assignment,
+            &grid,
+            PowerModel::default(),
+            ThermalDfaConfig::default(),
+        )
+        .run();
+
+        let m1 = r1.peak_map();
+        let m2 = r2.peak_map();
+        assert!(
+            m1.stddev() >= m2.stddev(),
+            "first-free σ {} vs round-robin σ {}",
+            m1.stddev(),
+            m2.stddev()
+        );
+    }
+}

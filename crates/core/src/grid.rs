@@ -1,0 +1,255 @@
+//! The analysis grid: the paper's §3 granularity knob.
+//!
+//! "The thermal state is a continuous function that can only be
+//! approximated, typically as a discrete set of points. The fidelity of
+//! the analysis will depend on the granularity of the approximation —
+//! increasing the number of points would increase accuracy, but at the
+//! cost of increased computation time."
+//!
+//! An [`AnalysisGrid`] maps the physical register-file floorplan onto a
+//! (possibly coarser) grid of analysis points and carries the RC model
+//! over that grid. At full granularity it is the physical model itself.
+
+use tadfa_ir::PReg;
+use tadfa_thermal::{Floorplan, RcParams, RegisterFile, ThermalModel};
+
+/// A (possibly coarsened) grid of thermal analysis points over a register
+/// file.
+///
+/// # Parameter scaling
+///
+/// When `g` physical cells collapse into one analysis cell, the analysis
+/// cell's capacitance multiplies by `g` and its vertical resistance
+/// divides by `g` (parallel paths). Lateral resistance is kept — the
+/// wider cross-section and the longer path between coarser cell centres
+/// cancel to first order on a uniform grid.
+///
+/// # Examples
+///
+/// ```
+/// use tadfa_core::AnalysisGrid;
+/// use tadfa_thermal::{Floorplan, RcParams, RegisterFile};
+/// use tadfa_ir::PReg;
+///
+/// let rf = RegisterFile::new(Floorplan::grid(8, 8));
+/// // Full resolution: one point per register.
+/// let full = AnalysisGrid::full(&rf, RcParams::default());
+/// assert_eq!(full.num_points(), 64);
+/// // Quarter resolution: 4×4 points, 4 registers per point.
+/// let coarse = AnalysisGrid::coarsened(&rf, RcParams::default(), 4, 4);
+/// assert_eq!(coarse.num_points(), 16);
+/// assert_eq!(coarse.point_of(PReg::new(0)), coarse.point_of(PReg::new(1)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct AnalysisGrid {
+    model: ThermalModel,
+    /// Physical floorplan cell → analysis point.
+    cell_map: Vec<usize>,
+    /// Register → analysis point (composition through the placement).
+    reg_map: Vec<usize>,
+    phys_rows: usize,
+    phys_cols: usize,
+}
+
+impl AnalysisGrid {
+    /// One analysis point per physical cell (maximum fidelity).
+    pub fn full(rf: &RegisterFile, params: RcParams) -> AnalysisGrid {
+        let fp = rf.floorplan();
+        AnalysisGrid::coarsened(rf, params, fp.rows(), fp.cols())
+    }
+
+    /// A `rows × cols` analysis grid over the register file.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the analysis grid is larger than the physical grid in
+    /// either dimension, or has zero size.
+    pub fn coarsened(
+        rf: &RegisterFile,
+        params: RcParams,
+        rows: usize,
+        cols: usize,
+    ) -> AnalysisGrid {
+        let fp = rf.floorplan();
+        assert!(rows >= 1 && cols >= 1, "analysis grid must be non-empty");
+        assert!(
+            rows <= fp.rows() && cols <= fp.cols(),
+            "analysis grid {}x{} finer than physical {}x{}",
+            rows,
+            cols,
+            fp.rows(),
+            fp.cols()
+        );
+
+        let analysis_fp = Floorplan::with_cell_size(
+            rows,
+            cols,
+            fp.cell_width() * fp.cols() as f64 / cols as f64,
+            fp.cell_height() * fp.rows() as f64 / rows as f64,
+        );
+
+        // Group ratio: physical cells per analysis point.
+        let g = (fp.num_cells() as f64) / (rows * cols) as f64;
+        let scaled = RcParams {
+            cell_capacitance: params.cell_capacitance * g,
+            vertical_resistance: params.vertical_resistance / g,
+            lateral_resistance: params.lateral_resistance,
+            ambient: params.ambient,
+        };
+        let model = ThermalModel::new(analysis_fp, scaled);
+
+        let mut cell_map = Vec::with_capacity(fp.num_cells());
+        for i in 0..fp.num_cells() {
+            let (r, c) = fp.position(i);
+            let ar = r * rows / fp.rows();
+            let ac = c * cols / fp.cols();
+            cell_map.push(ar * cols + ac);
+        }
+        let reg_map = (0..rf.num_regs())
+            .map(|r| cell_map[rf.cell_of(PReg::new(r as u16))])
+            .collect();
+
+        AnalysisGrid {
+            model,
+            cell_map,
+            reg_map,
+            phys_rows: fp.rows(),
+            phys_cols: fp.cols(),
+        }
+    }
+
+    /// The RC model over the analysis grid.
+    pub fn model(&self) -> &ThermalModel {
+        &self.model
+    }
+
+    /// Number of analysis points.
+    pub fn num_points(&self) -> usize {
+        self.model.num_cells()
+    }
+
+    /// Analysis point of a physical floorplan cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn point_of_cell(&self, cell: usize) -> usize {
+        self.cell_map[cell]
+    }
+
+    /// Analysis point of a physical register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn point_of(&self, reg: PReg) -> usize {
+        self.reg_map[reg.index()]
+    }
+
+    /// Physical grid dimensions this grid was built over.
+    pub fn physical_dims(&self) -> (usize, usize) {
+        (self.phys_rows, self.phys_cols)
+    }
+
+    /// Expands an analysis-grid state back onto the physical floorplan
+    /// (each physical cell takes its analysis point's temperature) for
+    /// rendering and comparison against full-resolution simulation.
+    pub fn upsample(&self, state: &tadfa_thermal::ThermalState) -> tadfa_thermal::ThermalState {
+        assert_eq!(state.len(), self.num_points(), "state is not on this grid");
+        let temps: Vec<f64> = self.cell_map.iter().map(|&p| state.get(p)).collect();
+        tadfa_thermal::ThermalState::from_vec(temps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rf_8x8() -> RegisterFile {
+        RegisterFile::new(Floorplan::grid(8, 8))
+    }
+
+    #[test]
+    fn full_grid_is_identity() {
+        let rf = rf_8x8();
+        let g = AnalysisGrid::full(&rf, RcParams::default());
+        assert_eq!(g.num_points(), 64);
+        for i in 0..64 {
+            assert_eq!(g.point_of_cell(i), i);
+            assert_eq!(g.point_of(PReg::new(i as u16)), i);
+        }
+    }
+
+    #[test]
+    fn coarse_grid_groups_quadrants() {
+        let rf = rf_8x8();
+        let g = AnalysisGrid::coarsened(&rf, RcParams::default(), 2, 2);
+        assert_eq!(g.num_points(), 4);
+        // Top-left 4x4 physical block maps to point 0.
+        assert_eq!(g.point_of_cell(0), 0);
+        assert_eq!(g.point_of_cell(3 * 8 + 3), 0);
+        // Bottom-right block maps to point 3.
+        assert_eq!(g.point_of_cell(7 * 8 + 7), 3);
+        // Registers follow their cells.
+        assert_eq!(g.point_of(PReg::new(0)), 0);
+        assert_eq!(g.point_of(PReg::new(63)), 3);
+    }
+
+    #[test]
+    fn scaled_params_preserve_total_capacity_and_conductance() {
+        let rf = rf_8x8();
+        let p = RcParams::default();
+        let g = AnalysisGrid::coarsened(&rf, p, 4, 4);
+        let sp = g.model().params();
+        // 4 physical cells per point: capacity ×4, vertical resistance /4.
+        assert!((sp.cell_capacitance - 4.0 * p.cell_capacitance).abs() < 1e-18);
+        assert!((sp.vertical_resistance - p.vertical_resistance / 4.0).abs() < 1e-9);
+        // Total: n_points × cap' == n_cells × cap.
+        let tot_a = g.num_points() as f64 * sp.cell_capacitance;
+        let tot_p = 64.0 * p.cell_capacitance;
+        assert!((tot_a - tot_p).abs() / tot_p < 1e-12);
+    }
+
+    #[test]
+    fn coarse_steady_state_approximates_fine_mean() {
+        // Put the same total power in; coarse and fine mean temperatures
+        // should agree well (energy balance), even if peaks differ.
+        let rf = rf_8x8();
+        let p = RcParams::default();
+        let fine = AnalysisGrid::full(&rf, p);
+        let coarse = AnalysisGrid::coarsened(&rf, p, 2, 2);
+        let mut pw_fine = vec![0.0; 64];
+        pw_fine[9] = 2e-3;
+        let mut pw_coarse = vec![0.0; 4];
+        pw_coarse[coarse.point_of_cell(9)] = 2e-3;
+        let sf = fine.model().steady_state(&pw_fine);
+        let sc = coarse.model().steady_state(&pw_coarse);
+        assert!(
+            (sf.mean() - sc.mean()).abs() < 0.5,
+            "fine mean {} vs coarse mean {}",
+            sf.mean(),
+            sc.mean()
+        );
+        // Coarse peak underestimates fine peak (spatial averaging).
+        assert!(sc.peak() <= sf.peak() + 1e-9);
+    }
+
+    #[test]
+    fn upsample_replicates_point_values() {
+        let rf = rf_8x8();
+        let g = AnalysisGrid::coarsened(&rf, RcParams::default(), 2, 2);
+        let s = tadfa_thermal::ThermalState::from_vec(vec![300.0, 310.0, 320.0, 330.0]);
+        let up = g.upsample(&s);
+        assert_eq!(up.len(), 64);
+        assert_eq!(up.get(0), 300.0);
+        assert_eq!(up.get(7), 310.0);
+        assert_eq!(up.get(63), 330.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finer than physical")]
+    fn finer_than_physical_rejected() {
+        let rf = rf_8x8();
+        let _ = AnalysisGrid::coarsened(&rf, RcParams::default(), 16, 16);
+    }
+}

@@ -1,0 +1,68 @@
+//! # tadfa-core — thermal-aware data flow analysis (DAC 2009)
+//!
+//! The primary contribution of *Thermal-Aware Data Flow Analysis* (Ayala,
+//! Atienza, Brisk — DAC 2009), reproduced in full:
+//!
+//! * [`ThermalDfa`] — the Fig. 2 fixpoint: a forward dataflow analysis
+//!   whose fact is the register file's thermal state, re-estimated after
+//!   every instruction until no change exceeds the user parameter δ;
+//! * [`Convergence`] — the paper's explicit non-convergence signal ("if
+//!   the analysis does not converge after a reasonable number of
+//!   iterations … the thermal state of the program may be too difficult
+//!   to predict at compile time", §4);
+//! * [`AnalysisGrid`] — the §3 granularity knob: the thermal state is "a
+//!   discrete set of points" whose density trades accuracy for analysis
+//!   time;
+//! * [`CriticalSet`] — "which variables are most likely to be involved"
+//!   in hot spots (§4), feeding the optimizations in `tadfa-opt`;
+//! * [`PredictiveDfa`] — the pre-register-allocation predictive analysis
+//!   the paper proposes as its "more ambitious possibility".
+//!
+//! ## Example
+//!
+//! ```
+//! use tadfa_ir::FunctionBuilder;
+//! use tadfa_regalloc::{allocate_linear_scan, FirstFree, RegAllocConfig};
+//! use tadfa_thermal::{Floorplan, PowerModel, RcParams, RegisterFile};
+//! use tadfa_core::{AnalysisGrid, CriticalConfig, CriticalSet, ThermalDfa,
+//!                  ThermalDfaConfig};
+//!
+//! // A small kernel...
+//! let mut b = FunctionBuilder::new("kernel");
+//! let x = b.param();
+//! let y = b.mul(x, x);
+//! let z = b.add(y, x);
+//! b.ret(Some(z));
+//! let mut f = b.finish();
+//!
+//! // ...allocated onto a 4×4 register file...
+//! let rf = RegisterFile::new(Floorplan::grid(4, 4));
+//! let alloc = allocate_linear_scan(
+//!     &mut f, &rf, &mut FirstFree, &RegAllocConfig::default()).unwrap();
+//!
+//! // ...analysed at full granularity.
+//! let grid = AnalysisGrid::full(&rf, RcParams::default());
+//! let pm = PowerModel::default();
+//! let result = ThermalDfa::new(&f, &alloc.assignment, &grid, pm,
+//!                              ThermalDfaConfig::default()).run();
+//! assert!(result.convergence.is_converged());
+//!
+//! let critical = CriticalSet::identify(
+//!     &f, &alloc.assignment, &grid, &result, &pm, CriticalConfig::default());
+//! assert!(!critical.ranked().is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod critical;
+mod dfa;
+mod grid;
+mod predictive;
+
+pub use config::{Convergence, MergeRule, ThermalDfaConfig};
+pub use critical::{CriticalConfig, CriticalSet};
+pub use dfa::{ThermalDfa, ThermalDfaResult};
+pub use grid::AnalysisGrid;
+pub use predictive::{PlacementPrior, PredictiveConfig, PredictiveDfa, PredictiveResult};

@@ -1,0 +1,307 @@
+//! Available-expressions analysis (a forward *must* analysis).
+//!
+//! Included both for completeness of the dataflow substrate and as the
+//! intersection-join counterpart exercising the solver's must-analysis
+//! path (liveness and reaching definitions are union-join analyses).
+
+use crate::bitset::DenseBitSet;
+use crate::solver::{solve, Analysis, Direction};
+use std::collections::HashMap;
+use tadfa_ir::{BlockId, Cfg, Function, Opcode, VReg};
+
+/// A canonical key for a pure computation: opcode + operands (+ immediate).
+///
+/// Commutative opcodes sort their operands so `a+b` and `b+a` share a key.
+/// Loads are excluded (memory may change between occurrences).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ExprKey {
+    op: Opcode,
+    srcs: Vec<VReg>,
+    imm: Option<i64>,
+}
+
+impl ExprKey {
+    /// Builds the key for a pure instruction, or `None` if the instruction
+    /// is not a candidate (memory ops, nops, plain copies).
+    pub fn of(inst: &tadfa_ir::Inst) -> Option<ExprKey> {
+        match inst.op {
+            Opcode::Load | Opcode::Store | Opcode::Nop | Opcode::Mov => None,
+            op => {
+                let mut srcs = inst.srcs.clone();
+                if op.is_commutative() {
+                    srcs.sort();
+                }
+                Some(ExprKey { op, srcs, imm: inst.imm })
+            }
+        }
+    }
+
+    /// The operands of the expression.
+    pub fn operands(&self) -> &[VReg] {
+        &self.srcs
+    }
+
+    /// The operation of the expression.
+    pub fn opcode(&self) -> Opcode {
+        self.op
+    }
+}
+
+/// Dense numbering of the distinct expressions of a function.
+#[derive(Clone, Debug, Default)]
+pub struct ExprTable {
+    keys: Vec<ExprKey>,
+    ids: HashMap<ExprKey, usize>,
+    /// For each vreg, the expression ids that use it (for kills).
+    used_by: HashMap<VReg, Vec<usize>>,
+}
+
+impl ExprTable {
+    /// Collects every distinct pure expression in the function.
+    pub fn collect(func: &Function) -> ExprTable {
+        let mut t = ExprTable::default();
+        for (_bb, id) in func.inst_ids_in_layout_order() {
+            if let Some(key) = ExprKey::of(func.inst(id)) {
+                t.intern(key);
+            }
+        }
+        t
+    }
+
+    fn intern(&mut self, key: ExprKey) -> usize {
+        if let Some(&id) = self.ids.get(&key) {
+            return id;
+        }
+        let id = self.keys.len();
+        for &v in key.operands() {
+            self.used_by.entry(v).or_default().push(id);
+        }
+        self.ids.insert(key.clone(), id);
+        self.keys.push(key);
+        id
+    }
+
+    /// Number of distinct expressions.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether no expressions were found.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Id of `key`, if interned.
+    pub fn id_of(&self, key: &ExprKey) -> Option<usize> {
+        self.ids.get(key).copied()
+    }
+
+    /// The key with id `id`.
+    pub fn key(&self, id: usize) -> &ExprKey {
+        &self.keys[id]
+    }
+
+    /// Expression ids invalidated when `v` is redefined.
+    pub fn killed_by(&self, v: VReg) -> &[usize] {
+        self.used_by.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+struct AvailAnalysis<'a> {
+    table: &'a ExprTable,
+}
+
+impl Analysis for AvailAnalysis<'_> {
+    type Fact = DenseBitSet;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary_fact(&self) -> DenseBitSet {
+        // Nothing is available at function entry.
+        DenseBitSet::new(self.table.len())
+    }
+
+    fn init_fact(&self) -> DenseBitSet {
+        // ⊤ for a must-analysis: everything, so intersection can whittle.
+        DenseBitSet::full(self.table.len())
+    }
+
+    fn join(&self, into: &mut DenseBitSet, from: &DenseBitSet) -> bool {
+        into.intersect_with(from)
+    }
+
+    fn transfer_block(&self, func: &Function, bb: BlockId, fact: &mut DenseBitSet) {
+        for &id in func.block(bb).insts() {
+            let inst = func.inst(id);
+            // Gen: the computed expression becomes available...
+            let gen_id = ExprKey::of(inst).and_then(|k| self.table.id_of(&k));
+            // ...then the definition kills everything using the dst
+            // (including the freshly generated expr if self-referential).
+            if let Some(g) = gen_id {
+                fact.insert(g);
+            }
+            if let Some(d) = inst.def() {
+                for &k in self.table.killed_by(d) {
+                    fact.remove(k);
+                }
+            }
+        }
+    }
+}
+
+/// Result of available-expressions analysis.
+///
+/// # Examples
+///
+/// ```
+/// use tadfa_ir::{FunctionBuilder, Cfg};
+/// use tadfa_dataflow::AvailableExprs;
+///
+/// let mut b = FunctionBuilder::new("f");
+/// let x = b.param();
+/// let y = b.add(x, x);
+/// let z = b.add(y, y);
+/// b.ret(Some(z));
+/// let f = b.finish();
+/// let cfg = Cfg::compute(&f);
+/// let av = AvailableExprs::compute(&f, &cfg);
+/// assert_eq!(av.table().len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AvailableExprs {
+    table: ExprTable,
+    avail_in: Vec<DenseBitSet>,
+    avail_out: Vec<DenseBitSet>,
+}
+
+impl AvailableExprs {
+    /// Runs the forward must-fixpoint.
+    pub fn compute(func: &Function, cfg: &Cfg) -> AvailableExprs {
+        let table = ExprTable::collect(func);
+        let facts = solve(func, cfg, &AvailAnalysis { table: &table });
+        AvailableExprs { table, avail_in: facts.input, avail_out: facts.output }
+    }
+
+    /// The expression numbering.
+    pub fn table(&self) -> &ExprTable {
+        &self.table
+    }
+
+    /// Expressions available on entry to `bb`.
+    pub fn avail_in(&self, bb: BlockId) -> &DenseBitSet {
+        &self.avail_in[bb.index()]
+    }
+
+    /// Expressions available on exit from `bb`.
+    pub fn avail_out(&self, bb: BlockId) -> &DenseBitSet {
+        &self.avail_out[bb.index()]
+    }
+
+    /// Whether the expression computed by `inst` is already available on
+    /// entry to `bb` (i.e. the instruction is redundant there).
+    pub fn is_redundant_at(&self, bb: BlockId, inst: &tadfa_ir::Inst) -> bool {
+        ExprKey::of(inst)
+            .and_then(|k| self.table.id_of(&k))
+            .is_some_and(|id| self.avail_in[bb.index()].contains(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tadfa_ir::{FunctionBuilder, Inst, Opcode};
+
+    #[test]
+    fn commutative_expressions_share_keys() {
+        let a = VReg::new(0);
+        let b = VReg::new(1);
+        let d1 = VReg::new(2);
+        let d2 = VReg::new(3);
+        let k1 = ExprKey::of(&Inst::binary(Opcode::Add, d1, a, b)).unwrap();
+        let k2 = ExprKey::of(&Inst::binary(Opcode::Add, d2, b, a)).unwrap();
+        assert_eq!(k1, k2);
+        let k3 = ExprKey::of(&Inst::binary(Opcode::Sub, d1, a, b)).unwrap();
+        let k4 = ExprKey::of(&Inst::binary(Opcode::Sub, d1, b, a)).unwrap();
+        assert_ne!(k3, k4, "sub is not commutative");
+    }
+
+    #[test]
+    fn loads_and_movs_are_not_expressions() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param();
+        let m = b.slot("m", 4);
+        let l = b.load(m, x);
+        let _c = b.mov(l);
+        b.ret(None);
+        let f = b.finish();
+        let t = ExprTable::collect(&f);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn expression_available_after_computation_on_both_paths() {
+        // Both branches compute x+x; at the join it is available.
+        let mut b = FunctionBuilder::new("j");
+        let c = b.param();
+        let x = b.param();
+        let left = b.new_block();
+        let right = b.new_block();
+        let join = b.new_block();
+        b.branch(c, left, right);
+        b.switch_to(left);
+        let _l = b.add(x, x);
+        b.jump(join);
+        b.switch_to(right);
+        let _r = b.add(x, x);
+        b.jump(join);
+        b.switch_to(join);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let av = AvailableExprs::compute(&f, &cfg);
+        let probe = Inst::binary(Opcode::Add, VReg::new(99), x, x);
+        assert!(av.is_redundant_at(join, &probe));
+    }
+
+    #[test]
+    fn expression_not_available_if_only_one_path_computes() {
+        let mut b = FunctionBuilder::new("half");
+        let c = b.param();
+        let x = b.param();
+        let left = b.new_block();
+        let right = b.new_block();
+        let join = b.new_block();
+        b.branch(c, left, right);
+        b.switch_to(left);
+        let _l = b.add(x, x);
+        b.jump(join);
+        b.switch_to(right);
+        b.jump(join);
+        b.switch_to(join);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let av = AvailableExprs::compute(&f, &cfg);
+        let probe = Inst::binary(Opcode::Add, VReg::new(99), x, x);
+        assert!(!av.is_redundant_at(join, &probe), "must-analysis requires both paths");
+    }
+
+    #[test]
+    fn redefinition_kills_expression() {
+        let mut b = FunctionBuilder::new("kill");
+        let x = b.param();
+        let next = b.new_block();
+        let s = b.add(x, x); // makes x+x available
+        b.mov_into(x, s); // redefines x -> kills x+x
+        b.jump(next);
+        b.switch_to(next);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let av = AvailableExprs::compute(&f, &cfg);
+        let probe = Inst::binary(Opcode::Add, VReg::new(99), x, x);
+        assert!(!av.is_redundant_at(next, &probe));
+    }
+}

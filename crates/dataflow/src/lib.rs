@@ -1,0 +1,62 @@
+//! # tadfa-dataflow — classic dataflow analyses
+//!
+//! The dataflow substrate of the *Thermal-Aware Data Flow Analysis*
+//! reproduction (DAC 2009): a generic worklist solver plus the textbook
+//! analyses the paper positions its thermal analysis against (§3):
+//!
+//! * [`Liveness`] — one bit per variable; feeds interference-based
+//!   register allocation and the register-pressure measurements of §2;
+//! * [`Bitwidth`] — an interval per variable (Stephenson et al., the
+//!   paper's reference \[7\]), its mid-complexity reference point;
+//! * [`ReachingDefs`], [`AvailableExprs`] — the remaining classics,
+//!   exercising both may- (union) and must- (intersection) joins of the
+//!   solver;
+//! * [`DefUse`] — def-use chains with loop-weighted access frequencies,
+//!   the static activity estimate used by the predictive thermal mode;
+//! * [`LiveIntervals`] — the linear-scan view of liveness used by
+//!   `tadfa-regalloc`.
+//!
+//! The thermal analysis itself lives in `tadfa-core`; it follows the same
+//! [`solver`] structure but propagates a thermal-state vector instead of a
+//! bit set.
+//!
+//! ## Example
+//!
+//! ```
+//! use tadfa_ir::{FunctionBuilder, Cfg};
+//! use tadfa_dataflow::{Liveness, DefUse};
+//!
+//! let mut b = FunctionBuilder::new("f");
+//! let x = b.param();
+//! let y = b.add(x, x);
+//! b.ret(Some(y));
+//! let f = b.finish();
+//!
+//! let cfg = Cfg::compute(&f);
+//! let live = Liveness::compute(&f, &cfg);
+//! assert!(live.live_in(f.entry()).contains(x.index()));
+//!
+//! let du = DefUse::compute(&f);
+//! assert_eq!(du.num_uses(x), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod available;
+mod bitset;
+mod bitwidth;
+mod defuse;
+mod intervals;
+mod liveness;
+mod reaching;
+pub mod solver;
+
+pub use available::{AvailableExprs, ExprKey, ExprTable};
+pub use bitset::{DenseBitSet, Iter};
+pub use bitwidth::{Bitwidth, Interval};
+pub use defuse::{DefUse, UseSite};
+pub use intervals::{LiveInterval, LiveIntervals};
+pub use liveness::Liveness;
+pub use reaching::{DefSites, ReachingDefs};
+pub use solver::{solve, Analysis, BlockFacts, Direction};

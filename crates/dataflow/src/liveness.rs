@@ -1,0 +1,274 @@
+//! Live-variable analysis.
+//!
+//! Liveness is the paper's own example of a "single bit per variable"
+//! analysis (§3) and the foundation of interference-based register
+//! allocation: two variables interfere exactly when one is live at the
+//! other's definition (§2).
+
+use crate::bitset::DenseBitSet;
+use crate::solver::{solve, Analysis, Direction};
+use tadfa_ir::{BlockId, Cfg, Function, InstId, VReg};
+
+struct LivenessAnalysis {
+    nvregs: usize,
+}
+
+impl Analysis for LivenessAnalysis {
+    type Fact = DenseBitSet;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn boundary_fact(&self) -> DenseBitSet {
+        DenseBitSet::new(self.nvregs)
+    }
+
+    fn init_fact(&self) -> DenseBitSet {
+        DenseBitSet::new(self.nvregs)
+    }
+
+    fn join(&self, into: &mut DenseBitSet, from: &DenseBitSet) -> bool {
+        into.union_with(from)
+    }
+
+    fn transfer_block(&self, func: &Function, bb: BlockId, fact: &mut DenseBitSet) {
+        // Backward: fact arrives as live-out; apply instructions in
+        // reverse to produce live-in.
+        if let Some(t) = func.terminator(bb) {
+            for u in t.uses() {
+                fact.insert(u.index());
+            }
+        }
+        for &id in func.block(bb).insts().iter().rev() {
+            let inst = func.inst(id);
+            if let Some(d) = inst.def() {
+                fact.remove(d.index());
+            }
+            for &u in inst.uses() {
+                fact.insert(u.index());
+            }
+        }
+    }
+}
+
+/// Result of live-variable analysis: live-in/live-out per block, with a
+/// helper producing per-instruction live-out sets for interference
+/// construction.
+///
+/// # Examples
+///
+/// ```
+/// use tadfa_ir::{FunctionBuilder, Cfg};
+/// use tadfa_dataflow::Liveness;
+///
+/// let mut b = FunctionBuilder::new("f");
+/// let x = b.param();
+/// let y = b.add(x, x);
+/// let z = b.add(y, x);
+/// b.ret(Some(z));
+/// let f = b.finish();
+/// let cfg = Cfg::compute(&f);
+/// let live = Liveness::compute(&f, &cfg);
+/// // x is live into the entry block, z is not.
+/// assert!(live.live_in(f.entry()).contains(x.index()));
+/// assert!(!live.live_in(f.entry()).contains(z.index()));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    live_in: Vec<DenseBitSet>,
+    live_out: Vec<DenseBitSet>,
+    nvregs: usize,
+}
+
+impl Liveness {
+    /// Runs the backward fixpoint and captures per-block sets.
+    pub fn compute(func: &Function, cfg: &Cfg) -> Liveness {
+        let nvregs = func.num_vregs();
+        let facts = solve(func, cfg, &LivenessAnalysis { nvregs });
+        // Backward: input = live-out, output = live-in.
+        Liveness { live_out: facts.input, live_in: facts.output, nvregs }
+    }
+
+    /// Registers live on entry to `bb`.
+    pub fn live_in(&self, bb: BlockId) -> &DenseBitSet {
+        &self.live_in[bb.index()]
+    }
+
+    /// Registers live on exit from `bb`.
+    pub fn live_out(&self, bb: BlockId) -> &DenseBitSet {
+        &self.live_out[bb.index()]
+    }
+
+    /// Number of virtual registers the sets are over.
+    pub fn num_vregs(&self) -> usize {
+        self.nvregs
+    }
+
+    /// Whether `v` is live anywhere (in or out of any block, or used at
+    /// all inside one).
+    pub fn is_ever_live(&self, v: VReg) -> bool {
+        self.live_in.iter().chain(&self.live_out).any(|s| s.contains(v.index()))
+    }
+
+    /// Live-out set after each instruction of `bb`, in block order.
+    ///
+    /// `result[i]` is the set of registers live immediately **after**
+    /// `bb.insts()[i]` executes. Used to build interference graphs: a
+    /// definition interferes with everything live after its instruction.
+    pub fn per_inst_live_out(&self, func: &Function, bb: BlockId) -> Vec<(InstId, DenseBitSet)> {
+        let insts = func.block(bb).insts();
+        let mut out: Vec<(InstId, DenseBitSet)> = Vec::with_capacity(insts.len());
+        let mut live = self.live_out[bb.index()].clone();
+        if let Some(t) = func.terminator(bb) {
+            for u in t.uses() {
+                live.insert(u.index());
+            }
+        }
+        for &id in insts.iter().rev() {
+            out.push((id, live.clone()));
+            let inst = func.inst(id);
+            if let Some(d) = inst.def() {
+                live.remove(d.index());
+            }
+            for &u in inst.uses() {
+                live.insert(u.index());
+            }
+        }
+        out.reverse();
+        out
+    }
+
+    /// Maximum number of simultaneously live registers over all program
+    /// points — the function's register pressure. This is the quantity
+    /// the paper's §2 caveat is about: chessboard assignment only works
+    /// while pressure ≤ half the register file.
+    pub fn max_pressure(&self, func: &Function) -> usize {
+        let mut max = 0;
+        for bb in func.block_ids() {
+            max = max.max(self.live_in[bb.index()].count());
+            let mut live = self.live_out[bb.index()].clone();
+            if let Some(t) = func.terminator(bb) {
+                for u in t.uses() {
+                    live.insert(u.index());
+                }
+            }
+            max = max.max(live.count());
+            for &id in func.block(bb).insts().iter().rev() {
+                let inst = func.inst(id);
+                if let Some(d) = inst.def() {
+                    live.remove(d.index());
+                }
+                for &u in inst.uses() {
+                    live.insert(u.index());
+                }
+                max = max.max(live.count());
+            }
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tadfa_ir::FunctionBuilder;
+
+    #[test]
+    fn straightline_liveness() {
+        let mut b = FunctionBuilder::new("s");
+        let x = b.param();
+        let y = b.add(x, x); // x dies here unless used later
+        let z = b.add(y, y);
+        b.ret(Some(z));
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let live = Liveness::compute(&f, &cfg);
+        let entry = f.entry();
+        assert!(live.live_in(entry).contains(x.index()));
+        assert!(!live.live_in(entry).contains(y.index()));
+        assert!(live.live_out(entry).is_empty()); // entry is the exit too
+        assert!(live.is_ever_live(x));
+        assert!(!live.is_ever_live(z) || live.live_in(entry).contains(z.index()) == false);
+    }
+
+    #[test]
+    fn loop_carried_variable_is_live_around_the_loop() {
+        let mut b = FunctionBuilder::new("l");
+        let n = b.param();
+        let h = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let i = b.iconst(0);
+        b.jump(h);
+        b.switch_to(h);
+        let d = b.cmpge(i, n);
+        b.branch(d, exit, body);
+        b.switch_to(body);
+        let one = b.iconst(1);
+        let i2 = b.add(i, one);
+        b.mov_into(i, i2);
+        b.jump(h);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let live = Liveness::compute(&f, &cfg);
+        // i is live around the back edge and out of the header.
+        assert!(live.live_in(h).contains(i.index()));
+        assert!(live.live_out(body).contains(i.index()));
+        assert!(live.live_in(exit).contains(i.index()));
+        // n is live inside the loop (used by the header compare).
+        assert!(live.live_in(body).contains(n.index()));
+    }
+
+    #[test]
+    fn per_inst_live_out_matches_manual_walk() {
+        let mut b = FunctionBuilder::new("p");
+        let x = b.param();
+        let y = b.add(x, x);
+        let z = b.add(y, x);
+        b.ret(Some(z));
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let live = Liveness::compute(&f, &cfg);
+        let per = live.per_inst_live_out(&f, f.entry());
+        assert_eq!(per.len(), 2);
+        // After `y = add x, x`: x (used by next) and y live.
+        assert!(per[0].1.contains(x.index()));
+        assert!(per[0].1.contains(y.index()));
+        // After `z = add y, x`: only z (used by ret).
+        assert!(per[1].1.contains(z.index()));
+        assert!(!per[1].1.contains(x.index()));
+    }
+
+    #[test]
+    fn pressure_counts_simultaneous_values() {
+        // Three values all live at once before being consumed.
+        let mut b = FunctionBuilder::new("pr");
+        let a = b.param();
+        let x = b.add(a, a);
+        let y = b.add(a, a);
+        let z = b.add(a, a);
+        let s1 = b.add(x, y);
+        let s2 = b.add(s1, z);
+        b.ret(Some(s2));
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let live = Liveness::compute(&f, &cfg);
+        assert!(live.max_pressure(&f) >= 3, "x, y, z simultaneously live");
+    }
+
+    #[test]
+    fn dead_code_is_not_live() {
+        let mut b = FunctionBuilder::new("dc");
+        let x = b.param();
+        let dead = b.add(x, x); // never used
+        let _ = dead;
+        b.ret(Some(x));
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let live = Liveness::compute(&f, &cfg);
+        assert!(!live.is_ever_live(dead));
+    }
+}

@@ -1,0 +1,253 @@
+//! Reaching-definitions analysis.
+
+use crate::bitset::DenseBitSet;
+use crate::solver::{solve, Analysis, Direction};
+use tadfa_ir::{BlockId, Cfg, Function, InstId, VReg};
+
+/// Numbering of definition sites: every instruction that defines a
+/// register gets a dense definition index.
+#[derive(Clone, Debug)]
+pub struct DefSites {
+    /// Definition index → (defining instruction, defined register).
+    defs: Vec<(InstId, VReg)>,
+    /// Instruction arena index → definition index (if the inst defines).
+    by_inst: Vec<Option<usize>>,
+    /// Register → all definition indices of that register.
+    by_vreg: Vec<Vec<usize>>,
+}
+
+impl DefSites {
+    /// Scans `func` and numbers every definition site.
+    pub fn collect(func: &Function) -> DefSites {
+        let mut defs = Vec::new();
+        let mut by_inst = vec![None; func.arena_len()];
+        let mut by_vreg = vec![Vec::new(); func.num_vregs()];
+        for (_bb, id) in func.inst_ids_in_layout_order() {
+            if let Some(d) = func.inst(id).def() {
+                let idx = defs.len();
+                defs.push((id, d));
+                by_inst[id.index()] = Some(idx);
+                by_vreg[d.index()].push(idx);
+            }
+        }
+        DefSites { defs, by_inst, by_vreg }
+    }
+
+    /// Number of definition sites.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Whether the function defines nothing.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// The instruction and register of definition index `i`.
+    pub fn def(&self, i: usize) -> (InstId, VReg) {
+        self.defs[i]
+    }
+
+    /// Definition index of instruction `id`, if it defines a register.
+    pub fn index_of(&self, id: InstId) -> Option<usize> {
+        self.by_inst.get(id.index()).copied().flatten()
+    }
+
+    /// All definition indices of register `v`.
+    pub fn defs_of(&self, v: VReg) -> &[usize] {
+        &self.by_vreg[v.index()]
+    }
+}
+
+struct ReachingAnalysis<'a> {
+    sites: &'a DefSites,
+}
+
+impl Analysis for ReachingAnalysis<'_> {
+    type Fact = DenseBitSet;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary_fact(&self) -> DenseBitSet {
+        DenseBitSet::new(self.sites.len())
+    }
+
+    fn init_fact(&self) -> DenseBitSet {
+        DenseBitSet::new(self.sites.len())
+    }
+
+    fn join(&self, into: &mut DenseBitSet, from: &DenseBitSet) -> bool {
+        into.union_with(from)
+    }
+
+    fn transfer_block(&self, func: &Function, bb: BlockId, fact: &mut DenseBitSet) {
+        for &id in func.block(bb).insts() {
+            if let Some(d) = func.inst(id).def() {
+                // Kill all other defs of d, gen this one.
+                for &other in self.sites.defs_of(d) {
+                    fact.remove(other);
+                }
+                if let Some(idx) = self.sites.index_of(id) {
+                    fact.insert(idx);
+                }
+            }
+        }
+    }
+}
+
+/// Result of reaching-definitions: for each block, which definition sites
+/// may reach its entry/exit.
+///
+/// # Examples
+///
+/// ```
+/// use tadfa_ir::{FunctionBuilder, Cfg};
+/// use tadfa_dataflow::ReachingDefs;
+///
+/// let mut b = FunctionBuilder::new("f");
+/// let x = b.param();
+/// let y = b.add(x, x);
+/// b.ret(Some(y));
+/// let f = b.finish();
+/// let cfg = Cfg::compute(&f);
+/// let rd = ReachingDefs::compute(&f, &cfg);
+/// assert_eq!(rd.sites().len(), 1); // the add
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReachingDefs {
+    sites: DefSites,
+    reach_in: Vec<DenseBitSet>,
+    reach_out: Vec<DenseBitSet>,
+}
+
+impl ReachingDefs {
+    /// Runs the forward fixpoint.
+    pub fn compute(func: &Function, cfg: &Cfg) -> ReachingDefs {
+        let sites = DefSites::collect(func);
+        let facts = solve(func, cfg, &ReachingAnalysis { sites: &sites });
+        ReachingDefs { sites, reach_in: facts.input, reach_out: facts.output }
+    }
+
+    /// The definition-site numbering.
+    pub fn sites(&self) -> &DefSites {
+        &self.sites
+    }
+
+    /// Definitions that may reach the entry of `bb`.
+    pub fn reach_in(&self, bb: BlockId) -> &DenseBitSet {
+        &self.reach_in[bb.index()]
+    }
+
+    /// Definitions that may reach the exit of `bb`.
+    pub fn reach_out(&self, bb: BlockId) -> &DenseBitSet {
+        &self.reach_out[bb.index()]
+    }
+
+    /// The definitions of `v` that may reach the entry of `bb`.
+    pub fn reaching_defs_of(&self, bb: BlockId, v: VReg) -> Vec<InstId> {
+        self.sites
+            .defs_of(v)
+            .iter()
+            .filter(|&&idx| self.reach_in[bb.index()].contains(idx))
+            .map(|&idx| self.sites.def(idx).0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tadfa_ir::FunctionBuilder;
+
+    #[test]
+    fn diamond_merges_both_definitions() {
+        // left defines v:=1, right defines v:=2 (same vreg via mov_into),
+        // join sees both definitions reaching.
+        let mut b = FunctionBuilder::new("d");
+        let c = b.param();
+        let v = b.iconst(0);
+        let left = b.new_block();
+        let right = b.new_block();
+        let join = b.new_block();
+        b.branch(c, left, right);
+        b.switch_to(left);
+        let one = b.iconst(1);
+        b.mov_into(v, one);
+        b.jump(join);
+        b.switch_to(right);
+        let two = b.iconst(2);
+        b.mov_into(v, two);
+        b.jump(join);
+        b.switch_to(join);
+        b.ret(Some(v));
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let rd = ReachingDefs::compute(&f, &cfg);
+
+        let defs_at_join = rd.reaching_defs_of(join, v);
+        assert_eq!(defs_at_join.len(), 2, "both movs reach the join");
+        // The initial const 0 def is killed on both paths.
+        let all_v_defs = rd.sites().defs_of(v).len();
+        assert_eq!(all_v_defs, 3);
+    }
+
+    #[test]
+    fn loop_def_reaches_header() {
+        let mut b = FunctionBuilder::new("l");
+        let n = b.param();
+        let h = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let i = b.iconst(0);
+        b.jump(h);
+        b.switch_to(h);
+        let d = b.cmpge(i, n);
+        b.branch(d, exit, body);
+        b.switch_to(body);
+        let one = b.iconst(1);
+        let i2 = b.add(i, one);
+        b.mov_into(i, i2);
+        b.jump(h);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let rd = ReachingDefs::compute(&f, &cfg);
+        // Both the initial const and the loop mov reach the header.
+        assert_eq!(rd.reaching_defs_of(h, i).len(), 2);
+        // Only those two defs of i exist.
+        assert_eq!(rd.sites().defs_of(i).len(), 2);
+    }
+
+    #[test]
+    fn def_sites_numbering_is_dense_and_consistent() {
+        let mut b = FunctionBuilder::new("n");
+        let x = b.param();
+        let y = b.add(x, x);
+        let z = b.add(y, y);
+        b.ret(Some(z));
+        let f = b.finish();
+        let sites = DefSites::collect(&f);
+        assert_eq!(sites.len(), 2);
+        assert!(!sites.is_empty());
+        for i in 0..sites.len() {
+            let (inst, v) = sites.def(i);
+            assert_eq!(sites.index_of(inst), Some(i));
+            assert!(sites.defs_of(v).contains(&i));
+        }
+    }
+
+    #[test]
+    fn stores_are_not_definition_sites() {
+        let mut b = FunctionBuilder::new("s");
+        let x = b.param();
+        let m = b.slot("m", 4);
+        b.store(m, x, x);
+        b.ret(None);
+        let f = b.finish();
+        let sites = DefSites::collect(&f);
+        assert!(sites.is_empty());
+    }
+}

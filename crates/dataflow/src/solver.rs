@@ -1,0 +1,258 @@
+//! Generic iterative dataflow solver.
+//!
+//! The thermal analysis of the paper is presented as "just another"
+//! dataflow analysis (§3–4); this module provides the shared fixpoint
+//! machinery used by the classic bit-vector analyses here and mirrored by
+//! the thermal solver in `tadfa-core` (which cannot use plain bitsets
+//! because its facts are vectors of temperatures).
+
+use tadfa_ir::{BlockId, Cfg, Function};
+
+/// Direction a dataflow analysis propagates facts in.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Facts flow from entry toward exits (e.g. reaching definitions).
+    Forward,
+    /// Facts flow from exits toward the entry (e.g. liveness).
+    Backward,
+}
+
+/// A dataflow analysis over per-block facts.
+///
+/// Implementors describe the lattice (via [`Analysis::join`]) and the
+/// block transfer function; [`solve`] runs the worklist to a fixpoint.
+pub trait Analysis {
+    /// The fact attached to each block boundary.
+    type Fact: Clone + PartialEq;
+
+    /// Which way facts propagate.
+    fn direction(&self) -> Direction;
+
+    /// Fact at the boundary: function entry for forward analyses, every
+    /// exit block for backward analyses.
+    fn boundary_fact(&self) -> Self::Fact;
+
+    /// Initial fact for interior program points (the lattice's ⊤ for
+    /// must-analyses, ⊥ for may-analyses).
+    fn init_fact(&self) -> Self::Fact;
+
+    /// Merges `from` into `into`, returning `true` if `into` changed.
+    fn join(&self, into: &mut Self::Fact, from: &Self::Fact) -> bool;
+
+    /// Applies block `bb`'s effect to `fact` (in the analysis direction).
+    fn transfer_block(&self, func: &Function, bb: BlockId, fact: &mut Self::Fact);
+
+    /// Upper bound on solver passes before the solver assumes the join is
+    /// non-monotone and panics. Bit-vector analyses converge within
+    /// `n_blocks + 2`; lattices with taller chains (e.g. widened
+    /// intervals) should raise this.
+    fn max_passes(&self, n_blocks: usize) -> usize {
+        n_blocks + 8
+    }
+}
+
+/// Per-block input/output facts produced by [`solve`].
+///
+/// For a forward analysis `input[b]` is the fact at block entry and
+/// `output[b]` at block exit; for a backward analysis `input[b]` is the
+/// fact at block **exit** and `output[b]` at block **entry** (i.e. input
+/// is always "before the transfer function runs").
+#[derive(Clone, Debug)]
+pub struct BlockFacts<F> {
+    /// Fact before the block's transfer function, per block index.
+    pub input: Vec<F>,
+    /// Fact after the block's transfer function, per block index.
+    pub output: Vec<F>,
+    /// Number of passes over the block list until the fixpoint.
+    pub iterations: usize,
+}
+
+impl<F> BlockFacts<F> {
+    /// Fact before `bb`'s transfer function.
+    pub fn input(&self, bb: BlockId) -> &F {
+        &self.input[bb.index()]
+    }
+
+    /// Fact after `bb`'s transfer function.
+    pub fn output(&self, bb: BlockId) -> &F {
+        &self.output[bb.index()]
+    }
+}
+
+/// Runs `analysis` to a fixpoint over `func` and returns per-block facts.
+///
+/// Blocks are visited in reverse post-order for forward analyses and
+/// post-order for backward analyses, which converges in `O(depth)` passes
+/// for reducible CFGs. Unreachable blocks keep their initial facts.
+pub fn solve<A: Analysis>(func: &Function, cfg: &Cfg, analysis: &A) -> BlockFacts<A::Fact> {
+    let n = func.num_blocks();
+    let mut input: Vec<A::Fact> = vec![analysis.init_fact(); n];
+    let mut output: Vec<A::Fact> = vec![analysis.init_fact(); n];
+
+    let forward = analysis.direction() == Direction::Forward;
+    let order: Vec<BlockId> = if forward { cfg.rpo().to_vec() } else { cfg.postorder() };
+
+    // Exit blocks for the backward boundary.
+    let is_exit: Vec<bool> = (0..n)
+        .map(|i| cfg.succs(BlockId::new(i as u32)).is_empty())
+        .collect();
+
+    let mut iterations = 0;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        iterations += 1;
+        for &bb in &order {
+            // Gather the meet over the relevant neighbours.
+            let mut inp = if forward && bb == func.entry() {
+                analysis.boundary_fact()
+            } else if !forward && is_exit[bb.index()] {
+                analysis.boundary_fact()
+            } else {
+                analysis.init_fact()
+            };
+            let neighbours: &[BlockId] =
+                if forward { cfg.preds(bb) } else { cfg.succs(bb) };
+            for &nb in neighbours {
+                analysis.join(&mut inp, &output[nb.index()]);
+            }
+
+            let mut out = inp.clone();
+            analysis.transfer_block(func, bb, &mut out);
+            if inp != input[bb.index()] {
+                input[bb.index()] = inp;
+                changed = true;
+            }
+            if out != output[bb.index()] {
+                output[bb.index()] = out;
+                changed = true;
+            }
+        }
+        // Safety valve: a blow-through of the analysis-declared pass budget
+        // indicates a broken (non-monotone) join, which we catch loudly.
+        assert!(
+            iterations <= analysis.max_passes(n),
+            "dataflow solver failed to converge after {iterations} passes — non-monotone join?"
+        );
+    }
+
+    BlockFacts { input, output, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitset::DenseBitSet;
+    use tadfa_ir::FunctionBuilder;
+
+    /// A toy forward may-analysis: "which blocks have executed"
+    /// (gen = own block id, no kill).
+    struct ReachedBlocks {
+        n: usize,
+    }
+
+    impl Analysis for ReachedBlocks {
+        type Fact = DenseBitSet;
+
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+
+        fn boundary_fact(&self) -> DenseBitSet {
+            DenseBitSet::new(self.n)
+        }
+
+        fn init_fact(&self) -> DenseBitSet {
+            DenseBitSet::new(self.n)
+        }
+
+        fn join(&self, into: &mut DenseBitSet, from: &DenseBitSet) -> bool {
+            into.union_with(from)
+        }
+
+        fn transfer_block(&self, _f: &Function, bb: BlockId, fact: &mut DenseBitSet) {
+            fact.insert(bb.index());
+        }
+    }
+
+    use tadfa_ir::Function;
+
+    #[test]
+    fn forward_reachability_through_loop() {
+        let mut b = FunctionBuilder::new("w");
+        let c = b.param();
+        let h = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.jump(h);
+        b.switch_to(h);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        b.jump(h);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let facts = solve(&f, &cfg, &ReachedBlocks { n: f.num_blocks() });
+
+        // At the exit, every block including the loop body may have run.
+        let at_exit = facts.output(exit);
+        assert_eq!(at_exit.count(), 4);
+        // At the header entry: entry and (via back edge) header+body.
+        assert!(facts.input(h).contains(f.entry().index()));
+        assert!(facts.input(h).contains(body.index()));
+        assert!(facts.iterations >= 2, "loop requires at least two passes");
+    }
+
+    /// Backward analysis counterpart: "which blocks can still run".
+    struct WillReach {
+        n: usize,
+    }
+
+    impl Analysis for WillReach {
+        type Fact = DenseBitSet;
+
+        fn direction(&self) -> Direction {
+            Direction::Backward
+        }
+
+        fn boundary_fact(&self) -> DenseBitSet {
+            DenseBitSet::new(self.n)
+        }
+
+        fn init_fact(&self) -> DenseBitSet {
+            DenseBitSet::new(self.n)
+        }
+
+        fn join(&self, into: &mut DenseBitSet, from: &DenseBitSet) -> bool {
+            into.union_with(from)
+        }
+
+        fn transfer_block(&self, _f: &Function, bb: BlockId, fact: &mut DenseBitSet) {
+            fact.insert(bb.index());
+        }
+    }
+
+    #[test]
+    fn backward_analysis_reaches_entry() {
+        let mut b = FunctionBuilder::new("d");
+        let c = b.param();
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        b.branch(c, t, e);
+        b.switch_to(t);
+        b.jump(j);
+        b.switch_to(e);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let facts = solve(&f, &cfg, &WillReach { n: f.num_blocks() });
+        // From the entry, all four blocks are ahead.
+        assert_eq!(facts.output(f.entry()).count(), 4);
+        // From the join, only itself.
+        assert_eq!(facts.output(j).count(), 1);
+    }
+}

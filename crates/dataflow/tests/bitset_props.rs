@@ -1,0 +1,103 @@
+//! Property tests for the dense bit set — the fact domain every
+//! bit-vector analysis stands on.
+
+use proptest::prelude::*;
+use tadfa_dataflow::DenseBitSet;
+
+const CAP: usize = 192; // three words, exercises boundaries
+
+fn arb_set() -> impl Strategy<Value = DenseBitSet> {
+    prop::collection::vec(0usize..CAP, 0..64).prop_map(|values| {
+        let mut s = DenseBitSet::new(CAP);
+        s.extend(values);
+        s
+    })
+}
+
+proptest! {
+    #[test]
+    fn union_is_commutative_and_idempotent(a in arb_set(), b in arb_set()) {
+        let mut ab = a.clone();
+        ab.union_with(&b);
+        let mut ba = b.clone();
+        ba.union_with(&a);
+        prop_assert_eq!(&ab, &ba);
+        // Idempotent.
+        let mut again = ab.clone();
+        prop_assert!(!again.union_with(&b));
+        prop_assert_eq!(&again, &ab);
+    }
+
+    #[test]
+    fn intersection_distributes_over_union(
+        a in arb_set(), b in arb_set(), c in arb_set()
+    ) {
+        // a ∩ (b ∪ c) == (a ∩ b) ∪ (a ∩ c)
+        let mut bc = b.clone();
+        bc.union_with(&c);
+        let mut lhs = a.clone();
+        lhs.intersect_with(&bc);
+
+        let mut ab = a.clone();
+        ab.intersect_with(&b);
+        let mut ac = a.clone();
+        ac.intersect_with(&c);
+        let mut rhs = ab;
+        rhs.union_with(&ac);
+
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn subtraction_then_union_restores_superset(a in arb_set(), b in arb_set()) {
+        // (a − b) ∪ (a ∩ b) == a
+        let mut diff = a.clone();
+        diff.subtract(&b);
+        let mut inter = a.clone();
+        inter.intersect_with(&b);
+        let mut back = diff;
+        back.union_with(&inter);
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn count_matches_iterator_and_membership(a in arb_set()) {
+        let elems: Vec<usize> = a.iter().collect();
+        prop_assert_eq!(elems.len(), a.count());
+        for &e in &elems {
+            prop_assert!(a.contains(e));
+        }
+        // Sorted ascending, no duplicates.
+        prop_assert!(elems.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn subset_relations(a in arb_set(), b in arb_set()) {
+        let mut u = a.clone();
+        u.union_with(&b);
+        prop_assert!(a.is_subset(&u));
+        prop_assert!(b.is_subset(&u));
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        prop_assert!(i.is_subset(&a));
+        prop_assert!(i.is_subset(&b));
+        let mut d = a.clone();
+        d.subtract(&b);
+        prop_assert!(d.is_disjoint(&b));
+    }
+
+    #[test]
+    fn insert_remove_roundtrip(a in arb_set(), v in 0usize..CAP) {
+        let mut s = a.clone();
+        let was_in = s.contains(v);
+        s.insert(v);
+        prop_assert!(s.contains(v));
+        prop_assert!(s.remove(v));
+        prop_assert!(!s.contains(v));
+        if was_in {
+            prop_assert_eq!(s.count() + 1, a.count());
+        } else {
+            prop_assert_eq!(s.count(), a.count());
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! Ergonomic construction of [`Function`]s.
+//!
+//! [`FunctionBuilder`] keeps a current insertion block and offers one method
+//! per opcode, so kernels (see `tadfa-workloads`) read like assembly
+//! listings.
+
+use crate::entities::{BlockId, MemSlot, VReg};
+use crate::function::Function;
+use crate::inst::{Inst, Opcode, Terminator};
+
+/// Builder for [`Function`]s with a current-block cursor.
+///
+/// # Examples
+///
+/// A counted loop that sums `0..n`:
+///
+/// ```
+/// use tadfa_ir::FunctionBuilder;
+///
+/// let mut b = FunctionBuilder::new("sum");
+/// let n = b.param();
+/// let header = b.new_block();
+/// let body = b.new_block();
+/// let exit = b.new_block();
+///
+/// let acc = b.iconst(0);
+/// let i = b.iconst(0);
+/// b.jump(header);
+///
+/// b.switch_to(header);
+/// let done = b.cmpge(i, n);
+/// b.branch(done, exit, body);
+///
+/// b.switch_to(body);
+/// let acc2 = b.add(acc, i);
+/// let one = b.iconst(1);
+/// let i2 = b.add(i, one);
+/// b.mov_into(acc, acc2);
+/// b.mov_into(i, i2);
+/// b.jump(header);
+///
+/// b.switch_to(exit);
+/// b.ret(Some(acc));
+/// let f = b.finish();
+/// assert!(f.num_insts() > 0);
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: Function,
+    current: Option<BlockId>,
+}
+
+impl FunctionBuilder {
+    /// Starts building a function with one (entry) block selected.
+    pub fn new(name: impl Into<String>) -> FunctionBuilder {
+        let mut func = Function::new(name);
+        let entry = func.add_block();
+        func.set_entry(entry);
+        FunctionBuilder { func, current: Some(entry) }
+    }
+
+    /// Declares a new function parameter and returns its register.
+    pub fn param(&mut self) -> VReg {
+        let v = self.func.new_vreg();
+        let mut params = self.func.params().to_vec();
+        params.push(v);
+        self.func.set_params(params);
+        v
+    }
+
+    /// Declares a memory slot of `size` words.
+    pub fn slot(&mut self, name: impl Into<String>, size: usize) -> MemSlot {
+        self.func.add_slot(name, size)
+    }
+
+    /// Creates a new (empty, unselected) block.
+    pub fn new_block(&mut self) -> BlockId {
+        self.func.add_block()
+    }
+
+    /// Moves the insertion cursor to `bb`.
+    pub fn switch_to(&mut self, bb: BlockId) {
+        self.current = Some(bb);
+    }
+
+    /// The block instructions are currently inserted into.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current block was terminated and no new block
+    /// selected.
+    pub fn current_block(&self) -> BlockId {
+        self.current.expect("no current block: select one with switch_to")
+    }
+
+    /// Allocates a fresh virtual register without defining it.
+    pub fn fresh_vreg(&mut self) -> VReg {
+        self.func.new_vreg()
+    }
+
+    fn emit(&mut self, inst: Inst) -> Option<VReg> {
+        let dst = inst.def();
+        let bb = self.current_block();
+        self.func.push_inst(bb, inst);
+        dst
+    }
+
+    /// Emits `dst = imm` into the current block.
+    pub fn iconst(&mut self, imm: i64) -> VReg {
+        let dst = self.func.new_vreg();
+        self.emit(Inst::konst(dst, imm));
+        dst
+    }
+
+    /// Emits a copy into a fresh register.
+    pub fn mov(&mut self, src: VReg) -> VReg {
+        let dst = self.func.new_vreg();
+        self.emit(Inst::mov(dst, src));
+        dst
+    }
+
+    /// Emits a copy into an existing register (`dst = src`). This is the
+    /// builder's stand-in for SSA φ: loop-carried variables are updated by
+    /// `mov_into` at the end of the body.
+    pub fn mov_into(&mut self, dst: VReg, src: VReg) {
+        self.emit(Inst::mov(dst, src));
+    }
+
+    fn binary(&mut self, op: Opcode, a: VReg, b: VReg) -> VReg {
+        let dst = self.func.new_vreg();
+        self.emit(Inst::binary(op, dst, a, b));
+        dst
+    }
+
+    /// Emits `a + b`.
+    pub fn add(&mut self, a: VReg, b: VReg) -> VReg {
+        self.binary(Opcode::Add, a, b)
+    }
+
+    /// Emits `a - b`.
+    pub fn sub(&mut self, a: VReg, b: VReg) -> VReg {
+        self.binary(Opcode::Sub, a, b)
+    }
+
+    /// Emits `a * b`.
+    pub fn mul(&mut self, a: VReg, b: VReg) -> VReg {
+        self.binary(Opcode::Mul, a, b)
+    }
+
+    /// Emits `a / b` (0 on division by zero).
+    pub fn div(&mut self, a: VReg, b: VReg) -> VReg {
+        self.binary(Opcode::Div, a, b)
+    }
+
+    /// Emits `a % b` (0 on modulo by zero).
+    pub fn rem(&mut self, a: VReg, b: VReg) -> VReg {
+        self.binary(Opcode::Rem, a, b)
+    }
+
+    /// Emits `a & b`.
+    pub fn and(&mut self, a: VReg, b: VReg) -> VReg {
+        self.binary(Opcode::And, a, b)
+    }
+
+    /// Emits `a | b`.
+    pub fn or(&mut self, a: VReg, b: VReg) -> VReg {
+        self.binary(Opcode::Or, a, b)
+    }
+
+    /// Emits `a ^ b`.
+    pub fn xor(&mut self, a: VReg, b: VReg) -> VReg {
+        self.binary(Opcode::Xor, a, b)
+    }
+
+    /// Emits `a << b`.
+    pub fn shl(&mut self, a: VReg, b: VReg) -> VReg {
+        self.binary(Opcode::Shl, a, b)
+    }
+
+    /// Emits `a >> b` (arithmetic).
+    pub fn shr(&mut self, a: VReg, b: VReg) -> VReg {
+        self.binary(Opcode::Shr, a, b)
+    }
+
+    /// Emits `-a`.
+    pub fn neg(&mut self, a: VReg) -> VReg {
+        let dst = self.func.new_vreg();
+        self.emit(Inst::unary(Opcode::Neg, dst, a));
+        dst
+    }
+
+    /// Emits `!a`.
+    pub fn not(&mut self, a: VReg) -> VReg {
+        let dst = self.func.new_vreg();
+        self.emit(Inst::unary(Opcode::Not, dst, a));
+        dst
+    }
+
+    /// Emits `(a == b) as i64`.
+    pub fn cmpeq(&mut self, a: VReg, b: VReg) -> VReg {
+        self.binary(Opcode::CmpEq, a, b)
+    }
+
+    /// Emits `(a != b) as i64`.
+    pub fn cmpne(&mut self, a: VReg, b: VReg) -> VReg {
+        self.binary(Opcode::CmpNe, a, b)
+    }
+
+    /// Emits `(a < b) as i64`.
+    pub fn cmplt(&mut self, a: VReg, b: VReg) -> VReg {
+        self.binary(Opcode::CmpLt, a, b)
+    }
+
+    /// Emits `(a <= b) as i64`.
+    pub fn cmple(&mut self, a: VReg, b: VReg) -> VReg {
+        self.binary(Opcode::CmpLe, a, b)
+    }
+
+    /// Emits `(a > b) as i64`.
+    pub fn cmpgt(&mut self, a: VReg, b: VReg) -> VReg {
+        self.binary(Opcode::CmpGt, a, b)
+    }
+
+    /// Emits `(a >= b) as i64`.
+    pub fn cmpge(&mut self, a: VReg, b: VReg) -> VReg {
+        self.binary(Opcode::CmpGe, a, b)
+    }
+
+    /// Emits `if c != 0 { a } else { b }`.
+    pub fn select(&mut self, c: VReg, a: VReg, b: VReg) -> VReg {
+        let dst = self.func.new_vreg();
+        self.emit(Inst::select(dst, c, a, b));
+        dst
+    }
+
+    /// Emits `slot[index]`.
+    pub fn load(&mut self, slot: MemSlot, index: VReg) -> VReg {
+        let dst = self.func.new_vreg();
+        self.emit(Inst::load(dst, slot, index));
+        dst
+    }
+
+    /// Emits `slot[index] = value`.
+    pub fn store(&mut self, slot: MemSlot, index: VReg, value: VReg) {
+        self.emit(Inst::store(slot, index, value));
+    }
+
+    /// Emits a no-op.
+    pub fn nop(&mut self) {
+        self.emit(Inst::nop());
+    }
+
+    /// Terminates the current block with an unconditional jump and clears
+    /// the cursor.
+    pub fn jump(&mut self, dest: BlockId) {
+        let bb = self.current_block();
+        self.func.set_terminator(bb, Terminator::Jump(dest));
+        self.current = None;
+    }
+
+    /// Terminates the current block with a conditional branch and clears
+    /// the cursor.
+    pub fn branch(&mut self, cond: VReg, then_dest: BlockId, else_dest: BlockId) {
+        let bb = self.current_block();
+        self.func
+            .set_terminator(bb, Terminator::Branch { cond, then_dest, else_dest });
+        self.current = None;
+    }
+
+    /// Terminates the current block with a return and clears the cursor.
+    pub fn ret(&mut self, value: Option<VReg>) {
+        let bb = self.current_block();
+        self.func.set_terminator(bb, Terminator::Ret(value));
+        self.current = None;
+    }
+
+    /// Finishes construction and returns the function.
+    pub fn finish(self) -> Function {
+        self.func
+    }
+
+    /// Read access to the function under construction.
+    pub fn func(&self) -> &Function {
+        &self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verifier::Verifier;
+
+    #[test]
+    fn straightline_function_verifies() {
+        let mut b = FunctionBuilder::new("sl");
+        let x = b.param();
+        let y = b.param();
+        let s = b.add(x, y);
+        let p = b.mul(s, x);
+        let q = b.sub(p, y);
+        b.ret(Some(q));
+        let f = b.finish();
+        assert!(Verifier::new(&f).run().is_ok());
+        assert_eq!(f.num_insts(), 3);
+    }
+
+    #[test]
+    fn all_emitters_produce_expected_opcodes() {
+        let mut b = FunctionBuilder::new("ops");
+        let x = b.param();
+        let y = b.param();
+        let slot = b.slot("m", 8);
+        let _ = b.iconst(1);
+        let _ = b.mov(x);
+        let _ = b.add(x, y);
+        let _ = b.sub(x, y);
+        let _ = b.mul(x, y);
+        let _ = b.div(x, y);
+        let _ = b.rem(x, y);
+        let _ = b.and(x, y);
+        let _ = b.or(x, y);
+        let _ = b.xor(x, y);
+        let _ = b.shl(x, y);
+        let _ = b.shr(x, y);
+        let _ = b.neg(x);
+        let _ = b.not(x);
+        let _ = b.cmpeq(x, y);
+        let _ = b.cmpne(x, y);
+        let _ = b.cmplt(x, y);
+        let _ = b.cmple(x, y);
+        let _ = b.cmpgt(x, y);
+        let _ = b.cmpge(x, y);
+        let _ = b.select(x, x, y);
+        let v = b.load(slot, x);
+        b.store(slot, x, v);
+        b.nop();
+        b.ret(None);
+        let f = b.finish();
+        assert!(Verifier::new(&f).run().is_ok());
+        assert_eq!(f.num_insts(), 24);
+    }
+
+    #[test]
+    fn loop_shape_has_expected_cfg() {
+        let mut b = FunctionBuilder::new("loop");
+        let n = b.param();
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let i0 = b.iconst(0);
+        b.jump(header);
+        b.switch_to(header);
+        let done = b.cmpge(i0, n);
+        b.branch(done, exit, body);
+        b.switch_to(body);
+        let one = b.iconst(1);
+        let i1 = b.add(i0, one);
+        b.mov_into(i0, i1);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(Some(i0));
+        let f = b.finish();
+        assert!(Verifier::new(&f).run().is_ok());
+        assert_eq!(f.num_blocks(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "no current block")]
+    fn emitting_after_terminator_panics() {
+        let mut b = FunctionBuilder::new("bad");
+        b.ret(None);
+        let _ = b.iconst(0);
+    }
+}

@@ -1,0 +1,74 @@
+//! # tadfa-ir — compiler intermediate representation
+//!
+//! A phi-free three-address IR with the analyses every other `tadfa` crate
+//! builds on: control-flow graphs, dominators, natural loops, a textual
+//! parser/printer, and a verifier.
+//!
+//! This crate is the "compiler substrate" of the reproduction of
+//! *Thermal-Aware Data Flow Analysis* (Ayala, Atienza, Brisk — DAC 2009):
+//! the paper assumes an ordinary compiler IR on which a thermal dataflow
+//! analysis can run; this is that IR.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use tadfa_ir::{FunctionBuilder, Cfg, DomTree, LoopInfo, Verifier};
+//!
+//! // f(n) = sum of 0..n
+//! let mut b = FunctionBuilder::new("sum");
+//! let n = b.param();
+//! let header = b.new_block();
+//! let body = b.new_block();
+//! let exit = b.new_block();
+//! let acc = b.iconst(0);
+//! let i = b.iconst(0);
+//! b.jump(header);
+//! b.switch_to(header);
+//! let done = b.cmpge(i, n);
+//! b.branch(done, exit, body);
+//! b.switch_to(body);
+//! let acc2 = b.add(acc, i);
+//! let one = b.iconst(1);
+//! let i2 = b.add(i, one);
+//! b.mov_into(acc, acc2);
+//! b.mov_into(i, i2);
+//! b.jump(header);
+//! b.switch_to(exit);
+//! b.ret(Some(acc));
+//! let f = b.finish();
+//!
+//! Verifier::new(&f).run()?;
+//! let cfg = Cfg::compute(&f);
+//! let dom = DomTree::compute(&f, &cfg);
+//! let loops = LoopInfo::compute(&f, &cfg, &dom);
+//! assert_eq!(loops.loops().len(), 1);
+//!
+//! // Round-trip through text.
+//! let reparsed = tadfa_ir::parse_function(&f.to_string()).unwrap();
+//! assert_eq!(reparsed.num_insts(), f.num_insts());
+//! # Ok::<(), tadfa_ir::VerifyError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod builder;
+mod cfg;
+mod dom;
+mod entities;
+mod function;
+mod inst;
+mod loops;
+mod parser;
+mod printer;
+mod verifier;
+
+pub use builder::FunctionBuilder;
+pub use cfg::Cfg;
+pub use dom::DomTree;
+pub use entities::{BlockId, InstId, MemSlot, PReg, VReg};
+pub use function::{Block, Function, SlotInfo};
+pub use inst::{Inst, Opcode, Terminator, ALL_OPCODES};
+pub use loops::{LoopInfo, NaturalLoop};
+pub use parser::{parse_function, ParseError};
+pub use verifier::{Verifier, VerifyError};

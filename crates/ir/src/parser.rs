@@ -1,0 +1,490 @@
+//! Parser for the textual IR format produced by the printer.
+//!
+//! The grammar (one item per line, `#` starts a comment):
+//!
+//! ```text
+//! func @name(%0, %1) {
+//!   slot data[64]
+//! block0:
+//!   %2 = const 10
+//!   %3 = add %0, %1
+//!   %4 = load data[%2]
+//!   store data[%2], %3
+//!   nop
+//!   br %3, block1, block2
+//! block1:
+//!   jump block0
+//! block2:
+//!   ret %4
+//! }
+//! ```
+
+use crate::entities::{BlockId, MemSlot, VReg};
+use crate::function::Function;
+use crate::inst::{Inst, Opcode, Terminator};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when parsing textual IR fails.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// 1-based line of the offending input.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { line, message: message.into() })
+}
+
+/// Parses a single function from its textual form.
+///
+/// Virtual register numbers in the text are preserved: `%7` in the text is
+/// `VReg::new(7)` in the result, and the function's register count is one
+/// past the highest number mentioned.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] carrying the 1-based line number on malformed
+/// input: unknown mnemonics, bad operand counts, unknown slots or labels,
+/// missing terminators, duplicate block labels.
+///
+/// # Examples
+///
+/// ```
+/// let src = "func @id(%0) {\nblock0:\n  ret %0\n}";
+/// let f = tadfa_ir::parse_function(src)?;
+/// assert_eq!(f.name(), "id");
+/// assert_eq!(f.num_blocks(), 1);
+/// # Ok::<(), tadfa_ir::ParseError>(())
+/// ```
+pub fn parse_function(src: &str) -> Result<Function, ParseError> {
+    let mut lines = src
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, strip_comment(l).trim()))
+        .filter(|(_, l)| !l.is_empty());
+
+    let (header_line, header) = match lines.next() {
+        Some(x) => x,
+        None => return err(0, "empty input"),
+    };
+    let (name, params) = parse_header(header_line, header)?;
+
+    let mut func = Function::new(name);
+    let mut max_vreg: i64 = -1;
+    for p in &params {
+        max_vreg = max_vreg.max(p.index() as i64);
+    }
+
+    // First pass: collect block labels and slot declarations in order so
+    // forward references resolve.
+    let body: Vec<(usize, &str)> = lines.collect();
+    let mut block_names: HashMap<String, BlockId> = HashMap::new();
+    let mut slot_names: HashMap<String, MemSlot> = HashMap::new();
+    let mut saw_close = false;
+    for &(ln, line) in &body {
+        if saw_close {
+            return err(ln, "content after closing '}'");
+        }
+        if line == "}" {
+            saw_close = true;
+            continue;
+        }
+        if let Some(label) = line.strip_suffix(':') {
+            let label = label.trim();
+            if block_names.contains_key(label) {
+                return err(ln, format!("duplicate block label '{label}'"));
+            }
+            let bb = func.add_block();
+            block_names.insert(label.to_string(), bb);
+        } else if let Some(rest) = line.strip_prefix("slot ") {
+            let (sname, size) = parse_slot_decl(ln, rest)?;
+            if slot_names.contains_key(&sname) {
+                return err(ln, format!("duplicate slot '{sname}'"));
+            }
+            let slot = func.add_slot(sname.clone(), size);
+            slot_names.insert(sname, slot);
+        }
+    }
+    if !saw_close {
+        return err(body.last().map(|&(l, _)| l).unwrap_or(header_line), "missing closing '}'");
+    }
+    if block_names.is_empty() {
+        return err(header_line, "function has no blocks");
+    }
+
+    // Second pass: fill blocks.
+    let mut current: Option<BlockId> = None;
+    let mut first_block: Option<BlockId> = None;
+    for &(ln, line) in &body {
+        if line == "}" {
+            break;
+        }
+        if let Some(label) = line.strip_suffix(':') {
+            let bb = block_names[label.trim()];
+            if first_block.is_none() {
+                first_block = Some(bb);
+            }
+            current = Some(bb);
+            continue;
+        }
+        if line.starts_with("slot ") {
+            continue;
+        }
+        let bb = match current {
+            Some(bb) => bb,
+            None => return err(ln, "instruction before any block label"),
+        };
+        if func.terminator(bb).is_some() {
+            return err(ln, "instruction after block terminator");
+        }
+        match parse_line(ln, line, &block_names, &slot_names)? {
+            Parsed::Inst(inst) => {
+                track_max(&inst, &mut max_vreg);
+                func.push_inst(bb, inst);
+            }
+            Parsed::Term(t) => {
+                for u in t.uses() {
+                    max_vreg = max_vreg.max(u.index() as i64);
+                }
+                func.set_terminator(bb, t);
+            }
+        }
+    }
+
+    // Reserve vreg numbers up to the maximum mentioned.
+    while (func.num_vregs() as i64) <= max_vreg {
+        func.new_vreg();
+    }
+    func.set_params(params);
+    let entry = first_block.expect("checked: at least one block");
+    func.set_entry(entry);
+    Ok(func)
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn track_max(inst: &Inst, max_vreg: &mut i64) {
+    if let Some(d) = inst.def() {
+        *max_vreg = (*max_vreg).max(d.index() as i64);
+    }
+    for u in inst.uses() {
+        *max_vreg = (*max_vreg).max(u.index() as i64);
+    }
+}
+
+fn parse_header(ln: usize, line: &str) -> Result<(String, Vec<VReg>), ParseError> {
+    let rest = match line.strip_prefix("func @") {
+        Some(r) => r,
+        None => return err(ln, "expected 'func @name(...) {'"),
+    };
+    let open = match rest.find('(') {
+        Some(i) => i,
+        None => return err(ln, "expected '(' in function header"),
+    };
+    let name = rest[..open].trim().to_string();
+    if name.is_empty() {
+        return err(ln, "empty function name");
+    }
+    let close = match rest.find(')') {
+        Some(i) => i,
+        None => return err(ln, "expected ')' in function header"),
+    };
+    if !rest[close + 1..].trim_start().starts_with('{') {
+        return err(ln, "expected '{' after parameter list");
+    }
+    let params_src = rest[open + 1..close].trim();
+    let mut params = Vec::new();
+    if !params_src.is_empty() {
+        for p in params_src.split(',') {
+            params.push(parse_vreg(ln, p.trim())?);
+        }
+    }
+    Ok((name, params))
+}
+
+fn parse_slot_decl(ln: usize, rest: &str) -> Result<(String, usize), ParseError> {
+    // rest looks like `name[size]`
+    let open = match rest.find('[') {
+        Some(i) => i,
+        None => return err(ln, "expected '[' in slot declaration"),
+    };
+    let close = match rest.find(']') {
+        Some(i) => i,
+        None => return err(ln, "expected ']' in slot declaration"),
+    };
+    let name = rest[..open].trim().to_string();
+    if name.is_empty() {
+        return err(ln, "empty slot name");
+    }
+    let size: usize = match rest[open + 1..close].trim().parse() {
+        Ok(s) => s,
+        Err(_) => return err(ln, "invalid slot size"),
+    };
+    Ok((name, size))
+}
+
+fn parse_vreg(ln: usize, tok: &str) -> Result<VReg, ParseError> {
+    let digits = match tok.strip_prefix('%') {
+        Some(d) => d,
+        None => return err(ln, format!("expected virtual register, got '{tok}'")),
+    };
+    match digits.parse::<u32>() {
+        Ok(n) => Ok(VReg::new(n)),
+        Err(_) => err(ln, format!("invalid register number '{tok}'")),
+    }
+}
+
+fn parse_block_ref(
+    ln: usize,
+    tok: &str,
+    blocks: &HashMap<String, BlockId>,
+) -> Result<BlockId, ParseError> {
+    match blocks.get(tok.trim()) {
+        Some(&bb) => Ok(bb),
+        None => err(ln, format!("unknown block label '{tok}'")),
+    }
+}
+
+enum Parsed {
+    Inst(Inst),
+    Term(Terminator),
+}
+
+fn parse_line(
+    ln: usize,
+    line: &str,
+    blocks: &HashMap<String, BlockId>,
+    slots: &HashMap<String, MemSlot>,
+) -> Result<Parsed, ParseError> {
+    // Terminators.
+    if let Some(rest) = line.strip_prefix("jump ") {
+        return Ok(Parsed::Term(Terminator::Jump(parse_block_ref(ln, rest, blocks)?)));
+    }
+    if let Some(rest) = line.strip_prefix("br ") {
+        let parts: Vec<&str> = rest.split(',').map(str::trim).collect();
+        if parts.len() != 3 {
+            return err(ln, "br expects 'br %c, blockA, blockB'");
+        }
+        return Ok(Parsed::Term(Terminator::Branch {
+            cond: parse_vreg(ln, parts[0])?,
+            then_dest: parse_block_ref(ln, parts[1], blocks)?,
+            else_dest: parse_block_ref(ln, parts[2], blocks)?,
+        }));
+    }
+    if line == "ret" {
+        return Ok(Parsed::Term(Terminator::Ret(None)));
+    }
+    if let Some(rest) = line.strip_prefix("ret ") {
+        return Ok(Parsed::Term(Terminator::Ret(Some(parse_vreg(ln, rest.trim())?))));
+    }
+    if line == "nop" {
+        return Ok(Parsed::Inst(Inst::nop()));
+    }
+    // Store: `store name[%i], %v`
+    if let Some(rest) = line.strip_prefix("store ") {
+        let comma = match rest.rfind(',') {
+            Some(i) => i,
+            None => return err(ln, "store expects 'store name[%i], %v'"),
+        };
+        let (slot, index) = parse_mem_ref(ln, rest[..comma].trim(), slots)?;
+        let value = parse_vreg(ln, rest[comma + 1..].trim())?;
+        return Ok(Parsed::Inst(Inst::store(slot, index, value)));
+    }
+    // Everything else: `%d = <op> ...`
+    let eq = match line.find('=') {
+        Some(i) => i,
+        None => return err(ln, format!("unrecognised statement '{line}'")),
+    };
+    let dst = parse_vreg(ln, line[..eq].trim())?;
+    let rhs = line[eq + 1..].trim();
+    if let Some(rest) = rhs.strip_prefix("const ") {
+        let imm: i64 = match rest.trim().parse() {
+            Ok(v) => v,
+            Err(_) => return err(ln, format!("invalid constant '{rest}'")),
+        };
+        return Ok(Parsed::Inst(Inst::konst(dst, imm)));
+    }
+    if let Some(rest) = rhs.strip_prefix("load ") {
+        let (slot, index) = parse_mem_ref(ln, rest.trim(), slots)?;
+        return Ok(Parsed::Inst(Inst::load(dst, slot, index)));
+    }
+    let (mnemonic, args) = match rhs.find(' ') {
+        Some(i) => (&rhs[..i], rhs[i + 1..].trim()),
+        None => (rhs, ""),
+    };
+    let op = match Opcode::from_mnemonic(mnemonic) {
+        Some(op) => op,
+        None => return err(ln, format!("unknown opcode '{mnemonic}'")),
+    };
+    let srcs: Vec<VReg> = if args.is_empty() {
+        Vec::new()
+    } else {
+        args.split(',')
+            .map(|a| parse_vreg(ln, a.trim()))
+            .collect::<Result<_, _>>()?
+    };
+    if srcs.len() != op.num_srcs() {
+        return err(
+            ln,
+            format!("{op} expects {} sources, got {}", op.num_srcs(), srcs.len()),
+        );
+    }
+    if !op.has_dst() {
+        return err(ln, format!("{op} does not produce a value"));
+    }
+    Ok(Parsed::Inst(Inst { op, dst: Some(dst), srcs, imm: None, slot: None }))
+}
+
+fn parse_mem_ref(
+    ln: usize,
+    tok: &str,
+    slots: &HashMap<String, MemSlot>,
+) -> Result<(MemSlot, VReg), ParseError> {
+    let open = match tok.find('[') {
+        Some(i) => i,
+        None => return err(ln, format!("expected 'name[%i]', got '{tok}'")),
+    };
+    let close = match tok.find(']') {
+        Some(i) => i,
+        None => return err(ln, format!("expected closing ']' in '{tok}'")),
+    };
+    let name = tok[..open].trim();
+    let slot = match slots.get(name) {
+        Some(&s) => s,
+        None => return err(ln, format!("unknown slot '{name}'")),
+    };
+    let index = parse_vreg(ln, tok[open + 1..close].trim())?;
+    Ok((slot, index))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verifier::Verifier;
+
+    const ROUNDTRIP_SRC: &str = "\
+func @kernel(%0, %1) {
+  slot data[64]
+block0:
+  %2 = const 10
+  %3 = add %0, %1
+  %4 = load data[%2]
+  store data[%2], %3
+  nop
+  br %3, block1, block2
+block1:
+  %5 = mul %4, %3
+  jump block2
+block2:
+  ret %4
+}
+";
+
+    #[test]
+    fn parses_and_verifies() {
+        let f = parse_function(ROUNDTRIP_SRC).unwrap();
+        assert_eq!(f.name(), "kernel");
+        assert_eq!(f.num_blocks(), 3);
+        assert_eq!(f.params().len(), 2);
+        assert_eq!(f.slots().len(), 1);
+        assert!(Verifier::new(&f).run().is_ok());
+    }
+
+    #[test]
+    fn print_parse_print_is_stable() {
+        let f1 = parse_function(ROUNDTRIP_SRC).unwrap();
+        let text1 = f1.to_string();
+        let f2 = parse_function(&text1).unwrap();
+        let text2 = f2.to_string();
+        assert_eq!(text1, text2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "\
+# a full-line comment
+func @c(%0) {
+
+block0:   # trailing comment
+  %1 = mov %0   # copy
+  ret %1
+}
+";
+        let f = parse_function(src).unwrap();
+        assert_eq!(f.num_insts(), 1);
+    }
+
+    #[test]
+    fn forward_block_references_resolve() {
+        let src = "func @f(%0) {\nblock0:\n  jump later\nlater:\n  ret\n}";
+        let f = parse_function(src).unwrap();
+        assert_eq!(f.num_blocks(), 2);
+    }
+
+    #[test]
+    fn ret_without_value() {
+        let f = parse_function("func @v() {\nblock0:\n  ret\n}").unwrap();
+        assert!(matches!(f.terminator(f.entry()), Some(Terminator::Ret(None))));
+    }
+
+    fn expect_err(src: &str, needle: &str) {
+        let e = parse_function(src).unwrap_err();
+        assert!(
+            e.message.contains(needle),
+            "expected error containing '{needle}', got '{}' (line {})",
+            e.message,
+            e.line
+        );
+    }
+
+    #[test]
+    fn error_corpus() {
+        expect_err("", "empty input");
+        expect_err("fn @x() {\nblock0:\n ret\n}", "expected 'func");
+        expect_err("func @x() {\nblock0:\n  %1 = frob %0\n  ret\n}", "unknown opcode");
+        expect_err("func @x() {\nblock0:\n  %1 = add %0\n  ret\n}", "expects 2 sources");
+        expect_err("func @x() {\nblock0:\n  jump nowhere\n}", "unknown block label");
+        expect_err("func @x() {\nblock0:\n  ret\n", "missing closing");
+        expect_err("func @x() {\nblock0:\nblock0:\n  ret\n}", "duplicate block label");
+        expect_err("func @x() {\n  %1 = const 2\nblock0:\n  ret\n}", "before any block");
+        expect_err(
+            "func @x() {\nblock0:\n  ret\n  %1 = const 2\n}",
+            "after block terminator",
+        );
+        expect_err("func @x() {\nblock0:\n  %1 = load buf[%0]\n  ret\n}", "unknown slot");
+        expect_err("func @x() {\nblock0:\n  %1 = const abc\n  ret\n}", "invalid constant");
+        expect_err("func @x() {\nblock0:\n  br %0, a\n}", "br expects");
+        expect_err("func @x() {\n}", "no blocks");
+    }
+
+    #[test]
+    fn line_numbers_are_reported() {
+        let e = parse_function("func @x() {\nblock0:\n  %1 = bogus %0\n  ret\n}").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn vreg_numbering_is_preserved() {
+        let f = parse_function("func @p(%5) {\nblock0:\n  %9 = mov %5\n  ret %9\n}").unwrap();
+        assert_eq!(f.num_vregs(), 10);
+        assert_eq!(f.params()[0], VReg::new(5));
+    }
+}

@@ -1,0 +1,141 @@
+//! Textual rendering of functions (inverse of [`crate::parse_function`]).
+
+use crate::function::Function;
+use crate::inst::{Inst, Opcode, Terminator};
+use std::fmt;
+
+impl fmt::Display for Function {
+    /// Prints the function in the canonical text format accepted by
+    /// [`crate::parse_function`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "func @{}(", self.name())?;
+        for (i, p) in self.params().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        writeln!(f, ") {{")?;
+        for (i, s) in self.slots().iter().enumerate() {
+            let _ = i;
+            writeln!(f, "  slot {}[{}]", s.name, s.size)?;
+        }
+        for bb in self.block_ids() {
+            writeln!(f, "{bb}:")?;
+            for &id in self.block(bb).insts() {
+                writeln!(f, "  {}", DisplayInst { func: self, inst: self.inst(id) })?;
+            }
+            match self.terminator(bb) {
+                Some(t) => writeln!(f, "  {}", DisplayTerm { term: t })?,
+                None => writeln!(f, "  <unterminated>")?,
+            }
+        }
+        writeln!(f, "}}")
+    }
+}
+
+struct DisplayInst<'a> {
+    func: &'a Function,
+    inst: &'a Inst,
+}
+
+impl fmt::Display for DisplayInst<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let i = self.inst;
+        match i.op {
+            Opcode::Const => write!(f, "{} = const {}", i.dst.unwrap(), i.imm.unwrap_or(0)),
+            Opcode::Load => {
+                let slot = i.slot.expect("load without slot");
+                write!(
+                    f,
+                    "{} = load {}[{}]",
+                    i.dst.unwrap(),
+                    self.func.slot_info(slot).name,
+                    i.srcs[0]
+                )
+            }
+            Opcode::Store => {
+                let slot = i.slot.expect("store without slot");
+                write!(
+                    f,
+                    "store {}[{}], {}",
+                    self.func.slot_info(slot).name,
+                    i.srcs[0],
+                    i.srcs[1]
+                )
+            }
+            Opcode::Nop => write!(f, "nop"),
+            _ => {
+                write!(f, "{} = {}", i.dst.unwrap(), i.op.mnemonic())?;
+                for (k, s) in i.srcs.iter().enumerate() {
+                    if k == 0 {
+                        write!(f, " {s}")?;
+                    } else {
+                        write!(f, ", {s}")?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+struct DisplayTerm<'a> {
+    term: &'a Terminator,
+}
+
+impl fmt::Display for DisplayTerm<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.term {
+            Terminator::Jump(t) => write!(f, "jump {t}"),
+            Terminator::Branch { cond, then_dest, else_dest } => {
+                write!(f, "br {cond}, {then_dest}, {else_dest}")
+            }
+            Terminator::Ret(Some(v)) => write!(f, "ret {v}"),
+            Terminator::Ret(None) => write!(f, "ret"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::FunctionBuilder;
+
+    #[test]
+    fn prints_all_forms() {
+        let mut b = FunctionBuilder::new("show");
+        let x = b.param();
+        let m = b.slot("buf", 4);
+        let k = b.iconst(3);
+        let s = b.add(x, k);
+        let l = b.load(m, k);
+        b.store(m, k, s);
+        b.nop();
+        let t = b.new_block();
+        let e = b.new_block();
+        b.branch(l, t, e);
+        b.switch_to(t);
+        b.jump(e);
+        b.switch_to(e);
+        b.ret(Some(s));
+        let f = b.finish();
+        let text = f.to_string();
+        assert!(text.contains("func @show(%0)"), "{text}");
+        assert!(text.contains("slot buf[4]"), "{text}");
+        assert!(text.contains("= const 3"), "{text}");
+        assert!(text.contains("= add %0, %1"), "{text}");
+        assert!(text.contains("= load buf["), "{text}");
+        assert!(text.contains("store buf["), "{text}");
+        assert!(text.contains("nop"), "{text}");
+        assert!(text.contains("br %3, block1, block2"), "{text}");
+        assert!(text.contains("jump block2"), "{text}");
+        assert!(text.contains("ret %2"), "{text}");
+    }
+
+    #[test]
+    fn unterminated_block_is_marked() {
+        let b = FunctionBuilder::new("open");
+        let f = b.finish();
+        assert!(f.to_string().contains("<unterminated>"));
+    }
+}

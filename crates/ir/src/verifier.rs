@@ -1,0 +1,445 @@
+//! Structural and dataflow validity checks for functions.
+
+use crate::cfg::Cfg;
+use crate::entities::{BlockId, InstId, VReg};
+use crate::function::Function;
+use std::error::Error;
+use std::fmt;
+
+/// A single verification failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum VerifyError {
+    /// A block has no terminator.
+    MissingTerminator(BlockId),
+    /// A terminator targets a block id outside the function.
+    BadBranchTarget { block: BlockId, target: BlockId },
+    /// An instruction's operand count does not match its opcode.
+    BadOperandCount { inst: InstId, expected: usize, actual: usize },
+    /// An instruction is missing a required destination or has a spurious
+    /// one.
+    BadDestination { inst: InstId, expected: bool },
+    /// An instruction references a register that was never allocated.
+    UnknownRegister { inst: InstId, reg: VReg },
+    /// A `Const` is missing its immediate.
+    MissingImmediate(InstId),
+    /// A memory instruction is missing its slot or references a bad slot.
+    BadSlot(InstId),
+    /// A register may be read before any definition reaches it.
+    UseBeforeDef { block: BlockId, reg: VReg },
+    /// The function has no blocks at all.
+    Empty,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::MissingTerminator(b) => write!(f, "{b} has no terminator"),
+            VerifyError::BadBranchTarget { block, target } => {
+                write!(f, "{block} branches to nonexistent {target}")
+            }
+            VerifyError::BadOperandCount { inst, expected, actual } => {
+                write!(f, "{inst} expects {expected} operands, has {actual}")
+            }
+            VerifyError::BadDestination { inst, expected } => {
+                if *expected {
+                    write!(f, "{inst} is missing its destination")
+                } else {
+                    write!(f, "{inst} must not have a destination")
+                }
+            }
+            VerifyError::UnknownRegister { inst, reg } => {
+                write!(f, "{inst} references unallocated register {reg}")
+            }
+            VerifyError::MissingImmediate(i) => write!(f, "{i} (const) has no immediate"),
+            VerifyError::BadSlot(i) => write!(f, "{i} has a missing or invalid memory slot"),
+            VerifyError::UseBeforeDef { block, reg } => {
+                write!(f, "{reg} may be used before definition in {block}")
+            }
+            VerifyError::Empty => write!(f, "function has no blocks"),
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Verifies the structural invariants of a [`Function`].
+///
+/// Checks performed:
+///
+/// * every block ends in a terminator whose targets exist;
+/// * operand counts, destinations, immediates and slots match each opcode;
+/// * every referenced virtual register was allocated;
+/// * no register can be read before a definition reaches it on some path
+///   (a forward "definitely-assigned" dataflow, with parameters defined at
+///   entry).
+///
+/// # Examples
+///
+/// ```
+/// use tadfa_ir::{FunctionBuilder, Verifier};
+/// let mut b = FunctionBuilder::new("ok");
+/// let x = b.param();
+/// let y = b.add(x, x);
+/// b.ret(Some(y));
+/// let f = b.finish();
+/// assert!(Verifier::new(&f).run().is_ok());
+/// ```
+#[derive(Debug)]
+pub struct Verifier<'f> {
+    func: &'f Function,
+}
+
+impl<'f> Verifier<'f> {
+    /// Creates a verifier for `func`.
+    pub fn new(func: &'f Function) -> Verifier<'f> {
+        Verifier { func }
+    }
+
+    /// Runs all checks, returning the first error found or a list of all
+    /// errors via [`Verifier::run_all`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`VerifyError`] discovered.
+    pub fn run(&self) -> Result<(), VerifyError> {
+        match self.run_all() {
+            errors if errors.is_empty() => Ok(()),
+            mut errors => Err(errors.remove(0)),
+        }
+    }
+
+    /// Runs all checks and returns every failure.
+    pub fn run_all(&self) -> Vec<VerifyError> {
+        let f = self.func;
+        let mut errors = Vec::new();
+        if f.num_blocks() == 0 {
+            return vec![VerifyError::Empty];
+        }
+
+        let nblocks = f.num_blocks();
+        let nvregs = f.num_vregs();
+        let nslots = f.slots().len();
+
+        for bb in f.block_ids() {
+            match f.terminator(bb) {
+                None => errors.push(VerifyError::MissingTerminator(bb)),
+                Some(t) => {
+                    for target in t.successors() {
+                        if target.index() >= nblocks {
+                            errors.push(VerifyError::BadBranchTarget { block: bb, target });
+                        }
+                    }
+                    for u in t.uses() {
+                        if u.index() >= nvregs {
+                            // Reuse UnknownRegister with a synthetic id of
+                            // the first instruction for lack of one; report
+                            // per-block instead.
+                            errors.push(VerifyError::UseBeforeDef { block: bb, reg: u });
+                        }
+                    }
+                }
+            }
+            for &id in f.block(bb).insts() {
+                let inst = f.inst(id);
+                let expected = inst.op.num_srcs();
+                if inst.srcs.len() != expected {
+                    errors.push(VerifyError::BadOperandCount {
+                        inst: id,
+                        expected,
+                        actual: inst.srcs.len(),
+                    });
+                }
+                if inst.op.has_dst() != inst.dst.is_some() {
+                    errors.push(VerifyError::BadDestination { inst: id, expected: inst.op.has_dst() });
+                }
+                if inst.op.has_imm() && inst.imm.is_none() {
+                    errors.push(VerifyError::MissingImmediate(id));
+                }
+                if inst.op.has_slot() {
+                    match inst.slot {
+                        Some(s) if s.index() < nslots => {}
+                        _ => errors.push(VerifyError::BadSlot(id)),
+                    }
+                } else if inst.slot.is_some() {
+                    errors.push(VerifyError::BadSlot(id));
+                }
+                for &u in inst.uses() {
+                    if u.index() >= nvregs {
+                        errors.push(VerifyError::UnknownRegister { inst: id, reg: u });
+                    }
+                }
+                if let Some(d) = inst.def() {
+                    if d.index() >= nvregs {
+                        errors.push(VerifyError::UnknownRegister { inst: id, reg: d });
+                    }
+                }
+            }
+        }
+
+        if errors.is_empty() {
+            errors.extend(self.check_defined_before_use());
+        }
+        errors
+    }
+
+    /// Forward may-use-before-def analysis. A register is "definitely
+    /// assigned" at a point if every path from entry to that point defines
+    /// it. Reads of registers that are not definitely assigned are errors.
+    fn check_defined_before_use(&self) -> Vec<VerifyError> {
+        let f = self.func;
+        let cfg = Cfg::compute(f);
+        let n = f.num_blocks();
+        let nv = f.num_vregs();
+        let full: Vec<bool> = vec![true; nv];
+
+        // defined_out[b]: set of vregs definitely assigned at the end of b.
+        let mut defined_out: Vec<Vec<bool>> = vec![full.clone(); n];
+        let mut entry_in = vec![false; nv];
+        for &p in f.params() {
+            entry_in[p.index()] = true;
+        }
+
+        let mut errors = Vec::new();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &bb in cfg.rpo() {
+                let mut state = if bb == f.entry() {
+                    entry_in.clone()
+                } else {
+                    // Intersection over predecessors (definitely assigned).
+                    let preds = cfg.preds(bb);
+                    let mut acc = full.clone();
+                    let mut any = false;
+                    for &p in preds {
+                        any = true;
+                        for (a, d) in acc.iter_mut().zip(&defined_out[p.index()]) {
+                            *a = *a && *d;
+                        }
+                    }
+                    if !any {
+                        // Reachable only via entry (shouldn't happen), be
+                        // conservative.
+                        vec![false; nv]
+                    } else {
+                        acc
+                    }
+                };
+                for &id in f.block(bb).insts() {
+                    let inst = f.inst(id);
+                    if let Some(d) = inst.def() {
+                        state[d.index()] = true;
+                    }
+                }
+                if state != defined_out[bb.index()] {
+                    defined_out[bb.index()] = state;
+                    changed = true;
+                }
+            }
+        }
+
+        // Report: walk each reachable block with its entry state.
+        for &bb in cfg.rpo() {
+            let mut state = if bb == f.entry() {
+                entry_in.clone()
+            } else {
+                let preds = cfg.preds(bb);
+                let mut acc = full.clone();
+                for &p in preds {
+                    for (a, d) in acc.iter_mut().zip(&defined_out[p.index()]) {
+                        *a = *a && *d;
+                    }
+                }
+                if preds.is_empty() {
+                    vec![false; nv]
+                } else {
+                    acc
+                }
+            };
+            for &id in f.block(bb).insts() {
+                let inst = f.inst(id);
+                for &u in inst.uses() {
+                    if !state[u.index()] {
+                        errors.push(VerifyError::UseBeforeDef { block: bb, reg: u });
+                        // Avoid cascading reports for the same register.
+                        state[u.index()] = true;
+                    }
+                }
+                if let Some(d) = inst.def() {
+                    state[d.index()] = true;
+                }
+            }
+            if let Some(t) = f.terminator(bb) {
+                for u in t.uses() {
+                    if !state[u.index()] {
+                        errors.push(VerifyError::UseBeforeDef { block: bb, reg: u });
+                    }
+                }
+            }
+        }
+        errors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{Inst, Opcode, Terminator};
+
+    #[test]
+    fn missing_terminator_reported() {
+        let b = FunctionBuilder::new("open");
+        let f = b.finish();
+        let errors = Verifier::new(&f).run_all();
+        assert!(matches!(errors[0], VerifyError::MissingTerminator(_)));
+    }
+
+    #[test]
+    fn bad_branch_target_reported() {
+        let mut f = Function::new("bad");
+        let b0 = f.add_block();
+        f.set_entry(b0);
+        f.set_terminator(b0, Terminator::Jump(BlockId::new(7)));
+        let errors = Verifier::new(&f).run_all();
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, VerifyError::BadBranchTarget { .. })));
+    }
+
+    use crate::function::Function;
+
+    #[test]
+    fn malformed_instruction_reported() {
+        let mut f = Function::new("mal");
+        let b0 = f.add_block();
+        f.set_entry(b0);
+        let v = f.new_vreg();
+        // Hand-build an add with one operand.
+        f.push_inst(
+            b0,
+            Inst { op: Opcode::Add, dst: Some(v), srcs: vec![v], imm: None, slot: None },
+        );
+        f.set_terminator(b0, Terminator::Ret(None));
+        let errors = Verifier::new(&f).run_all();
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, VerifyError::BadOperandCount { expected: 2, actual: 1, .. })));
+    }
+
+    #[test]
+    fn const_without_imm_reported() {
+        let mut f = Function::new("k");
+        let b0 = f.add_block();
+        f.set_entry(b0);
+        let v = f.new_vreg();
+        f.push_inst(
+            b0,
+            Inst { op: Opcode::Const, dst: Some(v), srcs: vec![], imm: None, slot: None },
+        );
+        f.set_terminator(b0, Terminator::Ret(None));
+        let errors = Verifier::new(&f).run_all();
+        assert!(errors.iter().any(|e| matches!(e, VerifyError::MissingImmediate(_))));
+    }
+
+    #[test]
+    fn store_with_dst_reported() {
+        let mut f = Function::new("sd");
+        let b0 = f.add_block();
+        f.set_entry(b0);
+        let v = f.new_vreg();
+        let s = f.add_slot("m", 4);
+        f.push_inst(
+            b0,
+            Inst { op: Opcode::Store, dst: Some(v), srcs: vec![v, v], imm: None, slot: Some(s) },
+        );
+        f.set_terminator(b0, Terminator::Ret(None));
+        let errors = Verifier::new(&f).run_all();
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, VerifyError::BadDestination { expected: false, .. })));
+    }
+
+    #[test]
+    fn load_without_slot_reported() {
+        let mut f = Function::new("ls");
+        let b0 = f.add_block();
+        f.set_entry(b0);
+        let v = f.new_vreg();
+        f.push_inst(
+            b0,
+            Inst { op: Opcode::Load, dst: Some(v), srcs: vec![v], imm: None, slot: None },
+        );
+        f.set_terminator(b0, Terminator::Ret(None));
+        let errors = Verifier::new(&f).run_all();
+        assert!(errors.iter().any(|e| matches!(e, VerifyError::BadSlot(_))));
+    }
+
+    #[test]
+    fn use_before_def_on_one_path_reported() {
+        // entry: br %0 -> left | right; left defines %1; join uses %1.
+        let mut b = FunctionBuilder::new("ubd");
+        let c = b.param();
+        let left = b.new_block();
+        let right = b.new_block();
+        let join = b.new_block();
+        b.branch(c, left, right);
+        b.switch_to(left);
+        let one = b.iconst(1);
+        b.jump(join);
+        b.switch_to(right);
+        b.jump(join);
+        b.switch_to(join);
+        let _ = b.add(one, c); // `one` only defined on the left path
+        b.ret(None);
+        let f = b.finish();
+        let errors = Verifier::new(&f).run_all();
+        assert!(
+            errors.iter().any(|e| matches!(e, VerifyError::UseBeforeDef { .. })),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn loop_carried_defs_accepted() {
+        // i defined before loop, updated in body: no false positive.
+        let mut b = FunctionBuilder::new("lc");
+        let n = b.param();
+        let h = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let i = b.iconst(0);
+        b.jump(h);
+        b.switch_to(h);
+        let d = b.cmpge(i, n);
+        b.branch(d, exit, body);
+        b.switch_to(body);
+        let one = b.iconst(1);
+        let i2 = b.add(i, one);
+        b.mov_into(i, i2);
+        b.jump(h);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        let f = b.finish();
+        assert!(Verifier::new(&f).run().is_ok());
+    }
+
+    #[test]
+    fn param_uses_are_defined() {
+        let mut b = FunctionBuilder::new("p");
+        let x = b.param();
+        b.ret(Some(x));
+        let f = b.finish();
+        assert!(Verifier::new(&f).run().is_ok());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = VerifyError::UseBeforeDef { block: BlockId::new(2), reg: VReg::new(7) };
+        assert!(e.to_string().contains("%7"));
+        assert!(e.to_string().contains("block2"));
+    }
+
+    use crate::entities::{BlockId, VReg};
+}

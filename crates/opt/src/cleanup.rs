@@ -1,0 +1,280 @@
+//! Classic cleanup passes: single-definition constant propagation and
+//! dead-code elimination.
+//!
+//! These are not thermal optimizations themselves, but the thermal passes
+//! manufacture garbage — register promotion leaves dead `const 0` index
+//! computations, splitting leaves single-use copies — and dead
+//! instructions still heat the register file in the model (every def is
+//! a write). Cleaning them up is itself a (small) thermal optimization.
+
+use std::collections::HashMap;
+use tadfa_dataflow::DefUse;
+use tadfa_ir::{Function, Inst, Opcode, VReg};
+
+/// Folds pure instructions whose operands are all *single-definition*
+/// constants into `Const` instructions, iterating to a fixpoint.
+/// Single-definition means the operand register is defined exactly once
+/// in the whole function (SSA-like), so the fold needs no path analysis.
+///
+/// Returns the number of instructions folded.
+pub fn propagate_constants(func: &mut Function) -> usize {
+    let mut total = 0;
+    loop {
+        let du = DefUse::compute(func);
+        // vreg -> constant value, for single-def Const registers.
+        let mut known: HashMap<VReg, i64> = HashMap::new();
+        for (_bb, id) in func.inst_ids_in_layout_order() {
+            let inst = func.inst(id);
+            if inst.op == Opcode::Const {
+                if let Some(d) = inst.def() {
+                    if du.num_defs(d) == 1 {
+                        known.insert(d, inst.imm.unwrap_or(0));
+                    }
+                }
+            }
+        }
+        if known.is_empty() {
+            break;
+        }
+
+        let mut folded = 0;
+        for (_bb, id) in func.inst_ids_in_layout_order() {
+            let inst = func.inst(id);
+            if inst.op == Opcode::Const || inst.op.has_slot() || !inst.op.has_dst() {
+                continue;
+            }
+            let Some(dst) = inst.def() else { continue };
+            let vals: Option<Vec<i64>> =
+                inst.uses().iter().map(|u| known.get(u).copied()).collect();
+            let Some(vals) = vals else { continue };
+            let value = match (inst.op, vals.as_slice()) {
+                (Opcode::Mov, [a]) => *a,
+                (Opcode::Add, [a, b]) => a.wrapping_add(*b),
+                (Opcode::Sub, [a, b]) => a.wrapping_sub(*b),
+                (Opcode::Mul, [a, b]) => a.wrapping_mul(*b),
+                (Opcode::Div, [a, b]) => {
+                    if *b == 0 { 0 } else { a.wrapping_div(*b) }
+                }
+                (Opcode::Rem, [a, b]) => {
+                    if *b == 0 { 0 } else { a.wrapping_rem(*b) }
+                }
+                (Opcode::And, [a, b]) => a & b,
+                (Opcode::Or, [a, b]) => a | b,
+                (Opcode::Xor, [a, b]) => a ^ b,
+                (Opcode::Shl, [a, b]) => a.wrapping_shl(*b as u32 & 63),
+                (Opcode::Shr, [a, b]) => a.wrapping_shr(*b as u32 & 63),
+                (Opcode::Neg, [a]) => a.wrapping_neg(),
+                (Opcode::Not, [a]) => !a,
+                (Opcode::CmpEq, [a, b]) => (a == b) as i64,
+                (Opcode::CmpNe, [a, b]) => (a != b) as i64,
+                (Opcode::CmpLt, [a, b]) => (a < b) as i64,
+                (Opcode::CmpLe, [a, b]) => (a <= b) as i64,
+                (Opcode::CmpGt, [a, b]) => (a > b) as i64,
+                (Opcode::CmpGe, [a, b]) => (a >= b) as i64,
+                (Opcode::Select, [c, a, b]) => {
+                    if *c != 0 { *a } else { *b }
+                }
+                _ => continue,
+            };
+            *func.inst_mut(id) = Inst::konst(dst, value);
+            folded += 1;
+        }
+        total += folded;
+        if folded == 0 {
+            break;
+        }
+    }
+    total
+}
+
+/// Removes side-effect-free instructions whose results are never read,
+/// iterating until nothing more dies. Loads are removable (no side
+/// effects in this memory model); stores and NOPs are kept (NOPs are
+/// deliberate cooling padding).
+///
+/// Returns the number of instructions removed.
+pub fn eliminate_dead_code(func: &mut Function) -> usize {
+    let mut removed_total = 0;
+    loop {
+        let du = DefUse::compute(func);
+        let mut removed = 0;
+        for bb in func.block_ids().collect::<Vec<_>>() {
+            let mut pos = 0;
+            while pos < func.block(bb).insts().len() {
+                let id = func.block(bb).insts()[pos];
+                let inst = func.inst(id);
+                let dead = match inst.def() {
+                    Some(d) => {
+                        !inst.op.has_side_effect()
+                            && inst.op != Opcode::Nop
+                            && du.num_uses(d) == 0
+                    }
+                    None => false,
+                };
+                if dead {
+                    func.remove_inst_at(bb, pos);
+                    removed += 1;
+                } else {
+                    pos += 1;
+                }
+            }
+        }
+        removed_total += removed;
+        if removed == 0 {
+            break;
+        }
+    }
+    removed_total
+}
+
+/// Runs constant propagation then DCE, returning
+/// `(constants folded, instructions removed)`.
+pub fn cleanup(func: &mut Function) -> (usize, usize) {
+    let folded = propagate_constants(func);
+    let removed = eliminate_dead_code(func);
+    (folded, removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tadfa_ir::{FunctionBuilder, Verifier};
+    use tadfa_sim::Interpreter;
+
+    #[test]
+    fn folds_constant_chains() {
+        let mut b = FunctionBuilder::new("c");
+        let k1 = b.iconst(6);
+        let k2 = b.iconst(7);
+        let p = b.mul(k1, k2);
+        let one = b.iconst(1);
+        let q = b.add(p, one);
+        b.ret(Some(q));
+        let mut f = b.finish();
+        let folded = propagate_constants(&mut f);
+        assert_eq!(folded, 2, "mul and add both fold");
+        assert!(Verifier::new(&f).run().is_ok());
+        let r = Interpreter::new(&f).run(&[]).unwrap();
+        assert_eq!(r.ret, Some(43));
+        // The folded ops are now consts; DCE can strip the feeders.
+        let removed = eliminate_dead_code(&mut f);
+        assert!(removed >= 3, "k1, k2, one and p are dead: {removed}");
+        let r = Interpreter::new(&f).run(&[]).unwrap();
+        assert_eq!(r.ret, Some(43));
+    }
+
+    #[test]
+    fn does_not_fold_params_or_multi_def() {
+        let mut b = FunctionBuilder::new("nf");
+        let x = b.param();
+        let k = b.iconst(0);
+        b.mov_into(k, x); // k has two defs: not a constant
+        let y = b.add(k, k);
+        b.ret(Some(y));
+        let mut f = b.finish();
+        assert_eq!(propagate_constants(&mut f), 0);
+        let r = Interpreter::new(&f).run(&[21]).unwrap();
+        assert_eq!(r.ret, Some(42));
+    }
+
+    #[test]
+    fn dce_removes_dead_loads_but_not_stores() {
+        let mut b = FunctionBuilder::new("d");
+        let slot = b.slot("m", 4);
+        let x = b.param();
+        let i = b.iconst(0);
+        b.store(slot, i, x); // side effect: kept
+        let dead_load = b.load(slot, i); // never used: removed
+        let _ = dead_load;
+        b.ret(Some(x));
+        let mut f = b.finish();
+        let removed = eliminate_dead_code(&mut f);
+        assert_eq!(removed, 1, "only the dead load goes");
+        let r = Interpreter::new(&f).run(&[5]).unwrap();
+        assert_eq!(r.memory[0][0], 5, "store survived");
+    }
+
+    #[test]
+    fn dce_keeps_nops() {
+        let mut b = FunctionBuilder::new("n");
+        let x = b.param();
+        b.nop();
+        b.nop();
+        b.ret(Some(x));
+        let mut f = b.finish();
+        assert_eq!(eliminate_dead_code(&mut f), 0);
+        assert_eq!(f.num_insts(), 2, "cooling NOPs are deliberate");
+    }
+
+    #[test]
+    fn dce_cascades_through_chains() {
+        let mut b = FunctionBuilder::new("ch");
+        let x = b.param();
+        let a = b.add(x, x);
+        let c = b.mul(a, a);
+        let d = b.xor(c, a); // d dead -> c dead -> a dead
+        let _ = d;
+        b.ret(Some(x));
+        let mut f = b.finish();
+        assert_eq!(eliminate_dead_code(&mut f), 3);
+        assert_eq!(f.num_insts(), 0);
+    }
+
+    #[test]
+    fn cleanup_after_promotion_strips_index_garbage() {
+        use crate::promote::promote_scalar_slots;
+        // Spill-like pattern: scalar slot accessed with const-0 indices.
+        let mut b = FunctionBuilder::new("p");
+        let x = b.param();
+        let slot = b.slot("s", 1);
+        let z1 = b.iconst(0);
+        b.store(slot, z1, x);
+        let z2 = b.iconst(0);
+        let v = b.load(slot, z2);
+        let y = b.add(v, v);
+        b.ret(Some(y));
+        let mut f = b.finish();
+        let golden = Interpreter::new(&f).run(&[4]).unwrap();
+
+        promote_scalar_slots(&mut f);
+        let (_, removed) = cleanup(&mut f);
+        assert!(removed >= 2, "dead const-0 indices stripped: {removed}");
+        assert!(Verifier::new(&f).run().is_ok());
+        let after = Interpreter::new(&f).run(&[4]).unwrap();
+        assert_eq!(golden.ret, after.ret);
+    }
+
+    #[test]
+    fn cleanup_preserves_loop_semantics() {
+        let mut b = FunctionBuilder::new("l");
+        let n = b.param();
+        let h = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let acc = b.iconst(0);
+        let i = b.iconst(0);
+        let dead = b.iconst(99); // loop-invariant dead value
+        let _ = dead;
+        b.jump(h);
+        b.switch_to(h);
+        let done = b.cmpge(i, n);
+        b.branch(done, exit, body);
+        b.switch_to(body);
+        let a2 = b.add(acc, i);
+        b.mov_into(acc, a2);
+        let one = b.iconst(1);
+        let i2 = b.add(i, one);
+        b.mov_into(i, i2);
+        b.jump(h);
+        b.switch_to(exit);
+        b.ret(Some(acc));
+        let mut f = b.finish();
+        let golden = Interpreter::new(&f).run(&[10]).unwrap();
+        let (folded, removed) = cleanup(&mut f);
+        let _ = folded;
+        assert!(removed >= 1, "the dead const goes");
+        let after = Interpreter::new(&f).run(&[10]).unwrap();
+        assert_eq!(golden.ret, after.ret);
+        assert_eq!(after.ret, Some(45));
+    }
+}

@@ -1,0 +1,90 @@
+//! # tadfa-opt — thermal-driven program transformations
+//!
+//! The optimization catalogue of §4 of *Thermal-Aware Data Flow Analysis*
+//! (DAC 2009), each pass consuming the analysis results of `tadfa-core`:
+//!
+//! * [`spill_critical_variables`] — demote the hottest variables to
+//!   memory ("the greatest benefit will be achieved by spilling these
+//!   'critical' variables");
+//! * [`split_hot_ranges`] — live-range splitting via copy insertion to
+//!   "spread their accesses across a multitude of registers";
+//! * [`spread_schedule`] — list scheduling that maximises register reuse
+//!   distance, spreading accesses *in time*;
+//! * [`promote_scalar_slots`] — register promotion of memory-resident
+//!   scalars;
+//! * [`insert_cooldown_nops`] / [`cooldown_pass`] — last-resort NOP
+//!   insertion with its documented performance cost;
+//! * [`cleanup`] ([`propagate_constants`] + [`eliminate_dead_code`]) —
+//!   classic passes that strip the garbage the thermal rewrites leave
+//!   behind (dead defs still heat the file);
+//! * [`run_thermal_pipeline`] — the analyse → transform → re-analyse
+//!   driver producing the before/after rows of experiment E6.
+//!
+//! Every pass preserves program semantics (each module's tests execute
+//! the program before and after through `tadfa-sim`).
+//!
+//! ## Example
+//!
+//! ```
+//! use tadfa_ir::FunctionBuilder;
+//! use tadfa_opt::{run_thermal_pipeline, OptKind, PipelineConfig};
+//! use tadfa_regalloc::RoundRobin;
+//! use tadfa_thermal::{Floorplan, PowerModel, RcParams, RegisterFile};
+//!
+//! // A loop that hammers one accumulator.
+//! let mut b = FunctionBuilder::new("k");
+//! let h = b.new_block();
+//! let body = b.new_block();
+//! let exit = b.new_block();
+//! let n = b.iconst(300);
+//! let acc = b.iconst(1);
+//! let i = b.iconst(0);
+//! b.jump(h);
+//! b.switch_to(h);
+//! let done = b.cmpge(i, n);
+//! b.branch(done, exit, body);
+//! b.switch_to(body);
+//! let t = b.mul(acc, acc);
+//! b.mov_into(acc, t);
+//! let one = b.iconst(1);
+//! let i2 = b.add(i, one);
+//! b.mov_into(i, i2);
+//! b.jump(h);
+//! b.switch_to(exit);
+//! b.ret(Some(acc));
+//! let mut f = b.finish();
+//!
+//! let rf = RegisterFile::new(Floorplan::grid(4, 4));
+//! // Spilling dissolves the hot spot when the reload temporaries can
+//! // spread across the file (round-robin assignment).
+//! let out = run_thermal_pipeline(
+//!     &mut f, &rf, &mut RoundRobin::default(),
+//!     RcParams::default(), PowerModel::default(),
+//!     &PipelineConfig { opts: vec![OptKind::SpillCritical],
+//!                       ..PipelineConfig::default() },
+//! )?;
+//! assert!(out.after.map.peak < out.before.map.peak);
+//! # Ok::<(), tadfa_regalloc::RegAllocError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cleanup;
+mod nop_insert;
+mod pipeline;
+mod promote;
+mod schedule;
+mod spill_critical;
+mod split;
+
+pub use cleanup::{cleanup, eliminate_dead_code, propagate_constants};
+pub use nop_insert::{cooldown_pass, cooldown_threshold, insert_cooldown_nops};
+pub use pipeline::{
+    run_thermal_pipeline, weighted_cycles, OptKind, PipelineConfig, PipelineOutcome,
+    ThermalSummary,
+};
+pub use promote::{promote_scalar_slots, promote_slot};
+pub use schedule::{min_reuse_distance, spread_schedule, spread_schedule_block};
+pub use spill_critical::spill_critical_variables;
+pub use split::{split_hot_ranges, split_live_range_in_block};

@@ -1,0 +1,226 @@
+//! Cool-down NOP insertion — "the insertion of NOP instructions gives
+//! the RF a chance to cool down between accesses in extremely hot
+//! situations, although it can affect overall system performance and
+//! should be applied only if no other option to cool down the system is
+//! feasible" (§4).
+
+use tadfa_core::{AnalysisGrid, ThermalDfa, ThermalDfaResult};
+use tadfa_ir::{Function, Inst};
+use tadfa_regalloc::Assignment;
+
+/// Inserts `nops_per_site` NOPs after every instruction whose predicted
+/// post-state reaches `threshold` Kelvin at any of the cells the
+/// instruction accesses. Returns the number of NOPs inserted.
+///
+/// The DFA result and the analysis objects must describe the current
+/// shape of `func` (run the analysis immediately before this pass).
+pub fn insert_cooldown_nops(
+    func: &mut Function,
+    dfa: &ThermalDfa<'_>,
+    grid: &AnalysisGrid,
+    result: &ThermalDfaResult,
+    threshold: f64,
+    nops_per_site: usize,
+) -> usize {
+    let _ = grid;
+    if nops_per_site == 0 {
+        return 0;
+    }
+
+    // Collect (block, position) sites first, then rewrite back-to-front
+    // so positions stay valid.
+    let mut sites: Vec<(tadfa_ir::BlockId, usize)> = Vec::new();
+    for bb in func.block_ids() {
+        for (pos, &id) in func.block(bb).insts().iter().enumerate() {
+            let Some(state) = result.state_after(id) else { continue };
+            let inst = func.inst(id);
+            let hot = dfa
+                .access_energies(inst)
+                .iter()
+                .any(|&(point, _)| state.get(point) >= threshold);
+            if hot {
+                sites.push((bb, pos));
+            }
+        }
+    }
+
+    let mut inserted = 0;
+    for &(bb, pos) in sites.iter().rev() {
+        for _ in 0..nops_per_site {
+            func.insert_inst(bb, pos + 1, Inst::nop());
+            inserted += 1;
+        }
+    }
+    inserted
+}
+
+/// Convenience: threshold as a fraction of the predicted peak rise —
+/// `ambient + fraction × (peak − ambient)`.
+pub fn cooldown_threshold(result: &ThermalDfaResult, fraction: f64) -> f64 {
+    result.ambient() + fraction * (result.peak_temperature() - result.ambient())
+}
+
+/// End-to-end helper: run the DFA on the already-allocated `func`,
+/// insert NOPs at sites above the fractional threshold, and return the
+/// insertion count.
+pub fn cooldown_pass(
+    func: &mut Function,
+    assignment: &Assignment,
+    grid: &AnalysisGrid,
+    power_model: tadfa_thermal::PowerModel,
+    dfa_config: tadfa_core::ThermalDfaConfig,
+    threshold_fraction: f64,
+    nops_per_site: usize,
+) -> usize {
+    let snapshot = func.clone();
+    let dfa = ThermalDfa::new(&snapshot, assignment, grid, power_model, dfa_config);
+    let result = dfa.run();
+    let threshold = cooldown_threshold(&result, threshold_fraction);
+    insert_cooldown_nops(func, &dfa, grid, &result, threshold, nops_per_site)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tadfa_core::ThermalDfaConfig;
+    use tadfa_ir::{FunctionBuilder, Opcode, Verifier};
+    use tadfa_regalloc::{allocate_linear_scan, FirstFree, RegAllocConfig};
+    use tadfa_sim::Interpreter;
+    use tadfa_thermal::{Floorplan, PowerModel, RcParams, RegisterFile};
+
+    fn hot_loop() -> Function {
+        let mut b = FunctionBuilder::new("hot");
+        let h = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let n = b.iconst(300);
+        let acc = b.iconst(1);
+        let i = b.iconst(0);
+        b.jump(h);
+        b.switch_to(h);
+        let done = b.cmpge(i, n);
+        b.branch(done, exit, body);
+        b.switch_to(body);
+        let t = b.mul(acc, acc);
+        b.mov_into(acc, t);
+        let one = b.iconst(1);
+        let i2 = b.add(i, one);
+        b.mov_into(i, i2);
+        b.jump(h);
+        b.switch_to(exit);
+        b.ret(Some(acc));
+        b.finish()
+    }
+
+    fn setup(f: &mut Function) -> (Assignment, AnalysisGrid) {
+        let rf = RegisterFile::new(Floorplan::grid(4, 4));
+        let alloc =
+            allocate_linear_scan(f, &rf, &mut FirstFree, &RegAllocConfig::default()).unwrap();
+        let grid = AnalysisGrid::full(&rf, RcParams::default());
+        (alloc.assignment, grid)
+    }
+
+    #[test]
+    fn nops_inserted_at_hot_sites_and_semantics_kept() {
+        let mut f = hot_loop();
+        let before = Interpreter::new(&f).run(&[]).unwrap();
+        let (assignment, grid) = setup(&mut f);
+        let inserted = cooldown_pass(
+            &mut f,
+            &assignment,
+            &grid,
+            PowerModel::default(),
+            ThermalDfaConfig::default(),
+            0.8,
+            2,
+        );
+        assert!(inserted > 0, "a hot loop must trigger insertion");
+        assert!(Verifier::new(&f).run().is_ok(), "{f}");
+        let after = Interpreter::new(&f).run(&[]).unwrap();
+        assert_eq!(before.ret, after.ret);
+        // The performance cost the paper warns about:
+        assert!(after.cycles > before.cycles);
+    }
+
+    #[test]
+    fn nop_count_scales_with_sites_parameter() {
+        let mut f1 = hot_loop();
+        let (a1, g1) = setup(&mut f1);
+        let n1 = cooldown_pass(
+            &mut f1,
+            &a1,
+            &g1,
+            PowerModel::default(),
+            ThermalDfaConfig::default(),
+            0.8,
+            1,
+        );
+        let mut f2 = hot_loop();
+        let (a2, g2) = setup(&mut f2);
+        let n2 = cooldown_pass(
+            &mut f2,
+            &a2,
+            &g2,
+            PowerModel::default(),
+            ThermalDfaConfig::default(),
+            0.8,
+            3,
+        );
+        assert_eq!(n2, 3 * n1, "same sites, 3× NOPs");
+    }
+
+    #[test]
+    fn impossible_threshold_inserts_nothing() {
+        let mut f = hot_loop();
+        let (assignment, grid) = setup(&mut f);
+        let before = f.num_insts();
+        let inserted = cooldown_pass(
+            &mut f,
+            &assignment,
+            &grid,
+            PowerModel::default(),
+            ThermalDfaConfig::default(),
+            2.0, // threshold above the peak: nothing qualifies
+            2,
+        );
+        assert_eq!(inserted, 0);
+        assert_eq!(f.num_insts(), before);
+    }
+
+    #[test]
+    fn zero_nops_per_site_is_noop() {
+        let mut f = hot_loop();
+        let (assignment, grid) = setup(&mut f);
+        let inserted = cooldown_pass(
+            &mut f,
+            &assignment,
+            &grid,
+            PowerModel::default(),
+            ThermalDfaConfig::default(),
+            0.5,
+            0,
+        );
+        assert_eq!(inserted, 0);
+    }
+
+    #[test]
+    fn inserted_instructions_are_nops() {
+        let mut f = hot_loop();
+        let (assignment, grid) = setup(&mut f);
+        cooldown_pass(
+            &mut f,
+            &assignment,
+            &grid,
+            PowerModel::default(),
+            ThermalDfaConfig::default(),
+            0.8,
+            1,
+        );
+        let nops = f
+            .inst_ids_in_layout_order()
+            .iter()
+            .filter(|&&(_, id)| f.inst(id).op == Opcode::Nop)
+            .count();
+        assert!(nops > 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Register promotion — "promoting some memory-resident variables into
+//! registers, which would help on avoiding the thermal gradients between
+//! hot and cold registers, by making more uniform the use of registers in
+//! time" (§4).
+//!
+//! Promotion targets *scalar* slots (size 1): in any bounds-respecting
+//! execution every access to a size-1 slot hits index 0, so the slot is
+//! equivalent to a single variable. The inverse of spilling.
+
+use tadfa_ir::{Function, Inst, MemSlot, Opcode};
+
+/// Promotes one scalar slot into a fresh virtual register. Every
+/// `load slot[i]` becomes a copy from the register, every
+/// `store slot[i], x` a copy into it; the register is zero-initialised at
+/// entry (slot memory starts zeroed).
+///
+/// Returns the number of memory operations eliminated, or `None` if the
+/// slot is not scalar (size ≠ 1).
+///
+/// # Semantics note
+///
+/// An execution that *would* have trapped on an out-of-bounds access to
+/// the slot no longer traps after promotion; all in-bounds executions
+/// are preserved exactly. Promotion also assumes the slot is not
+/// preloaded externally (spill slots and compiler temporaries never
+/// are).
+pub fn promote_slot(func: &mut Function, slot: MemSlot) -> Option<usize> {
+    if func.slot_info(slot).size != 1 {
+        return None;
+    }
+
+    let v_mem = func.new_vreg();
+    let mut rewritten = 0;
+
+    for bb in func.block_ids().collect::<Vec<_>>() {
+        for pos in 0..func.block(bb).insts().len() {
+            let id = func.block(bb).insts()[pos];
+            let inst = func.inst(id);
+            if inst.slot != Some(slot) {
+                continue;
+            }
+            match inst.op {
+                Opcode::Load => {
+                    let dst = inst.def().expect("loads define");
+                    *func.inst_mut(id) = Inst::mov(dst, v_mem);
+                    rewritten += 1;
+                }
+                Opcode::Store => {
+                    let val = inst.srcs[1];
+                    *func.inst_mut(id) = Inst::mov(v_mem, val);
+                    rewritten += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Zero-initialise at entry (slot memory semantics).
+    let entry = func.entry();
+    func.insert_inst(entry, 0, Inst::konst(v_mem, 0));
+
+    Some(rewritten)
+}
+
+/// Promotes every scalar (size-1) slot. Returns `(slots promoted, memory
+/// operations eliminated)`.
+pub fn promote_scalar_slots(func: &mut Function) -> (usize, usize) {
+    let scalar_slots: Vec<MemSlot> = (0..func.slots().len())
+        .map(|i| MemSlot::new(i as u32))
+        .filter(|&s| func.slot_info(s).size == 1)
+        .collect();
+    let mut slots = 0;
+    let mut ops = 0;
+    for s in scalar_slots {
+        if let Some(n) = promote_slot(func, s) {
+            slots += 1;
+            ops += n;
+        }
+    }
+    (slots, ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tadfa_ir::{FunctionBuilder, Verifier, VReg};
+    use tadfa_regalloc::rewrite_spills;
+    use tadfa_sim::Interpreter;
+
+    fn scalar_slot_function() -> Function {
+        // Uses a size-1 slot as a scalar accumulator.
+        let mut b = FunctionBuilder::new("scalar");
+        let x = b.param();
+        let slot = b.slot("acc", 1);
+        let zero = b.iconst(0);
+        b.store(slot, zero, x);
+        let v1 = b.load(slot, zero);
+        let v2 = b.add(v1, x);
+        b.store(slot, zero, v2);
+        let v3 = b.load(slot, zero);
+        b.ret(Some(v3));
+        b.finish()
+    }
+
+    #[test]
+    fn promotion_preserves_semantics() {
+        let mut f = scalar_slot_function();
+        let before = Interpreter::new(&f).run(&[21]).unwrap();
+        assert_eq!(before.ret, Some(42));
+        let (slots, ops) = promote_scalar_slots(&mut f);
+        assert_eq!(slots, 1);
+        assert_eq!(ops, 4);
+        assert!(Verifier::new(&f).run().is_ok(), "{f}");
+        let after = Interpreter::new(&f).run(&[21]).unwrap();
+        assert_eq!(after.ret, Some(42));
+    }
+
+    #[test]
+    fn promotion_removes_all_memory_traffic() {
+        let mut f = scalar_slot_function();
+        promote_scalar_slots(&mut f);
+        let mem_ops = f
+            .inst_ids_in_layout_order()
+            .iter()
+            .filter(|&&(_, id)| {
+                matches!(f.inst(id).op, Opcode::Load | Opcode::Store)
+            })
+            .count();
+        assert_eq!(mem_ops, 0);
+        // And execution gets faster.
+        let f2 = scalar_slot_function();
+        let slow = Interpreter::new(&f2).run(&[5]).unwrap();
+        let fast = Interpreter::new(&f).run(&[5]).unwrap();
+        assert!(fast.cycles < slow.cycles);
+    }
+
+    #[test]
+    fn read_before_write_sees_zero() {
+        let mut b = FunctionBuilder::new("rbw");
+        let slot = b.slot("s", 1);
+        let zero = b.iconst(0);
+        let v = b.load(slot, zero); // memory starts zeroed
+        let one = b.iconst(1);
+        let s = b.add(v, one);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        let before = Interpreter::new(&f).run(&[]).unwrap();
+        promote_scalar_slots(&mut f);
+        assert!(Verifier::new(&f).run().is_ok(), "{f}");
+        let after = Interpreter::new(&f).run(&[]).unwrap();
+        assert_eq!(before.ret, after.ret);
+        assert_eq!(after.ret, Some(1));
+    }
+
+    #[test]
+    fn non_scalar_slots_untouched() {
+        let mut b = FunctionBuilder::new("arr");
+        let slot = b.slot("buf", 8);
+        let i = b.iconst(3);
+        let x = b.param();
+        b.store(slot, i, x);
+        let v = b.load(slot, i);
+        b.ret(Some(v));
+        let mut f = b.finish();
+        assert_eq!(promote_slot(&mut f, slot), None);
+        let (slots, ops) = promote_scalar_slots(&mut f);
+        assert_eq!((slots, ops), (0, 0));
+    }
+
+    #[test]
+    fn promotion_inverts_spilling() {
+        // spill then promote: semantics unchanged, memory ops gone again.
+        let mut b = FunctionBuilder::new("inv");
+        let x = b.param();
+        let y = b.add(x, x);
+        let z = b.add(y, x);
+        b.ret(Some(z));
+        let mut f = b.finish();
+        let golden = Interpreter::new(&f).run(&[9]).unwrap();
+
+        rewrite_spills(&mut f, &[VReg::new(0)]);
+        let spilled_ops = f
+            .inst_ids_in_layout_order()
+            .iter()
+            .filter(|&&(_, id)| matches!(f.inst(id).op, Opcode::Load | Opcode::Store))
+            .count();
+        assert!(spilled_ops > 0);
+
+        let (slots, _) = promote_scalar_slots(&mut f);
+        assert_eq!(slots, 1);
+        assert!(Verifier::new(&f).run().is_ok(), "{f}");
+        let roundtrip = Interpreter::new(&f).run(&[9]).unwrap();
+        assert_eq!(golden.ret, roundtrip.ret);
+    }
+
+    #[test]
+    fn loop_scalar_promotion() {
+        // Accumulator kept in memory inside a loop — promotion pulls it
+        // into a register.
+        let mut b = FunctionBuilder::new("lsp");
+        let n = b.param();
+        let slot = b.slot("acc", 1);
+        let h = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let i0 = b.iconst(0);
+        b.jump(h);
+        b.switch_to(h);
+        let done = b.cmpge(i0, n);
+        b.branch(done, exit, body);
+        b.switch_to(body);
+        let zero = b.iconst(0);
+        let acc = b.load(slot, zero);
+        let acc2 = b.add(acc, i0);
+        b.store(slot, zero, acc2);
+        let one = b.iconst(1);
+        let i2 = b.add(i0, one);
+        b.mov_into(i0, i2);
+        b.jump(h);
+        b.switch_to(exit);
+        let zero2 = b.iconst(0);
+        let out = b.load(slot, zero2);
+        b.ret(Some(out));
+        let mut f = b.finish();
+        let before = Interpreter::new(&f).run(&[10]).unwrap();
+        assert_eq!(before.ret, Some(45));
+        promote_scalar_slots(&mut f);
+        assert!(Verifier::new(&f).run().is_ok(), "{f}");
+        let after = Interpreter::new(&f).run(&[10]).unwrap();
+        assert_eq!(after.ret, Some(45));
+    }
+}

@@ -1,0 +1,107 @@
+//! Spilling critical variables — "for the purposes of thermal management,
+//! the greatest benefit will be achieved by spilling these 'critical'
+//! variables to memory" (§4).
+//!
+//! Mechanically this reuses the allocator's spill rewriter; the thermal
+//! twist is *which* variables get spilled: the hottest ones from the
+//! [`CriticalSet`](tadfa_core::CriticalSet), not the allocator's
+//! furthest-end heuristic. Spilled variables stop heating the register
+//! file entirely (their traffic moves to memory), at the cost of the
+//! inserted load/store instructions.
+
+use tadfa_ir::{Function, VReg};
+use tadfa_regalloc::rewrite_spills;
+
+/// Spills up to `max_vars` of the given (hottest-first) critical
+/// variables. Returns `(variables spilled, instructions inserted)`.
+///
+/// Variables are taken in the given order, so pass
+/// [`CriticalSet::critical`](tadfa_core::CriticalSet::critical) or
+/// [`CriticalSet::top`](tadfa_core::CriticalSet::top) directly.
+pub fn spill_critical_variables(
+    func: &mut Function,
+    critical: &[VReg],
+    max_vars: usize,
+) -> (usize, usize) {
+    let chosen: Vec<VReg> = critical.iter().copied().take(max_vars).collect();
+    if chosen.is_empty() {
+        return (0, 0);
+    }
+    let inserted = rewrite_spills(func, &chosen);
+    (chosen.len(), inserted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tadfa_ir::{FunctionBuilder, Verifier};
+    use tadfa_sim::Interpreter;
+
+    fn sum_loop() -> (Function, VReg) {
+        let mut b = FunctionBuilder::new("sum");
+        let n = b.param();
+        let h = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let acc = b.iconst(0);
+        let i = b.iconst(0);
+        b.jump(h);
+        b.switch_to(h);
+        let done = b.cmpge(i, n);
+        b.branch(done, exit, body);
+        b.switch_to(body);
+        let acc2 = b.add(acc, i);
+        let one = b.iconst(1);
+        let i2 = b.add(i, one);
+        b.mov_into(acc, acc2);
+        b.mov_into(i, i2);
+        b.jump(h);
+        b.switch_to(exit);
+        b.ret(Some(acc));
+        (b.finish(), acc)
+    }
+
+    #[test]
+    fn spilling_preserves_semantics() {
+        let (mut f, acc) = sum_loop();
+        let before = Interpreter::new(&f).run(&[25]).unwrap();
+        let (n, inserted) = spill_critical_variables(&mut f, &[acc], 4);
+        assert_eq!(n, 1);
+        assert!(inserted > 0);
+        assert!(Verifier::new(&f).run().is_ok(), "{f}");
+        let after = Interpreter::new(&f).run(&[25]).unwrap();
+        assert_eq!(before.ret, after.ret);
+        // Memory traffic costs cycles.
+        assert!(after.cycles > before.cycles);
+    }
+
+    #[test]
+    fn max_vars_caps_the_spill() {
+        let (mut f, acc) = sum_loop();
+        let other = tadfa_ir::VReg::new(0); // the parameter n
+        let (n, _) = spill_critical_variables(&mut f, &[acc, other], 1);
+        assert_eq!(n, 1);
+        assert_eq!(f.slots().len(), 1, "only one spill slot created");
+    }
+
+    #[test]
+    fn empty_critical_set_is_a_no_op() {
+        let (mut f, _) = sum_loop();
+        let before = f.num_insts();
+        let (n, inserted) = spill_critical_variables(&mut f, &[], 8);
+        assert_eq!((n, inserted), (0, 0));
+        assert_eq!(f.num_insts(), before);
+    }
+
+    #[test]
+    fn spilling_multiple_variables() {
+        let (mut f, acc) = sum_loop();
+        let n_param = tadfa_ir::VReg::new(0);
+        let before = Interpreter::new(&f).run(&[10]).unwrap();
+        let (count, _) = spill_critical_variables(&mut f, &[acc, n_param], 8);
+        assert_eq!(count, 2);
+        assert!(Verifier::new(&f).run().is_ok(), "{f}");
+        let after = Interpreter::new(&f).run(&[10]).unwrap();
+        assert_eq!(before.ret, after.ret);
+    }
+}

@@ -1,0 +1,227 @@
+//! Live-range splitting via copy insertion — "splitting them (via copy
+//! insertion) to spread their accesses across a multitude of registers"
+//! (§4).
+//!
+//! After a split, the head and tail of the variable's uses are carried by
+//! different virtual registers; the allocator (with any spreading policy)
+//! can then place them on different physical registers, halving the
+//! per-register access density.
+
+use tadfa_ir::{BlockId, Function, Inst, VReg};
+
+/// Splits the live range of `v` inside `bb`: a copy `v' = mov v` is
+/// inserted before the median use, and the uses after it (including a
+/// terminator use) are renamed to `v'`.
+///
+/// Only the block's final *segment* — the uses after the last
+/// redefinition of `v` in the block — is considered, so the rewrite is
+/// always dominance-safe. Returns the new register if a split happened
+/// (at least `min_uses` uses in the segment, and at least one use on
+/// each side of the median).
+pub fn split_live_range_in_block(
+    func: &mut Function,
+    v: VReg,
+    bb: BlockId,
+    min_uses: usize,
+) -> Option<VReg> {
+    let insts = func.block(bb).insts().to_vec();
+
+    // Segment boundaries: a new segment starts after each definition of
+    // `v`. Uses at a defining instruction read the old value and belong
+    // to the segment before it.
+    let mut seg_starts: Vec<usize> = vec![0];
+    for (p, &id) in insts.iter().enumerate() {
+        if func.inst(id).def() == Some(v) {
+            seg_starts.push(p + 1);
+        }
+    }
+
+    // Pick the segment with the most uses of `v`.
+    let mut best: Option<(usize, usize, Vec<usize>, bool)> = None; // (uses, start, positions, is_last)
+    for (k, &start) in seg_starts.iter().enumerate() {
+        let end = seg_starts.get(k + 1).map_or(insts.len(), |&s| s);
+        let positions: Vec<usize> = (start..end)
+            .filter(|&p| func.inst(insts[p]).uses().contains(&v))
+            .collect();
+        let is_last = k + 1 == seg_starts.len();
+        let term = is_last
+            && func
+                .terminator(bb)
+                .is_some_and(|t| t.uses().contains(&v));
+        let total = positions.len() + usize::from(term);
+        if best.as_ref().map_or(true, |&(bu, ..)| total > bu) {
+            best = Some((total, start, positions, is_last));
+        }
+    }
+    let (total_uses, _seg_start, use_positions, is_last_segment) = best?;
+    let term_uses = is_last_segment
+        && func
+            .terminator(bb)
+            .is_some_and(|t| t.uses().contains(&v));
+
+    if total_uses < min_uses.max(2) {
+        return None;
+    }
+
+    // Median split point: tail gets the latter half.
+    let tail_count = total_uses / 2;
+    let head_count = total_uses - tail_count;
+    // Position before which the copy goes: the instruction carrying the
+    // first tail use (or end of block if the tail is only the
+    // terminator).
+    let copy_pos = if head_count < use_positions.len() {
+        use_positions[head_count]
+    } else {
+        insts.len()
+    };
+
+    let v2 = func.new_vreg();
+    func.insert_inst(bb, copy_pos, Inst::mov(v2, v));
+
+    // Rename tail uses (positions after the inserted copy shift by one).
+    for &p in use_positions.iter().skip(head_count) {
+        let id = func.block(bb).insts()[p + 1];
+        func.inst_mut(id).replace_uses(v, v2);
+    }
+    if term_uses {
+        func.terminator_mut(bb)
+            .expect("terminator checked above")
+            .replace_uses(v, v2);
+    }
+    Some(v2)
+}
+
+/// Splits each of the given (hottest-first) variables in every block
+/// where its final segment has at least `min_uses` uses. Returns the
+/// number of splits performed.
+pub fn split_hot_ranges(func: &mut Function, hot: &[VReg], min_uses: usize) -> usize {
+    let mut n = 0;
+    for &v in hot {
+        for bb in func.block_ids().collect::<Vec<_>>() {
+            if split_live_range_in_block(func, v, bb, min_uses).is_some() {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tadfa_ir::{FunctionBuilder, Opcode, Verifier};
+    use tadfa_sim::Interpreter;
+
+    /// A block with many uses of one register.
+    fn heavy_user() -> (Function, VReg) {
+        let mut b = FunctionBuilder::new("h");
+        let x = b.param();
+        let a = b.add(x, x);
+        let c = b.add(a, x);
+        let d = b.add(c, x);
+        let e = b.add(d, x);
+        let g = b.add(e, x);
+        b.ret(Some(g));
+        (b.finish(), x)
+    }
+
+    #[test]
+    fn split_preserves_semantics() {
+        let (mut f, x) = heavy_user();
+        let entry = f.entry();
+        let before = Interpreter::new(&f).run(&[7]).unwrap();
+        let v2 = split_live_range_in_block(&mut f, x, entry, 2).expect("x has 6 uses");
+        assert!(Verifier::new(&f).run().is_ok(), "{f}");
+        let after = Interpreter::new(&f).run(&[7]).unwrap();
+        assert_eq!(before.ret, after.ret);
+        // The tail uses now read v2.
+        let uses_v2: usize = f
+            .inst_ids_in_layout_order()
+            .iter()
+            .map(|&(_, id)| f.inst(id).uses().iter().filter(|&&u| u == v2).count())
+            .sum();
+        assert!(uses_v2 >= 2, "tail uses renamed: {uses_v2}");
+    }
+
+    #[test]
+    fn split_balances_head_and_tail() {
+        let (mut f, x) = heavy_user();
+        let entry = f.entry();
+        let v2 = split_live_range_in_block(&mut f, x, entry, 2).unwrap();
+        let count = |v: VReg, f: &Function| -> usize {
+            f.inst_ids_in_layout_order()
+                .iter()
+                .map(|&(_, id)| f.inst(id).uses().iter().filter(|&&u| u == v).count())
+                .sum::<usize>()
+        };
+        // One new use of x feeds the copy itself.
+        let x_uses = count(x, &f);
+        let v2_uses = count(v2, &f);
+        assert!(x_uses >= 3 && v2_uses >= 2, "x {x_uses}, v2 {v2_uses}");
+    }
+
+    #[test]
+    fn too_few_uses_refuses_to_split() {
+        let mut b = FunctionBuilder::new("few");
+        let x = b.param();
+        let y = b.add(x, x);
+        b.ret(Some(y));
+        let mut f = b.finish();
+        let entry = f.entry();
+        assert!(split_live_range_in_block(&mut f, x, entry, 4).is_none());
+    }
+
+    #[test]
+    fn redefinition_limits_the_segment() {
+        // x is redefined mid-block; only the tail segment counts.
+        let mut b = FunctionBuilder::new("redef");
+        let x = b.param();
+        let a = b.add(x, x);
+        b.mov_into(x, a); // redefines x
+        let c = b.add(x, x);
+        let d = b.add(c, x);
+        b.ret(Some(d));
+        let mut f = b.finish();
+        let entry = f.entry();
+        let before = Interpreter::new(&f).run(&[3]).unwrap();
+        // Tail segment has uses: c's two, d's one, ret-less => 3 uses.
+        let v2 = split_live_range_in_block(&mut f, x, entry, 2);
+        assert!(v2.is_some());
+        assert!(Verifier::new(&f).run().is_ok(), "{f}");
+        let after = Interpreter::new(&f).run(&[3]).unwrap();
+        assert_eq!(before.ret, after.ret);
+    }
+
+    #[test]
+    fn terminator_use_is_renamed() {
+        let mut b = FunctionBuilder::new("term");
+        let x = b.param();
+        let _a = b.add(x, x);
+        let _c = b.add(x, x);
+        b.ret(Some(x));
+        let mut f = b.finish();
+        let entry = f.entry();
+        let before = Interpreter::new(&f).run(&[11]).unwrap();
+        let v2 = split_live_range_in_block(&mut f, x, entry, 2).unwrap();
+        let t = f.terminator(f.entry()).unwrap();
+        assert_eq!(t.uses(), vec![v2], "ret reads the tail register");
+        assert!(Verifier::new(&f).run().is_ok());
+        let after = Interpreter::new(&f).run(&[11]).unwrap();
+        assert_eq!(before.ret, after.ret);
+    }
+
+    #[test]
+    fn split_hot_ranges_counts_splits() {
+        let (mut f, x) = heavy_user();
+        let n = split_hot_ranges(&mut f, &[x], 2);
+        assert_eq!(n, 1);
+        assert!(Verifier::new(&f).run().is_ok());
+        // The copy is a mov.
+        let movs = f
+            .inst_ids_in_layout_order()
+            .iter()
+            .filter(|&&(_, id)| f.inst(id).op == Opcode::Mov)
+            .count();
+        assert_eq!(movs, 1);
+    }
+}

@@ -1,0 +1,254 @@
+//! Chaitin–Briggs style graph-coloring allocation with policy-driven
+//! colour selection.
+
+use crate::assignment::{AllocStats, AllocationResult, Assignment, RegAllocError};
+use crate::interference::InterferenceGraph;
+use crate::linear_scan::RegAllocConfig;
+use crate::policy::{AssignmentPolicy, ChoiceContext};
+use crate::spill::rewrite_spills;
+use tadfa_dataflow::{DefUse, Liveness};
+use tadfa_ir::{Cfg, Function, PReg, Verifier, VReg};
+use tadfa_thermal::RegisterFile;
+
+/// Allocates registers by graph coloring (simplify/select), with `policy`
+/// choosing among the legal colours at each select step.
+///
+/// Nodes that cannot be simplified are optimistic-spill candidates; if
+/// select finds no colour for them they are spilled and allocation
+/// retries on the rewritten function.
+///
+/// # Errors
+///
+/// Same error contract as
+/// [`allocate_linear_scan`](crate::allocate_linear_scan).
+///
+/// # Examples
+///
+/// ```
+/// use tadfa_ir::FunctionBuilder;
+/// use tadfa_regalloc::{allocate_coloring, FirstFree, RegAllocConfig};
+/// use tadfa_thermal::{Floorplan, RegisterFile};
+///
+/// let mut b = FunctionBuilder::new("f");
+/// let x = b.param();
+/// let y = b.add(x, x);
+/// b.ret(Some(y));
+/// let mut f = b.finish();
+/// let rf = RegisterFile::new(Floorplan::grid(4, 4));
+/// let r = allocate_coloring(&mut f, &rf, &mut FirstFree, &RegAllocConfig::default())?;
+/// assert!(r.assignment.preg_of(y).is_some());
+/// # Ok::<(), tadfa_regalloc::RegAllocError>(())
+/// ```
+pub fn allocate_coloring(
+    func: &mut Function,
+    rf: &RegisterFile,
+    policy: &mut dyn AssignmentPolicy,
+    config: &RegAllocConfig,
+) -> Result<AllocationResult, RegAllocError> {
+    let k = rf.num_regs();
+    if k < 2 {
+        return Err(RegAllocError::TooFewRegisters { available: k });
+    }
+    if let Err(e) = Verifier::new(func).run() {
+        return Err(RegAllocError::InvalidFunction(e.to_string()));
+    }
+
+    let mut stats = AllocStats::default();
+    for round in 1..=config.max_rounds {
+        stats.rounds = round;
+        policy.reset();
+
+        let cfg = Cfg::compute(func);
+        let live = Liveness::compute(func, &cfg);
+        let ig = InterferenceGraph::build(func, &cfg, &live);
+        let du = DefUse::compute(func);
+
+        // Only colour registers that actually appear.
+        let n = func.num_vregs();
+        let relevant: Vec<bool> = (0..n)
+            .map(|i| {
+                let v = VReg::new(i as u32);
+                du.num_defs(v) > 0 || du.num_uses(v) > 0 || func.params().contains(&v)
+            })
+            .collect();
+
+        // Simplify: repeatedly remove nodes with remaining degree < k.
+        let mut removed = vec![false; n];
+        let mut stack: Vec<(VReg, bool)> = Vec::new(); // (node, spill-candidate)
+        let remaining_degree = |v: usize, removed: &[bool], ig: &InterferenceGraph| {
+            ig.neighbors(VReg::new(v as u32))
+                .filter(|nb| !removed[nb.index()])
+                .count()
+        };
+
+        let mut left: usize = relevant.iter().filter(|&&r| r).count();
+        while left > 0 {
+            // Find a simplifiable node (lowest index for determinism).
+            let mut picked = None;
+            for v in 0..n {
+                if relevant[v] && !removed[v] && remaining_degree(v, &removed, &ig) < k {
+                    picked = Some((VReg::new(v as u32), false));
+                    break;
+                }
+            }
+            // None simplifiable: pick the max-degree node as a potential
+            // spill (ties: lowest index).
+            if picked.is_none() {
+                let mut best: Option<(usize, usize)> = None;
+                for v in 0..n {
+                    if relevant[v] && !removed[v] {
+                        let d = remaining_degree(v, &removed, &ig);
+                        if best.map_or(true, |(bd, _)| d > bd) {
+                            best = Some((d, v));
+                        }
+                    }
+                }
+                let (_, v) = best.expect("left > 0 means a node exists");
+                picked = Some((VReg::new(v as u32), true));
+            }
+            let (v, spillish) = picked.expect("picked above");
+            removed[v.index()] = true;
+            stack.push((v, spillish));
+            left -= 1;
+        }
+
+        // Select: pop and colour.
+        let mut assignment = Assignment::new(n, k);
+        let mut spilled: Vec<VReg> = Vec::new();
+        while let Some((v, _)) = stack.pop() {
+            let mut taken = vec![false; k];
+            let mut active: Vec<PReg> = Vec::new();
+            for nb in ig.neighbors(v) {
+                if let Some(r) = assignment.preg_of(nb) {
+                    taken[r.index()] = true;
+                    active.push(r);
+                }
+            }
+            let free: Vec<PReg> = (0..k)
+                .filter(|&i| !taken[i])
+                .map(|i| PReg::new(i as u16))
+                .collect();
+            if free.is_empty() {
+                spilled.push(v);
+                continue;
+            }
+            let ctx = ChoiceContext { rf, vreg: v, active: &active, point: 0 };
+            let r = policy.choose(&free, &ctx);
+            assert!(
+                free.contains(&r),
+                "policy {} chose a non-free register",
+                policy.name()
+            );
+            assignment.assign(v, r);
+        }
+
+        if spilled.is_empty() {
+            return Ok(AllocationResult { assignment, stats });
+        }
+        spilled.sort();
+        spilled.dedup();
+        stats.spilled += spilled.len();
+        stats.spill_code_insts += rewrite_spills(func, &spilled);
+    }
+
+    Err(RegAllocError::DidNotTerminate { rounds: config.max_rounds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear_scan::validate_assignment;
+    use crate::policy::{Chessboard, FirstFree, RandomPolicy};
+    use tadfa_ir::FunctionBuilder;
+    use tadfa_thermal::Floorplan;
+
+    fn rf_16() -> RegisterFile {
+        RegisterFile::new(Floorplan::grid(4, 4))
+    }
+
+    fn wide_function(width: usize) -> Function {
+        let mut b = FunctionBuilder::new("wide");
+        let p = b.param();
+        let vals: Vec<_> = (0..width).map(|_| b.add(p, p)).collect();
+        let mut acc = vals[0];
+        for &v in &vals[1..] {
+            acc = b.add(acc, v);
+        }
+        b.ret(Some(acc));
+        b.finish()
+    }
+
+    #[test]
+    fn colors_low_pressure_without_spills() {
+        let mut f = wide_function(8);
+        let r = allocate_coloring(&mut f, &rf_16(), &mut FirstFree, &RegAllocConfig::default())
+            .unwrap();
+        assert_eq!(r.stats.spilled, 0);
+        assert!(validate_assignment(&f, &r.assignment).is_empty());
+    }
+
+    #[test]
+    fn spills_under_high_pressure_and_validates() {
+        let mut f = wide_function(30);
+        let r = allocate_coloring(&mut f, &rf_16(), &mut FirstFree, &RegAllocConfig::default())
+            .unwrap();
+        assert!(r.stats.spilled > 0);
+        assert!(validate_assignment(&f, &r.assignment).is_empty());
+        assert!(tadfa_ir::Verifier::new(&f).run().is_ok());
+    }
+
+    #[test]
+    fn coloring_agrees_with_linear_scan_on_validity() {
+        for seed in 0..3u64 {
+            let mut f1 = wide_function(14);
+            let mut f2 = f1.clone();
+            let r1 = allocate_coloring(
+                &mut f1,
+                &rf_16(),
+                &mut RandomPolicy::new(seed),
+                &RegAllocConfig::default(),
+            )
+            .unwrap();
+            let r2 = crate::allocate_linear_scan(
+                &mut f2,
+                &rf_16(),
+                &mut RandomPolicy::new(seed),
+                &RegAllocConfig::default(),
+            )
+            .unwrap();
+            assert!(validate_assignment(&f1, &r1.assignment).is_empty());
+            assert!(validate_assignment(&f2, &r2.assignment).is_empty());
+        }
+    }
+
+    #[test]
+    fn chessboard_coloring_prefers_black_cells() {
+        let mut f = wide_function(6);
+        let rf = rf_16();
+        let r = allocate_coloring(&mut f, &rf, &mut Chessboard::default(), &RegAllocConfig::default())
+            .unwrap();
+        let black = r
+            .assignment
+            .iter()
+            .filter(|&(_, p)| rf.floorplan().is_black(rf.cell_of(p)))
+            .count();
+        let total = r.assignment.iter().count();
+        assert!(black * 2 >= total, "mostly black cells: {black}/{total}");
+    }
+
+    #[test]
+    fn rejects_tiny_file_and_invalid_function() {
+        let rf1 = RegisterFile::new(Floorplan::grid(1, 1));
+        let mut f = wide_function(3);
+        assert!(matches!(
+            allocate_coloring(&mut f, &rf1, &mut FirstFree, &RegAllocConfig::default()),
+            Err(RegAllocError::TooFewRegisters { .. })
+        ));
+        let open = FunctionBuilder::new("open").finish();
+        let mut open = open;
+        assert!(matches!(
+            allocate_coloring(&mut open, &rf_16(), &mut FirstFree, &RegAllocConfig::default()),
+            Err(RegAllocError::InvalidFunction(_))
+        ));
+    }
+}

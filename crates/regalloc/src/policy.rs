@@ -1,0 +1,427 @@
+//! Register assignment policies — the subject of the paper's Fig. 1.
+//!
+//! When the allocator has established *which* values get registers, the
+//! policy decides *which physical register* each value receives. "The
+//! compiler maintains an ordered list of registers and selects the first
+//! one in the list that is free. As the list is always traversed in
+//! order, the same small set of registers is chosen again and again"
+//! (§2) — that is [`FirstFree`], the hot-spot-producing default. The
+//! alternatives reproduce Fig. 1(b) ([`RandomPolicy`]) and Fig. 1(c)
+//! ([`Chessboard`]), plus the spreading policies §4 motivates.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tadfa_ir::{PReg, VReg};
+use tadfa_thermal::RegisterFile;
+
+/// Context handed to a policy at each assignment decision.
+#[derive(Debug)]
+pub struct ChoiceContext<'a> {
+    /// The register file (geometry + placement).
+    pub rf: &'a RegisterFile,
+    /// The virtual register being assigned.
+    pub vreg: VReg,
+    /// Physical registers currently holding live values.
+    pub active: &'a [PReg],
+    /// Linearised program point of the assignment (monotone within one
+    /// allocation run).
+    pub point: u32,
+}
+
+/// A register assignment policy: given the free list, pick one.
+///
+/// Policies may keep state (cursors, RNGs, heat estimates); allocation
+/// calls [`AssignmentPolicy::choose`] once per value and reports releases
+/// so stateful policies can track occupancy.
+pub trait AssignmentPolicy: std::fmt::Debug {
+    /// Short name used in reports ("first-free", "chessboard", …).
+    fn name(&self) -> &'static str;
+
+    /// Chooses one of the free registers.
+    ///
+    /// `free` is non-empty and sorted ascending.
+    fn choose(&mut self, free: &[PReg], ctx: &ChoiceContext<'_>) -> PReg;
+
+    /// Notification that `r` was released (its value died). Default:
+    /// ignored.
+    fn on_release(&mut self, r: PReg) {
+        let _ = r;
+    }
+
+    /// Resets internal state so the policy can be reused across runs.
+    fn reset(&mut self) {}
+}
+
+/// Fig. 1(a): always the lowest-numbered free register.
+#[derive(Clone, Debug, Default)]
+pub struct FirstFree;
+
+impl AssignmentPolicy for FirstFree {
+    fn name(&self) -> &'static str {
+        "first-free"
+    }
+
+    fn choose(&mut self, free: &[PReg], _ctx: &ChoiceContext<'_>) -> PReg {
+        free[0]
+    }
+}
+
+/// Fig. 1(b): a uniformly random free register (seeded, reproducible).
+#[derive(Clone, Debug)]
+pub struct RandomPolicy {
+    rng: StdRng,
+    seed: u64,
+}
+
+impl RandomPolicy {
+    /// A random policy with the given seed.
+    pub fn new(seed: u64) -> RandomPolicy {
+        RandomPolicy { rng: StdRng::seed_from_u64(seed), seed }
+    }
+}
+
+impl AssignmentPolicy for RandomPolicy {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn choose(&mut self, free: &[PReg], _ctx: &ChoiceContext<'_>) -> PReg {
+        free[self.rng.gen_range(0..free.len())]
+    }
+
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+}
+
+/// Fig. 1(c): registers on "black" cells of the chessboard colouring,
+/// taken in rotation so that "accesses are distributed uniformly across a
+/// large surface" (§2) and no two simultaneously used registers are
+/// physically adjacent — while black cells last. Falls back to rotating
+/// through white cells under pressure, which is exactly the §2 caveat the
+/// pressure-sweep experiment measures.
+#[derive(Clone, Debug, Default)]
+pub struct Chessboard {
+    cursor: usize,
+}
+
+impl AssignmentPolicy for Chessboard {
+    fn name(&self) -> &'static str {
+        "chessboard"
+    }
+
+    fn choose(&mut self, free: &[PReg], ctx: &ChoiceContext<'_>) -> PReg {
+        let fp = ctx.rf.floorplan();
+        let n = ctx.rf.num_regs();
+        // Rotate through the free black cells; only when none remain,
+        // rotate through whatever is left.
+        let blacks: Vec<PReg> = free
+            .iter()
+            .copied()
+            .filter(|&r| fp.is_black(ctx.rf.cell_of(r)))
+            .collect();
+        let candidates: &[PReg] = if blacks.is_empty() { free } else { &blacks };
+        let pick = candidates
+            .iter()
+            .copied()
+            .find(|r| r.index() >= self.cursor)
+            .unwrap_or(candidates[0]);
+        self.cursor = (pick.index() + 1) % n;
+        pick
+    }
+
+    fn reset(&mut self) {
+        self.cursor = 0;
+    }
+}
+
+/// Cycles through the register file: the next free register at or after
+/// a moving cursor. Spreads accesses in time without geometry awareness.
+#[derive(Clone, Debug, Default)]
+pub struct RoundRobin {
+    cursor: usize,
+}
+
+impl AssignmentPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn choose(&mut self, free: &[PReg], ctx: &ChoiceContext<'_>) -> PReg {
+        let n = ctx.rf.num_regs();
+        let pick = free
+            .iter()
+            .copied()
+            .find(|r| r.index() >= self.cursor)
+            .unwrap_or(free[0]);
+        self.cursor = (pick.index() + 1) % n;
+        pick
+    }
+
+    fn reset(&mut self) {
+        self.cursor = 0;
+    }
+}
+
+/// Chooses the free register maximising the minimum floorplan distance to
+/// all currently active registers — the "assign them to registers in
+/// disparate regions of the RF" idea of §4.
+#[derive(Clone, Debug, Default)]
+pub struct FarthestSpread;
+
+impl AssignmentPolicy for FarthestSpread {
+    fn name(&self) -> &'static str {
+        "farthest-spread"
+    }
+
+    fn choose(&mut self, free: &[PReg], ctx: &ChoiceContext<'_>) -> PReg {
+        if ctx.active.is_empty() {
+            // No reference points: start from the centre of the array.
+            let fp = ctx.rf.floorplan();
+            let centre = fp.index(fp.rows() / 2, fp.cols() / 2);
+            return free
+                .iter()
+                .copied()
+                .min_by_key(|&r| fp.manhattan(ctx.rf.cell_of(r), centre))
+                .expect("free list is non-empty");
+        }
+        free.iter()
+            .copied()
+            .max_by_key(|&r| {
+                ctx.active
+                    .iter()
+                    .map(|&a| ctx.rf.distance(r, a))
+                    .min()
+                    .unwrap_or(usize::MAX)
+            })
+            .expect("free list is non-empty")
+    }
+}
+
+/// Chooses the free register whose cell has the lowest heat score.
+///
+/// The score vector comes from outside — typically the thermal DFA's
+/// predicted map (`tadfa-core`) or a running occupancy estimate — making
+/// this the "coldest-first" policy that closes the paper's loop from
+/// analysis back into assignment.
+#[derive(Clone, Debug)]
+pub struct ColdestFirst {
+    /// Heat score per floorplan cell (higher = hotter). Not temperatures
+    /// per se; any monotone heat proxy works.
+    scores: Vec<f64>,
+    /// Heat added to a cell's score when it is chosen (models the heating
+    /// the new tenant will cause, so successive picks spread out).
+    self_heat: f64,
+}
+
+impl ColdestFirst {
+    /// A coldest-first policy over the given per-cell scores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self_heat` is negative.
+    pub fn new(scores: Vec<f64>, self_heat: f64) -> ColdestFirst {
+        assert!(self_heat >= 0.0, "self-heat must be non-negative");
+        ColdestFirst { scores, self_heat }
+    }
+
+    /// A cold-start instance: all cells equally cold, pure occupancy
+    /// spreading.
+    pub fn uniform(num_cells: usize, self_heat: f64) -> ColdestFirst {
+        ColdestFirst::new(vec![0.0; num_cells], self_heat)
+    }
+
+    /// Current score of a cell.
+    pub fn score(&self, cell: usize) -> f64 {
+        self.scores[cell]
+    }
+}
+
+impl AssignmentPolicy for ColdestFirst {
+    fn name(&self) -> &'static str {
+        "coldest-first"
+    }
+
+    fn choose(&mut self, free: &[PReg], ctx: &ChoiceContext<'_>) -> PReg {
+        let pick = free
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                let sa = self.scores[ctx.rf.cell_of(a)];
+                let sb = self.scores[ctx.rf.cell_of(b)];
+                sa.partial_cmp(&sb).unwrap().then(a.cmp(&b))
+            })
+            .expect("free list is non-empty");
+        let cell = ctx.rf.cell_of(pick);
+        self.scores[cell] += self.self_heat;
+        pick
+    }
+}
+
+/// Constructs each built-in policy by name — the CLI surface of the
+/// experiment binaries. Seeded policies use `seed`.
+///
+/// Known names: `first-free`, `random`, `chessboard`, `round-robin`,
+/// `farthest-spread`, `coldest-first`.
+pub fn policy_by_name(
+    name: &str,
+    rf: &RegisterFile,
+    seed: u64,
+) -> Option<Box<dyn AssignmentPolicy>> {
+    Some(match name {
+        "first-free" => Box::new(FirstFree),
+        "random" => Box::new(RandomPolicy::new(seed)),
+        "chessboard" => Box::new(Chessboard::default()),
+        "round-robin" => Box::new(RoundRobin::default()),
+        "farthest-spread" => Box::new(FarthestSpread),
+        "coldest-first" => {
+            Box::new(ColdestFirst::uniform(rf.floorplan().num_cells(), 1.0))
+        }
+        _ => return None,
+    })
+}
+
+/// The names accepted by [`policy_by_name`], in canonical order.
+pub const POLICY_NAMES: [&str; 6] = [
+    "first-free",
+    "random",
+    "chessboard",
+    "round-robin",
+    "farthest-spread",
+    "coldest-first",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tadfa_thermal::Floorplan;
+
+    fn rf_4x4() -> RegisterFile {
+        RegisterFile::new(Floorplan::grid(4, 4))
+    }
+
+    fn free_all(n: usize) -> Vec<PReg> {
+        (0..n).map(|i| PReg::new(i as u16)).collect()
+    }
+
+    fn ctx<'a>(rf: &'a RegisterFile, active: &'a [PReg]) -> ChoiceContext<'a> {
+        ChoiceContext { rf, vreg: VReg::new(0), active, point: 0 }
+    }
+
+    #[test]
+    fn first_free_always_picks_lowest() {
+        let rf = rf_4x4();
+        let mut p = FirstFree;
+        let free = free_all(16);
+        for _ in 0..3 {
+            assert_eq!(p.choose(&free, &ctx(&rf, &[])), PReg::new(0));
+        }
+        assert_eq!(p.name(), "first-free");
+    }
+
+    #[test]
+    fn random_is_reproducible_and_varied() {
+        let rf = rf_4x4();
+        let free = free_all(16);
+        let mut p1 = RandomPolicy::new(42);
+        let mut p2 = RandomPolicy::new(42);
+        let picks1: Vec<PReg> = (0..10).map(|_| p1.choose(&free, &ctx(&rf, &[]))).collect();
+        let picks2: Vec<PReg> = (0..10).map(|_| p2.choose(&free, &ctx(&rf, &[]))).collect();
+        assert_eq!(picks1, picks2, "same seed, same picks");
+        let distinct: std::collections::BTreeSet<_> = picks1.iter().collect();
+        assert!(distinct.len() > 3, "should spread across the file");
+        p1.reset();
+        assert_eq!(p1.choose(&free, &ctx(&rf, &[])), picks1[0]);
+    }
+
+    #[test]
+    fn chessboard_prefers_black_cells_and_rotates() {
+        let rf = rf_4x4();
+        let mut p = Chessboard::default();
+        let free = free_all(16);
+        let a = p.choose(&free, &ctx(&rf, &[]));
+        let b = p.choose(&free, &ctx(&rf, &[]));
+        let c = p.choose(&free, &ctx(&rf, &[]));
+        for pick in [a, b, c] {
+            assert!(rf.floorplan().is_black(rf.cell_of(pick)));
+        }
+        assert_ne!(a, b, "rotation distributes across black cells");
+        assert_ne!(b, c);
+        // Only white cells free: falls back gracefully.
+        let whites: Vec<PReg> = free_all(16)
+            .into_iter()
+            .filter(|&r| !rf.floorplan().is_black(rf.cell_of(r)))
+            .collect();
+        let pick = p.choose(&whites, &ctx(&rf, &[]));
+        assert!(!rf.floorplan().is_black(rf.cell_of(pick)));
+        p.reset();
+        assert_eq!(p.choose(&free, &ctx(&rf, &[])), a);
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let rf = rf_4x4();
+        let mut p = RoundRobin::default();
+        let free = free_all(16);
+        let a = p.choose(&free, &ctx(&rf, &[]));
+        let b = p.choose(&free, &ctx(&rf, &[]));
+        let c = p.choose(&free, &ctx(&rf, &[]));
+        assert_eq!(a, PReg::new(0));
+        assert_eq!(b, PReg::new(1));
+        assert_eq!(c, PReg::new(2));
+        p.reset();
+        assert_eq!(p.choose(&free, &ctx(&rf, &[])), PReg::new(0));
+    }
+
+    #[test]
+    fn round_robin_wraps_and_skips_busy() {
+        let rf = rf_4x4();
+        let mut p = RoundRobin { cursor: 15 };
+        // Only r3 and r15 free; cursor at 15 picks r15 then wraps to r3.
+        let free = vec![PReg::new(3), PReg::new(15)];
+        assert_eq!(p.choose(&free, &ctx(&rf, &[])), PReg::new(15));
+        assert_eq!(p.choose(&free, &ctx(&rf, &[])), PReg::new(3));
+    }
+
+    #[test]
+    fn farthest_spread_maximises_min_distance() {
+        let rf = rf_4x4();
+        let mut p = FarthestSpread;
+        // r0 (corner cell 0) active: the farthest free cell is 15.
+        let active = [PReg::new(0)];
+        let free = free_all(16)[1..].to_vec();
+        let pick = p.choose(&free, &ctx(&rf, &active));
+        assert_eq!(pick, PReg::new(15));
+    }
+
+    #[test]
+    fn coldest_first_spreads_when_uniform() {
+        let rf = rf_4x4();
+        let mut p = ColdestFirst::uniform(16, 1.0);
+        let free = free_all(16);
+        let a = p.choose(&free, &ctx(&rf, &[]));
+        let b = p.choose(&free, &ctx(&rf, &[]));
+        assert_ne!(a, b, "self-heat pushes the second pick elsewhere");
+        assert!(p.score(rf.cell_of(a)) > 0.0);
+    }
+
+    #[test]
+    fn coldest_first_avoids_preheated_cells() {
+        let rf = rf_4x4();
+        let mut scores = vec![0.0; 16];
+        scores[0] = 100.0; // cell 0 is hot
+        let mut p = ColdestFirst::new(scores, 0.0);
+        let free = vec![PReg::new(0), PReg::new(5)];
+        assert_eq!(p.choose(&free, &ctx(&rf, &[])), PReg::new(5));
+    }
+
+    #[test]
+    fn policy_by_name_covers_all() {
+        let rf = rf_4x4();
+        for name in POLICY_NAMES {
+            let p = policy_by_name(name, &rf, 1).unwrap();
+            assert_eq!(p.name(), name);
+        }
+        assert!(policy_by_name("bogus", &rf, 1).is_none());
+    }
+}

@@ -1,0 +1,208 @@
+//! Spill-code rewriting: demoting virtual registers to memory slots.
+//!
+//! Spilling is also one of the paper's *thermal* optimizations ("the
+//! greatest benefit will be achieved by spilling these critical variables
+//! to memory", §4); `tadfa-opt` reuses this rewriter for that purpose.
+
+use tadfa_ir::{Function, Inst, VReg};
+
+/// Rewrites `func` so that each register in `spilled` lives in its own
+/// memory slot:
+///
+/// * a `store` is inserted after every definition (and at function entry
+///   for spilled parameters);
+/// * every use is replaced by a fresh temporary fed by a `load` inserted
+///   just before the using instruction (or before the terminator).
+///
+/// The spilled register's live range shrinks to the def→store pairs; the
+/// temporaries live for one or two instructions each.
+///
+/// Returns the number of instructions inserted.
+pub fn rewrite_spills(func: &mut Function, spilled: &[VReg]) -> usize {
+    let mut inserted = 0;
+    for &v in spilled {
+        let slot = func.add_slot(format!("spill.{}", v.index()), 1);
+
+        for bb in func.block_ids().collect::<Vec<_>>() {
+            let mut pos = 0;
+            while pos < func.block(bb).insts().len() {
+                let id = func.block(bb).insts()[pos];
+                let uses_v = func.inst(id).uses().contains(&v);
+                if uses_v {
+                    let t_idx = func.new_vreg();
+                    let t_val = func.new_vreg();
+                    func.insert_inst(bb, pos, Inst::konst(t_idx, 0));
+                    func.insert_inst(bb, pos + 1, Inst::load(t_val, slot, t_idx));
+                    inserted += 2;
+                    pos += 2;
+                    func.inst_mut(id).replace_uses(v, t_val);
+                }
+                if func.inst(id).def() == Some(v) {
+                    // Rename the definition to a fresh register so the
+                    // spilled value's live range is fully shredded: with
+                    // hull-based intervals a multi-def register would
+                    // otherwise keep a function-spanning range and be
+                    // re-spilled forever.
+                    let t_def = func.new_vreg();
+                    func.inst_mut(id).replace_def(v, t_def);
+                    let t_idx = func.new_vreg();
+                    func.insert_inst(bb, pos + 1, Inst::konst(t_idx, 0));
+                    func.insert_inst(bb, pos + 2, Inst::store(slot, t_idx, t_def));
+                    inserted += 2;
+                    pos += 2;
+                }
+                pos += 1;
+            }
+            // Terminator uses.
+            if let Some(t) = func.terminator(bb) {
+                if t.uses().contains(&v) {
+                    let t_idx = func.new_vreg();
+                    let t_val = func.new_vreg();
+                    let end = func.block(bb).insts().len();
+                    func.insert_inst(bb, end, Inst::konst(t_idx, 0));
+                    func.insert_inst(bb, end + 1, Inst::load(t_val, slot, t_idx));
+                    inserted += 2;
+                    func.terminator_mut(bb)
+                        .expect("checked above")
+                        .replace_uses(v, t_val);
+                }
+            }
+        }
+
+        // Spilled parameters must be stored on entry. Done after the use
+        // rewriting so this store (which legitimately reads `v`) is not
+        // itself rewritten.
+        if func.params().contains(&v) {
+            let entry = func.entry();
+            let t_idx = func.new_vreg();
+            func.insert_inst(entry, 0, Inst::konst(t_idx, 0));
+            func.insert_inst(entry, 1, Inst::store(slot, t_idx, v));
+            inserted += 2;
+        }
+    }
+    inserted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tadfa_ir::{Cfg, FunctionBuilder, Opcode, Verifier};
+
+    #[test]
+    fn spilled_value_roundtrips_through_memory() {
+        let mut b = FunctionBuilder::new("s");
+        let x = b.param();
+        let y = b.add(x, x);
+        let z = b.add(y, x);
+        b.ret(Some(z));
+        let mut f = b.finish();
+
+        let n = rewrite_spills(&mut f, &[x]);
+        assert!(n >= 6, "store at entry + loads before both uses");
+        assert!(Verifier::new(&f).run().is_ok(), "{f}");
+        // x appears only in the entry store now.
+        let uses_of_x: usize = f
+            .inst_ids_in_layout_order()
+            .iter()
+            .map(|&(_, id)| f.inst(id).uses().iter().filter(|&&u| u == x).count())
+            .sum();
+        assert_eq!(uses_of_x, 1, "only the entry store reads x directly");
+        assert!(f.slot_by_name("spill.0").is_some());
+    }
+
+    #[test]
+    fn def_gets_store_after_it() {
+        let mut b = FunctionBuilder::new("d");
+        let a = b.param();
+        let v = b.add(a, a);
+        let w = b.add(v, a);
+        b.ret(Some(w));
+        let mut f = b.finish();
+        rewrite_spills(&mut f, &[v]);
+        assert!(Verifier::new(&f).run().is_ok(), "{f}");
+        // Pattern: ... add(def v) ; const ; store ... load before use.
+        let entry = f.entry();
+        let ops: Vec<Opcode> = f.block(entry).insts().iter().map(|&i| f.inst(i).op).collect();
+        let def_pos = ops.iter().position(|&o| o == Opcode::Add).unwrap();
+        assert_eq!(ops[def_pos + 1], Opcode::Const);
+        assert_eq!(ops[def_pos + 2], Opcode::Store);
+        assert!(ops.contains(&Opcode::Load));
+    }
+
+    #[test]
+    fn terminator_use_is_reloaded() {
+        let mut b = FunctionBuilder::new("t");
+        let x = b.param();
+        b.ret(Some(x));
+        let mut f = b.finish();
+        rewrite_spills(&mut f, &[x]);
+        assert!(Verifier::new(&f).run().is_ok(), "{f}");
+        // The ret now uses a fresh temp, not x.
+        let t = f.terminator(f.entry()).unwrap();
+        assert_ne!(t.uses(), vec![x]);
+        let entry_ops: Vec<Opcode> =
+            f.block(f.entry()).insts().iter().map(|&i| f.inst(i).op).collect();
+        assert_eq!(entry_ops.last(), Some(&Opcode::Load));
+    }
+
+    #[test]
+    fn branch_condition_is_reloaded() {
+        let mut b = FunctionBuilder::new("br");
+        let c = b.param();
+        let t = b.new_block();
+        let e = b.new_block();
+        b.branch(c, t, e);
+        b.switch_to(t);
+        b.ret(None);
+        b.switch_to(e);
+        b.ret(None);
+        let mut f = b.finish();
+        rewrite_spills(&mut f, &[c]);
+        assert!(Verifier::new(&f).run().is_ok(), "{f}");
+    }
+
+    #[test]
+    fn spill_in_loop_keeps_semantics_structure() {
+        let mut b = FunctionBuilder::new("l");
+        let n = b.param();
+        let h = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let i = b.iconst(0);
+        b.jump(h);
+        b.switch_to(h);
+        let d = b.cmpge(i, n);
+        b.branch(d, exit, body);
+        b.switch_to(body);
+        let one = b.iconst(1);
+        let i2 = b.add(i, one);
+        b.mov_into(i, i2);
+        b.jump(h);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        let mut f = b.finish();
+        let before_blocks = f.num_blocks();
+        rewrite_spills(&mut f, &[i]);
+        assert!(Verifier::new(&f).run().is_ok(), "{f}");
+        assert_eq!(f.num_blocks(), before_blocks, "no control-flow changes");
+        // The CFG is untouched.
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.num_reachable(), 4);
+    }
+
+    #[test]
+    fn multiple_spills_get_distinct_slots() {
+        let mut b = FunctionBuilder::new("m");
+        let a = b.param();
+        let x = b.add(a, a);
+        let y = b.add(a, x);
+        let z = b.add(x, y);
+        b.ret(Some(z));
+        let mut f = b.finish();
+        rewrite_spills(&mut f, &[x, y]);
+        assert!(Verifier::new(&f).run().is_ok());
+        assert!(f.slot_by_name(&format!("spill.{}", x.index())).is_some());
+        assert!(f.slot_by_name(&format!("spill.{}", y.index())).is_some());
+        assert_eq!(f.slots().len(), 2);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests for the allocators: on randomly shaped functions,
+//! every policy must produce interference-free assignments, and spill
+//! rewriting must preserve structure.
+
+use proptest::prelude::*;
+use tadfa_ir::{Function, FunctionBuilder, Verifier, VReg};
+use tadfa_regalloc::{
+    allocate_coloring, allocate_linear_scan, policy_by_name, validate_assignment,
+    RegAllocConfig, POLICY_NAMES,
+};
+use tadfa_thermal::{Floorplan, RegisterFile};
+
+/// A random function: `width` values computed from two params, folded
+/// with optional loop and diamond segments.
+fn build(width: usize, with_loop: bool, with_diamond: bool, ops: &[usize]) -> Function {
+    let mut b = FunctionBuilder::new("prop");
+    let x = b.param();
+    let y = b.param();
+    let mut vals = vec![x, y];
+    for (i, &op) in ops.iter().enumerate().take(width) {
+        let a = vals[i % vals.len()];
+        let c = vals[(i * 3 + 1) % vals.len()];
+        let v = match op % 5 {
+            0 => b.add(a, c),
+            1 => b.sub(a, c),
+            2 => b.mul(a, c),
+            3 => b.and(a, c),
+            _ => b.xor(a, c),
+        };
+        vals.push(v);
+    }
+    let mut acc = vals[vals.len() - 1];
+
+    if with_diamond {
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        let c = b.cmplt(acc, x);
+        b.branch(c, t, e);
+        b.switch_to(t);
+        let v1 = b.add(acc, x);
+        b.mov_into(acc, v1);
+        b.jump(j);
+        b.switch_to(e);
+        let v2 = b.sub(acc, y);
+        b.mov_into(acc, v2);
+        b.jump(j);
+        b.switch_to(j);
+    }
+
+    if with_loop {
+        let h = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let n = b.iconst(5);
+        let i = b.iconst(0);
+        b.jump(h);
+        b.switch_to(h);
+        let done = b.cmpge(i, n);
+        b.branch(done, exit, body);
+        b.switch_to(body);
+        let a2 = b.add(acc, i);
+        b.mov_into(acc, a2);
+        let one = b.iconst(1);
+        let i2 = b.add(i, one);
+        b.mov_into(i, i2);
+        b.jump(h);
+        b.switch_to(exit);
+    }
+
+    b.ret(Some(acc));
+    b.finish()
+}
+
+fn arb_shape() -> impl Strategy<Value = (usize, bool, bool, Vec<usize>)> {
+    (
+        1usize..14,
+        any::<bool>(),
+        any::<bool>(),
+        prop::collection::vec(0usize..5, 14),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Linear scan: every policy, every shape → verifier-clean function
+    /// and interference-free assignment.
+    #[test]
+    fn linear_scan_always_valid((w, l, d, ops) in arb_shape(), policy_idx in 0usize..6) {
+        let func = build(w, l, d, &ops);
+        prop_assert!(Verifier::new(&func).run().is_ok());
+
+        let rf = RegisterFile::new(Floorplan::grid(4, 4));
+        let name = POLICY_NAMES[policy_idx % POLICY_NAMES.len()];
+        let mut policy = policy_by_name(name, &rf, 3).expect("known policy");
+        let mut f = func.clone();
+        let alloc = allocate_linear_scan(&mut f, &rf, policy.as_mut(), &RegAllocConfig::default());
+        let alloc = match alloc {
+            Ok(a) => a,
+            Err(e) => return Err(TestCaseError::fail(format!("{name}: {e}"))),
+        };
+        prop_assert!(Verifier::new(&f).run().is_ok());
+        prop_assert!(validate_assignment(&f, &alloc.assignment).is_empty());
+
+        // Every referenced register got a physical home.
+        for (_bb, id) in f.inst_ids_in_layout_order() {
+            let inst = f.inst(id);
+            for &u in inst.uses() {
+                prop_assert!(alloc.assignment.preg_of(u).is_some(), "{name}: {u} unassigned");
+            }
+            if let Some(dd) = inst.def() {
+                prop_assert!(alloc.assignment.preg_of(dd).is_some());
+            }
+        }
+    }
+
+    /// Graph coloring agrees: valid assignments on the same shapes.
+    #[test]
+    fn coloring_always_valid((w, l, d, ops) in arb_shape()) {
+        let func = build(w, l, d, &ops);
+        let rf = RegisterFile::new(Floorplan::grid(4, 4));
+        let mut policy = policy_by_name("first-free", &rf, 3).expect("known policy");
+        let mut f = func.clone();
+        let alloc = match allocate_coloring(&mut f, &rf, policy.as_mut(), &RegAllocConfig::default()) {
+            Ok(a) => a,
+            Err(e) => return Err(TestCaseError::fail(e.to_string())),
+        };
+        prop_assert!(validate_assignment(&f, &alloc.assignment).is_empty());
+    }
+
+    /// Spill rewriting on arbitrary live registers keeps the function
+    /// verifier-clean.
+    #[test]
+    fn spill_rewrite_keeps_functions_valid((w, l, d, ops) in arb_shape(), which in 0usize..4) {
+        let mut func = build(w, l, d, &ops);
+        let v = VReg::new((which % func.num_vregs().max(1)) as u32);
+        tadfa_regalloc::rewrite_spills(&mut func, &[v]);
+        prop_assert!(Verifier::new(&func).run().is_ok(), "{func}");
+    }
+}

@@ -1,0 +1,71 @@
+//! Simulator error types.
+
+use std::error::Error;
+use std::fmt;
+use tadfa_ir::{BlockId, MemSlot};
+
+/// Errors raised while executing a function.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SimError {
+    /// The argument count does not match the parameter list.
+    ArgCount {
+        /// Parameters expected.
+        expected: usize,
+        /// Arguments supplied.
+        actual: usize,
+    },
+    /// A memory access fell outside its slot.
+    MemoryOutOfBounds {
+        /// The slot accessed.
+        slot: MemSlot,
+        /// The index used.
+        index: i64,
+        /// The slot's size in words.
+        size: usize,
+    },
+    /// The cycle budget was exhausted (probable infinite loop).
+    OutOfFuel {
+        /// The budget that was exceeded.
+        fuel: u64,
+    },
+    /// Execution reached a block without a terminator.
+    MissingTerminator(BlockId),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ArgCount { expected, actual } => {
+                write!(f, "expected {expected} argument(s), got {actual}")
+            }
+            SimError::MemoryOutOfBounds { slot, index, size } => {
+                write!(f, "{slot} access at index {index} outside size {size}")
+            }
+            SimError::OutOfFuel { fuel } => {
+                write!(f, "execution exceeded the {fuel}-cycle budget")
+            }
+            SimError::MissingTerminator(bb) => {
+                write!(f, "execution reached unterminated {bb}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SimError::ArgCount { expected: 2, actual: 0 };
+        assert!(e.to_string().contains("expected 2"));
+        let e = SimError::MemoryOutOfBounds { slot: MemSlot::new(1), index: -4, size: 8 };
+        assert!(e.to_string().contains("-4"));
+        let e = SimError::OutOfFuel { fuel: 100 };
+        assert!(e.to_string().contains("100-cycle"));
+        let e = SimError::MissingTerminator(BlockId::new(2));
+        assert!(e.to_string().contains("block2"));
+    }
+}

@@ -1,0 +1,452 @@
+//! The IR interpreter: concrete execution with cycle accounting and
+//! register access tracing.
+
+use crate::error::SimError;
+use crate::trace::{AccessEvent, AccessKind, AccessTrace};
+use tadfa_ir::{Function, MemSlot, Opcode, Terminator, VReg};
+use tadfa_regalloc::Assignment;
+
+/// Result of one execution.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ExecResult {
+    /// The returned value, if the function returned one.
+    pub ret: Option<i64>,
+    /// Total cycles consumed (sum of instruction latencies).
+    pub cycles: u64,
+    /// Dynamic instruction count (terminators included).
+    pub insts_executed: u64,
+    /// The register access trace (empty when executed without an
+    /// assignment).
+    pub trace: AccessTrace,
+    /// Final memory contents per slot.
+    pub memory: Vec<Vec<i64>>,
+}
+
+/// An interpreter for one function.
+///
+/// Arithmetic is wrapping two's complement; division and remainder by
+/// zero yield 0; shifts mask their amount to 0..64. Memory slots are
+/// zero-initialised unless preloaded.
+///
+/// With an [`Assignment`] attached, every operand read and result write
+/// is recorded as a physical-register access event — the ground-truth
+/// trace that feedback-driven thermal evaluation consumes (and that the
+/// paper's compile-time analysis wants to make unnecessary).
+///
+/// # Examples
+///
+/// ```
+/// use tadfa_ir::FunctionBuilder;
+/// use tadfa_sim::Interpreter;
+///
+/// let mut b = FunctionBuilder::new("sq");
+/// let x = b.param();
+/// let y = b.mul(x, x);
+/// b.ret(Some(y));
+/// let f = b.finish();
+///
+/// let r = Interpreter::new(&f).run(&[9])?;
+/// assert_eq!(r.ret, Some(81));
+/// # Ok::<(), tadfa_sim::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct Interpreter<'a> {
+    func: &'a Function,
+    assignment: Option<&'a Assignment>,
+    fuel: u64,
+    preloaded: Vec<(MemSlot, Vec<i64>)>,
+}
+
+impl<'a> Interpreter<'a> {
+    /// An interpreter with a 10-million-cycle budget and no tracing.
+    pub fn new(func: &'a Function) -> Interpreter<'a> {
+        Interpreter { func, assignment: None, fuel: 10_000_000, preloaded: Vec::new() }
+    }
+
+    /// Enables access tracing through the given assignment.
+    pub fn with_assignment(mut self, assignment: &'a Assignment) -> Interpreter<'a> {
+        self.assignment = Some(assignment);
+        self
+    }
+
+    /// Sets the cycle budget.
+    pub fn with_fuel(mut self, fuel: u64) -> Interpreter<'a> {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Preloads a memory slot's contents (shorter data is zero-padded).
+    pub fn with_slot_data(mut self, slot: MemSlot, data: Vec<i64>) -> Interpreter<'a> {
+        self.preloaded.push((slot, data));
+        self
+    }
+
+    /// Executes the function.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::ArgCount`] on arity mismatch;
+    /// * [`SimError::MemoryOutOfBounds`] for loads/stores outside a slot;
+    /// * [`SimError::OutOfFuel`] when the cycle budget runs out;
+    /// * [`SimError::MissingTerminator`] for malformed control flow.
+    pub fn run(&self, args: &[i64]) -> Result<ExecResult, SimError> {
+        let func = self.func;
+        if args.len() != func.params().len() {
+            return Err(SimError::ArgCount { expected: func.params().len(), actual: args.len() });
+        }
+
+        let mut regs = vec![0i64; func.num_vregs()];
+        for (&p, &a) in func.params().iter().zip(args) {
+            regs[p.index()] = a;
+        }
+
+        let mut memory: Vec<Vec<i64>> =
+            func.slots().iter().map(|s| vec![0i64; s.size]).collect();
+        for (slot, data) in &self.preloaded {
+            let m = &mut memory[slot.index()];
+            for (i, &v) in data.iter().enumerate().take(m.len()) {
+                m[i] = v;
+            }
+        }
+
+        let mut trace = AccessTrace::new();
+        let mut cycles: u64 = 0;
+        let mut executed: u64 = 0;
+        let mut block = func.entry();
+
+        'blocks: loop {
+            for &id in func.block(block).insts() {
+                let inst = func.inst(id);
+                if cycles >= self.fuel {
+                    return Err(SimError::OutOfFuel { fuel: self.fuel });
+                }
+
+                // Trace operand reads, then the write.
+                if let Some(asg) = self.assignment {
+                    for &u in inst.uses() {
+                        if let Some(p) = asg.preg_of(u) {
+                            trace.push(AccessEvent { cycle: cycles, reg: p, kind: AccessKind::Read });
+                        }
+                    }
+                }
+
+                let get = |v: VReg| regs[v.index()];
+                let value: Option<i64> = match inst.op {
+                    Opcode::Const => Some(inst.imm.unwrap_or(0)),
+                    Opcode::Mov => Some(get(inst.srcs[0])),
+                    Opcode::Add => Some(get(inst.srcs[0]).wrapping_add(get(inst.srcs[1]))),
+                    Opcode::Sub => Some(get(inst.srcs[0]).wrapping_sub(get(inst.srcs[1]))),
+                    Opcode::Mul => Some(get(inst.srcs[0]).wrapping_mul(get(inst.srcs[1]))),
+                    Opcode::Div => {
+                        let d = get(inst.srcs[1]);
+                        Some(if d == 0 { 0 } else { get(inst.srcs[0]).wrapping_div(d) })
+                    }
+                    Opcode::Rem => {
+                        let d = get(inst.srcs[1]);
+                        Some(if d == 0 { 0 } else { get(inst.srcs[0]).wrapping_rem(d) })
+                    }
+                    Opcode::And => Some(get(inst.srcs[0]) & get(inst.srcs[1])),
+                    Opcode::Or => Some(get(inst.srcs[0]) | get(inst.srcs[1])),
+                    Opcode::Xor => Some(get(inst.srcs[0]) ^ get(inst.srcs[1])),
+                    Opcode::Shl => {
+                        Some(get(inst.srcs[0]).wrapping_shl(get(inst.srcs[1]) as u32 & 63))
+                    }
+                    Opcode::Shr => {
+                        Some(get(inst.srcs[0]).wrapping_shr(get(inst.srcs[1]) as u32 & 63))
+                    }
+                    Opcode::Neg => Some(get(inst.srcs[0]).wrapping_neg()),
+                    Opcode::Not => Some(!get(inst.srcs[0])),
+                    Opcode::CmpEq => Some((get(inst.srcs[0]) == get(inst.srcs[1])) as i64),
+                    Opcode::CmpNe => Some((get(inst.srcs[0]) != get(inst.srcs[1])) as i64),
+                    Opcode::CmpLt => Some((get(inst.srcs[0]) < get(inst.srcs[1])) as i64),
+                    Opcode::CmpLe => Some((get(inst.srcs[0]) <= get(inst.srcs[1])) as i64),
+                    Opcode::CmpGt => Some((get(inst.srcs[0]) > get(inst.srcs[1])) as i64),
+                    Opcode::CmpGe => Some((get(inst.srcs[0]) >= get(inst.srcs[1])) as i64),
+                    Opcode::Select => Some(if get(inst.srcs[0]) != 0 {
+                        get(inst.srcs[1])
+                    } else {
+                        get(inst.srcs[2])
+                    }),
+                    Opcode::Load => {
+                        let slot = inst.slot.expect("verified load");
+                        let idx = get(inst.srcs[0]);
+                        let m = &memory[slot.index()];
+                        if idx < 0 || idx as usize >= m.len() {
+                            return Err(SimError::MemoryOutOfBounds {
+                                slot,
+                                index: idx,
+                                size: m.len(),
+                            });
+                        }
+                        Some(m[idx as usize])
+                    }
+                    Opcode::Store => {
+                        let slot = inst.slot.expect("verified store");
+                        let idx = get(inst.srcs[0]);
+                        let val = get(inst.srcs[1]);
+                        let m = &mut memory[slot.index()];
+                        if idx < 0 || idx as usize >= m.len() {
+                            return Err(SimError::MemoryOutOfBounds {
+                                slot,
+                                index: idx,
+                                size: m.len(),
+                            });
+                        }
+                        m[idx as usize] = val;
+                        None
+                    }
+                    Opcode::Nop => None,
+                };
+
+                if let (Some(d), Some(v)) = (inst.def(), value) {
+                    regs[d.index()] = v;
+                    if let Some(asg) = self.assignment {
+                        if let Some(p) = asg.preg_of(d) {
+                            trace.push(AccessEvent {
+                                cycle: cycles,
+                                reg: p,
+                                kind: AccessKind::Write,
+                            });
+                        }
+                    }
+                }
+
+                cycles += inst.op.latency() as u64;
+                executed += 1;
+            }
+
+            let term = func
+                .terminator(block)
+                .ok_or(SimError::MissingTerminator(block))?;
+            if cycles >= self.fuel {
+                return Err(SimError::OutOfFuel { fuel: self.fuel });
+            }
+            if let Some(asg) = self.assignment {
+                for u in term.uses() {
+                    if let Some(p) = asg.preg_of(u) {
+                        trace.push(AccessEvent { cycle: cycles, reg: p, kind: AccessKind::Read });
+                    }
+                }
+            }
+            cycles += term.latency() as u64;
+            executed += 1;
+
+            match *term {
+                Terminator::Jump(t) => block = t,
+                Terminator::Branch { cond, then_dest, else_dest } => {
+                    block = if regs[cond.index()] != 0 { then_dest } else { else_dest };
+                }
+                Terminator::Ret(v) => {
+                    return Ok(ExecResult {
+                        ret: v.map(|v| regs[v.index()]),
+                        cycles,
+                        insts_executed: executed,
+                        trace,
+                        memory,
+                    });
+                }
+            }
+            continue 'blocks;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tadfa_ir::FunctionBuilder;
+    use tadfa_regalloc::{allocate_linear_scan, FirstFree, RegAllocConfig};
+    use tadfa_thermal::{Floorplan, RegisterFile};
+
+    #[test]
+    fn arithmetic_semantics() {
+        let mut b = FunctionBuilder::new("a");
+        let x = b.param();
+        let y = b.param();
+        let sum = b.add(x, y);
+        let dif = b.sub(sum, y);
+        let prod = b.mul(dif, y);
+        let quot = b.div(prod, x);
+        let r = b.rem(prod, y);
+        let t = b.add(quot, r);
+        b.ret(Some(t));
+        let f = b.finish();
+        // x=7 y=3: sum=10 dif=7 prod=21 quot=3 rem=0 t=3
+        let r = Interpreter::new(&f).run(&[7, 3]).unwrap();
+        assert_eq!(r.ret, Some(3));
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn division_by_zero_yields_zero() {
+        let mut b = FunctionBuilder::new("d0");
+        let x = b.param();
+        let zero = b.iconst(0);
+        let q = b.div(x, zero);
+        let m = b.rem(x, zero);
+        let s = b.add(q, m);
+        b.ret(Some(s));
+        let f = b.finish();
+        assert_eq!(Interpreter::new(&f).run(&[42]).unwrap().ret, Some(0));
+    }
+
+    #[test]
+    fn bitwise_and_shifts() {
+        let mut b = FunctionBuilder::new("bits");
+        let x = b.param();
+        let k3 = b.iconst(3);
+        let shifted = b.shl(x, k3);
+        let back = b.shr(shifted, k3);
+        let anded = b.and(back, x);
+        let ored = b.or(anded, k3);
+        let xored = b.xor(ored, k3);
+        let noted = b.not(xored);
+        let negd = b.neg(noted);
+        b.ret(Some(negd));
+        let f = b.finish();
+        // x=8: shifted=64 back=8 anded=8 ored=11 xored=8 noted=-9 negd=9
+        assert_eq!(Interpreter::new(&f).run(&[8]).unwrap().ret, Some(9));
+    }
+
+    #[test]
+    fn comparisons_and_select() {
+        let mut b = FunctionBuilder::new("cmp");
+        let x = b.param();
+        let y = b.param();
+        let lt = b.cmplt(x, y);
+        let big = b.select(lt, y, x);
+        b.ret(Some(big));
+        let f = b.finish();
+        assert_eq!(Interpreter::new(&f).run(&[3, 9]).unwrap().ret, Some(9));
+        assert_eq!(Interpreter::new(&f).run(&[9, 3]).unwrap().ret, Some(9));
+    }
+
+    #[test]
+    fn loop_sums_correctly() {
+        // sum 0..n
+        let mut b = FunctionBuilder::new("sum");
+        let n = b.param();
+        let h = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let acc = b.iconst(0);
+        let i = b.iconst(0);
+        b.jump(h);
+        b.switch_to(h);
+        let done = b.cmpge(i, n);
+        b.branch(done, exit, body);
+        b.switch_to(body);
+        let acc2 = b.add(acc, i);
+        let one = b.iconst(1);
+        let i2 = b.add(i, one);
+        b.mov_into(acc, acc2);
+        b.mov_into(i, i2);
+        b.jump(h);
+        b.switch_to(exit);
+        b.ret(Some(acc));
+        let f = b.finish();
+        let r = Interpreter::new(&f).run(&[10]).unwrap();
+        assert_eq!(r.ret, Some(45));
+        assert!(r.insts_executed > 30);
+    }
+
+    #[test]
+    fn memory_roundtrip_and_preload() {
+        let mut b = FunctionBuilder::new("mem");
+        let slot = b.slot("buf", 8);
+        let i = b.iconst(2);
+        let v = b.load(slot, i);
+        let two = b.iconst(2);
+        let w = b.mul(v, two);
+        b.store(slot, i, w);
+        b.ret(Some(w));
+        let f = b.finish();
+        let r = Interpreter::new(&f)
+            .with_slot_data(slot, vec![0, 0, 21, 0])
+            .run(&[])
+            .unwrap();
+        assert_eq!(r.ret, Some(42));
+        assert_eq!(r.memory[slot.index()][2], 42);
+    }
+
+    #[test]
+    fn memory_bounds_checked() {
+        let mut b = FunctionBuilder::new("oob");
+        let slot = b.slot("buf", 4);
+        let i = b.iconst(9);
+        let v = b.load(slot, i);
+        b.ret(Some(v));
+        let f = b.finish();
+        let e = Interpreter::new(&f).run(&[]).unwrap_err();
+        assert!(matches!(e, SimError::MemoryOutOfBounds { index: 9, size: 4, .. }));
+    }
+
+    #[test]
+    fn fuel_stops_infinite_loops() {
+        let mut b = FunctionBuilder::new("inf");
+        let entry = b.current_block();
+        b.jump(entry);
+        let f = b.finish();
+        let e = Interpreter::new(&f).with_fuel(1000).run(&[]).unwrap_err();
+        assert!(matches!(e, SimError::OutOfFuel { fuel: 1000 }));
+    }
+
+    #[test]
+    fn arg_count_checked() {
+        let mut b = FunctionBuilder::new("args");
+        let x = b.param();
+        b.ret(Some(x));
+        let f = b.finish();
+        let e = Interpreter::new(&f).run(&[]).unwrap_err();
+        assert!(matches!(e, SimError::ArgCount { expected: 1, actual: 0 }));
+    }
+
+    #[test]
+    fn trace_records_assigned_accesses() {
+        let mut b = FunctionBuilder::new("tr");
+        let x = b.param();
+        let y = b.add(x, x);
+        let z = b.add(y, y);
+        b.ret(Some(z));
+        let mut f = b.finish();
+        let rf = RegisterFile::new(Floorplan::grid(4, 4));
+        let alloc =
+            allocate_linear_scan(&mut f, &rf, &mut FirstFree, &RegAllocConfig::default())
+                .unwrap();
+        let r = Interpreter::new(&f)
+            .with_assignment(&alloc.assignment)
+            .run(&[5])
+            .unwrap();
+        assert_eq!(r.ret, Some(20));
+        // 2 adds × (2 reads + 1 write) + ret read = 7 events.
+        assert_eq!(r.trace.len(), 7);
+        assert!(r.trace.last_cycle() <= r.cycles);
+        // Untraced run produces no events.
+        let r2 = Interpreter::new(&f).run(&[5]).unwrap();
+        assert!(r2.trace.is_empty());
+    }
+
+    #[test]
+    fn cycles_account_for_latency() {
+        let mut b = FunctionBuilder::new("lat");
+        let x = b.param();
+        let y = b.mul(x, x); // 3 cycles
+        b.ret(Some(y)); // 1 cycle
+        let f = b.finish();
+        let r = Interpreter::new(&f).run(&[2]).unwrap();
+        assert_eq!(r.cycles, 4);
+        assert_eq!(r.insts_executed, 2);
+    }
+
+    #[test]
+    fn wrapping_arithmetic() {
+        let mut b = FunctionBuilder::new("wrap");
+        let x = b.param();
+        let one = b.iconst(1);
+        let s = b.add(x, one);
+        b.ret(Some(s));
+        let f = b.finish();
+        let r = Interpreter::new(&f).run(&[i64::MAX]).unwrap();
+        assert_eq!(r.ret, Some(i64::MIN));
+    }
+}

@@ -1,0 +1,72 @@
+//! # tadfa-sim — execution and thermal ground truth
+//!
+//! The feedback-driven evaluation path of the *Thermal-Aware Data Flow
+//! Analysis* reproduction (DAC 2009) — the slow loop the paper's
+//! compile-time analysis wants to eliminate (§1):
+//!
+//! * [`Interpreter`] — concrete execution of `tadfa-ir` functions with
+//!   cycle accounting and, given a register assignment from
+//!   `tadfa-regalloc`, a physical-register [`AccessTrace`];
+//! * [`simulate_trace`] — replays a trace through the RC thermal model,
+//!   producing the measured [`ThermalTimeline`];
+//! * [`compare_maps`] — the accuracy metrics (RMS, L∞, Pearson, hot-spot
+//!   distance) used to score the DFA's predictions against this ground
+//!   truth (experiment E4).
+//!
+//! ## Example: execute, trace, measure
+//!
+//! ```
+//! use tadfa_ir::FunctionBuilder;
+//! use tadfa_regalloc::{allocate_linear_scan, FirstFree, RegAllocConfig};
+//! use tadfa_thermal::{Floorplan, PowerModel, RcParams, RegisterFile, ThermalModel};
+//! use tadfa_sim::{simulate_trace, CosimConfig, Interpreter};
+//!
+//! // A kernel that squares its argument many times.
+//! let mut b = FunctionBuilder::new("k");
+//! let h = b.new_block();
+//! let body = b.new_block();
+//! let exit = b.new_block();
+//! let n = b.iconst(200);
+//! let i = b.iconst(0);
+//! let acc = b.iconst(1);
+//! b.jump(h);
+//! b.switch_to(h);
+//! let done = b.cmpge(i, n);
+//! b.branch(done, exit, body);
+//! b.switch_to(body);
+//! let acc2 = b.mul(acc, acc);
+//! b.mov_into(acc, acc2);
+//! let one = b.iconst(1);
+//! let i2 = b.add(i, one);
+//! b.mov_into(i, i2);
+//! b.jump(h);
+//! b.switch_to(exit);
+//! b.ret(Some(acc));
+//! let mut f = b.finish();
+//!
+//! let rf = RegisterFile::new(Floorplan::grid(4, 4));
+//! let alloc = allocate_linear_scan(
+//!     &mut f, &rf, &mut FirstFree, &RegAllocConfig::default()).unwrap();
+//! let run = Interpreter::new(&f).with_assignment(&alloc.assignment).run(&[])?;
+//!
+//! let model = ThermalModel::new(rf.floorplan().clone(), RcParams::default());
+//! let timeline = simulate_trace(
+//!     &run.trace, &rf, &model, &PowerModel::default(), &CosimConfig::default());
+//! assert!(timeline.peak_temperature() > model.ambient());
+//! # Ok::<(), tadfa_sim::SimError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cosim;
+mod stats;
+mod error;
+mod interp;
+mod trace;
+
+pub use cosim::{compare_maps, simulate_trace, AccuracyReport, CosimConfig, ThermalTimeline};
+pub use error::SimError;
+pub use stats::RunStats;
+pub use interp::{ExecResult, Interpreter};
+pub use trace::{AccessEvent, AccessKind, AccessTrace, WindowCounts, Windows};

@@ -1,0 +1,134 @@
+//! Physical constants and calibrated defaults for the register-file
+//! thermal model.
+//!
+//! # Where the numbers come from
+//!
+//! The compact model follows the HotSpot methodology: silicon is divided
+//! into cells; each cell gets a thermal capacitance, a lateral resistance
+//! to each neighbour and a vertical resistance to ambient (lumping bulk
+//! silicon, heat spreader, and package).
+//!
+//! * `SILICON_CONDUCTIVITY` = 150 W/(m·K) — bulk Si at ~350 K.
+//! * `SILICON_VOL_HEAT_CAPACITY` = 1.75 × 10⁶ J/(m³·K).
+//! * Register cell: 50 µm × 50 µm (a 64-bit register with its decode and
+//!   wordline drivers in a 65 nm-class process), active layer 25 µm.
+//! * `read/write energies` ≈ 0.9/1.1 pJ per access — typical published
+//!   register-file access energies for that class of process.
+//!
+//! # Calibration
+//!
+//! Two lumped values are *calibrated* rather than derived, exactly as
+//! compact models calibrate against detailed FEM solvers:
+//!
+//! * `DEFAULT_VERTICAL_RESISTANCE` (3 × 10⁴ K/W per cell) sets the
+//!   steady-state temperature rise of a continuously accessed register to
+//!   ≈ 30 K at ~1 mW of access power — the hot-spot magnitude the paper's
+//!   Fig. 1 maps display.
+//! * `DEFAULT_LATERAL_RESISTANCE` (2.5 × 10⁴ K/W between neighbours)
+//!   sets the lateral decay length to ≈ 1.1 cells
+//!   (λ = √(R_vert/R_lat) ≈ 1.1), so neighbouring registers share heat
+//!   (the diffusion that makes spreading policies work, §4) while hot
+//!   spots stay localised enough to be visible — matching the sharp
+//!   per-register contrast of the paper's Fig. 1 maps. The raw geometric
+//!   value for bare silicon would be far lower; the lump accounts for
+//!   the oxide, wiring stack and shallow-trench isolation that separate
+//!   real register slices.
+//!
+//! Absolute Kelvin values are therefore *not* claims; orderings and
+//! ratios between policies are (see EXPERIMENTS.md).
+
+/// Thermal conductivity of bulk silicon, W/(m·K).
+pub const SILICON_CONDUCTIVITY: f64 = 150.0;
+
+/// Volumetric heat capacity of silicon, J/(m³·K).
+pub const SILICON_VOL_HEAT_CAPACITY: f64 = 1.75e6;
+
+/// Default register cell width, metres (50 µm).
+pub const DEFAULT_CELL_WIDTH: f64 = 50e-6;
+
+/// Default register cell height, metres (50 µm).
+pub const DEFAULT_CELL_HEIGHT: f64 = 50e-6;
+
+/// Effective active-silicon thickness participating in transient
+/// heating, metres (25 µm).
+pub const DEFAULT_ACTIVE_THICKNESS: f64 = 25e-6;
+
+/// Default per-cell thermal capacitance, J/K.
+///
+/// `c_v · area · thickness` = 1.75e6 × (50 µm)² × 25 µm ≈ 1.09 × 10⁻⁷.
+pub const DEFAULT_CELL_CAPACITANCE: f64 =
+    SILICON_VOL_HEAT_CAPACITY * DEFAULT_CELL_WIDTH * DEFAULT_CELL_HEIGHT * DEFAULT_ACTIVE_THICKNESS;
+
+/// Default vertical (cell → ambient) thermal resistance, K/W. Calibrated;
+/// see module docs.
+pub const DEFAULT_VERTICAL_RESISTANCE: f64 = 3.0e4;
+
+/// Default lateral (cell ↔ neighbour cell) thermal resistance, K/W.
+/// Calibrated; see module docs.
+pub const DEFAULT_LATERAL_RESISTANCE: f64 = 2.5e4;
+
+/// Default ambient (package/heatsink reference) temperature, Kelvin
+/// (45 °C — a warm but ordinary operating point).
+pub const DEFAULT_AMBIENT: f64 = 318.15;
+
+/// Energy of one register-file read, Joules (0.9 pJ).
+pub const DEFAULT_READ_ENERGY: f64 = 0.9e-12;
+
+/// Energy of one register-file write, Joules (1.1 pJ).
+pub const DEFAULT_WRITE_ENERGY: f64 = 1.1e-12;
+
+/// Leakage power per cell at the reference temperature, Watts (20 µW —
+/// high-performance cell, 65 nm class).
+pub const DEFAULT_LEAKAGE_PER_CELL: f64 = 20e-6;
+
+/// Fractional leakage increase per Kelvin above the reference
+/// temperature (≈ 1 %/K, the usual linearised exponential).
+pub const DEFAULT_LEAKAGE_TEMP_COEFF: f64 = 0.01;
+
+/// Clock period of the modelled core, seconds (1 GHz).
+pub const DEFAULT_SECONDS_PER_CYCLE: f64 = 1e-9;
+
+/// Default thermal-acceleration factor for per-instruction analysis
+/// steps.
+///
+/// Silicon RC time constants (~10⁻⁴ s) dwarf single instruction times
+/// (~10⁻⁹ s), so — like every architectural thermal study — analysis
+/// steps treat one instruction as representative of its sustained
+/// execution context. A factor of 1000 makes one analysis step model
+/// ≈ 1 µs of sustained execution of that instruction mix, which brings
+/// per-step temperature changes into a numerically meaningful range
+/// while preserving orderings.
+pub const DEFAULT_TIME_SCALE: f64 = 1000.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacitance_matches_hand_computation() {
+        let expected = 1.75e6 * 50e-6 * 50e-6 * 25e-6;
+        assert!((DEFAULT_CELL_CAPACITANCE - expected).abs() < 1e-15);
+        // Order of magnitude sanity: ~1e-7 J/K.
+        assert!(DEFAULT_CELL_CAPACITANCE > 1e-8 && DEFAULT_CELL_CAPACITANCE < 1e-6);
+    }
+
+    #[test]
+    fn decay_length_is_about_one_cell() {
+        let lambda = (DEFAULT_VERTICAL_RESISTANCE / DEFAULT_LATERAL_RESISTANCE).sqrt();
+        assert!(lambda > 0.9 && lambda < 1.5, "decay length {lambda}");
+    }
+
+    #[test]
+    fn steady_hotspot_rise_is_tens_of_kelvin() {
+        // A register read+written every cycle at 1 GHz:
+        let p = (DEFAULT_READ_ENERGY + DEFAULT_WRITE_ENERGY) / DEFAULT_SECONDS_PER_CYCLE;
+        let rise_isolated = p * DEFAULT_VERTICAL_RESISTANCE;
+        assert!(rise_isolated > 20.0 && rise_isolated < 100.0, "rise {rise_isolated}");
+    }
+
+    #[test]
+    fn time_constant_is_sub_millisecond() {
+        let tau = DEFAULT_CELL_CAPACITANCE * DEFAULT_VERTICAL_RESISTANCE;
+        assert!(tau > 1e-4 && tau < 1e-2, "tau {tau}");
+    }
+}

@@ -1,0 +1,162 @@
+//! Rendering of thermal maps — the reproduction of the paper's Fig. 1
+//! visuals as ASCII heat maps and CSV exports.
+
+use crate::floorplan::Floorplan;
+use crate::state::ThermalState;
+use std::fmt::Write as _;
+
+/// Glyph ramp from coolest to hottest.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Renders `state` as an ASCII heat map, normalised between `lo` and
+/// `hi` Kelvin (values outside clamp to the ramp ends).
+///
+/// Each cell becomes two characters wide so the aspect ratio looks
+/// roughly square in a terminal.
+///
+/// # Panics
+///
+/// Panics if the state size does not match the floorplan or `lo >= hi`.
+///
+/// # Examples
+///
+/// ```
+/// use tadfa_thermal::{Floorplan, ThermalState, render_ascii};
+/// let fp = Floorplan::grid(2, 2);
+/// let mut s = ThermalState::uniform(4, 300.0);
+/// s.set(3, 320.0);
+/// let art = render_ascii(&s, &fp, 300.0, 320.0);
+/// assert!(art.contains('@'));
+/// ```
+pub fn render_ascii(state: &ThermalState, fp: &Floorplan, lo: f64, hi: f64) -> String {
+    assert_eq!(state.len(), fp.num_cells(), "state/floorplan size mismatch");
+    assert!(lo < hi, "empty temperature range");
+    let mut out = String::with_capacity(fp.num_cells() * 2 + fp.rows());
+    for r in 0..fp.rows() {
+        for c in 0..fp.cols() {
+            let t = state.get(fp.index(r, c));
+            let x = ((t - lo) / (hi - lo)).clamp(0.0, 1.0);
+            let g = RAMP[((x * (RAMP.len() - 1) as f64).round()) as usize] as char;
+            out.push(g);
+            out.push(g);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders with the state's own min/max as the ramp range (auto-scale).
+/// Falls back to a ±0.5 K window around the mean for constant maps.
+pub fn render_ascii_auto(state: &ThermalState, fp: &Floorplan) -> String {
+    let (mut lo, mut hi) = (state.min(), state.peak());
+    if hi - lo < 1e-9 {
+        lo -= 0.5;
+        hi += 0.5;
+    }
+    render_ascii(state, fp, lo, hi)
+}
+
+/// Renders the map as CSV: one row per floorplan row, temperatures in
+/// Kelvin with three decimals.
+///
+/// # Panics
+///
+/// Panics if the state size does not match the floorplan.
+pub fn to_csv(state: &ThermalState, fp: &Floorplan) -> String {
+    assert_eq!(state.len(), fp.num_cells(), "state/floorplan size mismatch");
+    let mut out = String::new();
+    for r in 0..fp.rows() {
+        for c in 0..fp.cols() {
+            if c > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{:.3}", state.get(fp.index(r, c)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A numeric grid dump with row/column headers, for terminal inspection.
+///
+/// # Panics
+///
+/// Panics if the state size does not match the floorplan.
+pub fn render_numeric(state: &ThermalState, fp: &Floorplan) -> String {
+    assert_eq!(state.len(), fp.num_cells(), "state/floorplan size mismatch");
+    let mut out = String::new();
+    let _ = write!(out, "      ");
+    for c in 0..fp.cols() {
+        let _ = write!(out, "  c{c:<5}");
+    }
+    out.push('\n');
+    for r in 0..fp.rows() {
+        let _ = write!(out, "  r{r:<3}");
+        for c in 0..fp.cols() {
+            let _ = write!(out, " {:7.2}", state.get(fp.index(r, c)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_map_shape() {
+        let fp = Floorplan::grid(3, 4);
+        let s = ThermalState::uniform(12, 300.0);
+        let art = render_ascii(&s, &fp, 300.0, 310.0);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for l in &lines {
+            assert_eq!(l.chars().count(), 8); // 4 cells × 2 chars
+        }
+        // All at the low end: all spaces.
+        assert!(art.chars().filter(|c| *c != '\n').all(|c| c == ' '));
+    }
+
+    #[test]
+    fn ascii_extremes_use_ramp_ends() {
+        let fp = Floorplan::grid(1, 2);
+        let s = ThermalState::from_vec(vec![300.0, 340.0]);
+        let art = render_ascii(&s, &fp, 300.0, 340.0);
+        assert!(art.starts_with("  @@"), "got {art:?}");
+    }
+
+    #[test]
+    fn auto_scale_handles_constant_maps() {
+        let fp = Floorplan::grid(2, 2);
+        let s = ThermalState::uniform(4, 318.0);
+        let art = render_ascii_auto(&s, &fp);
+        assert_eq!(art.lines().count(), 2);
+    }
+
+    #[test]
+    fn csv_roundtrips_values() {
+        let fp = Floorplan::grid(2, 2);
+        let s = ThermalState::from_vec(vec![300.111, 301.222, 302.333, 303.444]);
+        let csv = to_csv(&s, &fp);
+        assert_eq!(csv, "300.111,301.222\n302.333,303.444\n");
+    }
+
+    #[test]
+    fn numeric_grid_contains_headers_and_values() {
+        let fp = Floorplan::grid(2, 2);
+        let s = ThermalState::uniform(4, 318.15);
+        let text = render_numeric(&s, &fp);
+        assert!(text.contains("c0"));
+        assert!(text.contains("r1"));
+        assert!(text.contains("318.15"));
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn mismatched_sizes_panic() {
+        let fp = Floorplan::grid(2, 2);
+        let s = ThermalState::uniform(5, 300.0);
+        let _ = to_csv(&s, &fp);
+    }
+}

@@ -1,0 +1,363 @@
+//! The compact RC thermal network and its transient / steady-state
+//! solvers.
+//!
+//! Each floorplan cell `i` obeys
+//!
+//! ```text
+//! C · dT_i/dt = P_i  −  (T_i − T_amb)/R_vert  −  Σ_j (T_i − T_j)/R_lat
+//! ```
+//!
+//! with the sum over 4-connected neighbours. The transient solver is
+//! explicit Euler with automatic sub-stepping below the stability limit;
+//! the steady-state solver is Gauss–Seidel on the (diagonally dominant)
+//! conductance system.
+
+use crate::constants;
+use crate::floorplan::Floorplan;
+use crate::state::ThermalState;
+use serde::{Deserialize, Serialize};
+
+/// Lumped RC parameters of the network (per cell / per edge).
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct RcParams {
+    /// Thermal capacitance per cell, J/K.
+    pub cell_capacitance: f64,
+    /// Resistance between two adjacent cells, K/W.
+    pub lateral_resistance: f64,
+    /// Resistance from a cell to ambient, K/W.
+    pub vertical_resistance: f64,
+    /// Ambient temperature, K.
+    pub ambient: f64,
+}
+
+impl Default for RcParams {
+    /// The calibrated defaults of [`crate::constants`].
+    fn default() -> RcParams {
+        RcParams {
+            cell_capacitance: constants::DEFAULT_CELL_CAPACITANCE,
+            lateral_resistance: constants::DEFAULT_LATERAL_RESISTANCE,
+            vertical_resistance: constants::DEFAULT_VERTICAL_RESISTANCE,
+            ambient: constants::DEFAULT_AMBIENT,
+        }
+    }
+}
+
+impl RcParams {
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any resistance/capacitance is non-positive or the
+    /// ambient temperature is non-positive.
+    pub fn validate(&self) {
+        assert!(self.cell_capacitance > 0.0, "capacitance must be positive");
+        assert!(self.lateral_resistance > 0.0, "lateral resistance must be positive");
+        assert!(self.vertical_resistance > 0.0, "vertical resistance must be positive");
+        assert!(self.ambient > 0.0, "ambient must be positive Kelvin");
+    }
+
+    /// Lateral decay length λ = √(R_vert / R_lat), in cell units: how far
+    /// a hot spot's influence reaches before the vertical path wins.
+    pub fn decay_length(&self) -> f64 {
+        (self.vertical_resistance / self.lateral_resistance).sqrt()
+    }
+}
+
+/// The RC network over a specific floorplan.
+///
+/// # Examples
+///
+/// ```
+/// use tadfa_thermal::{Floorplan, RcParams, ThermalModel};
+///
+/// let model = ThermalModel::new(Floorplan::grid(4, 4), RcParams::default());
+/// let mut power = vec![0.0; 16];
+/// power[5] = 1e-3; // 1 mW in one register
+/// let steady = model.steady_state(&power);
+/// assert!(steady.get(5) > model.ambient());           // heats up
+/// assert!(steady.get(5) > steady.get(15));            // hotter than far cell
+/// ```
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ThermalModel {
+    floorplan: Floorplan,
+    params: RcParams,
+}
+
+impl ThermalModel {
+    /// Builds the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail validation.
+    pub fn new(floorplan: Floorplan, params: RcParams) -> ThermalModel {
+        params.validate();
+        ThermalModel { floorplan, params }
+    }
+
+    /// The floorplan.
+    pub fn floorplan(&self) -> &Floorplan {
+        &self.floorplan
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> &RcParams {
+        &self.params
+    }
+
+    /// Ambient temperature, K.
+    pub fn ambient(&self) -> f64 {
+        self.params.ambient
+    }
+
+    /// Number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.floorplan.num_cells()
+    }
+
+    /// A state with every cell at ambient.
+    pub fn ambient_state(&self) -> ThermalState {
+        ThermalState::uniform(self.num_cells(), self.params.ambient)
+    }
+
+    /// Largest explicit-Euler step that is stable for this network:
+    /// `dt_max = C / G_max` where `G_max` is the biggest total nodal
+    /// conductance (4 lateral neighbours + vertical). We halve it for
+    /// margin.
+    pub fn max_stable_dt(&self) -> f64 {
+        let g_max = 1.0 / self.params.vertical_resistance
+            + 4.0 / self.params.lateral_resistance;
+        0.5 * self.params.cell_capacitance / g_max
+    }
+
+    /// Advances `state` by `dt` seconds under the given per-cell power,
+    /// sub-stepping as needed for stability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power.len()` differs from the cell count, `dt` is
+    /// negative, or any power is negative.
+    pub fn step(&self, state: &mut ThermalState, power: &[f64], dt: f64) {
+        assert_eq!(power.len(), self.num_cells(), "power vector size mismatch");
+        assert!(dt >= 0.0, "negative time step");
+        debug_assert!(power.iter().all(|&p| p >= 0.0), "negative power");
+        if dt == 0.0 {
+            return;
+        }
+
+        let dt_sub_max = self.max_stable_dt();
+        let n_sub = (dt / dt_sub_max).ceil().max(1.0) as usize;
+        let h = dt / n_sub as f64;
+
+        let g_vert = 1.0 / self.params.vertical_resistance;
+        let g_lat = 1.0 / self.params.lateral_resistance;
+        let c = self.params.cell_capacitance;
+        let amb = self.params.ambient;
+        let n = self.num_cells();
+
+        let mut next = vec![0.0f64; n];
+        for _ in 0..n_sub {
+            let t = state.temps();
+            for i in 0..n {
+                let mut flow = power[i] - (t[i] - amb) * g_vert;
+                for j in self.floorplan.neighbors(i) {
+                    flow -= (t[i] - t[j]) * g_lat;
+                }
+                next[i] = t[i] + h * flow / c;
+            }
+            state.temps_mut().copy_from_slice(&next);
+        }
+    }
+
+    /// Solves the steady state `G·T = P + G_vert·T_amb` by Gauss–Seidel.
+    ///
+    /// The conductance matrix is strictly diagonally dominant (every node
+    /// has a path to ambient), so the iteration always converges; we stop
+    /// at an L∞ update below 1 µK or 100 000 sweeps, whichever first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power.len()` differs from the cell count.
+    pub fn steady_state(&self, power: &[f64]) -> ThermalState {
+        assert_eq!(power.len(), self.num_cells(), "power vector size mismatch");
+        let g_vert = 1.0 / self.params.vertical_resistance;
+        let g_lat = 1.0 / self.params.lateral_resistance;
+        let amb = self.params.ambient;
+        let n = self.num_cells();
+
+        let mut t = vec![amb; n];
+        for sweep in 0..100_000 {
+            let mut max_delta: f64 = 0.0;
+            for i in 0..n {
+                let mut num = power[i] + amb * g_vert;
+                let mut den = g_vert;
+                for j in self.floorplan.neighbors(i) {
+                    num += t[j] * g_lat;
+                    den += g_lat;
+                }
+                let new = num / den;
+                max_delta = max_delta.max((new - t[i]).abs());
+                t[i] = new;
+            }
+            if max_delta < 1e-6 {
+                break;
+            }
+            debug_assert!(sweep < 99_999, "Gauss–Seidel failed to converge");
+        }
+        ThermalState::from_vec(t)
+    }
+
+    /// Convenience: the steady-state temperature a single cell would
+    /// reach in isolation (no lateral flow) — `T_amb + P·R_vert`. Useful
+    /// as an upper bound in tests.
+    pub fn isolated_rise(&self, power: f64) -> f64 {
+        self.params.ambient + power * self.params.vertical_resistance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model_4x4() -> ThermalModel {
+        ThermalModel::new(Floorplan::grid(4, 4), RcParams::default())
+    }
+
+    #[test]
+    fn zero_power_stays_at_ambient() {
+        let m = model_4x4();
+        let mut s = m.ambient_state();
+        m.step(&mut s, &vec![0.0; 16], 1e-3);
+        for &t in s.temps() {
+            assert!((t - m.ambient()).abs() < 1e-9);
+        }
+        let ss = m.steady_state(&vec![0.0; 16]);
+        for &t in ss.temps() {
+            assert!((t - m.ambient()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn transient_approaches_steady_state() {
+        let m = model_4x4();
+        let mut power = vec![0.0; 16];
+        power[5] = 1e-3;
+        let ss = m.steady_state(&power);
+        let mut s = m.ambient_state();
+        // 20 time constants.
+        let tau = m.params().cell_capacitance * m.params().vertical_resistance;
+        m.step(&mut s, &power, 20.0 * tau);
+        assert!(
+            s.linf_distance(&ss) < 0.05 * (ss.peak() - m.ambient()),
+            "transient {} vs steady {}",
+            s.get(5),
+            ss.get(5)
+        );
+    }
+
+    #[test]
+    fn steady_peak_below_isolated_bound() {
+        let m = model_4x4();
+        let mut power = vec![0.0; 16];
+        power[5] = 1e-3;
+        let ss = m.steady_state(&power);
+        // Lateral spreading can only lower the peak below the isolated
+        // single-cell rise.
+        assert!(ss.get(5) < m.isolated_rise(1e-3));
+        assert!(ss.get(5) > m.ambient() + 1.0, "but it must heat noticeably");
+    }
+
+    #[test]
+    fn heat_decays_with_distance() {
+        let m = ThermalModel::new(Floorplan::grid(1, 8), RcParams::default());
+        let mut power = vec![0.0; 8];
+        power[0] = 1e-3;
+        let ss = m.steady_state(&power);
+        for i in 1..8 {
+            assert!(ss.get(i) < ss.get(i - 1), "monotone decay at {i}");
+        }
+        assert!(ss.get(0) > ss.get(7) + 1.0, "far end much cooler");
+    }
+
+    #[test]
+    fn symmetry_of_symmetric_load() {
+        let m = ThermalModel::new(Floorplan::grid(3, 3), RcParams::default());
+        let mut power = vec![0.0; 9];
+        power[4] = 2e-3; // centre cell
+        let ss = m.steady_state(&power);
+        // All four edge-centres equal, all four corners equal.
+        let e = [ss.get(1), ss.get(3), ss.get(5), ss.get(7)];
+        let c = [ss.get(0), ss.get(2), ss.get(6), ss.get(8)];
+        for w in e.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-5);
+        }
+        for w in c.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-5);
+        }
+        assert!(e[0] > c[0], "edges nearer the source than corners");
+    }
+
+    #[test]
+    fn monotone_in_power() {
+        let m = model_4x4();
+        let mut p1 = vec![0.0; 16];
+        p1[3] = 0.5e-3;
+        let mut p2 = vec![0.0; 16];
+        p2[3] = 1.0e-3;
+        let s1 = m.steady_state(&p1);
+        let s2 = m.steady_state(&p2);
+        for i in 0..16 {
+            assert!(s2.get(i) >= s1.get(i) - 1e-9, "monotonicity at cell {i}");
+        }
+    }
+
+    #[test]
+    fn superposition_holds_for_linear_network() {
+        let m = model_4x4();
+        let mut pa = vec![0.0; 16];
+        pa[0] = 1e-3;
+        let mut pb = vec![0.0; 16];
+        pb[15] = 0.7e-3;
+        let pc: Vec<f64> = pa.iter().zip(&pb).map(|(a, b)| a + b).collect();
+        let sa = m.steady_state(&pa);
+        let sb = m.steady_state(&pb);
+        let sc = m.steady_state(&pc);
+        for i in 0..16 {
+            let lin = sa.get(i) + sb.get(i) - m.ambient();
+            assert!((sc.get(i) - lin).abs() < 1e-4, "superposition at {i}");
+        }
+    }
+
+    #[test]
+    fn large_step_is_substepped_and_stable() {
+        let m = model_4x4();
+        let mut s = m.ambient_state();
+        let mut power = vec![0.0; 16];
+        power[0] = 5e-3;
+        // A step vastly larger than the stability limit must not blow up.
+        m.step(&mut s, &power, 1.0);
+        assert!(s.peak().is_finite());
+        assert!(s.peak() < m.isolated_rise(5e-3) + 1.0);
+        assert!(s.min() >= m.ambient() - 1e-6);
+    }
+
+    #[test]
+    fn decay_length_matches_params() {
+        let p = RcParams::default();
+        assert!((p.decay_length() - 1.1).abs() < 0.2, "{}", p.decay_length());
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn power_size_mismatch_panics() {
+        let m = model_4x4();
+        let _ = m.steady_state(&[0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn invalid_params_rejected() {
+        let mut p = RcParams::default();
+        p.vertical_resistance = -1.0;
+        let _ = ThermalModel::new(Floorplan::grid(2, 2), p);
+    }
+}

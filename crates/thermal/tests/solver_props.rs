@@ -1,0 +1,115 @@
+//! Property tests for the RC thermal solvers: the physical invariants
+//! every experiment implicitly relies on.
+
+use proptest::prelude::*;
+use tadfa_thermal::{Floorplan, RcParams, ThermalModel, ThermalState};
+
+fn model() -> ThermalModel {
+    ThermalModel::new(Floorplan::grid(4, 4), RcParams::default())
+}
+
+fn arb_power() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..2e-3, 16)
+}
+
+proptest! {
+    /// Long transients converge to the steady-state solution — the two
+    /// solvers agree with each other.
+    #[test]
+    fn transient_converges_to_steady_state(power in arb_power()) {
+        let m = model();
+        let ss = m.steady_state(&power);
+        let mut s = m.ambient_state();
+        // 30 vertical time constants.
+        let tau = m.params().cell_capacitance * m.params().vertical_resistance;
+        m.step(&mut s, &power, 30.0 * tau);
+        let scale = (ss.peak() - m.ambient()).max(1e-3);
+        prop_assert!(
+            s.linf_distance(&ss) < 0.02 * scale + 1e-6,
+            "transient {:?} vs steady {:?}", s.peak(), ss.peak()
+        );
+    }
+
+    /// Total steady-state heat balance: power in equals vertical heat out
+    /// (lateral flows cancel pairwise).
+    #[test]
+    fn steady_state_conserves_energy(power in arb_power()) {
+        let m = model();
+        let ss = m.steady_state(&power);
+        let g_vert = 1.0 / m.params().vertical_resistance;
+        let heat_out: f64 = ss.temps().iter().map(|&t| (t - m.ambient()) * g_vert).sum();
+        let heat_in: f64 = power.iter().sum();
+        prop_assert!(
+            (heat_out - heat_in).abs() <= 0.01 * heat_in.max(1e-9),
+            "in {heat_in} vs out {heat_out}"
+        );
+    }
+
+    /// Splitting a transient into two steps equals one combined step
+    /// (semigroup property of the discretised flow).
+    #[test]
+    fn stepping_is_a_semigroup(power in arb_power(), t1 in 1e-6f64..1e-3, t2 in 1e-6f64..1e-3) {
+        let m = model();
+        // Use sub-step-aligned durations: make both multiples of a common
+        // micro-step so sub-stepping boundaries coincide.
+        let h = m.max_stable_dt() / 4.0;
+        let t1 = (t1 / h).ceil() * h;
+        let t2 = (t2 / h).ceil() * h;
+
+        let mut once = m.ambient_state();
+        m.step(&mut once, &power, t1 + t2);
+
+        let mut twice = m.ambient_state();
+        m.step(&mut twice, &power, t1);
+        m.step(&mut twice, &power, t2);
+
+        // Explicit Euler re-derives its sub-step size per call, so the
+        // split and combined runs integrate with different h; their
+        // first-order errors differ by O(h/τ) per step. The property we
+        // actually need is agreement within a modest fraction of the
+        // total rise (catches instability and sign errors).
+        let scale = (once.peak() - m.ambient()).max(1e-6);
+        prop_assert!(
+            once.linf_distance(&twice) < 0.2 * scale + 1e-7,
+            "once {} vs twice {}", once.peak(), twice.peak()
+        );
+    }
+
+    /// The hottest cell is always one with power, or adjacent to heat —
+    /// never a far corner (maximum principle).
+    #[test]
+    fn maximum_sits_on_a_source(cell in 0usize..16) {
+        let m = model();
+        let mut power = vec![0.0; 16];
+        power[cell] = 1e-3;
+        let ss = m.steady_state(&power);
+        prop_assert_eq!(ss.argmax(), cell);
+    }
+
+    /// States never drop below ambient under non-negative power.
+    #[test]
+    fn no_subcooling(power in arb_power(), dt in 1e-7f64..1e-2) {
+        let m = model();
+        let mut s = m.ambient_state();
+        m.step(&mut s, &power, dt);
+        prop_assert!(s.min() >= m.ambient() - 1e-9);
+        let ss = m.steady_state(&power);
+        prop_assert!(ss.min() >= m.ambient() - 1e-6);
+    }
+
+    /// Pearson correlation of a map with itself is 1; scaling preserves it.
+    #[test]
+    fn correlation_sanity(power in arb_power()) {
+        prop_assume!(power.iter().any(|&p| p > 1e-5));
+        let m = model();
+        let ss = m.steady_state(&power);
+        // Need spatial variation for correlation to be defined.
+        prop_assume!(ss.stddev() > 1e-9);
+        prop_assert!((ss.pearson(&ss) - 1.0).abs() < 1e-9);
+        let mut scaled = ThermalState::from_vec(
+            ss.temps().iter().map(|t| t * 2.0 + 5.0).collect());
+        prop_assert!((ss.pearson(&scaled) - 1.0).abs() < 1e-9);
+        scaled.scale(-1.0);
+        prop_assert!((ss.pearson(&scaled) + 1.0).abs() < 1e-9);
+    }
+}

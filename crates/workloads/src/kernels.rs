@@ -1,0 +1,573 @@
+//! Hand-built benchmark kernels expressed in the `tadfa-ir` builder.
+//!
+//! The kernels cover the regimes the paper reasons about: tight loops
+//! hammering accumulators (hot-spot producers), wide straight-line
+//! arithmetic (register-pressure producers), and memory-bound loops
+//! (low RF activity). Each returns a [`Workload`] with canonical inputs
+//! and, where practical, the expected result.
+
+use tadfa_ir::{Function, FunctionBuilder, MemSlot, VReg};
+
+/// A runnable benchmark: the function plus canonical inputs.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Short name ("matmul", "fir", …).
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// The program.
+    pub func: Function,
+    /// Canonical arguments.
+    pub args: Vec<i64>,
+    /// Expected return value under the canonical inputs, when known.
+    pub expected: Option<i64>,
+    /// Memory preloads `(slot, contents)`.
+    pub preload: Vec<(MemSlot, Vec<i64>)>,
+}
+
+/// Emits `for i in 0..limit { body(i) }`; the cursor continues in the
+/// exit block.
+fn counted_loop<F: FnMut(&mut FunctionBuilder, VReg)>(
+    b: &mut FunctionBuilder,
+    limit: VReg,
+    mut body: F,
+) {
+    let header = b.new_block();
+    let body_bb = b.new_block();
+    let exit = b.new_block();
+    let i = b.iconst(0);
+    b.jump(header);
+    b.switch_to(header);
+    let done = b.cmpge(i, limit);
+    b.branch(done, exit, body_bb);
+    b.switch_to(body_bb);
+    body(b, i);
+    let one = b.iconst(1);
+    let i2 = b.add(i, one);
+    b.mov_into(i, i2);
+    b.jump(header);
+    b.switch_to(exit);
+}
+
+/// Dense `N×N` integer matrix multiply, `c = a·b`; returns `c[0]`.
+pub fn matmul(n: i64) -> Workload {
+    let nu = n as usize;
+    let mut b = FunctionBuilder::new("matmul");
+    let a = b.slot("a", nu * nu);
+    let bm = b.slot("b", nu * nu);
+    let c = b.slot("c", nu * nu);
+    let nn = b.iconst(n);
+
+    counted_loop(&mut b, nn, |b, i| {
+        let nn2 = b.iconst(n);
+        counted_loop(b, nn2, |b, j| {
+            let acc = b.iconst(0);
+            let nn3 = b.iconst(n);
+            counted_loop(b, nn3, |b, k| {
+                let n_r = b.iconst(n);
+                let in_ = b.mul(i, n_r);
+                let ik = b.add(in_, k);
+                let av = b.load(a, ik);
+                let kn = b.mul(k, n_r);
+                let kj = b.add(kn, j);
+                let bv = b.load(bm, kj);
+                let prod = b.mul(av, bv);
+                let acc2 = b.add(acc, prod);
+                b.mov_into(acc, acc2);
+            });
+            let n_r = b.iconst(n);
+            let in_ = b.mul(i, n_r);
+            let ij = b.add(in_, j);
+            b.store(c, ij, acc);
+        });
+    });
+    let zero = b.iconst(0);
+    let c0 = b.load(c, zero);
+    b.ret(Some(c0));
+
+    // Preload: a[i] = (i % 7) + 1, b[i] = (i % 5) + 1.
+    let av: Vec<i64> = (0..(n * n)).map(|i| (i % 7) + 1).collect();
+    let bv: Vec<i64> = (0..(n * n)).map(|i| (i % 5) + 1).collect();
+    // c[0] = Σ_k a[k] · b[k·n] for row 0 / col 0.
+    let expected: i64 = (0..n).map(|k| ((k % 7) + 1) * (((k * n) % 5) + 1)).sum();
+
+    Workload {
+        name: "matmul",
+        description: "dense N×N integer matrix multiply (triple loop)",
+        func: b.finish(),
+        args: vec![],
+        expected: Some(expected),
+        preload: vec![(a, av), (bm, bv)],
+    }
+}
+
+/// `taps`-tap FIR filter over `len` samples; returns the sum of outputs.
+pub fn fir(len: i64, taps: i64) -> Workload {
+    let mut b = FunctionBuilder::new("fir");
+    let x = b.slot("x", (len + taps) as usize);
+    let h = b.slot("h", taps as usize);
+    let y = b.slot("y", len as usize);
+    let acc_total = b.iconst(0);
+    let n = b.iconst(len);
+    counted_loop(&mut b, n, |b, i| {
+        let acc = b.iconst(0);
+        let nt = b.iconst(taps);
+        counted_loop(b, nt, |b, t| {
+            let it = b.add(i, t);
+            let xv = b.load(x, it);
+            let hv = b.load(h, t);
+            let prod = b.mul(xv, hv);
+            let acc2 = b.add(acc, prod);
+            b.mov_into(acc, acc2);
+        });
+        b.store(y, i, acc);
+        let tot2 = b.add(acc_total, acc);
+        b.mov_into(acc_total, tot2);
+    });
+    b.ret(Some(acc_total));
+
+    let xv: Vec<i64> = (0..(len + taps)).map(|i| i % 3).collect();
+    let hv: Vec<i64> = (0..taps).map(|t| t + 1).collect();
+    let mut expected = 0i64;
+    for i in 0..len {
+        for t in 0..taps {
+            expected += ((i + t) % 3) * (t + 1);
+        }
+    }
+
+    Workload {
+        name: "fir",
+        description: "FIR filter (multiply-accumulate inner loop)",
+        func: b.finish(),
+        args: vec![],
+        expected: Some(expected),
+        preload: vec![(x, xv), (h, hv)],
+    }
+}
+
+/// Dot product of two `len`-vectors.
+pub fn dot_product(len: i64) -> Workload {
+    let mut b = FunctionBuilder::new("dot");
+    let xs = b.slot("xs", len as usize);
+    let ys = b.slot("ys", len as usize);
+    let acc = b.iconst(0);
+    let n = b.iconst(len);
+    counted_loop(&mut b, n, |b, i| {
+        let xv = b.load(xs, i);
+        let yv = b.load(ys, i);
+        let p = b.mul(xv, yv);
+        let acc2 = b.add(acc, p);
+        b.mov_into(acc, acc2);
+    });
+    b.ret(Some(acc));
+
+    let xv: Vec<i64> = (0..len).map(|i| i + 1).collect();
+    let yv: Vec<i64> = (0..len).map(|i| 2 * i - 3).collect();
+    let expected: i64 = (0..len).map(|i| (i + 1) * (2 * i - 3)).sum();
+
+    Workload {
+        name: "dot",
+        description: "dot product of two integer vectors",
+        func: b.finish(),
+        args: vec![],
+        expected: Some(expected),
+        preload: vec![(xs, xv), (ys, yv)],
+    }
+}
+
+/// Iterative Fibonacci — two registers hammered in a tight loop, the
+/// canonical hot-spot producer.
+pub fn fibonacci() -> Workload {
+    let mut b = FunctionBuilder::new("fib");
+    let n = b.param();
+    let a = b.iconst(0);
+    let bb = b.iconst(1);
+    counted_loop(&mut b, n, |bld, _i| {
+        let next = bld.add(a, bb);
+        bld.mov_into(a, bb);
+        bld.mov_into(bb, next);
+    });
+    b.ret(Some(a));
+    Workload {
+        name: "fib",
+        description: "iterative Fibonacci (two hammered registers)",
+        func: b.finish(),
+        args: vec![30],
+        expected: Some(832040),
+        preload: vec![],
+    }
+}
+
+/// A CRC-like checksum: shift/xor/mask loop over a buffer.
+pub fn checksum(len: i64) -> Workload {
+    let mut b = FunctionBuilder::new("checksum");
+    let data = b.slot("data", len as usize);
+    let state = b.iconst(0x1D0F);
+    let n = b.iconst(len);
+    counted_loop(&mut b, n, |bld, i| {
+        let v = bld.load(data, i);
+        let x = bld.xor(state, v);
+        let k5 = bld.iconst(5);
+        let l = bld.shl(x, k5);
+        let k11 = bld.iconst(11);
+        let r = bld.shr(x, k11);
+        let mixed = bld.xor(l, r);
+        let mask = bld.iconst(0xFFFF_FFFF);
+        let masked = bld.and(mixed, mask);
+        bld.mov_into(state, masked);
+    });
+    b.ret(Some(state));
+
+    let contents: Vec<i64> = (0..len).map(|i| (i * 37 + 11) % 251).collect();
+    // Expected computed by mirroring the loop.
+    let mut s: i64 = 0x1D0F;
+    for &v in &contents {
+        let x = s ^ v;
+        s = ((x << 5) ^ (x >> 11)) & 0xFFFF_FFFF;
+    }
+
+    Workload {
+        name: "checksum",
+        description: "CRC-like shift/xor checksum over a buffer",
+        func: b.finish(),
+        args: vec![],
+        expected: Some(s),
+        preload: vec![(data, contents)],
+    }
+}
+
+/// Bubble sort of `len` elements; returns the final last element (the
+/// maximum).
+pub fn bubble_sort(len: i64) -> Workload {
+    let mut b = FunctionBuilder::new("bsort");
+    let arr = b.slot("arr", len as usize);
+    let n1 = b.iconst(len - 1);
+    counted_loop(&mut b, n1, |b, _pass| {
+        let n1b = b.iconst(len - 1);
+        counted_loop(b, n1b, |b, j| {
+            let one = b.iconst(1);
+            let j1 = b.add(j, one);
+            let x = b.load(arr, j);
+            let y = b.load(arr, j1);
+            let gt = b.cmpgt(x, y);
+            // Branchless swap with select.
+            let lo = b.select(gt, y, x);
+            let hi = b.select(gt, x, y);
+            b.store(arr, j, lo);
+            b.store(arr, j1, hi);
+        });
+    });
+    let last = b.iconst(len - 1);
+    let max = b.load(arr, last);
+    b.ret(Some(max));
+
+    let data: Vec<i64> = (0..len).map(|i| (i * 83 + 29) % 101).collect();
+    let expected = data.iter().copied().max();
+
+    Workload {
+        name: "bsort",
+        description: "bubble sort with branchless select-swaps",
+        func: b.finish(),
+        args: vec![],
+        expected,
+        preload: vec![(MemSlot::new(0), data)],
+    }
+}
+
+/// 3-point 1-D stencil: `out[i] = in[i-1] + 2·in[i] + in[i+1]`.
+pub fn stencil(len: i64) -> Workload {
+    let mut b = FunctionBuilder::new("stencil");
+    let input = b.slot("in", (len + 2) as usize);
+    let output = b.slot("out", len as usize);
+    let total = b.iconst(0);
+    let n = b.iconst(len);
+    counted_loop(&mut b, n, |b, i| {
+        let one = b.iconst(1);
+        let two = b.iconst(2);
+        let i1 = b.add(i, one);
+        let i2 = b.add(i1, one);
+        let left = b.load(input, i);
+        let mid = b.load(input, i1);
+        let right = b.load(input, i2);
+        let mid2 = b.mul(mid, two);
+        let s1 = b.add(left, mid2);
+        let s2 = b.add(s1, right);
+        b.store(output, i, s2);
+        let t2 = b.add(total, s2);
+        b.mov_into(total, t2);
+    });
+    b.ret(Some(total));
+
+    let iv: Vec<i64> = (0..(len + 2)).map(|i| i % 9).collect();
+    let mut expected = 0;
+    for i in 0..len {
+        expected += (i % 9) + 2 * ((i + 1) % 9) + ((i + 2) % 9);
+    }
+
+    Workload {
+        name: "stencil",
+        description: "3-point 1-D stencil sweep",
+        func: b.finish(),
+        args: vec![],
+        expected: Some(expected),
+        preload: vec![(input, iv)],
+    }
+}
+
+/// `y = a·x + y` over `len` elements; returns `y[len-1]`.
+pub fn saxpy(len: i64) -> Workload {
+    let mut b = FunctionBuilder::new("saxpy");
+    let a = b.param();
+    let xs = b.slot("xs", len as usize);
+    let ys = b.slot("ys", len as usize);
+    let n = b.iconst(len);
+    counted_loop(&mut b, n, |b, i| {
+        let xv = b.load(xs, i);
+        let yv = b.load(ys, i);
+        let ax = b.mul(a, xv);
+        let s = b.add(ax, yv);
+        b.store(ys, i, s);
+    });
+    let last = b.iconst(len - 1);
+    let out = b.load(ys, last);
+    b.ret(Some(out));
+
+    let xv: Vec<i64> = (0..len).map(|i| i).collect();
+    let yv: Vec<i64> = (0..len).map(|i| 100 - i).collect();
+    let a_arg = 3i64;
+    let expected = a_arg * (len - 1) + (100 - (len - 1));
+
+    Workload {
+        name: "saxpy",
+        description: "scaled vector add (a·x + y)",
+        func: b.finish(),
+        args: vec![a_arg],
+        expected: Some(expected),
+        preload: vec![(xs, xv), (ys, yv)],
+    }
+}
+
+/// Histogram of `len` values into 8 bins; returns the largest bin count.
+pub fn histogram(len: i64) -> Workload {
+    let mut b = FunctionBuilder::new("hist");
+    let data = b.slot("data", len as usize);
+    let bins = b.slot("bins", 8);
+    let n = b.iconst(len);
+    counted_loop(&mut b, n, |b, i| {
+        let v = b.load(data, i);
+        let seven = b.iconst(7);
+        let bin = b.and(v, seven);
+        let cur = b.load(bins, bin);
+        let one = b.iconst(1);
+        let inc = b.add(cur, one);
+        b.store(bins, bin, inc);
+    });
+    // max over bins
+    let max = b.iconst(0);
+    let eight = b.iconst(8);
+    counted_loop(&mut b, eight, |b, i| {
+        let v = b.load(bins, i);
+        let gt = b.cmpgt(v, max);
+        let m2 = b.select(gt, v, max);
+        b.mov_into(max, m2);
+    });
+    b.ret(Some(max));
+
+    let contents: Vec<i64> = (0..len).map(|i| (i * 13 + 5) % 97).collect();
+    let mut counts = [0i64; 8];
+    for &v in &contents {
+        counts[(v & 7) as usize] += 1;
+    }
+    let expected = counts.iter().copied().max();
+    let _ = bins;
+
+    Workload {
+        name: "hist",
+        description: "8-bin histogram with data-dependent indexing",
+        func: b.finish(),
+        args: vec![],
+        expected,
+        preload: vec![(data, contents)],
+    }
+}
+
+/// An 8-point butterfly (IDCT-like): wide straight-line arithmetic with
+/// high register pressure and no loops.
+pub fn butterfly() -> Workload {
+    let mut b = FunctionBuilder::new("butterfly");
+    let inputs: Vec<VReg> = (0..8).map(|_| b.param()).collect();
+    // Stage 1: pairwise sums/differences.
+    let mut s1 = Vec::new();
+    for k in 0..4 {
+        let a = b.add(inputs[k], inputs[7 - k]);
+        let d = b.sub(inputs[k], inputs[7 - k]);
+        s1.push(a);
+        s1.push(d);
+    }
+    // Stage 2: cross combinations with small constant scalings.
+    let mut s2 = Vec::new();
+    for k in 0..4 {
+        let c = b.iconst((k as i64) + 2);
+        let m = b.mul(s1[k], c);
+        let t = b.add(m, s1[7 - k]);
+        s2.push(t);
+    }
+    // Stage 3: fold everything.
+    let mut acc = s2[0];
+    for &v in &s2[1..] {
+        let x = b.xor(acc, v);
+        acc = b.add(x, v);
+    }
+    b.ret(Some(acc));
+
+    // Mirror to compute the expected value.
+    let args: Vec<i64> = vec![3, -1, 4, 1, -5, 9, 2, -6];
+    let mut s1v = Vec::new();
+    for k in 0..4 {
+        s1v.push(args[k] + args[7 - k]);
+        s1v.push(args[k] - args[7 - k]);
+    }
+    let mut s2v = Vec::new();
+    for k in 0..4 {
+        s2v.push(s1v[k] * ((k as i64) + 2) + s1v[7 - k]);
+    }
+    let mut acc = s2v[0];
+    for &v in &s2v[1..] {
+        acc = (acc ^ v).wrapping_add(v);
+    }
+
+    Workload {
+        name: "butterfly",
+        description: "8-point butterfly: wide straight-line arithmetic, high pressure",
+        func: b.finish(),
+        args,
+        expected: Some(acc),
+        preload: vec![],
+    }
+}
+
+/// Population count over a loop of shifted masks.
+pub fn popcount() -> Workload {
+    let mut b = FunctionBuilder::new("popcount");
+    let x = b.param();
+    let count = b.iconst(0);
+    let bits = b.iconst(64);
+    counted_loop(&mut b, bits, |b, i| {
+        let shifted = b.shr(x, i);
+        let one = b.iconst(1);
+        let bit = b.and(shifted, one);
+        let c2 = b.add(count, bit);
+        b.mov_into(count, c2);
+    });
+    b.ret(Some(count));
+    Workload {
+        name: "popcount",
+        description: "bit-count loop (shift/and/add)",
+        func: b.finish(),
+        args: vec![0x0123_4567_89AB_CDEFi64],
+        expected: Some(0x0123_4567_89AB_CDEFi64.count_ones() as i64),
+        preload: vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tadfa_ir::Verifier;
+    use tadfa_sim::Interpreter;
+
+    fn check(w: &Workload) {
+        assert!(
+            Verifier::new(&w.func).run().is_ok(),
+            "{} fails verification",
+            w.name
+        );
+        let mut interp = Interpreter::new(&w.func).with_fuel(50_000_000);
+        for (slot, data) in &w.preload {
+            interp = interp.with_slot_data(*slot, data.clone());
+        }
+        let r = interp.run(&w.args).unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+        if let Some(exp) = w.expected {
+            assert_eq!(r.ret, Some(exp), "{} wrong answer", w.name);
+        }
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn matmul_correct() {
+        check(&matmul(5));
+    }
+
+    #[test]
+    fn fir_correct() {
+        check(&fir(16, 4));
+    }
+
+    #[test]
+    fn dot_correct() {
+        check(&dot_product(24));
+    }
+
+    #[test]
+    fn fib_correct() {
+        check(&fibonacci());
+    }
+
+    #[test]
+    fn checksum_correct() {
+        check(&checksum(32));
+    }
+
+    #[test]
+    fn bubble_sort_correct_and_sorted() {
+        let w = bubble_sort(12);
+        check(&w);
+        // Full sortedness check through final memory.
+        let mut interp = Interpreter::new(&w.func).with_fuel(50_000_000);
+        for (slot, data) in &w.preload {
+            interp = interp.with_slot_data(*slot, data.clone());
+        }
+        let r = interp.run(&w.args).unwrap();
+        let arr = &r.memory[0];
+        assert!(arr.windows(2).all(|p| p[0] <= p[1]), "not sorted: {arr:?}");
+    }
+
+    #[test]
+    fn stencil_correct() {
+        check(&stencil(20));
+    }
+
+    #[test]
+    fn saxpy_correct() {
+        check(&saxpy(16));
+    }
+
+    #[test]
+    fn histogram_correct() {
+        check(&histogram(64));
+    }
+
+    #[test]
+    fn butterfly_correct() {
+        check(&butterfly());
+    }
+
+    #[test]
+    fn popcount_correct() {
+        check(&popcount());
+    }
+
+    #[test]
+    fn butterfly_has_high_pressure() {
+        use tadfa_dataflow::Liveness;
+        use tadfa_ir::Cfg;
+        let w = butterfly();
+        let cfg = Cfg::compute(&w.func);
+        let live = Liveness::compute(&w.func, &cfg);
+        assert!(
+            live.max_pressure(&w.func) >= 8,
+            "butterfly pressure {}",
+            live.max_pressure(&w.func)
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! # tadfa-workloads — benchmark kernels and program generation
+//!
+//! The workload substrate of the *Thermal-Aware Data Flow Analysis*
+//! reproduction (DAC 2009): eleven hand-built kernels spanning the
+//! loop/pressure regimes the paper reasons about, a seeded random program
+//! generator with a register-pressure knob (the §2 caveat experiment),
+//! and pre-packaged suites for the experiment binaries.
+//!
+//! ## Example
+//!
+//! ```
+//! use tadfa_workloads::{standard_suite, fibonacci};
+//! use tadfa_sim::Interpreter;
+//!
+//! let w = fibonacci();
+//! let r = Interpreter::new(&w.func).run(&w.args)?;
+//! assert_eq!(r.ret, w.expected);
+//! assert_eq!(standard_suite().len(), 11);
+//! # Ok::<(), tadfa_sim::SimError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod generator;
+mod kernels;
+mod suite;
+
+pub use generator::{generate, GeneratorConfig};
+pub use kernels::{
+    bubble_sort, butterfly, checksum, dot_product, fibonacci, fir, histogram, matmul, popcount,
+    saxpy, stencil, Workload,
+};
+pub use suite::{irregular_batch, pressure_ladder, standard_suite};

@@ -1,0 +1,107 @@
+//! The standard workload suite used by examples, integration tests and
+//! the experiment binaries.
+
+use crate::generator::{generate, GeneratorConfig};
+use crate::kernels::{
+    bubble_sort, butterfly, checksum, dot_product, fibonacci, fir, histogram, matmul, popcount,
+    saxpy, stencil, Workload,
+};
+
+/// The ten hand-built kernels at their canonical sizes.
+pub fn standard_suite() -> Vec<Workload> {
+    vec![
+        matmul(5),
+        fir(16, 4),
+        dot_product(24),
+        fibonacci(),
+        checksum(32),
+        bubble_sort(12),
+        stencil(20),
+        saxpy(16),
+        histogram(64),
+        butterfly(),
+        popcount(),
+    ]
+}
+
+/// A pressure ladder of generated programs: one per requested pressure
+/// level, sharing every other generator parameter. The E2 input.
+pub fn pressure_ladder(levels: &[usize], seed: u64) -> Vec<(usize, tadfa_ir::Function)> {
+    levels
+        .iter()
+        .map(|&p| {
+            let f = generate(&GeneratorConfig {
+                seed: seed.wrapping_add(p as u64),
+                pressure: p,
+                ..GeneratorConfig::default()
+            });
+            (p, f)
+        })
+        .collect()
+}
+
+/// A batch of irregular programs for convergence stressing (E3).
+pub fn irregular_batch(count: usize, seed: u64) -> Vec<tadfa_ir::Function> {
+    (0..count)
+        .map(|k| {
+            generate(&GeneratorConfig {
+                seed: seed.wrapping_add(k as u64).wrapping_mul(0x9E37_79B9),
+                segments: 8,
+                loops: 3,
+                exprs_per_segment: 10,
+                pressure: 10,
+                memory: true,
+                ..GeneratorConfig::default()
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tadfa_ir::Verifier;
+    use tadfa_sim::Interpreter;
+
+    #[test]
+    fn suite_has_eleven_distinct_kernels() {
+        let suite = standard_suite();
+        assert_eq!(suite.len(), 11);
+        let names: std::collections::BTreeSet<&str> =
+            suite.iter().map(|w| w.name).collect();
+        assert_eq!(names.len(), 11, "names unique");
+    }
+
+    #[test]
+    fn whole_suite_verifies_and_runs() {
+        for w in standard_suite() {
+            assert!(Verifier::new(&w.func).run().is_ok(), "{}", w.name);
+            let mut interp = Interpreter::new(&w.func).with_fuel(50_000_000);
+            for (slot, data) in &w.preload {
+                interp = interp.with_slot_data(*slot, data.clone());
+            }
+            let r = interp.run(&w.args).unwrap();
+            if let Some(e) = w.expected {
+                assert_eq!(r.ret, Some(e), "{}", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn pressure_ladder_is_ascending() {
+        let ladder = pressure_ladder(&[2, 8, 14], 42);
+        assert_eq!(ladder.len(), 3);
+        assert_eq!(ladder[0].0, 2);
+        assert_eq!(ladder[2].0, 14);
+        for (_, f) in &ladder {
+            assert!(Verifier::new(f).run().is_ok());
+        }
+    }
+
+    #[test]
+    fn irregular_batch_verifies() {
+        for f in irregular_batch(5, 7) {
+            assert!(Verifier::new(&f).run().is_ok());
+        }
+    }
+}

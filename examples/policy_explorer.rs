@@ -1,0 +1,73 @@
+//! The §2 caveat, interactively: sweep register pressure and watch the
+//! chessboard policy's uniformity collapse once programs need more than
+//! half the register file.
+//!
+//! Run: `cargo run --example policy_explorer`
+
+use tadfa::prelude::*;
+use tadfa::sim::{simulate_trace, CosimConfig};
+use tadfa::workloads::{generate, GeneratorConfig};
+
+fn sigma_under(policy_name: &str, pressure: usize, rf: &RegisterFile) -> Option<(f64, f64)> {
+    let func = generate(&GeneratorConfig {
+        seed: 77 + pressure as u64,
+        pressure,
+        segments: 5,
+        exprs_per_segment: 10,
+        loops: 2,
+        trip_count: 100,
+        memory: false,
+        hot_vars: 0,
+        hot_weight: 8,
+    });
+    let mut func = func;
+    let mut policy = tadfa::regalloc::policy_by_name(policy_name, rf, 9)?;
+    let alloc =
+        allocate_linear_scan(&mut func, rf, policy.as_mut(), &RegAllocConfig::default()).ok()?;
+    let exec = Interpreter::new(&func)
+        .with_assignment(&alloc.assignment)
+        .with_fuel(50_000_000)
+        .run(&[3, 7])
+        .ok()?;
+    let model = ThermalModel::new(rf.floorplan().clone(), RcParams::default());
+    let map = simulate_trace(
+        &exec.trace,
+        rf,
+        &model,
+        &PowerModel::default(),
+        &CosimConfig::default(),
+    )
+    .peak_map;
+    let stats = MapStats::of(&map, rf.floorplan());
+    Some((stats.peak, stats.stddev))
+}
+
+fn main() {
+    let rf = RegisterFile::new(Floorplan::grid(8, 8));
+    let half = rf.num_regs() / 2;
+    println!(
+        "chessboard degradation with register pressure (RF = {} regs, half = {half})\n",
+        rf.num_regs()
+    );
+    println!("{:>8}  {:>10} {:>9}  {:>10} {:>9}", "pressure", "ff peak", "ff σ", "cb peak", "cb σ");
+
+    for pressure in [4usize, 12, 20, 28, 36, 44, 52] {
+        let ff = sigma_under("first-free", pressure, &rf);
+        let cb = sigma_under("chessboard", pressure, &rf);
+        match (ff, cb) {
+            (Some((fp, fs)), Some((cp, cs))) => {
+                let marker = if pressure > half { "  <- past half the file" } else { "" };
+                println!(
+                    "{pressure:>8}  {fp:>10.2} {fs:>9.3}  {cp:>10.2} {cs:>9.3}{marker}"
+                );
+            }
+            _ => println!("{pressure:>8}  (allocation failed — pressure exceeds the file)"),
+        }
+    }
+
+    println!(
+        "\nWhile pressure stays below half the file the chessboard keeps σ low; past \
+         half, white cells fill up and its advantage erodes — \"thermal gradients may \
+         still appear … even trying to apply the chessboard pattern\" (§2)."
+    );
+}

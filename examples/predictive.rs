@@ -1,0 +1,75 @@
+//! The paper's "more ambitious possibility": predict the thermal map
+//! *before* register allocation, then let the prediction drive the
+//! assignment — no thermal-simulation feedback loop anywhere.
+//!
+//! Run: `cargo run --example predictive`
+
+use tadfa::prelude::*;
+use tadfa::sim::{simulate_trace, CosimConfig};
+
+fn main() {
+    let w = tadfa::workloads::matmul(5);
+    let rf = RegisterFile::new(Floorplan::grid(8, 8));
+    println!("predictive (pre-assignment) analysis on '{}'\n", w.name);
+
+    // 1. Predict, with no assignment in hand: loop-weighted access
+    //    frequencies + a rehearsal of the expected allocator behaviour.
+    let predictive = PredictiveDfa::new(
+        &w.func,
+        &rf,
+        RcParams::default(),
+        PowerModel::default(),
+        PredictiveConfig { prior: PlacementPrior::FirstFree, ..PredictiveConfig::default() },
+    );
+    let prediction = predictive.run().expect("prediction runs");
+
+    println!("predicted hottest variables (before any assignment!):");
+    for (v, score) in prediction.ranked.iter().take(5) {
+        println!("  {v}: {score:.3e}");
+    }
+    println!("\npredicted map (auto-scaled):");
+    print!("{}", render_ascii_auto(&prediction.expected_map, rf.floorplan()));
+
+    // 2. Use the prediction: coldest-first assignment over the predicted
+    //    cell scores.
+    let mut func = w.func.clone();
+    let mut scores = prediction.cell_scores();
+    let max = scores.iter().cloned().fold(0.0f64, f64::max);
+    if max > 0.0 {
+        for s in &mut scores {
+            *s /= max;
+        }
+    }
+    let mut policy = ColdestFirst::new(scores, 0.25);
+    let alloc = allocate_linear_scan(&mut func, &rf, &mut policy, &RegAllocConfig::default())
+        .expect("matmul allocates");
+
+    // 3. Check the result against ground truth.
+    let mut interp = Interpreter::new(&func)
+        .with_assignment(&alloc.assignment)
+        .with_fuel(50_000_000);
+    for (slot, data) in &w.preload {
+        interp = interp.with_slot_data(*slot, data.clone());
+    }
+    let exec = interp.run(&w.args).expect("matmul runs");
+    let model = ThermalModel::new(rf.floorplan().clone(), RcParams::default());
+    let measured = simulate_trace(
+        &exec.trace,
+        &rf,
+        &model,
+        &PowerModel::default(),
+        &CosimConfig::default(),
+    )
+    .peak_map;
+
+    let stats = MapStats::of(&measured, rf.floorplan());
+    println!("\nmeasured map after prediction-driven assignment:");
+    print!("{}", render_ascii_auto(&measured, rf.floorplan()));
+    println!("\npeak {:.2} K, σ {:.3} K — compare `cargo run -p tadfa-bench --bin predictive_eval`", stats.peak, stats.stddev);
+
+    let acc = compare_maps(&prediction.expected_map, &measured, rf.floorplan());
+    println!(
+        "prediction vs measurement: RMS {:.3} K, Pearson {:.3}, hotspot distance {} cells",
+        acc.rms, acc.pearson, acc.hotspot_distance
+    );
+}

@@ -1,0 +1,73 @@
+//! # tadfa — Thermal-Aware Data Flow Analysis
+//!
+//! A complete, from-scratch reproduction of *Thermal-Aware Data Flow
+//! Analysis* (José L. Ayala, David Atienza, Philip Brisk — DAC 2009) as a
+//! Rust workspace. This facade crate re-exports every sub-crate:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`ir`] | three-address IR, CFG, dominators, loops, parser, verifier |
+//! | [`dataflow`] | worklist solver, liveness, reaching defs, available exprs, bitwidth, live intervals |
+//! | [`thermal`] | register-file floorplan, RC compact model, power model, heat maps |
+//! | [`regalloc`] | linear-scan + coloring allocators, Fig. 1 assignment policies |
+//! | [`core`] | **the paper**: the thermal DFA (Fig. 2), δ-convergence, critical variables, predictive mode |
+//! | [`opt`] | §4 optimizations: spill-critical, splitting, scheduling, promotion, NOPs |
+//! | [`sim`] | IR interpreter, access traces, thermal co-simulation (ground truth) |
+//! | [`workloads`] | benchmark kernels + seeded program generator |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tadfa::prelude::*;
+//!
+//! // 1. A workload.
+//! let w = tadfa::workloads::fibonacci();
+//! let mut func = w.func.clone();
+//!
+//! // 2. Allocate registers onto an 8×8 file with the compiler-default
+//! //    (hot-spot-producing) first-free policy.
+//! let rf = RegisterFile::new(Floorplan::grid(8, 8));
+//! let alloc = allocate_linear_scan(
+//!     &mut func, &rf, &mut FirstFree, &RegAllocConfig::default()).unwrap();
+//!
+//! // 3. Run the paper's thermal data flow analysis.
+//! let grid = AnalysisGrid::full(&rf, RcParams::default());
+//! let result = ThermalDfa::new(
+//!     &func, &alloc.assignment, &grid,
+//!     PowerModel::default(), ThermalDfaConfig::default()).run();
+//!
+//! assert!(result.convergence.is_converged());
+//! assert!(result.peak_temperature() > grid.model().ambient());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use tadfa_core as core;
+pub use tadfa_dataflow as dataflow;
+pub use tadfa_ir as ir;
+pub use tadfa_opt as opt;
+pub use tadfa_regalloc as regalloc;
+pub use tadfa_sim as sim;
+pub use tadfa_thermal as thermal;
+pub use tadfa_workloads as workloads;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use tadfa_core::{
+        AnalysisGrid, Convergence, CriticalConfig, CriticalSet, MergeRule, PlacementPrior,
+        PredictiveConfig, PredictiveDfa, ThermalDfa, ThermalDfaConfig,
+    };
+    pub use tadfa_dataflow::{DefUse, Liveness};
+    pub use tadfa_ir::{Cfg, Function, FunctionBuilder, Opcode, PReg, VReg, Verifier};
+    pub use tadfa_opt::{run_thermal_pipeline, OptKind, PipelineConfig};
+    pub use tadfa_regalloc::{
+        allocate_coloring, allocate_linear_scan, AssignmentPolicy, Chessboard, ColdestFirst,
+        FarthestSpread, FirstFree, RandomPolicy, RegAllocConfig, RoundRobin,
+    };
+    pub use tadfa_sim::{compare_maps, simulate_trace, CosimConfig, Interpreter};
+    pub use tadfa_thermal::{
+        render_ascii_auto, Floorplan, MapStats, PowerModel, RcParams, RegisterFile, ThermalModel,
+        ThermalState,
+    };
+    pub use tadfa_workloads::standard_suite;
+}

@@ -1,0 +1,207 @@
+//! Cheap assertions of the experiment *shapes* documented in
+//! EXPERIMENTS.md — who wins, in what order — so regressions in the
+//! reproduced results fail CI, not just the prose.
+
+use tadfa::prelude::*;
+use tadfa::sim::{simulate_trace, CosimConfig};
+use tadfa::workloads::{generate, GeneratorConfig};
+
+fn measured_stats(
+    func: &tadfa::ir::Function,
+    rf: &RegisterFile,
+    policy: &mut dyn AssignmentPolicy,
+) -> MapStats {
+    let mut func = func.clone();
+    let alloc = allocate_linear_scan(&mut func, rf, policy, &RegAllocConfig::default())
+        .expect("workload allocates");
+    let exec = Interpreter::new(&func)
+        .with_assignment(&alloc.assignment)
+        .with_fuel(50_000_000)
+        .run(&[3, 7])
+        .expect("workload runs");
+    let model = ThermalModel::new(rf.floorplan().clone(), RcParams::default());
+    let map = simulate_trace(
+        &exec.trace,
+        rf,
+        &model,
+        &PowerModel::default(),
+        &CosimConfig::default(),
+    )
+    .peak_map;
+    MapStats::of(&map, rf.floorplan())
+}
+
+fn fig1_workload(pressure: usize) -> tadfa::ir::Function {
+    generate(&GeneratorConfig {
+        seed: 2009,
+        segments: 5,
+        exprs_per_segment: 10,
+        pressure,
+        loops: 2,
+        trip_count: 100,
+        memory: false,
+        hot_vars: 0,
+        hot_weight: 8,
+    })
+}
+
+/// E1 / Fig. 1: the ordered first-free policy produces the hottest, most
+/// uneven map; chessboard and random are far more uniform.
+#[test]
+fn e1_first_free_is_the_hot_spot_producer() {
+    let rf = RegisterFile::new(Floorplan::grid(8, 8));
+    let func = fig1_workload(24);
+
+    let ff = measured_stats(&func, &rf, &mut FirstFree);
+    let cb = measured_stats(&func, &rf, &mut Chessboard::default());
+    let rnd = measured_stats(&func, &rf, &mut RandomPolicy::new(3));
+
+    assert!(ff.peak > cb.peak + 1.0, "ff {:.2} vs cb {:.2}", ff.peak, cb.peak);
+    assert!(ff.peak > rnd.peak + 1.0, "ff {:.2} vs rnd {:.2}", ff.peak, rnd.peak);
+    assert!(ff.stddev > 2.0 * cb.stddev, "ff σ {:.3} vs cb σ {:.3}", ff.stddev, cb.stddev);
+    assert!(
+        ff.max_gradient > cb.max_gradient,
+        "ff ∇ {:.3} vs cb ∇ {:.3}",
+        ff.max_gradient,
+        cb.max_gradient
+    );
+}
+
+/// E2 / §2 caveat: chessboard's uniformity degrades once pressure passes
+/// half the register file.
+#[test]
+fn e2_chessboard_degrades_past_half_pressure() {
+    let rf = RegisterFile::new(Floorplan::grid(8, 8));
+    let low = measured_stats(&fig1_workload(12), &rf, &mut Chessboard::default());
+    let high = measured_stats(&fig1_workload(40), &rf, &mut Chessboard::default());
+    assert!(
+        high.stddev > 1.5 * low.stddev,
+        "σ low-pressure {:.3} vs past-half {:.3}",
+        low.stddev,
+        high.stddev
+    );
+}
+
+/// E3 / Fig. 2: iterations grow as δ shrinks; the iteration cap reports
+/// non-convergence.
+#[test]
+fn e3_delta_controls_iterations() {
+    let rf = RegisterFile::new(Floorplan::grid(4, 4));
+    let mut func = tadfa::workloads::fibonacci().func;
+    let alloc =
+        allocate_linear_scan(&mut func, &rf, &mut FirstFree, &RegAllocConfig::default())
+            .unwrap();
+    let grid = AnalysisGrid::full(&rf, RcParams::default());
+    let pm = PowerModel::default();
+
+    let run = |delta: f64, cap: usize| {
+        let cfg = ThermalDfaConfig {
+            delta,
+            max_iterations: cap,
+            time_scale: 10_000.0,
+            ..ThermalDfaConfig::default()
+        };
+        ThermalDfa::new(&func, &alloc.assignment, &grid, pm, cfg).run()
+    };
+
+    let loose = run(1.0, 1000);
+    let tight = run(1e-3, 1000);
+    assert!(loose.convergence.is_converged());
+    assert!(tight.convergence.is_converged());
+    assert!(tight.convergence.iterations() > loose.convergence.iterations());
+
+    let capped = run(1e-9, 3);
+    assert!(!capped.convergence.is_converged());
+}
+
+/// E5 / §3: finer analysis grids predict strictly better (RMS against
+/// ground truth shrinks as points increase).
+///
+/// The DFA's fixpoint is the *sustained* thermal state, so the ground
+/// truth must come from a saturated execution — hence fib(3000), not the
+/// canonical fib(30).
+#[test]
+fn e5_finer_grids_predict_better() {
+    let rf = RegisterFile::new(Floorplan::grid(8, 8));
+    let pm = PowerModel::default();
+    let dfa_config = ThermalDfaConfig::default();
+    let w = tadfa::workloads::fibonacci();
+    let mut func = w.func.clone();
+    let alloc =
+        allocate_linear_scan(&mut func, &rf, &mut FirstFree, &RegAllocConfig::default())
+            .unwrap();
+
+    // Ground truth from a saturated run.
+    let exec = Interpreter::new(&func)
+        .with_assignment(&alloc.assignment)
+        .with_fuel(50_000_000)
+        .run(&[3000])
+        .unwrap();
+    let model = ThermalModel::new(rf.floorplan().clone(), RcParams::default());
+    let cosim = CosimConfig {
+        seconds_per_cycle: dfa_config.seconds_per_cycle,
+        time_scale: dfa_config.time_scale,
+        ..CosimConfig::default()
+    };
+    let truth = simulate_trace(&exec.trace, &rf, &model, &pm, &cosim).peak_map;
+
+    let rms_at = |rows: usize, cols: usize| {
+        let grid = AnalysisGrid::coarsened(&rf, RcParams::default(), rows, cols);
+        let r = ThermalDfa::new(&func, &alloc.assignment, &grid, pm, dfa_config).run();
+        compare_maps(&grid.upsample(&r.peak_map()), &truth, rf.floorplan()).rms
+    };
+
+    let coarse = rms_at(1, 1);
+    let mid = rms_at(4, 4);
+    let fine = rms_at(8, 8);
+    assert!(fine < mid, "8x8 rms {fine:.4} !< 4x4 rms {mid:.4}");
+    assert!(mid < coarse, "4x4 rms {mid:.4} !< 1x1 rms {coarse:.4}");
+}
+
+/// E7: the predictive critical set finds the hot accumulators of a loop
+/// kernel before any assignment exists.
+#[test]
+fn e7_predictive_set_overlaps_measured_hot_variables() {
+    let rf = RegisterFile::new(Floorplan::grid(8, 8));
+    let pm = PowerModel::default();
+    let w = tadfa::workloads::fibonacci();
+
+    let pred = PredictiveDfa::new(
+        &w.func,
+        &rf,
+        RcParams::default(),
+        pm,
+        PredictiveConfig::default(),
+    )
+    .run()
+    .unwrap();
+    let predicted = pred.predicted_critical(0.3);
+    assert!(!predicted.is_empty());
+
+    let mut func = w.func.clone();
+    let alloc =
+        allocate_linear_scan(&mut func, &rf, &mut FirstFree, &RegAllocConfig::default())
+            .unwrap();
+    let grid = AnalysisGrid::full(&rf, RcParams::default());
+    let result =
+        ThermalDfa::new(&func, &alloc.assignment, &grid, pm, ThermalDfaConfig::default()).run();
+    let measured = CriticalSet::identify(
+        &func,
+        &alloc.assignment,
+        &grid,
+        &result,
+        &pm,
+        CriticalConfig { temp_fraction: 0.5 },
+    );
+
+    let overlap = predicted
+        .iter()
+        .filter(|v| measured.is_critical(**v))
+        .count();
+    assert!(
+        overlap > 0,
+        "no overlap between predicted {:?} and measured {:?}",
+        predicted,
+        measured.critical()
+    );
+}

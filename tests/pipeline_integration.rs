@@ -1,0 +1,182 @@
+//! Cross-crate integration: full workload → allocation → analysis →
+//! optimization → re-execution flows.
+
+use tadfa::prelude::*;
+use tadfa::sim::{simulate_trace, CosimConfig};
+
+/// Every suite kernel survives the full pipeline with semantics intact.
+#[test]
+fn whole_suite_through_the_full_pipeline() {
+    let rf = RegisterFile::new(Floorplan::grid(8, 8));
+    for w in standard_suite() {
+        // Golden result on the untouched program.
+        let mut golden_interp = Interpreter::new(&w.func).with_fuel(50_000_000);
+        for (slot, data) in &w.preload {
+            golden_interp = golden_interp.with_slot_data(*slot, data.clone());
+        }
+        let golden = golden_interp.run(&w.args).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+
+        // Optimize.
+        let mut func = w.func.clone();
+        let mut policy = RoundRobin::default();
+        let outcome = run_thermal_pipeline(
+            &mut func,
+            &rf,
+            &mut policy,
+            RcParams::default(),
+            PowerModel::default(),
+            &PipelineConfig {
+                opts: vec![OptKind::SpillCritical, OptKind::SpreadSchedule],
+                ..PipelineConfig::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{}: pipeline failed: {e}", w.name));
+
+        // The optimized program verifies and computes the same answer.
+        assert!(Verifier::new(&func).run().is_ok(), "{}: {func}", w.name);
+        let mut opt_interp = Interpreter::new(&func).with_fuel(100_000_000);
+        for (slot, data) in &w.preload {
+            opt_interp = opt_interp.with_slot_data(*slot, data.clone());
+        }
+        let optimized = opt_interp.run(&w.args).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert_eq!(golden.ret, optimized.ret, "{}: semantics changed", w.name);
+
+        // And the reported summaries are sane.
+        assert!(outcome.before.map.peak >= outcome.before.map.min);
+        assert!(outcome.after.map.peak > 0.0);
+    }
+}
+
+/// The analysis chain (allocate → DFA → critical set) works on every
+/// suite kernel under every built-in policy.
+#[test]
+fn every_policy_analyses_every_kernel() {
+    let rf = RegisterFile::new(Floorplan::grid(8, 8));
+    let grid = AnalysisGrid::full(&rf, RcParams::default());
+    let pm = PowerModel::default();
+    for w in standard_suite() {
+        for name in tadfa::regalloc::POLICY_NAMES {
+            let mut func = w.func.clone();
+            let mut policy =
+                tadfa::regalloc::policy_by_name(name, &rf, 11).expect("known policy");
+            let alloc = allocate_linear_scan(
+                &mut func,
+                &rf,
+                policy.as_mut(),
+                &RegAllocConfig::default(),
+            )
+            .unwrap_or_else(|e| panic!("{}/{name}: {e}", w.name));
+            assert!(
+                tadfa::regalloc::validate_assignment(&func, &alloc.assignment).is_empty(),
+                "{}/{name}: conflicting assignment",
+                w.name
+            );
+            let result =
+                ThermalDfa::new(&func, &alloc.assignment, &grid, pm, ThermalDfaConfig::default())
+                    .run();
+            assert!(
+                result.convergence.is_converged(),
+                "{}/{name}: DFA did not converge",
+                w.name
+            );
+            let critical = CriticalSet::identify(
+                &func,
+                &alloc.assignment,
+                &grid,
+                &result,
+                &pm,
+                CriticalConfig::default(),
+            );
+            assert!(!critical.ranked().is_empty(), "{}/{name}: no exposure at all", w.name);
+        }
+    }
+}
+
+/// Predicted maps correlate positively with measured maps on regular
+/// kernels (E4's headline claim, asserted cheaply).
+#[test]
+fn prediction_correlates_with_measurement() {
+    let rf = RegisterFile::new(Floorplan::grid(8, 8));
+    let grid = AnalysisGrid::full(&rf, RcParams::default());
+    let pm = PowerModel::default();
+    let dfa_config = ThermalDfaConfig::default();
+
+    for w in [tadfa::workloads::fibonacci(), tadfa::workloads::checksum(32)] {
+        let mut func = w.func.clone();
+        let alloc =
+            allocate_linear_scan(&mut func, &rf, &mut FirstFree, &RegAllocConfig::default())
+                .unwrap();
+        let result =
+            ThermalDfa::new(&func, &alloc.assignment, &grid, pm, dfa_config).run();
+        let predicted = grid.upsample(&result.peak_map());
+
+        let mut interp = Interpreter::new(&func)
+            .with_assignment(&alloc.assignment)
+            .with_fuel(50_000_000);
+        for (slot, data) in &w.preload {
+            interp = interp.with_slot_data(*slot, data.clone());
+        }
+        let exec = interp.run(&w.args).unwrap();
+        let model = ThermalModel::new(rf.floorplan().clone(), RcParams::default());
+        let cosim = CosimConfig {
+            seconds_per_cycle: dfa_config.seconds_per_cycle,
+            time_scale: dfa_config.time_scale,
+            ..CosimConfig::default()
+        };
+        let measured = simulate_trace(&exec.trace, &rf, &model, &pm, &cosim).peak_map;
+
+        let acc = compare_maps(&predicted, &measured, rf.floorplan());
+        assert!(
+            acc.pearson > 0.5,
+            "{}: prediction decorrelated (r = {:.3})",
+            w.name,
+            acc.pearson
+        );
+        assert!(
+            acc.hotspot_distance <= 3,
+            "{}: hotspot misplaced by {} cells",
+            w.name,
+            acc.hotspot_distance
+        );
+    }
+}
+
+/// Spilled programs route the spilled value through memory and the
+/// interpreter observes identical results — allocation, spilling and
+/// execution agree end to end.
+///
+/// (The workload must have few parameters: values live *at entry* can
+/// never be spilled below the file size, since each still needs a
+/// register until its entry store.)
+#[test]
+fn spill_roundtrip_under_tiny_register_file() {
+    // Pressure 12 on a 6-register file forces heavy spilling.
+    let rf = RegisterFile::new(Floorplan::grid(2, 3));
+    let func = tadfa::workloads::generate(&tadfa::workloads::GeneratorConfig {
+        seed: 31,
+        pressure: 12,
+        segments: 4,
+        exprs_per_segment: 6,
+        loops: 1,
+        trip_count: 10,
+        memory: false,
+        hot_vars: 0,
+        hot_weight: 8,
+    });
+    let golden = Interpreter::new(&func).with_fuel(5_000_000).run(&[3, 7]).unwrap();
+
+    let mut spilled_func = func.clone();
+    let alloc = allocate_linear_scan(
+        &mut spilled_func,
+        &rf,
+        &mut FirstFree,
+        &RegAllocConfig::default(),
+    )
+    .expect("pressure 12 must still allocate on 6 registers via spilling");
+    assert!(alloc.stats.spilled > 0, "6 registers cannot hold pressure 12");
+    let optimized = Interpreter::new(&spilled_func)
+        .with_fuel(10_000_000)
+        .run(&[3, 7])
+        .unwrap();
+    assert_eq!(golden.ret, optimized.ret);
+}
