@@ -1,82 +1,68 @@
-//! Criterion benches for the thermal DFA — the E5 cost curve (analysis
-//! time vs granularity) plus the classic analyses for scale reference.
+//! Benches for the thermal DFA — the E5 cost curve (analysis time vs
+//! granularity) plus the classic analyses for scale reference.
+//!
+//! Offline harness (`tadfa_bench::quickbench`) in place of criterion —
+//! see that module's docs.
+//!
+//! Run: `cargo bench -p tadfa-bench --bench analysis`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
-use tadfa_core::{AnalysisGrid, ThermalDfa, ThermalDfaConfig};
+use tadfa_bench::quickbench::Harness;
+use tadfa_core::Session;
 use tadfa_dataflow::{Bitwidth, Liveness};
 use tadfa_ir::Cfg;
-use tadfa_regalloc::{allocate_linear_scan, FirstFree, RegAllocConfig};
-use tadfa_thermal::{Floorplan, PowerModel, RcParams, RegisterFile};
+use tadfa_regalloc::{allocate_linear_scan, policy_by_name, RegAllocConfig};
+use tadfa_thermal::{Floorplan, RegisterFile};
 use tadfa_workloads::{fibonacci, matmul};
 
-fn bench_dfa_granularity(c: &mut Criterion) {
-    let rf = RegisterFile::new(Floorplan::grid(8, 8));
-    let mut func = fibonacci().func;
-    let alloc =
-        allocate_linear_scan(&mut func, &rf, &mut FirstFree, &RegAllocConfig::default())
-            .expect("fib allocates");
-    let pm = PowerModel::default();
-    let cfg = ThermalDfaConfig::default();
-
-    let mut group = c.benchmark_group("thermal_dfa_granularity");
+fn bench_dfa_granularity(h: &mut Harness) {
+    let func = fibonacci().func;
     for (gr, gc) in [(1usize, 1usize), (2, 2), (4, 4), (8, 8)] {
-        let grid = AnalysisGrid::coarsened(&rf, RcParams::default(), gr, gc);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{gr}x{gc}")),
-            &grid,
-            |b, grid| {
-                b.iter(|| {
-                    ThermalDfa::new(&func, &alloc.assignment, grid, pm, cfg)
-                        .run()
-                        .peak_temperature()
-                });
-            },
-        );
+        let mut session = Session::builder()
+            .floorplan(8, 8)
+            .granularity(gr, gc)
+            .build()
+            .expect("bench granularities are valid");
+        h.bench_function(&format!("thermal_dfa_granularity/{gr}x{gc}"), || {
+            session
+                .analyze(&func)
+                .expect("fib analyzes")
+                .peak_temperature()
+        });
     }
-    group.finish();
 }
 
-fn bench_classic_analyses(c: &mut Criterion) {
+fn bench_classic_analyses(h: &mut Harness) {
     let func = matmul(5).func;
     let cfg = Cfg::compute(&func);
 
-    c.bench_function("liveness_matmul", |b| {
-        b.iter(|| Liveness::compute(&func, &cfg).num_vregs());
+    h.bench_function("liveness_matmul", || {
+        Liveness::compute(&func, &cfg).num_vregs()
     });
-    c.bench_function("bitwidth_matmul", |b| {
-        b.iter(|| Bitwidth::compute(&func, &cfg).passes);
-    });
+    h.bench_function("bitwidth_matmul", || Bitwidth::compute(&func, &cfg).passes);
 }
 
-fn bench_allocation_policies(c: &mut Criterion) {
+fn bench_allocation_policies(h: &mut Harness) {
+    // Times allocation alone (not the DFA), so policy-level regressions
+    // stay visible; each sample clones the function and the allocator
+    // resets the policy, so samples measure identical work.
     let rf = RegisterFile::new(Floorplan::grid(8, 8));
-    let mut group = c.benchmark_group("allocation");
     for name in ["first-free", "chessboard", "round-robin"] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, name| {
-            b.iter(|| {
-                let mut f = matmul(4).func;
-                let mut p = tadfa_regalloc::policy_by_name(name, &rf, 1).expect("known policy");
-                allocate_linear_scan(&mut f, &rf, p.as_mut(), &RegAllocConfig::default())
-                    .expect("matmul allocates")
-                    .stats
-                    .rounds
-            });
+        let func = matmul(4).func;
+        let mut policy = policy_by_name(name, &rf, 1).expect("known policy");
+        h.bench_function(&format!("allocation/{name}"), || {
+            let mut f = func.clone();
+            allocate_linear_scan(&mut f, &rf, policy.as_mut(), &RegAllocConfig::default())
+                .expect("matmul allocates")
+                .stats
+                .rounds
         });
     }
-    group.finish();
 }
 
-fn quick() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(200))
-        .measurement_time(Duration::from_millis(800))
+fn main() {
+    let mut h = Harness::new();
+    bench_dfa_granularity(&mut h);
+    bench_classic_analyses(&mut h);
+    bench_allocation_policies(&mut h);
+    h.report();
 }
-
-criterion_group! {
-    name = benches;
-    config = quick();
-    targets = bench_dfa_granularity, bench_classic_analyses, bench_allocation_policies
-}
-criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! The amortization benchmark the `Session` redesign exists for:
+//! per-call hand-wiring (a fresh session — register file, analysis
+//! grid, RC model — built for every function) vs. one session reused
+//! across a 100-function batch.
+//!
+//! Grid construction is the dominant fixed cost (the RC model over the
+//! analysis points); the reused session pays it once.
+//!
+//! Run: `cargo bench -p tadfa-bench --bench session_reuse`
+
+use tadfa_bench::quickbench::{fmt_duration, Harness};
+use tadfa_core::Session;
+use tadfa_ir::Function;
+use tadfa_workloads::{generate, GeneratorConfig};
+
+const BATCH: usize = 100;
+
+fn batch() -> Vec<Function> {
+    (0..BATCH as u64)
+        .map(|seed| {
+            generate(&GeneratorConfig {
+                seed,
+                segments: 3,
+                exprs_per_segment: 6,
+                pressure: 6,
+                loops: 1,
+                trip_count: 20,
+                memory: false,
+                hot_vars: 0,
+                hot_weight: 8,
+            })
+        })
+        .collect()
+}
+
+fn fresh_session() -> Session {
+    Session::builder()
+        .floorplan(8, 8)
+        .policy_name("first-free", 0)
+        .build()
+        .expect("bench session is valid")
+}
+
+fn main() {
+    let funcs = batch();
+    let mut h = Harness::new();
+    h.sample_size = 10;
+
+    // Per-call hand-wiring: every function rebuilds the register file,
+    // RC model and analysis grid — what each caller did before the
+    // redesign.
+    h.bench_function("per_call_handwiring/100_funcs", || {
+        let mut peak = 0.0f64;
+        for f in &funcs {
+            let mut session = fresh_session();
+            let report = session.analyze(f).expect("generated function analyzes");
+            peak = peak.max(report.peak_temperature());
+        }
+        peak
+    });
+
+    // Session reuse: shared state built once, batch analyzed against it.
+    h.bench_function("session_reuse/100_funcs", || {
+        let mut session = fresh_session();
+        let mut peak = 0.0f64;
+        for r in session.analyze_batch(&funcs) {
+            peak = peak.max(r.expect("generated function analyzes").peak_temperature());
+        }
+        peak
+    });
+
+    h.report();
+
+    let per_call = h.mean_of("per_call_handwiring/100_funcs").expect("benched");
+    let reuse = h.mean_of("session_reuse/100_funcs").expect("benched");
+    let saved = per_call.saturating_sub(reuse);
+    println!(
+        "\nsession reuse saves {} per {BATCH}-function batch ({:.1}% of the per-call cost)",
+        fmt_duration(saved),
+        100.0 * saved.as_secs_f64() / per_call.as_secs_f64().max(1e-12),
+    );
+}

@@ -1,84 +1,65 @@
-//! Criterion benches for the thermal substrate: RC solver scaling with
-//! grid size, co-simulation throughput, and interpreter speed.
+//! Benches for the thermal substrate: RC solver scaling with grid size,
+//! co-simulation throughput, and interpreter speed.
+//!
+//! Offline harness (`tadfa_bench::quickbench`) in place of criterion —
+//! see that module's docs.
+//!
+//! Run: `cargo bench -p tadfa-bench --bench solvers`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
-use tadfa_regalloc::{allocate_linear_scan, FirstFree, RegAllocConfig};
+use tadfa_bench::quickbench::Harness;
+use tadfa_core::Session;
 use tadfa_sim::{simulate_trace, CosimConfig, Interpreter};
-use tadfa_thermal::{Floorplan, PowerModel, RcParams, RegisterFile, ThermalModel};
+use tadfa_thermal::{Floorplan, PowerModel, RcParams, ThermalModel};
 use tadfa_workloads::fibonacci;
 
-fn bench_rc_solvers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rc_solver");
+fn bench_rc_solvers(h: &mut Harness) {
     for side in [8usize, 16, 32] {
         let model = ThermalModel::new(Floorplan::grid(side, side), RcParams::default());
         let mut power = vec![0.0; side * side];
         power[side + 1] = 1e-3;
         power[side * side - 2] = 0.5e-3;
 
-        group.bench_with_input(
-            BenchmarkId::new("steady_state", format!("{side}x{side}")),
-            &model,
-            |b, model| {
-                b.iter(|| model.steady_state(&power).peak());
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("transient_100us", format!("{side}x{side}")),
-            &model,
-            |b, model| {
-                b.iter(|| {
-                    let mut s = model.ambient_state();
-                    model.step(&mut s, &power, 100e-6);
-                    s.peak()
-                });
-            },
-        );
+        h.bench_function(&format!("rc_solver/steady_state/{side}x{side}"), || {
+            model.steady_state(&power).peak()
+        });
+        h.bench_function(&format!("rc_solver/transient_100us/{side}x{side}"), || {
+            let mut s = model.ambient_state();
+            model.step(&mut s, &power, 100e-6);
+            s.peak()
+        });
     }
-    group.finish();
 }
 
-fn bench_interpreter_and_cosim(c: &mut Criterion) {
-    let rf = RegisterFile::new(Floorplan::grid(8, 8));
-    let mut func = fibonacci().func;
-    let alloc =
-        allocate_linear_scan(&mut func, &rf, &mut FirstFree, &RegAllocConfig::default())
-            .expect("fib allocates");
+fn bench_interpreter_and_cosim(h: &mut Harness) {
+    let mut session = Session::builder()
+        .floorplan(8, 8)
+        .build()
+        .expect("default session");
+    let report = session.analyze(&fibonacci().func).expect("fib analyzes");
 
-    c.bench_function("interpreter_fib30_traced", |b| {
-        b.iter(|| {
-            Interpreter::new(&func)
-                .with_assignment(&alloc.assignment)
-                .run(&[30])
-                .expect("fib runs")
-                .cycles
-        });
+    h.bench_function("interpreter_fib30_traced", || {
+        Interpreter::new(&report.func)
+            .with_assignment(&report.assignment)
+            .run(&[30])
+            .expect("fib runs")
+            .cycles
     });
 
-    let exec = Interpreter::new(&func)
-        .with_assignment(&alloc.assignment)
+    let exec = Interpreter::new(&report.func)
+        .with_assignment(&report.assignment)
         .run(&[30])
         .expect("fib runs");
+    let rf = session.register_file();
     let model = ThermalModel::new(rf.floorplan().clone(), RcParams::default());
     let pm = PowerModel::default();
-    c.bench_function("cosim_fib30_trace", |b| {
-        b.iter(|| {
-            simulate_trace(&exec.trace, &rf, &model, &pm, &CosimConfig::default())
-                .peak_temperature()
-        });
+    h.bench_function("cosim_fib30_trace", || {
+        simulate_trace(&exec.trace, rf, &model, &pm, &CosimConfig::default()).peak_temperature()
     });
 }
 
-fn quick() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(200))
-        .measurement_time(Duration::from_millis(800))
+fn main() {
+    let mut h = Harness::new();
+    bench_rc_solvers(&mut h);
+    bench_interpreter_and_cosim(&mut h);
+    h.report();
 }
-
-criterion_group! {
-    name = benches;
-    config = quick();
-    targets = bench_rc_solvers, bench_interpreter_and_cosim
-}
-criterion_main!(benches);

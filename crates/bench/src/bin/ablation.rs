@@ -5,34 +5,38 @@
 //!
 //! Run: `cargo run -p tadfa-bench --bin ablation`
 
-use tadfa_bench::{default_register_file, k2, k3, print_table};
-use tadfa_core::{AnalysisGrid, MergeRule, ThermalDfa, ThermalDfaConfig};
-use tadfa_regalloc::{allocate_linear_scan, policy_by_name, RegAllocConfig};
-use tadfa_sim::{simulate_trace, CosimConfig, Interpreter, RunStats};
-use tadfa_thermal::{MapStats, PowerModel, RcParams, ThermalModel};
-use tadfa_workloads::{generate, GeneratorConfig};
+use tadfa_bench::{default_session, evaluate_policy, k2, k3, print_table};
+use tadfa_core::{MergeRule, Session, ThermalDfaConfig};
+use tadfa_sim::{Interpreter, RunStats};
+use tadfa_thermal::RcParams;
+use tadfa_workloads::{generate, GeneratorConfig, Workload};
 
-fn fig1_func() -> tadfa_ir::Function {
-    generate(&GeneratorConfig {
-        seed: 2009,
-        segments: 5,
-        exprs_per_segment: 10,
-        pressure: 24,
-        loops: 2,
-        trip_count: 100,
-        memory: false,
-        hot_vars: 0,
-        hot_weight: 8,
-    })
+fn fig1_workload() -> Workload {
+    Workload {
+        name: "fig1",
+        description: "generated Fig. 1 workload",
+        func: generate(&GeneratorConfig {
+            seed: 2009,
+            segments: 5,
+            exprs_per_segment: 10,
+            pressure: 24,
+            loops: 2,
+            trip_count: 100,
+            memory: false,
+            hot_vars: 0,
+            hot_weight: 8,
+        }),
+        args: vec![3, 7],
+        expected: None,
+        preload: vec![],
+    }
 }
 
 fn main() {
-    let rf = default_register_file();
-    let pm = PowerModel::default();
-
     println!("== Ablation 1: policy separation vs lateral decay length λ ==");
     println!("(first-free peak − chessboard peak, K, on the Fig. 1 workload)\n");
 
+    let w = fig1_workload();
     let base = RcParams::default();
     let mut rows = Vec::new();
     for factor in [0.25f64, 0.5, 1.0, 2.0, 4.0] {
@@ -42,26 +46,17 @@ fn main() {
         };
         let lambda = params.decay_length();
 
+        // The RC parameters are the sweep variable, so each λ gets its
+        // own session (the grid embeds the scaled RC model).
+        let mut session = Session::builder()
+            .floorplan(8, 8)
+            .rc(params)
+            .build()
+            .expect("swept RC params are valid");
         let mut peaks = Vec::new();
         for p in ["first-free", "chessboard"] {
-            let mut func = fig1_func();
-            let mut policy = policy_by_name(p, &rf, 42).expect("known policy");
-            let alloc = allocate_linear_scan(
-                &mut func,
-                &rf,
-                policy.as_mut(),
-                &RegAllocConfig::default(),
-            )
-            .expect("workload allocates");
-            let exec = Interpreter::new(&func)
-                .with_assignment(&alloc.assignment)
-                .with_fuel(50_000_000)
-                .run(&[3, 7])
-                .expect("workload runs");
-            let model = ThermalModel::new(rf.floorplan().clone(), params);
-            let map =
-                simulate_trace(&exec.trace, &rf, &model, &pm, &CosimConfig::default()).peak_map;
-            peaks.push(MapStats::of(&map, rf.floorplan()));
+            let eval = evaluate_policy(&mut session, &w, p, 42).expect("workload evaluates");
+            peaks.push(eval.measured_stats);
         }
         rows.push(vec![
             format!("{:.2}", lambda),
@@ -72,7 +67,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["lambda", "ff peak(K)", "cb peak(K)", "separation(K)", "sigma ratio"],
+        &[
+            "lambda",
+            "ff peak(K)",
+            "cb peak(K)",
+            "separation(K)",
+            "sigma ratio",
+        ],
         &rows,
     );
     println!(
@@ -81,27 +82,38 @@ fn main() {
     );
 
     println!("\n== Ablation 2: DFA merge rule on the suite ==");
-    let grid = AnalysisGrid::full(&rf, RcParams::default());
+    let mut session = default_session();
     let mut rows = Vec::new();
     for w in tadfa_workloads::standard_suite().into_iter().take(6) {
-        let mut func = w.func.clone();
-        let mut policy = policy_by_name("first-free", &rf, 42).expect("known policy");
-        let Ok(alloc) =
-            allocate_linear_scan(&mut func, &rf, policy.as_mut(), &RegAllocConfig::default())
-        else {
-            continue;
-        };
         let mut cells = vec![w.name.to_string()];
+        let mut ok = true;
         for merge in [MergeRule::Max, MergeRule::Average] {
-            let cfg = ThermalDfaConfig { merge, ..ThermalDfaConfig::default() };
-            let r = ThermalDfa::new(&func, &alloc.assignment, &grid, pm, cfg).run();
-            cells.push(k2(r.peak_temperature()));
-            cells.push(r.convergence.iterations().to_string());
+            session
+                .set_dfa_config(ThermalDfaConfig {
+                    merge,
+                    ..ThermalDfaConfig::default()
+                })
+                .expect("valid merge config");
+            match session.analyze(&w.func) {
+                Ok(r) => {
+                    cells.push(k2(r.peak_temperature()));
+                    cells.push(r.convergence().iterations().to_string());
+                }
+                Err(_) => ok = false,
+            }
         }
-        rows.push(cells);
+        if ok {
+            rows.push(cells);
+        }
     }
     print_table(
-        &["workload", "max peak(K)", "max iters", "avg peak(K)", "avg iters"],
+        &[
+            "workload",
+            "max peak(K)",
+            "max iters",
+            "avg peak(K)",
+            "avg iters",
+        ],
         &rows,
     );
     println!(
@@ -111,30 +123,38 @@ fn main() {
 
     println!("\n== Ablation 3: energy/performance axis of the NOP compromise ==");
     // fib with and without cooldown NOPs: RunStats shows the §4 cost.
-    let mut func = tadfa_workloads::fibonacci().func;
-    let mut policy = policy_by_name("first-free", &rf, 42).expect("known policy");
-    let alloc =
-        allocate_linear_scan(&mut func, &rf, policy.as_mut(), &RegAllocConfig::default())
-            .expect("fib allocates");
+    let mut session = default_session();
+    session
+        .set_dfa_config(ThermalDfaConfig::default())
+        .expect("default config is valid");
+    let pm = session.power_model();
+    let fib = tadfa_workloads::fibonacci().func;
+    let report = session.analyze(&fib).expect("fib analyzes");
+    let mut func = report.func.clone();
     let before = Interpreter::new(&func)
-        .with_assignment(&alloc.assignment)
+        .with_assignment(&report.assignment)
         .run(&[30])
         .expect("fib runs");
-    let before_stats =
-        RunStats::of(&before.trace, before.cycles, before.insts_executed, &pm, 1e-9);
+    let before_stats = RunStats::of(
+        &before.trace,
+        before.cycles,
+        before.insts_executed,
+        &pm,
+        1e-9,
+    );
 
-    let grid_full = AnalysisGrid::full(&rf, RcParams::default());
     tadfa_opt::cooldown_pass(
         &mut func,
-        &alloc.assignment,
-        &grid_full,
+        &report.assignment,
+        session.grid(),
         pm,
-        ThermalDfaConfig::default(),
+        session.dfa_config(),
         0.8,
         2,
-    );
+    )
+    .expect("cooldown pass runs");
     let after = Interpreter::new(&func)
-        .with_assignment(&alloc.assignment)
+        .with_assignment(&report.assignment)
         .run(&[30])
         .expect("padded fib runs");
     let after_stats = RunStats::of(&after.trace, after.cycles, after.insts_executed, &pm, 1e-9);

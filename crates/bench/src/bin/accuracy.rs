@@ -8,14 +8,13 @@
 //!
 //! Run: `cargo run -p tadfa-bench --bin accuracy`
 
-use tadfa_bench::{default_register_file, evaluate_policy, k2, k3, print_table};
-use tadfa_core::ThermalDfaConfig;
+use tadfa_bench::{default_session, evaluate_policy, k3, print_table};
 use tadfa_sim::compare_maps;
 use tadfa_workloads::{generate, standard_suite, GeneratorConfig, Workload};
 
 fn main() {
-    let rf = default_register_file();
-    let fp = rf.floorplan();
+    let mut session = default_session();
+    let fp = session.register_file().floorplan().clone();
 
     println!("== E4: compile-time prediction vs feedback-driven ground truth ==");
     println!("policy: first-free; metrics on peak maps over the whole run\n");
@@ -42,9 +41,9 @@ fn main() {
     }
 
     for w in &workloads {
-        match evaluate_policy(w, &rf, "first-free", 42, ThermalDfaConfig::default()) {
+        match evaluate_policy(&mut session, w, "first-free", 42) {
             Ok(eval) => {
-                let acc = compare_maps(&eval.predicted, &eval.measured, fp);
+                let acc = compare_maps(&eval.predicted, &eval.measured, &fp);
                 rows.push(vec![
                     w.name.to_string(),
                     k3(acc.rms),
@@ -52,7 +51,12 @@ fn main() {
                     format!("{:.3}", acc.pearson),
                     k3(acc.peak_error),
                     acc.hotspot_distance.to_string(),
-                    if eval.dfa.convergence.is_converged() { "yes" } else { "NO" }.to_string(),
+                    if eval.dfa.convergence.is_converged() {
+                        "yes"
+                    } else {
+                        "NO"
+                    }
+                    .to_string(),
                 ]);
             }
             Err(e) => rows.push(vec![w.name.to_string(), format!("error: {e}")]),
@@ -78,5 +82,4 @@ fn main() {
          (the compile-time estimate averages over paths the execution takes \
          data-dependently)."
     );
-    let _ = k2(0.0);
 }

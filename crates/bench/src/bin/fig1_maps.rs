@@ -8,8 +8,7 @@
 //!
 //! Run: `cargo run -p tadfa-bench --bin fig1_maps [workload]`
 
-use tadfa_bench::{default_register_file, evaluate_policy, k2, k3, print_table};
-use tadfa_core::ThermalDfaConfig;
+use tadfa_bench::{default_session, evaluate_policy, k2, k3, print_table};
 use tadfa_thermal::render_ascii;
 use tadfa_workloads::{generate, standard_suite, GeneratorConfig, Workload};
 
@@ -47,10 +46,11 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let which = args.get(1).map(String::as_str).unwrap_or("half-rf");
 
-    let rf_probe = default_register_file();
+    let mut session = default_session();
+    let num_regs = session.register_file().num_regs();
     let suite = standard_suite();
-    let half = half_pressure_workload(rf_probe.num_regs(), 0);
-    let hot = half_pressure_workload(rf_probe.num_regs(), 6);
+    let half = half_pressure_workload(num_regs, 0);
+    let hot = half_pressure_workload(num_regs, 6);
     let workload = match which {
         "half-rf" => &half,
         "hot-rf" => &hot,
@@ -63,9 +63,14 @@ fn main() {
         }),
     };
 
-    let rf = default_register_file();
-    let fp = rf.floorplan();
-    let policies = ["first-free", "random", "chessboard", "round-robin", "coldest-first"];
+    let fp = session.register_file().floorplan().clone();
+    let policies = [
+        "first-free",
+        "random",
+        "chessboard",
+        "round-robin",
+        "coldest-first",
+    ];
     let fig1_panels = ["first-free", "random", "chessboard"];
 
     println!("== E1 / Fig. 1: register-file thermal maps by assignment policy ==");
@@ -75,7 +80,7 @@ fn main() {
         workload.description,
         fp.rows(),
         fp.cols(),
-        rf.num_regs()
+        num_regs
     );
 
     let mut rows = Vec::new();
@@ -87,10 +92,14 @@ fn main() {
         // several seeds and display the worst draw — the paper's point is
         // that random *can* (and eventually will) produce hot spots,
         // while chessboard is deterministic.
-        let seeds: &[u64] = if p == "random" { &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9] } else { &[42] };
+        let seeds: &[u64] = if p == "random" {
+            &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]
+        } else {
+            &[42]
+        };
         let mut evals = Vec::new();
         for &seed in seeds {
-            match evaluate_policy(workload, &rf, p, seed, ThermalDfaConfig::default()) {
+            match evaluate_policy(&mut session, workload, p, seed) {
                 Ok(e) => evals.push(e),
                 Err(e) => {
                     rows.push(vec![p.to_string(), format!("error: {e}")]);
@@ -131,11 +140,16 @@ fn main() {
     }
 
     print_table(
-        &["policy", "peak(K)", "mean(K)", "grad(K)", "sigma(K)", "range(K)", "spills", "cycles"],
+        &[
+            "policy", "peak(K)", "mean(K)", "grad(K)", "sigma(K)", "range(K)", "spills", "cycles",
+        ],
         &rows,
     );
 
-    println!("\nmeasured maps (shared scale {:.2}..{:.2} K, '@' hottest):\n", lo, hi);
+    println!(
+        "\nmeasured maps (shared scale {:.2}..{:.2} K, '@' hottest):\n",
+        lo, hi
+    );
     for (p, map) in &maps {
         if fig1_panels.contains(p) {
             let panel = match *p {
@@ -144,7 +158,7 @@ fn main() {
                 _ => "(c) chessboard",
             };
             println!("Fig. 1{panel} — {p}");
-            println!("{}", render_ascii(map, fp, lo, hi));
+            println!("{}", render_ascii(map, &fp, lo, hi));
         }
     }
     println!("(extended panels: round-robin, coldest-first — see table above)");

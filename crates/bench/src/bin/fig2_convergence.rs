@@ -11,25 +11,17 @@
 //!
 //! Run: `cargo run -p tadfa-bench --bin fig2_convergence`
 
-use tadfa_bench::{default_register_file, k3, print_table};
-use tadfa_core::{AnalysisGrid, MergeRule, ThermalDfa, ThermalDfaConfig};
-use tadfa_regalloc::{allocate_linear_scan, FirstFree, RegAllocConfig};
-use tadfa_thermal::{PowerModel, RcParams};
+use tadfa_bench::{default_session, k3, print_table};
+use tadfa_core::{MergeRule, ThermalDfaConfig};
 use tadfa_workloads::{fibonacci, irregular_batch};
 
 fn main() {
-    let rf = default_register_file();
-    let grid = AnalysisGrid::full(&rf, RcParams::default());
-    let pm = PowerModel::default();
+    let mut session = default_session();
+    let fib = fibonacci().func;
 
     println!("== E3 / Fig. 2: fixpoint convergence of the thermal DFA ==\n");
 
     // --- 1. iterations vs delta -------------------------------------
-    let mut func = fibonacci().func;
-    let alloc =
-        allocate_linear_scan(&mut func, &rf, &mut FirstFree, &RegAllocConfig::default())
-            .expect("fib allocates");
-
     println!("1) iterations to converge vs delta (fib kernel, max merge):");
     let mut rows = Vec::new();
     for delta in [10.0, 1.0, 0.1, 0.01, 0.001] {
@@ -39,11 +31,17 @@ fn main() {
             max_iterations: 2000,
             ..ThermalDfaConfig::default()
         };
-        let r = ThermalDfa::new(&func, &alloc.assignment, &grid, pm, cfg).run();
+        session.set_dfa_config(cfg).expect("valid sweep config");
+        let r = session.analyze(&fib).expect("fib analyzes");
         rows.push(vec![
             format!("{delta}"),
-            r.convergence.iterations().to_string(),
-            if r.convergence.is_converged() { "yes" } else { "NO" }.to_string(),
+            r.convergence().iterations().to_string(),
+            if r.convergence().is_converged() {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
             k3(r.peak_temperature()),
         ]);
     }
@@ -59,11 +57,17 @@ fn main() {
             max_iterations: 2000,
             ..ThermalDfaConfig::default()
         };
-        let r = ThermalDfa::new(&func, &alloc.assignment, &grid, pm, cfg).run();
+        session.set_dfa_config(cfg).expect("valid merge config");
+        let r = session.analyze(&fib).expect("fib analyzes");
         rows.push(vec![
             name.to_string(),
-            r.convergence.iterations().to_string(),
-            if r.convergence.is_converged() { "yes" } else { "NO" }.to_string(),
+            r.convergence().iterations().to_string(),
+            if r.convergence().is_converged() {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
             k3(r.peak_temperature()),
         ]);
     }
@@ -71,21 +75,29 @@ fn main() {
 
     // --- 3. non-convergence ------------------------------------------
     println!("\n3) non-convergence (the paper's 'no guarantee' remark):");
-    // 3a: physical runaway — leakage gain above 1.
-    let mut hot_pm = pm;
+    // 3a: physical runaway — leakage gain above 1. Reported as data on a
+    // successful analysis, never as an error.
+    let base_power = session.power_model();
+    let mut hot_pm = base_power;
     hot_pm.leakage_temp_coeff = 60.0;
-    let cfg = ThermalDfaConfig {
-        time_scale: 10_000.0,
-        max_iterations: 30,
-        ..ThermalDfaConfig::default()
-    };
-    let r = ThermalDfa::new(&func, &alloc.assignment, &grid, hot_pm, cfg).run();
+    session.set_power(hot_pm);
+    session
+        .set_dfa_config(ThermalDfaConfig {
+            time_scale: 10_000.0,
+            max_iterations: 30,
+            ..ThermalDfaConfig::default()
+        })
+        .expect("valid runaway config");
+    let r = session
+        .analyze(&fib)
+        .expect("runaway analysis still succeeds");
     println!(
         "   leakage runaway (coeff 60/K): converged = {}, final residual = {:.3} K \
          (residuals grow: {})",
-        r.convergence.is_converged(),
-        r.residual_history.last().copied().unwrap_or(f64::NAN),
-        r.residual_history
+        r.convergence().is_converged(),
+        r.dfa.residual_history.last().copied().unwrap_or(f64::NAN),
+        r.dfa
+            .residual_history
             .iter()
             .skip(1)
             .take(6)
@@ -93,31 +105,26 @@ fn main() {
             .collect::<Vec<_>>()
             .join(" → ")
     );
+    session.set_power(base_power);
 
     // 3b: irregular programs against a tight budget.
-    let mut capped = 0;
-    let batch = irregular_batch(8, 99);
-    for f in &batch {
-        let mut f = f.clone();
-        let Ok(alloc) =
-            allocate_linear_scan(&mut f, &rf, &mut FirstFree, &RegAllocConfig::default())
-        else {
-            continue;
-        };
-        let cfg = ThermalDfaConfig {
+    session
+        .set_dfa_config(ThermalDfaConfig {
             delta: 1e-6,
             max_iterations: 8,
             ..ThermalDfaConfig::default()
-        };
-        let r = ThermalDfa::new(&f, &alloc.assignment, &grid, pm, cfg).run();
-        if !r.convergence.is_converged() {
-            capped += 1;
-        }
-    }
+        })
+        .expect("valid tight-budget config");
+    let batch = irregular_batch(8, 99);
+    let reports = session.analyze_batch(&batch);
+    let total = reports.len();
+    let capped = reports
+        .into_iter()
+        .filter_map(Result::ok)
+        .filter(|r| !r.convergence().is_converged())
+        .count();
     println!(
-        "   irregular programs vs tight budget (delta=1e-6, cap=8): {}/{} hit the cap \
-         — the paper's 're-optimize for predictability' signal",
-        capped,
-        batch.len()
+        "   irregular programs vs tight budget (delta=1e-6, cap=8): {capped}/{total} hit the cap \
+         — the paper's 're-optimize for predictability' signal"
     );
 }

@@ -5,63 +5,73 @@
 //!
 //! Sweeps the analysis grid from 1×1 to the full 8×8 and reports
 //! prediction error against full-resolution ground truth plus wall-clock
-//! analysis time. (Criterion timings for the same sweep live in
+//! analysis time. (Harness timings for the same sweep live in
 //! `cargo bench -p tadfa-bench`.)
 //!
 //! Run: `cargo run -p tadfa-bench --bin granularity`
 
 use std::time::Instant;
-use tadfa_bench::{default_register_file, evaluate_policy, k3, print_table};
-use tadfa_core::{AnalysisGrid, ThermalDfa, ThermalDfaConfig};
-use tadfa_regalloc::{allocate_linear_scan, FirstFree, RegAllocConfig};
+use tadfa_bench::{default_session, evaluate_policy, k3, print_table};
+use tadfa_core::Session;
 use tadfa_sim::compare_maps;
-use tadfa_thermal::{PowerModel, RcParams};
 use tadfa_workloads::fibonacci;
 
 fn main() {
-    let rf = default_register_file();
-    let fp = rf.floorplan();
-    let pm = PowerModel::default();
-    let dfa_config = ThermalDfaConfig::default();
-
     println!("== E5: analysis granularity vs accuracy vs cost ==");
     println!(
         "workload: fib(3000) — long enough to saturate, since the DFA's fixpoint is\n         the sustained thermal state; ground truth: traced co-simulation\n"
     );
 
-    // Ground truth once (saturated run).
+    // Ground truth once (saturated run) through the default full-grid
+    // session.
     let mut w = fibonacci();
     w.args = vec![3000];
-    let truth = evaluate_policy(&w, &rf, "first-free", 42, dfa_config)
-        .expect("baseline evaluation");
-
-    // Shared allocation for the sweep.
-    let mut func = w.func.clone();
-    let alloc =
-        allocate_linear_scan(&mut func, &rf, &mut FirstFree, &RegAllocConfig::default())
-            .expect("fib allocates");
+    let mut truth_session = default_session();
+    let truth =
+        evaluate_policy(&mut truth_session, &w, "first-free", 42).expect("baseline evaluation");
+    let fp = truth_session.register_file().floorplan().clone();
 
     let mut rows = Vec::new();
     for (gr, gc) in [(1, 1), (2, 2), (4, 4), (8, 4), (8, 8)] {
-        let grid = AnalysisGrid::coarsened(&rf, RcParams::default(), gr, gc);
+        // The granularity *is* the sweep variable, so each row builds its
+        // own session; everything else (policy, δ, power) stays default.
+        let mut session = Session::builder()
+            .floorplan(8, 8)
+            .granularity(gr, gc)
+            .build()
+            .expect("sweep granularities are valid");
         let start = Instant::now();
-        let result = ThermalDfa::new(&func, &alloc.assignment, &grid, pm, dfa_config).run();
+        let report = session.analyze(&w.func).expect("fib analyzes");
         let elapsed = start.elapsed();
-        let predicted = grid.upsample(&result.peak_map());
-        let acc = compare_maps(&predicted, &truth.measured, fp);
+        let acc = compare_maps(&report.predicted, &truth.measured, &fp);
         rows.push(vec![
             format!("{gr}x{gc}"),
             (gr * gc).to_string(),
             k3(acc.rms),
-            format!("{:.3}", if acc.pearson.is_nan() { 0.0 } else { acc.pearson }),
+            format!(
+                "{:.3}",
+                if acc.pearson.is_nan() {
+                    0.0
+                } else {
+                    acc.pearson
+                }
+            ),
             acc.hotspot_distance.to_string(),
             format!("{:.2}", elapsed.as_secs_f64() * 1e3),
-            result.convergence.iterations().to_string(),
+            report.convergence().iterations().to_string(),
         ]);
     }
 
     print_table(
-        &["grid", "points", "rms(K)", "pearson", "hotspot dist", "time(ms)", "iters"],
+        &[
+            "grid",
+            "points",
+            "rms(K)",
+            "pearson",
+            "hotspot dist",
+            "time(ms)",
+            "iters",
+        ],
         &rows,
     );
 

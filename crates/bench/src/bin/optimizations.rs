@@ -10,14 +10,13 @@
 //!
 //! Run: `cargo run -p tadfa-bench --bin optimizations`
 
-use tadfa_bench::{default_register_file, k2, print_table};
-use tadfa_opt::{run_thermal_pipeline, OptKind, PipelineConfig};
-use tadfa_regalloc::{policy_by_name, rewrite_spills};
-use tadfa_thermal::{PowerModel, RcParams};
+use tadfa_bench::{default_session, k2, print_table};
+use tadfa_opt::{OptKind, PipelineConfig, SessionOptimize};
+use tadfa_regalloc::rewrite_spills;
 use tadfa_workloads::{fibonacci, standard_suite, stencil};
 
 fn main() {
-    let rf = default_register_file();
+    let mut session = default_session();
 
     println!("== E6: thermal optimizations before/after ==");
     println!("RF 8x8; workload per row\n");
@@ -26,31 +25,58 @@ fn main() {
     // live-range splitting (its loop index has enough same-block uses to
     // split).
     let configs: Vec<(&str, &str, &str, Vec<OptKind>)> = vec![
-        ("spill-critical", "fib", "round-robin", vec![OptKind::SpillCritical]),
-        ("split-ranges", "stencil", "round-robin", vec![OptKind::SplitHotRanges]),
-        ("spread-schedule", "fib", "first-free", vec![OptKind::SpreadSchedule]),
-        ("cooldown-nops", "fib", "first-free", vec![OptKind::CooldownNops]),
+        (
+            "spill-critical",
+            "fib",
+            "round-robin",
+            vec![OptKind::SpillCritical],
+        ),
+        (
+            "split-ranges",
+            "stencil",
+            "round-robin",
+            vec![OptKind::SplitHotRanges],
+        ),
+        (
+            "spread-schedule",
+            "fib",
+            "first-free",
+            vec![OptKind::SpreadSchedule],
+        ),
+        (
+            "cooldown-nops",
+            "fib",
+            "first-free",
+            vec![OptKind::CooldownNops],
+        ),
         (
             "combined",
             "fib",
             "round-robin",
-            vec![OptKind::SpillCritical, OptKind::SpreadSchedule, OptKind::CooldownNops],
+            vec![
+                OptKind::SpillCritical,
+                OptKind::SpreadSchedule,
+                OptKind::CooldownNops,
+            ],
         ),
     ];
 
     let mut rows = Vec::new();
     for (name, workload, policy_name, opts) in configs {
-        let mut func = if workload == "stencil" { stencil(20).func } else { fibonacci().func };
-        let mut policy = policy_by_name(policy_name, &rf, 42).expect("known policy");
-        let config = PipelineConfig { opts, split_min_uses: 3, ..PipelineConfig::default() };
-        match run_thermal_pipeline(
-            &mut func,
-            &rf,
-            policy.as_mut(),
-            RcParams::default(),
-            PowerModel::default(),
-            &config,
-        ) {
+        let mut func = if workload == "stencil" {
+            stencil(20).func
+        } else {
+            fibonacci().func
+        };
+        session
+            .set_policy_name(policy_name, 42)
+            .expect("known policy");
+        let config = PipelineConfig {
+            opts,
+            split_min_uses: 3,
+            ..PipelineConfig::default()
+        };
+        match session.optimize(&mut func, &config) {
             Ok(out) => {
                 let changes: usize = out.applied.iter().map(|&(_, n)| n).sum();
                 rows.push(vec![
@@ -76,19 +102,14 @@ fn main() {
     {
         let mut func = fibonacci().func;
         rewrite_spills(&mut func, &[tadfa_ir::VReg::new(1)]);
-        let mut policy = policy_by_name("first-free", &rf, 42).expect("known policy");
+        session
+            .set_policy_name("first-free", 42)
+            .expect("known policy");
         let config = PipelineConfig {
             opts: vec![OptKind::PromoteScalarSlots],
             ..PipelineConfig::default()
         };
-        if let Ok(out) = run_thermal_pipeline(
-            &mut func,
-            &rf,
-            policy.as_mut(),
-            RcParams::default(),
-            PowerModel::default(),
-            &config,
-        ) {
+        if let Ok(out) = session.optimize(&mut func, &config) {
             rows.push(vec![
                 "promote-scalars".to_string(),
                 "fib/first-free".to_string(),
@@ -129,18 +150,14 @@ fn main() {
     // never breaks a kernel.
     let mut ok = 0;
     let suite = standard_suite();
+    session
+        .set_policy_name("round-robin", 1)
+        .expect("known policy");
     for w in &suite {
         let mut func = w.func.clone();
-        let mut policy = policy_by_name("round-robin", &rf, 1).expect("known policy");
-        if run_thermal_pipeline(
-            &mut func,
-            &rf,
-            policy.as_mut(),
-            RcParams::default(),
-            PowerModel::default(),
-            &PipelineConfig::default(),
-        )
-        .is_ok()
+        if session
+            .optimize(&mut func, &PipelineConfig::default())
+            .is_ok()
         {
             ok += 1;
         }

@@ -13,19 +13,24 @@
 //!
 //! Run: `cargo run -p tadfa-bench --bin predictive_eval`
 
-use tadfa_bench::{default_register_file, evaluate_policy, k2, k3, print_table};
-use tadfa_core::{
-    AnalysisGrid, CriticalConfig, CriticalSet, PlacementPrior, PredictiveConfig, PredictiveDfa,
-    ThermalDfa, ThermalDfaConfig,
-};
-use tadfa_regalloc::{allocate_linear_scan, ColdestFirst, FirstFree, RegAllocConfig};
-use tadfa_thermal::{PowerModel, RcParams};
+use tadfa_bench::{default_session, evaluate_policy, k2, k3, print_table};
+use tadfa_core::{CriticalConfig, PlacementPrior, PredictiveConfig};
+use tadfa_regalloc::ColdestFirst;
+use tadfa_sim::{simulate_trace, CosimConfig, Interpreter};
+use tadfa_thermal::MapStats;
 use tadfa_workloads::standard_suite;
 
 fn main() {
-    let rf = default_register_file();
-    let pm = PowerModel::default();
-    let dfa_config = ThermalDfaConfig::default();
+    let mut session = default_session();
+    session
+        .set_predictive_config(PredictiveConfig {
+            prior: PlacementPrior::FirstFree,
+            ..PredictiveConfig::default()
+        })
+        .expect("valid predictive config");
+    session
+        .set_critical_config(CriticalConfig { temp_fraction: 0.5 })
+        .expect("valid critical config");
 
     println!("== E7: predictive (pre-assignment) analysis ==\n");
 
@@ -34,46 +39,35 @@ fn main() {
     let mut rows = Vec::new();
     for w in standard_suite() {
         // Prediction before assignment.
-        let predictive = PredictiveDfa::new(
-            &w.func,
-            &rf,
-            RcParams::default(),
-            pm,
-            PredictiveConfig { prior: PlacementPrior::FirstFree, ..PredictiveConfig::default() },
-        );
-        let Ok(pred) = predictive.run() else {
+        let Ok(pred) = session.predict(&w.func) else {
             rows.push(vec![w.name.to_string(), "alloc error".into()]);
             continue;
         };
         let predicted: std::collections::BTreeSet<_> =
             pred.predicted_critical(0.3).into_iter().collect();
 
-        // Ground truth after assignment.
-        let mut func = w.func.clone();
-        let Ok(alloc) =
-            allocate_linear_scan(&mut func, &rf, &mut FirstFree, &RegAllocConfig::default())
-        else {
+        // Ground truth after assignment, through the same session.
+        session
+            .set_policy_name("first-free", 42)
+            .expect("known policy");
+        let Ok(report) = session.analyze(&w.func) else {
             rows.push(vec![w.name.to_string(), "alloc error".into()]);
             continue;
         };
-        let grid = AnalysisGrid::full(&rf, RcParams::default());
-        let result = ThermalDfa::new(&func, &alloc.assignment, &grid, pm, dfa_config).run();
-        let measured: std::collections::BTreeSet<_> = CriticalSet::identify(
-            &func,
-            &alloc.assignment,
-            &grid,
-            &result,
-            &pm,
-            CriticalConfig { temp_fraction: 0.5 },
-        )
-        .critical()
-        .iter()
-        .copied()
-        .collect();
+        let measured: std::collections::BTreeSet<_> =
+            report.critical.critical().iter().copied().collect();
 
         let tp = predicted.intersection(&measured).count();
-        let precision = if predicted.is_empty() { 1.0 } else { tp as f64 / predicted.len() as f64 };
-        let recall = if measured.is_empty() { 1.0 } else { tp as f64 / measured.len() as f64 };
+        let precision = if predicted.is_empty() {
+            1.0
+        } else {
+            tp as f64 / predicted.len() as f64
+        };
+        let recall = if measured.is_empty() {
+            1.0
+        } else {
+            tp as f64 / measured.len() as f64
+        };
         rows.push(vec![
             w.name.to_string(),
             predicted.len().to_string(),
@@ -84,7 +78,14 @@ fn main() {
         ]);
     }
     print_table(
-        &["workload", "predicted", "measured", "overlap", "precision", "recall"],
+        &[
+            "workload",
+            "predicted",
+            "measured",
+            "overlap",
+            "precision",
+            "recall",
+        ],
         &rows,
     );
 
@@ -96,7 +97,7 @@ fn main() {
 
         // Baselines through the standard harness.
         for p in ["first-free", "chessboard"] {
-            match evaluate_policy(&w, &rf, p, 42, dfa_config) {
+            match evaluate_policy(&mut session, &w, p, 42) {
                 Ok(eval) => {
                     cells.push(k2(eval.measured_stats.peak));
                     cells.push(k3(eval.measured_stats.stddev));
@@ -109,69 +110,47 @@ fn main() {
         }
 
         // Prediction-driven: coldest-first seeded with the predictive map.
-        let predictive = PredictiveDfa::new(
-            &w.func,
-            &rf,
-            RcParams::default(),
-            pm,
-            PredictiveConfig { prior: PlacementPrior::FirstFree, ..PredictiveConfig::default() },
-        );
-        match predictive.run() {
-            Ok(pred) => {
-                let mut func = w.func.clone();
-                // Normalise scores to [0, 1] and use a self-heat of 0.25:
-                // each choice visibly "heats" its cell so successive
-                // temporaries rotate instead of funnelling into the single
-                // coldest cell.
-                let mut scores = pred.cell_scores();
-                let max = scores.iter().cloned().fold(0.0f64, f64::max);
-                if max > 0.0 {
-                    for s in &mut scores {
-                        *s /= max;
-                    }
-                }
-                let mut policy = ColdestFirst::new(scores, 0.25);
-                match allocate_linear_scan(&mut func, &rf, &mut policy, &RegAllocConfig::default())
-                {
-                    Ok(alloc) => {
-                        // Measure through traced co-simulation.
-                        let mut interp = tadfa_sim::Interpreter::new(&func)
-                            .with_assignment(&alloc.assignment)
-                            .with_fuel(50_000_000);
-                        for (slot, data) in &w.preload {
-                            interp = interp.with_slot_data(*slot, data.clone());
-                        }
-                        match interp.run(&w.args) {
-                            Ok(exec) => {
-                                let model = tadfa_thermal::ThermalModel::new(
-                                    rf.floorplan().clone(),
-                                    RcParams::default(),
-                                );
-                                let tl = tadfa_sim::simulate_trace(
-                                    &exec.trace,
-                                    &rf,
-                                    &model,
-                                    &pm,
-                                    &tadfa_sim::CosimConfig::default(),
-                                );
-                                let stats =
-                                    tadfa_thermal::MapStats::of(&tl.peak_map, rf.floorplan());
-                                cells.push(k2(stats.peak));
-                                cells.push(k3(stats.stddev));
-                            }
-                            Err(_) => {
-                                cells.push("err".into());
-                                cells.push(String::new());
-                            }
-                        }
-                    }
-                    Err(_) => {
-                        cells.push("err".into());
-                        cells.push(String::new());
-                    }
+        let measured = session.predict(&w.func).ok().and_then(|pred| {
+            // Normalise scores to [0, 1] and use a self-heat of 0.25:
+            // each choice visibly "heats" its cell so successive
+            // temporaries rotate instead of funnelling into the single
+            // coldest cell.
+            let mut scores = pred.cell_scores();
+            let max = scores.iter().cloned().fold(0.0f64, f64::max);
+            if max > 0.0 {
+                for s in &mut scores {
+                    *s /= max;
                 }
             }
-            Err(_) => {
+            session.set_policy(Box::new(ColdestFirst::new(scores, 0.25)));
+            let report = session.analyze(&w.func).ok()?;
+
+            // Measure through traced co-simulation.
+            let mut interp = Interpreter::new(&report.func)
+                .with_assignment(&report.assignment)
+                .with_fuel(50_000_000);
+            for (slot, data) in &w.preload {
+                interp = interp.with_slot_data(*slot, data.clone());
+            }
+            let exec = interp.run(&w.args).ok()?;
+            let rf = session.register_file();
+            let model =
+                tadfa_thermal::ThermalModel::new(rf.floorplan().clone(), session.rc_params());
+            let tl = simulate_trace(
+                &exec.trace,
+                rf,
+                &model,
+                &session.power_model(),
+                &CosimConfig::default(),
+            );
+            Some(MapStats::of(&tl.peak_map, rf.floorplan()))
+        });
+        match measured {
+            Some(stats) => {
+                cells.push(k2(stats.peak));
+                cells.push(k3(stats.stddev));
+            }
+            None => {
                 cells.push("err".into());
                 cells.push(String::new());
             }

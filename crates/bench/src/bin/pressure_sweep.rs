@@ -9,19 +9,18 @@
 //!
 //! Run: `cargo run -p tadfa-bench --bin pressure_sweep`
 
-use tadfa_bench::{default_register_file, evaluate_policy, k2, k3, print_table};
-use tadfa_core::ThermalDfaConfig;
+use tadfa_bench::{default_session, evaluate_policy, k2, k3, print_table};
 use tadfa_workloads::{pressure_ladder, Workload};
 
 fn main() {
-    let rf = default_register_file();
-    let half = rf.num_regs() / 2;
+    let mut session = default_session();
+    let half = session.register_file().num_regs() / 2;
     let levels = [4usize, 8, 16, 24, 32, 40, 48];
 
     println!("== E2: chessboard degradation under register pressure ==");
     println!(
         "RF: {} registers (half = {half}); generated programs, pressure ladder {:?}\n",
-        rf.num_regs(),
+        session.register_file().num_regs(),
         levels
     );
 
@@ -40,7 +39,7 @@ fn main() {
         };
         let mut row = vec![pressure.to_string()];
         for p in policies {
-            match evaluate_policy(&w, &rf, p, 7, ThermalDfaConfig::default()) {
+            match evaluate_policy(&mut session, &w, p, 7) {
                 Ok(eval) => {
                     row.push(k2(eval.measured_stats.peak));
                     row.push(k3(eval.measured_stats.stddev));
@@ -56,13 +55,7 @@ fn main() {
 
     print_table(
         &[
-            "pressure",
-            "ff peak",
-            "ff sigma",
-            "cb peak",
-            "cb sigma",
-            "cf peak",
-            "cf sigma",
+            "pressure", "ff peak", "ff sigma", "cb peak", "cb sigma", "cf peak", "cf sigma",
         ],
         &rows,
     );

@@ -5,25 +5,33 @@
 //! `DESIGN.md` / `EXPERIMENTS.md`). Each binary composes
 //! [`evaluate_policy`] (workload → allocation under a policy → predicted
 //! map via the thermal DFA → measured map via traced execution and
-//! co-simulation) and prints aligned tables plus Fig. 1-style ASCII heat
-//! maps.
+//! co-simulation) over a shared [`Session`] and prints aligned tables
+//! plus Fig. 1-style ASCII heat maps.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use tadfa_core::{AnalysisGrid, ThermalDfa, ThermalDfaConfig, ThermalDfaResult};
+pub mod quickbench;
+
+use tadfa_core::{Session, TadfaError, ThermalDfaResult};
 use tadfa_ir::Function;
-use tadfa_regalloc::{
-    allocate_linear_scan, policy_by_name, Assignment, RegAllocConfig, RegAllocError,
-};
+use tadfa_regalloc::Assignment;
 use tadfa_sim::{simulate_trace, CosimConfig, Interpreter, SimError};
-use tadfa_thermal::{Floorplan, MapStats, PowerModel, RcParams, RegisterFile, ThermalState};
+use tadfa_thermal::{MapStats, ThermalState};
 use tadfa_workloads::Workload;
 
-/// The canonical 8×8 (64-register) file used by the experiments, matching
-/// the paper's Fig. 1 panels.
-pub fn default_register_file() -> RegisterFile {
-    RegisterFile::new(Floorplan::grid(8, 8))
+/// A session over the canonical 8×8 (64-register) file used by the
+/// experiments, matching the paper's Fig. 1 panels.
+///
+/// # Panics
+///
+/// Never — the default configuration is valid by construction; the
+/// `expect` is unreachable.
+pub fn default_session() -> Session {
+    Session::builder()
+        .floorplan(8, 8)
+        .build()
+        .expect("default experiment session is valid")
 }
 
 /// Everything measured for one (workload, policy) pair.
@@ -54,29 +62,26 @@ pub struct PolicyEval {
 /// Errors the harness can surface.
 #[derive(Debug)]
 pub enum HarnessError {
-    /// Register allocation failed.
-    Alloc(RegAllocError),
+    /// Analysis-side failure (config, policy, allocation).
+    Tadfa(TadfaError),
     /// Execution failed.
     Sim(SimError),
-    /// Unknown policy name.
-    UnknownPolicy(String),
 }
 
 impl std::fmt::Display for HarnessError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            HarnessError::Alloc(e) => write!(f, "allocation failed: {e}"),
+            HarnessError::Tadfa(e) => write!(f, "analysis failed: {e}"),
             HarnessError::Sim(e) => write!(f, "simulation failed: {e}"),
-            HarnessError::UnknownPolicy(p) => write!(f, "unknown policy '{p}'"),
         }
     }
 }
 
 impl std::error::Error for HarnessError {}
 
-impl From<RegAllocError> for HarnessError {
-    fn from(e: RegAllocError) -> Self {
-        HarnessError::Alloc(e)
+impl From<TadfaError> for HarnessError {
+    fn from(e: TadfaError) -> Self {
+        HarnessError::Tadfa(e)
     }
 }
 
@@ -86,60 +91,54 @@ impl From<SimError> for HarnessError {
     }
 }
 
-/// Runs one workload under one assignment policy: allocate, predict
-/// (thermal DFA), execute+trace, co-simulate (measured), and summarise.
+/// Runs one workload under one assignment policy through `session`:
+/// allocate, predict (thermal DFA), execute+trace, co-simulate
+/// (measured), and summarise. The session's register file, grid, power
+/// model, and DFA config are reused; only the policy is switched.
 ///
 /// # Errors
 ///
 /// Returns [`HarnessError`] on unknown policy, allocation failure, or
 /// execution failure.
 pub fn evaluate_policy(
+    session: &mut Session,
     workload: &Workload,
-    rf: &RegisterFile,
     policy_name: &str,
     seed: u64,
-    dfa_config: ThermalDfaConfig,
 ) -> Result<PolicyEval, HarnessError> {
-    let mut policy = policy_by_name(policy_name, rf, seed)
-        .ok_or_else(|| HarnessError::UnknownPolicy(policy_name.to_string()))?;
-
-    let mut func = workload.func.clone();
-    let alloc = allocate_linear_scan(&mut func, rf, policy.as_mut(), &RegAllocConfig::default())?;
-
-    // Predicted map: thermal DFA at full granularity.
-    let grid = AnalysisGrid::full(rf, RcParams::default());
-    let pm = PowerModel::default();
-    let dfa_result = ThermalDfa::new(&func, &alloc.assignment, &grid, pm, dfa_config).run();
-    let predicted = grid.upsample(&dfa_result.peak_map());
+    session.set_policy_name(policy_name, seed)?;
+    let report = session.analyze(&workload.func)?;
 
     // Measured map: traced execution + co-simulation.
-    let mut interp = Interpreter::new(&func)
-        .with_assignment(&alloc.assignment)
+    let rf = session.register_file();
+    let mut interp = Interpreter::new(&report.func)
+        .with_assignment(&report.assignment)
         .with_fuel(50_000_000);
     for (slot, data) in &workload.preload {
         interp = interp.with_slot_data(*slot, data.clone());
     }
     let exec = interp.run(&workload.args)?;
-    let model = tadfa_thermal::ThermalModel::new(rf.floorplan().clone(), RcParams::default());
+    let model = tadfa_thermal::ThermalModel::new(rf.floorplan().clone(), session.rc_params());
+    let dfa_config = session.dfa_config();
     let cosim = CosimConfig {
         seconds_per_cycle: dfa_config.seconds_per_cycle,
         time_scale: dfa_config.time_scale,
         ..CosimConfig::default()
     };
-    let timeline = simulate_trace(&exec.trace, rf, &model, &pm, &cosim);
+    let timeline = simulate_trace(&exec.trace, rf, &model, &session.power_model(), &cosim);
 
     let fp = rf.floorplan();
     Ok(PolicyEval {
         policy: policy_name.to_string(),
         measured_stats: MapStats::of(&timeline.peak_map, fp),
-        predicted_stats: MapStats::of(&predicted, fp),
-        predicted,
+        predicted_stats: MapStats::of(&report.predicted, fp),
+        predicted: report.predicted,
         measured: timeline.peak_map,
-        dfa: dfa_result,
+        dfa: report.dfa,
         cycles: exec.cycles,
-        spilled: alloc.stats.spilled,
-        assignment: alloc.assignment,
-        func,
+        spilled: report.alloc_stats.spilled,
+        assignment: report.assignment,
+        func: report.func,
     })
 }
 
@@ -184,10 +183,9 @@ mod tests {
 
     #[test]
     fn evaluate_policy_produces_consistent_maps() {
-        let rf = default_register_file();
+        let mut session = default_session();
         let w = fibonacci();
-        let eval =
-            evaluate_policy(&w, &rf, "first-free", 1, ThermalDfaConfig::default()).unwrap();
+        let eval = evaluate_policy(&mut session, &w, "first-free", 1).unwrap();
         assert_eq!(eval.predicted.len(), 64);
         assert_eq!(eval.measured.len(), 64);
         assert!(eval.measured_stats.peak > 318.0);
@@ -198,20 +196,21 @@ mod tests {
 
     #[test]
     fn unknown_policy_is_reported() {
-        let rf = default_register_file();
+        let mut session = default_session();
         let w = fibonacci();
-        let e = evaluate_policy(&w, &rf, "nonsense", 1, ThermalDfaConfig::default());
-        assert!(matches!(e, Err(HarnessError::UnknownPolicy(_))));
+        let e = evaluate_policy(&mut session, &w, "nonsense", 1);
+        assert!(matches!(
+            e,
+            Err(HarnessError::Tadfa(TadfaError::UnknownPolicy(_)))
+        ));
     }
 
     #[test]
     fn policies_differ_in_measured_spread() {
-        let rf = default_register_file();
+        let mut session = default_session();
         let w = fibonacci();
-        let ff =
-            evaluate_policy(&w, &rf, "first-free", 1, ThermalDfaConfig::default()).unwrap();
-        let cb =
-            evaluate_policy(&w, &rf, "chessboard", 1, ThermalDfaConfig::default()).unwrap();
+        let ff = evaluate_policy(&mut session, &w, "first-free", 1).unwrap();
+        let cb = evaluate_policy(&mut session, &w, "chessboard", 1).unwrap();
         // Both valid; the exact ordering is asserted in the E1 shape
         // integration test — here we only require both produced heat.
         assert!(ff.measured_stats.peak > 318.0);

@@ -1,0 +1,157 @@
+//! A minimal timing harness for the `benches/` binaries.
+//!
+//! The build container has no crates.io access, so criterion is
+//! unavailable; this module supplies the subset the benches need —
+//! warmup, repeated timed samples, and an aligned min/median/mean
+//! report — behind a criterion-like API (`bench_function`, groups via
+//! name prefixes). Swap back to criterion when a registry is reachable;
+//! the bench sources only touch this façade.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value sink, re-exported for bench bodies.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// One benchmark's collected samples.
+#[derive(Clone, Debug)]
+struct Record {
+    name: String,
+    samples: Vec<Duration>,
+}
+
+/// A set of benchmarks sharing a report table.
+#[derive(Debug)]
+pub struct Harness {
+    records: Vec<Record>,
+    /// Timed samples collected per benchmark.
+    pub sample_size: usize,
+    /// Untimed warmup iterations per benchmark.
+    pub warmup_iters: usize,
+}
+
+impl Default for Harness {
+    fn default() -> Harness {
+        Harness {
+            records: Vec::new(),
+            sample_size: 10,
+            warmup_iters: 3,
+        }
+    }
+}
+
+impl Harness {
+    /// A harness with the default sample and warmup counts.
+    pub fn new() -> Harness {
+        Harness::default()
+    }
+
+    /// Times `f` (`warmup_iters` untimed runs, then `sample_size` timed
+    /// samples) and records it under `name`.
+    pub fn bench_function<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        for _ in 0..self.warmup_iters {
+            std_black_box(f());
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std_black_box(f());
+            samples.push(start.elapsed());
+        }
+        self.records.push(Record {
+            name: name.to_string(),
+            samples,
+        });
+    }
+
+    /// The mean duration recorded under `name`, if it was benched.
+    pub fn mean_of(&self, name: &str) -> Option<Duration> {
+        let r = self.records.iter().find(|r| r.name == name)?;
+        let total: Duration = r.samples.iter().sum();
+        Some(total / r.samples.len() as u32)
+    }
+
+    /// Prints the aligned report table for everything benched so far.
+    pub fn report(&self) {
+        let name_w = self
+            .records
+            .iter()
+            .map(|r| r.name.len())
+            .max()
+            .unwrap_or(4)
+            .max("name".len());
+        println!(
+            "{:<name_w$}  {:>12}  {:>12}  {:>12}  {:>7}",
+            "name", "min", "median", "mean", "samples"
+        );
+        println!(
+            "{}  {}  {}  {}  {}",
+            "-".repeat(name_w),
+            "-".repeat(12),
+            "-".repeat(12),
+            "-".repeat(12),
+            "-".repeat(7)
+        );
+        for r in &self.records {
+            let mut sorted = r.samples.clone();
+            sorted.sort();
+            let min = sorted[0];
+            let median = sorted[sorted.len() / 2];
+            let total: Duration = sorted.iter().sum();
+            let mean = total / sorted.len() as u32;
+            println!(
+                "{:<name_w$}  {:>12}  {:>12}  {:>12}  {:>7}",
+                r.name,
+                fmt_duration(min),
+                fmt_duration(median),
+                fmt_duration(mean),
+                sorted.len()
+            );
+        }
+    }
+}
+
+/// Human-scale duration formatting (ns/µs/ms/s).
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_reports() {
+        let mut h = Harness::new();
+        h.sample_size = 3;
+        h.warmup_iters = 1;
+        let mut count = 0u64;
+        h.bench_function("spin", || {
+            count += 1;
+            (0..1000u64).sum::<u64>()
+        });
+        assert_eq!(count, 4, "1 warmup + 3 samples");
+        assert!(h.mean_of("spin").is_some());
+        assert!(h.mean_of("missing").is_none());
+        h.report(); // must not panic
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert!(fmt_duration(Duration::from_nanos(12)).contains("ns"));
+        assert!(fmt_duration(Duration::from_micros(12)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(12)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).contains(" s"));
+    }
+}

@@ -1,0 +1,7 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Re-exports the no-op derive macros so `use serde::{Deserialize,
+//! Serialize}` + `#[derive(...)]` compile without network access. See
+//! `crates/compat/serde_derive` for the rationale.
+
+pub use serde_derive::{Deserialize, Serialize};

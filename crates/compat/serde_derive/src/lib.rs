@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build container has no crates.io access, so the real serde derive
+//! macros are replaced by no-ops: `#[derive(Serialize, Deserialize)]`
+//! attributes across the workspace compile but generate no impls. The
+//! derives mark which types are intended to be wire-serializable; the
+//! real crate can be swapped in via `[workspace.dependencies]` without
+//! touching any annotated type.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: accepts the input, emits nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: accepts the input, emits nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,5 +1,6 @@
 //! Configuration of the thermal data flow analysis.
 
+use crate::error::TadfaError;
 use serde::{Deserialize, Serialize};
 use tadfa_thermal::constants;
 
@@ -64,15 +65,40 @@ impl Default for ThermalDfaConfig {
 impl ThermalDfaConfig {
     /// Validates the configuration.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on non-positive δ, zero iteration budget, or non-positive
-    /// time parameters.
-    pub fn validate(&self) {
-        assert!(self.delta > 0.0, "delta must be positive");
-        assert!(self.max_iterations > 0, "iteration budget must be positive");
-        assert!(self.seconds_per_cycle > 0.0, "seconds_per_cycle must be positive");
-        assert!(self.time_scale > 0.0, "time_scale must be positive");
+    /// Returns [`TadfaError::InvalidConfig`] on non-positive δ, a zero
+    /// iteration budget, or non-positive time parameters.
+    pub fn validate(&self) -> Result<(), TadfaError> {
+        if self.delta <= 0.0 || self.delta.is_nan() {
+            return Err(TadfaError::InvalidConfig {
+                param: "delta",
+                value: self.delta,
+                reason: "must be positive",
+            });
+        }
+        if self.max_iterations == 0 {
+            return Err(TadfaError::InvalidConfig {
+                param: "max_iterations",
+                value: 0.0,
+                reason: "iteration budget must be positive",
+            });
+        }
+        if self.seconds_per_cycle <= 0.0 || self.seconds_per_cycle.is_nan() {
+            return Err(TadfaError::InvalidConfig {
+                param: "seconds_per_cycle",
+                value: self.seconds_per_cycle,
+                reason: "must be positive",
+            });
+        }
+        if self.time_scale <= 0.0 || self.time_scale.is_nan() {
+            return Err(TadfaError::InvalidConfig {
+                param: "time_scale",
+                value: self.time_scale,
+                reason: "must be positive",
+            });
+        }
+        Ok(())
     }
 
     /// Builder-style: sets δ.
@@ -141,7 +167,7 @@ mod tests {
     #[test]
     fn default_config_is_valid() {
         let c = ThermalDfaConfig::default();
-        c.validate();
+        assert!(c.validate().is_ok());
         assert!(c.delta > 0.0);
         assert_eq!(c.merge, MergeRule::Max);
         assert!(c.leakage_feedback);
@@ -166,9 +192,50 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "delta must be positive")]
-    fn zero_delta_rejected() {
-        ThermalDfaConfig::default().with_delta(0.0).validate();
+    fn invalid_configs_are_reported_not_panicked() {
+        let e = ThermalDfaConfig::default()
+            .with_delta(0.0)
+            .validate()
+            .unwrap_err();
+        assert!(matches!(
+            e,
+            TadfaError::InvalidConfig { param: "delta", .. }
+        ));
+        let e = ThermalDfaConfig::default()
+            .with_max_iterations(0)
+            .validate()
+            .unwrap_err();
+        assert!(matches!(
+            e,
+            TadfaError::InvalidConfig {
+                param: "max_iterations",
+                ..
+            }
+        ));
+        let c = ThermalDfaConfig {
+            time_scale: -1.0,
+            ..ThermalDfaConfig::default()
+        };
+        let e = c.validate().unwrap_err();
+        assert!(matches!(
+            e,
+            TadfaError::InvalidConfig {
+                param: "time_scale",
+                ..
+            }
+        ));
+        let c = ThermalDfaConfig {
+            seconds_per_cycle: 0.0,
+            ..ThermalDfaConfig::default()
+        };
+        let e = c.validate().unwrap_err();
+        assert!(matches!(
+            e,
+            TadfaError::InvalidConfig {
+                param: "seconds_per_cycle",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -176,7 +243,10 @@ mod tests {
         let c = Convergence::Converged { iterations: 4 };
         assert!(c.is_converged());
         assert_eq!(c.iterations(), 4);
-        let d = Convergence::DidNotConverge { iterations: 64, residual: 1.5 };
+        let d = Convergence::DidNotConverge {
+            iterations: 64,
+            residual: 1.5,
+        };
         assert!(!d.is_converged());
         assert_eq!(d.iterations(), 64);
     }

@@ -22,6 +22,7 @@
 //! configured [`MergeRule`](crate::MergeRule).
 
 use crate::config::{Convergence, MergeRule, ThermalDfaConfig};
+use crate::error::TadfaError;
 use crate::grid::AnalysisGrid;
 use tadfa_ir::{BlockId, Cfg, Function, Inst, InstId, Terminator, VReg};
 use tadfa_regalloc::Assignment;
@@ -56,10 +57,11 @@ use tadfa_thermal::{PowerModel, ThermalState};
 /// let grid = AnalysisGrid::full(&rf, RcParams::default());
 ///
 /// let dfa = ThermalDfa::new(&f, &alloc.assignment, &grid,
-///                           PowerModel::default(), ThermalDfaConfig::default());
+///                           PowerModel::default(), ThermalDfaConfig::default())?;
 /// let result = dfa.run();
 /// assert!(result.convergence.is_converged());
 /// assert!(result.peak_temperature() > grid.model().ambient());
+/// # Ok::<(), tadfa_core::TadfaError>(())
 /// ```
 #[derive(Debug)]
 pub struct ThermalDfa<'a> {
@@ -73,18 +75,25 @@ pub struct ThermalDfa<'a> {
 impl<'a> ThermalDfa<'a> {
     /// Creates the analysis.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `config` fails validation.
+    /// Returns [`TadfaError::InvalidConfig`] if `config` fails
+    /// validation.
     pub fn new(
         func: &'a Function,
         assignment: &'a Assignment,
         grid: &'a AnalysisGrid,
         power_model: PowerModel,
         config: ThermalDfaConfig,
-    ) -> ThermalDfa<'a> {
-        config.validate();
-        ThermalDfa { func, assignment, grid, power_model, config }
+    ) -> Result<ThermalDfa<'a>, TadfaError> {
+        config.validate()?;
+        Ok(ThermalDfa {
+            func,
+            assignment,
+            grid,
+            power_model,
+            config,
+        })
     }
 
     /// The analysis-point/energy pairs an instruction's register accesses
@@ -218,7 +227,9 @@ impl<'a> ThermalDfa<'a> {
             // on it.
             history.push(max_change);
             if iteration > 1 && max_change <= self.config.delta {
-                convergence = Convergence::Converged { iterations: iteration };
+                convergence = Convergence::Converged {
+                    iterations: iteration,
+                };
                 break;
             }
             if iteration == self.config.max_iterations {
@@ -325,7 +336,8 @@ mod tests {
         let alloc =
             allocate_linear_scan(f, &rf, &mut FirstFree, &RegAllocConfig::default()).unwrap();
         let grid = AnalysisGrid::full(&rf, RcParams::default());
-        let dfa = ThermalDfa::new(f, &alloc.assignment, &grid, PowerModel::default(), config);
+        let dfa =
+            ThermalDfa::new(f, &alloc.assignment, &grid, PowerModel::default(), config).unwrap();
         let r = dfa.run();
         (r, alloc.assignment, grid)
     }
@@ -430,8 +442,10 @@ mod tests {
     fn smaller_delta_needs_more_iterations() {
         // A larger time scale speeds the contraction so the tight-delta
         // run converges well inside the default iteration budget.
-        let mut base = ThermalDfaConfig::default();
-        base.time_scale = 10_000.0;
+        let base = ThermalDfaConfig {
+            time_scale: 10_000.0,
+            ..ThermalDfaConfig::default()
+        };
         let mut f1 = loopy(100);
         let (r_loose, _, _) = analyse(&mut f1, base.with_delta(1.0));
         let mut f2 = loopy(100);
@@ -455,7 +469,10 @@ mod tests {
         let (r, _, _) = analyse(&mut f, cfg);
         assert!(!r.convergence.is_converged());
         match r.convergence {
-            Convergence::DidNotConverge { iterations, residual } => {
+            Convergence::DidNotConverge {
+                iterations,
+                residual,
+            } => {
                 assert_eq!(iterations, 3);
                 assert!(residual > 1e-9);
             }
@@ -471,17 +488,20 @@ mod tests {
         let mut f = loopy(100);
         let rf = rf_4x4();
         let alloc =
-            allocate_linear_scan(&mut f, &rf, &mut FirstFree, &RegAllocConfig::default())
-                .unwrap();
+            allocate_linear_scan(&mut f, &rf, &mut FirstFree, &RegAllocConfig::default()).unwrap();
         let grid = AnalysisGrid::full(&rf, RcParams::default());
-        let mut pm = PowerModel::default();
         // Loop gain = dP/dT · R_eff with R_eff = 1/(G_vert + 4·G_lat)
         // ≈ 5.2e3 K/W per cell; gain > 1 needs dP/dT > ~1.9e-4 W/K,
         // i.e. a coefficient above ~10/K at 20 µW of base leakage.
-        pm.leakage_temp_coeff = 60.0;
-        let mut cfg = ThermalDfaConfig::default().with_max_iterations(30);
-        cfg.time_scale = 10_000.0;
-        let dfa = ThermalDfa::new(&f, &alloc.assignment, &grid, pm, cfg);
+        let pm = PowerModel {
+            leakage_temp_coeff: 60.0,
+            ..PowerModel::default()
+        };
+        let cfg = ThermalDfaConfig {
+            time_scale: 10_000.0,
+            ..ThermalDfaConfig::default().with_max_iterations(30)
+        };
+        let dfa = ThermalDfa::new(&f, &alloc.assignment, &grid, pm, cfg).unwrap();
         let r = dfa.run();
         assert!(!r.convergence.is_converged(), "runaway must not converge");
         let h = &r.residual_history;
@@ -496,11 +516,15 @@ mod tests {
     fn merge_rules_bound_each_other() {
         // Max merge is an upper bound on Average merge everywhere.
         let mut f1 = loopy(50);
-        let (r_max, _, _) =
-            analyse(&mut f1, ThermalDfaConfig::default().with_merge(MergeRule::Max));
+        let (r_max, _, _) = analyse(
+            &mut f1,
+            ThermalDfaConfig::default().with_merge(MergeRule::Max),
+        );
         let mut f2 = loopy(50);
-        let (r_avg, _, _) =
-            analyse(&mut f2, ThermalDfaConfig::default().with_merge(MergeRule::Average));
+        let (r_avg, _, _) = analyse(
+            &mut f2,
+            ThermalDfaConfig::default().with_merge(MergeRule::Average),
+        );
         assert!(r_max.peak_temperature() >= r_avg.peak_temperature() - 1e-9);
     }
 
@@ -523,8 +547,7 @@ mod tests {
 
         let mut f1 = straightline();
         let a1 =
-            allocate_linear_scan(&mut f1, &rf, &mut FirstFree, &RegAllocConfig::default())
-                .unwrap();
+            allocate_linear_scan(&mut f1, &rf, &mut FirstFree, &RegAllocConfig::default()).unwrap();
         let r1 = ThermalDfa::new(
             &f1,
             &a1.assignment,
@@ -532,6 +555,7 @@ mod tests {
             PowerModel::default(),
             ThermalDfaConfig::default(),
         )
+        .unwrap()
         .run();
 
         let mut f2 = straightline();
@@ -549,6 +573,7 @@ mod tests {
             PowerModel::default(),
             ThermalDfaConfig::default(),
         )
+        .unwrap()
         .run();
 
         let m1 = r1.peak_map();

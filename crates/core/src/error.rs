@@ -1,0 +1,160 @@
+//! The workspace-wide error type.
+//!
+//! Every fallible operation reachable through the [`Session`] façade
+//! reports failure as a [`TadfaError`] instead of panicking: invalid
+//! analysis parameters, degenerate geometry, unknown policy names, and
+//! allocation failures all flow through one `Result` channel.
+//!
+//! Analysis *outcomes* that the paper treats as information — most
+//! importantly non-convergence of the fixpoint ("the thermal state of
+//! the program may be too difficult to predict at compile time", §4) —
+//! are **not** errors; they are reported as data via
+//! [`Convergence`](crate::Convergence) on a successful result.
+//!
+//! [`Session`]: crate::Session
+
+use std::error::Error;
+use std::fmt;
+use tadfa_regalloc::RegAllocError;
+
+/// Errors produced by the tadfa workspace.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TadfaError {
+    /// A numeric analysis parameter failed validation.
+    InvalidConfig {
+        /// The offending parameter, e.g. `"delta"`.
+        param: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+    /// A register-file floorplan with zero cells was requested.
+    EmptyFloorplan {
+        /// Requested rows.
+        rows: usize,
+        /// Requested columns.
+        cols: usize,
+    },
+    /// An analysis grid with zero points was requested.
+    EmptyGrid {
+        /// Requested rows.
+        rows: usize,
+        /// Requested columns.
+        cols: usize,
+    },
+    /// The analysis grid is finer than the physical register file in at
+    /// least one dimension.
+    GridTooFine {
+        /// Requested analysis rows.
+        rows: usize,
+        /// Requested analysis columns.
+        cols: usize,
+        /// Physical rows.
+        phys_rows: usize,
+        /// Physical columns.
+        phys_cols: usize,
+    },
+    /// A thermal state was offered to a grid of a different size.
+    StateSizeMismatch {
+        /// Points the grid expects.
+        expected: usize,
+        /// Points the state has.
+        got: usize,
+    },
+    /// No built-in assignment policy has the given name.
+    UnknownPolicy(String),
+    /// Register allocation failed.
+    Alloc(RegAllocError),
+}
+
+impl fmt::Display for TadfaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TadfaError::InvalidConfig {
+                param,
+                value,
+                reason,
+            } => {
+                write!(f, "invalid config: {param} = {value}: {reason}")
+            }
+            TadfaError::EmptyFloorplan { rows, cols } => {
+                write!(f, "empty floorplan: {rows}x{cols} has no cells")
+            }
+            TadfaError::EmptyGrid { rows, cols } => {
+                write!(f, "empty analysis grid: {rows}x{cols} has no points")
+            }
+            TadfaError::GridTooFine {
+                rows,
+                cols,
+                phys_rows,
+                phys_cols,
+            } => {
+                write!(
+                    f,
+                    "analysis grid {rows}x{cols} finer than physical {phys_rows}x{phys_cols}"
+                )
+            }
+            TadfaError::StateSizeMismatch { expected, got } => {
+                write!(f, "thermal state has {got} points, grid expects {expected}")
+            }
+            TadfaError::UnknownPolicy(name) => {
+                write!(f, "unknown assignment policy '{name}'")
+            }
+            TadfaError::Alloc(e) => write!(f, "register allocation failed: {e}"),
+        }
+    }
+}
+
+impl Error for TadfaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TadfaError::Alloc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RegAllocError> for TadfaError {
+    fn from(e: RegAllocError) -> TadfaError {
+        TadfaError::Alloc(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_parameter() {
+        let e = TadfaError::InvalidConfig {
+            param: "delta",
+            value: -1.0,
+            reason: "must be positive",
+        };
+        let s = e.to_string();
+        assert!(s.contains("delta") && s.contains("must be positive"), "{s}");
+    }
+
+    #[test]
+    fn alloc_errors_convert_and_chain() {
+        let e: TadfaError = RegAllocError::TooFewRegisters { available: 1 }.into();
+        assert!(matches!(e, TadfaError::Alloc(_)));
+        assert!(e.to_string().contains("too small"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn geometry_errors_carry_dimensions() {
+        let e = TadfaError::GridTooFine {
+            rows: 16,
+            cols: 16,
+            phys_rows: 8,
+            phys_cols: 8,
+        };
+        assert!(e.to_string().contains("16x16"));
+        assert!(e.to_string().contains("8x8"));
+        let e = TadfaError::EmptyFloorplan { rows: 0, cols: 8 };
+        assert!(e.to_string().contains("0x8"));
+    }
+}

@@ -10,6 +10,7 @@
 //! (possibly coarser) grid of analysis points and carries the RC model
 //! over that grid. At full granularity it is the physical model itself.
 
+use crate::error::TadfaError;
 use tadfa_ir::PReg;
 use tadfa_thermal::{Floorplan, RcParams, RegisterFile, ThermalModel};
 
@@ -36,9 +37,10 @@ use tadfa_thermal::{Floorplan, RcParams, RegisterFile, ThermalModel};
 /// let full = AnalysisGrid::full(&rf, RcParams::default());
 /// assert_eq!(full.num_points(), 64);
 /// // Quarter resolution: 4×4 points, 4 registers per point.
-/// let coarse = AnalysisGrid::coarsened(&rf, RcParams::default(), 4, 4);
+/// let coarse = AnalysisGrid::coarsened(&rf, RcParams::default(), 4, 4)?;
 /// assert_eq!(coarse.num_points(), 16);
 /// assert_eq!(coarse.point_of(PReg::new(0)), coarse.point_of(PReg::new(1)));
+/// # Ok::<(), tadfa_core::TadfaError>(())
 /// ```
 #[derive(Clone, Debug)]
 pub struct AnalysisGrid {
@@ -55,31 +57,37 @@ impl AnalysisGrid {
     /// One analysis point per physical cell (maximum fidelity).
     pub fn full(rf: &RegisterFile, params: RcParams) -> AnalysisGrid {
         let fp = rf.floorplan();
+        // A floorplan always has ≥ 1 row and column, so the full grid is
+        // never empty or finer than itself.
         AnalysisGrid::coarsened(rf, params, fp.rows(), fp.cols())
+            .expect("full grid over a valid floorplan cannot fail")
     }
 
     /// A `rows × cols` analysis grid over the register file.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the analysis grid is larger than the physical grid in
-    /// either dimension, or has zero size.
+    /// Returns [`TadfaError::EmptyGrid`] for a zero-sized grid and
+    /// [`TadfaError::GridTooFine`] if the analysis grid is finer than
+    /// the physical grid in either dimension.
     pub fn coarsened(
         rf: &RegisterFile,
         params: RcParams,
         rows: usize,
         cols: usize,
-    ) -> AnalysisGrid {
+    ) -> Result<AnalysisGrid, TadfaError> {
         let fp = rf.floorplan();
-        assert!(rows >= 1 && cols >= 1, "analysis grid must be non-empty");
-        assert!(
-            rows <= fp.rows() && cols <= fp.cols(),
-            "analysis grid {}x{} finer than physical {}x{}",
-            rows,
-            cols,
-            fp.rows(),
-            fp.cols()
-        );
+        if rows == 0 || cols == 0 {
+            return Err(TadfaError::EmptyGrid { rows, cols });
+        }
+        if rows > fp.rows() || cols > fp.cols() {
+            return Err(TadfaError::GridTooFine {
+                rows,
+                cols,
+                phys_rows: fp.rows(),
+                phys_cols: fp.cols(),
+            });
+        }
 
         let analysis_fp = Floorplan::with_cell_size(
             rows,
@@ -109,13 +117,13 @@ impl AnalysisGrid {
             .map(|r| cell_map[rf.cell_of(PReg::new(r as u16))])
             .collect();
 
-        AnalysisGrid {
+        Ok(AnalysisGrid {
             model,
             cell_map,
             reg_map,
             phys_rows: fp.rows(),
             phys_cols: fp.cols(),
-        }
+        })
     }
 
     /// The RC model over the analysis grid.
@@ -154,10 +162,23 @@ impl AnalysisGrid {
     /// Expands an analysis-grid state back onto the physical floorplan
     /// (each physical cell takes its analysis point's temperature) for
     /// rendering and comparison against full-resolution simulation.
-    pub fn upsample(&self, state: &tadfa_thermal::ThermalState) -> tadfa_thermal::ThermalState {
-        assert_eq!(state.len(), self.num_points(), "state is not on this grid");
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TadfaError::StateSizeMismatch`] if `state` is not
+    /// defined over this grid's points.
+    pub fn upsample(
+        &self,
+        state: &tadfa_thermal::ThermalState,
+    ) -> Result<tadfa_thermal::ThermalState, TadfaError> {
+        if state.len() != self.num_points() {
+            return Err(TadfaError::StateSizeMismatch {
+                expected: self.num_points(),
+                got: state.len(),
+            });
+        }
         let temps: Vec<f64> = self.cell_map.iter().map(|&p| state.get(p)).collect();
-        tadfa_thermal::ThermalState::from_vec(temps)
+        Ok(tadfa_thermal::ThermalState::from_vec(temps))
     }
 }
 
@@ -183,7 +204,7 @@ mod tests {
     #[test]
     fn coarse_grid_groups_quadrants() {
         let rf = rf_8x8();
-        let g = AnalysisGrid::coarsened(&rf, RcParams::default(), 2, 2);
+        let g = AnalysisGrid::coarsened(&rf, RcParams::default(), 2, 2).unwrap();
         assert_eq!(g.num_points(), 4);
         // Top-left 4x4 physical block maps to point 0.
         assert_eq!(g.point_of_cell(0), 0);
@@ -199,7 +220,7 @@ mod tests {
     fn scaled_params_preserve_total_capacity_and_conductance() {
         let rf = rf_8x8();
         let p = RcParams::default();
-        let g = AnalysisGrid::coarsened(&rf, p, 4, 4);
+        let g = AnalysisGrid::coarsened(&rf, p, 4, 4).unwrap();
         let sp = g.model().params();
         // 4 physical cells per point: capacity ×4, vertical resistance /4.
         assert!((sp.cell_capacitance - 4.0 * p.cell_capacitance).abs() < 1e-18);
@@ -217,7 +238,7 @@ mod tests {
         let rf = rf_8x8();
         let p = RcParams::default();
         let fine = AnalysisGrid::full(&rf, p);
-        let coarse = AnalysisGrid::coarsened(&rf, p, 2, 2);
+        let coarse = AnalysisGrid::coarsened(&rf, p, 2, 2).unwrap();
         let mut pw_fine = vec![0.0; 64];
         pw_fine[9] = 2e-3;
         let mut pw_coarse = vec![0.0; 4];
@@ -237,9 +258,9 @@ mod tests {
     #[test]
     fn upsample_replicates_point_values() {
         let rf = rf_8x8();
-        let g = AnalysisGrid::coarsened(&rf, RcParams::default(), 2, 2);
+        let g = AnalysisGrid::coarsened(&rf, RcParams::default(), 2, 2).unwrap();
         let s = tadfa_thermal::ThermalState::from_vec(vec![300.0, 310.0, 320.0, 330.0]);
-        let up = g.upsample(&s);
+        let up = g.upsample(&s).unwrap();
         assert_eq!(up.len(), 64);
         assert_eq!(up.get(0), 300.0);
         assert_eq!(up.get(7), 310.0);
@@ -247,9 +268,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "finer than physical")]
-    fn finer_than_physical_rejected() {
+    fn upsample_rejects_foreign_states() {
         let rf = rf_8x8();
-        let _ = AnalysisGrid::coarsened(&rf, RcParams::default(), 16, 16);
+        let g = AnalysisGrid::coarsened(&rf, RcParams::default(), 2, 2).unwrap();
+        let s = tadfa_thermal::ThermalState::uniform(9, 300.0);
+        let e = g.upsample(&s).unwrap_err();
+        assert!(matches!(
+            e,
+            TadfaError::StateSizeMismatch {
+                expected: 4,
+                got: 9
+            }
+        ));
+    }
+
+    #[test]
+    fn degenerate_grids_rejected_as_errors() {
+        let rf = rf_8x8();
+        let e = AnalysisGrid::coarsened(&rf, RcParams::default(), 16, 16).unwrap_err();
+        assert!(matches!(e, TadfaError::GridTooFine { .. }));
+        let e = AnalysisGrid::coarsened(&rf, RcParams::default(), 0, 4).unwrap_err();
+        assert!(matches!(e, TadfaError::EmptyGrid { rows: 0, cols: 4 }));
     }
 }

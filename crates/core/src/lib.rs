@@ -3,13 +3,18 @@
 //! The primary contribution of *Thermal-Aware Data Flow Analysis* (Ayala,
 //! Atienza, Brisk — DAC 2009), reproduced in full:
 //!
+//! * [`Session`] — **the façade**: owns the register file, analysis
+//!   grid, power model, configs and assignment policy once, validates
+//!   everything up front ([`TadfaError`]), and runs the whole pipeline
+//!   (allocate → thermal DFA → critical set) for any number of
+//!   functions;
 //! * [`ThermalDfa`] — the Fig. 2 fixpoint: a forward dataflow analysis
 //!   whose fact is the register file's thermal state, re-estimated after
 //!   every instruction until no change exceeds the user parameter δ;
 //! * [`Convergence`] — the paper's explicit non-convergence signal ("if
 //!   the analysis does not converge after a reasonable number of
 //!   iterations … the thermal state of the program may be too difficult
-//!   to predict at compile time", §4);
+//!   to predict at compile time", §4) — reported as data, never a panic;
 //! * [`AnalysisGrid`] — the §3 granularity knob: the thermal state is "a
 //!   discrete set of points" whose density trades accuracy for analysis
 //!   time;
@@ -18,38 +23,24 @@
 //! * [`PredictiveDfa`] — the pre-register-allocation predictive analysis
 //!   the paper proposes as its "more ambitious possibility".
 //!
-//! ## Example
+//! ## Quickstart
 //!
 //! ```
-//! use tadfa_ir::FunctionBuilder;
-//! use tadfa_regalloc::{allocate_linear_scan, FirstFree, RegAllocConfig};
-//! use tadfa_thermal::{Floorplan, PowerModel, RcParams, RegisterFile};
-//! use tadfa_core::{AnalysisGrid, CriticalConfig, CriticalSet, ThermalDfa,
-//!                  ThermalDfaConfig};
+//! use tadfa_core::Session;
 //!
-//! // A small kernel...
-//! let mut b = FunctionBuilder::new("kernel");
-//! let x = b.param();
-//! let y = b.mul(x, x);
-//! let z = b.add(y, x);
-//! b.ret(Some(z));
-//! let mut f = b.finish();
+//! // Geometry, grid, power model, policy and configs chosen once...
+//! let mut session = Session::builder()
+//!     .floorplan(4, 4)
+//!     .policy_name("first-free", 0)
+//!     .build()?;
 //!
-//! // ...allocated onto a 4×4 register file...
-//! let rf = RegisterFile::new(Floorplan::grid(4, 4));
-//! let alloc = allocate_linear_scan(
-//!     &mut f, &rf, &mut FirstFree, &RegAllocConfig::default()).unwrap();
-//!
-//! // ...analysed at full granularity.
-//! let grid = AnalysisGrid::full(&rf, RcParams::default());
-//! let pm = PowerModel::default();
-//! let result = ThermalDfa::new(&f, &alloc.assignment, &grid, pm,
-//!                              ThermalDfaConfig::default()).run();
-//! assert!(result.convergence.is_converged());
-//!
-//! let critical = CriticalSet::identify(
-//!     &f, &alloc.assignment, &grid, &result, &pm, CriticalConfig::default());
-//! assert!(!critical.ranked().is_empty());
+//! // ...then reused across every function analyzed.
+//! let w = tadfa_workloads::fibonacci();
+//! let report = session.analyze(&w.func)?;
+//! assert!(report.convergence().is_converged());
+//! assert!(report.peak_temperature() > report.ambient());
+//! assert!(!report.critical.ranked().is_empty());
+//! # Ok::<(), tadfa_core::TadfaError>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -58,11 +49,15 @@
 mod config;
 mod critical;
 mod dfa;
+mod error;
 mod grid;
 mod predictive;
+mod session;
 
 pub use config::{Convergence, MergeRule, ThermalDfaConfig};
 pub use critical::{CriticalConfig, CriticalSet};
 pub use dfa::{ThermalDfa, ThermalDfaResult};
+pub use error::TadfaError;
 pub use grid::AnalysisGrid;
 pub use predictive::{PlacementPrior, PredictiveConfig, PredictiveDfa, PredictiveResult};
+pub use session::{Session, SessionBuilder, ThermalReport};

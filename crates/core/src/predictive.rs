@@ -17,12 +17,12 @@
 //!   the loop from prediction back into assignment without any thermal
 //!   simulation feedback.
 
+use crate::error::TadfaError;
 use serde::{Deserialize, Serialize};
 use tadfa_dataflow::DefUse;
 use tadfa_ir::{Cfg, DomTree, Function, LoopInfo, PReg, VReg};
 use tadfa_regalloc::{
-    allocate_linear_scan, AssignmentPolicy, Chessboard, FirstFree, RegAllocConfig, RegAllocError,
-    RoundRobin,
+    allocate_linear_scan, AssignmentPolicy, Chessboard, FirstFree, RegAllocConfig, RoundRobin,
 };
 use tadfa_thermal::{PowerModel, RcParams, RegisterFile, ThermalModel, ThermalState};
 
@@ -63,6 +63,32 @@ impl Default for PredictiveConfig {
     }
 }
 
+impl PredictiveConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TadfaError::InvalidConfig`] on a non-positive loop base
+    /// or cycle time.
+    pub fn validate(&self) -> Result<(), TadfaError> {
+        if self.loop_base <= 0.0 || self.loop_base.is_nan() {
+            return Err(TadfaError::InvalidConfig {
+                param: "loop_base",
+                value: self.loop_base,
+                reason: "must be positive",
+            });
+        }
+        if self.seconds_per_cycle <= 0.0 || self.seconds_per_cycle.is_nan() {
+            return Err(TadfaError::InvalidConfig {
+                param: "seconds_per_cycle",
+                value: self.seconds_per_cycle,
+                reason: "must be positive",
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Output of the predictive analysis.
 #[derive(Clone, Debug)]
 pub struct PredictiveResult {
@@ -92,7 +118,9 @@ impl PredictiveResult {
     /// predicted heat exposure is within `fraction` of the hottest
     /// variable's exposure.
     pub fn predicted_critical(&self, fraction: f64) -> Vec<VReg> {
-        let Some(&(_, top)) = self.ranked.first() else { return Vec::new() };
+        let Some(&(_, top)) = self.ranked.first() else {
+            return Vec::new();
+        };
         if top <= 0.0 {
             return Vec::new();
         }
@@ -123,16 +151,24 @@ impl<'a> PredictiveDfa<'a> {
         power_model: PowerModel,
         config: PredictiveConfig,
     ) -> PredictiveDfa<'a> {
-        PredictiveDfa { func, rf, params, power_model, config }
+        PredictiveDfa {
+            func,
+            rf,
+            params,
+            power_model,
+            config,
+        }
     }
 
     /// Runs the prediction.
     ///
     /// # Errors
     ///
-    /// Propagates [`RegAllocError`] if the placement rehearsal cannot
-    /// allocate (e.g. a register file smaller than 2).
-    pub fn run(&self) -> Result<PredictiveResult, RegAllocError> {
+    /// Returns [`TadfaError::InvalidConfig`] on a degenerate
+    /// configuration, or [`TadfaError::Alloc`] if the placement
+    /// rehearsal cannot allocate (e.g. a register file smaller than 2).
+    pub fn run(&self) -> Result<PredictiveResult, TadfaError> {
+        self.config.validate()?;
         let func = self.func;
         let cfg = Cfg::compute(func);
         let dom = DomTree::compute(func, &cfg);
@@ -204,8 +240,8 @@ impl<'a> PredictiveDfa<'a> {
         let mut power = vec![0.0f64; n_cells];
         let uniform_share = 1.0 / n_cells as f64;
         for i in 0..nv {
-            let energy = reads[i] * self.power_model.read_energy
-                + writes[i] * self.power_model.write_energy;
+            let energy =
+                reads[i] * self.power_model.read_energy + writes[i] * self.power_model.write_energy;
             if energy == 0.0 {
                 continue;
             }
@@ -246,7 +282,12 @@ impl<'a> PredictiveDfa<'a> {
             .collect();
         ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
 
-        Ok(PredictiveResult { expected_map, placement, ranked, ambient })
+        Ok(PredictiveResult {
+            expected_map,
+            placement,
+            ranked,
+            ambient,
+        })
     }
 }
 
@@ -284,7 +325,10 @@ mod tests {
     fn predict(prior: PlacementPrior) -> (PredictiveResult, VReg, VReg) {
         let (f, hot, cold) = loop_heavy_function();
         let rf = RegisterFile::new(Floorplan::grid(4, 4));
-        let cfg = PredictiveConfig { prior, ..PredictiveConfig::default() };
+        let cfg = PredictiveConfig {
+            prior,
+            ..PredictiveConfig::default()
+        };
         let r = PredictiveDfa::new(&f, &rf, RcParams::default(), PowerModel::default(), cfg)
             .run()
             .unwrap();

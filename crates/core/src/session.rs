@@ -1,0 +1,597 @@
+//! The `Session` façade: one stable entry point for the whole pipeline.
+//!
+//! The paper's flow — allocate → thermal DFA → critical set → (optimize)
+//! → re-analyse — used to require every caller to hand-wire five
+//! objects (`RegisterFile`, `AnalysisGrid`, `PowerModel`,
+//! `ThermalDfaConfig`, a policy) per call. A [`Session`] owns all of
+//! that state once: the register file, the analysis grid (the expensive
+//! RC model construction), the power model, and every config are chosen
+//! in one place at build time and reused across [`Session::analyze`]
+//! calls — the batch-oriented shape that production serving and every
+//! future scaling change (sharding, caching, async) builds on.
+//!
+//! All validation happens in [`SessionBuilder::build`] and the
+//! `set_*` reconfiguration methods, and failures are reported as
+//! [`TadfaError`] values — no panic is reachable through the façade.
+//! Non-convergence of the fixpoint is *not* an error: it is reported as
+//! data via [`Convergence`](crate::Convergence) on the returned
+//! [`ThermalReport`].
+//!
+//! # Example
+//!
+//! ```
+//! use tadfa_core::Session;
+//!
+//! let w = tadfa_workloads::fibonacci();
+//! let mut session = Session::builder().floorplan(8, 8).build()?;
+//! let report = session.analyze(&w.func)?;
+//! assert!(report.convergence().is_converged());
+//! assert!(report.peak_temperature() > report.ambient());
+//! # Ok::<(), tadfa_core::TadfaError>(())
+//! ```
+
+use crate::config::{Convergence, ThermalDfaConfig};
+use crate::critical::{CriticalConfig, CriticalSet};
+use crate::dfa::{ThermalDfa, ThermalDfaResult};
+use crate::error::TadfaError;
+use crate::grid::AnalysisGrid;
+use crate::predictive::{PredictiveConfig, PredictiveDfa, PredictiveResult};
+use tadfa_ir::Function;
+use tadfa_regalloc::{
+    allocate_linear_scan, policy_by_name, AllocStats, Assignment, AssignmentPolicy, FirstFree,
+    RegAllocConfig,
+};
+use tadfa_thermal::{Floorplan, PowerModel, RcParams, RegisterFile, ThermalState};
+
+/// How the builder was asked to pick the assignment policy.
+enum PolicySpec {
+    /// Resolve a built-in policy by name at build time.
+    Named(String, u64),
+    /// Use this policy object directly.
+    Boxed(Box<dyn AssignmentPolicy>),
+}
+
+impl std::fmt::Debug for PolicySpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicySpec::Named(name, seed) => write!(f, "Named({name:?}, {seed})"),
+            PolicySpec::Boxed(p) => write!(f, "Boxed({})", p.name()),
+        }
+    }
+}
+
+/// Builder for a [`Session`].
+///
+/// Every knob has the paper's default; only the floorplan geometry is
+/// required. Nothing is validated until [`SessionBuilder::build`], which
+/// reports every problem as a [`TadfaError`].
+#[derive(Debug)]
+pub struct SessionBuilder {
+    rows: usize,
+    cols: usize,
+    rc: RcParams,
+    power: PowerModel,
+    dfa: ThermalDfaConfig,
+    alloc: RegAllocConfig,
+    critical: CriticalConfig,
+    predictive: PredictiveConfig,
+    granularity: Option<(usize, usize)>,
+    policy: PolicySpec,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> SessionBuilder {
+        SessionBuilder {
+            rows: 8,
+            cols: 8,
+            rc: RcParams::default(),
+            power: PowerModel::default(),
+            dfa: ThermalDfaConfig::default(),
+            alloc: RegAllocConfig::default(),
+            critical: CriticalConfig::default(),
+            predictive: PredictiveConfig::default(),
+            granularity: None,
+            policy: PolicySpec::Boxed(Box::new(FirstFree)),
+        }
+    }
+}
+
+impl SessionBuilder {
+    /// Register-file geometry: a `rows × cols` grid of cells (default
+    /// 8×8, the paper's Fig. 1 panel).
+    pub fn floorplan(mut self, rows: usize, cols: usize) -> SessionBuilder {
+        self.rows = rows;
+        self.cols = cols;
+        self
+    }
+
+    /// RC thermal-model parameters (default: the calibrated constants).
+    pub fn rc(mut self, rc: RcParams) -> SessionBuilder {
+        self.rc = rc;
+        self
+    }
+
+    /// Access-energy and leakage model (default: calibrated constants).
+    pub fn power(mut self, power: PowerModel) -> SessionBuilder {
+        self.power = power;
+        self
+    }
+
+    /// Thermal-DFA parameters: δ, iteration cap, merge rule, timing.
+    pub fn dfa_config(mut self, dfa: ThermalDfaConfig) -> SessionBuilder {
+        self.dfa = dfa;
+        self
+    }
+
+    /// Register-allocator parameters (spill-round budget).
+    pub fn alloc_config(mut self, alloc: RegAllocConfig) -> SessionBuilder {
+        self.alloc = alloc;
+        self
+    }
+
+    /// Criticality-threshold parameters.
+    pub fn critical_config(mut self, critical: CriticalConfig) -> SessionBuilder {
+        self.critical = critical;
+        self
+    }
+
+    /// Predictive (pre-assignment) analysis parameters.
+    pub fn predictive_config(mut self, predictive: PredictiveConfig) -> SessionBuilder {
+        self.predictive = predictive;
+        self
+    }
+
+    /// Analysis-grid granularity: `rows × cols` analysis points over the
+    /// physical floorplan (§3's accuracy/cost knob). Default: full
+    /// resolution, one point per register cell.
+    pub fn granularity(mut self, rows: usize, cols: usize) -> SessionBuilder {
+        self.granularity = Some((rows, cols));
+        self
+    }
+
+    /// Register-assignment policy object (default: [`FirstFree`], the
+    /// compiler default of §2).
+    pub fn policy(mut self, policy: Box<dyn AssignmentPolicy>) -> SessionBuilder {
+        self.policy = PolicySpec::Boxed(policy);
+        self
+    }
+
+    /// Register-assignment policy by built-in name (`"first-free"`,
+    /// `"random"`, `"chessboard"`, `"round-robin"`, `"farthest-spread"`,
+    /// `"coldest-first"`); seeded policies use `seed`.
+    pub fn policy_name(mut self, name: &str, seed: u64) -> SessionBuilder {
+        self.policy = PolicySpec::Named(name.to_string(), seed);
+        self
+    }
+
+    /// Validates every setting, builds the shared state, and returns the
+    /// ready [`Session`].
+    ///
+    /// # Errors
+    ///
+    /// * [`TadfaError::EmptyFloorplan`] for a zero-sized register file;
+    /// * [`TadfaError::InvalidConfig`] for non-positive RC parameters,
+    ///   invalid DFA parameters, a zero allocator round budget, a
+    ///   criticality fraction outside `[0, 1]`, or bad predictive
+    ///   parameters;
+    /// * [`TadfaError::EmptyGrid`] / [`TadfaError::GridTooFine`] for a
+    ///   degenerate analysis granularity;
+    /// * [`TadfaError::UnknownPolicy`] for an unrecognised policy name.
+    pub fn build(self) -> Result<Session, TadfaError> {
+        if self.rows == 0 || self.cols == 0 {
+            return Err(TadfaError::EmptyFloorplan {
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        validate_rc(&self.rc)?;
+        self.dfa.validate()?;
+        self.predictive.validate()?;
+        if self.alloc.max_rounds == 0 {
+            return Err(TadfaError::InvalidConfig {
+                param: "max_rounds",
+                value: 0.0,
+                reason: "allocator needs at least one round",
+            });
+        }
+        validate_critical(&self.critical)?;
+
+        let rf = RegisterFile::new(Floorplan::grid(self.rows, self.cols));
+        let grid = match self.granularity {
+            Some((gr, gc)) => AnalysisGrid::coarsened(&rf, self.rc, gr, gc)?,
+            None => AnalysisGrid::full(&rf, self.rc),
+        };
+        let policy = match self.policy {
+            PolicySpec::Boxed(p) => p,
+            PolicySpec::Named(name, seed) => {
+                policy_by_name(&name, &rf, seed).ok_or(TadfaError::UnknownPolicy(name))?
+            }
+        };
+
+        Ok(Session {
+            rf,
+            rc: self.rc,
+            grid,
+            power: self.power,
+            dfa: self.dfa,
+            alloc: self.alloc,
+            critical: self.critical,
+            predictive: self.predictive,
+            policy,
+        })
+    }
+}
+
+fn validate_critical(critical: &CriticalConfig) -> Result<(), TadfaError> {
+    if !(0.0..=1.0).contains(&critical.temp_fraction) {
+        return Err(TadfaError::InvalidConfig {
+            param: "temp_fraction",
+            value: critical.temp_fraction,
+            reason: "must lie in [0, 1]",
+        });
+    }
+    Ok(())
+}
+
+fn validate_rc(rc: &RcParams) -> Result<(), TadfaError> {
+    for (param, value) in [
+        ("cell_capacitance", rc.cell_capacitance),
+        ("vertical_resistance", rc.vertical_resistance),
+        ("lateral_resistance", rc.lateral_resistance),
+        ("ambient", rc.ambient),
+    ] {
+        if value <= 0.0 || !value.is_finite() {
+            return Err(TadfaError::InvalidConfig {
+                param,
+                value,
+                reason: "must be positive and finite",
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The unified analysis façade: owns register file, analysis grid, power
+/// model, policy, and all configs, and runs the paper's pipeline for any
+/// number of functions.
+///
+/// Construct with [`Session::builder`]. See the [module
+/// docs](self) for the rationale and an example.
+#[derive(Debug)]
+pub struct Session {
+    rf: RegisterFile,
+    rc: RcParams,
+    grid: AnalysisGrid,
+    power: PowerModel,
+    dfa: ThermalDfaConfig,
+    alloc: RegAllocConfig,
+    critical: CriticalConfig,
+    predictive: PredictiveConfig,
+    policy: Box<dyn AssignmentPolicy>,
+}
+
+impl Session {
+    /// Starts building a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// Runs the full per-function pipeline: allocate (under the
+    /// session's policy), run the thermal DFA on the session's grid, and
+    /// identify the critical variables. `func` itself is untouched; the
+    /// allocated form (spill code included) is returned in the report.
+    ///
+    /// Non-convergence is reported as data in
+    /// [`ThermalReport::convergence`], not as an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TadfaError::Alloc`] if register allocation fails.
+    pub fn analyze(&mut self, func: &Function) -> Result<ThermalReport, TadfaError> {
+        let mut allocated = func.clone();
+        let alloc =
+            allocate_linear_scan(&mut allocated, &self.rf, self.policy.as_mut(), &self.alloc)?;
+        let dfa = ThermalDfa::new(
+            &allocated,
+            &alloc.assignment,
+            &self.grid,
+            self.power,
+            self.dfa,
+        )?
+        .run();
+        let critical = CriticalSet::identify(
+            &allocated,
+            &alloc.assignment,
+            &self.grid,
+            &dfa,
+            &self.power,
+            self.critical,
+        );
+        let predicted = self.grid.upsample(&dfa.peak_map())?;
+        Ok(ThermalReport {
+            func: allocated,
+            assignment: alloc.assignment,
+            alloc_stats: alloc.stats,
+            dfa,
+            critical,
+            predicted,
+        })
+    }
+
+    /// Analyzes a batch of functions, reusing the session's grid, power
+    /// model, and configs across all of them.
+    ///
+    /// Per-function failures do not abort the batch: each slot holds its
+    /// own function's result.
+    pub fn analyze_batch(&mut self, funcs: &[Function]) -> Vec<Result<ThermalReport, TadfaError>> {
+        funcs.iter().map(|f| self.analyze(f)).collect()
+    }
+
+    /// Runs the pre-assignment predictive analysis (§4's "more ambitious
+    /// possibility") for `func` against the session's register file,
+    /// RC parameters, and power model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TadfaError::Alloc`] if the placement rehearsal cannot
+    /// allocate.
+    pub fn predict(&self, func: &Function) -> Result<PredictiveResult, TadfaError> {
+        PredictiveDfa::new(func, &self.rf, self.rc, self.power, self.predictive).run()
+    }
+
+    /// The session's register file.
+    pub fn register_file(&self) -> &RegisterFile {
+        &self.rf
+    }
+
+    /// The session's analysis grid.
+    pub fn grid(&self) -> &AnalysisGrid {
+        &self.grid
+    }
+
+    /// The session's RC parameters (unscaled, physical).
+    pub fn rc_params(&self) -> RcParams {
+        self.rc
+    }
+
+    /// The session's power model.
+    pub fn power_model(&self) -> PowerModel {
+        self.power
+    }
+
+    /// The session's thermal-DFA configuration.
+    pub fn dfa_config(&self) -> ThermalDfaConfig {
+        self.dfa
+    }
+
+    /// The session's criticality configuration.
+    pub fn critical_config(&self) -> CriticalConfig {
+        self.critical
+    }
+
+    /// The session's predictive-analysis configuration.
+    pub fn predictive_config(&self) -> PredictiveConfig {
+        self.predictive
+    }
+
+    /// The name of the current assignment policy.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Exclusive access to the policy, for drivers that share it with
+    /// other machinery (e.g. the optimization pipeline).
+    pub fn policy_mut(&mut self) -> &mut dyn AssignmentPolicy {
+        self.policy.as_mut()
+    }
+
+    /// Replaces the thermal-DFA configuration (validated) without
+    /// rebuilding the grid — the cheap way to sweep δ or the merge rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TadfaError::InvalidConfig`] and leaves the session
+    /// unchanged if `dfa` fails validation.
+    pub fn set_dfa_config(&mut self, dfa: ThermalDfaConfig) -> Result<(), TadfaError> {
+        dfa.validate()?;
+        self.dfa = dfa;
+        Ok(())
+    }
+
+    /// Replaces the power model.
+    pub fn set_power(&mut self, power: PowerModel) {
+        self.power = power;
+    }
+
+    /// Replaces the criticality configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TadfaError::InvalidConfig`] for a fraction outside
+    /// `[0, 1]`.
+    pub fn set_critical_config(&mut self, critical: CriticalConfig) -> Result<(), TadfaError> {
+        validate_critical(&critical)?;
+        self.critical = critical;
+        Ok(())
+    }
+
+    /// Replaces the predictive-analysis configuration (validated).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TadfaError::InvalidConfig`] if validation fails.
+    pub fn set_predictive_config(
+        &mut self,
+        predictive: PredictiveConfig,
+    ) -> Result<(), TadfaError> {
+        predictive.validate()?;
+        self.predictive = predictive;
+        Ok(())
+    }
+
+    /// Replaces the assignment policy.
+    pub fn set_policy(&mut self, policy: Box<dyn AssignmentPolicy>) {
+        self.policy = policy;
+    }
+
+    /// Replaces the assignment policy by built-in name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TadfaError::UnknownPolicy`] and leaves the session
+    /// unchanged if `name` is not a built-in.
+    pub fn set_policy_name(&mut self, name: &str, seed: u64) -> Result<(), TadfaError> {
+        self.policy = policy_by_name(name, &self.rf, seed)
+            .ok_or_else(|| TadfaError::UnknownPolicy(name.to_string()))?;
+        Ok(())
+    }
+}
+
+/// Everything one [`Session::analyze`] call produces.
+#[derive(Clone, Debug)]
+pub struct ThermalReport {
+    /// The allocated form of the analyzed function (spill code included).
+    pub func: Function,
+    /// The final virtual→physical register assignment.
+    pub assignment: Assignment,
+    /// Allocation statistics (spills, rounds, spill code size).
+    pub alloc_stats: AllocStats,
+    /// The raw thermal-DFA result (per-instruction states, convergence
+    /// diagnostics, residual history).
+    pub dfa: ThermalDfaResult,
+    /// The thermally critical variables.
+    pub critical: CriticalSet,
+    /// The DFA's worst-case map, upsampled onto the physical floorplan.
+    pub predicted: ThermalState,
+}
+
+impl ThermalReport {
+    /// How the fixpoint iteration ended (non-convergence is data, not an
+    /// error).
+    pub fn convergence(&self) -> Convergence {
+        self.dfa.convergence
+    }
+
+    /// The hottest temperature predicted anywhere in the program, K.
+    pub fn peak_temperature(&self) -> f64 {
+        self.dfa.peak_temperature()
+    }
+
+    /// The ambient temperature of the model, K.
+    pub fn ambient(&self) -> f64 {
+        self.dfa.ambient()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MergeRule;
+    use tadfa_ir::FunctionBuilder;
+
+    fn kernel() -> Function {
+        let mut b = FunctionBuilder::new("k");
+        let x = b.param();
+        let mut v = x;
+        for _ in 0..6 {
+            v = b.mul(v, v);
+        }
+        b.ret(Some(v));
+        b.finish()
+    }
+
+    #[test]
+    fn builder_defaults_build_and_analyze() {
+        let mut s = Session::builder().build().unwrap();
+        let report = s.analyze(&kernel()).unwrap();
+        assert!(report.convergence().is_converged());
+        assert!(report.peak_temperature() > report.ambient());
+        assert_eq!(report.predicted.len(), 64);
+        assert!(!report.critical.ranked().is_empty());
+    }
+
+    #[test]
+    fn empty_floorplan_is_an_error() {
+        let e = Session::builder().floorplan(0, 8).build().unwrap_err();
+        assert!(matches!(e, TadfaError::EmptyFloorplan { rows: 0, cols: 8 }));
+    }
+
+    #[test]
+    fn invalid_delta_is_an_error() {
+        let e = Session::builder()
+            .dfa_config(ThermalDfaConfig::default().with_delta(-1.0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            e,
+            TadfaError::InvalidConfig { param: "delta", .. }
+        ));
+    }
+
+    #[test]
+    fn degenerate_granularity_is_an_error() {
+        let e = Session::builder()
+            .floorplan(4, 4)
+            .granularity(8, 8)
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, TadfaError::GridTooFine { .. }));
+        let e = Session::builder().granularity(0, 1).build().unwrap_err();
+        assert!(matches!(e, TadfaError::EmptyGrid { .. }));
+    }
+
+    #[test]
+    fn unknown_policy_is_an_error() {
+        let e = Session::builder()
+            .policy_name("bogus", 1)
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, TadfaError::UnknownPolicy(ref n) if n == "bogus"));
+        let mut s = Session::builder().build().unwrap();
+        assert!(s.set_policy_name("nonsense", 1).is_err());
+        assert_eq!(s.policy_name(), "first-free", "session unchanged");
+    }
+
+    #[test]
+    fn coarse_session_uses_fewer_points() {
+        let mut s = Session::builder().granularity(2, 2).build().unwrap();
+        assert_eq!(s.grid().num_points(), 4);
+        let report = s.analyze(&kernel()).unwrap();
+        assert_eq!(report.predicted.len(), 64, "upsampled to physical cells");
+    }
+
+    #[test]
+    fn batch_reuses_state_and_reports_per_function() {
+        let mut s = Session::builder().build().unwrap();
+        let funcs = vec![kernel(), kernel(), kernel()];
+        let reports = s.analyze_batch(&funcs);
+        assert_eq!(reports.len(), 3);
+        for r in reports {
+            assert!(r.unwrap().convergence().is_converged());
+        }
+    }
+
+    #[test]
+    fn reconfiguration_is_validated() {
+        let mut s = Session::builder().build().unwrap();
+        assert!(s
+            .set_dfa_config(ThermalDfaConfig::default().with_delta(0.0))
+            .is_err());
+        assert!(
+            (s.dfa_config().delta - 0.01).abs() < 1e-12,
+            "config unchanged on error"
+        );
+        assert!(s
+            .set_dfa_config(ThermalDfaConfig::default().with_merge(MergeRule::Average))
+            .is_ok());
+        assert_eq!(s.dfa_config().merge, MergeRule::Average);
+    }
+
+    #[test]
+    fn predict_runs_through_the_session() {
+        let s = Session::builder().build().unwrap();
+        let pred = s.predict(&kernel()).unwrap();
+        assert_eq!(pred.expected_map.len(), 64);
+        assert!(!pred.ranked.is_empty());
+    }
+}

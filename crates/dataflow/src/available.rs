@@ -31,7 +31,11 @@ impl ExprKey {
                 if op.is_commutative() {
                     srcs.sort();
                 }
-                Some(ExprKey { op, srcs, imm: inst.imm })
+                Some(ExprKey {
+                    op,
+                    srcs,
+                    imm: inst.imm,
+                })
             }
         }
     }
@@ -181,7 +185,11 @@ impl AvailableExprs {
     pub fn compute(func: &Function, cfg: &Cfg) -> AvailableExprs {
         let table = ExprTable::collect(func);
         let facts = solve(func, cfg, &AvailAnalysis { table: &table });
-        AvailableExprs { table, avail_in: facts.input, avail_out: facts.output }
+        AvailableExprs {
+            table,
+            avail_in: facts.input,
+            avail_out: facts.output,
+        }
     }
 
     /// The expression numbering.
@@ -285,7 +293,10 @@ mod tests {
         let cfg = Cfg::compute(&f);
         let av = AvailableExprs::compute(&f, &cfg);
         let probe = Inst::binary(Opcode::Add, VReg::new(99), x, x);
-        assert!(!av.is_redundant_at(join, &probe), "must-analysis requires both paths");
+        assert!(
+            !av.is_redundant_at(join, &probe),
+            "must-analysis requires both paths"
+        );
     }
 
     #[test]

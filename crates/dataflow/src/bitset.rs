@@ -31,7 +31,10 @@ pub struct DenseBitSet {
 impl DenseBitSet {
     /// Creates an empty set able to hold values in `0..capacity`.
     pub fn new(capacity: usize) -> DenseBitSet {
-        DenseBitSet { words: vec![0; capacity.div_ceil(64)], capacity }
+        DenseBitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
     }
 
     /// Creates a set containing every value in `0..capacity`.
@@ -64,7 +67,11 @@ impl DenseBitSet {
     ///
     /// Panics if `value >= capacity`.
     pub fn insert(&mut self, value: usize) -> bool {
-        assert!(value < self.capacity, "bit {value} out of capacity {}", self.capacity);
+        assert!(
+            value < self.capacity,
+            "bit {value} out of capacity {}",
+            self.capacity
+        );
         let (w, b) = (value / 64, value % 64);
         let had = self.words[w] & (1 << b) != 0;
         self.words[w] |= 1 << b;
@@ -164,12 +171,19 @@ impl DenseBitSet {
     /// Whether every element of `self` is in `other`.
     pub fn is_subset(&self, other: &DenseBitSet) -> bool {
         self.check(other);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates over the elements in ascending order.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { set: self, word: 0, bits: self.words.first().copied().unwrap_or(0) }
+        Iter {
+            set: self,
+            word: 0,
+            bits: self.words.first().copied().unwrap_or(0),
+        }
     }
 
     fn check(&self, other: &DenseBitSet) {

@@ -22,9 +22,15 @@ pub struct Interval {
 
 impl Interval {
     /// The empty interval (unreached definition).
-    pub const BOTTOM: Interval = Interval { lo: i64::MAX, hi: i64::MIN };
+    pub const BOTTOM: Interval = Interval {
+        lo: i64::MAX,
+        hi: i64::MIN,
+    };
     /// The full 64-bit range.
-    pub const TOP: Interval = Interval { lo: i64::MIN, hi: i64::MAX };
+    pub const TOP: Interval = Interval {
+        lo: i64::MIN,
+        hi: i64::MAX,
+    };
 
     /// A single-value interval.
     pub fn point(v: i64) -> Interval {
@@ -59,7 +65,10 @@ impl Interval {
         if other.is_bottom() {
             return self;
         }
-        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
     }
 
     /// Widening: bounds still moving after the iteration budget jump to
@@ -72,8 +81,16 @@ impl Interval {
             return previous;
         }
         Interval {
-            lo: if self.lo < previous.lo { i64::MIN } else { self.lo },
-            hi: if self.hi > previous.hi { i64::MAX } else { self.hi },
+            lo: if self.lo < previous.lo {
+                i64::MIN
+            } else {
+                self.lo
+            },
+            hi: if self.hi > previous.hi {
+                i64::MAX
+            } else {
+                self.hi
+            },
         }
     }
 
@@ -314,8 +331,7 @@ impl Bitwidth {
                 }
                 for &id in func.block(bb).insts() {
                     let inst = func.inst(id);
-                    let srcs: Vec<Interval> =
-                        inst.uses().iter().map(|u| env[u.index()]).collect();
+                    let srcs: Vec<Interval> = inst.uses().iter().map(|u| env[u.index()]).collect();
                     if let Some(d) = inst.def() {
                         env[d.index()] = transfer_op(inst.op, inst.imm, &srcs);
                     }
@@ -339,7 +355,11 @@ impl Bitwidth {
             }
         }
 
-        Bitwidth { entry_facts: entry_env, summary, passes }
+        Bitwidth {
+            entry_facts: entry_env,
+            summary,
+            passes,
+        }
     }
 
     /// Interval of `v` on entry to `bb`.

@@ -145,7 +145,12 @@ impl LiveIntervals {
             debug_assert!(iv.start < iv.end);
         }
 
-        LiveIntervals { intervals, point_of_inst, block_range, num_points }
+        LiveIntervals {
+            intervals,
+            point_of_inst,
+            block_range,
+            num_points,
+        }
     }
 
     /// The interval of `v`, or `None` if `v` is never live (e.g. dead
@@ -236,9 +241,21 @@ mod tests {
 
     #[test]
     fn interval_overlap_is_symmetric_and_irreflexive_on_disjoint() {
-        let a = LiveInterval { vreg: VReg::new(0), start: 0, end: 5 };
-        let b = LiveInterval { vreg: VReg::new(1), start: 5, end: 9 };
-        let c = LiveInterval { vreg: VReg::new(2), start: 4, end: 6 };
+        let a = LiveInterval {
+            vreg: VReg::new(0),
+            start: 0,
+            end: 5,
+        };
+        let b = LiveInterval {
+            vreg: VReg::new(1),
+            start: 5,
+            end: 9,
+        };
+        let c = LiveInterval {
+            vreg: VReg::new(2),
+            start: 4,
+            end: 6,
+        };
         assert!(!a.overlaps(&b), "half-open: touching is not overlapping");
         assert!(!b.overlaps(&a));
         assert!(a.overlaps(&c) && c.overlaps(&a));
@@ -271,7 +288,10 @@ mod tests {
         let ii = li.interval(i).unwrap();
         // i must cover from its def in entry through the exit block.
         let (_, exit_term) = li.block_range(exit);
-        assert!(ii.end >= exit_term, "loop-carried var spans to the final use");
+        assert!(
+            ii.end >= exit_term,
+            "loop-carried var spans to the final use"
+        );
         // And overlap everything defined inside the loop.
         let i2v = li.interval(i2).unwrap();
         assert!(ii.overlaps(i2v));
@@ -309,6 +329,9 @@ mod tests {
             }
             prev = Some(p);
         }
-        assert_eq!(li.num_points(), f.num_insts() as u32 + f.num_blocks() as u32);
+        assert_eq!(
+            li.num_points(),
+            f.num_insts() as u32 + f.num_blocks() as u32
+        );
     }
 }

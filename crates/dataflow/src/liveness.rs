@@ -87,7 +87,11 @@ impl Liveness {
         let nvregs = func.num_vregs();
         let facts = solve(func, cfg, &LivenessAnalysis { nvregs });
         // Backward: input = live-out, output = live-in.
-        Liveness { live_out: facts.input, live_in: facts.output, nvregs }
+        Liveness {
+            live_out: facts.input,
+            live_in: facts.output,
+            nvregs,
+        }
     }
 
     /// Registers live on entry to `bb`.
@@ -108,7 +112,10 @@ impl Liveness {
     /// Whether `v` is live anywhere (in or out of any block, or used at
     /// all inside one).
     pub fn is_ever_live(&self, v: VReg) -> bool {
-        self.live_in.iter().chain(&self.live_out).any(|s| s.contains(v.index()))
+        self.live_in
+            .iter()
+            .chain(&self.live_out)
+            .any(|s| s.contains(v.index()))
     }
 
     /// Live-out set after each instruction of `bb`, in block order.
@@ -189,7 +196,7 @@ mod tests {
         assert!(!live.live_in(entry).contains(y.index()));
         assert!(live.live_out(entry).is_empty()); // entry is the exit too
         assert!(live.is_ever_live(x));
-        assert!(!live.is_ever_live(z) || live.live_in(entry).contains(z.index()) == false);
+        assert!(!live.is_ever_live(z) || !live.live_in(entry).contains(z.index()));
     }
 
     #[test]

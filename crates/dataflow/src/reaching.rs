@@ -30,7 +30,11 @@ impl DefSites {
                 by_vreg[d.index()].push(idx);
             }
         }
-        DefSites { defs, by_inst, by_vreg }
+        DefSites {
+            defs,
+            by_inst,
+            by_vreg,
+        }
     }
 
     /// Number of definition sites.
@@ -127,7 +131,11 @@ impl ReachingDefs {
     pub fn compute(func: &Function, cfg: &Cfg) -> ReachingDefs {
         let sites = DefSites::collect(func);
         let facts = solve(func, cfg, &ReachingAnalysis { sites: &sites });
-        ReachingDefs { sites, reach_in: facts.input, reach_out: facts.output }
+        ReachingDefs {
+            sites,
+            reach_in: facts.input,
+            reach_out: facts.output,
+        }
     }
 
     /// The definition-site numbering.

@@ -90,7 +90,11 @@ pub fn solve<A: Analysis>(func: &Function, cfg: &Cfg, analysis: &A) -> BlockFact
     let mut output: Vec<A::Fact> = vec![analysis.init_fact(); n];
 
     let forward = analysis.direction() == Direction::Forward;
-    let order: Vec<BlockId> = if forward { cfg.rpo().to_vec() } else { cfg.postorder() };
+    let order: Vec<BlockId> = if forward {
+        cfg.rpo().to_vec()
+    } else {
+        cfg.postorder()
+    };
 
     // Exit blocks for the backward boundary.
     let is_exit: Vec<bool> = (0..n)
@@ -104,15 +108,21 @@ pub fn solve<A: Analysis>(func: &Function, cfg: &Cfg, analysis: &A) -> BlockFact
         iterations += 1;
         for &bb in &order {
             // Gather the meet over the relevant neighbours.
-            let mut inp = if forward && bb == func.entry() {
-                analysis.boundary_fact()
-            } else if !forward && is_exit[bb.index()] {
+            let at_boundary = if forward {
+                bb == func.entry()
+            } else {
+                is_exit[bb.index()]
+            };
+            let mut inp = if at_boundary {
                 analysis.boundary_fact()
             } else {
                 analysis.init_fact()
             };
-            let neighbours: &[BlockId] =
-                if forward { cfg.preds(bb) } else { cfg.succs(bb) };
+            let neighbours: &[BlockId] = if forward {
+                cfg.preds(bb)
+            } else {
+                cfg.succs(bb)
+            };
             for &nb in neighbours {
                 analysis.join(&mut inp, &output[nb.index()]);
             }
@@ -136,7 +146,11 @@ pub fn solve<A: Analysis>(func: &Function, cfg: &Cfg, analysis: &A) -> BlockFact
         );
     }
 
-    BlockFacts { input, output, iterations }
+    BlockFacts {
+        input,
+        output,
+        iterations,
+    }
 }
 
 #[cfg(test)]

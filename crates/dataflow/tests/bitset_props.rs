@@ -1,37 +1,48 @@
 //! Property tests for the dense bit set — the fact domain every
 //! bit-vector analysis stands on.
+//!
+//! (Seeded-loop style: the offline build has no proptest, so cases are
+//! drawn from the workspace's deterministic `rand` stub.)
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use tadfa_dataflow::DenseBitSet;
 
 const CAP: usize = 192; // three words, exercises boundaries
+const CASES: usize = 64;
 
-fn arb_set() -> impl Strategy<Value = DenseBitSet> {
-    prop::collection::vec(0usize..CAP, 0..64).prop_map(|values| {
-        let mut s = DenseBitSet::new(CAP);
-        s.extend(values);
-        s
-    })
+fn arb_set(rng: &mut StdRng) -> DenseBitSet {
+    let n = rng.gen_range(0usize..64);
+    let mut s = DenseBitSet::new(CAP);
+    s.extend((0..n).map(|_| rng.gen_range(0usize..CAP)));
+    s
 }
 
-proptest! {
-    #[test]
-    fn union_is_commutative_and_idempotent(a in arb_set(), b in arb_set()) {
+#[test]
+fn union_is_commutative_and_idempotent() {
+    let mut rng = StdRng::seed_from_u64(0xB1);
+    for case in 0..CASES {
+        let a = arb_set(&mut rng);
+        let b = arb_set(&mut rng);
         let mut ab = a.clone();
         ab.union_with(&b);
         let mut ba = b.clone();
         ba.union_with(&a);
-        prop_assert_eq!(&ab, &ba);
+        assert_eq!(&ab, &ba, "case {case}");
         // Idempotent.
         let mut again = ab.clone();
-        prop_assert!(!again.union_with(&b));
-        prop_assert_eq!(&again, &ab);
+        assert!(!again.union_with(&b), "case {case}");
+        assert_eq!(&again, &ab, "case {case}");
     }
+}
 
-    #[test]
-    fn intersection_distributes_over_union(
-        a in arb_set(), b in arb_set(), c in arb_set()
-    ) {
+#[test]
+fn intersection_distributes_over_union() {
+    let mut rng = StdRng::seed_from_u64(0xB2);
+    for case in 0..CASES {
+        let a = arb_set(&mut rng);
+        let b = arb_set(&mut rng);
+        let c = arb_set(&mut rng);
         // a ∩ (b ∪ c) == (a ∩ b) ∪ (a ∩ c)
         let mut bc = b.clone();
         bc.union_with(&c);
@@ -45,11 +56,16 @@ proptest! {
         let mut rhs = ab;
         rhs.union_with(&ac);
 
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs, "case {case}");
     }
+}
 
-    #[test]
-    fn subtraction_then_union_restores_superset(a in arb_set(), b in arb_set()) {
+#[test]
+fn subtraction_then_union_restores_superset() {
+    let mut rng = StdRng::seed_from_u64(0xB3);
+    for case in 0..CASES {
+        let a = arb_set(&mut rng);
+        let b = arb_set(&mut rng);
         // (a − b) ∪ (a ∩ b) == a
         let mut diff = a.clone();
         diff.subtract(&b);
@@ -57,47 +73,61 @@ proptest! {
         inter.intersect_with(&b);
         let mut back = diff;
         back.union_with(&inter);
-        prop_assert_eq!(back, a);
+        assert_eq!(back, a, "case {case}");
     }
+}
 
-    #[test]
-    fn count_matches_iterator_and_membership(a in arb_set()) {
+#[test]
+fn count_matches_iterator_and_membership() {
+    let mut rng = StdRng::seed_from_u64(0xB4);
+    for case in 0..CASES {
+        let a = arb_set(&mut rng);
         let elems: Vec<usize> = a.iter().collect();
-        prop_assert_eq!(elems.len(), a.count());
+        assert_eq!(elems.len(), a.count(), "case {case}");
         for &e in &elems {
-            prop_assert!(a.contains(e));
+            assert!(a.contains(e), "case {case}");
         }
         // Sorted ascending, no duplicates.
-        prop_assert!(elems.windows(2).all(|w| w[0] < w[1]));
+        assert!(elems.windows(2).all(|w| w[0] < w[1]), "case {case}");
     }
+}
 
-    #[test]
-    fn subset_relations(a in arb_set(), b in arb_set()) {
+#[test]
+fn subset_relations() {
+    let mut rng = StdRng::seed_from_u64(0xB5);
+    for case in 0..CASES {
+        let a = arb_set(&mut rng);
+        let b = arb_set(&mut rng);
         let mut u = a.clone();
         u.union_with(&b);
-        prop_assert!(a.is_subset(&u));
-        prop_assert!(b.is_subset(&u));
+        assert!(a.is_subset(&u), "case {case}");
+        assert!(b.is_subset(&u), "case {case}");
         let mut i = a.clone();
         i.intersect_with(&b);
-        prop_assert!(i.is_subset(&a));
-        prop_assert!(i.is_subset(&b));
+        assert!(i.is_subset(&a), "case {case}");
+        assert!(i.is_subset(&b), "case {case}");
         let mut d = a.clone();
         d.subtract(&b);
-        prop_assert!(d.is_disjoint(&b));
+        assert!(d.is_disjoint(&b), "case {case}");
     }
+}
 
-    #[test]
-    fn insert_remove_roundtrip(a in arb_set(), v in 0usize..CAP) {
+#[test]
+fn insert_remove_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xB6);
+    for case in 0..CASES {
+        let a = arb_set(&mut rng);
+        let v = rng.gen_range(0usize..CAP);
         let mut s = a.clone();
         let was_in = s.contains(v);
         s.insert(v);
-        prop_assert!(s.contains(v));
-        prop_assert!(s.remove(v));
-        prop_assert!(!s.contains(v));
+        assert!(s.contains(v), "case {case}");
+        assert!(s.remove(v), "case {case}");
+        assert!(!s.contains(v), "case {case}");
         if was_in {
-            prop_assert_eq!(s.count() + 1, a.count());
+            assert_eq!(s.count() + 1, a.count(), "case {case}");
         } else {
-            prop_assert_eq!(s.count(), a.count());
+            assert_eq!(s.count(), a.count(), "case {case}");
         }
     }
 }

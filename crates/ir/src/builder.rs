@@ -56,7 +56,10 @@ impl FunctionBuilder {
         let mut func = Function::new(name);
         let entry = func.add_block();
         func.set_entry(entry);
-        FunctionBuilder { func, current: Some(entry) }
+        FunctionBuilder {
+            func,
+            current: Some(entry),
+        }
     }
 
     /// Declares a new function parameter and returns its register.
@@ -90,7 +93,8 @@ impl FunctionBuilder {
     /// Panics if the current block was terminated and no new block
     /// selected.
     pub fn current_block(&self) -> BlockId {
-        self.current.expect("no current block: select one with switch_to")
+        self.current
+            .expect("no current block: select one with switch_to")
     }
 
     /// Allocates a fresh virtual register without defining it.
@@ -262,8 +266,14 @@ impl FunctionBuilder {
     /// the cursor.
     pub fn branch(&mut self, cond: VReg, then_dest: BlockId, else_dest: BlockId) {
         let bb = self.current_block();
-        self.func
-            .set_terminator(bb, Terminator::Branch { cond, then_dest, else_dest });
+        self.func.set_terminator(
+            bb,
+            Terminator::Branch {
+                cond,
+                then_dest,
+                else_dest,
+            },
+        );
         self.current = None;
     }
 

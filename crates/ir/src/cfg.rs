@@ -87,7 +87,12 @@ impl Cfg {
             rpo_index[bb.index()] = i;
         }
 
-        Cfg { preds, succs, rpo, rpo_index }
+        Cfg {
+            preds,
+            succs,
+            rpo,
+            rpo_index,
+        }
     }
 
     /// Predecessors of `bb`, in terminator order of the predecessors.

@@ -88,13 +88,11 @@ impl DomTree {
         let mut fb = b;
         // Walk up by RPO index; smaller index = closer to entry.
         while fa != fb {
-            while cfg.rpo_index(fa).unwrap_or(usize::MAX)
-                > cfg.rpo_index(fb).unwrap_or(usize::MAX)
+            while cfg.rpo_index(fa).unwrap_or(usize::MAX) > cfg.rpo_index(fb).unwrap_or(usize::MAX)
             {
                 fa = idom[fa.index()].expect("dominator walk fell off the tree");
             }
-            while cfg.rpo_index(fb).unwrap_or(usize::MAX)
-                > cfg.rpo_index(fa).unwrap_or(usize::MAX)
+            while cfg.rpo_index(fb).unwrap_or(usize::MAX) > cfg.rpo_index(fa).unwrap_or(usize::MAX)
             {
                 fb = idom[fb.index()].expect("dominator walk fell off the tree");
             }

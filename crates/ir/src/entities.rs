@@ -199,7 +199,9 @@ mod tests {
 
     #[test]
     fn entities_are_ordered_and_hashable() {
-        let set: BTreeSet<VReg> = [VReg::new(2), VReg::new(0), VReg::new(1)].into_iter().collect();
+        let set: BTreeSet<VReg> = [VReg::new(2), VReg::new(0), VReg::new(1)]
+            .into_iter()
+            .collect();
         let ordered: Vec<usize> = set.into_iter().map(VReg::index).collect();
         assert_eq!(ordered, vec![0, 1, 2]);
     }

@@ -146,7 +146,10 @@ impl Function {
     ///
     /// Panics if `entry` is out of range.
     pub fn set_entry(&mut self, entry: BlockId) {
-        assert!(entry.index() < self.blocks.len(), "entry {entry} out of range");
+        assert!(
+            entry.index() < self.blocks.len(),
+            "entry {entry} out of range"
+        );
         self.entry = entry;
     }
 
@@ -197,7 +200,11 @@ impl Function {
     /// instruction list.
     pub fn reorder_insts(&mut self, bb: BlockId, new_order: Vec<InstId>) {
         let current = &self.blocks[bb.index()].insts;
-        assert_eq!(new_order.len(), current.len(), "reorder changes instruction count");
+        assert_eq!(
+            new_order.len(),
+            current.len(),
+            "reorder changes instruction count"
+        );
         let mut a = current.clone();
         let mut b = new_order.clone();
         a.sort();
@@ -251,7 +258,10 @@ impl Function {
 
     /// Declares a memory slot of `size` 64-bit words.
     pub fn add_slot(&mut self, name: impl Into<String>, size: usize) -> MemSlot {
-        self.slots.push(SlotInfo { name: name.into(), size });
+        self.slots.push(SlotInfo {
+            name: name.into(),
+            size,
+        });
         MemSlot::new((self.slots.len() - 1) as u32)
     }
 

@@ -275,12 +275,24 @@ pub struct Inst {
 impl Inst {
     /// `dst = imm`.
     pub fn konst(dst: VReg, imm: i64) -> Inst {
-        Inst { op: Opcode::Const, dst: Some(dst), srcs: Vec::new(), imm: Some(imm), slot: None }
+        Inst {
+            op: Opcode::Const,
+            dst: Some(dst),
+            srcs: Vec::new(),
+            imm: Some(imm),
+            slot: None,
+        }
     }
 
     /// `dst = src` copy.
     pub fn mov(dst: VReg, src: VReg) -> Inst {
-        Inst { op: Opcode::Mov, dst: Some(dst), srcs: vec![src], imm: None, slot: None }
+        Inst {
+            op: Opcode::Mov,
+            dst: Some(dst),
+            srcs: vec![src],
+            imm: None,
+            slot: None,
+        }
     }
 
     /// A unary operation (`Neg`, `Not`, `Mov`).
@@ -292,7 +304,13 @@ impl Inst {
         assert_eq!(op.num_srcs(), 1, "{op} is not unary");
         assert!(op.has_dst(), "{op} has no destination");
         assert!(!op.has_slot(), "use Inst::load for memory ops");
-        Inst { op, dst: Some(dst), srcs: vec![src], imm: None, slot: None }
+        Inst {
+            op,
+            dst: Some(dst),
+            srcs: vec![src],
+            imm: None,
+            slot: None,
+        }
     }
 
     /// A binary operation.
@@ -303,17 +321,35 @@ impl Inst {
     pub fn binary(op: Opcode, dst: VReg, a: VReg, b: VReg) -> Inst {
         assert_eq!(op.num_srcs(), 2, "{op} is not binary");
         assert!(op.has_dst(), "{op} has no destination");
-        Inst { op, dst: Some(dst), srcs: vec![a, b], imm: None, slot: None }
+        Inst {
+            op,
+            dst: Some(dst),
+            srcs: vec![a, b],
+            imm: None,
+            slot: None,
+        }
     }
 
     /// `dst = if c != 0 { a } else { b }`.
     pub fn select(dst: VReg, c: VReg, a: VReg, b: VReg) -> Inst {
-        Inst { op: Opcode::Select, dst: Some(dst), srcs: vec![c, a, b], imm: None, slot: None }
+        Inst {
+            op: Opcode::Select,
+            dst: Some(dst),
+            srcs: vec![c, a, b],
+            imm: None,
+            slot: None,
+        }
     }
 
     /// `dst = slot[index]`.
     pub fn load(dst: VReg, slot: MemSlot, index: VReg) -> Inst {
-        Inst { op: Opcode::Load, dst: Some(dst), srcs: vec![index], imm: None, slot: Some(slot) }
+        Inst {
+            op: Opcode::Load,
+            dst: Some(dst),
+            srcs: vec![index],
+            imm: None,
+            slot: Some(slot),
+        }
     }
 
     /// `slot[index] = value`.
@@ -329,7 +365,13 @@ impl Inst {
 
     /// A no-op (cool-down) instruction.
     pub fn nop() -> Inst {
-        Inst { op: Opcode::Nop, dst: None, srcs: Vec::new(), imm: None, slot: None }
+        Inst {
+            op: Opcode::Nop,
+            dst: None,
+            srcs: Vec::new(),
+            imm: None,
+            slot: None,
+        }
     }
 
     /// The register defined by this instruction, if any.
@@ -396,7 +438,11 @@ impl Terminator {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Terminator::Jump(t) => vec![*t],
-            Terminator::Branch { then_dest, else_dest, .. } => vec![*then_dest, *else_dest],
+            Terminator::Branch {
+                then_dest,
+                else_dest,
+                ..
+            } => vec![*then_dest, *else_dest],
             Terminator::Ret(_) => Vec::new(),
         }
     }
@@ -488,7 +534,13 @@ mod tests {
 
     #[test]
     fn latencies_are_positive_and_div_is_slowest() {
-        let ops = [Opcode::Add, Opcode::Mul, Opcode::Div, Opcode::Load, Opcode::Nop];
+        let ops = [
+            Opcode::Add,
+            Opcode::Mul,
+            Opcode::Div,
+            Opcode::Load,
+            Opcode::Nop,
+        ];
         for op in ops {
             assert!(op.latency() >= 1);
         }

@@ -87,7 +87,11 @@ impl LoopInfo {
                         l.body.extend(body);
                         l.latches.push(n);
                     } else {
-                        loops.push(NaturalLoop { header: h, body, latches: vec![n] });
+                        loops.push(NaturalLoop {
+                            header: h,
+                            body,
+                            latches: vec![n],
+                        });
                     }
                 }
             }
@@ -95,7 +99,12 @@ impl LoopInfo {
 
         // Sort loops outermost-first (by body size, descending) for a
         // stable, intuitive ordering.
-        loops.sort_by(|a, b| b.body.len().cmp(&a.body.len()).then(a.header.cmp(&b.header)));
+        loops.sort_by(|a, b| {
+            b.body
+                .len()
+                .cmp(&a.body.len())
+                .then(a.header.cmp(&b.header))
+        });
 
         let mut depth = vec![0u32; func.num_blocks()];
         for l in &loops {
@@ -155,7 +164,13 @@ mod tests {
     use crate::builder::FunctionBuilder;
 
     /// Two nested while loops.
-    fn nested() -> (crate::function::Function, BlockId, BlockId, BlockId, BlockId) {
+    fn nested() -> (
+        crate::function::Function,
+        BlockId,
+        BlockId,
+        BlockId,
+        BlockId,
+    ) {
         let mut b = FunctionBuilder::new("n");
         let c = b.param();
         let oh = b.new_block(); // outer header
@@ -177,9 +192,7 @@ mod tests {
         (b.finish(), oh, ih, ib, exit)
     }
 
-    fn analyse(
-        f: &crate::function::Function,
-    ) -> (crate::cfg::Cfg, crate::dom::DomTree) {
+    fn analyse(f: &crate::function::Function) -> (crate::cfg::Cfg, crate::dom::DomTree) {
         let cfg = Cfg::compute(f);
         let dom = DomTree::compute(f, &cfg);
         (cfg, dom)

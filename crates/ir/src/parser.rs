@@ -44,7 +44,10 @@ impl fmt::Display for ParseError {
 impl Error for ParseError {}
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
-    Err(ParseError { line, message: message.into() })
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
 }
 
 /// Parses a single function from its textual form.
@@ -118,7 +121,10 @@ pub fn parse_function(src: &str) -> Result<Function, ParseError> {
         }
     }
     if !saw_close {
-        return err(body.last().map(|&(l, _)| l).unwrap_or(header_line), "missing closing '}'");
+        return err(
+            body.last().map(|&(l, _)| l).unwrap_or(header_line),
+            "missing closing '}'",
+        );
     }
     if block_names.is_empty() {
         return err(header_line, "function has no blocks");
@@ -275,7 +281,9 @@ fn parse_line(
 ) -> Result<Parsed, ParseError> {
     // Terminators.
     if let Some(rest) = line.strip_prefix("jump ") {
-        return Ok(Parsed::Term(Terminator::Jump(parse_block_ref(ln, rest, blocks)?)));
+        return Ok(Parsed::Term(Terminator::Jump(parse_block_ref(
+            ln, rest, blocks,
+        )?)));
     }
     if let Some(rest) = line.strip_prefix("br ") {
         let parts: Vec<&str> = rest.split(',').map(str::trim).collect();
@@ -292,7 +300,10 @@ fn parse_line(
         return Ok(Parsed::Term(Terminator::Ret(None)));
     }
     if let Some(rest) = line.strip_prefix("ret ") {
-        return Ok(Parsed::Term(Terminator::Ret(Some(parse_vreg(ln, rest.trim())?))));
+        return Ok(Parsed::Term(Terminator::Ret(Some(parse_vreg(
+            ln,
+            rest.trim(),
+        )?))));
     }
     if line == "nop" {
         return Ok(Parsed::Inst(Inst::nop()));
@@ -349,7 +360,13 @@ fn parse_line(
     if !op.has_dst() {
         return err(ln, format!("{op} does not produce a value"));
     }
-    Ok(Parsed::Inst(Inst { op, dst: Some(dst), srcs, imm: None, slot: None }))
+    Ok(Parsed::Inst(Inst {
+        op,
+        dst: Some(dst),
+        srcs,
+        imm: None,
+        slot: None,
+    }))
 }
 
 fn parse_mem_ref(
@@ -441,7 +458,10 @@ block0:   # trailing comment
     #[test]
     fn ret_without_value() {
         let f = parse_function("func @v() {\nblock0:\n  ret\n}").unwrap();
-        assert!(matches!(f.terminator(f.entry()), Some(Terminator::Ret(None))));
+        assert!(matches!(
+            f.terminator(f.entry()),
+            Some(Terminator::Ret(None))
+        ));
     }
 
     fn expect_err(src: &str, needle: &str) {
@@ -458,18 +478,39 @@ block0:   # trailing comment
     fn error_corpus() {
         expect_err("", "empty input");
         expect_err("fn @x() {\nblock0:\n ret\n}", "expected 'func");
-        expect_err("func @x() {\nblock0:\n  %1 = frob %0\n  ret\n}", "unknown opcode");
-        expect_err("func @x() {\nblock0:\n  %1 = add %0\n  ret\n}", "expects 2 sources");
-        expect_err("func @x() {\nblock0:\n  jump nowhere\n}", "unknown block label");
+        expect_err(
+            "func @x() {\nblock0:\n  %1 = frob %0\n  ret\n}",
+            "unknown opcode",
+        );
+        expect_err(
+            "func @x() {\nblock0:\n  %1 = add %0\n  ret\n}",
+            "expects 2 sources",
+        );
+        expect_err(
+            "func @x() {\nblock0:\n  jump nowhere\n}",
+            "unknown block label",
+        );
         expect_err("func @x() {\nblock0:\n  ret\n", "missing closing");
-        expect_err("func @x() {\nblock0:\nblock0:\n  ret\n}", "duplicate block label");
-        expect_err("func @x() {\n  %1 = const 2\nblock0:\n  ret\n}", "before any block");
+        expect_err(
+            "func @x() {\nblock0:\nblock0:\n  ret\n}",
+            "duplicate block label",
+        );
+        expect_err(
+            "func @x() {\n  %1 = const 2\nblock0:\n  ret\n}",
+            "before any block",
+        );
         expect_err(
             "func @x() {\nblock0:\n  ret\n  %1 = const 2\n}",
             "after block terminator",
         );
-        expect_err("func @x() {\nblock0:\n  %1 = load buf[%0]\n  ret\n}", "unknown slot");
-        expect_err("func @x() {\nblock0:\n  %1 = const abc\n  ret\n}", "invalid constant");
+        expect_err(
+            "func @x() {\nblock0:\n  %1 = load buf[%0]\n  ret\n}",
+            "unknown slot",
+        );
+        expect_err(
+            "func @x() {\nblock0:\n  %1 = const abc\n  ret\n}",
+            "invalid constant",
+        );
         expect_err("func @x() {\nblock0:\n  br %0, a\n}", "br expects");
         expect_err("func @x() {\n}", "no blocks");
     }

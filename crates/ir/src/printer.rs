@@ -23,7 +23,14 @@ impl fmt::Display for Function {
         for bb in self.block_ids() {
             writeln!(f, "{bb}:")?;
             for &id in self.block(bb).insts() {
-                writeln!(f, "  {}", DisplayInst { func: self, inst: self.inst(id) })?;
+                writeln!(
+                    f,
+                    "  {}",
+                    DisplayInst {
+                        func: self,
+                        inst: self.inst(id)
+                    }
+                )?;
             }
             match self.terminator(bb) {
                 Some(t) => writeln!(f, "  {}", DisplayTerm { term: t })?,
@@ -88,7 +95,11 @@ impl fmt::Display for DisplayTerm<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.term {
             Terminator::Jump(t) => write!(f, "jump {t}"),
-            Terminator::Branch { cond, then_dest, else_dest } => {
+            Terminator::Branch {
+                cond,
+                then_dest,
+                else_dest,
+            } => {
                 write!(f, "br {cond}, {then_dest}, {else_dest}")
             }
             Terminator::Ret(Some(v)) => write!(f, "ret {v}"),

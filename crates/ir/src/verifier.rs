@@ -15,7 +15,11 @@ pub enum VerifyError {
     /// A terminator targets a block id outside the function.
     BadBranchTarget { block: BlockId, target: BlockId },
     /// An instruction's operand count does not match its opcode.
-    BadOperandCount { inst: InstId, expected: usize, actual: usize },
+    BadOperandCount {
+        inst: InstId,
+        expected: usize,
+        actual: usize,
+    },
     /// An instruction is missing a required destination or has a spurious
     /// one.
     BadDestination { inst: InstId, expected: bool },
@@ -38,7 +42,11 @@ impl fmt::Display for VerifyError {
             VerifyError::BadBranchTarget { block, target } => {
                 write!(f, "{block} branches to nonexistent {target}")
             }
-            VerifyError::BadOperandCount { inst, expected, actual } => {
+            VerifyError::BadOperandCount {
+                inst,
+                expected,
+                actual,
+            } => {
                 write!(f, "{inst} expects {expected} operands, has {actual}")
             }
             VerifyError::BadDestination { inst, expected } => {
@@ -151,7 +159,10 @@ impl<'f> Verifier<'f> {
                     });
                 }
                 if inst.op.has_dst() != inst.dst.is_some() {
-                    errors.push(VerifyError::BadDestination { inst: id, expected: inst.op.has_dst() });
+                    errors.push(VerifyError::BadDestination {
+                        inst: id,
+                        expected: inst.op.has_dst(),
+                    });
                 }
                 if inst.op.has_imm() && inst.imm.is_none() {
                     errors.push(VerifyError::MissingImmediate(id));
@@ -319,13 +330,24 @@ mod tests {
         // Hand-build an add with one operand.
         f.push_inst(
             b0,
-            Inst { op: Opcode::Add, dst: Some(v), srcs: vec![v], imm: None, slot: None },
+            Inst {
+                op: Opcode::Add,
+                dst: Some(v),
+                srcs: vec![v],
+                imm: None,
+                slot: None,
+            },
         );
         f.set_terminator(b0, Terminator::Ret(None));
         let errors = Verifier::new(&f).run_all();
-        assert!(errors
-            .iter()
-            .any(|e| matches!(e, VerifyError::BadOperandCount { expected: 2, actual: 1, .. })));
+        assert!(errors.iter().any(|e| matches!(
+            e,
+            VerifyError::BadOperandCount {
+                expected: 2,
+                actual: 1,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -336,11 +358,19 @@ mod tests {
         let v = f.new_vreg();
         f.push_inst(
             b0,
-            Inst { op: Opcode::Const, dst: Some(v), srcs: vec![], imm: None, slot: None },
+            Inst {
+                op: Opcode::Const,
+                dst: Some(v),
+                srcs: vec![],
+                imm: None,
+                slot: None,
+            },
         );
         f.set_terminator(b0, Terminator::Ret(None));
         let errors = Verifier::new(&f).run_all();
-        assert!(errors.iter().any(|e| matches!(e, VerifyError::MissingImmediate(_))));
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, VerifyError::MissingImmediate(_))));
     }
 
     #[test]
@@ -352,13 +382,23 @@ mod tests {
         let s = f.add_slot("m", 4);
         f.push_inst(
             b0,
-            Inst { op: Opcode::Store, dst: Some(v), srcs: vec![v, v], imm: None, slot: Some(s) },
+            Inst {
+                op: Opcode::Store,
+                dst: Some(v),
+                srcs: vec![v, v],
+                imm: None,
+                slot: Some(s),
+            },
         );
         f.set_terminator(b0, Terminator::Ret(None));
         let errors = Verifier::new(&f).run_all();
-        assert!(errors
-            .iter()
-            .any(|e| matches!(e, VerifyError::BadDestination { expected: false, .. })));
+        assert!(errors.iter().any(|e| matches!(
+            e,
+            VerifyError::BadDestination {
+                expected: false,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -369,7 +409,13 @@ mod tests {
         let v = f.new_vreg();
         f.push_inst(
             b0,
-            Inst { op: Opcode::Load, dst: Some(v), srcs: vec![v], imm: None, slot: None },
+            Inst {
+                op: Opcode::Load,
+                dst: Some(v),
+                srcs: vec![v],
+                imm: None,
+                slot: None,
+            },
         );
         f.set_terminator(b0, Terminator::Ret(None));
         let errors = Verifier::new(&f).run_all();
@@ -396,7 +442,9 @@ mod tests {
         let f = b.finish();
         let errors = Verifier::new(&f).run_all();
         assert!(
-            errors.iter().any(|e| matches!(e, VerifyError::UseBeforeDef { .. })),
+            errors
+                .iter()
+                .any(|e| matches!(e, VerifyError::UseBeforeDef { .. })),
             "{errors:?}"
         );
     }
@@ -436,7 +484,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = VerifyError::UseBeforeDef { block: BlockId::new(2), reg: VReg::new(7) };
+        let e = VerifyError::UseBeforeDef {
+            block: BlockId::new(2),
+            reg: VReg::new(7),
+        };
         assert!(e.to_string().contains("%7"));
         assert!(e.to_string().contains("block2"));
     }

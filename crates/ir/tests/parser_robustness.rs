@@ -1,97 +1,111 @@
 //! Robustness property tests for the IR text parser: it must never
 //! panic, only return errors — and must stay the inverse of the printer.
+//!
+//! (Seeded-loop style: the offline build has no proptest, so cases are
+//! drawn from the workspace's deterministic `rand` stub.)
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use tadfa_ir::{parse_function, FunctionBuilder, Verifier};
 
 /// Builds a random but well-formed function directly through the
 /// builder: straight-line arithmetic plus an optional diamond.
-fn arb_function() -> impl Strategy<Value = String> {
-    (
-        1usize..12,
-        prop::collection::vec(0usize..6, 0..12),
-        any::<bool>(),
-        -100i64..100,
-    )
-        .prop_map(|(n_ops, op_picks, diamond, imm)| {
-            let mut b = FunctionBuilder::new("gen");
-            let x = b.param();
-            let y = b.param();
-            let mut last = x;
-            let k = b.iconst(imm);
-            let mut pool = vec![x, y, k];
-            for (i, &pick) in op_picks.iter().enumerate().take(n_ops) {
-                let a = pool[i % pool.len()];
-                let c = pool[(i * 7 + 1) % pool.len()];
-                last = match pick {
-                    0 => b.add(a, c),
-                    1 => b.sub(a, c),
-                    2 => b.mul(a, c),
-                    3 => b.xor(a, c),
-                    4 => b.cmplt(a, c),
-                    _ => b.select(a, c, last),
-                };
-                pool.push(last);
-            }
-            if diamond {
-                let t = b.new_block();
-                let e = b.new_block();
-                let j = b.new_block();
-                let c = b.cmpne(last, x);
-                b.branch(c, t, e);
-                b.switch_to(t);
-                b.jump(j);
-                b.switch_to(e);
-                b.jump(j);
-                b.switch_to(j);
-                b.ret(Some(last));
-            } else {
-                b.ret(Some(last));
-            }
-            b.finish().to_string()
-        })
+fn arb_function(rng: &mut StdRng) -> String {
+    let n_ops = rng.gen_range(1usize..12);
+    let diamond = rng.gen_bool(0.5);
+    let imm = rng.gen_range(-100i64..100);
+
+    let mut b = FunctionBuilder::new("gen");
+    let x = b.param();
+    let y = b.param();
+    let mut last = x;
+    let k = b.iconst(imm);
+    let mut pool = vec![x, y, k];
+    for i in 0..n_ops {
+        let a = pool[i % pool.len()];
+        let c = pool[(i * 7 + 1) % pool.len()];
+        last = match rng.gen_range(0usize..6) {
+            0 => b.add(a, c),
+            1 => b.sub(a, c),
+            2 => b.mul(a, c),
+            3 => b.xor(a, c),
+            4 => b.cmplt(a, c),
+            _ => b.select(a, c, last),
+        };
+        pool.push(last);
+    }
+    if diamond {
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        let c = b.cmpne(last, x);
+        b.branch(c, t, e);
+        b.switch_to(t);
+        b.jump(j);
+        b.switch_to(e);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(Some(last));
+    } else {
+        b.ret(Some(last));
+    }
+    b.finish().to_string()
 }
 
-proptest! {
-    /// print → parse → print is the identity on generated functions, and
-    /// the reparsed function verifies.
-    #[test]
-    fn print_parse_roundtrip(text in arb_function()) {
+/// print → parse → print is the identity on generated functions, and
+/// the reparsed function verifies.
+#[test]
+fn print_parse_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xA1);
+    for case in 0..64 {
+        let text = arb_function(&mut rng);
         let f = parse_function(&text).expect("printer output must parse");
-        prop_assert!(Verifier::new(&f).run().is_ok());
-        prop_assert_eq!(f.to_string(), text);
+        assert!(Verifier::new(&f).run().is_ok(), "case {case}");
+        assert_eq!(f.to_string(), text, "case {case}");
     }
+}
 
-    /// The parser returns Err (never panics) on corrupted inputs: random
-    /// single-character mutations of valid programs.
-    #[test]
-    fn parser_survives_mutations(
-        text in arb_function(),
-        pos_frac in 0.0f64..1.0,
-        replacement in prop::char::any(),
-    ) {
+/// The parser returns Err (never panics) on corrupted inputs: random
+/// single-character mutations of valid programs.
+#[test]
+fn parser_survives_mutations() {
+    let mut rng = StdRng::seed_from_u64(0xA2);
+    for _ in 0..128 {
+        let text = arb_function(&mut rng);
         let bytes: Vec<char> = text.chars().collect();
-        let pos = ((bytes.len() as f64 - 1.0) * pos_frac) as usize;
+        let pos = rng.gen_range(0usize..bytes.len().max(1));
+        let replacement = char::from_u32(rng.gen_range(1u32..0xD800)).unwrap_or('\u{FFFD}');
         let mut mutated: String = bytes[..pos].iter().collect();
         mutated.push(replacement);
         mutated.extend(bytes[pos + 1..].iter());
         // Either parses (mutation was benign) or errors cleanly.
         let _ = parse_function(&mutated);
     }
+}
 
-    /// The parser never panics on arbitrary junk.
-    #[test]
-    fn parser_survives_arbitrary_text(junk in "\\PC{0,200}") {
+/// The parser never panics on arbitrary junk.
+#[test]
+fn parser_survives_arbitrary_text() {
+    let mut rng = StdRng::seed_from_u64(0xA3);
+    for _ in 0..128 {
+        let len = rng.gen_range(0usize..200);
+        let junk: String = (0..len)
+            .map(|_| char::from_u32(rng.gen_range(1u32..0xD800)).unwrap_or('\u{FFFD}'))
+            .collect();
         let _ = parse_function(&junk);
     }
+}
 
-    /// Line-shuffled programs either parse or error cleanly — and if they
-    /// parse, the verifier still accepts or rejects without panicking.
-    #[test]
-    fn parser_survives_line_drops(text in arb_function(), drop_index in 0usize..20) {
+/// Line-dropped programs either parse or error cleanly — and if they
+/// parse, the verifier still accepts or rejects without panicking.
+#[test]
+fn parser_survives_line_drops() {
+    let mut rng = StdRng::seed_from_u64(0xA4);
+    for _ in 0..64 {
+        let text = arb_function(&mut rng);
         let lines: Vec<&str> = text.lines().collect();
         if lines.len() > 2 {
-            let idx = drop_index % lines.len();
+            let idx = rng.gen_range(0usize..lines.len());
             let reduced: String = lines
                 .iter()
                 .enumerate()

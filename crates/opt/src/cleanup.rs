@@ -53,10 +53,18 @@ pub fn propagate_constants(func: &mut Function) -> usize {
                 (Opcode::Sub, [a, b]) => a.wrapping_sub(*b),
                 (Opcode::Mul, [a, b]) => a.wrapping_mul(*b),
                 (Opcode::Div, [a, b]) => {
-                    if *b == 0 { 0 } else { a.wrapping_div(*b) }
+                    if *b == 0 {
+                        0
+                    } else {
+                        a.wrapping_div(*b)
+                    }
                 }
                 (Opcode::Rem, [a, b]) => {
-                    if *b == 0 { 0 } else { a.wrapping_rem(*b) }
+                    if *b == 0 {
+                        0
+                    } else {
+                        a.wrapping_rem(*b)
+                    }
                 }
                 (Opcode::And, [a, b]) => a & b,
                 (Opcode::Or, [a, b]) => a | b,
@@ -72,7 +80,11 @@ pub fn propagate_constants(func: &mut Function) -> usize {
                 (Opcode::CmpGt, [a, b]) => (a > b) as i64,
                 (Opcode::CmpGe, [a, b]) => (a >= b) as i64,
                 (Opcode::Select, [c, a, b]) => {
-                    if *c != 0 { *a } else { *b }
+                    if *c != 0 {
+                        *a
+                    } else {
+                        *b
+                    }
                 }
                 _ => continue,
             };
@@ -105,9 +117,7 @@ pub fn eliminate_dead_code(func: &mut Function) -> usize {
                 let inst = func.inst(id);
                 let dead = match inst.def() {
                     Some(d) => {
-                        !inst.op.has_side_effect()
-                            && inst.op != Opcode::Nop
-                            && du.num_uses(d) == 0
+                        !inst.op.has_side_effect() && inst.op != Opcode::Nop && du.num_uses(d) == 0
                     }
                     None => false,
                 };

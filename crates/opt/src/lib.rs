@@ -17,8 +17,10 @@
 //! * [`cleanup`] ([`propagate_constants`] + [`eliminate_dead_code`]) —
 //!   classic passes that strip the garbage the thermal rewrites leave
 //!   behind (dead defs still heat the file);
-//! * [`run_thermal_pipeline`] — the analyse → transform → re-analyse
-//!   driver producing the before/after rows of experiment E6.
+//! * [`run_thermal_pipeline`] / [`SessionOptimize`] — the analyse →
+//!   transform → re-analyse driver producing the before/after rows of
+//!   experiment E6, driven by a
+//!   [`Session`](tadfa_core::Session).
 //!
 //! Every pass preserves program semantics (each module's tests execute
 //! the program before and after through `tadfa-sim`).
@@ -26,10 +28,9 @@
 //! ## Example
 //!
 //! ```
+//! use tadfa_core::Session;
 //! use tadfa_ir::FunctionBuilder;
-//! use tadfa_opt::{run_thermal_pipeline, OptKind, PipelineConfig};
-//! use tadfa_regalloc::RoundRobin;
-//! use tadfa_thermal::{Floorplan, PowerModel, RcParams, RegisterFile};
+//! use tadfa_opt::{OptKind, PipelineConfig, SessionOptimize};
 //!
 //! // A loop that hammers one accumulator.
 //! let mut b = FunctionBuilder::new("k");
@@ -54,17 +55,19 @@
 //! b.ret(Some(acc));
 //! let mut f = b.finish();
 //!
-//! let rf = RegisterFile::new(Floorplan::grid(4, 4));
 //! // Spilling dissolves the hot spot when the reload temporaries can
 //! // spread across the file (round-robin assignment).
-//! let out = run_thermal_pipeline(
-//!     &mut f, &rf, &mut RoundRobin::default(),
-//!     RcParams::default(), PowerModel::default(),
+//! let mut session = Session::builder()
+//!     .floorplan(4, 4)
+//!     .policy_name("round-robin", 0)
+//!     .build()?;
+//! let out = session.optimize(
+//!     &mut f,
 //!     &PipelineConfig { opts: vec![OptKind::SpillCritical],
 //!                       ..PipelineConfig::default() },
 //! )?;
 //! assert!(out.after.map.peak < out.before.map.peak);
-//! # Ok::<(), tadfa_regalloc::RegAllocError>(())
+//! # Ok::<(), tadfa_core::TadfaError>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -82,7 +85,7 @@ pub use cleanup::{cleanup, eliminate_dead_code, propagate_constants};
 pub use nop_insert::{cooldown_pass, cooldown_threshold, insert_cooldown_nops};
 pub use pipeline::{
     run_thermal_pipeline, weighted_cycles, OptKind, PipelineConfig, PipelineOutcome,
-    ThermalSummary,
+    SessionOptimize, ThermalSummary,
 };
 pub use promote::{promote_scalar_slots, promote_slot};
 pub use schedule::{min_reuse_distance, spread_schedule, spread_schedule_block};

@@ -4,7 +4,7 @@
 //! should be applied only if no other option to cool down the system is
 //! feasible" (§4).
 
-use tadfa_core::{AnalysisGrid, ThermalDfa, ThermalDfaResult};
+use tadfa_core::{AnalysisGrid, TadfaError, ThermalDfa, ThermalDfaResult};
 use tadfa_ir::{Function, Inst};
 use tadfa_regalloc::Assignment;
 
@@ -32,7 +32,9 @@ pub fn insert_cooldown_nops(
     let mut sites: Vec<(tadfa_ir::BlockId, usize)> = Vec::new();
     for bb in func.block_ids() {
         for (pos, &id) in func.block(bb).insts().iter().enumerate() {
-            let Some(state) = result.state_after(id) else { continue };
+            let Some(state) = result.state_after(id) else {
+                continue;
+            };
             let inst = func.inst(id);
             let hot = dfa
                 .access_energies(inst)
@@ -63,6 +65,11 @@ pub fn cooldown_threshold(result: &ThermalDfaResult, fraction: f64) -> f64 {
 /// End-to-end helper: run the DFA on the already-allocated `func`,
 /// insert NOPs at sites above the fractional threshold, and return the
 /// insertion count.
+///
+/// # Errors
+///
+/// Returns [`TadfaError::InvalidConfig`] if `dfa_config` fails
+/// validation.
 pub fn cooldown_pass(
     func: &mut Function,
     assignment: &Assignment,
@@ -71,12 +78,19 @@ pub fn cooldown_pass(
     dfa_config: tadfa_core::ThermalDfaConfig,
     threshold_fraction: f64,
     nops_per_site: usize,
-) -> usize {
+) -> Result<usize, TadfaError> {
     let snapshot = func.clone();
-    let dfa = ThermalDfa::new(&snapshot, assignment, grid, power_model, dfa_config);
+    let dfa = ThermalDfa::new(&snapshot, assignment, grid, power_model, dfa_config)?;
     let result = dfa.run();
     let threshold = cooldown_threshold(&result, threshold_fraction);
-    insert_cooldown_nops(func, &dfa, grid, &result, threshold, nops_per_site)
+    Ok(insert_cooldown_nops(
+        func,
+        &dfa,
+        grid,
+        &result,
+        threshold,
+        nops_per_site,
+    ))
 }
 
 #[cfg(test)]
@@ -133,7 +147,8 @@ mod tests {
             ThermalDfaConfig::default(),
             0.8,
             2,
-        );
+        )
+        .unwrap();
         assert!(inserted > 0, "a hot loop must trigger insertion");
         assert!(Verifier::new(&f).run().is_ok(), "{f}");
         let after = Interpreter::new(&f).run(&[]).unwrap();
@@ -154,7 +169,8 @@ mod tests {
             ThermalDfaConfig::default(),
             0.8,
             1,
-        );
+        )
+        .unwrap();
         let mut f2 = hot_loop();
         let (a2, g2) = setup(&mut f2);
         let n2 = cooldown_pass(
@@ -165,7 +181,8 @@ mod tests {
             ThermalDfaConfig::default(),
             0.8,
             3,
-        );
+        )
+        .unwrap();
         assert_eq!(n2, 3 * n1, "same sites, 3× NOPs");
     }
 
@@ -182,7 +199,8 @@ mod tests {
             ThermalDfaConfig::default(),
             2.0, // threshold above the peak: nothing qualifies
             2,
-        );
+        )
+        .unwrap();
         assert_eq!(inserted, 0);
         assert_eq!(f.num_insts(), before);
     }
@@ -199,7 +217,8 @@ mod tests {
             ThermalDfaConfig::default(),
             0.5,
             0,
-        );
+        )
+        .unwrap();
         assert_eq!(inserted, 0);
     }
 
@@ -215,7 +234,8 @@ mod tests {
             ThermalDfaConfig::default(),
             0.8,
             1,
-        );
+        )
+        .unwrap();
         let nops = f
             .inst_ids_in_layout_order()
             .iter()

@@ -2,9 +2,16 @@
 //!
 //! "The result of the analysis phase can be used to conduct the
 //! compilation process achieving a temperature-aware compilation at
-//! different stages" (§4). This driver wires the passes of this crate to
-//! the analysis of `tadfa-core` and reports before/after thermal and
-//! performance summaries — the row format of experiment E6.
+//! different stages" (§4). The driver consumes a
+//! [`Session`](tadfa_core::Session) — allocation policy, grid
+//! granularity, δ and merge rule are all the session's choices, made
+//! once — wires the passes of this crate to the session's analysis, and
+//! reports before/after thermal and performance summaries — the row
+//! format of experiment E6.
+//!
+//! Call it either as the free function [`run_thermal_pipeline`] or via
+//! the [`SessionOptimize`] extension trait
+//! (`session.optimize(&mut func, &config)`).
 
 use crate::cleanup::cleanup;
 use crate::nop_insert::cooldown_pass;
@@ -13,14 +20,9 @@ use crate::schedule::spread_schedule;
 use crate::spill_critical::spill_critical_variables;
 use crate::split::split_hot_ranges;
 use serde::{Deserialize, Serialize};
-use tadfa_core::{
-    AnalysisGrid, CriticalConfig, CriticalSet, ThermalDfa, ThermalDfaConfig, ThermalDfaResult,
-};
+use tadfa_core::{Session, TadfaError, ThermalDfa, ThermalReport};
 use tadfa_ir::{Cfg, DomTree, Function, LoopInfo};
-use tadfa_regalloc::{
-    allocate_linear_scan, AssignmentPolicy, RegAllocConfig, RegAllocError,
-};
-use tadfa_thermal::{MapStats, PowerModel, RcParams, RegisterFile};
+use tadfa_thermal::MapStats;
 
 /// The §4 optimizations, applied in the order given.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -40,15 +42,13 @@ pub enum OptKind {
     Cleanup,
 }
 
-/// Pipeline configuration.
+/// Pass-specific pipeline knobs. Everything the *analysis* needs —
+/// policy, grid, δ, merge rule, criticality threshold — lives on the
+/// [`Session`] instead, chosen once for every analysis the session runs.
 #[derive(Clone, Debug)]
 pub struct PipelineConfig {
     /// Passes to apply, in order.
     pub opts: Vec<OptKind>,
-    /// Thermal DFA settings used for analysis before and after.
-    pub dfa: ThermalDfaConfig,
-    /// Criticality threshold settings.
-    pub critical: CriticalConfig,
     /// Maximum variables [`OptKind::SpillCritical`] may spill.
     pub spill_max: usize,
     /// Minimum segment uses for [`OptKind::SplitHotRanges`].
@@ -63,8 +63,6 @@ impl Default for PipelineConfig {
     fn default() -> PipelineConfig {
         PipelineConfig {
             opts: vec![OptKind::SpillCritical],
-            dfa: ThermalDfaConfig::default(),
-            critical: CriticalConfig::default(),
             spill_max: 2,
             split_min_uses: 4,
             nop_threshold_fraction: 0.8,
@@ -114,70 +112,46 @@ pub fn weighted_cycles(func: &Function) -> f64 {
     cycles
 }
 
-fn analyse(
-    func: &mut Function,
-    rf: &RegisterFile,
-    policy: &mut dyn AssignmentPolicy,
-    params: RcParams,
-    power: PowerModel,
-    dfa_config: ThermalDfaConfig,
-) -> Result<(ThermalDfaResult, tadfa_regalloc::Assignment, AnalysisGrid), RegAllocError> {
-    let alloc = allocate_linear_scan(func, rf, policy, &RegAllocConfig::default())?;
-    let grid = AnalysisGrid::full(rf, params);
-    let result =
-        ThermalDfa::new(func, &alloc.assignment, &grid, power, dfa_config).run();
-    Ok((result, alloc.assignment, grid))
-}
-
-fn summary(result: &ThermalDfaResult, grid: &AnalysisGrid, func: &Function) -> ThermalSummary {
-    let map = result.peak_map();
+fn summary(session: &Session, report: &ThermalReport) -> ThermalSummary {
     ThermalSummary {
-        map: MapStats::of(&map, grid.model().floorplan()),
-        weighted_cycles: weighted_cycles(func),
-        insts: func.num_insts(),
+        map: MapStats::of(&report.predicted, session.register_file().floorplan()),
+        weighted_cycles: weighted_cycles(&report.func),
+        insts: report.func.num_insts(),
     }
 }
 
-/// Runs the full analyse→optimize→re-analyse pipeline on `func`.
+/// Runs the full analyse→optimize→re-analyse pipeline on `func` through
+/// `session`.
 ///
-/// `func` is left in its optimized, allocated form.
+/// `func` is left in its optimized, allocated form (spill code
+/// included).
 ///
 /// # Errors
 ///
-/// Propagates allocation failures ([`RegAllocError`]).
+/// Propagates [`TadfaError`] (allocation failures; every config was
+/// already validated when the session was built).
 pub fn run_thermal_pipeline(
+    session: &mut Session,
     func: &mut Function,
-    rf: &RegisterFile,
-    policy: &mut dyn AssignmentPolicy,
-    params: RcParams,
-    power: PowerModel,
     config: &PipelineConfig,
-) -> Result<PipelineOutcome, RegAllocError> {
-    // Baseline analysis (on a clone so `func` is not pre-spilled twice).
-    let mut baseline = func.clone();
-    let (base_result, _, base_grid) =
-        analyse(&mut baseline, rf, policy, params, power, config.dfa)?;
-    let before = summary(&base_result, &base_grid, &baseline);
+) -> Result<PipelineOutcome, TadfaError> {
+    // Baseline analysis; `analyze` works on a clone, so `func` is not
+    // pre-spilled twice.
+    let baseline = session.analyze(func)?;
+    let before = summary(session, &baseline);
 
-    // Working analysis for pass decisions.
-    let (work_result, work_assignment, work_grid) =
-        analyse(func, rf, policy, params, power, config.dfa)?;
-    let critical = CriticalSet::identify(
-        func,
-        &work_assignment,
-        &work_grid,
-        &work_result,
-        &power,
-        config.critical,
-    );
+    // Working analysis for pass decisions; continue from the allocated
+    // form so passes see the same program the analysis scored.
+    let work = session.analyze(func)?;
+    let critical = work.critical.clone();
+    *func = work.func;
 
     let mut applied = Vec::new();
     let mut needs_cooldown = false;
     for &opt in &config.opts {
         let changes = match opt {
             OptKind::SpillCritical => {
-                let (n, _) =
-                    spill_critical_variables(func, critical.critical(), config.spill_max);
+                let (n, _) = spill_critical_variables(func, critical.critical(), config.spill_max);
                 n
             }
             OptKind::SplitHotRanges => {
@@ -198,40 +172,84 @@ pub fn run_thermal_pipeline(
     }
 
     // Re-allocate and re-analyse the transformed program.
-    let (mut final_result, final_assignment, final_grid) =
-        analyse(func, rf, policy, params, power, config.dfa)?;
+    let fin = session.analyze(func)?;
+    *func = fin.func.clone();
 
-    if needs_cooldown {
+    let after = if needs_cooldown {
         let n = cooldown_pass(
             func,
-            &final_assignment,
-            &final_grid,
-            power,
-            config.dfa,
+            &fin.assignment,
+            session.grid(),
+            session.power_model(),
+            session.dfa_config(),
             config.nop_threshold_fraction,
             config.nops_per_site,
-        );
+        )?;
         for entry in applied.iter_mut() {
             if entry.0 == OptKind::CooldownNops {
                 entry.1 = n;
             }
         }
-        // NOPs change timing, not allocation; re-run the analysis once
-        // more for the final map.
-        final_result =
-            ThermalDfa::new(func, &final_assignment, &final_grid, power, config.dfa).run();
-    }
+        // NOPs change timing, not allocation: re-run only the DFA under
+        // the assignment the NOP sites were chosen for, so the final map
+        // reflects exactly that placement.
+        let result = ThermalDfa::new(
+            func,
+            &fin.assignment,
+            session.grid(),
+            session.power_model(),
+            session.dfa_config(),
+        )?
+        .run();
+        let predicted = session.grid().upsample(&result.peak_map())?;
+        ThermalSummary {
+            map: MapStats::of(&predicted, session.register_file().floorplan()),
+            weighted_cycles: weighted_cycles(func),
+            insts: func.num_insts(),
+        }
+    } else {
+        summary(session, &fin)
+    };
+    Ok(PipelineOutcome {
+        before,
+        after,
+        applied,
+    })
+}
 
-    let after = summary(&final_result, &final_grid, func);
-    Ok(PipelineOutcome { before, after, applied })
+/// Extension trait hanging the pipeline off [`Session`] —
+/// `session.optimize(&mut func, &config)`.
+///
+/// (The pipeline lives in `tadfa-opt`, which depends on `tadfa-core`;
+/// the trait closes the loop without a dependency cycle.)
+pub trait SessionOptimize {
+    /// Runs [`run_thermal_pipeline`] on `func` with this session's
+    /// analysis state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TadfaError`] from analysis or allocation.
+    fn optimize(
+        &mut self,
+        func: &mut Function,
+        config: &PipelineConfig,
+    ) -> Result<PipelineOutcome, TadfaError>;
+}
+
+impl SessionOptimize for Session {
+    fn optimize(
+        &mut self,
+        func: &mut Function,
+        config: &PipelineConfig,
+    ) -> Result<PipelineOutcome, TadfaError> {
+        run_thermal_pipeline(self, func, config)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use tadfa_ir::FunctionBuilder;
-    use tadfa_regalloc::FirstFree;
-    use tadfa_thermal::Floorplan;
 
     fn hot_loop() -> Function {
         let mut b = FunctionBuilder::new("hot");
@@ -258,26 +276,26 @@ mod tests {
         b.finish()
     }
 
-    fn run_with(
-        opts: Vec<OptKind>,
-        policy: &mut dyn tadfa_regalloc::AssignmentPolicy,
-    ) -> PipelineOutcome {
+    fn session_with(policy: &str) -> Session {
+        Session::builder()
+            .floorplan(4, 4)
+            .policy_name(policy, 42)
+            .build()
+            .unwrap()
+    }
+
+    fn run_with(opts: Vec<OptKind>, policy: &str) -> PipelineOutcome {
         let mut f = hot_loop();
-        let rf = RegisterFile::new(Floorplan::grid(4, 4));
-        let config = PipelineConfig { opts, ..PipelineConfig::default() };
-        run_thermal_pipeline(
-            &mut f,
-            &rf,
-            policy,
-            RcParams::default(),
-            PowerModel::default(),
-            &config,
-        )
-        .unwrap()
+        let mut session = session_with(policy);
+        let config = PipelineConfig {
+            opts,
+            ..PipelineConfig::default()
+        };
+        session.optimize(&mut f, &config).unwrap()
     }
 
     fn run(opts: Vec<OptKind>) -> PipelineOutcome {
-        run_with(opts, &mut FirstFree)
+        run_with(opts, "first-free")
     }
 
     #[test]
@@ -285,10 +303,7 @@ mod tests {
         // Spilling moves the hot variable's traffic into short-lived
         // reload temporaries; with a spreading policy those rotate across
         // the file and the hot spot dissolves — the paper's §4 mechanism.
-        let out = run_with(
-            vec![OptKind::SpillCritical],
-            &mut tadfa_regalloc::RoundRobin::default(),
-        );
+        let out = run_with(vec![OptKind::SpillCritical], "round-robin");
         assert!(out.applied[0].1 > 0, "something was spilled");
         assert!(
             out.after.map.peak < out.before.map.peak,
@@ -348,7 +363,7 @@ mod tests {
                 OptKind::SpreadSchedule,
                 OptKind::CooldownNops,
             ],
-            &mut tadfa_regalloc::RoundRobin::default(),
+            "round-robin",
         );
         assert_eq!(out.applied.len(), 3);
         assert!(out.after.map.peak < out.before.map.peak);

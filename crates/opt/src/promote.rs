@@ -83,7 +83,7 @@ pub fn promote_scalar_slots(func: &mut Function) -> (usize, usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tadfa_ir::{FunctionBuilder, Verifier, VReg};
+    use tadfa_ir::{FunctionBuilder, VReg, Verifier};
     use tadfa_regalloc::rewrite_spills;
     use tadfa_sim::Interpreter;
 
@@ -122,9 +122,7 @@ mod tests {
         let mem_ops = f
             .inst_ids_in_layout_order()
             .iter()
-            .filter(|&&(_, id)| {
-                matches!(f.inst(id).op, Opcode::Load | Opcode::Store)
-            })
+            .filter(|&&(_, id)| matches!(f.inst(id).op, Opcode::Load | Opcode::Store))
             .count();
         assert_eq!(mem_ops, 0);
         // And execution gets faster.

@@ -14,16 +14,12 @@ use tadfa_ir::{BlockId, Function, InstId, Opcode};
 fn build_deps(func: &Function, insts: &[InstId]) -> Vec<Vec<usize>> {
     let n = insts.len();
     let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for j in 0..n {
-        let ij = func.inst(insts[j]);
-        for i in 0..j {
-            let ii = func.inst(insts[i]);
-            let raw = ii
-                .def()
-                .is_some_and(|d| ij.uses().contains(&d));
-            let war = ij
-                .def()
-                .is_some_and(|d| ii.uses().contains(&d));
+    for (j, &inst_j) in insts.iter().enumerate().take(n) {
+        let ij = func.inst(inst_j);
+        for (i, &inst_i) in insts.iter().enumerate().take(j) {
+            let ii = func.inst(inst_i);
+            let raw = ii.def().is_some_and(|d| ij.uses().contains(&d));
+            let war = ij.def().is_some_and(|d| ii.uses().contains(&d));
             let waw = ii.def().is_some() && ii.def() == ij.def();
             let mem = (ii.op == Opcode::Load || ii.op == Opcode::Store)
                 && (ij.op == Opcode::Load || ij.op == Opcode::Store)
@@ -86,9 +82,7 @@ pub fn spread_schedule_block(func: &mut Function, bb: BlockId) -> bool {
             // Prefer cooler; tie-break on original order (stability).
             let better = match best {
                 None => true,
-                Some((bs, bp)) => {
-                    coolness > bs || (coolness == bs && cand < bp)
-                }
+                Some((bs, bp)) => coolness > bs || (coolness == bs && cand < bp),
             };
             if better {
                 best = Some((coolness, cand));

@@ -44,20 +44,14 @@ pub fn split_live_range_in_block(
             .filter(|&p| func.inst(insts[p]).uses().contains(&v))
             .collect();
         let is_last = k + 1 == seg_starts.len();
-        let term = is_last
-            && func
-                .terminator(bb)
-                .is_some_and(|t| t.uses().contains(&v));
+        let term = is_last && func.terminator(bb).is_some_and(|t| t.uses().contains(&v));
         let total = positions.len() + usize::from(term);
-        if best.as_ref().map_or(true, |&(bu, ..)| total > bu) {
+        if best.as_ref().is_none_or(|&(bu, ..)| total > bu) {
             best = Some((total, start, positions, is_last));
         }
     }
     let (total_uses, _seg_start, use_positions, is_last_segment) = best?;
-    let term_uses = is_last_segment
-        && func
-            .terminator(bb)
-            .is_some_and(|t| t.uses().contains(&v));
+    let term_uses = is_last_segment && func.terminator(bb).is_some_and(|t| t.uses().contains(&v));
 
     if total_uses < min_uses.max(2) {
         return None;

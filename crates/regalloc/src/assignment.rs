@@ -20,7 +20,10 @@ impl Assignment {
     /// An empty assignment over `num_vregs` virtual and `num_regs`
     /// physical registers.
     pub fn new(num_vregs: usize, num_regs: usize) -> Assignment {
-        Assignment { map: vec![None; num_vregs], num_regs }
+        Assignment {
+            map: vec![None; num_vregs],
+            num_regs,
+        }
     }
 
     /// Number of physical registers in the target file.
@@ -106,7 +109,10 @@ impl fmt::Display for RegAllocError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RegAllocError::TooFewRegisters { available } => {
-                write!(f, "register file too small: {available} register(s), need at least 2")
+                write!(
+                    f,
+                    "register file too small: {available} register(s), need at least 2"
+                )
             }
             RegAllocError::DidNotTerminate { rounds } => {
                 write!(f, "spill rewriting did not converge after {rounds} rounds")

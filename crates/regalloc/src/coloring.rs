@@ -7,7 +7,7 @@ use crate::linear_scan::RegAllocConfig;
 use crate::policy::{AssignmentPolicy, ChoiceContext};
 use crate::spill::rewrite_spills;
 use tadfa_dataflow::{DefUse, Liveness};
-use tadfa_ir::{Cfg, Function, PReg, Verifier, VReg};
+use tadfa_ir::{Cfg, Function, PReg, VReg, Verifier};
 use tadfa_thermal::RegisterFile;
 
 /// Allocates registers by graph coloring (simplify/select), with `policy`
@@ -98,7 +98,7 @@ pub fn allocate_coloring(
                 for v in 0..n {
                     if relevant[v] && !removed[v] {
                         let d = remaining_degree(v, &removed, &ig);
-                        if best.map_or(true, |(bd, _)| d > bd) {
+                        if best.is_none_or(|(bd, _)| d > bd) {
                             best = Some((d, v));
                         }
                     }
@@ -132,7 +132,12 @@ pub fn allocate_coloring(
                 spilled.push(v);
                 continue;
             }
-            let ctx = ChoiceContext { rf, vreg: v, active: &active, point: 0 };
+            let ctx = ChoiceContext {
+                rf,
+                vreg: v,
+                active: &active,
+                point: 0,
+            };
             let r = policy.choose(&free, &ctx);
             assert!(
                 free.contains(&r),
@@ -151,7 +156,9 @@ pub fn allocate_coloring(
         stats.spill_code_insts += rewrite_spills(func, &spilled);
     }
 
-    Err(RegAllocError::DidNotTerminate { rounds: config.max_rounds })
+    Err(RegAllocError::DidNotTerminate {
+        rounds: config.max_rounds,
+    })
 }
 
 #[cfg(test)]
@@ -225,8 +232,13 @@ mod tests {
     fn chessboard_coloring_prefers_black_cells() {
         let mut f = wide_function(6);
         let rf = rf_16();
-        let r = allocate_coloring(&mut f, &rf, &mut Chessboard::default(), &RegAllocConfig::default())
-            .unwrap();
+        let r = allocate_coloring(
+            &mut f,
+            &rf,
+            &mut Chessboard::default(),
+            &RegAllocConfig::default(),
+        )
+        .unwrap();
         let black = r
             .assignment
             .iter()
@@ -247,7 +259,12 @@ mod tests {
         let open = FunctionBuilder::new("open").finish();
         let mut open = open;
         assert!(matches!(
-            allocate_coloring(&mut open, &rf_16(), &mut FirstFree, &RegAllocConfig::default()),
+            allocate_coloring(
+                &mut open,
+                &rf_16(),
+                &mut FirstFree,
+                &RegAllocConfig::default()
+            ),
             Err(RegAllocError::InvalidFunction(_))
         ));
     }

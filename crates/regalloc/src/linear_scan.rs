@@ -4,7 +4,7 @@ use crate::assignment::{AllocStats, AllocationResult, Assignment, RegAllocError}
 use crate::policy::{AssignmentPolicy, ChoiceContext};
 use crate::spill::rewrite_spills;
 use tadfa_dataflow::{LiveIntervals, Liveness};
-use tadfa_ir::{Cfg, Function, PReg, Verifier, VReg};
+use tadfa_ir::{Cfg, Function, PReg, VReg, Verifier};
 use tadfa_thermal::RegisterFile;
 
 /// Allocator configuration shared by both allocators.
@@ -148,7 +148,9 @@ pub fn allocate_linear_scan(
         stats.spill_code_insts += rewrite_spills(func, &spilled);
     }
 
-    Err(RegAllocError::DidNotTerminate { rounds: config.max_rounds })
+    Err(RegAllocError::DidNotTerminate {
+        rounds: config.max_rounds,
+    })
 }
 
 /// Checks that an assignment is interference-free: no two simultaneously
@@ -164,7 +166,9 @@ pub fn validate_assignment(func: &Function, assignment: &Assignment) -> Vec<(VRe
     let mut bad = Vec::new();
     for i in 0..func.num_vregs() {
         let a = VReg::new(i as u32);
-        let Some(ra) = assignment.preg_of(a) else { continue };
+        let Some(ra) = assignment.preg_of(a) else {
+            continue;
+        };
         for b in ig.neighbors(a) {
             if b.index() > i {
                 if let Some(rb) = assignment.preg_of(b) {
@@ -219,8 +223,8 @@ mod tests {
     fn low_pressure_allocates_without_spills() {
         let mut f = chain_function(10);
         let rf = rf(16);
-        let r = allocate_linear_scan(&mut f, &rf, &mut FirstFree, &RegAllocConfig::default())
-            .unwrap();
+        let r =
+            allocate_linear_scan(&mut f, &rf, &mut FirstFree, &RegAllocConfig::default()).unwrap();
         assert_eq!(r.stats.spilled, 0);
         assert_eq!(r.stats.rounds, 1);
         assert!(validate_assignment(&f, &r.assignment).is_empty());
@@ -230,8 +234,8 @@ mod tests {
     fn first_free_concentrates_low_registers() {
         let mut f = chain_function(20);
         let rf = rf(16);
-        let r = allocate_linear_scan(&mut f, &rf, &mut FirstFree, &RegAllocConfig::default())
-            .unwrap();
+        let r =
+            allocate_linear_scan(&mut f, &rf, &mut FirstFree, &RegAllocConfig::default()).unwrap();
         // Sequential chain: at most 2-3 registers ever needed, and
         // first-free keeps reusing the lowest ones.
         assert!(r.assignment.distinct_pregs_used() <= 3);
@@ -261,9 +265,12 @@ mod tests {
     fn high_pressure_spills_and_still_validates() {
         let mut f = wide_function(24);
         let rf = rf(16);
-        let r = allocate_linear_scan(&mut f, &rf, &mut FirstFree, &RegAllocConfig::default())
-            .unwrap();
-        assert!(r.stats.spilled > 0, "24 simultaneous values in 16 regs must spill");
+        let r =
+            allocate_linear_scan(&mut f, &rf, &mut FirstFree, &RegAllocConfig::default()).unwrap();
+        assert!(
+            r.stats.spilled > 0,
+            "24 simultaneous values in 16 regs must spill"
+        );
         assert!(r.stats.rounds > 1);
         assert!(r.stats.spill_code_insts > 0);
         assert!(validate_assignment(&f, &r.assignment).is_empty());
@@ -284,8 +291,7 @@ mod tests {
         for mut p in policies {
             let mut f = wide_function(12);
             let r =
-                allocate_linear_scan(&mut f, &rf, p.as_mut(), &RegAllocConfig::default())
-                    .unwrap();
+                allocate_linear_scan(&mut f, &rf, p.as_mut(), &RegAllocConfig::default()).unwrap();
             assert!(
                 validate_assignment(&f, &r.assignment).is_empty(),
                 "policy {} produced conflicts",
@@ -298,8 +304,13 @@ mod tests {
     fn chessboard_only_uses_black_cells_at_low_pressure() {
         let mut f = chain_function(12);
         let rf = rf(16);
-        let r = allocate_linear_scan(&mut f, &rf, &mut Chessboard::default(), &RegAllocConfig::default())
-            .unwrap();
+        let r = allocate_linear_scan(
+            &mut f,
+            &rf,
+            &mut Chessboard::default(),
+            &RegAllocConfig::default(),
+        )
+        .unwrap();
         for (_, preg) in r.assignment.iter() {
             assert!(
                 rf.floorplan().is_black(rf.cell_of(preg)),
@@ -352,8 +363,8 @@ mod tests {
         b.ret(Some(acc));
         let mut f = b.finish();
         let rf = rf(16);
-        let r = allocate_linear_scan(&mut f, &rf, &mut FirstFree, &RegAllocConfig::default())
-            .unwrap();
+        let r =
+            allocate_linear_scan(&mut f, &rf, &mut FirstFree, &RegAllocConfig::default()).unwrap();
         assert!(validate_assignment(&f, &r.assignment).is_empty());
         // Loop-carried registers must be assigned.
         assert!(r.assignment.preg_of(i).is_some());

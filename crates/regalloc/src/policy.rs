@@ -76,7 +76,10 @@ pub struct RandomPolicy {
 impl RandomPolicy {
     /// A random policy with the given seed.
     pub fn new(seed: u64) -> RandomPolicy {
-        RandomPolicy { rng: StdRng::seed_from_u64(seed), seed }
+        RandomPolicy {
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+        }
     }
 }
 
@@ -274,9 +277,7 @@ pub fn policy_by_name(
         "chessboard" => Box::new(Chessboard::default()),
         "round-robin" => Box::new(RoundRobin::default()),
         "farthest-spread" => Box::new(FarthestSpread),
-        "coldest-first" => {
-            Box::new(ColdestFirst::uniform(rf.floorplan().num_cells(), 1.0))
-        }
+        "coldest-first" => Box::new(ColdestFirst::uniform(rf.floorplan().num_cells(), 1.0)),
         _ => return None,
     })
 }
@@ -305,7 +306,12 @@ mod tests {
     }
 
     fn ctx<'a>(rf: &'a RegisterFile, active: &'a [PReg]) -> ChoiceContext<'a> {
-        ChoiceContext { rf, vreg: VReg::new(0), active, point: 0 }
+        ChoiceContext {
+            rf,
+            vreg: VReg::new(0),
+            active,
+            point: 0,
+        }
     }
 
     #[test]

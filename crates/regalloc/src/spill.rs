@@ -122,7 +122,12 @@ mod tests {
         assert!(Verifier::new(&f).run().is_ok(), "{f}");
         // Pattern: ... add(def v) ; const ; store ... load before use.
         let entry = f.entry();
-        let ops: Vec<Opcode> = f.block(entry).insts().iter().map(|&i| f.inst(i).op).collect();
+        let ops: Vec<Opcode> = f
+            .block(entry)
+            .insts()
+            .iter()
+            .map(|&i| f.inst(i).op)
+            .collect();
         let def_pos = ops.iter().position(|&o| o == Opcode::Add).unwrap();
         assert_eq!(ops[def_pos + 1], Opcode::Const);
         assert_eq!(ops[def_pos + 2], Opcode::Store);
@@ -140,8 +145,12 @@ mod tests {
         // The ret now uses a fresh temp, not x.
         let t = f.terminator(f.entry()).unwrap();
         assert_ne!(t.uses(), vec![x]);
-        let entry_ops: Vec<Opcode> =
-            f.block(f.entry()).insts().iter().map(|&i| f.inst(i).op).collect();
+        let entry_ops: Vec<Opcode> = f
+            .block(f.entry())
+            .insts()
+            .iter()
+            .map(|&i| f.inst(i).op)
+            .collect();
         assert_eq!(entry_ops.last(), Some(&Opcode::Load));
     }
 

@@ -1,12 +1,16 @@
 //! Property tests for the allocators: on randomly shaped functions,
 //! every policy must produce interference-free assignments, and spill
 //! rewriting must preserve structure.
+//!
+//! (Seeded-loop style: the offline build has no proptest, so cases are
+//! drawn from the workspace's deterministic `rand` stub.)
 
-use proptest::prelude::*;
-use tadfa_ir::{Function, FunctionBuilder, Verifier, VReg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tadfa_ir::{Function, FunctionBuilder, VReg, Verifier};
 use tadfa_regalloc::{
-    allocate_coloring, allocate_linear_scan, policy_by_name, validate_assignment,
-    RegAllocConfig, POLICY_NAMES,
+    allocate_coloring, allocate_linear_scan, policy_by_name, validate_assignment, RegAllocConfig,
+    POLICY_NAMES,
 };
 use tadfa_thermal::{Floorplan, RegisterFile};
 
@@ -29,7 +33,7 @@ fn build(width: usize, with_loop: bool, with_diamond: bool, ops: &[usize]) -> Fu
         };
         vals.push(v);
     }
-    let mut acc = vals[vals.len() - 1];
+    let acc = vals[vals.len() - 1];
 
     if with_diamond {
         let t = b.new_block();
@@ -72,70 +76,86 @@ fn build(width: usize, with_loop: bool, with_diamond: bool, ops: &[usize]) -> Fu
     b.finish()
 }
 
-fn arb_shape() -> impl Strategy<Value = (usize, bool, bool, Vec<usize>)> {
+fn arb_shape(rng: &mut StdRng) -> (usize, bool, bool, Vec<usize>) {
     (
-        1usize..14,
-        any::<bool>(),
-        any::<bool>(),
-        prop::collection::vec(0usize..5, 14),
+        rng.gen_range(1usize..14),
+        rng.gen_bool(0.5),
+        rng.gen_bool(0.5),
+        (0..14).map(|_| rng.gen_range(0usize..5)).collect(),
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Linear scan: every policy, every shape → verifier-clean function
-    /// and interference-free assignment.
-    #[test]
-    fn linear_scan_always_valid((w, l, d, ops) in arb_shape(), policy_idx in 0usize..6) {
+/// Linear scan: every policy, every shape → verifier-clean function
+/// and interference-free assignment.
+#[test]
+fn linear_scan_always_valid() {
+    let mut rng = StdRng::seed_from_u64(0xC1);
+    for case in 0..32 {
+        let (w, l, d, ops) = arb_shape(&mut rng);
         let func = build(w, l, d, &ops);
-        prop_assert!(Verifier::new(&func).run().is_ok());
+        assert!(Verifier::new(&func).run().is_ok(), "case {case}");
 
         let rf = RegisterFile::new(Floorplan::grid(4, 4));
-        let name = POLICY_NAMES[policy_idx % POLICY_NAMES.len()];
+        let name = POLICY_NAMES[rng.gen_range(0usize..POLICY_NAMES.len())];
         let mut policy = policy_by_name(name, &rf, 3).expect("known policy");
         let mut f = func.clone();
-        let alloc = allocate_linear_scan(&mut f, &rf, policy.as_mut(), &RegAllocConfig::default());
-        let alloc = match alloc {
-            Ok(a) => a,
-            Err(e) => return Err(TestCaseError::fail(format!("{name}: {e}"))),
-        };
-        prop_assert!(Verifier::new(&f).run().is_ok());
-        prop_assert!(validate_assignment(&f, &alloc.assignment).is_empty());
+        let alloc = allocate_linear_scan(&mut f, &rf, policy.as_mut(), &RegAllocConfig::default())
+            .unwrap_or_else(|e| panic!("case {case} / {name}: {e}"));
+        assert!(Verifier::new(&f).run().is_ok(), "case {case} / {name}");
+        assert!(
+            validate_assignment(&f, &alloc.assignment).is_empty(),
+            "case {case} / {name}"
+        );
 
         // Every referenced register got a physical home.
         for (_bb, id) in f.inst_ids_in_layout_order() {
             let inst = f.inst(id);
             for &u in inst.uses() {
-                prop_assert!(alloc.assignment.preg_of(u).is_some(), "{name}: {u} unassigned");
+                assert!(
+                    alloc.assignment.preg_of(u).is_some(),
+                    "case {case} / {name}: {u} unassigned"
+                );
             }
             if let Some(dd) = inst.def() {
-                prop_assert!(alloc.assignment.preg_of(dd).is_some());
+                assert!(
+                    alloc.assignment.preg_of(dd).is_some(),
+                    "case {case} / {name}"
+                );
             }
         }
     }
+}
 
-    /// Graph coloring agrees: valid assignments on the same shapes.
-    #[test]
-    fn coloring_always_valid((w, l, d, ops) in arb_shape()) {
+/// Graph coloring agrees: valid assignments on the same shapes.
+#[test]
+fn coloring_always_valid() {
+    let mut rng = StdRng::seed_from_u64(0xC2);
+    for case in 0..32 {
+        let (w, l, d, ops) = arb_shape(&mut rng);
         let func = build(w, l, d, &ops);
         let rf = RegisterFile::new(Floorplan::grid(4, 4));
         let mut policy = policy_by_name("first-free", &rf, 3).expect("known policy");
         let mut f = func.clone();
-        let alloc = match allocate_coloring(&mut f, &rf, policy.as_mut(), &RegAllocConfig::default()) {
-            Ok(a) => a,
-            Err(e) => return Err(TestCaseError::fail(e.to_string())),
-        };
-        prop_assert!(validate_assignment(&f, &alloc.assignment).is_empty());
+        let alloc = allocate_coloring(&mut f, &rf, policy.as_mut(), &RegAllocConfig::default())
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert!(
+            validate_assignment(&f, &alloc.assignment).is_empty(),
+            "case {case}"
+        );
     }
+}
 
-    /// Spill rewriting on arbitrary live registers keeps the function
-    /// verifier-clean.
-    #[test]
-    fn spill_rewrite_keeps_functions_valid((w, l, d, ops) in arb_shape(), which in 0usize..4) {
+/// Spill rewriting on arbitrary live registers keeps the function
+/// verifier-clean.
+#[test]
+fn spill_rewrite_keeps_functions_valid() {
+    let mut rng = StdRng::seed_from_u64(0xC3);
+    for case in 0..32 {
+        let (w, l, d, ops) = arb_shape(&mut rng);
         let mut func = build(w, l, d, &ops);
+        let which = rng.gen_range(0usize..4);
         let v = VReg::new((which % func.num_vregs().max(1)) as u32);
         tadfa_regalloc::rewrite_spills(&mut func, &[v]);
-        prop_assert!(Verifier::new(&func).run().is_ok(), "{func}");
+        assert!(Verifier::new(&func).run().is_ok(), "case {case}: {func}");
     }
 }

@@ -76,7 +76,10 @@ pub fn simulate_trace(
     power_model: &PowerModel,
     config: &CosimConfig,
 ) -> ThermalTimeline {
-    assert!(config.seconds_per_cycle > 0.0, "seconds_per_cycle must be positive");
+    assert!(
+        config.seconds_per_cycle > 0.0,
+        "seconds_per_cycle must be positive"
+    );
     assert!(config.time_scale > 0.0, "time_scale must be positive");
     assert!(config.window > 0, "window must be positive");
     assert_eq!(
@@ -104,7 +107,11 @@ pub fn simulate_trace(
         }
     }
 
-    ThermalTimeline { final_state: state.clone(), peak_map, samples }
+    ThermalTimeline {
+        final_state: state.clone(),
+        peak_map,
+        samples,
+    }
 }
 
 /// Accuracy of a predicted map against a measured one — the E4 metrics.
@@ -135,7 +142,11 @@ pub fn compare_maps(
     fp: &tadfa_thermal::Floorplan,
 ) -> AccuracyReport {
     assert_eq!(predicted.len(), measured.len(), "map size mismatch");
-    assert_eq!(predicted.len(), fp.num_cells(), "maps do not match floorplan");
+    assert_eq!(
+        predicted.len(),
+        fp.num_cells(),
+        "maps do not match floorplan"
+    );
     AccuracyReport {
         rms: predicted.rms_distance(measured),
         linf: predicted.linf_distance(measured),
@@ -162,8 +173,16 @@ mod tests {
     fn hammer_trace(reg: u16, n: u64) -> AccessTrace {
         let mut t = AccessTrace::new();
         for c in 0..n {
-            t.push(AccessEvent { cycle: c, reg: PReg::new(reg), kind: AccessKind::Read });
-            t.push(AccessEvent { cycle: c, reg: PReg::new(reg), kind: AccessKind::Write });
+            t.push(AccessEvent {
+                cycle: c,
+                reg: PReg::new(reg),
+                kind: AccessKind::Read,
+            });
+            t.push(AccessEvent {
+                cycle: c,
+                reg: PReg::new(reg),
+                kind: AccessKind::Write,
+            });
         }
         t
     }
@@ -182,7 +201,13 @@ mod tests {
     #[test]
     fn empty_trace_stays_ambient() {
         let (rf, model, pm) = setup();
-        let tl = simulate_trace(&AccessTrace::new(), &rf, &model, &pm, &CosimConfig::default());
+        let tl = simulate_trace(
+            &AccessTrace::new(),
+            &rf,
+            &model,
+            &pm,
+            &CosimConfig::default(),
+        );
         assert!((tl.final_state.peak() - model.ambient()).abs() < 1e-9);
         assert!(tl.samples.is_empty());
     }
@@ -193,7 +218,11 @@ mod tests {
         let mut t = AccessTrace::new();
         for c in 0..2000 {
             let reg = if c % 2 == 0 { 0 } else { 15 };
-            t.push(AccessEvent { cycle: c, reg: PReg::new(reg), kind: AccessKind::Write });
+            t.push(AccessEvent {
+                cycle: c,
+                reg: PReg::new(reg),
+                kind: AccessKind::Write,
+            });
         }
         let tl = simulate_trace(&t, &rf, &model, &pm, &CosimConfig::default());
         let amb = model.ambient();
@@ -213,7 +242,10 @@ mod tests {
             &rf,
             &model,
             &pm,
-            &CosimConfig { leakage_feedback: false, ..CosimConfig::default() },
+            &CosimConfig {
+                leakage_feedback: false,
+                ..CosimConfig::default()
+            },
         );
         assert!(with.final_state.mean() > without.final_state.mean());
     }

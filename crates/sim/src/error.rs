@@ -59,9 +59,16 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = SimError::ArgCount { expected: 2, actual: 0 };
+        let e = SimError::ArgCount {
+            expected: 2,
+            actual: 0,
+        };
         assert!(e.to_string().contains("expected 2"));
-        let e = SimError::MemoryOutOfBounds { slot: MemSlot::new(1), index: -4, size: 8 };
+        let e = SimError::MemoryOutOfBounds {
+            slot: MemSlot::new(1),
+            index: -4,
+            size: 8,
+        };
         assert!(e.to_string().contains("-4"));
         let e = SimError::OutOfFuel { fuel: 100 };
         assert!(e.to_string().contains("100-cycle"));

@@ -60,7 +60,12 @@ pub struct Interpreter<'a> {
 impl<'a> Interpreter<'a> {
     /// An interpreter with a 10-million-cycle budget and no tracing.
     pub fn new(func: &'a Function) -> Interpreter<'a> {
-        Interpreter { func, assignment: None, fuel: 10_000_000, preloaded: Vec::new() }
+        Interpreter {
+            func,
+            assignment: None,
+            fuel: 10_000_000,
+            preloaded: Vec::new(),
+        }
     }
 
     /// Enables access tracing through the given assignment.
@@ -92,7 +97,10 @@ impl<'a> Interpreter<'a> {
     pub fn run(&self, args: &[i64]) -> Result<ExecResult, SimError> {
         let func = self.func;
         if args.len() != func.params().len() {
-            return Err(SimError::ArgCount { expected: func.params().len(), actual: args.len() });
+            return Err(SimError::ArgCount {
+                expected: func.params().len(),
+                actual: args.len(),
+            });
         }
 
         let mut regs = vec![0i64; func.num_vregs()];
@@ -100,8 +108,7 @@ impl<'a> Interpreter<'a> {
             regs[p.index()] = a;
         }
 
-        let mut memory: Vec<Vec<i64>> =
-            func.slots().iter().map(|s| vec![0i64; s.size]).collect();
+        let mut memory: Vec<Vec<i64>> = func.slots().iter().map(|s| vec![0i64; s.size]).collect();
         for (slot, data) in &self.preloaded {
             let m = &mut memory[slot.index()];
             for (i, &v) in data.iter().enumerate().take(m.len()) {
@@ -125,7 +132,11 @@ impl<'a> Interpreter<'a> {
                 if let Some(asg) = self.assignment {
                     for &u in inst.uses() {
                         if let Some(p) = asg.preg_of(u) {
-                            trace.push(AccessEvent { cycle: cycles, reg: p, kind: AccessKind::Read });
+                            trace.push(AccessEvent {
+                                cycle: cycles,
+                                reg: p,
+                                kind: AccessKind::Read,
+                            });
                         }
                     }
                 }
@@ -139,11 +150,19 @@ impl<'a> Interpreter<'a> {
                     Opcode::Mul => Some(get(inst.srcs[0]).wrapping_mul(get(inst.srcs[1]))),
                     Opcode::Div => {
                         let d = get(inst.srcs[1]);
-                        Some(if d == 0 { 0 } else { get(inst.srcs[0]).wrapping_div(d) })
+                        Some(if d == 0 {
+                            0
+                        } else {
+                            get(inst.srcs[0]).wrapping_div(d)
+                        })
                     }
                     Opcode::Rem => {
                         let d = get(inst.srcs[1]);
-                        Some(if d == 0 { 0 } else { get(inst.srcs[0]).wrapping_rem(d) })
+                        Some(if d == 0 {
+                            0
+                        } else {
+                            get(inst.srcs[0]).wrapping_rem(d)
+                        })
                     }
                     Opcode::And => Some(get(inst.srcs[0]) & get(inst.srcs[1])),
                     Opcode::Or => Some(get(inst.srcs[0]) | get(inst.srcs[1])),
@@ -224,7 +243,11 @@ impl<'a> Interpreter<'a> {
             if let Some(asg) = self.assignment {
                 for u in term.uses() {
                     if let Some(p) = asg.preg_of(u) {
-                        trace.push(AccessEvent { cycle: cycles, reg: p, kind: AccessKind::Read });
+                        trace.push(AccessEvent {
+                            cycle: cycles,
+                            reg: p,
+                            kind: AccessKind::Read,
+                        });
                     }
                 }
             }
@@ -233,8 +256,16 @@ impl<'a> Interpreter<'a> {
 
             match *term {
                 Terminator::Jump(t) => block = t,
-                Terminator::Branch { cond, then_dest, else_dest } => {
-                    block = if regs[cond.index()] != 0 { then_dest } else { else_dest };
+                Terminator::Branch {
+                    cond,
+                    then_dest,
+                    else_dest,
+                } => {
+                    block = if regs[cond.index()] != 0 {
+                        then_dest
+                    } else {
+                        else_dest
+                    };
                 }
                 Terminator::Ret(v) => {
                     return Ok(ExecResult {
@@ -378,7 +409,14 @@ mod tests {
         b.ret(Some(v));
         let f = b.finish();
         let e = Interpreter::new(&f).run(&[]).unwrap_err();
-        assert!(matches!(e, SimError::MemoryOutOfBounds { index: 9, size: 4, .. }));
+        assert!(matches!(
+            e,
+            SimError::MemoryOutOfBounds {
+                index: 9,
+                size: 4,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -398,7 +436,13 @@ mod tests {
         b.ret(Some(x));
         let f = b.finish();
         let e = Interpreter::new(&f).run(&[]).unwrap_err();
-        assert!(matches!(e, SimError::ArgCount { expected: 1, actual: 0 }));
+        assert!(matches!(
+            e,
+            SimError::ArgCount {
+                expected: 1,
+                actual: 0
+            }
+        ));
     }
 
     #[test]
@@ -411,8 +455,7 @@ mod tests {
         let mut f = b.finish();
         let rf = RegisterFile::new(Floorplan::grid(4, 4));
         let alloc =
-            allocate_linear_scan(&mut f, &rf, &mut FirstFree, &RegAllocConfig::default())
-                .unwrap();
+            allocate_linear_scan(&mut f, &rf, &mut FirstFree, &RegAllocConfig::default()).unwrap();
         let r = Interpreter::new(&f)
             .with_assignment(&alloc.assignment)
             .run(&[5])

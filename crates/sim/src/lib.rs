@@ -60,13 +60,13 @@
 #![warn(missing_debug_implementations)]
 
 mod cosim;
-mod stats;
 mod error;
 mod interp;
+mod stats;
 mod trace;
 
 pub use cosim::{compare_maps, simulate_trace, AccuracyReport, CosimConfig, ThermalTimeline};
 pub use error::SimError;
-pub use stats::RunStats;
 pub use interp::{ExecResult, Interpreter};
+pub use stats::RunStats;
 pub use trace::{AccessEvent, AccessKind, AccessTrace, WindowCounts, Windows};

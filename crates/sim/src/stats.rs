@@ -37,12 +37,15 @@ impl RunStats {
         power_model: &PowerModel,
         seconds_per_cycle: f64,
     ) -> RunStats {
-        assert!(seconds_per_cycle > 0.0, "seconds_per_cycle must be positive");
+        assert!(
+            seconds_per_cycle > 0.0,
+            "seconds_per_cycle must be positive"
+        );
         let (reads, writes) = trace.counts(0);
         let rf_reads: u64 = reads.iter().sum();
         let rf_writes: u64 = writes.iter().sum();
-        let rf_energy = rf_reads as f64 * power_model.read_energy
-            + rf_writes as f64 * power_model.write_energy;
+        let rf_energy =
+            rf_reads as f64 * power_model.read_energy + rf_writes as f64 * power_model.write_energy;
         let runtime = cycles.max(1) as f64 * seconds_per_cycle;
         RunStats {
             cycles,
@@ -92,10 +95,18 @@ mod tests {
     fn trace(reads: u64, writes: u64) -> AccessTrace {
         let mut t = AccessTrace::new();
         for c in 0..reads {
-            t.push(AccessEvent { cycle: c, reg: PReg::new(0), kind: AccessKind::Read });
+            t.push(AccessEvent {
+                cycle: c,
+                reg: PReg::new(0),
+                kind: AccessKind::Read,
+            });
         }
         for c in 0..writes {
-            t.push(AccessEvent { cycle: reads + c, reg: PReg::new(1), kind: AccessKind::Write });
+            t.push(AccessEvent {
+                cycle: reads + c,
+                reg: PReg::new(1),
+                kind: AccessKind::Write,
+            });
         }
         t
     }

@@ -53,7 +53,7 @@ impl AccessTrace {
     /// order (the interpreter guarantees this).
     pub fn push(&mut self, event: AccessEvent) {
         debug_assert!(
-            self.events.last().map_or(true, |e| e.cycle <= event.cycle),
+            self.events.last().is_none_or(|e| e.cycle <= event.cycle),
             "trace events out of order"
         );
         self.events.push(event);
@@ -120,7 +120,13 @@ impl AccessTrace {
     /// `(reads, writes)` for each window — the co-simulator's input.
     pub fn windows(&self, window: u64, num_regs: usize) -> Windows<'_> {
         assert!(window > 0, "window must be positive");
-        Windows { trace: self, window, num_regs, pos: 0, next_start: 0 }
+        Windows {
+            trace: self,
+            window,
+            num_regs,
+            pos: 0,
+            next_start: 0,
+        }
     }
 
     /// The register with the most total accesses, if any.
@@ -180,7 +186,12 @@ impl Iterator for Windows<'_> {
             self.pos += 1;
         }
         self.next_start = end;
-        Some(WindowCounts { start, end, reads, writes })
+        Some(WindowCounts {
+            start,
+            end,
+            reads,
+            writes,
+        })
     }
 }
 
@@ -189,7 +200,11 @@ mod tests {
     use super::*;
 
     fn mk(cycle: u64, reg: u16, kind: AccessKind) -> AccessEvent {
-        AccessEvent { cycle, reg: PReg::new(reg), kind }
+        AccessEvent {
+            cycle,
+            reg: PReg::new(reg),
+            kind,
+        }
     }
 
     #[test]

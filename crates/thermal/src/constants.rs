@@ -109,7 +109,8 @@ mod tests {
         let expected = 1.75e6 * 50e-6 * 50e-6 * 25e-6;
         assert!((DEFAULT_CELL_CAPACITANCE - expected).abs() < 1e-15);
         // Order of magnitude sanity: ~1e-7 J/K.
-        assert!(DEFAULT_CELL_CAPACITANCE > 1e-8 && DEFAULT_CELL_CAPACITANCE < 1e-6);
+        let cap = DEFAULT_CELL_CAPACITANCE;
+        assert!((1e-8..1e-6).contains(&cap));
     }
 
     #[test]
@@ -123,7 +124,10 @@ mod tests {
         // A register read+written every cycle at 1 GHz:
         let p = (DEFAULT_READ_ENERGY + DEFAULT_WRITE_ENERGY) / DEFAULT_SECONDS_PER_CYCLE;
         let rise_isolated = p * DEFAULT_VERTICAL_RESISTANCE;
-        assert!(rise_isolated > 20.0 && rise_isolated < 100.0, "rise {rise_isolated}");
+        assert!(
+            rise_isolated > 20.0 && rise_isolated < 100.0,
+            "rise {rise_isolated}"
+        );
     }
 
     #[test]

@@ -46,13 +46,26 @@ impl Floorplan {
     /// # Panics
     ///
     /// Panics if a dimension is zero or a size is non-positive.
-    pub fn with_cell_size(rows: usize, cols: usize, cell_width: f64, cell_height: f64) -> Floorplan {
-        assert!(rows > 0 && cols > 0, "floorplan must have at least one cell");
+    pub fn with_cell_size(
+        rows: usize,
+        cols: usize,
+        cell_width: f64,
+        cell_height: f64,
+    ) -> Floorplan {
+        assert!(
+            rows > 0 && cols > 0,
+            "floorplan must have at least one cell"
+        );
         assert!(
             cell_width > 0.0 && cell_height > 0.0,
             "cell dimensions must be positive"
         );
-        Floorplan { rows, cols, cell_width, cell_height }
+        Floorplan {
+            rows,
+            cols,
+            cell_width,
+            cell_height,
+        }
     }
 
     /// Number of rows.
@@ -91,7 +104,10 @@ impl Floorplan {
     ///
     /// Panics if out of range.
     pub fn index(&self, row: usize, col: usize) -> usize {
-        assert!(row < self.rows && col < self.cols, "cell ({row},{col}) out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "cell ({row},{col}) out of range"
+        );
         row * self.cols + col
     }
 
@@ -172,7 +188,10 @@ impl RegisterFile {
     /// One register per cell, identity placement.
     pub fn new(floorplan: Floorplan) -> RegisterFile {
         let placement = (0..floorplan.num_cells()).collect();
-        RegisterFile { floorplan, placement }
+        RegisterFile {
+            floorplan,
+            placement,
+        }
     }
 
     /// Custom register→cell placement.
@@ -188,7 +207,10 @@ impl RegisterFile {
             assert!(!seen[c], "placement cell {c} duplicated");
             seen[c] = true;
         }
-        RegisterFile { floorplan, placement }
+        RegisterFile {
+            floorplan,
+            placement,
+        }
     }
 
     /// The floorplan of this register file.

@@ -52,9 +52,8 @@ impl PowerModel {
     /// Leakage power of one cell at temperature `t` (linearised
     /// exponential, clamped at zero).
     pub fn leakage_at(&self, t: f64) -> f64 {
-        (self.leakage_per_cell
-            * (1.0 + self.leakage_temp_coeff * (t - self.reference_temp)))
-        .max(0.0)
+        (self.leakage_per_cell * (1.0 + self.leakage_temp_coeff * (t - self.reference_temp)))
+            .max(0.0)
     }
 
     /// Builds a per-cell power vector from per-register access counts

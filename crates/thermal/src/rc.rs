@@ -51,8 +51,14 @@ impl RcParams {
     /// ambient temperature is non-positive.
     pub fn validate(&self) {
         assert!(self.cell_capacitance > 0.0, "capacitance must be positive");
-        assert!(self.lateral_resistance > 0.0, "lateral resistance must be positive");
-        assert!(self.vertical_resistance > 0.0, "vertical resistance must be positive");
+        assert!(
+            self.lateral_resistance > 0.0,
+            "lateral resistance must be positive"
+        );
+        assert!(
+            self.vertical_resistance > 0.0,
+            "vertical resistance must be positive"
+        );
         assert!(self.ambient > 0.0, "ambient must be positive Kelvin");
     }
 
@@ -124,8 +130,7 @@ impl ThermalModel {
     /// conductance (4 lateral neighbours + vertical). We halve it for
     /// margin.
     pub fn max_stable_dt(&self) -> f64 {
-        let g_max = 1.0 / self.params.vertical_resistance
-            + 4.0 / self.params.lateral_resistance;
+        let g_max = 1.0 / self.params.vertical_resistance + 4.0 / self.params.lateral_resistance;
         0.5 * self.params.cell_capacitance / g_max
     }
 
@@ -226,11 +231,11 @@ mod tests {
     fn zero_power_stays_at_ambient() {
         let m = model_4x4();
         let mut s = m.ambient_state();
-        m.step(&mut s, &vec![0.0; 16], 1e-3);
+        m.step(&mut s, &[0.0; 16], 1e-3);
         for &t in s.temps() {
             assert!((t - m.ambient()).abs() < 1e-9);
         }
-        let ss = m.steady_state(&vec![0.0; 16]);
+        let ss = m.steady_state(&[0.0; 16]);
         for &t in ss.temps() {
             assert!((t - m.ambient()).abs() < 1e-6);
         }
@@ -356,8 +361,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "must be positive")]
     fn invalid_params_rejected() {
-        let mut p = RcParams::default();
-        p.vertical_resistance = -1.0;
+        let p = RcParams {
+            vertical_resistance: -1.0,
+            ..RcParams::default()
+        };
         let _ = ThermalModel::new(Floorplan::grid(2, 2), p);
     }
 }

@@ -26,7 +26,9 @@ pub struct ThermalState {
 impl ThermalState {
     /// All cells at the same temperature.
     pub fn uniform(num_cells: usize, temp: f64) -> ThermalState {
-        ThermalState { temps: vec![temp; num_cells] }
+        ThermalState {
+            temps: vec![temp; num_cells],
+        }
     }
 
     /// Wraps an explicit temperature vector.
@@ -108,8 +110,7 @@ impl ThermalState {
             return f64::NAN;
         }
         let m = self.mean();
-        (self.temps.iter().map(|t| (t - m) * (t - m)).sum::<f64>() / self.temps.len() as f64)
-            .sqrt()
+        (self.temps.iter().map(|t| (t - m) * (t - m)).sum::<f64>() / self.temps.len() as f64).sqrt()
     }
 
     /// Steepest temperature difference between 4-connected neighbour
@@ -119,7 +120,11 @@ impl ThermalState {
     ///
     /// Panics if `fp` has a different number of cells.
     pub fn max_gradient(&self, fp: &Floorplan) -> f64 {
-        assert_eq!(fp.num_cells(), self.temps.len(), "floorplan/state size mismatch");
+        assert_eq!(
+            fp.num_cells(),
+            self.temps.len(),
+            "floorplan/state size mismatch"
+        );
         let mut g: f64 = 0.0;
         for i in 0..self.temps.len() {
             for j in fp.neighbors(i) {

@@ -78,8 +78,12 @@ pub fn generate(config: &GeneratorConfig) -> Function {
     // Accumulator pool: the live set that defines register pressure.
     let mut pool: Vec<VReg> = Vec::with_capacity(config.pressure);
     for k in 0..config.pressure {
-        let init = b.iconst(rng.gen_range(-50..50) + k as i64);
-        let seeded = if k % 2 == 0 { b.add(init, p0) } else { b.xor(init, p1) };
+        let init = b.iconst(rng.gen_range(-50i64..50) + k as i64);
+        let seeded = if k % 2 == 0 {
+            b.add(init, p0)
+        } else {
+            b.xor(init, p1)
+        };
         pool.push(seeded);
     }
 
@@ -146,7 +150,14 @@ pub fn generate(config: &GeneratorConfig) -> Function {
                 } else {
                     pool[(seg + e) % pool.len()]
                 };
-                emit_expr(&mut b, &mut rng, &pool.clone(), target, config.hot_vars, config.hot_weight);
+                emit_expr(
+                    &mut b,
+                    &mut rng,
+                    &pool.clone(),
+                    target,
+                    config.hot_vars,
+                    config.hot_weight,
+                );
             }
             if let Some(slot) = scratch {
                 let idx = b.iconst(rng.gen_range(0..16));
@@ -172,19 +183,40 @@ pub fn generate(config: &GeneratorConfig) -> Function {
             let target = pool[seg % pool.len()];
             b.switch_to(then_bb);
             for _ in 0..config.exprs_per_segment / 2 {
-                emit_expr(&mut b, &mut rng, &pool.clone(), target, config.hot_vars, config.hot_weight);
+                emit_expr(
+                    &mut b,
+                    &mut rng,
+                    &pool.clone(),
+                    target,
+                    config.hot_vars,
+                    config.hot_weight,
+                );
             }
             b.jump(join);
             b.switch_to(else_bb);
             for _ in 0..config.exprs_per_segment / 2 {
-                emit_expr(&mut b, &mut rng, &pool.clone(), target, config.hot_vars, config.hot_weight);
+                emit_expr(
+                    &mut b,
+                    &mut rng,
+                    &pool.clone(),
+                    target,
+                    config.hot_vars,
+                    config.hot_weight,
+                );
             }
             b.jump(join);
             b.switch_to(join);
         } else {
             for e in 0..config.exprs_per_segment {
                 let target = pool[(seg * 3 + e) % pool.len()];
-                emit_expr(&mut b, &mut rng, &pool.clone(), target, config.hot_vars, config.hot_weight);
+                emit_expr(
+                    &mut b,
+                    &mut rng,
+                    &pool.clone(),
+                    target,
+                    config.hot_vars,
+                    config.hot_weight,
+                );
             }
         }
     }
@@ -208,7 +240,10 @@ mod tests {
     #[test]
     fn generated_programs_verify_and_terminate() {
         for seed in 0..20u64 {
-            let f = generate(&GeneratorConfig { seed, ..GeneratorConfig::default() });
+            let f = generate(&GeneratorConfig {
+                seed,
+                ..GeneratorConfig::default()
+            });
             assert!(Verifier::new(&f).run().is_ok(), "seed {seed}: {f}");
             let r = Interpreter::new(&f)
                 .with_fuel(5_000_000)
@@ -231,8 +266,14 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let f1 = generate(&GeneratorConfig { seed: 1, ..GeneratorConfig::default() });
-        let f2 = generate(&GeneratorConfig { seed: 2, ..GeneratorConfig::default() });
+        let f1 = generate(&GeneratorConfig {
+            seed: 1,
+            ..GeneratorConfig::default()
+        });
+        let f2 = generate(&GeneratorConfig {
+            seed: 2,
+            ..GeneratorConfig::default()
+        });
         assert_ne!(f1.to_string(), f2.to_string());
     }
 
@@ -246,17 +287,17 @@ mod tests {
             let cfg = Cfg::compute(&f);
             let live = Liveness::compute(&f, &cfg);
             let measured = live.max_pressure(&f);
-            assert!(
-                measured >= target,
-                "target {target}, measured {measured}"
-            );
+            assert!(measured >= target, "target {target}, measured {measured}");
         }
     }
 
     #[test]
     fn pressure_increases_monotonically_with_knob() {
         let measure = |p: usize| {
-            let f = generate(&GeneratorConfig { pressure: p, ..GeneratorConfig::default() });
+            let f = generate(&GeneratorConfig {
+                pressure: p,
+                ..GeneratorConfig::default()
+            });
             let cfg = Cfg::compute(&f);
             Liveness::compute(&f, &cfg).max_pressure(&f)
         };
@@ -265,7 +306,11 @@ mod tests {
 
     #[test]
     fn loops_requested_loops_delivered() {
-        let f = generate(&GeneratorConfig { loops: 3, segments: 5, ..GeneratorConfig::default() });
+        let f = generate(&GeneratorConfig {
+            loops: 3,
+            segments: 5,
+            ..GeneratorConfig::default()
+        });
         let cfg = Cfg::compute(&f);
         let dom = tadfa_ir::DomTree::compute(&f, &cfg);
         let li = tadfa_ir::LoopInfo::compute(&f, &cfg, &dom);
@@ -274,9 +319,15 @@ mod tests {
 
     #[test]
     fn memory_variant_runs() {
-        let f = generate(&GeneratorConfig { memory: true, ..GeneratorConfig::default() });
+        let f = generate(&GeneratorConfig {
+            memory: true,
+            ..GeneratorConfig::default()
+        });
         assert!(Verifier::new(&f).run().is_ok());
-        let r = Interpreter::new(&f).with_fuel(5_000_000).run(&[5, 9]).unwrap();
+        let r = Interpreter::new(&f)
+            .with_fuel(5_000_000)
+            .run(&[5, 9])
+            .unwrap();
         assert!(r.cycles > 0);
         assert_eq!(f.slots().len(), 1);
     }
@@ -284,6 +335,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "pressure must be at least 1")]
     fn zero_pressure_rejected() {
-        let _ = generate(&GeneratorConfig { pressure: 0, ..GeneratorConfig::default() });
+        let _ = generate(&GeneratorConfig {
+            pressure: 0,
+            ..GeneratorConfig::default()
+        });
     }
 }

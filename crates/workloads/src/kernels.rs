@@ -332,7 +332,7 @@ pub fn saxpy(len: i64) -> Workload {
     let out = b.load(ys, last);
     b.ret(Some(out));
 
-    let xv: Vec<i64> = (0..len).map(|i| i).collect();
+    let xv: Vec<i64> = (0..len).collect();
     let yv: Vec<i64> = (0..len).map(|i| 100 - i).collect();
     let a_arg = 3i64;
     let expected = a_arg * (len - 1) + (100 - (len - 1));
@@ -486,7 +486,9 @@ mod tests {
         for (slot, data) in &w.preload {
             interp = interp.with_slot_data(*slot, data.clone());
         }
-        let r = interp.run(&w.args).unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+        let r = interp
+            .run(&w.args)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
         if let Some(exp) = w.expected {
             assert_eq!(r.ret, Some(exp), "{} wrong answer", w.name);
         }

@@ -67,8 +67,7 @@ mod tests {
     fn suite_has_eleven_distinct_kernels() {
         let suite = standard_suite();
         assert_eq!(suite.len(), 11);
-        let names: std::collections::BTreeSet<&str> =
-            suite.iter().map(|w| w.name).collect();
+        let names: std::collections::BTreeSet<&str> = suite.iter().map(|w| w.name).collect();
         assert_eq!(names.len(), 11, "names unique");
     }
 

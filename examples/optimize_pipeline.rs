@@ -6,28 +6,27 @@
 
 use tadfa::prelude::*;
 
-fn main() {
+fn main() -> Result<(), TadfaError> {
     let w = tadfa::workloads::fibonacci();
     let mut func = w.func.clone();
-    let rf = RegisterFile::new(Floorplan::grid(8, 8));
-
-    let config = PipelineConfig {
-        opts: vec![OptKind::SpillCritical, OptKind::SpreadSchedule, OptKind::CooldownNops],
-        ..PipelineConfig::default()
-    };
 
     // Spreading policy: spilling only dissolves hot spots when the reload
-    // temporaries can rotate across the file (see DESIGN.md).
-    let mut policy = RoundRobin::default();
-    let outcome = run_thermal_pipeline(
-        &mut func,
-        &rf,
-        &mut policy,
-        RcParams::default(),
-        PowerModel::default(),
-        &config,
-    )
-    .expect("pipeline runs on fibonacci");
+    // temporaries can rotate across the file (see DESIGN.md). The policy
+    // is the session's choice — the pipeline just uses it.
+    let mut session = Session::builder()
+        .floorplan(8, 8)
+        .policy_name("round-robin", 0)
+        .build()?;
+
+    let config = PipelineConfig {
+        opts: vec![
+            OptKind::SpillCritical,
+            OptKind::SpreadSchedule,
+            OptKind::CooldownNops,
+        ],
+        ..PipelineConfig::default()
+    };
+    let outcome = session.optimize(&mut func, &config)?;
 
     println!("thermal optimization pipeline on '{}'\n", w.name);
     println!("passes applied:");
@@ -38,10 +37,22 @@ fn main() {
     println!("\n{:<22} {:>12} {:>12}", "metric", "before", "after");
     let b = &outcome.before;
     let a = &outcome.after;
-    println!("{:<22} {:>12.2} {:>12.2}", "peak (K)", b.map.peak, a.map.peak);
-    println!("{:<22} {:>12.3} {:>12.3}", "max gradient (K)", b.map.max_gradient, a.map.max_gradient);
-    println!("{:<22} {:>12.3} {:>12.3}", "sigma (K)", b.map.stddev, a.map.stddev);
-    println!("{:<22} {:>12.0} {:>12.0}", "weighted cycles", b.weighted_cycles, a.weighted_cycles);
+    println!(
+        "{:<22} {:>12.2} {:>12.2}",
+        "peak (K)", b.map.peak, a.map.peak
+    );
+    println!(
+        "{:<22} {:>12.3} {:>12.3}",
+        "max gradient (K)", b.map.max_gradient, a.map.max_gradient
+    );
+    println!(
+        "{:<22} {:>12.3} {:>12.3}",
+        "sigma (K)", b.map.stddev, a.map.stddev
+    );
+    println!(
+        "{:<22} {:>12.0} {:>12.0}",
+        "weighted cycles", b.weighted_cycles, a.weighted_cycles
+    );
     println!("{:<22} {:>12} {:>12}", "instructions", b.insts, a.insts);
 
     let dp = b.map.peak - a.map.peak;
@@ -52,12 +63,20 @@ fn main() {
     );
 
     // Confirm the program still computes the same thing.
-    let golden = Interpreter::new(&w.func).run(&w.args).expect("original runs");
-    let optimized = Interpreter::new(&func).run(&w.args).expect("optimized runs");
-    assert_eq!(golden.ret, optimized.ret, "optimizations preserve semantics");
+    let golden = Interpreter::new(&w.func)
+        .run(&w.args)
+        .expect("original runs");
+    let optimized = Interpreter::new(&func)
+        .run(&w.args)
+        .expect("optimized runs");
+    assert_eq!(
+        golden.ret, optimized.ret,
+        "optimizations preserve semantics"
+    );
     println!(
         "semantics preserved: fib({}) = {} before and after.",
         w.args[0],
         golden.ret.expect("fibonacci returns a value")
     );
+    Ok(())
 }

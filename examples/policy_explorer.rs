@@ -8,7 +8,7 @@ use tadfa::prelude::*;
 use tadfa::sim::{simulate_trace, CosimConfig};
 use tadfa::workloads::{generate, GeneratorConfig};
 
-fn sigma_under(policy_name: &str, pressure: usize, rf: &RegisterFile) -> Option<(f64, f64)> {
+fn sigma_under(session: &mut Session, policy_name: &str, pressure: usize) -> Option<(f64, f64)> {
     let func = generate(&GeneratorConfig {
         seed: 77 + pressure as u64,
         pressure,
@@ -20,21 +20,20 @@ fn sigma_under(policy_name: &str, pressure: usize, rf: &RegisterFile) -> Option<
         hot_vars: 0,
         hot_weight: 8,
     });
-    let mut func = func;
-    let mut policy = tadfa::regalloc::policy_by_name(policy_name, rf, 9)?;
-    let alloc =
-        allocate_linear_scan(&mut func, rf, policy.as_mut(), &RegAllocConfig::default()).ok()?;
-    let exec = Interpreter::new(&func)
-        .with_assignment(&alloc.assignment)
+    session.set_policy_name(policy_name, 9).ok()?;
+    let report = session.analyze(&func).ok()?;
+    let exec = Interpreter::new(&report.func)
+        .with_assignment(&report.assignment)
         .with_fuel(50_000_000)
         .run(&[3, 7])
         .ok()?;
-    let model = ThermalModel::new(rf.floorplan().clone(), RcParams::default());
+    let rf = session.register_file();
+    let model = ThermalModel::new(rf.floorplan().clone(), session.rc_params());
     let map = simulate_trace(
         &exec.trace,
         rf,
         &model,
-        &PowerModel::default(),
+        &session.power_model(),
         &CosimConfig::default(),
     )
     .peak_map;
@@ -42,24 +41,29 @@ fn sigma_under(policy_name: &str, pressure: usize, rf: &RegisterFile) -> Option<
     Some((stats.peak, stats.stddev))
 }
 
-fn main() {
-    let rf = RegisterFile::new(Floorplan::grid(8, 8));
-    let half = rf.num_regs() / 2;
+fn main() -> Result<(), TadfaError> {
+    let mut session = Session::builder().floorplan(8, 8).build()?;
+    let half = session.register_file().num_regs() / 2;
     println!(
         "chessboard degradation with register pressure (RF = {} regs, half = {half})\n",
-        rf.num_regs()
+        session.register_file().num_regs()
     );
-    println!("{:>8}  {:>10} {:>9}  {:>10} {:>9}", "pressure", "ff peak", "ff σ", "cb peak", "cb σ");
+    println!(
+        "{:>8}  {:>10} {:>9}  {:>10} {:>9}",
+        "pressure", "ff peak", "ff σ", "cb peak", "cb σ"
+    );
 
     for pressure in [4usize, 12, 20, 28, 36, 44, 52] {
-        let ff = sigma_under("first-free", pressure, &rf);
-        let cb = sigma_under("chessboard", pressure, &rf);
+        let ff = sigma_under(&mut session, "first-free", pressure);
+        let cb = sigma_under(&mut session, "chessboard", pressure);
         match (ff, cb) {
             (Some((fp, fs)), Some((cp, cs))) => {
-                let marker = if pressure > half { "  <- past half the file" } else { "" };
-                println!(
-                    "{pressure:>8}  {fp:>10.2} {fs:>9.3}  {cp:>10.2} {cs:>9.3}{marker}"
-                );
+                let marker = if pressure > half {
+                    "  <- past half the file"
+                } else {
+                    ""
+                };
+                println!("{pressure:>8}  {fp:>10.2} {fs:>9.3}  {cp:>10.2} {cs:>9.3}{marker}");
             }
             _ => println!("{pressure:>8}  (allocation failed — pressure exceeds the file)"),
         }
@@ -70,4 +74,5 @@ fn main() {
          half, white cells fill up and its advantage erodes — \"thermal gradients may \
          still appear … even trying to apply the chessboard pattern\" (§2)."
     );
+    Ok(())
 }

@@ -7,32 +7,36 @@
 use tadfa::prelude::*;
 use tadfa::sim::{simulate_trace, CosimConfig};
 
-fn main() {
+fn main() -> Result<(), TadfaError> {
     let w = tadfa::workloads::matmul(5);
-    let rf = RegisterFile::new(Floorplan::grid(8, 8));
+    let mut session = Session::builder()
+        .floorplan(8, 8)
+        .predictive_config(PredictiveConfig {
+            prior: PlacementPrior::FirstFree,
+            ..PredictiveConfig::default()
+        })
+        .build()?;
     println!("predictive (pre-assignment) analysis on '{}'\n", w.name);
 
     // 1. Predict, with no assignment in hand: loop-weighted access
     //    frequencies + a rehearsal of the expected allocator behaviour.
-    let predictive = PredictiveDfa::new(
-        &w.func,
-        &rf,
-        RcParams::default(),
-        PowerModel::default(),
-        PredictiveConfig { prior: PlacementPrior::FirstFree, ..PredictiveConfig::default() },
-    );
-    let prediction = predictive.run().expect("prediction runs");
+    let prediction = session.predict(&w.func)?;
 
     println!("predicted hottest variables (before any assignment!):");
     for (v, score) in prediction.ranked.iter().take(5) {
         println!("  {v}: {score:.3e}");
     }
     println!("\npredicted map (auto-scaled):");
-    print!("{}", render_ascii_auto(&prediction.expected_map, rf.floorplan()));
+    print!(
+        "{}",
+        render_ascii_auto(
+            &prediction.expected_map,
+            session.register_file().floorplan()
+        )
+    );
 
     // 2. Use the prediction: coldest-first assignment over the predicted
-    //    cell scores.
-    let mut func = w.func.clone();
+    //    cell scores, installed as the session's policy.
     let mut scores = prediction.cell_scores();
     let max = scores.iter().cloned().fold(0.0f64, f64::max);
     if max > 0.0 {
@@ -40,24 +44,24 @@ fn main() {
             *s /= max;
         }
     }
-    let mut policy = ColdestFirst::new(scores, 0.25);
-    let alloc = allocate_linear_scan(&mut func, &rf, &mut policy, &RegAllocConfig::default())
-        .expect("matmul allocates");
+    session.set_policy(Box::new(ColdestFirst::new(scores, 0.25)));
+    let report = session.analyze(&w.func)?;
 
     // 3. Check the result against ground truth.
-    let mut interp = Interpreter::new(&func)
-        .with_assignment(&alloc.assignment)
+    let mut interp = Interpreter::new(&report.func)
+        .with_assignment(&report.assignment)
         .with_fuel(50_000_000);
     for (slot, data) in &w.preload {
         interp = interp.with_slot_data(*slot, data.clone());
     }
     let exec = interp.run(&w.args).expect("matmul runs");
-    let model = ThermalModel::new(rf.floorplan().clone(), RcParams::default());
+    let rf = session.register_file();
+    let model = ThermalModel::new(rf.floorplan().clone(), session.rc_params());
     let measured = simulate_trace(
         &exec.trace,
-        &rf,
+        rf,
         &model,
-        &PowerModel::default(),
+        &session.power_model(),
         &CosimConfig::default(),
     )
     .peak_map;
@@ -65,11 +69,15 @@ fn main() {
     let stats = MapStats::of(&measured, rf.floorplan());
     println!("\nmeasured map after prediction-driven assignment:");
     print!("{}", render_ascii_auto(&measured, rf.floorplan()));
-    println!("\npeak {:.2} K, σ {:.3} K — compare `cargo run -p tadfa-bench --bin predictive_eval`", stats.peak, stats.stddev);
+    println!(
+        "\npeak {:.2} K, σ {:.3} K — compare `cargo run -p tadfa-bench --bin predictive_eval`",
+        stats.peak, stats.stddev
+    );
 
     let acc = compare_maps(&prediction.expected_map, &measured, rf.floorplan());
     println!(
         "prediction vs measurement: RMS {:.3} K, Pearson {:.3}, hotspot distance {} cells",
         acc.rms, acc.pearson, acc.hotspot_distance
     );
+    Ok(())
 }

@@ -1,68 +1,70 @@
-//! Quickstart: build a kernel, allocate registers, run the thermal data
-//! flow analysis, and print the predicted heat map.
+//! Quickstart: configure a `Session` once, analyze a kernel, and print
+//! the predicted heat map.
 //!
 //! Run: `cargo run --example quickstart`
 
 use tadfa::prelude::*;
 
-fn main() {
+fn main() -> Result<(), TadfaError> {
     // A small kernel: iterative Fibonacci, two registers hammered in a
     // tight loop — the canonical hot-spot producer.
     let workload = tadfa::workloads::fibonacci();
-    let mut func = workload.func.clone();
     println!("kernel '{}': {}\n", workload.name, workload.description);
 
-    // Allocate onto an 8×8 register file with the compiler-default
-    // ordered first-free policy ("the same small set of registers is
-    // chosen again and again", §2 of the paper).
-    let rf = RegisterFile::new(Floorplan::grid(8, 8));
-    let alloc = allocate_linear_scan(&mut func, &rf, &mut FirstFree, &RegAllocConfig::default())
-        .expect("fibonacci fits any sane register file");
+    // One façade owns everything: an 8×8 register file, the
+    // compiler-default ordered first-free policy ("the same small set of
+    // registers is chosen again and again", §2 of the paper), the
+    // analysis grid, and the paper's default δ. Validation happens here,
+    // once; every problem is a `TadfaError`, never a panic.
+    let mut session = Session::builder()
+        .floorplan(8, 8)
+        .policy_name("first-free", 0)
+        .build()?;
+
+    // Run the paper's analysis (Fig. 2): allocate, then iterate the
+    // thermal dataflow fixpoint until no instruction's state changes by
+    // more than δ.
+    let report = session.analyze(&workload.func)?;
     println!(
         "allocated {} virtual registers onto {} physical (spills: {})",
-        func.num_vregs(),
-        alloc.assignment.distinct_pregs_used(),
-        alloc.stats.spilled
+        report.func.num_vregs(),
+        report.assignment.distinct_pregs_used(),
+        report.alloc_stats.spilled
     );
 
-    // Run the paper's analysis (Fig. 2): a forward dataflow fixpoint
-    // whose fact is the RF thermal state, iterated until no instruction's
-    // state changes by more than δ.
-    let grid = AnalysisGrid::full(&rf, RcParams::default());
-    let config = ThermalDfaConfig::default();
-    let result = ThermalDfa::new(&func, &alloc.assignment, &grid, PowerModel::default(), config)
-        .run();
-
-    match result.convergence {
-        Convergence::Converged { iterations } => {
-            println!("thermal DFA converged in {iterations} iterations (δ = {} K)", config.delta)
-        }
-        Convergence::DidNotConverge { iterations, residual } => println!(
+    match report.convergence() {
+        Convergence::Converged { iterations } => println!(
+            "thermal DFA converged in {iterations} iterations (δ = {} K)",
+            session.dfa_config().delta
+        ),
+        Convergence::DidNotConverge {
+            iterations,
+            residual,
+        } => println!(
             "thermal DFA did NOT converge after {iterations} iterations (residual {residual:.4} K)"
         ),
     }
 
-    let peak_map = result.peak_map();
     println!(
         "\npredicted peak temperature: {:.2} K ({:.2} K above ambient)",
-        result.peak_temperature(),
-        result.peak_temperature() - result.ambient()
+        report.peak_temperature(),
+        report.peak_temperature() - report.ambient()
     );
     println!("predicted worst-case heat map (auto-scaled):\n");
-    print!("{}", render_ascii_auto(&peak_map, rf.floorplan()));
-
-    // Which variables are responsible?
-    let critical = CriticalSet::identify(
-        &func,
-        &alloc.assignment,
-        &grid,
-        &result,
-        &PowerModel::default(),
-        CriticalConfig::default(),
+    print!(
+        "{}",
+        render_ascii_auto(&report.predicted, session.register_file().floorplan())
     );
+
+    // Which variables are responsible? The critical set rides the report.
     println!("\nhottest variables (heat exposure, J·K):");
-    for (v, e) in critical.ranked().iter().take(5) {
-        let mark = if critical.is_critical(*v) { " [CRITICAL]" } else { "" };
+    for (v, e) in report.critical.ranked().iter().take(5) {
+        let mark = if report.critical.is_critical(*v) {
+            " [CRITICAL]"
+        } else {
+            ""
+        };
         println!("  {v}: {e:.3e}{mark}");
     }
+    Ok(())
 }

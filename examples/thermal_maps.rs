@@ -11,7 +11,7 @@ use tadfa::prelude::*;
 use tadfa::sim::{simulate_trace, CosimConfig};
 use tadfa::thermal::render_ascii;
 
-fn measured_map(policy: &mut dyn AssignmentPolicy, rf: &RegisterFile) -> ThermalState {
+fn measured_map(session: &mut Session, policy_name: &str, seed: u64) -> ThermalState {
     let w = tadfa::workloads::generate(&tadfa::workloads::GeneratorConfig {
         seed: 2009,
         segments: 6,
@@ -23,48 +23,56 @@ fn measured_map(policy: &mut dyn AssignmentPolicy, rf: &RegisterFile) -> Thermal
         hot_vars: 0,
         hot_weight: 8,
     });
-    let mut func = w.clone();
-    let alloc = allocate_linear_scan(&mut func, rf, policy, &RegAllocConfig::default())
-        .expect("generated workload allocates");
+    session
+        .set_policy_name(policy_name, seed)
+        .expect("known policy");
+    let report = session.analyze(&w).expect("generated workload analyzes");
 
-    let exec = Interpreter::new(&func)
-        .with_assignment(&alloc.assignment)
+    let exec = Interpreter::new(&report.func)
+        .with_assignment(&report.assignment)
         .with_fuel(50_000_000)
         .run(&[3, 7])
         .expect("generated workload runs");
 
-    let model = ThermalModel::new(rf.floorplan().clone(), RcParams::default());
-    simulate_trace(&exec.trace, rf, &model, &PowerModel::default(), &CosimConfig::default())
-        .peak_map
+    let rf = session.register_file();
+    let model = ThermalModel::new(rf.floorplan().clone(), session.rc_params());
+    simulate_trace(
+        &exec.trace,
+        rf,
+        &model,
+        &session.power_model(),
+        &CosimConfig::default(),
+    )
+    .peak_map
 }
 
-fn main() {
-    let rf = RegisterFile::new(Floorplan::grid(8, 8));
+fn main() -> Result<(), TadfaError> {
+    let mut session = Session::builder().floorplan(8, 8).build()?;
     println!("Fig. 1 reproduction: same program, three assignment policies\n");
 
     let mut maps = Vec::new();
     let mut lo = f64::INFINITY;
     let mut hi = f64::NEG_INFINITY;
 
-    let mut ff = FirstFree;
-    let mut rnd = RandomPolicy::new(3);
-    let mut cb = Chessboard::default();
-    let policies: Vec<(&str, &mut dyn AssignmentPolicy)> = vec![
-        ("(a) deterministic order", &mut ff),
-        ("(b) random", &mut rnd),
-        ("(c) chessboard", &mut cb),
-    ];
-    for (label, policy) in policies {
-        let map = measured_map(policy, &rf);
+    for (label, policy) in [
+        ("(a) deterministic order", "first-free"),
+        ("(b) random", "random"),
+        ("(c) chessboard", "chessboard"),
+    ] {
+        let map = measured_map(&mut session, policy, 3);
         lo = lo.min(map.min());
         hi = hi.max(map.peak());
         maps.push((label, map));
     }
 
+    let fp = session.register_file().floorplan();
     for (label, map) in &maps {
-        let stats = MapStats::of(map, rf.floorplan());
-        println!("{label} — peak {:.2} K, σ {:.3} K, ∇max {:.3} K", stats.peak, stats.stddev, stats.max_gradient);
-        println!("{}", render_ascii(map, rf.floorplan(), lo, hi));
+        let stats = MapStats::of(map, fp);
+        println!(
+            "{label} — peak {:.2} K, σ {:.3} K, ∇max {:.3} K",
+            stats.peak, stats.stddev, stats.max_gradient
+        );
+        println!("{}", render_ascii(map, fp, lo, hi));
     }
 
     println!(
@@ -72,4 +80,5 @@ fn main() {
          region; random and chessboard spread it — and only chessboard does so \
          deterministically."
     );
+    Ok(())
 }

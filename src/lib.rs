@@ -10,34 +10,42 @@
 //! | [`dataflow`] | worklist solver, liveness, reaching defs, available exprs, bitwidth, live intervals |
 //! | [`thermal`] | register-file floorplan, RC compact model, power model, heat maps |
 //! | [`regalloc`] | linear-scan + coloring allocators, Fig. 1 assignment policies |
-//! | [`core`] | **the paper**: the thermal DFA (Fig. 2), δ-convergence, critical variables, predictive mode |
+//! | [`core`] | **the paper**: the [`Session`](crate::prelude::Session) façade, the thermal DFA (Fig. 2), δ-convergence, critical variables, predictive mode |
 //! | [`opt`] | §4 optimizations: spill-critical, splitting, scheduling, promotion, NOPs |
 //! | [`sim`] | IR interpreter, access traces, thermal co-simulation (ground truth) |
 //! | [`workloads`] | benchmark kernels + seeded program generator |
 //!
 //! ## Quickstart
 //!
+//! Everything goes through one façade: a [`Session`](crate::prelude::Session)
+//! owns the register file, analysis grid, power model, configs and
+//! assignment policy, validates them once at build time, and is reused
+//! across every function analyzed. Errors are
+//! [`TadfaError`](crate::prelude::TadfaError) values — never panics —
+//! and non-convergence of the fixpoint is reported as data.
+//!
 //! ```
 //! use tadfa::prelude::*;
 //!
-//! // 1. A workload.
+//! // 1. Configure the whole pipeline once: an 8×8 register file, the
+//! //    compiler-default (hot-spot-producing) first-free policy, and
+//! //    the paper's default δ and merge rule.
+//! let mut session = Session::builder()
+//!     .floorplan(8, 8)
+//!     .policy_name("first-free", 0)
+//!     .build()?;
+//!
+//! // 2. Analyze any number of functions against that shared state.
 //! let w = tadfa::workloads::fibonacci();
+//! let report = session.analyze(&w.func)?;
+//! assert!(report.convergence().is_converged());
+//! assert!(report.peak_temperature() > report.ambient());
+//!
+//! // 3. The §4 optimizations ride the same session.
 //! let mut func = w.func.clone();
-//!
-//! // 2. Allocate registers onto an 8×8 file with the compiler-default
-//! //    (hot-spot-producing) first-free policy.
-//! let rf = RegisterFile::new(Floorplan::grid(8, 8));
-//! let alloc = allocate_linear_scan(
-//!     &mut func, &rf, &mut FirstFree, &RegAllocConfig::default()).unwrap();
-//!
-//! // 3. Run the paper's thermal data flow analysis.
-//! let grid = AnalysisGrid::full(&rf, RcParams::default());
-//! let result = ThermalDfa::new(
-//!     &func, &alloc.assignment, &grid,
-//!     PowerModel::default(), ThermalDfaConfig::default()).run();
-//!
-//! assert!(result.convergence.is_converged());
-//! assert!(result.peak_temperature() > grid.model().ambient());
+//! let outcome = session.optimize(&mut func, &PipelineConfig::default())?;
+//! assert!(outcome.after.map.peak > 0.0);
+//! # Ok::<(), tadfa::prelude::TadfaError>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -55,11 +63,12 @@ pub use tadfa_workloads as workloads;
 pub mod prelude {
     pub use tadfa_core::{
         AnalysisGrid, Convergence, CriticalConfig, CriticalSet, MergeRule, PlacementPrior,
-        PredictiveConfig, PredictiveDfa, ThermalDfa, ThermalDfaConfig,
+        PredictiveConfig, PredictiveDfa, Session, SessionBuilder, TadfaError, ThermalDfa,
+        ThermalDfaConfig, ThermalReport,
     };
     pub use tadfa_dataflow::{DefUse, Liveness};
     pub use tadfa_ir::{Cfg, Function, FunctionBuilder, Opcode, PReg, VReg, Verifier};
-    pub use tadfa_opt::{run_thermal_pipeline, OptKind, PipelineConfig};
+    pub use tadfa_opt::{run_thermal_pipeline, OptKind, PipelineConfig, SessionOptimize};
     pub use tadfa_regalloc::{
         allocate_coloring, allocate_linear_scan, AssignmentPolicy, Chessboard, ColdestFirst,
         FarthestSpread, FirstFree, RandomPolicy, RegAllocConfig, RoundRobin,

@@ -6,25 +6,21 @@ use tadfa::prelude::*;
 use tadfa::sim::{simulate_trace, CosimConfig};
 use tadfa::workloads::{generate, GeneratorConfig};
 
-fn measured_stats(
-    func: &tadfa::ir::Function,
-    rf: &RegisterFile,
-    policy: &mut dyn AssignmentPolicy,
-) -> MapStats {
-    let mut func = func.clone();
-    let alloc = allocate_linear_scan(&mut func, rf, policy, &RegAllocConfig::default())
-        .expect("workload allocates");
-    let exec = Interpreter::new(&func)
-        .with_assignment(&alloc.assignment)
+fn measured_stats(session: &mut Session, func: &tadfa::ir::Function, policy: &str) -> MapStats {
+    session.set_policy_name(policy, 3).expect("known policy");
+    let report = session.analyze(func).expect("workload analyzes");
+    let exec = Interpreter::new(&report.func)
+        .with_assignment(&report.assignment)
         .with_fuel(50_000_000)
         .run(&[3, 7])
         .expect("workload runs");
-    let model = ThermalModel::new(rf.floorplan().clone(), RcParams::default());
+    let rf = session.register_file();
+    let model = ThermalModel::new(rf.floorplan().clone(), session.rc_params());
     let map = simulate_trace(
         &exec.trace,
         rf,
         &model,
-        &PowerModel::default(),
+        &session.power_model(),
         &CosimConfig::default(),
     )
     .peak_map;
@@ -49,16 +45,31 @@ fn fig1_workload(pressure: usize) -> tadfa::ir::Function {
 /// uneven map; chessboard and random are far more uniform.
 #[test]
 fn e1_first_free_is_the_hot_spot_producer() {
-    let rf = RegisterFile::new(Floorplan::grid(8, 8));
+    let mut session = Session::builder().floorplan(8, 8).build().unwrap();
     let func = fig1_workload(24);
 
-    let ff = measured_stats(&func, &rf, &mut FirstFree);
-    let cb = measured_stats(&func, &rf, &mut Chessboard::default());
-    let rnd = measured_stats(&func, &rf, &mut RandomPolicy::new(3));
+    let ff = measured_stats(&mut session, &func, "first-free");
+    let cb = measured_stats(&mut session, &func, "chessboard");
+    let rnd = measured_stats(&mut session, &func, "random");
 
-    assert!(ff.peak > cb.peak + 1.0, "ff {:.2} vs cb {:.2}", ff.peak, cb.peak);
-    assert!(ff.peak > rnd.peak + 1.0, "ff {:.2} vs rnd {:.2}", ff.peak, rnd.peak);
-    assert!(ff.stddev > 2.0 * cb.stddev, "ff σ {:.3} vs cb σ {:.3}", ff.stddev, cb.stddev);
+    assert!(
+        ff.peak > cb.peak + 1.0,
+        "ff {:.2} vs cb {:.2}",
+        ff.peak,
+        cb.peak
+    );
+    assert!(
+        ff.peak > rnd.peak + 1.0,
+        "ff {:.2} vs rnd {:.2}",
+        ff.peak,
+        rnd.peak
+    );
+    assert!(
+        ff.stddev > 2.0 * cb.stddev,
+        "ff σ {:.3} vs cb σ {:.3}",
+        ff.stddev,
+        cb.stddev
+    );
     assert!(
         ff.max_gradient > cb.max_gradient,
         "ff ∇ {:.3} vs cb ∇ {:.3}",
@@ -71,9 +82,9 @@ fn e1_first_free_is_the_hot_spot_producer() {
 /// half the register file.
 #[test]
 fn e2_chessboard_degrades_past_half_pressure() {
-    let rf = RegisterFile::new(Floorplan::grid(8, 8));
-    let low = measured_stats(&fig1_workload(12), &rf, &mut Chessboard::default());
-    let high = measured_stats(&fig1_workload(40), &rf, &mut Chessboard::default());
+    let mut session = Session::builder().floorplan(8, 8).build().unwrap();
+    let low = measured_stats(&mut session, &fig1_workload(12), "chessboard");
+    let high = measured_stats(&mut session, &fig1_workload(40), "chessboard");
     assert!(
         high.stddev > 1.5 * low.stddev,
         "σ low-pressure {:.3} vs past-half {:.3}",
@@ -83,35 +94,32 @@ fn e2_chessboard_degrades_past_half_pressure() {
 }
 
 /// E3 / Fig. 2: iterations grow as δ shrinks; the iteration cap reports
-/// non-convergence.
+/// non-convergence — as data on a successful analysis, never a panic.
 #[test]
 fn e3_delta_controls_iterations() {
-    let rf = RegisterFile::new(Floorplan::grid(4, 4));
-    let mut func = tadfa::workloads::fibonacci().func;
-    let alloc =
-        allocate_linear_scan(&mut func, &rf, &mut FirstFree, &RegAllocConfig::default())
-            .unwrap();
-    let grid = AnalysisGrid::full(&rf, RcParams::default());
-    let pm = PowerModel::default();
+    let mut session = Session::builder().floorplan(4, 4).build().unwrap();
+    let func = tadfa::workloads::fibonacci().func;
 
-    let run = |delta: f64, cap: usize| {
-        let cfg = ThermalDfaConfig {
-            delta,
-            max_iterations: cap,
-            time_scale: 10_000.0,
-            ..ThermalDfaConfig::default()
-        };
-        ThermalDfa::new(&func, &alloc.assignment, &grid, pm, cfg).run()
+    let mut run = |delta: f64, cap: usize| {
+        session
+            .set_dfa_config(ThermalDfaConfig {
+                delta,
+                max_iterations: cap,
+                time_scale: 10_000.0,
+                ..ThermalDfaConfig::default()
+            })
+            .expect("sweep config is valid");
+        session.analyze(&func).expect("fib analyzes")
     };
 
     let loose = run(1.0, 1000);
     let tight = run(1e-3, 1000);
-    assert!(loose.convergence.is_converged());
-    assert!(tight.convergence.is_converged());
-    assert!(tight.convergence.iterations() > loose.convergence.iterations());
+    assert!(loose.convergence().is_converged());
+    assert!(tight.convergence().is_converged());
+    assert!(tight.convergence().iterations() > loose.convergence().iterations());
 
     let capped = run(1e-9, 3);
-    assert!(!capped.convergence.is_converged());
+    assert!(!capped.convergence().is_converged());
 }
 
 /// E5 / §3: finer analysis grids predict strictly better (RMS against
@@ -122,33 +130,36 @@ fn e3_delta_controls_iterations() {
 /// canonical fib(30).
 #[test]
 fn e5_finer_grids_predict_better() {
-    let rf = RegisterFile::new(Floorplan::grid(8, 8));
-    let pm = PowerModel::default();
-    let dfa_config = ThermalDfaConfig::default();
+    let mut full_session = Session::builder().floorplan(8, 8).build().unwrap();
     let w = tadfa::workloads::fibonacci();
-    let mut func = w.func.clone();
-    let alloc =
-        allocate_linear_scan(&mut func, &rf, &mut FirstFree, &RegAllocConfig::default())
-            .unwrap();
+    let report = full_session.analyze(&w.func).unwrap();
 
     // Ground truth from a saturated run.
-    let exec = Interpreter::new(&func)
-        .with_assignment(&alloc.assignment)
+    let exec = Interpreter::new(&report.func)
+        .with_assignment(&report.assignment)
         .with_fuel(50_000_000)
         .run(&[3000])
         .unwrap();
-    let model = ThermalModel::new(rf.floorplan().clone(), RcParams::default());
+    let rf = full_session.register_file();
+    let fp = rf.floorplan().clone();
+    let model = ThermalModel::new(fp.clone(), full_session.rc_params());
+    let dfa_config = full_session.dfa_config();
     let cosim = CosimConfig {
         seconds_per_cycle: dfa_config.seconds_per_cycle,
         time_scale: dfa_config.time_scale,
         ..CosimConfig::default()
     };
-    let truth = simulate_trace(&exec.trace, &rf, &model, &pm, &cosim).peak_map;
+    let truth =
+        simulate_trace(&exec.trace, rf, &model, &full_session.power_model(), &cosim).peak_map;
 
     let rms_at = |rows: usize, cols: usize| {
-        let grid = AnalysisGrid::coarsened(&rf, RcParams::default(), rows, cols);
-        let r = ThermalDfa::new(&func, &alloc.assignment, &grid, pm, dfa_config).run();
-        compare_maps(&grid.upsample(&r.peak_map()), &truth, rf.floorplan()).rms
+        let mut session = Session::builder()
+            .floorplan(8, 8)
+            .granularity(rows, cols)
+            .build()
+            .unwrap();
+        let r = session.analyze(&w.func).unwrap();
+        compare_maps(&r.predicted, &truth, &fp).rms
     };
 
     let coarse = rms_at(1, 1);
@@ -162,46 +173,26 @@ fn e5_finer_grids_predict_better() {
 /// kernel before any assignment exists.
 #[test]
 fn e7_predictive_set_overlaps_measured_hot_variables() {
-    let rf = RegisterFile::new(Floorplan::grid(8, 8));
-    let pm = PowerModel::default();
+    let mut session = Session::builder()
+        .floorplan(8, 8)
+        .critical_config(CriticalConfig { temp_fraction: 0.5 })
+        .build()
+        .unwrap();
     let w = tadfa::workloads::fibonacci();
 
-    let pred = PredictiveDfa::new(
-        &w.func,
-        &rf,
-        RcParams::default(),
-        pm,
-        PredictiveConfig::default(),
-    )
-    .run()
-    .unwrap();
+    let pred = session.predict(&w.func).unwrap();
     let predicted = pred.predicted_critical(0.3);
     assert!(!predicted.is_empty());
 
-    let mut func = w.func.clone();
-    let alloc =
-        allocate_linear_scan(&mut func, &rf, &mut FirstFree, &RegAllocConfig::default())
-            .unwrap();
-    let grid = AnalysisGrid::full(&rf, RcParams::default());
-    let result =
-        ThermalDfa::new(&func, &alloc.assignment, &grid, pm, ThermalDfaConfig::default()).run();
-    let measured = CriticalSet::identify(
-        &func,
-        &alloc.assignment,
-        &grid,
-        &result,
-        &pm,
-        CriticalConfig { temp_fraction: 0.5 },
-    );
-
+    let report = session.analyze(&w.func).unwrap();
     let overlap = predicted
         .iter()
-        .filter(|v| measured.is_critical(**v))
+        .filter(|v| report.critical.is_critical(**v))
         .count();
     assert!(
         overlap > 0,
         "no overlap between predicted {:?} and measured {:?}",
         predicted,
-        measured.critical()
+        report.critical.critical()
     );
 }

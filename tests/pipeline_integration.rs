@@ -1,4 +1,4 @@
-//! Cross-crate integration: full workload → allocation → analysis →
+//! Cross-crate integration: full workload → `Session` analysis →
 //! optimization → re-execution flows.
 
 use tadfa::prelude::*;
@@ -7,30 +7,32 @@ use tadfa::sim::{simulate_trace, CosimConfig};
 /// Every suite kernel survives the full pipeline with semantics intact.
 #[test]
 fn whole_suite_through_the_full_pipeline() {
-    let rf = RegisterFile::new(Floorplan::grid(8, 8));
+    let mut session = Session::builder()
+        .floorplan(8, 8)
+        .policy_name("round-robin", 0)
+        .build()
+        .unwrap();
     for w in standard_suite() {
         // Golden result on the untouched program.
         let mut golden_interp = Interpreter::new(&w.func).with_fuel(50_000_000);
         for (slot, data) in &w.preload {
             golden_interp = golden_interp.with_slot_data(*slot, data.clone());
         }
-        let golden = golden_interp.run(&w.args).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let golden = golden_interp
+            .run(&w.args)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
 
         // Optimize.
         let mut func = w.func.clone();
-        let mut policy = RoundRobin::default();
-        let outcome = run_thermal_pipeline(
-            &mut func,
-            &rf,
-            &mut policy,
-            RcParams::default(),
-            PowerModel::default(),
-            &PipelineConfig {
-                opts: vec![OptKind::SpillCritical, OptKind::SpreadSchedule],
-                ..PipelineConfig::default()
-            },
-        )
-        .unwrap_or_else(|e| panic!("{}: pipeline failed: {e}", w.name));
+        let outcome = session
+            .optimize(
+                &mut func,
+                &PipelineConfig {
+                    opts: vec![OptKind::SpillCritical, OptKind::SpreadSchedule],
+                    ..PipelineConfig::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("{}: pipeline failed: {e}", w.name));
 
         // The optimized program verifies and computes the same answer.
         assert!(Verifier::new(&func).run().is_ok(), "{}: {func}", w.name);
@@ -38,7 +40,9 @@ fn whole_suite_through_the_full_pipeline() {
         for (slot, data) in &w.preload {
             opt_interp = opt_interp.with_slot_data(*slot, data.clone());
         }
-        let optimized = opt_interp.run(&w.args).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let optimized = opt_interp
+            .run(&w.args)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
         assert_eq!(golden.ret, optimized.ret, "{}: semantics changed", w.name);
 
         // And the reported summaries are sane.
@@ -48,46 +52,31 @@ fn whole_suite_through_the_full_pipeline() {
 }
 
 /// The analysis chain (allocate → DFA → critical set) works on every
-/// suite kernel under every built-in policy.
+/// suite kernel under every built-in policy — all through one session.
 #[test]
 fn every_policy_analyses_every_kernel() {
-    let rf = RegisterFile::new(Floorplan::grid(8, 8));
-    let grid = AnalysisGrid::full(&rf, RcParams::default());
-    let pm = PowerModel::default();
+    let mut session = Session::builder().floorplan(8, 8).build().unwrap();
     for w in standard_suite() {
         for name in tadfa::regalloc::POLICY_NAMES {
-            let mut func = w.func.clone();
-            let mut policy =
-                tadfa::regalloc::policy_by_name(name, &rf, 11).expect("known policy");
-            let alloc = allocate_linear_scan(
-                &mut func,
-                &rf,
-                policy.as_mut(),
-                &RegAllocConfig::default(),
-            )
-            .unwrap_or_else(|e| panic!("{}/{name}: {e}", w.name));
+            session.set_policy_name(name, 11).expect("known policy");
+            let report = session
+                .analyze(&w.func)
+                .unwrap_or_else(|e| panic!("{}/{name}: {e}", w.name));
             assert!(
-                tadfa::regalloc::validate_assignment(&func, &alloc.assignment).is_empty(),
+                tadfa::regalloc::validate_assignment(&report.func, &report.assignment).is_empty(),
                 "{}/{name}: conflicting assignment",
                 w.name
             );
-            let result =
-                ThermalDfa::new(&func, &alloc.assignment, &grid, pm, ThermalDfaConfig::default())
-                    .run();
             assert!(
-                result.convergence.is_converged(),
+                report.convergence().is_converged(),
                 "{}/{name}: DFA did not converge",
                 w.name
             );
-            let critical = CriticalSet::identify(
-                &func,
-                &alloc.assignment,
-                &grid,
-                &result,
-                &pm,
-                CriticalConfig::default(),
+            assert!(
+                !report.critical.ranked().is_empty(),
+                "{}/{name}: no exposure at all",
+                w.name
             );
-            assert!(!critical.ranked().is_empty(), "{}/{name}: no exposure at all", w.name);
         }
     }
 }
@@ -96,36 +85,33 @@ fn every_policy_analyses_every_kernel() {
 /// kernels (E4's headline claim, asserted cheaply).
 #[test]
 fn prediction_correlates_with_measurement() {
-    let rf = RegisterFile::new(Floorplan::grid(8, 8));
-    let grid = AnalysisGrid::full(&rf, RcParams::default());
-    let pm = PowerModel::default();
-    let dfa_config = ThermalDfaConfig::default();
+    let mut session = Session::builder().floorplan(8, 8).build().unwrap();
 
-    for w in [tadfa::workloads::fibonacci(), tadfa::workloads::checksum(32)] {
-        let mut func = w.func.clone();
-        let alloc =
-            allocate_linear_scan(&mut func, &rf, &mut FirstFree, &RegAllocConfig::default())
-                .unwrap();
-        let result =
-            ThermalDfa::new(&func, &alloc.assignment, &grid, pm, dfa_config).run();
-        let predicted = grid.upsample(&result.peak_map());
+    for w in [
+        tadfa::workloads::fibonacci(),
+        tadfa::workloads::checksum(32),
+    ] {
+        let report = session.analyze(&w.func).unwrap();
 
-        let mut interp = Interpreter::new(&func)
-            .with_assignment(&alloc.assignment)
+        let mut interp = Interpreter::new(&report.func)
+            .with_assignment(&report.assignment)
             .with_fuel(50_000_000);
         for (slot, data) in &w.preload {
             interp = interp.with_slot_data(*slot, data.clone());
         }
         let exec = interp.run(&w.args).unwrap();
-        let model = ThermalModel::new(rf.floorplan().clone(), RcParams::default());
+        let rf = session.register_file();
+        let model = ThermalModel::new(rf.floorplan().clone(), session.rc_params());
+        let dfa_config = session.dfa_config();
         let cosim = CosimConfig {
             seconds_per_cycle: dfa_config.seconds_per_cycle,
             time_scale: dfa_config.time_scale,
             ..CosimConfig::default()
         };
-        let measured = simulate_trace(&exec.trace, &rf, &model, &pm, &cosim).peak_map;
+        let measured =
+            simulate_trace(&exec.trace, rf, &model, &session.power_model(), &cosim).peak_map;
 
-        let acc = compare_maps(&predicted, &measured, rf.floorplan());
+        let acc = compare_maps(&report.predicted, &measured, rf.floorplan());
         assert!(
             acc.pearson > 0.5,
             "{}: prediction decorrelated (r = {:.3})",
@@ -151,7 +137,7 @@ fn prediction_correlates_with_measurement() {
 #[test]
 fn spill_roundtrip_under_tiny_register_file() {
     // Pressure 12 on a 6-register file forces heavy spilling.
-    let rf = RegisterFile::new(Floorplan::grid(2, 3));
+    let mut session = Session::builder().floorplan(2, 3).build().unwrap();
     let func = tadfa::workloads::generate(&tadfa::workloads::GeneratorConfig {
         seed: 31,
         pressure: 12,
@@ -163,18 +149,19 @@ fn spill_roundtrip_under_tiny_register_file() {
         hot_vars: 0,
         hot_weight: 8,
     });
-    let golden = Interpreter::new(&func).with_fuel(5_000_000).run(&[3, 7]).unwrap();
+    let golden = Interpreter::new(&func)
+        .with_fuel(5_000_000)
+        .run(&[3, 7])
+        .unwrap();
 
-    let mut spilled_func = func.clone();
-    let alloc = allocate_linear_scan(
-        &mut spilled_func,
-        &rf,
-        &mut FirstFree,
-        &RegAllocConfig::default(),
-    )
-    .expect("pressure 12 must still allocate on 6 registers via spilling");
-    assert!(alloc.stats.spilled > 0, "6 registers cannot hold pressure 12");
-    let optimized = Interpreter::new(&spilled_func)
+    let report = session
+        .analyze(&func)
+        .expect("pressure 12 must still allocate on 6 registers via spilling");
+    assert!(
+        report.alloc_stats.spilled > 0,
+        "6 registers cannot hold pressure 12"
+    );
+    let optimized = Interpreter::new(&report.func)
         .with_fuel(10_000_000)
         .run(&[3, 7])
         .unwrap();

@@ -1,132 +1,136 @@
-//! Cross-crate property tests (proptest): the invariants that must hold
-//! for *every* program the generator can produce.
+//! Cross-crate property tests: the invariants that must hold for
+//! *every* program the generator can produce.
+//!
+//! (Seeded-loop style: the offline build has no proptest, so each
+//! property draws its cases from the workspace's deterministic `rand`
+//! stub — same coverage intent, reproducible by seed.)
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use tadfa::prelude::*;
 use tadfa::workloads::{generate, GeneratorConfig};
 
-fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
-    (
-        any::<u64>(),
-        1usize..6,
-        1usize..8,
-        1usize..12,
-        0usize..3,
-        prop::bool::ANY,
-    )
-        .prop_map(|(seed, segments, exprs, pressure, loops, memory)| GeneratorConfig {
-            seed,
-            segments,
-            exprs_per_segment: exprs,
-            pressure,
-            loops: loops.min(segments),
-            trip_count: 10,
-            memory,
-            hot_vars: 0,
-            hot_weight: 8,
-        })
+fn case_config(rng: &mut StdRng) -> GeneratorConfig {
+    let segments = rng.gen_range(1usize..6);
+    GeneratorConfig {
+        seed: rng.gen_range(0u64..u64::MAX),
+        segments,
+        exprs_per_segment: rng.gen_range(1usize..8),
+        pressure: rng.gen_range(1usize..12),
+        loops: rng.gen_range(0usize..3).min(segments),
+        trip_count: 10,
+        memory: rng.gen_bool(0.5),
+        hot_vars: 0,
+        hot_weight: 8,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every generated program verifies, allocates conflict-free under
-    /// every policy, and executes deterministically.
-    #[test]
-    fn generated_programs_allocate_and_run(config in arb_config()) {
+/// Every generated program verifies, allocates conflict-free under
+/// every policy, and executes deterministically.
+#[test]
+fn generated_programs_allocate_and_run() {
+    let mut rng = StdRng::seed_from_u64(0xE1);
+    let mut session = Session::builder().floorplan(4, 4).build().unwrap();
+    for case in 0..24 {
+        let config = case_config(&mut rng);
         let func = generate(&config);
-        prop_assert!(Verifier::new(&func).run().is_ok());
+        assert!(Verifier::new(&func).run().is_ok(), "case {case}");
 
-        let rf = RegisterFile::new(Floorplan::grid(4, 4));
         for name in ["first-free", "chessboard", "round-robin"] {
-            let mut f = func.clone();
-            let mut policy = tadfa::regalloc::policy_by_name(name, &rf, 5).expect("known");
-            let alloc = allocate_linear_scan(
-                &mut f, &rf, policy.as_mut(), &RegAllocConfig::default());
-            let alloc = match alloc {
-                Ok(a) => a,
-                Err(e) => return Err(TestCaseError::fail(format!("{name}: {e}"))),
-            };
-            prop_assert!(tadfa::regalloc::validate_assignment(&f, &alloc.assignment).is_empty());
+            session.set_policy_name(name, 5).expect("known policy");
+            let report = session
+                .analyze(&func)
+                .unwrap_or_else(|e| panic!("case {case} / {name}: {e}"));
+            assert!(
+                tadfa::regalloc::validate_assignment(&report.func, &report.assignment).is_empty(),
+                "case {case} / {name}: conflicting assignment"
+            );
 
             // Allocation rewrites (spills) never change results.
             let golden = Interpreter::new(&func).with_fuel(5_000_000).run(&[1, 2]);
-            let rewritten = Interpreter::new(&f).with_fuel(10_000_000).run(&[1, 2]);
+            let rewritten = Interpreter::new(&report.func)
+                .with_fuel(10_000_000)
+                .run(&[1, 2]);
             match (golden, rewritten) {
-                (Ok(a), Ok(b)) => prop_assert_eq!(a.ret, b.ret),
-                (a, b) => return Err(TestCaseError::fail(format!("exec mismatch: {a:?} vs {b:?}"))),
+                (Ok(a), Ok(b)) => assert_eq!(a.ret, b.ret, "case {case} / {name}"),
+                (a, b) => panic!("case {case} / {name}: exec mismatch: {a:?} vs {b:?}"),
             }
         }
     }
+}
 
-    /// The thermal DFA converges on every generated program (max merge,
-    /// default δ) and never predicts below ambient.
-    #[test]
-    fn dfa_converges_and_stays_above_ambient(config in arb_config()) {
-        let mut func = generate(&config);
-        let rf = RegisterFile::new(Floorplan::grid(4, 4));
-        let alloc = match allocate_linear_scan(
-            &mut func, &rf, &mut FirstFree, &RegAllocConfig::default()) {
-            Ok(a) => a,
-            Err(e) => return Err(TestCaseError::fail(e.to_string())),
-        };
-        let grid = AnalysisGrid::full(&rf, RcParams::default());
-        let result = ThermalDfa::new(
-            &func, &alloc.assignment, &grid,
-            PowerModel::default(), ThermalDfaConfig::default()).run();
-        prop_assert!(result.convergence.is_converged());
-        let peak_map = result.peak_map();
-        prop_assert!(peak_map.min() >= grid.model().ambient() - 1e-9);
-        prop_assert!(peak_map.peak() < 600.0, "physically absurd temperature");
-    }
-
-    /// Printer/parser round-trip is the identity on generated programs.
-    #[test]
-    fn text_roundtrip_is_identity(config in arb_config()) {
+/// The thermal DFA converges on every generated program (max merge,
+/// default δ) and never predicts below ambient.
+#[test]
+fn dfa_converges_and_stays_above_ambient() {
+    let mut rng = StdRng::seed_from_u64(0xE2);
+    let mut session = Session::builder().floorplan(4, 4).build().unwrap();
+    for case in 0..24 {
+        let config = case_config(&mut rng);
         let func = generate(&config);
-        let text = func.to_string();
-        let reparsed = tadfa::ir::parse_function(&text)
-            .map_err(|e| TestCaseError::fail(e.to_string()))?;
-        prop_assert_eq!(text, reparsed.to_string());
+        let report = session
+            .analyze(&func)
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert!(report.convergence().is_converged(), "case {case}");
+        let peak_map = report.dfa.peak_map();
+        assert!(peak_map.min() >= report.ambient() - 1e-9, "case {case}");
+        assert!(
+            peak_map.peak() < 600.0,
+            "case {case}: physically absurd temperature"
+        );
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// Printer/parser round-trip is the identity on generated programs.
+#[test]
+fn text_roundtrip_is_identity() {
+    let mut rng = StdRng::seed_from_u64(0xE3);
+    for case in 0..24 {
+        let config = case_config(&mut rng);
+        let func = generate(&config);
+        let text = func.to_string();
+        let reparsed =
+            tadfa::ir::parse_function(&text).unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert_eq!(text, reparsed.to_string(), "case {case}");
+    }
+}
 
-    /// RC steady state is monotone in power: more power anywhere never
-    /// cools anything.
-    #[test]
-    fn steady_state_monotone_in_power(
-        base in prop::collection::vec(0.0f64..1e-3, 16),
-        extra_cell in 0usize..16,
-        extra in 0.0f64..1e-3,
-    ) {
-        let model = ThermalModel::new(Floorplan::grid(4, 4), RcParams::default());
+/// RC steady state is monotone in power: more power anywhere never
+/// cools anything.
+#[test]
+fn steady_state_monotone_in_power() {
+    let mut rng = StdRng::seed_from_u64(0xE4);
+    let model = ThermalModel::new(Floorplan::grid(4, 4), RcParams::default());
+    for case in 0..32 {
+        let base: Vec<f64> = (0..16).map(|_| rng.gen_range(0.0f64..1e-3)).collect();
+        let extra_cell = rng.gen_range(0usize..16);
+        let extra = rng.gen_range(0.0f64..1e-3);
         let s1 = model.steady_state(&base);
         let mut boosted = base.clone();
         boosted[extra_cell] += extra;
         let s2 = model.steady_state(&boosted);
         for i in 0..16 {
-            prop_assert!(s2.get(i) >= s1.get(i) - 1e-6);
+            assert!(s2.get(i) >= s1.get(i) - 1e-6, "case {case}, cell {i}");
         }
     }
+}
 
-    /// Transient never overshoots: temperatures stay between ambient and
-    /// the isolated-rise bound of the strongest source.
-    #[test]
-    fn transient_bounded(
-        power in prop::collection::vec(0.0f64..2e-3, 16),
-        dt in 1e-6f64..5e-3,
-    ) {
-        let model = ThermalModel::new(Floorplan::grid(4, 4), RcParams::default());
+/// Transient never overshoots: temperatures stay between ambient and
+/// the isolated-rise bound of the strongest source.
+#[test]
+fn transient_bounded() {
+    let mut rng = StdRng::seed_from_u64(0xE5);
+    let model = ThermalModel::new(Floorplan::grid(4, 4), RcParams::default());
+    for case in 0..32 {
+        let power: Vec<f64> = (0..16).map(|_| rng.gen_range(0.0f64..2e-3)).collect();
+        let dt = rng.gen_range(1e-6f64..5e-3);
         let mut s = model.ambient_state();
         model.step(&mut s, &power, dt);
         let total: f64 = power.iter().sum();
         let bound = model.isolated_rise(total);
         for i in 0..16 {
-            prop_assert!(s.get(i) >= model.ambient() - 1e-9);
-            prop_assert!(s.get(i) <= bound + 1e-6);
+            assert!(s.get(i) >= model.ambient() - 1e-9, "case {case}, cell {i}");
+            assert!(s.get(i) <= bound + 1e-6, "case {case}, cell {i}");
         }
     }
 }

@@ -1,0 +1,251 @@
+//! Acceptance tests for the `Session` façade: the whole workload suite
+//! through `analyze_batch`, the thermal invariants every report must
+//! satisfy, and one test per `TadfaError` shape — including the
+//! oscillating-`Average`-merge case, which must surface as convergence
+//! *data*, never a panic or error.
+
+use tadfa::prelude::*;
+
+/// `analyze_batch` over every kernel in `tadfa-workloads`: every report
+/// converges under the default (Max-merge) config, and the peak
+/// temperatures obey the invariants the model guarantees.
+#[test]
+fn batch_over_the_whole_suite_converges_with_sane_peaks() {
+    let mut session = Session::builder().floorplan(8, 8).build().unwrap();
+    let suite = standard_suite();
+    let funcs: Vec<Function> = suite.iter().map(|w| w.func.clone()).collect();
+
+    let reports = session.analyze_batch(&funcs);
+    assert_eq!(reports.len(), suite.len());
+    for (w, r) in suite.iter().zip(reports) {
+        let r = r.unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert!(
+            r.convergence().is_converged(),
+            "{}: did not converge",
+            w.name
+        );
+        // Peak is above ambient (every kernel touches registers) and
+        // physically sane.
+        assert!(r.peak_temperature() > r.ambient(), "{}", w.name);
+        assert!(r.peak_temperature() < 600.0, "{}: absurd peak", w.name);
+        // The peak map dominates every per-instruction state by
+        // construction (element-wise max), so no state exceeds it.
+        let peak = r.dfa.peak_map().peak();
+        assert!((peak - r.peak_temperature()).abs() < 1e-12, "{}", w.name);
+    }
+}
+
+/// Monotonicity of the peak temperature in the analysis granularity:
+/// coarser grids spatially average, so their peaks never exceed the
+/// full-resolution peak (the §3 accuracy/cost trade-off in invariant
+/// form).
+#[test]
+fn peak_temperature_monotone_in_granularity() {
+    let suite = standard_suite();
+    let peaks_at = |gr: usize, gc: usize| -> Vec<f64> {
+        let mut session = Session::builder()
+            .floorplan(8, 8)
+            .granularity(gr, gc)
+            .build()
+            .unwrap();
+        suite
+            .iter()
+            .map(|w| session.analyze(&w.func).unwrap().peak_temperature())
+            .collect()
+    };
+    let coarse = peaks_at(2, 2);
+    let full = peaks_at(8, 8);
+    for ((w, &c), &f) in suite.iter().zip(&coarse).zip(&full) {
+        assert!(
+            c <= f + 1e-6,
+            "{}: coarse peak {c:.3} exceeds full-resolution peak {f:.3}",
+            w.name
+        );
+    }
+}
+
+/// Max merge upper-bounds Average merge on every suite kernel — the
+/// conservative-lattice invariant, checked through pure session
+/// reconfiguration (no grid rebuilds).
+#[test]
+fn max_merge_bounds_average_merge() {
+    let mut session = Session::builder().floorplan(8, 8).build().unwrap();
+    for w in standard_suite() {
+        session
+            .set_dfa_config(ThermalDfaConfig::default().with_merge(MergeRule::Max))
+            .unwrap();
+        let max_peak = session.analyze(&w.func).unwrap().peak_temperature();
+        session
+            .set_dfa_config(ThermalDfaConfig::default().with_merge(MergeRule::Average))
+            .unwrap();
+        let avg_peak = session.analyze(&w.func).unwrap().peak_temperature();
+        assert!(
+            max_peak >= avg_peak - 1e-9,
+            "{}: max {max_peak:.3} < average {avg_peak:.3}",
+            w.name
+        );
+    }
+}
+
+// ---- TadfaError variants, one by one --------------------------------
+
+#[test]
+fn invalid_delta_is_invalid_config() {
+    let e = Session::builder()
+        .dfa_config(ThermalDfaConfig::default().with_delta(0.0))
+        .build()
+        .unwrap_err();
+    assert!(
+        matches!(e, TadfaError::InvalidConfig { param: "delta", .. }),
+        "{e}"
+    );
+}
+
+#[test]
+fn empty_floorplan_is_reported() {
+    let e = Session::builder().floorplan(8, 0).build().unwrap_err();
+    assert!(
+        matches!(e, TadfaError::EmptyFloorplan { rows: 8, cols: 0 }),
+        "{e}"
+    );
+}
+
+#[test]
+fn empty_grid_is_reported() {
+    let e = Session::builder().granularity(0, 0).build().unwrap_err();
+    assert!(
+        matches!(e, TadfaError::EmptyGrid { rows: 0, cols: 0 }),
+        "{e}"
+    );
+}
+
+#[test]
+fn too_fine_grid_is_reported() {
+    let e = Session::builder()
+        .floorplan(4, 4)
+        .granularity(16, 16)
+        .build()
+        .unwrap_err();
+    assert!(
+        matches!(
+            e,
+            TadfaError::GridTooFine {
+                rows: 16,
+                cols: 16,
+                phys_rows: 4,
+                phys_cols: 4
+            }
+        ),
+        "{e}"
+    );
+}
+
+#[test]
+fn state_size_mismatch_is_reported() {
+    let session = Session::builder().floorplan(4, 4).build().unwrap();
+    let foreign = ThermalState::uniform(3, 300.0);
+    let e = session.grid().upsample(&foreign).unwrap_err();
+    assert!(
+        matches!(
+            e,
+            TadfaError::StateSizeMismatch {
+                expected: 16,
+                got: 3
+            }
+        ),
+        "{e}"
+    );
+}
+
+#[test]
+fn unknown_policy_is_reported() {
+    let e = Session::builder()
+        .policy_name("thermal-voodoo", 1)
+        .build()
+        .unwrap_err();
+    assert!(
+        matches!(e, TadfaError::UnknownPolicy(ref n) if n == "thermal-voodoo"),
+        "{e}"
+    );
+}
+
+#[test]
+fn allocation_failure_is_reported_not_panicked() {
+    // A 1-register file cannot host spill temporaries.
+    let mut session = Session::builder().floorplan(1, 1).build().unwrap();
+    let w = tadfa::workloads::fibonacci();
+    let e = session.analyze(&w.func).unwrap_err();
+    assert!(matches!(e, TadfaError::Alloc(_)), "{e}");
+    // The error chains to the allocator's own error for diagnostics.
+    assert!(std::error::Error::source(&e).is_some());
+}
+
+/// The paper's §4 caveat in executable form: a program whose paths
+/// oscillate between hot and cold usage under `MergeRule::Average` with
+/// a tight δ and budget hits the iteration cap — and that outcome is
+/// **data** (`Convergence::DidNotConverge` on an `Ok` report), not an
+/// error and not a panic.
+#[test]
+fn average_merge_non_convergence_is_data_not_panic() {
+    // Two loop bodies with very different register traffic feeding one
+    // header: the averaged entry state keeps sloshing.
+    let mut b = FunctionBuilder::new("oscillator");
+    let header = b.new_block();
+    let hot = b.new_block();
+    let cold = b.new_block();
+    let exit = b.new_block();
+    let n = b.iconst(1000);
+    let i = b.iconst(0);
+    let acc = b.iconst(1);
+    b.jump(header);
+    b.switch_to(header);
+    let done = b.cmpge(i, n);
+    let one = b.iconst(1);
+    let parity = b.and(i, one);
+    let odd = b.cmpne(parity, n);
+    b.branch(done, exit, hot);
+    b.switch_to(hot);
+    let t1 = b.mul(acc, acc);
+    let t2 = b.mul(t1, acc);
+    let t3 = b.add(t2, t1);
+    b.mov_into(acc, t3);
+    let i2 = b.add(i, one);
+    b.mov_into(i, i2);
+    b.branch(odd, header, cold);
+    b.switch_to(cold);
+    let i3 = b.add(i, one);
+    b.mov_into(i, i3);
+    b.jump(header);
+    b.switch_to(exit);
+    b.ret(Some(acc));
+    let func = b.finish();
+
+    let mut session = Session::builder()
+        .floorplan(4, 4)
+        .dfa_config(
+            ThermalDfaConfig::default()
+                .with_merge(MergeRule::Average)
+                .with_delta(1e-9)
+                .with_max_iterations(5),
+        )
+        .build()
+        .unwrap();
+    let report = session
+        .analyze(&func)
+        .expect("non-convergence is not an error");
+    match report.convergence() {
+        Convergence::DidNotConverge {
+            iterations,
+            residual,
+        } => {
+            assert_eq!(iterations, 5);
+            assert!(residual > 1e-9);
+        }
+        Convergence::Converged { .. } => {
+            panic!("tight δ with a 5-iteration cap cannot converge")
+        }
+    }
+    // The partial result is still usable data.
+    assert!(report.peak_temperature() >= report.ambient());
+    assert!(!report.dfa.residual_history.is_empty());
+}
