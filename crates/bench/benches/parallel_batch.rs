@@ -1,0 +1,117 @@
+//! The scaling benchmark the engine exists for: the sequential
+//! `Session::analyze_batch` vs the parallel `Engine` at 1/2/4 workers,
+//! cold-cache vs warm-cache, on the standard suite replicated 4× (the
+//! repeated-kernel stream a compiler batch or policy sweep produces).
+//!
+//! Two claims are checked and printed:
+//!
+//! 1. throughput — engine at 4 workers vs the sequential baseline
+//!    (worker-pool parallelism plus memoised RC solves);
+//! 2. identity — parallel reports are byte-identical (equal
+//!    fingerprints, in order) to sequential ones.
+//!
+//! Run: `cargo bench -p tadfa-bench --bench parallel_batch`
+
+use tadfa_bench::quickbench::{fmt_duration, Harness};
+use tadfa_core::{Engine, Session};
+use tadfa_ir::Function;
+use tadfa_workloads::replicated_suite;
+
+const REPLICAS: usize = 4;
+
+fn session() -> Session {
+    Session::builder()
+        .floorplan(8, 8)
+        .policy_name("first-free", 0)
+        .build()
+        .expect("bench session is valid")
+}
+
+fn main() {
+    let funcs: Vec<Function> = replicated_suite(REPLICAS)
+        .into_iter()
+        .map(|w| w.func)
+        .collect();
+    println!(
+        "standard suite x{REPLICAS} = {} functions, {} hardware threads\n",
+        funcs.len(),
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    );
+
+    let mut h = Harness::new();
+    h.sample_size = 10;
+
+    let mut sequential = session();
+    h.bench_function("sequential/analyze_batch", || {
+        sequential
+            .analyze_batch(&funcs)
+            .into_iter()
+            .map(|r| r.expect("suite analyzes").peak_temperature())
+            .fold(0.0f64, f64::max)
+    });
+
+    for workers in [1usize, 2, 4] {
+        let engine = Engine::from_session(&sequential, workers).expect("replicable policy");
+        h.bench_function(&format!("engine_{workers}w/cold_cache"), || {
+            engine.clear_cache();
+            engine
+                .analyze_batch_parallel(&funcs)
+                .into_iter()
+                .map(|r| r.expect("suite analyzes").peak_temperature())
+                .fold(0.0f64, f64::max)
+        });
+    }
+
+    // Warm cache: same engine, cache pre-populated by the first run and
+    // never cleared.
+    let warm_engine = Engine::from_session(&sequential, 4).expect("replicable policy");
+    let _ = warm_engine.analyze_batch_parallel(&funcs);
+    h.bench_function("engine_4w/warm_cache", || {
+        warm_engine
+            .analyze_batch_parallel(&funcs)
+            .into_iter()
+            .map(|r| r.expect("suite analyzes").peak_temperature())
+            .fold(0.0f64, f64::max)
+    });
+
+    h.report();
+
+    let base = h
+        .mean_of("sequential/analyze_batch")
+        .expect("benched")
+        .as_secs_f64();
+    println!();
+    for name in [
+        "engine_1w/cold_cache",
+        "engine_2w/cold_cache",
+        "engine_4w/cold_cache",
+        "engine_4w/warm_cache",
+    ] {
+        let t = h.mean_of(name).expect("benched").as_secs_f64();
+        println!(
+            "speedup {name:<22} vs sequential: {:.2}x ({} per batch)",
+            base / t.max(1e-12),
+            fmt_duration(std::time::Duration::from_secs_f64(t)),
+        );
+    }
+    let stats = warm_engine.cache_stats();
+    println!(
+        "solve cache: {} entries, hit rate {:.1}%",
+        stats.entries,
+        100.0 * stats.hit_rate(),
+    );
+
+    // Identity: parallel reports byte-identical to sequential, in order.
+    let seq_prints: Vec<u128> = sequential
+        .analyze_batch(&funcs)
+        .into_iter()
+        .map(|r| r.expect("suite analyzes").fingerprint())
+        .collect();
+    let par_prints: Vec<u128> = warm_engine
+        .analyze_batch_parallel(&funcs)
+        .into_iter()
+        .map(|r| r.expect("suite analyzes").fingerprint())
+        .collect();
+    assert_eq!(seq_prints, par_prints, "parallel must match sequential");
+    println!("parallel results byte-identical to sequential: true");
+}

@@ -47,8 +47,9 @@ pub struct PolicyEval {
     pub measured_stats: MapStats,
     /// Summary of the predicted map.
     pub predicted_stats: MapStats,
-    /// The DFA result (convergence diagnostics).
-    pub dfa: ThermalDfaResult,
+    /// The DFA result (convergence diagnostics), shared with the
+    /// report it came from.
+    pub dfa: std::sync::Arc<ThermalDfaResult>,
     /// Dynamic cycles of the traced run.
     pub cycles: u64,
     /// Virtual registers spilled during allocation.

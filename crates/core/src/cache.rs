@@ -1,0 +1,282 @@
+//! The thermal-solve memo cache.
+//!
+//! The thermal DFA fixpoint is ~99% of an analysis call (allocation,
+//! criticality ranking and upsampling are comparatively free), and its
+//! result is a pure function of the *power profile* the allocated
+//! function deposits on the analysis grid — which registers each
+//! instruction touches, with what energy, for how long, in what control
+//! flow — together with the grid's RC parameters and the DFA config.
+//! When the same kernel appears repeatedly across a suite (replicated
+//! benchmarks, policy sweeps over a fixed suite, re-analysis in an
+//! optimization loop), every repetition re-runs an identical fixpoint.
+//!
+//! A [`SolveCache`] memoises those solves whole: the key is a 128-bit
+//! quantized hash of the power profile
+//! ([`ThermalDfa::signature`](crate::ThermalDfa::signature), built on
+//! [`tadfa_thermal::hashing`]), the value the complete
+//! [`ThermalDfaResult`].
+//!
+//! At the default quantum of `0.0` only bit-identical profiles share a
+//! key, so a cached answer is exactly the answer the solver would
+//! produce — analyses run *with* the cache are byte-identical to
+//! analyses run without it, which the engine's determinism tests
+//! assert. A coarser quantum trades that guarantee for a higher hit
+//! rate (profiles closer than the quantum are answered by whichever
+//! was solved first).
+//!
+//! The cache is sharded and lock-per-shard, so engine workers contend
+//! only when they touch the same shard at the same instant; entries are
+//! shared [`Arc`]s, so a hit clones a pointer, not the state vectors.
+//! Insertion stops (lookups continue) once `capacity` entries are
+//! resident, bounding memory on unbounded streams.
+
+use crate::dfa::ThermalDfaResult;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of independently locked shards (power of two).
+const SHARDS: usize = 16;
+
+/// Default maximum number of resident entries (whole fixpoint results).
+const DEFAULT_CAPACITY: usize = 4096;
+
+/// A sharded, thread-safe memo cache for thermal-DFA fixpoint solves.
+///
+/// # Examples
+///
+/// ```
+/// use tadfa_core::{AnalysisGrid, SolveCache, ThermalDfa, ThermalDfaConfig};
+/// use tadfa_ir::FunctionBuilder;
+/// use tadfa_regalloc::{allocate_linear_scan, FirstFree, RegAllocConfig};
+/// use tadfa_thermal::{Floorplan, PowerModel, RcParams, RegisterFile};
+///
+/// let mut b = FunctionBuilder::new("f");
+/// let x = b.param();
+/// let y = b.mul(x, x);
+/// b.ret(Some(y));
+/// let mut f = b.finish();
+///
+/// let rf = RegisterFile::new(Floorplan::grid(4, 4));
+/// let alloc = allocate_linear_scan(
+///     &mut f, &rf, &mut FirstFree, &RegAllocConfig::default()).unwrap();
+/// let grid = AnalysisGrid::full(&rf, RcParams::default());
+/// let dfa = ThermalDfa::new(&f, &alloc.assignment, &grid,
+///                           PowerModel::default(), ThermalDfaConfig::default())?;
+///
+/// let cache = SolveCache::new();
+/// let key = dfa.signature(cache.quantum());
+/// assert!(cache.fetch(key).is_none(), "cold");
+/// cache.store(key, &std::sync::Arc::new(dfa.run()));
+/// assert!(cache.fetch(key).is_some(), "warm");
+/// assert_eq!(cache.stats().hits, 1);
+/// # Ok::<(), tadfa_core::TadfaError>(())
+/// ```
+#[derive(Debug)]
+pub struct SolveCache {
+    shards: Vec<Mutex<HashMap<u128, Arc<ThermalDfaResult>>>>,
+    /// Resident entries across all shards, maintained atomically so the
+    /// capacity check on the store path never touches another shard's
+    /// lock.
+    entries: AtomicUsize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    capacity: usize,
+    quantum: f64,
+}
+
+impl Default for SolveCache {
+    fn default() -> SolveCache {
+        SolveCache::new()
+    }
+}
+
+impl SolveCache {
+    /// A bit-exact cache (quantum 0) with the default capacity.
+    pub fn new() -> SolveCache {
+        SolveCache::with_capacity_and_quantum(DEFAULT_CAPACITY, 0.0)
+    }
+
+    /// A cache holding at most `capacity` fixpoint results, keyed at
+    /// the given quantum. Quantum `0.0` keys on exact bit patterns
+    /// (cached results byte-identical to uncached); a positive quantum
+    /// merges power profiles closer than the quantum (more hits,
+    /// approximate).
+    pub fn with_capacity_and_quantum(capacity: usize, quantum: f64) -> SolveCache {
+        SolveCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            entries: AtomicUsize::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            capacity,
+            quantum,
+        }
+    }
+
+    /// The key quantum (see [`tadfa_thermal::hashing::quantize`]).
+    pub fn quantum(&self) -> f64 {
+        self.quantum
+    }
+
+    fn shard(&self, key: u128) -> &Mutex<HashMap<u128, Arc<ThermalDfaResult>>> {
+        &self.shards[(key as usize) & (SHARDS - 1)]
+    }
+
+    /// The fixpoint result cached under `key`, if present. Counts a hit
+    /// or a miss either way.
+    pub fn fetch(&self, key: u128) -> Option<Arc<ThermalDfaResult>> {
+        let hit = self
+            .shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(&key)
+            .cloned();
+        match hit {
+            Some(r) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(r)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores one fixpoint result. A no-op once the cache is at
+    /// capacity; concurrent stores of the same key keep the first (with
+    /// quantum 0 both are bit-identical anyway).
+    pub fn store(&self, key: u128, result: &Arc<ThermalDfaResult>) {
+        if self.entries.load(Ordering::Relaxed) >= self.capacity {
+            return;
+        }
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        if let std::collections::hash_map::Entry::Vacant(slot) = shard.entry(key) {
+            slot.insert(Arc::clone(result));
+            self.entries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of resident entries (approximate under concurrent
+    /// insertion).
+    pub fn len(&self) -> usize {
+        self.entries.load(Ordering::Relaxed)
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry and zeroes the hit/miss counters.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().expect("cache shard poisoned").clear();
+        }
+        self.entries.store(0, Ordering::Relaxed);
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Hit/miss counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+/// A point-in-time snapshot of a [`SolveCache`]'s counters.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the solver.
+    pub misses: u64,
+    /// Entries resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (`NaN` before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        self.hits as f64 / (self.hits + self.misses) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ThermalDfaConfig;
+    use crate::dfa::ThermalDfa;
+    use crate::grid::AnalysisGrid;
+    use tadfa_ir::FunctionBuilder;
+    use tadfa_regalloc::{allocate_linear_scan, FirstFree, RegAllocConfig};
+    use tadfa_thermal::{Floorplan, PowerModel, RcParams, RegisterFile};
+
+    fn solved() -> (u128, Arc<ThermalDfaResult>) {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param();
+        let y = b.mul(x, x);
+        b.ret(Some(y));
+        let mut f = b.finish();
+        let rf = RegisterFile::new(Floorplan::grid(4, 4));
+        let alloc =
+            allocate_linear_scan(&mut f, &rf, &mut FirstFree, &RegAllocConfig::default()).unwrap();
+        let grid = AnalysisGrid::full(&rf, RcParams::default());
+        let dfa = ThermalDfa::new(
+            &f,
+            &alloc.assignment,
+            &grid,
+            PowerModel::default(),
+            ThermalDfaConfig::default(),
+        )
+        .unwrap();
+        (dfa.signature(0.0), Arc::new(dfa.run()))
+    }
+
+    #[test]
+    fn miss_then_hit_round_trips() {
+        let c = SolveCache::new();
+        let (key, result) = solved();
+        assert!(c.fetch(key).is_none());
+        c.store(key, &result);
+        let back = c.fetch(key).expect("warm");
+        assert_eq!(back.residual_history, result.residual_history);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_bounds_insertion_but_not_lookup() {
+        let c = SolveCache::with_capacity_and_quantum(1, 0.0);
+        let (key, result) = solved();
+        c.store(key, &result);
+        for k in 1..5u128 {
+            c.store(key ^ k, &result);
+        }
+        assert_eq!(c.len(), 1, "capacity respected");
+        assert!(c.fetch(key).is_some());
+    }
+
+    #[test]
+    fn clear_resets_entries_and_counters() {
+        let c = SolveCache::new();
+        let (key, result) = solved();
+        c.store(key, &result);
+        let _ = c.fetch(key);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(
+            c.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 0,
+                entries: 0
+            }
+        );
+    }
+}

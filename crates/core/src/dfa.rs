@@ -21,12 +21,29 @@
 //! deposit; block entries merge predecessor exit states under the
 //! configured [`MergeRule`](crate::MergeRule).
 
+use crate::cache::SolveCache;
 use crate::config::{Convergence, MergeRule, ThermalDfaConfig};
 use crate::error::TadfaError;
 use crate::grid::AnalysisGrid;
+use std::sync::Arc;
 use tadfa_ir::{BlockId, Cfg, Function, Inst, InstId, Terminator, VReg};
 use tadfa_regalloc::Assignment;
 use tadfa_thermal::{PowerModel, ThermalState};
+
+/// Reusable buffers for one worker's fixpoint runs.
+///
+/// The inner loop of the DFA builds a per-instruction power vector and
+/// access list; a fresh allocation per instruction is measurable on
+/// large batches. Holding a [`DfaScratch`] per worker (the engine does)
+/// or per session reuses the buffers across every instruction of every
+/// function.
+#[derive(Debug, Default)]
+pub struct DfaScratch {
+    /// Per-instruction power map, `num_points` long while in use.
+    power: Vec<f64>,
+    /// Per-instruction `(analysis point, energy)` access pairs.
+    accesses: Vec<(usize, f64)>,
+}
 
 /// The thermal DFA over one function.
 ///
@@ -102,6 +119,14 @@ impl<'a> ThermalDfa<'a> {
     /// memory.
     pub fn access_energies(&self, inst: &Inst) -> Vec<(usize, f64)> {
         let mut out = Vec::with_capacity(inst.srcs.len() + 1);
+        self.fill_access_energies(inst, &mut out);
+        out
+    }
+
+    /// [`access_energies`](ThermalDfa::access_energies) into a reused
+    /// buffer — the fixpoint's allocation-free path.
+    fn fill_access_energies(&self, inst: &Inst, out: &mut Vec<(usize, f64)>) {
+        out.clear();
         for &u in inst.uses() {
             if let Some(p) = self.assignment.preg_of(u) {
                 out.push((self.grid.point_of(p), self.power_model.read_energy));
@@ -112,32 +137,121 @@ impl<'a> ThermalDfa<'a> {
                 out.push((self.grid.point_of(p), self.power_model.write_energy));
             }
         }
-        out
     }
 
-    fn term_energies(&self, term: &Terminator) -> Vec<(usize, f64)> {
-        term.uses()
-            .iter()
-            .filter_map(|&u: &VReg| self.assignment.preg_of(u))
-            .map(|p| (self.grid.point_of(p), self.power_model.read_energy))
-            .collect()
+    fn fill_term_energies(&self, term: &Terminator, out: &mut Vec<(usize, f64)>) {
+        out.clear();
+        out.extend(
+            term.uses()
+                .iter()
+                .filter_map(|&u: &VReg| self.assignment.preg_of(u))
+                .map(|p| (self.grid.point_of(p), self.power_model.read_energy)),
+        );
     }
 
     /// Advances `state` across one instruction (or terminator) given its
     /// access list and latency: power = energy / natural duration,
     /// applied for the time-scaled duration.
-    fn advance(&self, state: &mut ThermalState, accesses: &[(usize, f64)], latency: u32) {
+    fn advance(
+        &self,
+        state: &mut ThermalState,
+        accesses: &[(usize, f64)],
+        latency: u32,
+        power: &mut Vec<f64>,
+    ) {
         let n = self.grid.num_points();
         let natural = latency as f64 * self.config.seconds_per_cycle;
         let dt = self.config.step_duration(latency);
-        let mut power = vec![0.0; n];
+        power.clear();
+        power.resize(n, 0.0);
         for &(p, e) in accesses {
             power[p] += e / natural;
         }
         if self.config.leakage_feedback {
-            self.power_model.add_leakage(&mut power, state);
+            self.power_model.add_leakage(power, state);
         }
-        self.grid.model().step(state, &power, dt);
+        self.grid.model().step(state, power, dt);
+    }
+
+    /// The quantized power-profile hash of this analysis — the
+    /// [`SolveCache`] key. Two analyses share a signature exactly when
+    /// every input the fixpoint reads agrees (under the quantum): the
+    /// grid's RC parameters and point count, the DFA configuration, the
+    /// leakage model, and, instruction by instruction in control-flow
+    /// order, which analysis points are touched with what energy for
+    /// how long. At quantum `0.0` the float inputs are keyed by exact
+    /// bit pattern, so equal signatures imply bit-identical fixpoint
+    /// results.
+    pub fn signature(&self, quantum: f64) -> u128 {
+        self.signature_with(&Cfg::compute(self.func), quantum)
+    }
+
+    /// [`signature`](ThermalDfa::signature) over a CFG the caller
+    /// already computed (the fixpoint needs the same one).
+    fn signature_with(&self, cfg: &Cfg, quantum: f64) -> u128 {
+        let mut h = tadfa_thermal::hashing::Fnv128::new();
+        // Grid + RC model. The grid's shape (not just its point count)
+        // is part of the key: two equal-area coarsenings (e.g. 2×8 and
+        // 4×4 over an 8×8 file) share scaled RC parameters and point
+        // count but differ in neighbour topology, hence in every
+        // lateral heat flow.
+        let fp = self.grid.model().floorplan();
+        h.write_u64(fp.rows() as u64);
+        h.write_u64(fp.cols() as u64);
+        let params = self.grid.model().params();
+        h.write_u64(self.grid.num_points() as u64);
+        h.write_f64(params.cell_capacitance, quantum);
+        h.write_f64(params.lateral_resistance, quantum);
+        h.write_f64(params.vertical_resistance, quantum);
+        h.write_f64(params.ambient, quantum);
+        // DFA config.
+        h.write_f64(self.config.delta, quantum);
+        h.write_u64(self.config.max_iterations as u64);
+        h.write_u64(match self.config.merge {
+            MergeRule::Max => 0,
+            MergeRule::Average => 1,
+        });
+        h.write_f64(self.config.seconds_per_cycle, quantum);
+        h.write_f64(self.config.time_scale, quantum);
+        h.write_u64(self.config.leakage_feedback as u64);
+        // Leakage model (read/write energies are folded in per access).
+        h.write_f64(self.power_model.leakage_per_cell, quantum);
+        h.write_f64(self.power_model.leakage_temp_coeff, quantum);
+        h.write_f64(self.power_model.reference_temp, quantum);
+        // The power profile: result vectors are indexed by arena slot
+        // and block id, so fold the ids in alongside the accesses.
+        let func = self.func;
+        let mut accesses: Vec<(usize, f64)> = Vec::new();
+        h.write_u64(func.arena_len() as u64);
+        h.write_u64(func.num_blocks() as u64);
+        h.write_u64(func.entry().index() as u64);
+        for &bb in cfg.rpo() {
+            h.write_u64(bb.index() as u64);
+            let preds = cfg.preds(bb);
+            h.write_u64(preds.len() as u64);
+            for p in preds {
+                h.write_u64(p.index() as u64);
+            }
+            for &id in func.block(bb).insts() {
+                let inst = func.inst(id);
+                h.write_u64(id.index() as u64);
+                h.write_u64(inst.op.latency() as u64);
+                self.fill_access_energies(inst, &mut accesses);
+                for &(point, energy) in &accesses {
+                    h.write_u64(point as u64);
+                    h.write_f64(energy, quantum);
+                }
+            }
+            if let Some(t) = func.terminator(bb) {
+                h.write_u64(t.latency() as u64);
+                self.fill_term_energies(t, &mut accesses);
+                for &(point, energy) in &accesses {
+                    h.write_u64(point as u64);
+                    h.write_f64(energy, quantum);
+                }
+            }
+        }
+        h.finish()
     }
 
     fn merge(&self, states: &[&ThermalState]) -> ThermalState {
@@ -164,9 +278,42 @@ impl<'a> ThermalDfa<'a> {
     /// Runs the fixpoint iteration of Fig. 2 and returns the thermal
     /// state following each instruction.
     pub fn run(&self) -> ThermalDfaResult {
+        self.fixpoint(&Cfg::compute(self.func), &mut DfaScratch::default())
+    }
+
+    /// [`run`](ThermalDfa::run) with caller-owned scratch buffers and an
+    /// optional solve cache — the engine's entry point. With a cache,
+    /// the whole fixpoint is answered from memo when an identical
+    /// power profile (see [`ThermalDfa::signature`]) was solved before;
+    /// a hit clones an [`Arc`], never the state vectors. Results are
+    /// identical to [`run`](ThermalDfa::run) whenever the cache's
+    /// quantum is `0.0` (the default), because only bit-identical
+    /// profiles share a cache key.
+    pub fn run_with(
+        &self,
+        scratch: &mut DfaScratch,
+        cache: Option<&SolveCache>,
+    ) -> Arc<ThermalDfaResult> {
+        let cfg = Cfg::compute(self.func);
+        match cache {
+            Some(cache) => {
+                let key = self.signature_with(&cfg, cache.quantum());
+                if let Some(hit) = cache.fetch(key) {
+                    return hit;
+                }
+                let result = Arc::new(self.fixpoint(&cfg, scratch));
+                cache.store(key, &result);
+                result
+            }
+            None => Arc::new(self.fixpoint(&cfg, scratch)),
+        }
+    }
+
+    /// The Fig. 2 iteration itself.
+    fn fixpoint(&self, cfg: &Cfg, scratch: &mut DfaScratch) -> ThermalDfaResult {
         let func = self.func;
-        let cfg = Cfg::compute(func);
         let initial = self.grid.model().ambient_state();
+        let DfaScratch { power, accesses } = scratch;
 
         let mut after: Vec<Option<ThermalState>> = vec![None; func.arena_len()];
         let mut entry: Vec<Option<ThermalState>> = vec![None; func.num_blocks()];
@@ -201,8 +348,8 @@ impl<'a> ThermalDfa<'a> {
                 let mut s = s_in;
                 for &id in func.block(bb).insts() {
                     let inst = func.inst(id);
-                    let accesses = self.access_energies(inst);
-                    self.advance(&mut s, &accesses, inst.op.latency());
+                    self.fill_access_energies(inst, accesses);
+                    self.advance(&mut s, accesses, inst.op.latency(), power);
                     let change = match &after[id.index()] {
                         Some(prev) => prev.linf_distance(&s),
                         None => f64::INFINITY,
@@ -211,8 +358,8 @@ impl<'a> ThermalDfa<'a> {
                     after[id.index()] = Some(s.clone());
                 }
                 if let Some(t) = func.terminator(bb) {
-                    let accesses = self.term_energies(t);
-                    self.advance(&mut s, &accesses, t.latency());
+                    self.fill_term_energies(t, accesses);
+                    self.advance(&mut s, accesses, t.latency(), power);
                 }
                 let exit_change = match &exit[bb.index()] {
                     Some(prev) => prev.linf_distance(&s),
@@ -510,6 +657,69 @@ mod tests {
             "residuals grow under runaway: {:?}",
             &h[1..]
         );
+    }
+
+    #[test]
+    fn cached_run_is_bit_identical_to_uncached() {
+        let mut f = loopy(60);
+        let rf = rf_4x4();
+        let alloc =
+            allocate_linear_scan(&mut f, &rf, &mut FirstFree, &RegAllocConfig::default()).unwrap();
+        let grid = AnalysisGrid::full(&rf, RcParams::default());
+        let dfa = ThermalDfa::new(
+            &f,
+            &alloc.assignment,
+            &grid,
+            PowerModel::default(),
+            ThermalDfaConfig::default(),
+        )
+        .unwrap();
+
+        let plain = dfa.run();
+        let cache = crate::cache::SolveCache::new();
+        let mut scratch = DfaScratch::default();
+        let cold = dfa.run_with(&mut scratch, Some(&cache));
+        let warm = dfa.run_with(&mut scratch, Some(&cache));
+
+        let bits = |r: &ThermalDfaResult| -> Vec<u64> {
+            r.after
+                .iter()
+                .flatten()
+                .flat_map(|s| s.temps().iter().map(|t| t.to_bits()))
+                .collect()
+        };
+        assert_eq!(bits(&plain), bits(&cold), "cold cache changes nothing");
+        assert_eq!(bits(&plain), bits(&warm), "warm cache changes nothing");
+        assert_eq!(plain.residual_history, warm.residual_history);
+        let s = cache.stats();
+        assert!(s.hits > 0, "second run hits: {s:?}");
+        assert!(s.entries > 0);
+    }
+
+    #[test]
+    fn signature_distinguishes_equal_area_grid_shapes() {
+        // 2×8 and 4×4 coarsenings of an 8×8 file share the scaled RC
+        // parameters and point count but differ in neighbour topology;
+        // their fixpoints differ, so their cache keys must too.
+        let rf = RegisterFile::new(Floorplan::grid(8, 8));
+        let mut f = straightline();
+        let alloc =
+            allocate_linear_scan(&mut f, &rf, &mut FirstFree, &RegAllocConfig::default()).unwrap();
+        let wide = AnalysisGrid::coarsened(&rf, RcParams::default(), 2, 8).unwrap();
+        let square = AnalysisGrid::coarsened(&rf, RcParams::default(), 4, 4).unwrap();
+        assert_eq!(wide.num_points(), square.num_points());
+        let sig = |grid: &AnalysisGrid| {
+            ThermalDfa::new(
+                &f,
+                &alloc.assignment,
+                grid,
+                PowerModel::default(),
+                ThermalDfaConfig::default(),
+            )
+            .unwrap()
+            .signature(0.0)
+        };
+        assert_ne!(sig(&wide), sig(&square));
     }
 
     #[test]

@@ -1,0 +1,596 @@
+//! The parallel batch analysis engine.
+//!
+//! The paper's pitch is that thermal prediction is cheap enough to run
+//! inside a compiler for *every* function — which at production scale
+//! means batches of thousands of functions and sweeps over policy ×
+//! granularity grids. [`Session::analyze_batch`] runs those one at a
+//! time on one core; an [`Engine`] runs them on a worker pool.
+//!
+//! # Threading model
+//!
+//! An engine wraps a validated [`SessionCore`] in an [`Arc`] and, per
+//! batch call, spawns `workers` scoped threads over a shared atomic
+//! work index:
+//!
+//! * **Shared, read-only:** the core (register file, analysis grid and
+//!   its RC model, power model, configs) and the [`SolveCache`].
+//! * **Per worker:** one freshly instantiated assignment policy per
+//!   item (from the engine's [`PolicyFactory`]) and one reusable
+//!   [`DfaScratch`] buffer set for the fixpoint's power maps.
+//! * **Per item:** an independent `Result` slot — a function that fails
+//!   allocation produces its own `Err` without disturbing the rest of
+//!   the batch, and results are returned in input order regardless of
+//!   which worker finished first.
+//!
+//! Because policies are instantiated fresh per item and the solve
+//! cache's default quantum is `0.0` (bit-exact keys), the engine's
+//! reports are **byte-identical** to the sequential session's, in the
+//! same order — `tests/engine_parallel.rs` asserts this fingerprint by
+//! fingerprint.
+//!
+//! # Example
+//!
+//! ```
+//! use tadfa_core::engine::Engine;
+//! use tadfa_core::Session;
+//!
+//! let session = Session::builder().floorplan(8, 8).build()?;
+//! let engine = Engine::from_session(&session, 4)?;
+//!
+//! let funcs: Vec<_> = tadfa_workloads::standard_suite()
+//!     .into_iter()
+//!     .map(|w| w.func)
+//!     .collect();
+//! let reports = engine.analyze_batch_parallel(&funcs);
+//! assert_eq!(reports.len(), funcs.len());
+//! assert!(reports.iter().all(|r| r.is_ok()));
+//! # Ok::<(), tadfa_core::TadfaError>(())
+//! ```
+
+use crate::cache::{CacheStats, SolveCache};
+use crate::config::ThermalDfaConfig;
+use crate::critical::CriticalConfig;
+use crate::dfa::DfaScratch;
+use crate::error::TadfaError;
+use crate::session::{Session, SessionCore, ThermalReport};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use tadfa_ir::Function;
+use tadfa_regalloc::{policy_by_name, AssignmentPolicy};
+use tadfa_thermal::RegisterFile;
+
+/// Recreates the assignment policy once per worker per item, so every
+/// item starts from the same initial policy state no matter which
+/// worker picks it up.
+#[derive(Clone)]
+pub struct PolicyFactory {
+    inner: FactoryInner,
+}
+
+#[derive(Clone)]
+enum FactoryInner {
+    Named { name: String, seed: u64 },
+    Custom(Arc<dyn Fn() -> Box<dyn AssignmentPolicy> + Send + Sync>),
+}
+
+impl std::fmt::Debug for PolicyFactory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            FactoryInner::Named { name, seed } => write!(f, "PolicyFactory({name:?}, {seed})"),
+            FactoryInner::Custom(_) => write!(f, "PolicyFactory(custom)"),
+        }
+    }
+}
+
+impl PolicyFactory {
+    /// A factory for a built-in policy (see
+    /// [`tadfa_regalloc::POLICY_NAMES`]). The name is validated when the
+    /// engine is built, not here.
+    pub fn named(name: &str, seed: u64) -> PolicyFactory {
+        PolicyFactory {
+            inner: FactoryInner::Named {
+                name: name.to_string(),
+                seed,
+            },
+        }
+    }
+
+    /// A factory from a closure — the escape hatch for policies outside
+    /// the built-in set. The closure must produce an identically
+    /// initialised policy on every call or the engine's determinism
+    /// guarantee is forfeit.
+    pub fn custom(
+        f: impl Fn() -> Box<dyn AssignmentPolicy> + Send + Sync + 'static,
+    ) -> PolicyFactory {
+        PolicyFactory {
+            inner: FactoryInner::Custom(Arc::new(f)),
+        }
+    }
+
+    /// Instantiates one policy object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TadfaError::UnknownPolicy`] for an unrecognised name.
+    pub fn instantiate(&self, rf: &RegisterFile) -> Result<Box<dyn AssignmentPolicy>, TadfaError> {
+        match &self.inner {
+            FactoryInner::Named { name, seed } => policy_by_name(name, rf, *seed)
+                .ok_or_else(|| TadfaError::UnknownPolicy(name.clone())),
+            FactoryInner::Custom(f) => Ok(f()),
+        }
+    }
+}
+
+/// One cell of a sweep: which configuration and which function, with
+/// per-cell overrides of the engine's defaults.
+#[derive(Clone, Debug, Default)]
+pub struct SweepConfig {
+    /// Display label for tables ("δ=0.1/coarse-4x4", …).
+    pub label: String,
+    /// Policy override as `(name, seed)`; `None` keeps the engine's
+    /// policy.
+    pub policy: Option<(String, u64)>,
+    /// Thermal-DFA config override (validated when the sweep starts).
+    pub dfa: Option<ThermalDfaConfig>,
+    /// Criticality config override (validated when the sweep starts).
+    pub critical: Option<CriticalConfig>,
+    /// Analysis-grid granularity override; rebuilds the grid for this
+    /// configuration's cells.
+    pub granularity: Option<(usize, usize)>,
+}
+
+impl SweepConfig {
+    /// A sweep cell that changes nothing but the label — the baseline
+    /// row of a sweep table.
+    pub fn baseline(label: &str) -> SweepConfig {
+        SweepConfig {
+            label: label.to_string(),
+            ..SweepConfig::default()
+        }
+    }
+}
+
+/// One result cell of [`Engine::sweep`]: the indices identify the
+/// `(config, function)` pair in the caller's inputs.
+#[derive(Debug)]
+pub struct SweepCell {
+    /// Index into the sweep's `configs`.
+    pub config: usize,
+    /// Index into the sweep's `funcs`.
+    pub func: usize,
+    /// The analysis outcome for this cell.
+    pub report: Result<ThermalReport, TadfaError>,
+}
+
+/// A parallel batch analysis engine over a shared [`SessionCore`].
+///
+/// See the [module docs](self) for the threading model and an example.
+/// Construct with [`Engine::from_session`] (shares the session's
+/// validated core and recreates its named policy per worker) or
+/// [`Engine::new`] for explicit control.
+#[derive(Debug)]
+pub struct Engine {
+    core: Arc<SessionCore>,
+    factory: PolicyFactory,
+    workers: usize,
+    cache: SolveCache,
+}
+
+impl Engine {
+    /// An engine over an explicit core and policy factory.
+    ///
+    /// # Errors
+    ///
+    /// * [`TadfaError::InvalidConfig`] for `workers == 0`;
+    /// * [`TadfaError::UnknownPolicy`] if the factory names a policy
+    ///   that does not exist (checked now, not per item).
+    pub fn new(
+        core: Arc<SessionCore>,
+        factory: PolicyFactory,
+        workers: usize,
+    ) -> Result<Engine, TadfaError> {
+        if workers == 0 {
+            return Err(TadfaError::InvalidConfig {
+                param: "workers",
+                value: 0.0,
+                reason: "engine needs at least one worker",
+            });
+        }
+        // Validate the factory once up front so batch items never fail
+        // on engine configuration.
+        let _ = factory.instantiate(core.register_file())?;
+        Ok(Engine {
+            core,
+            factory,
+            workers,
+            cache: SolveCache::new(),
+        })
+    }
+
+    /// An engine sharing `session`'s core (a snapshot — later `set_*`
+    /// calls on the session do not reach the engine) and recreating its
+    /// policy per worker.
+    ///
+    /// # Errors
+    ///
+    /// * [`TadfaError::UnsharablePolicy`] if the session's policy was
+    ///   installed as an object ([`SessionBuilder::policy`](crate::SessionBuilder::policy) /
+    ///   [`Session::set_policy`]) and therefore cannot be recreated per
+    ///   worker — use a named policy or [`Engine::new`] with a
+    ///   [`PolicyFactory::custom`];
+    /// * [`TadfaError::InvalidConfig`] for `workers == 0`.
+    pub fn from_session(session: &Session, workers: usize) -> Result<Engine, TadfaError> {
+        let (name, seed) = session
+            .policy_spec()
+            .ok_or_else(|| TadfaError::UnsharablePolicy(session.policy_name().to_string()))?;
+        Engine::new(
+            session.shared_core(),
+            PolicyFactory::named(name, seed),
+            workers,
+        )
+    }
+
+    /// Replaces the solve cache with one of the given capacity and key
+    /// quantum. Quantum `0.0` (the default) keys on exact bits and
+    /// preserves byte-identical results; a positive quantum trades that
+    /// guarantee for a higher hit rate.
+    pub fn with_cache(mut self, capacity: usize, quantum: f64) -> Engine {
+        self.cache = SolveCache::with_capacity_and_quantum(capacity, quantum);
+        self
+    }
+
+    /// The worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The shared analysis core.
+    pub fn core(&self) -> &SessionCore {
+        &self.core
+    }
+
+    /// Hit/miss/occupancy counters of the solve cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Empties the solve cache and zeroes its counters (for cold-start
+    /// measurements).
+    pub fn clear_cache(&self) {
+        self.cache.clear()
+    }
+
+    /// Analyzes a batch of functions on the worker pool.
+    ///
+    /// Results come back in input order, one independent `Result` per
+    /// function, byte-identical to what
+    /// [`Session::analyze_batch`] produces for the same core — only
+    /// faster: items run concurrently and repeated RC solves are
+    /// answered from the engine's cache.
+    pub fn analyze_batch_parallel(
+        &self,
+        funcs: &[Function],
+    ) -> Vec<Result<ThermalReport, TadfaError>> {
+        let tasks: Vec<Task<'_>> = funcs
+            .iter()
+            .map(|f| Task {
+                core: &self.core,
+                factory: &self.factory,
+                func: f,
+            })
+            .collect();
+        self.execute(&tasks)
+    }
+
+    /// Runs the full `configs × funcs` grid on the worker pool — the
+    /// policy/granularity sweep workload of thermal-aware design-space
+    /// exploration.
+    ///
+    /// Cells are returned config-major (`configs[0]` over every
+    /// function, then `configs[1]`, …), each with its own `Result`.
+    ///
+    /// # Errors
+    ///
+    /// Configuration problems (invalid δ, too-fine granularity, unknown
+    /// policy name) are engine errors and fail the sweep before any
+    /// analysis runs; per-function analysis failures land in the
+    /// affected [`SweepCell`] only.
+    pub fn sweep(
+        &self,
+        configs: &[SweepConfig],
+        funcs: &[Function],
+    ) -> Result<Vec<SweepCell>, TadfaError> {
+        // Derive and validate one core + factory per configuration up
+        // front.
+        let mut derived: Vec<(Arc<SessionCore>, PolicyFactory)> = Vec::with_capacity(configs.len());
+        for cfg in configs {
+            let core = if cfg.dfa.is_none() && cfg.critical.is_none() && cfg.granularity.is_none() {
+                Arc::clone(&self.core)
+            } else {
+                Arc::new(self.core.derived(cfg.dfa, cfg.critical, cfg.granularity)?)
+            };
+            let factory = match &cfg.policy {
+                Some((name, seed)) => {
+                    let f = PolicyFactory::named(name, *seed);
+                    let _ = f.instantiate(core.register_file())?;
+                    f
+                }
+                None => self.factory.clone(),
+            };
+            derived.push((core, factory));
+        }
+
+        let tasks: Vec<Task<'_>> = derived
+            .iter()
+            .flat_map(|(core, factory)| {
+                funcs.iter().map(move |f| Task {
+                    core,
+                    factory,
+                    func: f,
+                })
+            })
+            .collect();
+        let reports = self.execute(&tasks);
+
+        Ok(reports
+            .into_iter()
+            .enumerate()
+            .map(|(i, report)| SweepCell {
+                config: i / funcs.len().max(1),
+                func: i % funcs.len().max(1),
+                report,
+            })
+            .collect())
+    }
+
+    /// The worker pool: scoped threads pulling tasks off a shared
+    /// atomic index, each with its own scratch buffers, writing into
+    /// per-slot result cells so output order equals input order.
+    fn execute(&self, tasks: &[Task<'_>]) -> Vec<Result<ThermalReport, TadfaError>> {
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.workers.min(n);
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<ThermalReport, TadfaError>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut scratch = DfaScratch::default();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let task = &tasks[i];
+                        let result = task
+                            .factory
+                            .instantiate(task.core.register_file())
+                            .and_then(|mut policy| {
+                                task.core.analyze_with(
+                                    task.func,
+                                    policy.as_mut(),
+                                    &mut scratch,
+                                    Some(&self.cache),
+                                )
+                            });
+                        *slots[i].lock().expect("result slot poisoned") = Some(result);
+                    }
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every task index was claimed exactly once")
+            })
+            .collect()
+    }
+}
+
+/// One unit of work: analyze `func` against `core` under a policy from
+/// `factory`.
+struct Task<'a> {
+    core: &'a Arc<SessionCore>,
+    factory: &'a PolicyFactory,
+    func: &'a Function,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tadfa_ir::FunctionBuilder;
+
+    fn kernel(muls: usize) -> Function {
+        let mut b = FunctionBuilder::new("k");
+        let x = b.param();
+        let mut v = x;
+        for _ in 0..muls {
+            v = b.mul(v, v);
+        }
+        b.ret(Some(v));
+        b.finish()
+    }
+
+    fn session() -> Session {
+        Session::builder()
+            .floorplan(4, 4)
+            .policy_name("round-robin", 0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn engine_matches_sequential_session() {
+        let mut s = session();
+        let funcs: Vec<Function> = (2..8).map(kernel).collect();
+        let sequential: Vec<u128> = s
+            .analyze_batch(&funcs)
+            .into_iter()
+            .map(|r| r.unwrap().fingerprint())
+            .collect();
+
+        for workers in [1, 3] {
+            let engine = Engine::from_session(&s, workers).unwrap();
+            let parallel: Vec<u128> = engine
+                .analyze_batch_parallel(&funcs)
+                .into_iter()
+                .map(|r| r.unwrap().fingerprint())
+                .collect();
+            assert_eq!(sequential, parallel, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn zero_workers_is_an_error() {
+        let s = session();
+        let e = Engine::from_session(&s, 0).unwrap_err();
+        assert!(matches!(
+            e,
+            TadfaError::InvalidConfig {
+                param: "workers",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn boxed_policy_is_unsharable() {
+        let s = Session::builder()
+            .policy(Box::new(tadfa_regalloc::FirstFree))
+            .build()
+            .unwrap();
+        let e = Engine::from_session(&s, 2).unwrap_err();
+        assert!(matches!(e, TadfaError::UnsharablePolicy(ref n) if n == "first-free"));
+    }
+
+    #[test]
+    fn unknown_factory_name_fails_at_construction() {
+        let s = session();
+        let e = Engine::new(s.shared_core(), PolicyFactory::named("bogus", 0), 2).unwrap_err();
+        assert!(matches!(e, TadfaError::UnknownPolicy(ref n) if n == "bogus"));
+    }
+
+    #[test]
+    fn custom_factory_runs() {
+        let s = session();
+        let engine = Engine::new(
+            s.shared_core(),
+            PolicyFactory::custom(|| Box::new(tadfa_regalloc::FirstFree)),
+            2,
+        )
+        .unwrap();
+        let reports = engine.analyze_batch_parallel(&[kernel(3)]);
+        assert!(reports[0].is_ok());
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let engine = Engine::from_session(&session(), 2).unwrap();
+        assert!(engine.analyze_batch_parallel(&[]).is_empty());
+    }
+
+    #[test]
+    fn cache_warms_across_batches() {
+        let engine = Engine::from_session(&session(), 2).unwrap();
+        let funcs = vec![kernel(5), kernel(5), kernel(5)];
+        let cold: Vec<u128> = engine
+            .analyze_batch_parallel(&funcs)
+            .into_iter()
+            .map(|r| r.unwrap().fingerprint())
+            .collect();
+        let after_cold = engine.cache_stats();
+        assert!(after_cold.entries > 0, "{after_cold:?}");
+        assert!(
+            after_cold.hits > 0,
+            "identical kernels hit within one batch: {after_cold:?}"
+        );
+
+        let warm: Vec<u128> = engine
+            .analyze_batch_parallel(&funcs)
+            .into_iter()
+            .map(|r| r.unwrap().fingerprint())
+            .collect();
+        assert_eq!(cold, warm, "warm cache is byte-identical");
+        let after_warm = engine.cache_stats();
+        assert!(after_warm.hits > after_cold.hits);
+
+        engine.clear_cache();
+        assert_eq!(engine.cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn sweep_covers_the_grid_config_major() {
+        let engine = Engine::from_session(&session(), 2).unwrap();
+        let configs = vec![
+            SweepConfig::baseline("default"),
+            SweepConfig {
+                label: "coarse".to_string(),
+                granularity: Some((2, 2)),
+                ..SweepConfig::default()
+            },
+            SweepConfig {
+                label: "first-free".to_string(),
+                policy: Some(("first-free".to_string(), 0)),
+                ..SweepConfig::default()
+            },
+        ];
+        let funcs = vec![kernel(3), kernel(6)];
+        let cells = engine.sweep(&configs, &funcs).unwrap();
+        assert_eq!(cells.len(), 6);
+        for (i, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.config, i / 2);
+            assert_eq!(cell.func, i % 2);
+            assert!(cell.report.is_ok(), "cell {i}");
+        }
+        // The baseline column equals a plain batch result.
+        let batch = engine.analyze_batch_parallel(&funcs);
+        assert_eq!(
+            batch[0].as_ref().unwrap().fingerprint(),
+            cells[0].report.as_ref().unwrap().fingerprint()
+        );
+        // The coarse config really coarsened (fewer analysis points →
+        // different map, still upsampled to 16 physical cells).
+        let coarse = cells[2].report.as_ref().unwrap();
+        assert_eq!(coarse.predicted.len(), 16);
+        assert_ne!(
+            coarse.fingerprint(),
+            cells[0].report.as_ref().unwrap().fingerprint()
+        );
+    }
+
+    #[test]
+    fn sweep_rejects_bad_configs_before_running() {
+        let engine = Engine::from_session(&session(), 2).unwrap();
+        let bad_delta = SweepConfig {
+            label: "bad".to_string(),
+            dfa: Some(ThermalDfaConfig::default().with_delta(-1.0)),
+            ..SweepConfig::default()
+        };
+        let e = engine.sweep(&[bad_delta], &[kernel(3)]).unwrap_err();
+        assert!(matches!(
+            e,
+            TadfaError::InvalidConfig { param: "delta", .. }
+        ));
+        let bad_policy = SweepConfig {
+            label: "bad".to_string(),
+            policy: Some(("nope".to_string(), 0)),
+            ..SweepConfig::default()
+        };
+        let e = engine.sweep(&[bad_policy], &[kernel(3)]).unwrap_err();
+        assert!(matches!(e, TadfaError::UnknownPolicy(_)));
+        let bad_grid = SweepConfig {
+            label: "bad".to_string(),
+            granularity: Some((64, 64)),
+            ..SweepConfig::default()
+        };
+        let e = engine.sweep(&[bad_grid], &[kernel(3)]).unwrap_err();
+        assert!(matches!(e, TadfaError::GridTooFine { .. }));
+    }
+}

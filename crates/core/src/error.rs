@@ -64,6 +64,11 @@ pub enum TadfaError {
     },
     /// No built-in assignment policy has the given name.
     UnknownPolicy(String),
+    /// The session's assignment policy was installed as an object and
+    /// cannot be recreated per engine worker; carries the policy's
+    /// name. Use a named policy or a custom
+    /// [`PolicyFactory`](crate::engine::PolicyFactory).
+    UnsharablePolicy(String),
     /// Register allocation failed.
     Alloc(RegAllocError),
 }
@@ -100,6 +105,14 @@ impl fmt::Display for TadfaError {
             }
             TadfaError::UnknownPolicy(name) => {
                 write!(f, "unknown assignment policy '{name}'")
+            }
+            TadfaError::UnsharablePolicy(name) => {
+                write!(
+                    f,
+                    "policy '{name}' was installed as an object and cannot be \
+                     recreated per engine worker; use a named policy or a \
+                     custom PolicyFactory"
+                )
             }
             TadfaError::Alloc(e) => write!(f, "register allocation failed: {e}"),
         }

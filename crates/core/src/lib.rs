@@ -21,7 +21,11 @@
 //! * [`CriticalSet`] — "which variables are most likely to be involved"
 //!   in hot spots (§4), feeding the optimizations in `tadfa-opt`;
 //! * [`PredictiveDfa`] — the pre-register-allocation predictive analysis
-//!   the paper proposes as its "more ambitious possibility".
+//!   the paper proposes as its "more ambitious possibility";
+//! * [`engine`] — the parallel batch engine: an [`Engine`] shares a
+//!   session's validated core ([`SessionCore`]) across a worker pool
+//!   and memoises RC solves in a [`SolveCache`], with results
+//!   byte-identical to the sequential session's.
 //!
 //! ## Quickstart
 //!
@@ -46,18 +50,22 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod cache;
 mod config;
 mod critical;
 mod dfa;
+pub mod engine;
 mod error;
 mod grid;
 mod predictive;
 mod session;
 
+pub use cache::{CacheStats, SolveCache};
 pub use config::{Convergence, MergeRule, ThermalDfaConfig};
 pub use critical::{CriticalConfig, CriticalSet};
-pub use dfa::{ThermalDfa, ThermalDfaResult};
+pub use dfa::{DfaScratch, ThermalDfa, ThermalDfaResult};
+pub use engine::{Engine, PolicyFactory, SweepCell, SweepConfig};
 pub use error::TadfaError;
 pub use grid::AnalysisGrid;
 pub use predictive::{PlacementPrior, PredictiveConfig, PredictiveDfa, PredictiveResult};
-pub use session::{Session, SessionBuilder, ThermalReport};
+pub use session::{Session, SessionBuilder, SessionCore, ThermalReport};

@@ -10,6 +10,29 @@
 //! calls — the batch-oriented shape that production serving and every
 //! future scaling change (sharding, caching, async) builds on.
 //!
+//! Internally a session is two halves:
+//!
+//! * a [`SessionCore`] — the validated, immutable analysis state
+//!   (geometry, grid, power model, configs), held in an
+//!   [`Arc`] so the parallel [`Engine`](crate::engine::Engine) can
+//!   share it across worker threads without copying the RC model;
+//! * per-call state — the assignment policy object and reusable
+//!   scratch buffers — which stays private to the session (one logical
+//!   thread of analysis).
+//!
+//! # Determinism contract
+//!
+//! [`Session::analyze`] is a pure function of the session configuration
+//! and the input function: it does not retain state between calls
+//! (allocation resets the policy, and every built-in policy's
+//! [`reset`](tadfa_regalloc::AssignmentPolicy::reset) restores its
+//! initial state). Consequently [`Session::analyze_batch`] is
+//! order-stable: report `k` depends only on `funcs[k]`, never on the
+//! other items, the batch size, or previous batches. The configuration
+//! is fixed for the whole batch — `set_*` reconfiguration requires
+//! `&mut self` and therefore cannot interleave with a running batch.
+//! The regression tests in `tests/engine_parallel.rs` pin this down.
+//!
 //! All validation happens in [`SessionBuilder::build`] and the
 //! `set_*` reconfiguration methods, and failures are reported as
 //! [`TadfaError`] values — no panic is reachable through the façade.
@@ -30,17 +53,19 @@
 //! # Ok::<(), tadfa_core::TadfaError>(())
 //! ```
 
+use crate::cache::SolveCache;
 use crate::config::{Convergence, ThermalDfaConfig};
 use crate::critical::{CriticalConfig, CriticalSet};
-use crate::dfa::{ThermalDfa, ThermalDfaResult};
+use crate::dfa::{DfaScratch, ThermalDfa, ThermalDfaResult};
 use crate::error::TadfaError;
 use crate::grid::AnalysisGrid;
 use crate::predictive::{PredictiveConfig, PredictiveDfa, PredictiveResult};
+use std::sync::Arc;
 use tadfa_ir::Function;
 use tadfa_regalloc::{
-    allocate_linear_scan, policy_by_name, AllocStats, Assignment, AssignmentPolicy, FirstFree,
-    RegAllocConfig,
+    allocate_linear_scan, policy_by_name, AllocStats, Assignment, AssignmentPolicy, RegAllocConfig,
 };
+use tadfa_thermal::hashing::Fnv128;
 use tadfa_thermal::{Floorplan, PowerModel, RcParams, RegisterFile, ThermalState};
 
 /// How the builder was asked to pick the assignment policy.
@@ -91,7 +116,9 @@ impl Default for SessionBuilder {
             critical: CriticalConfig::default(),
             predictive: PredictiveConfig::default(),
             granularity: None,
-            policy: PolicySpec::Boxed(Box::new(FirstFree)),
+            // Named so that default sessions stay replicable across
+            // engine workers (the compiler default of §2).
+            policy: PolicySpec::Named("first-free".to_string(), 0),
         }
     }
 }
@@ -149,8 +176,10 @@ impl SessionBuilder {
         self
     }
 
-    /// Register-assignment policy object (default: [`FirstFree`], the
-    /// compiler default of §2).
+    /// Register-assignment policy object (default: the first-free
+    /// compiler default of §2). A session built from a policy *object*
+    /// cannot be replicated across [`Engine`](crate::engine::Engine)
+    /// workers — prefer [`SessionBuilder::policy_name`] where possible.
     pub fn policy(mut self, policy: Box<dyn AssignmentPolicy>) -> SessionBuilder {
         self.policy = PolicySpec::Boxed(policy);
         self
@@ -201,23 +230,29 @@ impl SessionBuilder {
             Some((gr, gc)) => AnalysisGrid::coarsened(&rf, self.rc, gr, gc)?,
             None => AnalysisGrid::full(&rf, self.rc),
         };
-        let policy = match self.policy {
-            PolicySpec::Boxed(p) => p,
+        let (policy, policy_spec) = match self.policy {
+            PolicySpec::Boxed(p) => (p, None),
             PolicySpec::Named(name, seed) => {
-                policy_by_name(&name, &rf, seed).ok_or(TadfaError::UnknownPolicy(name))?
+                let p = policy_by_name(&name, &rf, seed)
+                    .ok_or_else(|| TadfaError::UnknownPolicy(name.clone()))?;
+                (p, Some((name, seed)))
             }
         };
 
         Ok(Session {
-            rf,
-            rc: self.rc,
-            grid,
-            power: self.power,
-            dfa: self.dfa,
-            alloc: self.alloc,
-            critical: self.critical,
-            predictive: self.predictive,
+            core: Arc::new(SessionCore {
+                rf,
+                rc: self.rc,
+                grid,
+                power: self.power,
+                dfa: self.dfa,
+                alloc: self.alloc,
+                critical: self.critical,
+                predictive: self.predictive,
+            }),
             policy,
+            policy_spec,
+            scratch: DfaScratch::default(),
         })
     }
 }
@@ -251,14 +286,18 @@ fn validate_rc(rc: &RcParams) -> Result<(), TadfaError> {
     Ok(())
 }
 
-/// The unified analysis façade: owns register file, analysis grid, power
-/// model, policy, and all configs, and runs the paper's pipeline for any
-/// number of functions.
+/// The immutable, shareable half of a [`Session`]: register file,
+/// analysis grid (with its RC model), power model, and every config —
+/// everything the per-function pipeline reads but never writes.
 ///
-/// Construct with [`Session::builder`]. See the [module
-/// docs](self) for the rationale and an example.
-#[derive(Debug)]
-pub struct Session {
+/// A `SessionCore` is validated at construction (only
+/// [`SessionBuilder::build`] makes one) and is `Send + Sync`, so the
+/// parallel [`Engine`](crate::engine::Engine) shares one core across
+/// its worker threads behind an [`Arc`]. The mutable ingredients of an
+/// analysis — the policy object and scratch buffers — are passed *into*
+/// [`SessionCore::analyze_with`] per call instead of living here.
+#[derive(Clone, Debug)]
+pub struct SessionCore {
     rf: RegisterFile,
     rc: RcParams,
     grid: AnalysisGrid,
@@ -267,30 +306,30 @@ pub struct Session {
     alloc: RegAllocConfig,
     critical: CriticalConfig,
     predictive: PredictiveConfig,
-    policy: Box<dyn AssignmentPolicy>,
 }
 
-impl Session {
-    /// Starts building a session.
-    pub fn builder() -> SessionBuilder {
-        SessionBuilder::default()
-    }
-
-    /// Runs the full per-function pipeline: allocate (under the
-    /// session's policy), run the thermal DFA on the session's grid, and
-    /// identify the critical variables. `func` itself is untouched; the
-    /// allocated form (spill code included) is returned in the report.
+impl SessionCore {
+    /// Runs the full per-function pipeline against this core: allocate
+    /// under `policy`, run the thermal DFA (through `cache` when given),
+    /// and identify the critical variables. This is the engine's
+    /// worker-side entry point; [`Session::analyze`] is the same call
+    /// with the session's own policy and scratch.
     ///
-    /// Non-convergence is reported as data in
-    /// [`ThermalReport::convergence`], not as an error.
+    /// `func` itself is untouched; the allocated form (spill code
+    /// included) is returned in the report.
     ///
     /// # Errors
     ///
     /// Returns [`TadfaError::Alloc`] if register allocation fails.
-    pub fn analyze(&mut self, func: &Function) -> Result<ThermalReport, TadfaError> {
+    pub fn analyze_with(
+        &self,
+        func: &Function,
+        policy: &mut dyn AssignmentPolicy,
+        scratch: &mut DfaScratch,
+        cache: Option<&SolveCache>,
+    ) -> Result<ThermalReport, TadfaError> {
         let mut allocated = func.clone();
-        let alloc =
-            allocate_linear_scan(&mut allocated, &self.rf, self.policy.as_mut(), &self.alloc)?;
+        let alloc = allocate_linear_scan(&mut allocated, &self.rf, policy, &self.alloc)?;
         let dfa = ThermalDfa::new(
             &allocated,
             &alloc.assignment,
@@ -298,12 +337,12 @@ impl Session {
             self.power,
             self.dfa,
         )?
-        .run();
+        .run_with(scratch, cache);
         let critical = CriticalSet::identify(
             &allocated,
             &alloc.assignment,
             &self.grid,
-            &dfa,
+            dfa.as_ref(),
             &self.power,
             self.critical,
         );
@@ -318,11 +357,144 @@ impl Session {
         })
     }
 
+    /// Runs the pre-assignment predictive analysis (§4's "more ambitious
+    /// possibility") for `func`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TadfaError::Alloc`] if the placement rehearsal cannot
+    /// allocate.
+    pub fn predict(&self, func: &Function) -> Result<PredictiveResult, TadfaError> {
+        PredictiveDfa::new(func, &self.rf, self.rc, self.power, self.predictive).run()
+    }
+
+    /// The register file.
+    pub fn register_file(&self) -> &RegisterFile {
+        &self.rf
+    }
+
+    /// The analysis grid.
+    pub fn grid(&self) -> &AnalysisGrid {
+        &self.grid
+    }
+
+    /// The RC parameters (unscaled, physical).
+    pub fn rc_params(&self) -> RcParams {
+        self.rc
+    }
+
+    /// The power model.
+    pub fn power_model(&self) -> PowerModel {
+        self.power
+    }
+
+    /// The thermal-DFA configuration.
+    pub fn dfa_config(&self) -> ThermalDfaConfig {
+        self.dfa
+    }
+
+    /// The register-allocator configuration.
+    pub fn alloc_config(&self) -> RegAllocConfig {
+        self.alloc
+    }
+
+    /// The criticality configuration.
+    pub fn critical_config(&self) -> CriticalConfig {
+        self.critical
+    }
+
+    /// The predictive-analysis configuration.
+    pub fn predictive_config(&self) -> PredictiveConfig {
+        self.predictive
+    }
+
+    /// A copy of this core with the given overrides applied, re-running
+    /// the same validation as [`SessionBuilder::build`]. The sweep
+    /// machinery uses this to derive one core per sweep configuration;
+    /// only a granularity change rebuilds the grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TadfaError::InvalidConfig`] / grid errors exactly as
+    /// the builder would.
+    pub fn derived(
+        &self,
+        dfa: Option<ThermalDfaConfig>,
+        critical: Option<CriticalConfig>,
+        granularity: Option<(usize, usize)>,
+    ) -> Result<SessionCore, TadfaError> {
+        let mut core = self.clone();
+        if let Some(dfa) = dfa {
+            dfa.validate()?;
+            core.dfa = dfa;
+        }
+        if let Some(critical) = critical {
+            validate_critical(&critical)?;
+            core.critical = critical;
+        }
+        if let Some((rows, cols)) = granularity {
+            core.grid = AnalysisGrid::coarsened(&core.rf, core.rc, rows, cols)?;
+        }
+        Ok(core)
+    }
+}
+
+/// The unified analysis façade: owns register file, analysis grid, power
+/// model, policy, and all configs, and runs the paper's pipeline for any
+/// number of functions.
+///
+/// Construct with [`Session::builder`]. The source module's docs cover
+/// the rationale, the determinism contract, and an example. For
+/// multi-core batches, share this session's core with an
+/// [`Engine`](crate::engine::Engine).
+#[derive(Debug)]
+pub struct Session {
+    core: Arc<SessionCore>,
+    policy: Box<dyn AssignmentPolicy>,
+    /// `(name, seed)` when the policy came from a built-in name and can
+    /// therefore be recreated per engine worker.
+    policy_spec: Option<(String, u64)>,
+    scratch: DfaScratch,
+}
+
+impl Session {
+    /// Starts building a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// Runs the full per-function pipeline: allocate (under the
+    /// session's policy), run the thermal DFA on the session's grid, and
+    /// identify the critical variables. `func` itself is untouched; the
+    /// allocated form (spill code included) is returned in the report.
+    ///
+    /// The call is a pure function of the session configuration and
+    /// `func` — no state carries over between calls (the determinism
+    /// contract: allocation resets the policy, and every built-in
+    /// policy's `reset` restores its initial state).
+    ///
+    /// Non-convergence is reported as data in
+    /// [`ThermalReport::convergence`], not as an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TadfaError::Alloc`] if register allocation fails.
+    pub fn analyze(&mut self, func: &Function) -> Result<ThermalReport, TadfaError> {
+        self.core
+            .analyze_with(func, self.policy.as_mut(), &mut self.scratch, None)
+    }
+
     /// Analyzes a batch of functions, reusing the session's grid, power
     /// model, and configs across all of them.
     ///
     /// Per-function failures do not abort the batch: each slot holds its
-    /// own function's result.
+    /// own function's result. Reports are order-stable — slot `k` is a
+    /// function of `funcs[k]` and the session configuration only, so
+    /// reordering, splitting, or extending the batch never changes an
+    /// individual report (the configuration cannot change mid-batch:
+    /// every `set_*` method needs `&mut self`). The parallel equivalent
+    /// is [`Engine::analyze_batch_parallel`](crate::engine::Engine::analyze_batch_parallel),
+    /// which yields byte-identical reports in the same order.
     pub fn analyze_batch(&mut self, funcs: &[Function]) -> Vec<Result<ThermalReport, TadfaError>> {
         funcs.iter().map(|f| self.analyze(f)).collect()
     }
@@ -336,42 +508,64 @@ impl Session {
     /// Returns [`TadfaError::Alloc`] if the placement rehearsal cannot
     /// allocate.
     pub fn predict(&self, func: &Function) -> Result<PredictiveResult, TadfaError> {
-        PredictiveDfa::new(func, &self.rf, self.rc, self.power, self.predictive).run()
+        self.core.predict(func)
+    }
+
+    /// The session's immutable analysis core.
+    pub fn core(&self) -> &SessionCore {
+        &self.core
+    }
+
+    /// A shared handle to the analysis core — the engine's way of
+    /// reusing this session's validated state across worker threads.
+    /// The handle is a snapshot: later `set_*` calls on the session
+    /// replace the session's core without affecting holders of earlier
+    /// handles.
+    pub fn shared_core(&self) -> Arc<SessionCore> {
+        Arc::clone(&self.core)
+    }
+
+    /// The `(name, seed)` the session's policy was built from, if it
+    /// came from [`SessionBuilder::policy_name`] /
+    /// [`Session::set_policy_name`] and can be recreated per engine
+    /// worker. `None` for policy objects installed directly.
+    pub fn policy_spec(&self) -> Option<(&str, u64)> {
+        self.policy_spec.as_ref().map(|(n, s)| (n.as_str(), *s))
     }
 
     /// The session's register file.
     pub fn register_file(&self) -> &RegisterFile {
-        &self.rf
+        self.core.register_file()
     }
 
     /// The session's analysis grid.
     pub fn grid(&self) -> &AnalysisGrid {
-        &self.grid
+        self.core.grid()
     }
 
     /// The session's RC parameters (unscaled, physical).
     pub fn rc_params(&self) -> RcParams {
-        self.rc
+        self.core.rc_params()
     }
 
     /// The session's power model.
     pub fn power_model(&self) -> PowerModel {
-        self.power
+        self.core.power_model()
     }
 
     /// The session's thermal-DFA configuration.
     pub fn dfa_config(&self) -> ThermalDfaConfig {
-        self.dfa
+        self.core.dfa_config()
     }
 
     /// The session's criticality configuration.
     pub fn critical_config(&self) -> CriticalConfig {
-        self.critical
+        self.core.critical_config()
     }
 
     /// The session's predictive-analysis configuration.
     pub fn predictive_config(&self) -> PredictiveConfig {
-        self.predictive
+        self.core.predictive_config()
     }
 
     /// The name of the current assignment policy.
@@ -388,19 +582,22 @@ impl Session {
     /// Replaces the thermal-DFA configuration (validated) without
     /// rebuilding the grid — the cheap way to sweep δ or the merge rule.
     ///
+    /// Engines holding a [`Session::shared_core`] snapshot keep the old
+    /// configuration; take a new snapshot after reconfiguring.
+    ///
     /// # Errors
     ///
     /// Returns [`TadfaError::InvalidConfig`] and leaves the session
     /// unchanged if `dfa` fails validation.
     pub fn set_dfa_config(&mut self, dfa: ThermalDfaConfig) -> Result<(), TadfaError> {
         dfa.validate()?;
-        self.dfa = dfa;
+        Arc::make_mut(&mut self.core).dfa = dfa;
         Ok(())
     }
 
     /// Replaces the power model.
     pub fn set_power(&mut self, power: PowerModel) {
-        self.power = power;
+        Arc::make_mut(&mut self.core).power = power;
     }
 
     /// Replaces the criticality configuration.
@@ -411,7 +608,7 @@ impl Session {
     /// `[0, 1]`.
     pub fn set_critical_config(&mut self, critical: CriticalConfig) -> Result<(), TadfaError> {
         validate_critical(&critical)?;
-        self.critical = critical;
+        Arc::make_mut(&mut self.core).critical = critical;
         Ok(())
     }
 
@@ -425,13 +622,16 @@ impl Session {
         predictive: PredictiveConfig,
     ) -> Result<(), TadfaError> {
         predictive.validate()?;
-        self.predictive = predictive;
+        Arc::make_mut(&mut self.core).predictive = predictive;
         Ok(())
     }
 
-    /// Replaces the assignment policy.
+    /// Replaces the assignment policy. The session stops being
+    /// engine-replicable ([`Session::policy_spec`] returns `None`) —
+    /// use [`Session::set_policy_name`] to keep it replicable.
     pub fn set_policy(&mut self, policy: Box<dyn AssignmentPolicy>) {
         self.policy = policy;
+        self.policy_spec = None;
     }
 
     /// Replaces the assignment policy by built-in name.
@@ -441,8 +641,9 @@ impl Session {
     /// Returns [`TadfaError::UnknownPolicy`] and leaves the session
     /// unchanged if `name` is not a built-in.
     pub fn set_policy_name(&mut self, name: &str, seed: u64) -> Result<(), TadfaError> {
-        self.policy = policy_by_name(name, &self.rf, seed)
+        self.policy = policy_by_name(name, self.core.register_file(), seed)
             .ok_or_else(|| TadfaError::UnknownPolicy(name.to_string()))?;
+        self.policy_spec = Some((name.to_string(), seed));
         Ok(())
     }
 }
@@ -457,8 +658,9 @@ pub struct ThermalReport {
     /// Allocation statistics (spills, rounds, spill code size).
     pub alloc_stats: AllocStats,
     /// The raw thermal-DFA result (per-instruction states, convergence
-    /// diagnostics, residual history).
-    pub dfa: ThermalDfaResult,
+    /// diagnostics, residual history). Shared: on an engine cache hit
+    /// this is the cached solve itself, not a copy.
+    pub dfa: Arc<ThermalDfaResult>,
     /// The thermally critical variables.
     pub critical: CriticalSet,
     /// The DFA's worst-case map, upsampled onto the physical floorplan.
@@ -481,6 +683,47 @@ impl ThermalReport {
     pub fn ambient(&self) -> f64 {
         self.dfa.ambient()
     }
+
+    /// A 128-bit digest of everything numeric in the report: the
+    /// assignment, allocation statistics, convergence outcome, residual
+    /// history (exact bits), and the predicted map (exact bits).
+    ///
+    /// Two reports fingerprint equal iff the analysis produced
+    /// bit-identical results — the equality the engine's determinism
+    /// guarantee is stated in (parallel == sequential, warm cache ==
+    /// cold cache).
+    pub fn fingerprint(&self) -> u128 {
+        let mut h = Fnv128::new();
+        h.write_u64(self.assignment.iter().count() as u64);
+        for (v, p) in self.assignment.iter() {
+            h.write_u64(v.index() as u64);
+            h.write_u64(p.index() as u64);
+        }
+        h.write_u64(self.alloc_stats.spilled as u64);
+        h.write_u64(self.alloc_stats.rounds as u64);
+        match self.dfa.convergence {
+            Convergence::Converged { iterations } => {
+                h.write_u64(1);
+                h.write_u64(iterations as u64);
+            }
+            Convergence::DidNotConverge {
+                iterations,
+                residual,
+            } => {
+                h.write_u64(0);
+                h.write_u64(iterations as u64);
+                h.write_f64(residual, 0.0);
+            }
+        }
+        h.write_f64s(&self.dfa.residual_history, 0.0);
+        h.write_f64s(self.predicted.temps(), 0.0);
+        h.write_u64(self.critical.ranked().len() as u64);
+        for &(v, t) in self.critical.ranked() {
+            h.write_u64(v.index() as u64);
+            h.write_f64(t, 0.0);
+        }
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -488,6 +731,7 @@ mod tests {
     use super::*;
     use crate::config::MergeRule;
     use tadfa_ir::FunctionBuilder;
+    use tadfa_regalloc::FirstFree;
 
     fn kernel() -> Function {
         let mut b = FunctionBuilder::new("k");
@@ -593,5 +837,44 @@ mod tests {
         let pred = s.predict(&kernel()).unwrap();
         assert_eq!(pred.expected_map.len(), 64);
         assert!(!pred.ranked.is_empty());
+    }
+
+    #[test]
+    fn shared_core_is_a_snapshot() {
+        let mut s = Session::builder().build().unwrap();
+        let snapshot = s.shared_core();
+        s.set_dfa_config(ThermalDfaConfig::default().with_delta(0.5))
+            .unwrap();
+        assert!(
+            (snapshot.dfa_config().delta - 0.01).abs() < 1e-12,
+            "earlier handle keeps the old config"
+        );
+        assert!((s.dfa_config().delta - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn policy_spec_tracks_replicability() {
+        let s = Session::builder().build().unwrap();
+        assert_eq!(s.policy_spec(), Some(("first-free", 0)));
+        let mut s = Session::builder()
+            .policy(Box::new(FirstFree))
+            .build()
+            .unwrap();
+        assert_eq!(s.policy_spec(), None, "boxed policy is not replicable");
+        s.set_policy_name("chessboard", 3).unwrap();
+        assert_eq!(s.policy_spec(), Some(("chessboard", 3)));
+        s.set_policy(Box::new(FirstFree));
+        assert_eq!(s.policy_spec(), None);
+    }
+
+    #[test]
+    fn fingerprints_separate_different_analyses() {
+        let mut s = Session::builder().build().unwrap();
+        let r1 = s.analyze(&kernel()).unwrap();
+        let r2 = s.analyze(&kernel()).unwrap();
+        assert_eq!(r1.fingerprint(), r2.fingerprint(), "pure function");
+        s.set_policy_name("round-robin", 0).unwrap();
+        let r3 = s.analyze(&kernel()).unwrap();
+        assert_ne!(r1.fingerprint(), r3.fingerprint(), "policy changes map");
     }
 }

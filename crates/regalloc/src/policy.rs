@@ -212,6 +212,10 @@ pub struct ColdestFirst {
     /// Heat score per floorplan cell (higher = hotter). Not temperatures
     /// per se; any monotone heat proxy works.
     scores: Vec<f64>,
+    /// The scores the policy was constructed with; [`AssignmentPolicy::reset`]
+    /// restores them so each allocation run is independent of its
+    /// predecessors (the batch-determinism contract of `Session::analyze`).
+    initial_scores: Vec<f64>,
     /// Heat added to a cell's score when it is chosen (models the heating
     /// the new tenant will cause, so successive picks spread out).
     self_heat: f64,
@@ -225,7 +229,11 @@ impl ColdestFirst {
     /// Panics if `self_heat` is negative.
     pub fn new(scores: Vec<f64>, self_heat: f64) -> ColdestFirst {
         assert!(self_heat >= 0.0, "self-heat must be non-negative");
-        ColdestFirst { scores, self_heat }
+        ColdestFirst {
+            initial_scores: scores.clone(),
+            scores,
+            self_heat,
+        }
     }
 
     /// A cold-start instance: all cells equally cold, pure occupancy
@@ -258,6 +266,10 @@ impl AssignmentPolicy for ColdestFirst {
         let cell = ctx.rf.cell_of(pick);
         self.scores[cell] += self.self_heat;
         pick
+    }
+
+    fn reset(&mut self) {
+        self.scores.copy_from_slice(&self.initial_scores);
     }
 }
 
@@ -419,6 +431,25 @@ mod tests {
         let mut p = ColdestFirst::new(scores, 0.0);
         let free = vec![PReg::new(0), PReg::new(5)];
         assert_eq!(p.choose(&free, &ctx(&rf, &[])), PReg::new(5));
+    }
+
+    #[test]
+    fn coldest_first_reset_restores_initial_scores() {
+        let rf = rf_4x4();
+        let mut scores = vec![0.0; 16];
+        scores[3] = 7.5;
+        let mut p = ColdestFirst::new(scores, 1.0);
+        let free = free_all(16);
+        let first = p.choose(&free, &ctx(&rf, &[]));
+        let _ = p.choose(&free, &ctx(&rf, &[]));
+        p.reset();
+        assert_eq!(p.score(rf.cell_of(first)), 0.0, "self-heat cleared");
+        assert_eq!(p.score(3), 7.5, "constructed scores survive reset");
+        assert_eq!(
+            p.choose(&free, &ctx(&rf, &[])),
+            first,
+            "reset makes the pick sequence repeat"
+        );
     }
 
     #[test]

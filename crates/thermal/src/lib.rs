@@ -15,6 +15,8 @@
 //!   leakage (the "technology coefficients" of §4);
 //! * [`ThermalState`] / [`MapStats`] — the dataflow fact and the summary
 //!   metrics (peak, gradient, σ) every experiment reports;
+//! * [`hashing`] — quantized 128-bit hashing of thermal maps and power
+//!   vectors, the key function of the batch engine's solve cache;
 //! * [`render_ascii`] & friends — Fig. 1-style heat-map rendering.
 //!
 //! Constants and their provenance/calibration live in [`constants`].
@@ -42,6 +44,7 @@
 
 pub mod constants;
 mod floorplan;
+pub mod hashing;
 mod map;
 mod power;
 mod rc;

@@ -31,4 +31,4 @@ pub use kernels::{
     bubble_sort, butterfly, checksum, dot_product, fibonacci, fir, histogram, matmul, popcount,
     saxpy, stencil, Workload,
 };
-pub use suite::{irregular_batch, pressure_ladder, standard_suite};
+pub use suite::{irregular_batch, pressure_ladder, replicated_suite, shard, standard_suite};

@@ -40,6 +40,43 @@ pub fn pressure_ladder(levels: &[usize], seed: u64) -> Vec<(usize, tadfa_ir::Fun
         .collect()
 }
 
+/// The standard suite repeated `copies` times — the repeated-kernel
+/// stream that exercises the batch engine's solve cache (every copy
+/// after the first is answered from memo).
+pub fn replicated_suite(copies: usize) -> Vec<Workload> {
+    (0..copies).flat_map(|_| standard_suite()).collect()
+}
+
+/// Splits `items` into `n` contiguous shards whose sizes differ by at
+/// most one, preserving order — concatenating the shards reproduces the
+/// input. The front shards take the remainder, so shard sizes are
+/// monotonically non-increasing. With `n` larger than the item count,
+/// the tail shards are empty.
+///
+/// This is the distribution helper for fanning a suite out over
+/// engines on separate machines (or separate engine calls): because
+/// analysis is order-stable, sharding never changes any individual
+/// report.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn shard<T>(items: Vec<T>, n: usize) -> Vec<Vec<T>> {
+    assert!(n > 0, "cannot shard into zero shards");
+    let len = items.len();
+    let base = len / n;
+    let remainder = len % n;
+    let mut shards = Vec::with_capacity(n);
+    let mut rest = items;
+    for k in 0..n {
+        let take = base + usize::from(k < remainder);
+        let tail = rest.split_off(take.min(rest.len()));
+        shards.push(rest);
+        rest = tail;
+    }
+    shards
+}
+
 /// A batch of irregular programs for convergence stressing (E3).
 pub fn irregular_batch(count: usize, seed: u64) -> Vec<tadfa_ir::Function> {
     (0..count)
@@ -102,5 +139,44 @@ mod tests {
         for f in irregular_batch(5, 7) {
             assert!(Verifier::new(&f).run().is_ok());
         }
+    }
+
+    #[test]
+    fn replicated_suite_repeats_in_order() {
+        let r = replicated_suite(3);
+        assert_eq!(r.len(), 33);
+        let one = standard_suite();
+        for (i, w) in r.iter().enumerate() {
+            assert_eq!(w.name, one[i % 11].name, "copy structure at {i}");
+        }
+        assert!(replicated_suite(0).is_empty());
+    }
+
+    #[test]
+    fn shard_is_balanced_and_order_preserving() {
+        let shards = shard((0..10).collect::<Vec<_>>(), 3);
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards[0], vec![0, 1, 2, 3]);
+        assert_eq!(shards[1], vec![4, 5, 6]);
+        assert_eq!(shards[2], vec![7, 8, 9]);
+        let flat: Vec<i32> = shard((0..7).collect::<Vec<_>>(), 4).concat();
+        assert_eq!(flat, (0..7).collect::<Vec<_>>(), "concat reproduces input");
+    }
+
+    #[test]
+    fn shard_handles_more_shards_than_items() {
+        let shards = shard(vec![1, 2], 5);
+        assert_eq!(shards.len(), 5);
+        assert_eq!(shards[0], vec![1]);
+        assert_eq!(shards[1], vec![2]);
+        assert!(shards[2..].iter().all(|s| s.is_empty()));
+        let empty: Vec<Vec<u8>> = shard(Vec::new(), 3);
+        assert_eq!(empty.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero shards")]
+    fn zero_shards_panics() {
+        let _ = shard(vec![1], 0);
     }
 }

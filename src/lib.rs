@@ -10,7 +10,7 @@
 //! | [`dataflow`] | worklist solver, liveness, reaching defs, available exprs, bitwidth, live intervals |
 //! | [`thermal`] | register-file floorplan, RC compact model, power model, heat maps |
 //! | [`regalloc`] | linear-scan + coloring allocators, Fig. 1 assignment policies |
-//! | [`core`] | **the paper**: the [`Session`](crate::prelude::Session) façade, the thermal DFA (Fig. 2), δ-convergence, critical variables, predictive mode |
+//! | [`core`] | **the paper**: the [`Session`](crate::prelude::Session) façade, the thermal DFA (Fig. 2), δ-convergence, critical variables, predictive mode, the parallel [`engine`] |
 //! | [`opt`] | §4 optimizations: spill-critical, splitting, scheduling, promotion, NOPs |
 //! | [`sim`] | IR interpreter, access traces, thermal co-simulation (ground truth) |
 //! | [`workloads`] | benchmark kernels + seeded program generator |
@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub use tadfa_core as core;
+pub use tadfa_core::engine;
 pub use tadfa_dataflow as dataflow;
 pub use tadfa_ir as ir;
 pub use tadfa_opt as opt;
@@ -62,9 +63,10 @@ pub use tadfa_workloads as workloads;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use tadfa_core::{
-        AnalysisGrid, Convergence, CriticalConfig, CriticalSet, MergeRule, PlacementPrior,
-        PredictiveConfig, PredictiveDfa, Session, SessionBuilder, TadfaError, ThermalDfa,
-        ThermalDfaConfig, ThermalReport,
+        AnalysisGrid, CacheStats, Convergence, CriticalConfig, CriticalSet, Engine, MergeRule,
+        PlacementPrior, PolicyFactory, PredictiveConfig, PredictiveDfa, Session, SessionBuilder,
+        SessionCore, SolveCache, SweepCell, SweepConfig, TadfaError, ThermalDfa, ThermalDfaConfig,
+        ThermalReport,
     };
     pub use tadfa_dataflow::{DefUse, Liveness};
     pub use tadfa_ir::{Cfg, Function, FunctionBuilder, Opcode, PReg, VReg, Verifier};
