@@ -1,0 +1,242 @@
+//! The solver quickbench: compiled kernels vs the retained naive
+//! reference, kernel-level and end-to-end.
+//!
+//! Three questions, answered every run:
+//!
+//! 1. **Kernel speed** — ns/op of one RC transient step (the thermal
+//!    DFA's innermost operation) through the naive solver, the compiled
+//!    CSR kernel, and the compiled stencil kernel; plus steady-state
+//!    solve times.
+//! 2. **End-to-end speed** — cold, single-thread `analyze_batch` over
+//!    the standard suite through the compiled path vs the
+//!    pre-optimization reference path
+//!    (`SessionCore::analyze_with_reference_solver`). The PR 3
+//!    acceptance bar is ≥ 3×.
+//! 3. **Identity** — compiled reports fingerprint byte-identical to
+//!    reference reports (asserted, not just printed).
+//!
+//! Machine-readable output: `BENCH_solver.json` at the workspace root
+//! (override with `BENCH_SOLVER_JSON`), written via
+//! `Harness::export_json` so the perf trajectory is tracked from this
+//! PR onward.
+//!
+//! Run: `cargo bench -p tadfa-bench --bench solver_kernels`
+
+use std::path::PathBuf;
+use tadfa_bench::quickbench::{black_box, fmt_duration, Harness};
+use tadfa_core::Session;
+use tadfa_ir::Function;
+use tadfa_regalloc::policy_by_name;
+use tadfa_thermal::{
+    CompiledModel, Floorplan, KernelKind, RcParams, SteadyStateOptions, StepScratch, ThermalModel,
+};
+use tadfa_workloads::standard_suite;
+
+/// Steps per sample for the kernel micro-benches (one step is tens of
+/// ns — too fine for the harness clock on its own).
+const STEPS_PER_SAMPLE: usize = 10_000;
+
+/// The per-instruction stepping regime of the DFA: dt well under the
+/// stability limit, so exactly one sub-step per call.
+const INSTRUCTION_DT: f64 = 3e-6;
+
+fn bench_step_kernels(h: &mut Harness) -> (f64, f64) {
+    let model = ThermalModel::new(Floorplan::grid(8, 8), RcParams::default());
+    let stencil = CompiledModel::new(&model);
+    let csr = CompiledModel::with_kernel(&model, KernelKind::Csr);
+    let mut power = vec![0.0; 64];
+    power[27] = 1e-3;
+    power[9] = 0.4e-3;
+
+    h.bench_function("step/naive/8x8", || {
+        let mut s = model.ambient_state();
+        for _ in 0..STEPS_PER_SAMPLE {
+            model.step(&mut s, &power, INSTRUCTION_DT);
+        }
+        s.peak()
+    });
+    h.bench_function("step/csr/8x8", || {
+        let mut s = model.ambient_state();
+        let mut scratch = StepScratch::new();
+        for _ in 0..STEPS_PER_SAMPLE {
+            csr.step_into(&mut s, &power, INSTRUCTION_DT, &mut scratch);
+        }
+        s.peak()
+    });
+    h.bench_function("step/stencil/8x8", || {
+        let mut s = model.ambient_state();
+        let mut scratch = StepScratch::new();
+        for _ in 0..STEPS_PER_SAMPLE {
+            stencil.step_into(&mut s, &power, INSTRUCTION_DT, &mut scratch);
+        }
+        s.peak()
+    });
+
+    // Pure solve time: model, power vector, and compiled plan are all
+    // built outside the timed closures.
+    let big = ThermalModel::new(Floorplan::grid(32, 32), RcParams::default());
+    let mut big_power = vec![0.0; 1024];
+    big_power[33] = 1e-3;
+    let big_solver = big.compile();
+    let mut big_out = big_solver.ambient_state();
+    h.bench_function("steady/naive/32x32", || big.steady_state(&big_power).peak());
+    h.bench_function("steady/stencil/32x32", || {
+        big_solver.steady_state_into(&big_power, &mut big_out, &SteadyStateOptions::default());
+        big_out.peak()
+    });
+
+    let ns_per =
+        |name: &str| h.mean_of(name).expect("benched").as_nanos() as f64 / STEPS_PER_SAMPLE as f64;
+    (ns_per("step/naive/8x8"), ns_per("step/stencil/8x8"))
+}
+
+/// Times the cold single-thread batch through both solver paths in
+/// **interleaved pairs** (compiled then reference per round), so CPU
+/// frequency drift and noisy neighbours hit both sides equally, and
+/// returns `(compiled median s, reference median s, median per-pair
+/// speedup)`.
+fn bench_analyze_batch(h: &mut Harness, funcs: &[Function]) -> (f64, f64, f64) {
+    let mut session = Session::builder()
+        .floorplan(8, 8)
+        .policy_name("first-free", 0)
+        .build()
+        .expect("bench session is valid");
+    let core = session.shared_core();
+
+    let run_compiled = |session: &mut Session| {
+        session
+            .analyze_batch(funcs)
+            .into_iter()
+            .map(|r| r.expect("suite analyzes").peak_temperature())
+            .fold(0.0f64, f64::max)
+    };
+    let run_reference = || {
+        funcs
+            .iter()
+            .map(|f| {
+                let mut policy =
+                    policy_by_name("first-free", core.register_file(), 0).expect("built-in policy");
+                core.analyze_with_reference_solver(f, policy.as_mut())
+                    .expect("suite analyzes")
+                    .peak_temperature()
+            })
+            .fold(0.0f64, f64::max)
+    };
+
+    // Warmup both paths.
+    for _ in 0..2 {
+        black_box(run_compiled(&mut session));
+        black_box(run_reference());
+    }
+
+    const ROUNDS: usize = 12;
+    let mut compiled_samples = Vec::with_capacity(ROUNDS);
+    let mut reference_samples = Vec::with_capacity(ROUNDS);
+    let mut ratios = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        let t0 = std::time::Instant::now();
+        black_box(run_compiled(&mut session));
+        let c = t0.elapsed();
+        let t0 = std::time::Instant::now();
+        black_box(run_reference());
+        let r = t0.elapsed();
+        compiled_samples.push(c);
+        reference_samples.push(r);
+        ratios.push(r.as_secs_f64() / c.as_secs_f64().max(1e-12));
+    }
+    h.record_samples("analyze_batch/compiled/suite", compiled_samples);
+    h.record_samples("analyze_batch/reference/suite", reference_samples);
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    let speedup = ratios[ratios.len() / 2];
+
+    // Identity: compiled fingerprints == reference fingerprints.
+    let compiled: Vec<u128> = session
+        .analyze_batch(funcs)
+        .into_iter()
+        .map(|r| r.expect("suite analyzes").fingerprint())
+        .collect();
+    let reference: Vec<u128> = funcs
+        .iter()
+        .map(|f| {
+            let mut policy =
+                policy_by_name("first-free", core.register_file(), 0).expect("built-in policy");
+            core.analyze_with_reference_solver(f, policy.as_mut())
+                .expect("suite analyzes")
+                .fingerprint()
+        })
+        .collect();
+    assert_eq!(
+        compiled, reference,
+        "compiled solver must be byte-identical to the reference"
+    );
+    println!("compiled reports byte-identical to reference: true");
+
+    let median_s = |name: &str| h.summary_of(name).expect("benched").median_ns as f64 / 1e9;
+    (
+        median_s("analyze_batch/compiled/suite"),
+        median_s("analyze_batch/reference/suite"),
+        speedup,
+    )
+}
+
+fn main() {
+    let funcs: Vec<Function> = standard_suite().into_iter().map(|w| w.func).collect();
+    println!(
+        "standard suite = {} functions, single thread\n",
+        funcs.len()
+    );
+
+    let mut h = Harness::new();
+    h.sample_size = 20;
+    let (naive_step_ns, stencil_step_ns) = bench_step_kernels(&mut h);
+
+    let (compiled_s, reference_s, batch_speedup) = bench_analyze_batch(&mut h, &funcs);
+
+    h.report();
+    println!();
+
+    let kernel_speedup = naive_step_ns / stencil_step_ns.max(1e-12);
+    let throughput = funcs.len() as f64 / compiled_s.max(1e-12);
+    println!("step kernel:     naive {naive_step_ns:.1} ns/op  →  stencil {stencil_step_ns:.1} ns/op  ({kernel_speedup:.2}x)");
+    println!(
+        "analyze_batch:   reference {}  →  compiled {}  ({batch_speedup:.2}x cold, 1 thread, {throughput:.1} funcs/s)",
+        fmt_duration(std::time::Duration::from_secs_f64(reference_s)),
+        fmt_duration(std::time::Duration::from_secs_f64(compiled_s)),
+    );
+
+    let path = std::env::var("BENCH_SOLVER_JSON").map_or_else(
+        |_| {
+            PathBuf::from(concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../BENCH_solver.json"
+            ))
+        },
+        PathBuf::from,
+    );
+    h.export_json(
+        &path,
+        &[
+            ("step_naive_ns_per_op", naive_step_ns),
+            ("step_stencil_ns_per_op", stencil_step_ns),
+            ("step_kernel_speedup", kernel_speedup),
+            ("analyze_batch_cold_1thread_speedup", batch_speedup),
+            ("analyze_batch_funcs_per_sec", throughput),
+            ("suite_functions", funcs.len() as f64),
+        ],
+    )
+    .expect("write BENCH_solver.json");
+    println!("wrote {}", path.display());
+
+    // The acceptance bar. Shared CI runners can be contended or
+    // throttled, so they set SOLVER_BENCH_NO_ENFORCE=1 and treat this
+    // as a reporting smoke test; local/dev runs enforce by default.
+    if std::env::var_os("SOLVER_BENCH_NO_ENFORCE").is_none() {
+        assert!(
+            batch_speedup >= 3.0,
+            "PR 3 acceptance bar: cold single-thread analyze_batch speedup \
+             {batch_speedup:.2}x < 3x"
+        );
+    } else if batch_speedup < 3.0 {
+        println!("WARNING: speedup {batch_speedup:.2}x below the 3x bar (not enforced)");
+    }
+}

@@ -8,6 +8,8 @@
 //! the bench sources only touch this façade.
 
 use std::hint::black_box as std_black_box;
+use std::io::Write as _;
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// Opaque-to-the-optimizer value sink, re-exported for bench bodies.
@@ -20,6 +22,65 @@ pub fn black_box<T>(x: T) -> T {
 struct Record {
     name: String,
     samples: Vec<Duration>,
+}
+
+impl Record {
+    fn summary(&self) -> Summary {
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let total: Duration = sorted.iter().sum();
+        Summary {
+            name: self.name.clone(),
+            min_ns: sorted[0].as_nanos(),
+            median_ns: sorted[sorted.len() / 2].as_nanos(),
+            mean_ns: (total / sorted.len() as u32).as_nanos(),
+            samples: sorted.len(),
+        }
+    }
+}
+
+/// One benchmark's summary statistics, nanosecond-denominated — the
+/// machine-readable row of [`Harness::export_json`].
+#[derive(Clone, Debug)]
+pub struct Summary {
+    /// Benchmark name.
+    pub name: String,
+    /// Fastest sample, ns.
+    pub min_ns: u128,
+    /// Median sample, ns.
+    pub median_ns: u128,
+    /// Mean sample, ns.
+    pub mean_ns: u128,
+    /// Samples collected.
+    pub samples: usize,
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) —
+/// bench names are ASCII identifiers, but don't emit broken JSON if one
+/// is not.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number formatting; non-finite values become `null` (JSON has no
+/// NaN/∞).
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
 }
 
 /// A set of benchmarks sharing a report table.
@@ -66,11 +127,73 @@ impl Harness {
         });
     }
 
+    /// Records externally collected samples under `name` — for callers
+    /// that need a sampling discipline `bench_function` cannot express
+    /// (e.g. interleaved A/B pairs that cancel out frequency drift).
+    pub fn record_samples(&mut self, name: &str, samples: Vec<Duration>) {
+        assert!(!samples.is_empty(), "need at least one sample");
+        self.records.push(Record {
+            name: name.to_string(),
+            samples,
+        });
+    }
+
     /// The mean duration recorded under `name`, if it was benched.
     pub fn mean_of(&self, name: &str) -> Option<Duration> {
         let r = self.records.iter().find(|r| r.name == name)?;
         let total: Duration = r.samples.iter().sum();
         Some(total / r.samples.len() as u32)
+    }
+
+    /// The summary (min/median/mean in ns, sample count) recorded under
+    /// `name`, if it was benched.
+    pub fn summary_of(&self, name: &str) -> Option<Summary> {
+        self.records
+            .iter()
+            .find(|r| r.name == name)
+            .map(Record::summary)
+    }
+
+    /// Writes the machine-readable report: every benchmark's summary
+    /// plus caller-supplied scalar `metrics` (speedups, throughputs) —
+    /// the format the perf trajectory is tracked in from PR 3 on
+    /// (`BENCH_solver.json`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating or writing `path`.
+    pub fn export_json(&self, path: &Path, metrics: &[(&str, f64)]) -> std::io::Result<()> {
+        let mut out = std::fs::File::create(path)?;
+        writeln!(out, "{{")?;
+        writeln!(out, "  \"benches\": [")?;
+        for (i, r) in self.records.iter().enumerate() {
+            let s = r.summary();
+            let comma = if i + 1 < self.records.len() { "," } else { "" };
+            writeln!(
+                out,
+                "    {{\"name\": {}, \"min_ns\": {}, \"median_ns\": {}, \
+                 \"mean_ns\": {}, \"samples\": {}}}{comma}",
+                json_string(&s.name),
+                s.min_ns,
+                s.median_ns,
+                s.mean_ns,
+                s.samples
+            )?;
+        }
+        writeln!(out, "  ],")?;
+        writeln!(out, "  \"metrics\": {{")?;
+        for (i, (name, value)) in metrics.iter().enumerate() {
+            let comma = if i + 1 < metrics.len() { "," } else { "" };
+            writeln!(
+                out,
+                "    {}: {}{comma}",
+                json_string(name),
+                json_number(*value)
+            )?;
+        }
+        writeln!(out, "  }}")?;
+        writeln!(out, "}}")?;
+        Ok(())
     }
 
     /// Prints the aligned report table for everything benched so far.
@@ -145,6 +268,30 @@ mod tests {
         assert!(h.mean_of("spin").is_some());
         assert!(h.mean_of("missing").is_none());
         h.report(); // must not panic
+    }
+
+    #[test]
+    fn export_json_is_machine_readable() {
+        let mut h = Harness::new();
+        h.sample_size = 2;
+        h.warmup_iters = 0;
+        h.bench_function("kernel/step \"x\"", || 1 + 1);
+        let s = h.summary_of("kernel/step \"x\"").expect("benched");
+        assert_eq!(s.samples, 2);
+        assert!(s.min_ns <= s.median_ns, "{s:?}");
+        // With 2 samples the median is the larger one, so it bounds the
+        // mean from above — catches a mean divided by the wrong count.
+        assert!(s.mean_ns <= s.median_ns, "{s:?}");
+
+        let path = std::env::temp_dir().join("tadfa_quickbench_export_test.json");
+        h.export_json(&path, &[("speedup", 3.5), ("bad", f64::NAN)])
+            .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(text.contains("\"kernel/step \\\"x\\\"\""), "{text}");
+        assert!(text.contains("\"speedup\": 3.5"), "{text}");
+        assert!(text.contains("\"bad\": null"), "{text}");
+        assert!(text.contains("\"min_ns\""), "{text}");
     }
 
     #[test]

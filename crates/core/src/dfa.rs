@@ -28,21 +28,100 @@ use crate::grid::AnalysisGrid;
 use std::sync::Arc;
 use tadfa_ir::{BlockId, Cfg, Function, Inst, InstId, Terminator, VReg};
 use tadfa_regalloc::Assignment;
-use tadfa_thermal::{PowerModel, ThermalState};
+use tadfa_thermal::{
+    CompiledModel, LeakageParams, PowerModel, StepSchedule, StepScratch, ThermalState,
+};
 
 /// Reusable buffers for one worker's fixpoint runs.
 ///
 /// The inner loop of the DFA builds a per-instruction power vector and
-/// access list; a fresh allocation per instruction is measurable on
-/// large batches. Holding a [`DfaScratch`] per worker (the engine does)
-/// or per session reuses the buffers across every instruction of every
-/// function.
+/// access list, and steps the RC solver; a fresh allocation per
+/// instruction is measurable on large batches. Holding a [`DfaScratch`]
+/// per worker (the engine does) or per session reuses the buffers —
+/// including the compiled solver's [`StepScratch`] — across every
+/// instruction of every function.
 #[derive(Debug, Default)]
 pub struct DfaScratch {
-    /// Per-instruction power map, `num_points` long while in use.
-    power: Vec<f64>,
+    /// Dense power buffer (reference path only).
+    power: PowerScratch,
     /// Per-instruction `(analysis point, energy)` access pairs.
     accesses: Vec<(usize, f64)>,
+    /// Transient-solver scratch for the compiled kernels.
+    step: StepScratch,
+}
+
+/// The reference path's dense power buffer. The compiled path needs no
+/// power buffer at all — its deposits go straight into the solver's
+/// sparse entry point ([`CompiledModel::step_sparse_into`]) — so this
+/// exists only to reproduce the pre-optimization transfer function.
+#[derive(Debug, Default)]
+struct PowerScratch {
+    buf: Vec<f64>,
+}
+
+/// Which solver drives the transfer function — the compiled plan (the
+/// production path) or the retained naive reference.
+#[derive(Copy, Clone, Debug)]
+enum SolverPath {
+    Compiled,
+    Reference,
+}
+
+/// The iteration-invariant half of the fixpoint's inner loop, resolved
+/// once per analysis instead of once per instruction per sweep: every
+/// instruction's (analysis point, watts) deposits — energies already
+/// divided by the natural duration — its step duration, and the
+/// leakage coefficients in kernel form.
+struct StepPlan {
+    /// Per-instruction (arena-slot-indexed) deposit span + schedule.
+    inst: Vec<PlanSpan>,
+    /// Per-block-terminator deposit span + schedule.
+    term: Vec<PlanSpan>,
+    /// Flattened `(point, watts)` deposits, in program order; each
+    /// instruction's span lists a point at most once (repeats
+    /// pre-summed), as the sparse solver path requires.
+    deposits: Vec<(u32, f64)>,
+    leak: LeakageParams,
+}
+
+/// One instruction's slice of the [`StepPlan`].
+#[derive(Copy, Clone)]
+struct PlanSpan {
+    start: u32,
+    end: u32,
+    sched: StepSchedule,
+}
+
+/// The fixpoint's accumulated result slots, shared by both sweep paths.
+struct SweepState {
+    after: Vec<Option<ThermalState>>,
+    entry: Vec<Option<ThermalState>>,
+    exit: Vec<Option<ThermalState>>,
+}
+
+/// The compiled sweep's per-instruction state store: one flat
+/// `arena_len × n` matrix instead of one heap allocation per
+/// instruction, so consecutive visits walk contiguous memory.
+struct AfterMatrix {
+    data: Vec<f64>,
+    init: Vec<bool>,
+    n: usize,
+}
+
+impl AfterMatrix {
+    /// Compare-and-remember for one instruction's row: returns the L∞
+    /// change against the stored state and overwrites it (∞ on first
+    /// visit). Value-identical to [`ThermalState::linf_update_from`].
+    #[inline]
+    fn update(&mut self, idx: usize, new: &ThermalState) -> f64 {
+        let row = &mut self.data[idx * self.n..(idx + 1) * self.n];
+        if !self.init[idx] {
+            self.init[idx] = true;
+            row.copy_from_slice(new.temps());
+            return f64::INFINITY;
+        }
+        ThermalState::linf_update_slices(row, new.temps())
+    }
 }
 
 /// The thermal DFA over one function.
@@ -149,28 +228,115 @@ impl<'a> ThermalDfa<'a> {
         );
     }
 
-    /// Advances `state` across one instruction (or terminator) given its
-    /// access list and latency: power = energy / natural duration,
-    /// applied for the time-scaled duration.
-    fn advance(
+    /// Resolves the iteration-invariant [`StepPlan`] for this analysis:
+    /// one pass over the program in control-flow order, after which the
+    /// fixpoint's sweeps never re-derive accesses, energies, or
+    /// durations.
+    fn build_plan(&self, cfg: &Cfg, accesses: &mut Vec<(usize, f64)>) -> StepPlan {
+        let func = self.func;
+        let empty = PlanSpan {
+            start: 0,
+            end: 0,
+            sched: self.grid.compiled().schedule(0.0),
+        };
+        let mut plan = StepPlan {
+            inst: vec![empty; func.arena_len()],
+            term: vec![empty; func.num_blocks()],
+            deposits: Vec::new(),
+            leak: self.power_model.leakage_params(),
+        };
+        for &bb in cfg.rpo() {
+            for &id in func.block(bb).insts() {
+                let inst = func.inst(id);
+                self.fill_access_energies(inst, accesses);
+                plan.inst[id.index()] =
+                    self.push_deposits(&mut plan.deposits, accesses, inst.op.latency());
+            }
+            if let Some(t) = func.terminator(bb) {
+                self.fill_term_energies(t, accesses);
+                plan.term[bb.index()] =
+                    self.push_deposits(&mut plan.deposits, accesses, t.latency());
+            }
+        }
+        plan
+    }
+
+    fn push_deposits(
+        &self,
+        deposits: &mut Vec<(u32, f64)>,
+        accesses: &[(usize, f64)],
+        latency: u32,
+    ) -> PlanSpan {
+        // Same expressions per access as the reference transfer
+        // function, evaluated once instead of once per sweep. Repeated
+        // points (a register read and written by one instruction)
+        // pre-sum left to right — the same fold order the reference's
+        // dense scatter performs — so the sparse solver path sees each
+        // cell at most once.
+        let natural = latency as f64 * self.config.seconds_per_cycle;
+        let start = deposits.len();
+        for &(p, e) in accesses {
+            let w = e / natural;
+            match deposits[start..].iter_mut().find(|(q, _)| *q == p as u32) {
+                Some((_, acc)) => *acc += w,
+                None => deposits.push((p as u32, w)),
+            }
+        }
+        PlanSpan {
+            start: start as u32,
+            end: deposits.len() as u32,
+            sched: self
+                .grid
+                .compiled()
+                .schedule(self.config.step_duration(latency)),
+        }
+    }
+
+    /// Advances `state` across one instruction (or terminator) via its
+    /// precomputed plan span.
+    ///
+    /// Allocation-free and O(accesses) outside the solver: the sparse
+    /// power buffer resets only its dirty indices (leakage never lands
+    /// in it — the kernel fuses leakage itself), and the compiled
+    /// kernel steps through caller-owned scratch. Bit-identical to
+    /// [`advance_reference`](Self::advance_reference).
+    #[inline]
+    fn advance_planned(
+        &self,
+        state: &mut ThermalState,
+        plan: &StepPlan,
+        span: PlanSpan,
+        step: &mut StepScratch,
+        compiled: &CompiledModel,
+    ) {
+        let deposits = &plan.deposits[span.start as usize..span.end as usize];
+        let leak = self.config.leakage_feedback.then_some(&plan.leak);
+        compiled.step_sparse_into(state, deposits, &span.sched, leak, step);
+    }
+
+    /// The pre-optimization transfer function, retained verbatim —
+    /// dense power zeroing per instruction and the naive, per-call
+    /// allocating [`tadfa_thermal::ThermalModel::step`] — as the
+    /// bit-identity reference and the solver quickbench baseline.
+    fn advance_reference(
         &self,
         state: &mut ThermalState,
         accesses: &[(usize, f64)],
         latency: u32,
-        power: &mut Vec<f64>,
+        power: &mut PowerScratch,
     ) {
         let n = self.grid.num_points();
         let natural = latency as f64 * self.config.seconds_per_cycle;
         let dt = self.config.step_duration(latency);
-        power.clear();
-        power.resize(n, 0.0);
+        power.buf.clear();
+        power.buf.resize(n, 0.0);
         for &(p, e) in accesses {
-            power[p] += e / natural;
+            power.buf[p] += e / natural;
         }
         if self.config.leakage_feedback {
-            self.power_model.add_leakage(power, state);
+            self.power_model.add_leakage(&mut power.buf, state);
         }
-        self.grid.model().step(state, power, dt);
+        self.grid.model().step(state, &power.buf, dt);
     }
 
     /// The quantized power-profile hash of this analysis — the
@@ -278,7 +444,26 @@ impl<'a> ThermalDfa<'a> {
     /// Runs the fixpoint iteration of Fig. 2 and returns the thermal
     /// state following each instruction.
     pub fn run(&self) -> ThermalDfaResult {
-        self.fixpoint(&Cfg::compute(self.func), &mut DfaScratch::default())
+        self.fixpoint(
+            &Cfg::compute(self.func),
+            &mut DfaScratch::default(),
+            SolverPath::Compiled,
+        )
+    }
+
+    /// [`run`](ThermalDfa::run) driven through the retained naive
+    /// reference solver (per-call allocations, dense power zeroing,
+    /// neighbour-iterator stepping) — the pre-optimization path. Kept so
+    /// bit-identity of the compiled kernels can be asserted end to end
+    /// (`tests/solver_identity.rs`) and so the solver quickbench has an
+    /// honest baseline; production callers want
+    /// [`run`](ThermalDfa::run) / [`run_with`](ThermalDfa::run_with).
+    pub fn run_reference(&self) -> ThermalDfaResult {
+        self.fixpoint(
+            &Cfg::compute(self.func),
+            &mut DfaScratch::default(),
+            SolverPath::Reference,
+        )
     }
 
     /// [`run`](ThermalDfa::run) with caller-owned scratch buffers and an
@@ -301,23 +486,60 @@ impl<'a> ThermalDfa<'a> {
                 if let Some(hit) = cache.fetch(key) {
                     return hit;
                 }
-                let result = Arc::new(self.fixpoint(&cfg, scratch));
+                let result = Arc::new(self.fixpoint(&cfg, scratch, SolverPath::Compiled));
                 cache.store(key, &result);
                 result
             }
-            None => Arc::new(self.fixpoint(&cfg, scratch)),
+            None => Arc::new(self.fixpoint(&cfg, scratch, SolverPath::Compiled)),
         }
     }
 
     /// The Fig. 2 iteration itself.
-    fn fixpoint(&self, cfg: &Cfg, scratch: &mut DfaScratch) -> ThermalDfaResult {
+    fn fixpoint(&self, cfg: &Cfg, scratch: &mut DfaScratch, path: SolverPath) -> ThermalDfaResult {
         let func = self.func;
         let initial = self.grid.model().ambient_state();
-        let DfaScratch { power, accesses } = scratch;
+        let n = self.grid.num_points();
+        let DfaScratch {
+            power,
+            accesses,
+            step,
+        } = scratch;
+        // The production path resolves its per-instruction plan up
+        // front — plus a reusable walker state (written into by merges,
+        // advanced by the solver, copied into result slots; no
+        // allocation after the first sweep) and a flat
+        // row-per-instruction state matrix (contiguous and
+        // prefetch-friendly where one heap allocation per instruction
+        // is pointer-chasing; materialised into result slots at the
+        // end). The reference path re-derives everything per sweep,
+        // exactly as the pre-optimization code did, and must not pay
+        // for any of this.
+        let (plan, mut walker, mut after) = match path {
+            SolverPath::Compiled => (
+                Some(self.build_plan(cfg, accesses)),
+                initial.clone(),
+                AfterMatrix {
+                    data: vec![0.0; func.arena_len() * n],
+                    init: vec![false; func.arena_len()],
+                    n,
+                },
+            ),
+            SolverPath::Reference => (
+                None,
+                ThermalState::uniform(0, 0.0),
+                AfterMatrix {
+                    data: Vec::new(),
+                    init: Vec::new(),
+                    n,
+                },
+            ),
+        };
 
-        let mut after: Vec<Option<ThermalState>> = vec![None; func.arena_len()];
-        let mut entry: Vec<Option<ThermalState>> = vec![None; func.num_blocks()];
-        let mut exit: Vec<Option<ThermalState>> = vec![None; func.num_blocks()];
+        let mut state = SweepState {
+            after: vec![None; func.arena_len()],
+            entry: vec![None; func.num_blocks()],
+            exit: vec![None; func.num_blocks()],
+        };
         let mut history: Vec<f64> = Vec::new();
 
         let mut convergence = Convergence::DidNotConverge {
@@ -326,48 +548,18 @@ impl<'a> ThermalDfa<'a> {
         };
 
         for iteration in 1..=self.config.max_iterations {
-            let mut max_change: f64 = 0.0;
-
-            for &bb in cfg.rpo() {
-                let s_in = if bb == func.entry() {
-                    initial.clone()
-                } else {
-                    let preds: Vec<&ThermalState> = cfg
-                        .preds(bb)
-                        .iter()
-                        .filter_map(|p| exit[p.index()].as_ref())
-                        .collect();
-                    if preds.is_empty() {
-                        initial.clone()
-                    } else {
-                        self.merge(&preds)
-                    }
-                };
-                entry[bb.index()] = Some(s_in.clone());
-
-                let mut s = s_in;
-                for &id in func.block(bb).insts() {
-                    let inst = func.inst(id);
-                    self.fill_access_energies(inst, accesses);
-                    self.advance(&mut s, accesses, inst.op.latency(), power);
-                    let change = match &after[id.index()] {
-                        Some(prev) => prev.linf_distance(&s),
-                        None => f64::INFINITY,
-                    };
-                    max_change = max_change.max(change);
-                    after[id.index()] = Some(s.clone());
-                }
-                if let Some(t) = func.terminator(bb) {
-                    self.fill_term_energies(t, accesses);
-                    self.advance(&mut s, accesses, t.latency(), power);
-                }
-                let exit_change = match &exit[bb.index()] {
-                    Some(prev) => prev.linf_distance(&s),
-                    None => f64::INFINITY,
-                };
-                max_change = max_change.max(exit_change);
-                exit[bb.index()] = Some(s);
-            }
+            let max_change = match &plan {
+                Some(plan) => self.sweep_compiled(
+                    cfg,
+                    plan,
+                    &initial,
+                    &mut walker,
+                    &mut after,
+                    &mut state,
+                    step,
+                ),
+                None => self.sweep_reference(cfg, &initial, &mut state, accesses, power),
+            };
 
             // The first sweep necessarily "changes" everything from
             // nothing; record it as infinite residual but never converge
@@ -387,15 +579,183 @@ impl<'a> ThermalDfa<'a> {
             }
         }
 
+        if plan.is_some() {
+            state.after = after
+                .init
+                .iter()
+                .enumerate()
+                .map(|(i, &init)| {
+                    init.then(|| ThermalState::from_vec(after.data[i * n..(i + 1) * n].to_vec()))
+                })
+                .collect();
+        }
+
         ThermalDfaResult {
-            after,
-            block_entry: entry,
-            block_exit: exit,
+            after: state.after,
+            block_entry: state.entry,
+            block_exit: state.exit,
             convergence,
             residual_history: history,
             ambient: self.grid.model().ambient(),
             num_points: self.grid.num_points(),
         }
+    }
+
+    /// One sweep over the program through the compiled solver plan —
+    /// the production inner loop. Allocation-free from the second sweep
+    /// on: block-entry states merge straight into the reusable walker,
+    /// every result slot is updated by `clone_from` /
+    /// [`ThermalState::linf_update_from`], and the solver steps through
+    /// caller-owned scratch. Bit-identical to
+    /// [`sweep_reference`](Self::sweep_reference).
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_compiled(
+        &self,
+        cfg: &Cfg,
+        plan: &StepPlan,
+        initial: &ThermalState,
+        walker: &mut ThermalState,
+        after: &mut AfterMatrix,
+        state: &mut SweepState,
+        step: &mut StepScratch,
+    ) -> f64 {
+        let func = self.func;
+        let compiled = self.grid.compiled();
+        let mut max_change: f64 = 0.0;
+        for &bb in cfg.rpo() {
+            if bb == func.entry() {
+                walker.clone_from(initial);
+            } else {
+                self.merge_into(walker, cfg.preds(bb), &state.exit, initial);
+            }
+            match &mut state.entry[bb.index()] {
+                Some(prev) => prev.clone_from(walker),
+                slot => *slot = Some(walker.clone()),
+            }
+
+            for &id in func.block(bb).insts() {
+                self.advance_planned(walker, plan, plan.inst[id.index()], step, compiled);
+                // Compare-and-remember against the flat matrix row,
+                // allocation-free. (Fusing this into the kernel pass
+                // itself benches *slower* — the tracking stores defeat
+                // the stencil loop's vectorization — so it stays a
+                // separate 4-lane pass.)
+                max_change = max_change.max(after.update(id.index(), walker));
+            }
+            if func.terminator(bb).is_some() {
+                self.advance_planned(walker, plan, plan.term[bb.index()], step, compiled);
+            }
+            let exit_change = match &mut state.exit[bb.index()] {
+                Some(prev) => prev.linf_update_from(walker),
+                slot => {
+                    *slot = Some(walker.clone());
+                    f64::INFINITY
+                }
+            };
+            max_change = max_change.max(exit_change);
+        }
+        max_change
+    }
+
+    /// Merges the available predecessor exit states into `dst` without
+    /// allocating — value-identical to [`merge`](Self::merge) over the
+    /// same states (same accumulation order), falling back to the
+    /// initial state when no predecessor has an exit yet.
+    fn merge_into(
+        &self,
+        dst: &mut ThermalState,
+        preds: &[BlockId],
+        exit: &[Option<ThermalState>],
+        initial: &ThermalState,
+    ) {
+        match self.config.merge {
+            MergeRule::Max => {
+                let mut first = true;
+                for p in preds {
+                    if let Some(s) = &exit[p.index()] {
+                        if first {
+                            dst.clone_from(s);
+                            first = false;
+                        } else {
+                            dst.max_with(s);
+                        }
+                    }
+                }
+                if first {
+                    dst.clone_from(initial);
+                }
+            }
+            MergeRule::Average => {
+                let available = preds.iter().filter(|p| exit[p.index()].is_some()).count();
+                if available == 0 {
+                    dst.clone_from(initial);
+                    return;
+                }
+                let w = 1.0 / available as f64;
+                dst.reset_uniform(initial.len(), 0.0);
+                for p in preds {
+                    if let Some(s) = &exit[p.index()] {
+                        dst.add_scaled(s, w);
+                    }
+                }
+            }
+        }
+    }
+
+    /// One sweep over the program through the retained pre-optimization
+    /// path, verbatim: per-sweep access resolution, per-visit state
+    /// clones, dense power zeroing, the naive allocating solver.
+    fn sweep_reference(
+        &self,
+        cfg: &Cfg,
+        initial: &ThermalState,
+        state: &mut SweepState,
+        accesses: &mut Vec<(usize, f64)>,
+        power: &mut PowerScratch,
+    ) -> f64 {
+        let func = self.func;
+        let mut max_change: f64 = 0.0;
+        for &bb in cfg.rpo() {
+            let s_in = if bb == func.entry() {
+                initial.clone()
+            } else {
+                let preds: Vec<&ThermalState> = cfg
+                    .preds(bb)
+                    .iter()
+                    .filter_map(|p| state.exit[p.index()].as_ref())
+                    .collect();
+                if preds.is_empty() {
+                    initial.clone()
+                } else {
+                    self.merge(&preds)
+                }
+            };
+            state.entry[bb.index()] = Some(s_in.clone());
+
+            let mut s = s_in;
+            for &id in func.block(bb).insts() {
+                let inst = func.inst(id);
+                self.fill_access_energies(inst, accesses);
+                self.advance_reference(&mut s, accesses, inst.op.latency(), power);
+                let change = match &state.after[id.index()] {
+                    Some(prev) => prev.linf_distance(&s),
+                    None => f64::INFINITY,
+                };
+                max_change = max_change.max(change);
+                state.after[id.index()] = Some(s.clone());
+            }
+            if let Some(t) = func.terminator(bb) {
+                self.fill_term_energies(t, accesses);
+                self.advance_reference(&mut s, accesses, t.latency(), power);
+            }
+            let exit_change = match &state.exit[bb.index()] {
+                Some(prev) => prev.linf_distance(&s),
+                None => f64::INFINITY,
+            };
+            max_change = max_change.max(exit_change);
+            state.exit[bb.index()] = Some(s);
+        }
+        max_change
     }
 }
 
@@ -657,6 +1017,68 @@ mod tests {
             "residuals grow under runaway: {:?}",
             &h[1..]
         );
+    }
+
+    #[test]
+    fn compiled_fixpoint_bit_identical_to_reference() {
+        // The compiled stencil path must reproduce the naive reference
+        // path bit for bit — states, residuals, convergence.
+        for leakage in [true, false] {
+            let mut f = loopy(80);
+            let rf = rf_4x4();
+            let alloc =
+                allocate_linear_scan(&mut f, &rf, &mut FirstFree, &RegAllocConfig::default())
+                    .unwrap();
+            let grid = AnalysisGrid::full(&rf, RcParams::default());
+            let cfg = ThermalDfaConfig {
+                leakage_feedback: leakage,
+                ..ThermalDfaConfig::default()
+            };
+            let dfa =
+                ThermalDfa::new(&f, &alloc.assignment, &grid, PowerModel::default(), cfg).unwrap();
+            let fast = dfa.run();
+            let slow = dfa.run_reference();
+            let bits = |r: &ThermalDfaResult| -> Vec<u64> {
+                r.after
+                    .iter()
+                    .flatten()
+                    .flat_map(|s| s.temps().iter().map(|t| t.to_bits()))
+                    .collect()
+            };
+            assert_eq!(bits(&fast), bits(&slow), "leakage={leakage}");
+            assert_eq!(fast.residual_history, slow.residual_history);
+            assert_eq!(fast.convergence, slow.convergence);
+        }
+    }
+
+    #[test]
+    fn scratch_survives_grid_size_changes() {
+        // One worker scratch is reused across sweep cells with different
+        // granularities; the dirty-index reset must stay correct.
+        let rf = RegisterFile::new(Floorplan::grid(8, 8));
+        let mut f = straightline();
+        let alloc =
+            allocate_linear_scan(&mut f, &rf, &mut FirstFree, &RegAllocConfig::default()).unwrap();
+        let fine = AnalysisGrid::full(&rf, RcParams::default());
+        let coarse = AnalysisGrid::coarsened(&rf, RcParams::default(), 2, 2).unwrap();
+        let mut scratch = DfaScratch::default();
+        let mut peaks = Vec::new();
+        for grid in [&fine, &coarse, &fine, &coarse] {
+            let dfa = ThermalDfa::new(
+                &f,
+                &alloc.assignment,
+                grid,
+                PowerModel::default(),
+                ThermalDfaConfig::default(),
+            )
+            .unwrap();
+            let shared = dfa.run_with(&mut scratch, None);
+            peaks.push(shared.peak_temperature());
+            // Reusing scratch must equal a fresh run.
+            assert_eq!(shared.peak_temperature(), dfa.run().peak_temperature());
+        }
+        assert_eq!(peaks[0], peaks[2]);
+        assert_eq!(peaks[1], peaks[3]);
     }
 
     #[test]

@@ -12,11 +12,14 @@
 //! batch call, spawns `workers` scoped threads over a shared atomic
 //! work index:
 //!
-//! * **Shared, read-only:** the core (register file, analysis grid and
-//!   its RC model, power model, configs) and the [`SolveCache`].
+//! * **Shared, read-only:** the core (register file, analysis grid with
+//!   its RC model *and* its compiled solver plan — one
+//!   [`CompiledModel`](tadfa_thermal::CompiledModel) behind an `Arc`,
+//!   stepped by every worker) and the [`SolveCache`].
 //! * **Per worker:** one freshly instantiated assignment policy per
 //!   item (from the engine's [`PolicyFactory`]) and one reusable
-//!   [`DfaScratch`] buffer set for the fixpoint's power maps.
+//!   [`DfaScratch`] buffer set — the fixpoint's power map (reset in
+//!   O(accesses) per instruction) and the solver's step scratch.
 //! * **Per item:** an independent `Result` slot — a function that fails
 //!   allocation produces its own `Err` without disturbing the rest of
 //!   the batch, and results are returned in input order regardless of

@@ -16,6 +16,7 @@
 use std::error::Error;
 use std::fmt;
 use tadfa_regalloc::RegAllocError;
+use tadfa_thermal::ThermalError;
 
 /// Errors produced by the tadfa workspace.
 #[derive(Clone, PartialEq, Debug)]
@@ -71,6 +72,8 @@ pub enum TadfaError {
     UnsharablePolicy(String),
     /// Register allocation failed.
     Alloc(RegAllocError),
+    /// Thermal-model construction or validation failed.
+    Thermal(ThermalError),
 }
 
 impl fmt::Display for TadfaError {
@@ -115,6 +118,7 @@ impl fmt::Display for TadfaError {
                 )
             }
             TadfaError::Alloc(e) => write!(f, "register allocation failed: {e}"),
+            TadfaError::Thermal(e) => write!(f, "thermal model rejected: {e}"),
         }
     }
 }
@@ -123,6 +127,7 @@ impl Error for TadfaError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             TadfaError::Alloc(e) => Some(e),
+            TadfaError::Thermal(e) => Some(e),
             _ => None,
         }
     }
@@ -131,6 +136,12 @@ impl Error for TadfaError {
 impl From<RegAllocError> for TadfaError {
     fn from(e: RegAllocError) -> TadfaError {
         TadfaError::Alloc(e)
+    }
+}
+
+impl From<ThermalError> for TadfaError {
+    fn from(e: ThermalError) -> TadfaError {
+        TadfaError::Thermal(e)
     }
 }
 

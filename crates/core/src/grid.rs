@@ -11,8 +11,9 @@
 //! over that grid. At full granularity it is the physical model itself.
 
 use crate::error::TadfaError;
+use std::sync::Arc;
 use tadfa_ir::PReg;
-use tadfa_thermal::{Floorplan, RcParams, RegisterFile, ThermalModel};
+use tadfa_thermal::{CompiledModel, Floorplan, RcParams, RegisterFile, ThermalModel};
 
 /// A (possibly coarsened) grid of thermal analysis points over a register
 /// file.
@@ -45,6 +46,10 @@ use tadfa_thermal::{Floorplan, RcParams, RegisterFile, ThermalModel};
 #[derive(Clone, Debug)]
 pub struct AnalysisGrid {
     model: ThermalModel,
+    /// The solver plan compiled once from `model` and shared (`Arc`) by
+    /// every clone of this grid — engine workers all step through the
+    /// same plan.
+    compiled: Arc<CompiledModel>,
     /// Physical floorplan cell → analysis point.
     cell_map: Vec<usize>,
     /// Register → analysis point (composition through the placement).
@@ -104,7 +109,8 @@ impl AnalysisGrid {
             lateral_resistance: params.lateral_resistance,
             ambient: params.ambient,
         };
-        let model = ThermalModel::new(analysis_fp, scaled);
+        let model = ThermalModel::try_new(analysis_fp, scaled)?;
+        let compiled = Arc::new(model.compile());
 
         let mut cell_map = Vec::with_capacity(fp.num_cells());
         for i in 0..fp.num_cells() {
@@ -119,6 +125,7 @@ impl AnalysisGrid {
 
         Ok(AnalysisGrid {
             model,
+            compiled,
             cell_map,
             reg_map,
             phys_rows: fp.rows(),
@@ -129,6 +136,13 @@ impl AnalysisGrid {
     /// The RC model over the analysis grid.
     pub fn model(&self) -> &ThermalModel {
         &self.model
+    }
+
+    /// The compiled solver plan over the analysis grid's model — built
+    /// once at grid construction; the thermal DFA's fixpoint steps
+    /// through it instead of the naive model.
+    pub fn compiled(&self) -> &CompiledModel {
+        &self.compiled
     }
 
     /// Number of analysis points.
@@ -289,5 +303,25 @@ mod tests {
         assert!(matches!(e, TadfaError::GridTooFine { .. }));
         let e = AnalysisGrid::coarsened(&rf, RcParams::default(), 0, 4).unwrap_err();
         assert!(matches!(e, TadfaError::EmptyGrid { rows: 0, cols: 4 }));
+    }
+
+    #[test]
+    fn bad_rc_params_are_an_error_not_a_panic() {
+        let rf = rf_8x8();
+        let bad = RcParams {
+            cell_capacitance: -1.0,
+            ..RcParams::default()
+        };
+        let e = AnalysisGrid::coarsened(&rf, bad, 4, 4).unwrap_err();
+        assert!(matches!(e, TadfaError::Thermal(_)));
+    }
+
+    #[test]
+    fn clones_share_one_compiled_plan() {
+        let rf = rf_8x8();
+        let g = AnalysisGrid::coarsened(&rf, RcParams::default(), 4, 4).unwrap();
+        assert_eq!(g.compiled().num_cells(), g.num_points());
+        let clone = g.clone();
+        assert!(std::ptr::eq(g.compiled(), clone.compiled()));
     }
 }

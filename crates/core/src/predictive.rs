@@ -24,7 +24,10 @@ use tadfa_ir::{Cfg, DomTree, Function, LoopInfo, PReg, VReg};
 use tadfa_regalloc::{
     allocate_linear_scan, AssignmentPolicy, Chessboard, FirstFree, RegAllocConfig, RoundRobin,
 };
-use tadfa_thermal::{PowerModel, RcParams, RegisterFile, ThermalModel, ThermalState};
+use tadfa_thermal::{
+    PowerModel, RcParams, RegisterFile, SteadyStateOptions, SteadyStateStats, ThermalModel,
+    ThermalState,
+};
 
 /// The assumed future assignment behaviour.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -101,6 +104,10 @@ pub struct PredictiveResult {
     pub ranked: Vec<(VReg, f64)>,
     /// Ambient temperature of the model used.
     pub ambient: f64,
+    /// Diagnostics of the steady-state solve behind
+    /// [`expected_map`](PredictiveResult::expected_map) — sweeps,
+    /// convergence status, final residual.
+    pub steady: SteadyStateStats,
 }
 
 impl PredictiveResult {
@@ -259,8 +266,13 @@ impl<'a> PredictiveDfa<'a> {
             }
         }
 
-        let model = ThermalModel::new(fp.clone(), self.params);
-        let expected_map = model.steady_state(&power);
+        let model = ThermalModel::try_new(fp.clone(), self.params)?;
+        // The compiled plan's stencil kernel is bit-identical to
+        // `ThermalModel::steady_state` and records the solve outcome.
+        let solver = model.compile();
+        let mut expected_map = solver.ambient_state();
+        let steady =
+            solver.steady_state_into(&power, &mut expected_map, &SteadyStateOptions::default());
         let ambient = model.ambient();
 
         // Rank variables by predicted heat exposure: access energy ×
@@ -287,6 +299,7 @@ impl<'a> PredictiveDfa<'a> {
             placement,
             ranked,
             ambient,
+            steady,
         })
     }
 }

@@ -269,21 +269,20 @@ fn validate_critical(critical: &CriticalConfig) -> Result<(), TadfaError> {
 }
 
 fn validate_rc(rc: &RcParams) -> Result<(), TadfaError> {
-    for (param, value) in [
-        ("cell_capacitance", rc.cell_capacitance),
-        ("vertical_resistance", rc.vertical_resistance),
-        ("lateral_resistance", rc.lateral_resistance),
-        ("ambient", rc.ambient),
-    ] {
-        if value <= 0.0 || !value.is_finite() {
-            return Err(TadfaError::InvalidConfig {
-                param,
-                value,
-                reason: "must be positive and finite",
-            });
-        }
-    }
-    Ok(())
+    // Delegates to the thermal crate's error-first validation; lifted
+    // into the façade's `InvalidConfig` shape for uniform reporting.
+    rc.checked().map_err(|e| match e {
+        tadfa_thermal::ThermalError::InvalidParam {
+            param,
+            value,
+            reason,
+        } => TadfaError::InvalidConfig {
+            param,
+            value,
+            reason,
+        },
+        other => TadfaError::Thermal(other),
+    })
 }
 
 /// The immutable, shareable half of a [`Session`]: register file,
@@ -328,6 +327,36 @@ impl SessionCore {
         scratch: &mut DfaScratch,
         cache: Option<&SolveCache>,
     ) -> Result<ThermalReport, TadfaError> {
+        self.analyze_inner(func, policy, scratch, cache, false)
+    }
+
+    /// [`analyze_with`](SessionCore::analyze_with) driven through the
+    /// retained naive reference solver
+    /// ([`ThermalDfa::run_reference`]) — the pre-optimization analysis
+    /// path. Exists so the solver quickbench has an honest cold
+    /// baseline and the suite-wide bit-identity tests
+    /// (`tests/solver_identity.rs`) can compare whole reports; never
+    /// the path to use in production.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TadfaError::Alloc`] if register allocation fails.
+    pub fn analyze_with_reference_solver(
+        &self,
+        func: &Function,
+        policy: &mut dyn AssignmentPolicy,
+    ) -> Result<ThermalReport, TadfaError> {
+        self.analyze_inner(func, policy, &mut DfaScratch::default(), None, true)
+    }
+
+    fn analyze_inner(
+        &self,
+        func: &Function,
+        policy: &mut dyn AssignmentPolicy,
+        scratch: &mut DfaScratch,
+        cache: Option<&SolveCache>,
+        reference_solver: bool,
+    ) -> Result<ThermalReport, TadfaError> {
         let mut allocated = func.clone();
         let alloc = allocate_linear_scan(&mut allocated, &self.rf, policy, &self.alloc)?;
         let dfa = ThermalDfa::new(
@@ -336,8 +365,12 @@ impl SessionCore {
             &self.grid,
             self.power,
             self.dfa,
-        )?
-        .run_with(scratch, cache);
+        )?;
+        let dfa = if reference_solver {
+            Arc::new(dfa.run_reference())
+        } else {
+            dfa.run_with(scratch, cache)
+        };
         let critical = CriticalSet::identify(
             &allocated,
             &alloc.assignment,

@@ -10,7 +10,7 @@
 
 use crate::trace::AccessTrace;
 use serde::{Deserialize, Serialize};
-use tadfa_thermal::{PowerModel, RegisterFile, ThermalModel, ThermalState};
+use tadfa_thermal::{PowerModel, RegisterFile, StepScratch, ThermalModel, ThermalState};
 
 /// Configuration of the co-simulation.
 #[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
@@ -95,12 +95,17 @@ pub fn simulate_trace(
     let window_natural = config.window as f64 * config.seconds_per_cycle;
     let window_scaled = window_natural * config.time_scale;
 
+    // One compiled plan + scratch for the whole trace: per-window steps
+    // are allocation-free and bit-identical to `ThermalModel::step`.
+    let solver = model.compile();
+    let mut scratch = StepScratch::new();
+
     for (wi, w) in trace.windows(config.window, rf.num_regs()).enumerate() {
         let mut power = power_model.power_vector(rf, &w.reads, &w.writes, window_natural);
         if config.leakage_feedback {
             power_model.add_leakage(&mut power, &state);
         }
-        model.step(&mut state, &power, window_scaled);
+        solver.step_into(&mut state, &power, window_scaled, &mut scratch);
         peak_map.max_with(&state);
         if config.sample_every > 0 && wi % config.sample_every == 0 {
             samples.push((w.end, state.clone()));

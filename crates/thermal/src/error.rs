@@ -1,0 +1,80 @@
+//! The thermal crate's error type.
+//!
+//! Historically every constructor in this crate panicked on bad input
+//! (`assert!` validation). The workspace's façade convention (PR 1) is
+//! error-first: fallible construction returns `Result` and panicking
+//! entry points are thin legacy wrappers. [`ThermalError`] is the
+//! `Err` half of that convention for the thermal substrate; `tadfa-core`
+//! lifts it into `TadfaError::Thermal` at the façade boundary.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by thermal-model construction and validation.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ThermalError {
+    /// A numeric model parameter failed validation.
+    InvalidParam {
+        /// The offending parameter, e.g. `"vertical_resistance"`.
+        param: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+    /// A floorplan with zero cells was requested.
+    EmptyFloorplan {
+        /// Requested rows.
+        rows: usize,
+        /// Requested columns.
+        cols: usize,
+    },
+}
+
+impl fmt::Display for ThermalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThermalError::InvalidParam {
+                param,
+                value,
+                reason,
+            } => write!(f, "invalid thermal parameter: {param} = {value}: {reason}"),
+            ThermalError::EmptyFloorplan { rows, cols } => {
+                write!(
+                    f,
+                    "floorplan must have at least one cell (got {rows}x{cols})"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ThermalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_parameter() {
+        let e = ThermalError::InvalidParam {
+            param: "ambient",
+            value: -3.0,
+            reason: "must be positive and finite",
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("ambient") && s.contains("must be positive"),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn empty_floorplan_keeps_the_legacy_message() {
+        // The panicking wrappers format this error, so the historical
+        // assert message ("at least one cell") must survive.
+        let e = ThermalError::EmptyFloorplan { rows: 0, cols: 4 };
+        assert!(e.to_string().contains("at least one cell"));
+        assert!(e.to_string().contains("0x4"));
+    }
+}

@@ -2,6 +2,7 @@
 //! defined over.
 
 use crate::constants;
+use crate::error::ThermalError;
 use serde::{Deserialize, Serialize};
 
 /// A rectangular grid of register cells.
@@ -27,13 +28,14 @@ pub struct Floorplan {
 }
 
 impl Floorplan {
-    /// A `rows × cols` grid with the default 50 µm cells.
+    /// A `rows × cols` grid with the default 50 µm cells, error-first.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if either dimension is zero.
-    pub fn grid(rows: usize, cols: usize) -> Floorplan {
-        Floorplan::with_cell_size(
+    /// Returns [`ThermalError::EmptyFloorplan`] if either dimension is
+    /// zero.
+    pub fn try_grid(rows: usize, cols: usize) -> Result<Floorplan, ThermalError> {
+        Floorplan::try_with_cell_size(
             rows,
             cols,
             constants::DEFAULT_CELL_WIDTH,
@@ -41,7 +43,54 @@ impl Floorplan {
         )
     }
 
-    /// A grid with explicit cell dimensions in metres.
+    /// A grid with explicit cell dimensions in metres, error-first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::EmptyFloorplan`] for a zero dimension and
+    /// [`ThermalError::InvalidParam`] for a non-positive or non-finite
+    /// cell size.
+    pub fn try_with_cell_size(
+        rows: usize,
+        cols: usize,
+        cell_width: f64,
+        cell_height: f64,
+    ) -> Result<Floorplan, ThermalError> {
+        if rows == 0 || cols == 0 {
+            return Err(ThermalError::EmptyFloorplan { rows, cols });
+        }
+        for (param, value) in [("cell_width", cell_width), ("cell_height", cell_height)] {
+            if value <= 0.0 || !value.is_finite() {
+                return Err(ThermalError::InvalidParam {
+                    param,
+                    value,
+                    reason: "cell dimensions must be positive",
+                });
+            }
+        }
+        Ok(Floorplan {
+            rows,
+            cols,
+            cell_width,
+            cell_height,
+        })
+    }
+
+    /// Legacy panicking wrapper over [`Floorplan::try_grid`]; prefer the
+    /// error-first form in new code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn grid(rows: usize, cols: usize) -> Floorplan {
+        match Floorplan::try_grid(rows, cols) {
+            Ok(fp) => fp,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Legacy panicking wrapper over [`Floorplan::try_with_cell_size`];
+    /// prefer the error-first form in new code.
     ///
     /// # Panics
     ///
@@ -52,19 +101,9 @@ impl Floorplan {
         cell_width: f64,
         cell_height: f64,
     ) -> Floorplan {
-        assert!(
-            rows > 0 && cols > 0,
-            "floorplan must have at least one cell"
-        );
-        assert!(
-            cell_width > 0.0 && cell_height > 0.0,
-            "cell dimensions must be positive"
-        );
-        Floorplan {
-            rows,
-            cols,
-            cell_width,
-            cell_height,
+        match Floorplan::try_with_cell_size(rows, cols, cell_width, cell_height) {
+            Ok(fp) => fp,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -333,6 +372,23 @@ mod tests {
     #[should_panic(expected = "at least one cell")]
     fn empty_floorplan_rejected() {
         let _ = Floorplan::grid(0, 4);
+    }
+
+    #[test]
+    fn try_constructors_are_error_first() {
+        assert!(matches!(
+            Floorplan::try_grid(0, 4),
+            Err(ThermalError::EmptyFloorplan { rows: 0, cols: 4 })
+        ));
+        assert!(matches!(
+            Floorplan::try_with_cell_size(2, 2, -1.0, 1e-5),
+            Err(ThermalError::InvalidParam {
+                param: "cell_width",
+                ..
+            })
+        ));
+        let fp = Floorplan::try_grid(3, 5).unwrap();
+        assert_eq!(fp.num_cells(), 15);
     }
 
     #[test]

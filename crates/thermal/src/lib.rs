@@ -11,6 +11,10 @@
 //! * [`ThermalModel`] — a HotSpot-style RC network with an explicit-Euler
 //!   transient solver (auto sub-stepped for stability) and a Gauss–Seidel
 //!   steady-state solver;
+//! * [`solver`] / [`CompiledModel`] — compiled solver plans: flattened
+//!   CSR adjacency + coefficient tables built once per model, executed
+//!   by allocation-free, stencil-specialized kernels that are
+//!   bit-identical to the naive solvers;
 //! * [`PowerModel`] — per-access energies plus temperature-dependent
 //!   leakage (the "technology coefficients" of §4);
 //! * [`ThermalState`] / [`MapStats`] — the dataflow fact and the summary
@@ -43,15 +47,22 @@
 #![warn(missing_debug_implementations)]
 
 pub mod constants;
+mod error;
 mod floorplan;
 pub mod hashing;
 mod map;
 mod power;
 mod rc;
+pub mod solver;
 mod state;
 
+pub use error::ThermalError;
 pub use floorplan::{Floorplan, RegisterFile};
 pub use map::{render_ascii, render_ascii_auto, render_numeric, to_csv};
 pub use power::PowerModel;
 pub use rc::{RcParams, ThermalModel};
+pub use solver::{
+    CompiledModel, KernelKind, LeakageParams, SteadyStateOptions, SteadyStateStats, StepSchedule,
+    StepScratch,
+};
 pub use state::{MapStats, ThermalState};

@@ -56,6 +56,17 @@ impl PowerModel {
             .max(0.0)
     }
 
+    /// This model's leakage coefficients in the compiled solver's
+    /// kernel-ready form (see
+    /// [`CompiledModel::step_leaky_into`](crate::solver::CompiledModel::step_leaky_into)).
+    pub fn leakage_params(&self) -> crate::solver::LeakageParams {
+        crate::solver::LeakageParams {
+            per_cell: self.leakage_per_cell,
+            temp_coeff: self.leakage_temp_coeff,
+            reference_temp: self.reference_temp,
+        }
+    }
+
     /// Builds a per-cell power vector from per-register access counts
     /// over `duration` seconds.
     ///
@@ -94,8 +105,10 @@ impl PowerModel {
     /// Panics if sizes mismatch.
     pub fn add_leakage(&self, power: &mut [f64], state: &ThermalState) {
         assert_eq!(power.len(), state.len(), "power/state size mismatch");
-        for (p, i) in power.iter_mut().zip(0..state.len()) {
-            *p += self.leakage_at(state.get(i));
+        // Paired iteration: no per-cell bounds checks in the DFA's
+        // hottest O(cells) pass.
+        for (p, &t) in power.iter_mut().zip(state.temps()) {
+            *p += self.leakage_at(t);
         }
     }
 }

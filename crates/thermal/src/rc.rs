@@ -13,7 +13,9 @@
 //! conductance system.
 
 use crate::constants;
+use crate::error::ThermalError;
 use crate::floorplan::Floorplan;
+use crate::solver::{CompiledModel, SteadyStateOptions, SteadyStateStats, StepScratch};
 use crate::state::ThermalState;
 use serde::{Deserialize, Serialize};
 
@@ -43,23 +45,41 @@ impl Default for RcParams {
 }
 
 impl RcParams {
-    /// Validates the parameters.
+    /// Validates the parameters, error-first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParam`] naming the first
+    /// parameter that is non-positive or non-finite.
+    pub fn checked(&self) -> Result<(), ThermalError> {
+        for (param, value) in [
+            ("cell_capacitance", self.cell_capacitance),
+            ("lateral_resistance", self.lateral_resistance),
+            ("vertical_resistance", self.vertical_resistance),
+            ("ambient", self.ambient),
+        ] {
+            if value <= 0.0 || !value.is_finite() {
+                return Err(ThermalError::InvalidParam {
+                    param,
+                    value,
+                    reason: "must be positive and finite",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Legacy panicking wrapper over [`RcParams::checked`]; prefer the
+    /// error-first form in new code.
     ///
     /// # Panics
     ///
     /// Panics if any resistance/capacitance is non-positive or the
     /// ambient temperature is non-positive.
     pub fn validate(&self) {
-        assert!(self.cell_capacitance > 0.0, "capacitance must be positive");
-        assert!(
-            self.lateral_resistance > 0.0,
-            "lateral resistance must be positive"
-        );
-        assert!(
-            self.vertical_resistance > 0.0,
-            "vertical resistance must be positive"
-        );
-        assert!(self.ambient > 0.0, "ambient must be positive Kelvin");
+        if let Err(e) = self.checked() {
+            panic!("{e}");
+        }
     }
 
     /// Lateral decay length λ = √(R_vert / R_lat), in cell units: how far
@@ -90,14 +110,35 @@ pub struct ThermalModel {
 }
 
 impl ThermalModel {
-    /// Builds the network.
+    /// Builds the network, error-first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParam`] if `params` fail
+    /// validation.
+    pub fn try_new(floorplan: Floorplan, params: RcParams) -> Result<ThermalModel, ThermalError> {
+        params.checked()?;
+        Ok(ThermalModel { floorplan, params })
+    }
+
+    /// Legacy panicking wrapper over [`ThermalModel::try_new`]; prefer
+    /// the error-first form in new code.
     ///
     /// # Panics
     ///
     /// Panics if `params` fail validation.
     pub fn new(floorplan: Floorplan, params: RcParams) -> ThermalModel {
-        params.validate();
-        ThermalModel { floorplan, params }
+        match ThermalModel::try_new(floorplan, params) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Compiles this model into a reusable solver plan (CSR adjacency +
+    /// coefficient tables + stencil kernels). See
+    /// [`CompiledModel`](crate::solver::CompiledModel).
+    pub fn compile(&self) -> CompiledModel {
+        CompiledModel::new(self)
     }
 
     /// The floorplan.
@@ -137,11 +178,37 @@ impl ThermalModel {
     /// Advances `state` by `dt` seconds under the given per-cell power,
     /// sub-stepping as needed for stability.
     ///
+    /// This is the **naive reference solver**: a fresh buffer per call
+    /// and the neighbour iterator per cell. It stays in this readable
+    /// form deliberately — the compiled kernels of
+    /// [`CompiledModel`](crate::solver::CompiledModel) are verified
+    /// bit-identical against it. Hot paths should compile the model
+    /// once and use [`CompiledModel::step_into`].
+    ///
     /// # Panics
     ///
     /// Panics if `power.len()` differs from the cell count, `dt` is
     /// negative, or any power is negative.
     pub fn step(&self, state: &mut ThermalState, power: &[f64], dt: f64) {
+        let mut scratch = StepScratch::new();
+        self.step_into(state, power, dt, &mut scratch);
+    }
+
+    /// [`step`](ThermalModel::step) into a caller-owned scratch buffer —
+    /// the allocation-free form of the naive reference solver. Results
+    /// are bit-identical to [`step`](ThermalModel::step) (buffer reuse
+    /// changes no floating-point operation).
+    ///
+    /// # Panics
+    ///
+    /// As [`step`](ThermalModel::step).
+    pub fn step_into(
+        &self,
+        state: &mut ThermalState,
+        power: &[f64],
+        dt: f64,
+        scratch: &mut StepScratch,
+    ) {
         assert_eq!(power.len(), self.num_cells(), "power vector size mismatch");
         assert!(dt >= 0.0, "negative time step");
         debug_assert!(power.iter().all(|&p| p >= 0.0), "negative power");
@@ -159,7 +226,8 @@ impl ThermalModel {
         let amb = self.params.ambient;
         let n = self.num_cells();
 
-        let mut next = vec![0.0f64; n];
+        scratch.ensure(n);
+        let next = &mut scratch.next;
         for _ in 0..n_sub {
             let t = state.temps();
             for i in 0..n {
@@ -169,20 +237,41 @@ impl ThermalModel {
                 }
                 next[i] = t[i] + h * flow / c;
             }
-            state.temps_mut().copy_from_slice(&next);
+            state.temps_mut().copy_from_slice(next);
         }
     }
 
-    /// Solves the steady state `G·T = P + G_vert·T_amb` by Gauss–Seidel.
+    /// Solves the steady state `G·T = P + G_vert·T_amb` by Gauss–Seidel
+    /// with the default tolerance and sweep budget (1 µK L∞, 100 000
+    /// sweeps). The naive reference counterpart of
+    /// [`CompiledModel::steady_state`](crate::solver::CompiledModel::steady_state).
     ///
     /// The conductance matrix is strictly diagonally dominant (every node
-    /// has a path to ambient), so the iteration always converges; we stop
-    /// at an L∞ update below 1 µK or 100 000 sweeps, whichever first.
+    /// has a path to ambient), so the iteration converges for physical
+    /// parameters; use [`steady_state_with`](ThermalModel::steady_state_with)
+    /// to observe the iteration count and convergence status instead of
+    /// discarding them.
     ///
     /// # Panics
     ///
     /// Panics if `power.len()` differs from the cell count.
     pub fn steady_state(&self, power: &[f64]) -> ThermalState {
+        self.steady_state_with(power, &SteadyStateOptions::default())
+            .0
+    }
+
+    /// [`steady_state`](ThermalModel::steady_state) with configurable
+    /// tolerance/budget, returning the solve diagnostics alongside the
+    /// state: sweeps executed, convergence status, final residual.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power.len()` differs from the cell count.
+    pub fn steady_state_with(
+        &self,
+        power: &[f64],
+        opts: &SteadyStateOptions,
+    ) -> (ThermalState, SteadyStateStats) {
         assert_eq!(power.len(), self.num_cells(), "power vector size mismatch");
         let g_vert = 1.0 / self.params.vertical_resistance;
         let g_lat = 1.0 / self.params.lateral_resistance;
@@ -190,7 +279,8 @@ impl ThermalModel {
         let n = self.num_cells();
 
         let mut t = vec![amb; n];
-        for sweep in 0..100_000 {
+        let mut stats = SteadyStateStats::start();
+        for _ in 0..opts.max_sweeps {
             let mut max_delta: f64 = 0.0;
             for i in 0..n {
                 let mut num = power[i] + amb * g_vert;
@@ -203,12 +293,14 @@ impl ThermalModel {
                 max_delta = max_delta.max((new - t[i]).abs());
                 t[i] = new;
             }
-            if max_delta < 1e-6 {
+            stats.sweeps += 1;
+            stats.residual = max_delta;
+            if max_delta < opts.tolerance {
+                stats.converged = true;
                 break;
             }
-            debug_assert!(sweep < 99_999, "Gauss–Seidel failed to converge");
         }
-        ThermalState::from_vec(t)
+        (ThermalState::from_vec(t), stats)
     }
 
     /// Convenience: the steady-state temperature a single cell would
@@ -366,5 +458,63 @@ mod tests {
             ..RcParams::default()
         };
         let _ = ThermalModel::new(Floorplan::grid(2, 2), p);
+    }
+
+    #[test]
+    fn try_new_is_error_first() {
+        use crate::error::ThermalError;
+        let bad = RcParams {
+            ambient: f64::NAN,
+            ..RcParams::default()
+        };
+        let e = ThermalModel::try_new(Floorplan::grid(2, 2), bad).unwrap_err();
+        assert!(matches!(
+            e,
+            ThermalError::InvalidParam {
+                param: "ambient",
+                ..
+            }
+        ));
+        assert!(bad.checked().is_err());
+        assert!(RcParams::default().checked().is_ok());
+        assert!(ThermalModel::try_new(Floorplan::grid(2, 2), RcParams::default()).is_ok());
+    }
+
+    #[test]
+    fn steady_state_with_reports_diagnostics() {
+        let m = model_4x4();
+        let mut power = vec![0.0; 16];
+        power[5] = 1e-3;
+        let (s, stats) = m.steady_state_with(&power, &SteadyStateOptions::default());
+        assert!(stats.converged);
+        assert!(stats.sweeps > 0);
+        assert!(stats.residual < 1e-6);
+        // The legacy entry point returns the identical state.
+        assert_eq!(s.temps(), m.steady_state(&power).temps());
+
+        // Starving the budget reports non-convergence instead of a
+        // silent (debug-only) assert.
+        let tight = SteadyStateOptions {
+            tolerance: 1e-15,
+            max_sweeps: 3,
+        };
+        let (_, stats) = m.steady_state_with(&power, &tight);
+        assert!(!stats.converged);
+        assert_eq!(stats.sweeps, 3);
+    }
+
+    #[test]
+    fn step_into_reuses_scratch_and_matches_step() {
+        let m = model_4x4();
+        let mut power = vec![0.0; 16];
+        power[3] = 1e-3;
+        let mut scratch = StepScratch::new();
+        let mut a = m.ambient_state();
+        let mut b = m.ambient_state();
+        for _ in 0..5 {
+            m.step_into(&mut a, &power, 1e-4, &mut scratch);
+            m.step(&mut b, &power, 1e-4);
+        }
+        assert_eq!(a.temps(), b.temps());
     }
 }

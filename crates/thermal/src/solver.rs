@@ -1,0 +1,1145 @@
+//! Compiled solver plans: allocation-free, stencil-specialized RC
+//! stepping.
+//!
+//! [`ThermalModel::step`] and [`ThermalModel::steady_state`] are correct
+//! but built for readability: every call heap-allocates its working
+//! buffer, re-derives the conductances and the stability limit, and
+//! walks [`Floorplan::neighbors`](crate::Floorplan::neighbors) — an
+//! iterator that performs a division per cell to recover `(row, col)`.
+//! Inside the thermal-DFA fixpoint those costs are paid once per
+//! instruction per sweep and dominate whole-program analysis time.
+//!
+//! A [`CompiledModel`] is built **once** per model and amortizes all of
+//! it:
+//!
+//! * per-cell coefficient tables (`g_vert`, `g_lat`, the Gauss–Seidel
+//!   denominators) and the sub-step limit are precomputed;
+//! * the 4-connected adjacency is flattened into a CSR table
+//!   (`row_ptr`/`col_idx`) for the generic fallback kernel;
+//! * on the rectangular grids every [`Floorplan`](crate::Floorplan)
+//!   describes, the default **grid-stencil kernel** drops the adjacency
+//!   table entirely: neighbours are `i ± 1` and `i ± cols`, and the
+//!   interior/boundary loops are split so the interior loop is
+//!   branch-free and auto-vectorizable;
+//! * transient stepping is allocation-free: the caller owns a
+//!   [`StepScratch`] whose buffer is recycled by pointer swap.
+//!
+//! # Bit-identity contract
+//!
+//! Every kernel preserves the *exact floating-point operation order* of
+//! the naive solvers in [`crate::ThermalModel`]: neighbour contributions
+//! accumulate in the same N/S/W/E order `neighbors` yields, the
+//! Gauss–Seidel denominator is folded term by term at compile time the
+//! way the naive sweep folds it per cell, and derived quantities
+//! (`1/R`, the stability limit) are computed by the same expressions.
+//! Consequently compiled results are **bit-identical** to the naive
+//! solvers' — asserted cell-by-cell (`f64::to_bits`) by
+//! `crates/thermal/tests/kernel_identity.rs` and suite-wide via
+//! `ThermalReport::fingerprint` in `tests/solver_identity.rs`.
+//!
+//! # Example
+//!
+//! ```
+//! use tadfa_thermal::{CompiledModel, Floorplan, RcParams, StepScratch, ThermalModel};
+//!
+//! let model = ThermalModel::new(Floorplan::grid(8, 8), RcParams::default());
+//! let solver = model.compile();
+//! let mut power = vec![0.0; 64];
+//! power[27] = 1e-3;
+//!
+//! // Allocation-free stepping: the scratch buffer is reused forever.
+//! let mut scratch = StepScratch::default();
+//! let mut fast = model.ambient_state();
+//! let mut naive = model.ambient_state();
+//! for _ in 0..10 {
+//!     solver.step_into(&mut fast, &power, 1e-4, &mut scratch);
+//!     model.step(&mut naive, &power, 1e-4);
+//! }
+//! assert_eq!(fast.temps(), naive.temps()); // bit-identical
+//! ```
+
+use crate::rc::ThermalModel;
+use crate::state::ThermalState;
+
+/// Which inner kernel a [`CompiledModel`] executes.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum KernelKind {
+    /// Grid-stencil kernel: neighbours addressed as `i ± 1` / `i ± cols`
+    /// with split interior/boundary loops. The default — every
+    /// [`Floorplan`](crate::Floorplan) is a rectangular grid.
+    Stencil,
+    /// Generic CSR kernel over the flattened adjacency table. The
+    /// fallback for irregular topologies (and the cross-check in the
+    /// bit-identity tests).
+    Csr,
+}
+
+/// Caller-owned scratch for [`CompiledModel::step_into`] /
+/// [`ThermalModel::step_into`].
+///
+/// Holds the transient solver's `next`-temperatures buffer (and, for
+/// the multi-sub-step leaky path, a dense power staging buffer) so
+/// repeated stepping never allocates. One scratch serves models of any
+/// size (buffers are resized on first use per size); the thermal DFA
+/// keeps one inside its `DfaScratch` per worker.
+#[derive(Clone, Debug, Default)]
+pub struct StepScratch {
+    pub(crate) next: Vec<f64>,
+    /// Dense `access + leakage` staging for the sub-stepped leaky path.
+    dense_power: Vec<f64>,
+}
+
+impl StepScratch {
+    /// A fresh scratch (empty buffers; sized lazily on first use).
+    pub fn new() -> StepScratch {
+        StepScratch::default()
+    }
+
+    pub(crate) fn ensure(&mut self, n: usize) {
+        if self.next.len() != n {
+            self.next.clear();
+            self.next.resize(n, 0.0);
+        }
+    }
+}
+
+/// The linearised leakage model in kernel-ready form — the same
+/// coefficients as `PowerModel`'s leakage, evaluated with the identical
+/// expression (`(per_cell · (1 + coeff · (T − T_ref))).max(0)`), so the
+/// fused leaky kernels stay bit-identical to "add leakage, then step".
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct LeakageParams {
+    /// Leakage power per cell at the reference temperature, W.
+    pub per_cell: f64,
+    /// Fractional leakage increase per Kelvin above the reference.
+    pub temp_coeff: f64,
+    /// Reference temperature of the linearisation, K.
+    pub reference_temp: f64,
+}
+
+/// `PowerModel::leakage_at`, verbatim.
+#[inline(always)]
+fn leak_at(lp: &LeakageParams, t: f64) -> f64 {
+    (lp.per_cell * (1.0 + lp.temp_coeff * (t - lp.reference_temp))).max(0.0)
+}
+
+/// The zero leakage model the non-leaky kernel instantiations take
+/// (and, being `!LEAKY`, never read).
+const NO_LEAK: LeakageParams = LeakageParams {
+    per_cell: 0.0,
+    temp_coeff: 0.0,
+    reference_temp: 0.0,
+};
+
+/// A precomputed sub-step schedule: how many explicit-Euler sub-steps a
+/// given `dt` needs under a model's stability limit, and their size.
+/// Callers that step with the same `dt` many times (the thermal DFA
+/// steps each instruction's `dt` once per sweep) build this once via
+/// [`CompiledModel::schedule`] instead of re-deriving it per call.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct StepSchedule {
+    /// Sub-steps to run (0 for `dt == 0`).
+    n_sub: u32,
+    /// Sub-step size, seconds.
+    h: f64,
+}
+
+/// Tolerance and sweep budget of the Gauss–Seidel steady-state solver.
+///
+/// The defaults reproduce the historical hard-coded values (1 µK L∞
+/// update, 100 000 sweeps).
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct SteadyStateOptions {
+    /// Stop once no cell's update exceeds this, Kelvin.
+    pub tolerance: f64,
+    /// Give up (reporting non-convergence) after this many sweeps.
+    pub max_sweeps: usize,
+}
+
+impl Default for SteadyStateOptions {
+    fn default() -> SteadyStateOptions {
+        SteadyStateOptions {
+            tolerance: 1e-6,
+            max_sweeps: 100_000,
+        }
+    }
+}
+
+/// How a Gauss–Seidel steady-state solve ended.
+///
+/// Replaces the historical silent behaviour (a `debug_assert!` that
+/// vanished in release builds): iteration count and convergence status
+/// are always recorded and returned.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct SteadyStateStats {
+    /// Sweeps executed.
+    pub sweeps: usize,
+    /// Whether the final sweep's L∞ update beat the tolerance.
+    pub converged: bool,
+    /// The final sweep's L∞ update, Kelvin (∞ if no sweep ran).
+    pub residual: f64,
+}
+
+impl SteadyStateStats {
+    /// The pre-iteration value: zero sweeps, unconverged, ∞ residual.
+    pub(crate) fn start() -> SteadyStateStats {
+        SteadyStateStats {
+            sweeps: 0,
+            converged: false,
+            residual: f64::INFINITY,
+        }
+    }
+}
+
+/// A solver plan compiled from a [`ThermalModel`]: flattened CSR
+/// adjacency, per-cell coefficient tables, and stencil-specialized
+/// kernels. Build once (cheap, O(cells)), share behind an `Arc`, reuse
+/// for every solve — see the [module docs](self).
+#[derive(Clone, Debug)]
+pub struct CompiledModel {
+    rows: usize,
+    cols: usize,
+    n: usize,
+    g_vert: f64,
+    g_lat: f64,
+    cap: f64,
+    ambient: f64,
+    max_stable_dt: f64,
+    kernel: KernelKind,
+    /// CSR row offsets into `col_idx`, `n + 1` entries.
+    row_ptr: Vec<u32>,
+    /// Flattened neighbour lists in the naive solver's N/S/W/E order.
+    col_idx: Vec<u32>,
+    /// Per-cell Gauss–Seidel denominator, folded term by term exactly
+    /// as the naive sweep folds it (`g_vert`, then `+ g_lat` per
+    /// neighbour) so quotients stay bit-identical.
+    gs_den: Vec<f64>,
+}
+
+impl CompiledModel {
+    /// Compiles `model` with the default (stencil) kernel.
+    pub fn new(model: &ThermalModel) -> CompiledModel {
+        CompiledModel::with_kernel(model, KernelKind::Stencil)
+    }
+
+    /// Compiles `model` with an explicit kernel — the hook the
+    /// bit-identity tests and kernel benches use to force the CSR path.
+    pub fn with_kernel(model: &ThermalModel, kernel: KernelKind) -> CompiledModel {
+        let fp = model.floorplan();
+        let params = model.params();
+        let n = fp.num_cells();
+        assert!(n < u32::MAX as usize, "floorplan too large for CSR plan");
+        // Same expressions as the naive solvers, so the derived values
+        // share their exact bit patterns.
+        let g_vert = 1.0 / params.vertical_resistance;
+        let g_lat = 1.0 / params.lateral_resistance;
+
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::with_capacity(4 * n);
+        let mut gs_den = Vec::with_capacity(n);
+        row_ptr.push(0u32);
+        for i in 0..n {
+            let mut den = g_vert;
+            for j in fp.neighbors(i) {
+                col_idx.push(j as u32);
+                den += g_lat;
+            }
+            row_ptr.push(col_idx.len() as u32);
+            gs_den.push(den);
+        }
+
+        CompiledModel {
+            rows: fp.rows(),
+            cols: fp.cols(),
+            n,
+            g_vert,
+            g_lat,
+            cap: params.cell_capacitance,
+            ambient: params.ambient,
+            max_stable_dt: model.max_stable_dt(),
+            kernel,
+            row_ptr,
+            col_idx,
+            gs_den,
+        }
+    }
+
+    /// The kernel this plan executes.
+    pub fn kernel(&self) -> KernelKind {
+        self.kernel
+    }
+
+    /// Number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.n
+    }
+
+    /// Ambient temperature, K.
+    pub fn ambient(&self) -> f64 {
+        self.ambient
+    }
+
+    /// The precomputed explicit-Euler stability limit, seconds.
+    pub fn max_stable_dt(&self) -> f64 {
+        self.max_stable_dt
+    }
+
+    /// A state with every cell at ambient.
+    pub fn ambient_state(&self) -> ThermalState {
+        ThermalState::uniform(self.n, self.ambient)
+    }
+
+    /// Precomputes the sub-step schedule for `dt` — the exact `n_sub`
+    /// and `h` [`step_into`](CompiledModel::step_into) would derive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is negative.
+    pub fn schedule(&self, dt: f64) -> StepSchedule {
+        assert!(dt >= 0.0, "negative time step");
+        if dt == 0.0 {
+            return StepSchedule { n_sub: 0, h: 0.0 };
+        }
+        let n_sub = (dt / self.max_stable_dt).ceil().max(1.0) as usize;
+        StepSchedule {
+            n_sub: n_sub.try_into().expect("sub-step count fits in u32"),
+            h: dt / n_sub as f64,
+        }
+    }
+
+    /// Advances `state` by `dt` seconds under `power`, sub-stepping as
+    /// needed for stability — [`ThermalModel::step`] without the per-call
+    /// allocation and neighbour-iterator overhead, bit-identical to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power`/`state` sizes mismatch the model or `dt` is
+    /// negative.
+    #[inline]
+    pub fn step_into(
+        &self,
+        state: &mut ThermalState,
+        power: &[f64],
+        dt: f64,
+        scratch: &mut StepScratch,
+    ) {
+        self.step_scheduled_into(state, power, &self.schedule(dt), scratch);
+    }
+
+    /// [`step_into`](CompiledModel::step_into) under a precomputed
+    /// [`StepSchedule`] — skips the per-call sub-step derivation.
+    #[inline]
+    pub fn step_scheduled_into(
+        &self,
+        state: &mut ThermalState,
+        power: &[f64],
+        sched: &StepSchedule,
+        scratch: &mut StepScratch,
+    ) {
+        assert_eq!(power.len(), self.n, "power vector size mismatch");
+        assert_eq!(state.len(), self.n, "state size mismatch");
+        debug_assert!(power.iter().all(|&p| p >= 0.0), "negative power");
+        if sched.n_sub == 0 {
+            return;
+        }
+        scratch.ensure(self.n);
+        self.run_substeps::<false>(
+            state,
+            power,
+            &NO_LEAK,
+            sched.n_sub as usize,
+            sched.h,
+            &mut scratch.next,
+        );
+    }
+
+    /// [`step_into`](CompiledModel::step_into) under temperature-dependent
+    /// leakage: advances `state` exactly as "add `leak` of the *current*
+    /// state to `power`, then step" would — bit for bit — without ever
+    /// materialising the dense power vector in the common single-sub-step
+    /// case. The caller's `power` holds only the sparse access power, so
+    /// its owner can keep resetting it in O(accesses).
+    ///
+    /// With sub-stepping (`dt` above the stability limit), leakage must
+    /// stay frozen at the pre-step temperatures to match the reference
+    /// semantics; that path stages `power + leak` into the scratch's
+    /// dense buffer once and runs the plain kernel over it.
+    ///
+    /// # Panics
+    ///
+    /// As [`step_into`](CompiledModel::step_into).
+    #[inline]
+    pub fn step_leaky_into(
+        &self,
+        state: &mut ThermalState,
+        power: &[f64],
+        dt: f64,
+        leak: &LeakageParams,
+        scratch: &mut StepScratch,
+    ) {
+        self.step_leaky_scheduled_into(state, power, &self.schedule(dt), leak, scratch);
+    }
+
+    /// [`step_leaky_into`](CompiledModel::step_leaky_into) under a
+    /// precomputed [`StepSchedule`] — skips the per-call sub-step
+    /// derivation (the thermal DFA's innermost call).
+    #[inline]
+    pub fn step_leaky_scheduled_into(
+        &self,
+        state: &mut ThermalState,
+        power: &[f64],
+        sched: &StepSchedule,
+        leak: &LeakageParams,
+        scratch: &mut StepScratch,
+    ) {
+        assert_eq!(power.len(), self.n, "power vector size mismatch");
+        assert_eq!(state.len(), self.n, "state size mismatch");
+        debug_assert!(power.iter().all(|&p| p >= 0.0), "negative power");
+        if sched.n_sub == 0 {
+            return;
+        }
+
+        let n_sub = sched.n_sub as usize;
+        let h = sched.h;
+        scratch.ensure(self.n);
+        if n_sub == 1 {
+            // One sub-step: the "current" temperatures are the pre-step
+            // temperatures, so leakage can fold into the kernel.
+            self.run_substeps::<true>(state, power, leak, n_sub, h, &mut scratch.next);
+        } else {
+            // Freeze leakage at the pre-step state, then step plainly.
+            let dense = &mut scratch.dense_power;
+            dense.clear();
+            dense.extend(
+                power
+                    .iter()
+                    .zip(state.temps())
+                    .map(|(&p, &t)| p + leak_at(leak, t)),
+            );
+            self.run_substeps::<false>(state, dense, &NO_LEAK, n_sub, h, &mut scratch.next);
+        }
+    }
+
+    /// Advances `state` under **sparse** access power: `deposits` lists
+    /// the `(cell, watts)` pairs (each cell at most once, watts
+    /// pre-summed); every unlisted cell has zero access power. With
+    /// `leak`, temperature-dependent leakage is fused into the kernel.
+    ///
+    /// This is the thermal DFA's innermost call: the dense power vector
+    /// never materialises on the single-sub-step path — the kernel runs
+    /// with implicit-zero power, then the O(accesses) deposit cells are
+    /// recomputed with their actual power. Bit-identical to scattering
+    /// the deposits into a dense zero vector (adding leakage) and
+    /// calling the dense entry points, because `0.0 + x` is exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` has the wrong size or a deposit cell is out of
+    /// range.
+    #[inline]
+    pub fn step_sparse_into(
+        &self,
+        state: &mut ThermalState,
+        deposits: &[(u32, f64)],
+        sched: &StepSchedule,
+        leak: Option<&LeakageParams>,
+        scratch: &mut StepScratch,
+    ) {
+        assert_eq!(state.len(), self.n, "state size mismatch");
+        // Out-of-range deposit cells panic at the indexing site (the
+        // fixup / dense-staging loops); no up-front scan needed.
+        debug_assert!(deposits.iter().all(|&(_, w)| w >= 0.0), "negative power");
+        if sched.n_sub == 0 {
+            return;
+        }
+        scratch.ensure(self.n);
+        if sched.n_sub == 1 {
+            let t = state.temps();
+            let next = &mut scratch.next;
+            match leak {
+                Some(lp) => {
+                    self.substep_dispatch::<true, false>(t, &[], lp, next, sched.h);
+                    self.fixup_cells::<true>(t, lp, next, deposits, sched.h);
+                }
+                None => {
+                    self.substep_dispatch::<false, false>(t, &[], &NO_LEAK, next, sched.h);
+                    self.fixup_cells::<false>(t, &NO_LEAK, next, deposits, sched.h);
+                }
+            }
+            state.swap_buffer(next);
+            return;
+        }
+        // Sub-stepped: stage the dense power once (leakage frozen at the
+        // pre-step temperatures, matching the reference semantics), then
+        // run the dense kernel.
+        let dense = &mut scratch.dense_power;
+        dense.clear();
+        dense.resize(self.n, 0.0);
+        for &(p, w) in deposits {
+            dense[p as usize] += w;
+        }
+        if let Some(lp) = leak {
+            for (pd, &t) in dense.iter_mut().zip(state.temps()) {
+                *pd += leak_at(lp, t);
+            }
+        }
+        self.run_substeps::<false>(
+            state,
+            dense,
+            &NO_LEAK,
+            sched.n_sub as usize,
+            sched.h,
+            &mut scratch.next,
+        );
+    }
+
+    /// Recomputes the listed cells with their actual access power —
+    /// the sparse path's O(accesses) correction after an implicit-zero
+    /// kernel pass. Uses the CSR adjacency (whose neighbour order
+    /// matches the stencil's), so it serves both kernels.
+    #[inline]
+    fn fixup_cells<const LEAKY: bool>(
+        &self,
+        t: &[f64],
+        leak: &LeakageParams,
+        next: &mut [f64],
+        deposits: &[(u32, f64)],
+        h: f64,
+    ) {
+        let (g_vert, g_lat, amb, cap) = (self.g_vert, self.g_lat, self.ambient, self.cap);
+        for &(p, w) in deposits {
+            let i = p as usize;
+            let ti = t[i];
+            let pw = if LEAKY { w + leak_at(leak, ti) } else { w };
+            let mut flow = pw - (ti - amb) * g_vert;
+            let (s, e) = (self.row_ptr[i] as usize, self.row_ptr[i + 1] as usize);
+            for &j in &self.col_idx[s..e] {
+                flow -= (ti - t[j as usize]) * g_lat;
+            }
+            next[i] = ti + h * flow / cap;
+        }
+    }
+
+    /// One sub-step through the selected kernel.
+    #[inline]
+    fn substep_dispatch<const LEAKY: bool, const POWERED: bool>(
+        &self,
+        t: &[f64],
+        power: &[f64],
+        leak: &LeakageParams,
+        next: &mut [f64],
+        h: f64,
+    ) {
+        match self.kernel {
+            KernelKind::Stencil => self.substep_stencil::<LEAKY, POWERED>(t, power, leak, next, h),
+            KernelKind::Csr => self.substep_csr::<LEAKY, POWERED>(t, power, leak, next, h),
+        }
+    }
+
+    /// Executes `n_sub` Euler sub-steps through the selected kernel.
+    /// When `LEAKY`, each cell's power is `power[i] + leak(T_i)` of the
+    /// current sub-step's temperatures (callers guarantee `n_sub == 1`
+    /// when that must equal the pre-step temperatures).
+    #[inline]
+    fn run_substeps<const LEAKY: bool>(
+        &self,
+        state: &mut ThermalState,
+        power: &[f64],
+        leak: &LeakageParams,
+        n_sub: usize,
+        h: f64,
+        next: &mut Vec<f64>,
+    ) {
+        for _ in 0..n_sub {
+            self.substep_dispatch::<LEAKY, true>(state.temps(), power, leak, next, h);
+            // The freshly computed temperatures become the state by
+            // pointer swap; the old state vector becomes next round's
+            // scratch. No copy, no allocation, identical values.
+            state.swap_buffer(next);
+        }
+    }
+
+    /// Solves the steady state into a caller-owned `out` state
+    /// (re-initialized to ambient, resized if needed) and reports how
+    /// the iteration ended. Bit-identical to
+    /// [`ThermalModel::steady_state_with`] under equal options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power.len()` differs from the cell count.
+    pub fn steady_state_into(
+        &self,
+        power: &[f64],
+        out: &mut ThermalState,
+        opts: &SteadyStateOptions,
+    ) -> SteadyStateStats {
+        assert_eq!(power.len(), self.n, "power vector size mismatch");
+        out.reset_uniform(self.n, self.ambient);
+        let mut stats = SteadyStateStats::start();
+        for _ in 0..opts.max_sweeps {
+            let max_delta = match self.kernel {
+                KernelKind::Stencil => self.gs_sweep_stencil(out.temps_mut(), power),
+                KernelKind::Csr => self.gs_sweep_csr(out.temps_mut(), power),
+            };
+            stats.sweeps += 1;
+            stats.residual = max_delta;
+            if max_delta < opts.tolerance {
+                stats.converged = true;
+                break;
+            }
+        }
+        stats
+    }
+
+    /// Convenience wrapper over [`CompiledModel::steady_state_into`]
+    /// with default options, matching [`ThermalModel::steady_state`].
+    pub fn steady_state(&self, power: &[f64]) -> ThermalState {
+        let mut out = ThermalState::uniform(self.n, self.ambient);
+        self.steady_state_into(power, &mut out, &SteadyStateOptions::default());
+        out
+    }
+
+    /// One explicit-Euler sub-step via the grid stencil. Rows come in
+    /// three bands (first, interior, last), each monomorphized over its
+    /// neighbour-existence pattern by [`CompiledModel::stencil_row`],
+    /// so every row's inner loop is branch-free; per-row slice windows
+    /// also hoist the bounds checks, leaving the loops
+    /// auto-vectorizable.
+    fn substep_stencil<const LEAKY: bool, const POWERED: bool>(
+        &self,
+        t: &[f64],
+        power: &[f64],
+        leak: &LeakageParams,
+        next: &mut [f64],
+        h: f64,
+    ) {
+        let rows = self.rows;
+        if rows == 1 {
+            self.stencil_row::<LEAKY, POWERED, false, false>(t, power, leak, next, 0, h);
+            return;
+        }
+        self.stencil_row::<LEAKY, POWERED, false, true>(t, power, leak, next, 0, h);
+        for r in 1..rows - 1 {
+            self.stencil_row::<LEAKY, POWERED, true, true>(t, power, leak, next, r, h);
+        }
+        self.stencil_row::<LEAKY, POWERED, true, false>(t, power, leak, next, rows - 1, h);
+    }
+
+    /// One row of the stencil sub-step, monomorphized over whether the
+    /// row above (`UP`) / below (`DOWN`) exists. When `!POWERED`, the
+    /// access-power vector is implicitly all-zero and never read (the
+    /// sparse path fixes the deposit cells afterwards).
+    #[inline(always)]
+    fn stencil_row<const LEAKY: bool, const POWERED: bool, const UP: bool, const DOWN: bool>(
+        &self,
+        t: &[f64],
+        power: &[f64],
+        leak: &LeakageParams,
+        next: &mut [f64],
+        r: usize,
+        h: f64,
+    ) {
+        let cols = self.cols;
+        let (g_vert, g_lat, amb, cap) = (self.g_vert, self.g_lat, self.ambient, self.cap);
+        let base = r * cols;
+        if cols == 1 {
+            euler_cell::<LEAKY, POWERED>(
+                t, power, leak, next, base, cols, UP, DOWN, false, false, g_vert, g_lat, amb, h,
+                cap,
+            );
+            return;
+        }
+        euler_cell::<LEAKY, POWERED>(
+            t, power, leak, next, base, cols, UP, DOWN, false, true, g_vert, g_lat, amb, h, cap,
+        );
+        {
+            // Interior columns: length-`cols` windows over each involved
+            // row let the compiler hoist every bounds check out of the
+            // loop (`c ± 1` and `c` are provably in range); the `UP` /
+            // `DOWN` constants leave it branch-free.
+            let row = &t[base..base + cols];
+            let up_row = if UP { &t[base - cols..base] } else { &row[..0] };
+            let down_row = if DOWN {
+                &t[base + cols..base + 2 * cols]
+            } else {
+                &row[..0]
+            };
+            let p = if POWERED {
+                &power[base..base + cols]
+            } else {
+                &row[..0]
+            };
+            let out = &mut next[base..base + cols];
+            for c in 1..cols - 1 {
+                let ti = row[c];
+                let access = if POWERED { p[c] } else { 0.0 };
+                let pw = if LEAKY {
+                    access + leak_at(leak, ti)
+                } else {
+                    access
+                };
+                let mut flow = pw - (ti - amb) * g_vert;
+                if UP {
+                    flow -= (ti - up_row[c]) * g_lat;
+                }
+                if DOWN {
+                    flow -= (ti - down_row[c]) * g_lat;
+                }
+                flow -= (ti - row[c - 1]) * g_lat;
+                flow -= (ti - row[c + 1]) * g_lat;
+                out[c] = ti + h * flow / cap;
+            }
+        }
+        euler_cell::<LEAKY, POWERED>(
+            t,
+            power,
+            leak,
+            next,
+            base + cols - 1,
+            cols,
+            UP,
+            DOWN,
+            true,
+            false,
+            g_vert,
+            g_lat,
+            amb,
+            h,
+            cap,
+        );
+    }
+
+    /// One explicit-Euler sub-step via the generic CSR adjacency.
+    fn substep_csr<const LEAKY: bool, const POWERED: bool>(
+        &self,
+        t: &[f64],
+        power: &[f64],
+        leak: &LeakageParams,
+        next: &mut [f64],
+        h: f64,
+    ) {
+        let (g_vert, g_lat, amb, cap) = (self.g_vert, self.g_lat, self.ambient, self.cap);
+        for i in 0..self.n {
+            let ti = t[i];
+            let access = if POWERED { power[i] } else { 0.0 };
+            let pw = if LEAKY {
+                access + leak_at(leak, ti)
+            } else {
+                access
+            };
+            let mut flow = pw - (ti - amb) * g_vert;
+            let (s, e) = (self.row_ptr[i] as usize, self.row_ptr[i + 1] as usize);
+            for &j in &self.col_idx[s..e] {
+                flow -= (ti - t[j as usize]) * g_lat;
+            }
+            next[i] = ti + h * flow / cap;
+        }
+    }
+
+    /// One Gauss–Seidel sweep via the grid stencil; returns the L∞
+    /// update. Cells update in index order (N and W neighbours already
+    /// carry this sweep's values), exactly like the naive sweep.
+    fn gs_sweep_stencil(&self, t: &mut [f64], power: &[f64]) -> f64 {
+        let (rows, cols) = (self.rows, self.cols);
+        let (g_vert, g_lat, amb) = (self.g_vert, self.g_lat, self.ambient);
+        let den = &self.gs_den;
+        let mut max_delta: f64 = 0.0;
+        for r in 0..rows {
+            let up = r > 0;
+            let down = r + 1 < rows;
+            let base = r * cols;
+            if cols == 1 {
+                max_delta = max_delta.max(gs_cell(
+                    t, power, base, cols, up, down, false, false, g_vert, g_lat, amb, den[base],
+                ));
+                continue;
+            }
+            max_delta = max_delta.max(gs_cell(
+                t, power, base, cols, up, down, false, true, g_vert, g_lat, amb, den[base],
+            ));
+            if up && down {
+                // Same slice-window trick as the transient kernel;
+                // `split_at_mut` keeps the in-place (Gauss–Seidel)
+                // update while the shared rows stay read-only.
+                let (head, rest) = t.split_at_mut(base);
+                let up_row = &head[base - cols..];
+                let (row, tail) = rest.split_at_mut(cols);
+                let down_row = &tail[..cols];
+                let p = &power[base..base + cols];
+                let den_row = &den[base..base + cols];
+                for c in 1..cols - 1 {
+                    let mut num = p[c] + amb * g_vert;
+                    num += up_row[c] * g_lat;
+                    num += down_row[c] * g_lat;
+                    num += row[c - 1] * g_lat;
+                    num += row[c + 1] * g_lat;
+                    let new = num / den_row[c];
+                    max_delta = max_delta.max((new - row[c]).abs());
+                    row[c] = new;
+                }
+            } else {
+                #[allow(clippy::needless_range_loop)]
+                for i in base + 1..base + cols - 1 {
+                    max_delta = max_delta.max(gs_cell(
+                        t, power, i, cols, up, down, true, true, g_vert, g_lat, amb, den[i],
+                    ));
+                }
+            }
+            let i = base + cols - 1;
+            max_delta = max_delta.max(gs_cell(
+                t, power, i, cols, up, down, true, false, g_vert, g_lat, amb, den[i],
+            ));
+        }
+        max_delta
+    }
+
+    /// One Gauss–Seidel sweep via the generic CSR adjacency.
+    fn gs_sweep_csr(&self, t: &mut [f64], power: &[f64]) -> f64 {
+        let (g_vert, g_lat, amb) = (self.g_vert, self.g_lat, self.ambient);
+        let mut max_delta: f64 = 0.0;
+        for i in 0..self.n {
+            let mut num = power[i] + amb * g_vert;
+            let (s, e) = (self.row_ptr[i] as usize, self.row_ptr[i + 1] as usize);
+            for &j in &self.col_idx[s..e] {
+                num += t[j as usize] * g_lat;
+            }
+            let new = num / self.gs_den[i];
+            max_delta = max_delta.max((new - t[i]).abs());
+            t[i] = new;
+        }
+        max_delta
+    }
+}
+
+/// One explicit-Euler cell with compile-time-known neighbour presence.
+/// `#[inline(always)]` so each call site specializes on the constant
+/// flags; the accumulation order (up, down, left, right) matches
+/// `Floorplan::neighbors` for bit-identity.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn euler_cell<const LEAKY: bool, const POWERED: bool>(
+    t: &[f64],
+    power: &[f64],
+    leak: &LeakageParams,
+    next: &mut [f64],
+    i: usize,
+    cols: usize,
+    up: bool,
+    down: bool,
+    left: bool,
+    right: bool,
+    g_vert: f64,
+    g_lat: f64,
+    amb: f64,
+    h: f64,
+    cap: f64,
+) {
+    let ti = t[i];
+    let access = if POWERED { power[i] } else { 0.0 };
+    let pw = if LEAKY {
+        access + leak_at(leak, ti)
+    } else {
+        access
+    };
+    let mut flow = pw - (ti - amb) * g_vert;
+    if up {
+        flow -= (ti - t[i - cols]) * g_lat;
+    }
+    if down {
+        flow -= (ti - t[i + cols]) * g_lat;
+    }
+    if left {
+        flow -= (ti - t[i - 1]) * g_lat;
+    }
+    if right {
+        flow -= (ti - t[i + 1]) * g_lat;
+    }
+    next[i] = ti + h * flow / cap;
+}
+
+/// One Gauss–Seidel cell update; returns `|new − old|`. Accumulation
+/// order matches `Floorplan::neighbors` for bit-identity.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn gs_cell(
+    t: &mut [f64],
+    power: &[f64],
+    i: usize,
+    cols: usize,
+    up: bool,
+    down: bool,
+    left: bool,
+    right: bool,
+    g_vert: f64,
+    g_lat: f64,
+    amb: f64,
+    den: f64,
+) -> f64 {
+    let mut num = power[i] + amb * g_vert;
+    if up {
+        num += t[i - cols] * g_lat;
+    }
+    if down {
+        num += t[i + cols] * g_lat;
+    }
+    if left {
+        num += t[i - 1] * g_lat;
+    }
+    if right {
+        num += t[i + 1] * g_lat;
+    }
+    let new = num / den;
+    let delta = (new - t[i]).abs();
+    t[i] = new;
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::Floorplan;
+    use crate::rc::RcParams;
+
+    fn model(rows: usize, cols: usize) -> ThermalModel {
+        ThermalModel::new(Floorplan::grid(rows, cols), RcParams::default())
+    }
+
+    fn hot_power(n: usize) -> Vec<f64> {
+        let mut p = vec![0.0; n];
+        p[0] = 1e-3;
+        if n > 1 {
+            p[n / 2] = 0.7e-3;
+        }
+        p
+    }
+
+    #[test]
+    fn compiled_constants_match_model() {
+        let m = model(4, 4);
+        let c = m.compile();
+        assert_eq!(c.num_cells(), 16);
+        assert_eq!(c.ambient().to_bits(), m.ambient().to_bits());
+        assert_eq!(c.max_stable_dt().to_bits(), m.max_stable_dt().to_bits());
+        assert_eq!(c.kernel(), KernelKind::Stencil);
+    }
+
+    #[test]
+    fn csr_adjacency_matches_neighbors() {
+        let m = model(3, 5);
+        let c = CompiledModel::with_kernel(&m, KernelKind::Csr);
+        for i in 0..15 {
+            let want: Vec<u32> = m.floorplan().neighbors(i).map(|j| j as u32).collect();
+            let (s, e) = (c.row_ptr[i] as usize, c.row_ptr[i + 1] as usize);
+            assert_eq!(&c.col_idx[s..e], &want[..], "cell {i}");
+        }
+    }
+
+    #[test]
+    fn step_bit_identical_to_naive_across_kernels() {
+        for (rows, cols) in [(1, 1), (1, 6), (6, 1), (2, 2), (3, 4), (8, 8)] {
+            let m = model(rows, cols);
+            let power = hot_power(rows * cols);
+            for kernel in [KernelKind::Stencil, KernelKind::Csr] {
+                let c = CompiledModel::with_kernel(&m, kernel);
+                let mut fast = m.ambient_state();
+                let mut naive = m.ambient_state();
+                let mut scratch = StepScratch::new();
+                // Mixed dt: single sub-step and heavily sub-stepped.
+                for dt in [2e-6, 1e-4, 3e-3] {
+                    c.step_into(&mut fast, &power, dt, &mut scratch);
+                    m.step(&mut naive, &power, dt);
+                    let fast_bits: Vec<u64> = fast.temps().iter().map(|t| t.to_bits()).collect();
+                    let naive_bits: Vec<u64> = naive.temps().iter().map(|t| t.to_bits()).collect();
+                    assert_eq!(fast_bits, naive_bits, "{rows}x{cols} {kernel:?} dt={dt}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn steady_state_bit_identical_to_naive_across_kernels() {
+        for (rows, cols) in [(1, 1), (1, 7), (7, 1), (3, 3), (5, 4)] {
+            let m = model(rows, cols);
+            let power = hot_power(rows * cols);
+            let naive = m.steady_state(&power);
+            for kernel in [KernelKind::Stencil, KernelKind::Csr] {
+                let c = CompiledModel::with_kernel(&m, kernel);
+                let fast = c.steady_state(&power);
+                let fast_bits: Vec<u64> = fast.temps().iter().map(|t| t.to_bits()).collect();
+                let naive_bits: Vec<u64> = naive.temps().iter().map(|t| t.to_bits()).collect();
+                assert_eq!(fast_bits, naive_bits, "{rows}x{cols} {kernel:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn leaky_step_bit_identical_to_add_leakage_then_step() {
+        use crate::power::PowerModel;
+        let pm = PowerModel::default();
+        let lp = pm.leakage_params();
+        for (rows, cols) in [(1, 1), (1, 6), (4, 4), (8, 8)] {
+            let m = model(rows, cols);
+            let n = rows * cols;
+            let sparse = hot_power(n);
+            for kernel in [KernelKind::Stencil, KernelKind::Csr] {
+                let c = CompiledModel::with_kernel(&m, kernel);
+                // Both single-sub-step (fused) and sub-stepped (frozen
+                // leakage) regimes.
+                for dt in [2e-6, 5e-3] {
+                    let mut fused = m.ambient_state();
+                    let mut reference = m.ambient_state();
+                    let mut scratch = StepScratch::new();
+                    for _ in 0..4 {
+                        c.step_leaky_into(&mut fused, &sparse, dt, &lp, &mut scratch);
+                        let mut dense = sparse.clone();
+                        pm.add_leakage(&mut dense, &reference);
+                        m.step(&mut reference, &dense, dt);
+                    }
+                    let f: Vec<u64> = fused.temps().iter().map(|t| t.to_bits()).collect();
+                    let r: Vec<u64> = reference.temps().iter().map(|t| t.to_bits()).collect();
+                    assert_eq!(f, r, "{rows}x{cols} {kernel:?} dt={dt}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_step_bit_identical_to_dense_scatter() {
+        use crate::power::PowerModel;
+        let pm = PowerModel::default();
+        let lp = pm.leakage_params();
+        for (rows, cols) in [(1, 1), (1, 6), (4, 4), (8, 8)] {
+            let m = model(rows, cols);
+            let n = rows * cols;
+            let deposits: Vec<(u32, f64)> = [(0u32, 1e-3), ((n as u32) / 2, 0.7e-3)]
+                .into_iter()
+                .take(if n > 1 { 2 } else { 1 })
+                .collect();
+            let mut dense = vec![0.0; n];
+            for &(p, w) in &deposits {
+                dense[p as usize] += w;
+            }
+            for kernel in [KernelKind::Stencil, KernelKind::Csr] {
+                let c = CompiledModel::with_kernel(&m, kernel);
+                // Single-sub-step (fixup path) and sub-stepped (dense
+                // staging path), with and without fused leakage.
+                for dt in [2e-6, 5e-3] {
+                    let sched = c.schedule(dt);
+                    for leaky in [false, true] {
+                        let mut sparse_s = m.ambient_state();
+                        let mut dense_s = m.ambient_state();
+                        let mut scratch = StepScratch::new();
+                        for _ in 0..4 {
+                            c.step_sparse_into(
+                                &mut sparse_s,
+                                &deposits,
+                                &sched,
+                                leaky.then_some(&lp),
+                                &mut scratch,
+                            );
+                            if leaky {
+                                let mut with_leak = dense.clone();
+                                pm.add_leakage(&mut with_leak, &dense_s);
+                                m.step(&mut dense_s, &with_leak, dt);
+                            } else {
+                                m.step(&mut dense_s, &dense, dt);
+                            }
+                        }
+                        let a: Vec<u64> = sparse_s.temps().iter().map(|t| t.to_bits()).collect();
+                        let b: Vec<u64> = dense_s.temps().iter().map(|t| t.to_bits()).collect();
+                        assert_eq!(a, b, "{rows}x{cols} {kernel:?} dt={dt} leaky={leaky}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_matches_step_derivation() {
+        let m = model(4, 4);
+        let c = m.compile();
+        let zero = c.schedule(0.0);
+        let mut s = c.ambient_state();
+        let before = s.clone();
+        c.step_sparse_into(&mut s, &[(0, 1e-3)], &zero, None, &mut StepScratch::new());
+        assert_eq!(s.temps(), before.temps(), "zero dt is a no-op");
+
+        // Scheduled and unscheduled stepping agree bit for bit.
+        let power = hot_power(16);
+        for dt in [1e-6, 4e-4, 2e-3] {
+            let sched = c.schedule(dt);
+            let mut a = c.ambient_state();
+            let mut b = c.ambient_state();
+            let mut scratch = StepScratch::new();
+            c.step_scheduled_into(&mut a, &power, &sched, &mut scratch);
+            c.step_into(&mut b, &power, dt, &mut scratch);
+            assert_eq!(a.temps(), b.temps(), "dt={dt}");
+        }
+    }
+
+    #[test]
+    fn steady_state_reports_convergence() {
+        let m = model(4, 4);
+        let c = m.compile();
+        let power = hot_power(16);
+        let mut out = ThermalState::uniform(1, 0.0); // wrong size: resized
+        let stats = c.steady_state_into(&power, &mut out, &SteadyStateOptions::default());
+        assert!(stats.converged);
+        assert!(stats.sweeps > 0 && stats.sweeps < 100_000);
+        assert!(stats.residual < 1e-6);
+        assert_eq!(out.len(), 16);
+        assert!(out.peak() > c.ambient());
+    }
+
+    #[test]
+    fn steady_state_reports_non_convergence_under_tight_budget() {
+        let m = model(4, 4);
+        let c = m.compile();
+        let power = hot_power(16);
+        let opts = SteadyStateOptions {
+            tolerance: 1e-12,
+            max_sweeps: 2,
+        };
+        let mut out = c.ambient_state();
+        let stats = c.steady_state_into(&power, &mut out, &opts);
+        assert!(!stats.converged);
+        assert_eq!(stats.sweeps, 2);
+        assert!(stats.residual > 1e-12);
+    }
+
+    #[test]
+    fn scratch_is_reused_across_model_sizes() {
+        let small = model(2, 2);
+        let big = model(6, 6);
+        let mut scratch = StepScratch::new();
+        let mut s_small = small.ambient_state();
+        let mut s_big = big.ambient_state();
+        small
+            .compile()
+            .step_into(&mut s_small, &hot_power(4), 1e-4, &mut scratch);
+        big.compile()
+            .step_into(&mut s_big, &hot_power(36), 1e-4, &mut scratch);
+        let mut naive = big.ambient_state();
+        big.step(&mut naive, &hot_power(36), 1e-4);
+        assert_eq!(s_big.temps(), naive.temps());
+    }
+
+    #[test]
+    fn zero_dt_is_a_no_op() {
+        let m = model(3, 3);
+        let c = m.compile();
+        let mut s = c.ambient_state();
+        let before = s.clone();
+        c.step_into(&mut s, &hot_power(9), 0.0, &mut StepScratch::new());
+        assert_eq!(s.temps(), before.temps());
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn power_size_mismatch_panics() {
+        let m = model(3, 3);
+        let c = m.compile();
+        let mut s = c.ambient_state();
+        c.step_into(&mut s, &[0.0; 4], 1e-4, &mut StepScratch::new());
+    }
+}

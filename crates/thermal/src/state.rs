@@ -18,9 +18,26 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.peak(), 330.0);
 /// assert!(s.mean() > 318.0);
 /// ```
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(PartialEq, Debug, Serialize, Deserialize)]
 pub struct ThermalState {
     temps: Vec<f64>,
+}
+
+// Manual impl so `clone_from` reuses the destination's allocation
+// (`Vec::clone_from` keeps the buffer; the trait default would drop and
+// reallocate). The DFA's steady-state sweeps lean on this: every
+// per-sweep `clone_from` into walker/entry/merge destinations must be
+// a copy, not an allocation.
+impl Clone for ThermalState {
+    fn clone(&self) -> ThermalState {
+        ThermalState {
+            temps: self.temps.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &ThermalState) {
+        self.temps.clone_from(&source.temps);
+    }
 }
 
 impl ThermalState {
@@ -72,6 +89,20 @@ impl ThermalState {
     /// Mutable access to the raw temperatures (used by solvers).
     pub fn temps_mut(&mut self) -> &mut [f64] {
         &mut self.temps
+    }
+
+    /// Resets to `num_cells` cells all at `temp`, reusing the existing
+    /// allocation when possible (the compiled steady-state solver's
+    /// re-initialization path).
+    pub fn reset_uniform(&mut self, num_cells: usize, temp: f64) {
+        self.temps.clear();
+        self.temps.resize(num_cells, temp);
+    }
+
+    /// Swaps the temperature vector with a caller-owned buffer — the
+    /// compiled transient solver's zero-copy double-buffering.
+    pub(crate) fn swap_buffer(&mut self, buf: &mut Vec<f64>) {
+        std::mem::swap(&mut self.temps, buf);
     }
 
     /// Hottest cell temperature.
@@ -140,6 +171,7 @@ impl ThermalState {
     /// # Panics
     ///
     /// Panics if lengths differ.
+    #[inline]
     pub fn linf_distance(&self, other: &ThermalState) -> f64 {
         assert_eq!(self.temps.len(), other.temps.len(), "state size mismatch");
         self.temps
@@ -147,6 +179,52 @@ impl ThermalState {
             .zip(&other.temps)
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f64::max)
+    }
+
+    /// Fused [`linf_distance`](ThermalState::linf_distance) +
+    /// `clone_from`: returns the L∞ distance to `other` while copying
+    /// `other`'s temperatures into `self`, in one pass and without
+    /// allocating. The fixpoint's per-instruction bookkeeping
+    /// (compare-against-previous, then remember) runs through this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    #[inline]
+    pub fn linf_update_from(&mut self, other: &ThermalState) -> f64 {
+        ThermalState::linf_update_slices(&mut self.temps, &other.temps)
+    }
+
+    /// [`linf_update_from`](ThermalState::linf_update_from) over raw
+    /// slices — the one implementation of the fixpoint's fused
+    /// compare-and-copy, shared by every state store (including the
+    /// DFA's flat per-instruction matrix) so the bit-identity-critical
+    /// fold exists exactly once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    #[inline]
+    pub fn linf_update_slices(prev: &mut [f64], new: &[f64]) -> f64 {
+        assert_eq!(prev.len(), new.len(), "state size mismatch");
+        // Four accumulators break the serial `max` dependency chain
+        // (the fixpoint's single hottest non-solver pass). `f64::max`
+        // is exactly associative and commutative on the non-NaN values
+        // it keeps, so the lane split cannot change the result.
+        let mut m = [0.0f64; 4];
+        let mut a4 = prev.chunks_exact_mut(4);
+        let mut b4 = new.chunks_exact(4);
+        for (a, b) in (&mut a4).zip(&mut b4) {
+            for k in 0..4 {
+                m[k] = m[k].max((a[k] - b[k]).abs());
+                a[k] = b[k];
+            }
+        }
+        for (a, &b) in a4.into_remainder().iter_mut().zip(b4.remainder()) {
+            m[0] = m[0].max((*a - b).abs());
+            *a = b;
+        }
+        m[0].max(m[1]).max(m[2]).max(m[3])
     }
 
     /// Root-mean-square distance to another state (accuracy metric for
@@ -306,6 +384,16 @@ mod tests {
         assert_eq!(a.linf_distance(&b), 2.0);
         assert!((a.rms_distance(&b) - ((0.0 + 4.0 + 0.25f64) / 3.0).sqrt()).abs() < 1e-12);
         assert_eq!(a.linf_distance(&a), 0.0);
+    }
+
+    #[test]
+    fn linf_update_from_measures_then_copies() {
+        let mut a = ThermalState::from_vec(vec![300.0, 301.0, 302.0]);
+        let b = ThermalState::from_vec(vec![300.0, 303.0, 302.5]);
+        let d = a.linf_update_from(&b);
+        assert_eq!(d, 2.0, "matches linf_distance");
+        assert_eq!(a.temps(), b.temps(), "and copies");
+        assert_eq!(a.linf_update_from(&b), 0.0);
     }
 
     #[test]
