@@ -213,7 +213,12 @@ fn main() {
         },
         PathBuf::from,
     );
-    h.export_json(
+    // The determinism digest the tadfa-bench perf-trend gate recomputes
+    // and hard-diffs: any drift in suite fingerprints fails CI.
+    // Formatted through the same helper the tadfa-bench gate uses to
+    // recompute it, so the string comparison cannot drift by format.
+    let digest = tadfa_sched::hex_fingerprint(tadfa_bench::suite_digest());
+    h.export_json_with_text(
         &path,
         &[
             ("step_naive_ns_per_op", naive_step_ns),
@@ -223,6 +228,7 @@ fn main() {
             ("analyze_batch_funcs_per_sec", throughput),
             ("suite_functions", funcs.len() as f64),
         ],
+        &[("suite_digest", &digest)],
     )
     .expect("write BENCH_solver.json");
     println!("wrote {}", path.display());

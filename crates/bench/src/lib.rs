@@ -177,6 +177,39 @@ pub fn k3(v: f64) -> String {
     format!("{v:.3}")
 }
 
+/// The standard-suite determinism digest: the fold of every suite
+/// function's report fingerprint under the canonical experiment session
+/// (8×8 file, first-free policy, default configs).
+///
+/// Both the `solver_kernels` quickbench (which records the digest into
+/// `BENCH_solver.json`) and the `tadfa-bench` perf-trend gate (which
+/// recomputes it and hard-fails CI on drift) call this one function, so
+/// the committed value and the check can never diverge by construction.
+///
+/// # Panics
+///
+/// Panics if the standard suite fails to analyze — that is a broken
+/// build, not an expected outcome.
+pub fn suite_digest() -> u128 {
+    let mut session = Session::builder()
+        .floorplan(8, 8)
+        .policy_name("first-free", 0)
+        .build()
+        .expect("canonical session is valid");
+    let funcs: Vec<Function> = tadfa_workloads::standard_suite()
+        .into_iter()
+        .map(|w| w.func)
+        .collect();
+    let mut h = tadfa_thermal::hashing::Fnv128::new();
+    h.write_u64(funcs.len() as u64);
+    for report in session.analyze_batch(&funcs) {
+        let fp = report.expect("standard suite analyzes").fingerprint();
+        h.write_u64((fp >> 64) as u64);
+        h.write_u64(fp as u64);
+    }
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,6 +237,12 @@ mod tests {
             e,
             Err(HarnessError::Tadfa(TadfaError::UnknownPolicy(_)))
         ));
+    }
+
+    #[test]
+    fn suite_digest_is_reproducible() {
+        assert_eq!(suite_digest(), suite_digest());
+        assert_ne!(suite_digest(), 0);
     }
 
     #[test]

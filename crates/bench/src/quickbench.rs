@@ -55,33 +55,10 @@ pub struct Summary {
     pub samples: usize,
 }
 
-/// Minimal JSON string escaping (quotes, backslashes, control chars) —
-/// bench names are ASCII identifiers, but don't emit broken JSON if one
-/// is not.
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// JSON number formatting; non-finite values become `null` (JSON has no
-/// NaN/∞).
-fn json_number(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_string()
-    }
-}
+// JSON escaping/number formatting comes from the workspace's single
+// source of truth (`tadfa_sched::json`), so bench files and scenario
+// reports can never drift byte-wise from each other.
+use tadfa_sched::json::{escape as json_string, number as json_number};
 
 /// A set of benchmarks sharing a report table.
 #[derive(Debug)]
@@ -163,6 +140,24 @@ impl Harness {
     ///
     /// Propagates I/O errors from creating or writing `path`.
     pub fn export_json(&self, path: &Path, metrics: &[(&str, f64)]) -> std::io::Result<()> {
+        self.export_json_with_text(path, metrics, &[])
+    }
+
+    /// [`export_json`](Harness::export_json) with additional
+    /// string-valued metrics — identity digests and other non-numeric
+    /// facts the perf-trend gate compares (e.g. the `suite_digest`
+    /// fingerprint in `BENCH_solver.json`). Text metrics are emitted
+    /// after the scalar ones, inside the same `"metrics"` object.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating or writing `path`.
+    pub fn export_json_with_text(
+        &self,
+        path: &Path,
+        metrics: &[(&str, f64)],
+        text_metrics: &[(&str, &str)],
+    ) -> std::io::Result<()> {
         let mut out = std::fs::File::create(path)?;
         writeln!(out, "{{")?;
         writeln!(out, "  \"benches\": [")?;
@@ -182,13 +177,27 @@ impl Harness {
         }
         writeln!(out, "  ],")?;
         writeln!(out, "  \"metrics\": {{")?;
+        let total = metrics.len() + text_metrics.len();
         for (i, (name, value)) in metrics.iter().enumerate() {
-            let comma = if i + 1 < metrics.len() { "," } else { "" };
+            let comma = if i + 1 < total { "," } else { "" };
             writeln!(
                 out,
                 "    {}: {}{comma}",
                 json_string(name),
                 json_number(*value)
+            )?;
+        }
+        for (i, (name, value)) in text_metrics.iter().enumerate() {
+            let comma = if metrics.len() + i + 1 < total {
+                ","
+            } else {
+                ""
+            };
+            writeln!(
+                out,
+                "    {}: {}{comma}",
+                json_string(name),
+                json_string(value)
             )?;
         }
         writeln!(out, "  }}")?;
@@ -284,13 +293,22 @@ mod tests {
         assert!(s.mean_ns <= s.median_ns, "{s:?}");
 
         let path = std::env::temp_dir().join("tadfa_quickbench_export_test.json");
-        h.export_json(&path, &[("speedup", 3.5), ("bad", f64::NAN)])
-            .unwrap();
+        h.export_json_with_text(
+            &path,
+            &[("speedup", 3.5), ("bad", f64::NAN)],
+            &[("digest", "0xabc")],
+        )
+        .unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert!(text.contains("\"kernel/step \\\"x\\\"\""), "{text}");
         assert!(text.contains("\"speedup\": 3.5"), "{text}");
-        assert!(text.contains("\"bad\": null"), "{text}");
+        assert!(text.contains("\"bad\": null,"), "{text}");
+        assert!(text.contains("\"digest\": \"0xabc\""), "{text}");
+        assert!(
+            !text.contains("\"0xabc\","),
+            "text metrics close the object"
+        );
         assert!(text.contains("\"min_ns\""), "{text}");
     }
 

@@ -1,0 +1,63 @@
+//! # tadfa-sched — multi-core thermal scenarios
+//!
+//! The scheduling layer of the *Thermal-Aware Data Flow Analysis*
+//! reproduction: where the paper analyzes one function on one
+//! floorplan, this crate runs whole **scenarios** — a task set arriving
+//! over time on a multi-core die — through the existing
+//! `Session`/`Engine` stack and a die-wide coupled thermal model.
+//!
+//! * [`MultiCoreFloorplan`] — N per-core floorplans tiled onto one die,
+//!   inter-core lateral coupling compiled into the existing
+//!   [`CompiledModel`](tadfa_thermal::CompiledModel) CSR kernels (and
+//!   verified bit-identical to the [`naive_coupled_step`] reference);
+//! * [`Task`] / [`TaskMetrics`] — IR function + arrival/length, with a
+//!   power profile derived deterministically from its analysis;
+//! * [`MappingPolicy`] — pluggable task→core placement (round-robin,
+//!   coolest-core, thermal-balanced with migration counting,
+//!   static-shard over [`tadfa_workloads::shard`]);
+//! * [`run_scenario`] — analyze (batch-parallel) → map (sequential) →
+//!   simulate (die-wide transient + steady), producing a
+//!   [`ScenarioResult`] whose [`fingerprint`](ScenarioResult::fingerprint)
+//!   is byte-identical across runs and worker counts;
+//! * [`spec`] / [`report`](render_report) — the declarative TOML/JSON
+//!   scenario format the `tadfa` CLI loads, and the deterministic JSON
+//!   report it emits (the CI golden artifact);
+//! * [`json`] — the minimal JSON reader backing specs, golden checks,
+//!   and the `tadfa-bench` perf-trend gate.
+//!
+//! ## Example
+//!
+//! ```
+//! use tadfa_sched::{run_scenario, MultiCoreFloorplan, ScenarioConfig, suite_tasks};
+//! use tadfa_thermal::RcParams;
+//!
+//! let die = MultiCoreFloorplan::new(2, 4, 4, RcParams::default(), Some(40.0))?;
+//! let cfg = ScenarioConfig::new("demo", die, suite_tasks(4, 5e-4, 1e-3), "coolest-core");
+//! let result = run_scenario(&cfg)?;
+//! assert_eq!(result.tasks.len(), 4);
+//! assert!(result.die.transient_peak > 300.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod json;
+mod multicore;
+mod policy;
+mod report;
+mod runner;
+pub mod spec;
+mod task;
+
+pub use multicore::{naive_coupled_step, MultiCoreFloorplan};
+pub use policy::{
+    mapping_policy_by_name, CoolestCoreFirst, MappingContext, MappingPolicy, RoundRobinMapping,
+    StaticShard, ThermalBalanced, MAPPING_POLICY_NAMES,
+};
+pub use report::{hex_fingerprint, render_report};
+pub use runner::{
+    run_scenario, CoreSummary, DieSummary, ScenarioConfig, ScenarioResult, TaskOutcome,
+};
+pub use spec::{load_spec, SpecError};
+pub use task::{generated_tasks, suite_tasks, task_metrics, Task, TaskMetrics};

@@ -1,0 +1,380 @@
+//! Task→core mapping policies, pluggable like
+//! `tadfa_regalloc::policy`.
+//!
+//! A [`MappingPolicy`] decides, task by task in arrival order, which
+//! core runs which task; `thermal-balanced` additionally gets a
+//! post-pass rebalance hook whose moves are counted as **migrations**.
+//! All policies are deterministic functions of the task metrics and the
+//! running per-core aggregates — never of wall time or engine execution
+//! order — which is what keeps scenario reports byte-identical across
+//! worker counts.
+
+use crate::task::TaskMetrics;
+use tadfa_workloads::shard;
+
+/// Everything a policy may consult when placing one task.
+#[derive(Debug)]
+pub struct MappingContext<'a> {
+    /// Number of cores on the die.
+    pub cores: usize,
+    /// Index of this task in arrival order.
+    pub task_index: usize,
+    /// The task's analysis-derived metrics.
+    pub metrics: &'a TaskMetrics,
+    /// Joules already mapped onto each core.
+    pub core_energy: &'a [f64],
+    /// When each core finishes its currently mapped tasks, seconds.
+    pub core_busy_until: &'a [f64],
+    /// Hottest single-task peak mapped onto each core so far, K
+    /// (ambient for an idle core).
+    pub core_peak_estimate: &'a [f64],
+}
+
+/// A task→core mapping policy.
+///
+/// Contract (mirrors `AssignmentPolicy`): [`reset`](MappingPolicy::reset)
+/// restores the initial state, so the same policy object replayed over
+/// the same task stream always produces the same mapping.
+pub trait MappingPolicy: std::fmt::Debug {
+    /// The policy's registry name.
+    fn name(&self) -> &'static str;
+
+    /// Restores the initial state for a die of `cores` cores and a
+    /// scenario of `task_count` tasks.
+    fn reset(&mut self, cores: usize, task_count: usize);
+
+    /// Picks the core for one task. Out-of-range returns are clamped by
+    /// the scheduler.
+    fn choose(&mut self, ctx: &MappingContext<'_>) -> usize;
+
+    /// Optional post-pass over the finished `assignment` (task index →
+    /// core); returns how many tasks it moved (the scenario's migration
+    /// count). The default moves nothing.
+    fn rebalance(
+        &mut self,
+        assignment: &mut [usize],
+        metrics: &[TaskMetrics],
+        cores: usize,
+    ) -> usize {
+        let _ = (assignment, metrics, cores);
+        0
+    }
+}
+
+/// Cores in rotation, ignoring thermals — the baseline policy.
+#[derive(Debug, Default)]
+pub struct RoundRobinMapping {
+    next: usize,
+}
+
+impl MappingPolicy for RoundRobinMapping {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn reset(&mut self, _cores: usize, _task_count: usize) {
+        self.next = 0;
+    }
+
+    fn choose(&mut self, ctx: &MappingContext<'_>) -> usize {
+        let core = self.next % ctx.cores.max(1);
+        self.next = self.next.wrapping_add(1);
+        core
+    }
+}
+
+/// Each task goes to the core with the lowest peak-temperature
+/// estimate (ties: lower mapped energy, then lower index) — the greedy
+/// thermal analogue of "least loaded".
+#[derive(Debug, Default)]
+pub struct CoolestCoreFirst;
+
+impl MappingPolicy for CoolestCoreFirst {
+    fn name(&self) -> &'static str {
+        "coolest-core"
+    }
+
+    fn reset(&mut self, _cores: usize, _task_count: usize) {}
+
+    fn choose(&mut self, ctx: &MappingContext<'_>) -> usize {
+        let mut best = 0;
+        for core in 1..ctx.cores {
+            let (bp, be) = (ctx.core_peak_estimate[best], ctx.core_energy[best]);
+            let (cp, ce) = (ctx.core_peak_estimate[core], ctx.core_energy[core]);
+            if cp < bp || (cp == bp && ce < be) {
+                best = core;
+            }
+        }
+        best
+    }
+}
+
+/// Greedy energy balancing with a rebalance pass: tasks go to the
+/// least-loaded core, then tasks migrate off the most-loaded core while
+/// a move strictly lowers it. Every move counts as one migration.
+#[derive(Debug, Default)]
+pub struct ThermalBalanced;
+
+impl MappingPolicy for ThermalBalanced {
+    fn name(&self) -> &'static str {
+        "thermal-balanced"
+    }
+
+    fn reset(&mut self, _cores: usize, _task_count: usize) {}
+
+    fn choose(&mut self, ctx: &MappingContext<'_>) -> usize {
+        let mut best = 0;
+        for core in 1..ctx.cores {
+            if ctx.core_energy[core] < ctx.core_energy[best] {
+                best = core;
+            }
+        }
+        best
+    }
+
+    fn rebalance(
+        &mut self,
+        assignment: &mut [usize],
+        metrics: &[TaskMetrics],
+        cores: usize,
+    ) -> usize {
+        if cores < 2 {
+            return 0;
+        }
+        let mut migrations = 0;
+        // Each move strictly lowers the hottest core's energy; cap the
+        // pass at one move per task as a hard termination bound.
+        for _ in 0..assignment.len() {
+            let mut energy = vec![0.0f64; cores];
+            for (task, &core) in assignment.iter().enumerate() {
+                energy[core] += metrics[task].energy;
+            }
+            let hot = argmax(&energy);
+            let cool = argmin(&energy);
+            if hot == cool {
+                break;
+            }
+            // The smallest-energy task on the hot core, by task index
+            // for determinism.
+            let candidate = assignment
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c == hot)
+                .min_by(|&(i, _), &(j, _)| {
+                    metrics[i]
+                        .energy
+                        .partial_cmp(&metrics[j].energy)
+                        .expect("finite energies")
+                        .then(i.cmp(&j))
+                })
+                .map(|(i, _)| i);
+            let Some(task) = candidate else { break };
+            let e = metrics[task].energy;
+            // Move only if the destination stays strictly below the
+            // source's current load — otherwise the pass has converged.
+            if energy[cool] + e < energy[hot] {
+                assignment[task] = cool;
+                migrations += 1;
+            } else {
+                break;
+            }
+        }
+        migrations
+    }
+}
+
+/// Contiguous block partitioning: the task stream is split across the
+/// cores with [`tadfa_workloads::shard`], so core `k` runs the `k`-th
+/// contiguous run of arrivals. Degenerate inputs (more cores than
+/// tasks, zero tasks) follow `shard`'s total contract — the tail cores
+/// simply receive nothing.
+#[derive(Debug, Default)]
+pub struct StaticShard {
+    core_of: Vec<usize>,
+}
+
+impl MappingPolicy for StaticShard {
+    fn name(&self) -> &'static str {
+        "static-shard"
+    }
+
+    fn reset(&mut self, cores: usize, task_count: usize) {
+        self.core_of.clear();
+        let indices: Vec<usize> = (0..task_count).collect();
+        for (core, chunk) in shard(indices, cores).into_iter().enumerate() {
+            for task in chunk {
+                debug_assert_eq!(task, self.core_of.len());
+                self.core_of.push(core);
+            }
+        }
+    }
+
+    fn choose(&mut self, ctx: &MappingContext<'_>) -> usize {
+        self.core_of.get(ctx.task_index).copied().unwrap_or(0)
+    }
+}
+
+fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+fn argmin(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        if x < xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Instantiates a built-in mapping policy by name.
+pub fn mapping_policy_by_name(name: &str) -> Option<Box<dyn MappingPolicy>> {
+    Some(match name {
+        "round-robin" => Box::new(RoundRobinMapping::default()),
+        "coolest-core" => Box::new(CoolestCoreFirst),
+        "thermal-balanced" => Box::new(ThermalBalanced),
+        "static-shard" => Box::new(StaticShard::default()),
+        _ => return None,
+    })
+}
+
+/// The names accepted by [`mapping_policy_by_name`], in canonical
+/// order.
+pub const MAPPING_POLICY_NAMES: [&str; 4] = [
+    "round-robin",
+    "coolest-core",
+    "thermal-balanced",
+    "static-shard",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(energy: f64, peak: f64) -> TaskMetrics {
+        TaskMetrics {
+            peak_temperature: peak,
+            cycles: 1,
+            energy,
+            power: Vec::new(),
+            fingerprint: 0,
+        }
+    }
+
+    fn ctx<'a>(
+        cores: usize,
+        task_index: usize,
+        m: &'a TaskMetrics,
+        energy: &'a [f64],
+        busy: &'a [f64],
+        peak: &'a [f64],
+    ) -> MappingContext<'a> {
+        MappingContext {
+            cores,
+            task_index,
+            metrics: m,
+            core_energy: energy,
+            core_busy_until: busy,
+            core_peak_estimate: peak,
+        }
+    }
+
+    #[test]
+    fn registry_covers_all_names() {
+        for name in MAPPING_POLICY_NAMES {
+            let p = mapping_policy_by_name(name).unwrap();
+            assert_eq!(p.name(), name);
+        }
+        assert!(mapping_policy_by_name("bogus").is_none());
+    }
+
+    #[test]
+    fn round_robin_rotates_and_resets() {
+        let mut p = RoundRobinMapping::default();
+        p.reset(3, 5);
+        let m = metrics(1.0, 300.0);
+        let (e, b, pk) = (vec![0.0; 3], vec![0.0; 3], vec![300.0; 3]);
+        let picks: Vec<usize> = (0..5)
+            .map(|i| p.choose(&ctx(3, i, &m, &e, &b, &pk)))
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1]);
+        p.reset(3, 5);
+        assert_eq!(p.choose(&ctx(3, 0, &m, &e, &b, &pk)), 0, "reset restarts");
+    }
+
+    #[test]
+    fn coolest_core_picks_lowest_peak_with_deterministic_ties() {
+        let mut p = CoolestCoreFirst;
+        let m = metrics(1.0, 300.0);
+        let e = vec![5.0, 1.0, 5.0];
+        let b = vec![0.0; 3];
+        let pk = vec![320.0, 310.0, 310.0];
+        // Core 1 and 2 tie on peak; core 1 has less energy.
+        assert_eq!(p.choose(&ctx(3, 0, &m, &e, &b, &pk)), 1);
+        let pk_tie = vec![310.0; 3];
+        let e_tie = vec![1.0; 3];
+        assert_eq!(
+            p.choose(&ctx(3, 0, &m, &e_tie, &b, &pk_tie)),
+            0,
+            "full tie → lowest index"
+        );
+    }
+
+    #[test]
+    fn thermal_balanced_rebalances_and_counts_migrations() {
+        let mut p = ThermalBalanced;
+        // Everything landed on core 0; rebalance should spread it.
+        let ms: Vec<TaskMetrics> = [4.0, 1.0, 1.0, 1.0]
+            .iter()
+            .map(|&e| metrics(e, 300.0))
+            .collect();
+        let mut assignment = vec![0, 0, 0, 0];
+        let moved = p.rebalance(&mut assignment, &ms, 2);
+        assert!(moved >= 1, "at least one migration");
+        let load0: f64 = assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c == 0)
+            .map(|(i, _)| ms[i].energy)
+            .sum();
+        let load1: f64 = 7.0 - load0;
+        assert!(
+            (load0 - load1).abs() < 4.0,
+            "loads roughly balanced: {load0} vs {load1}"
+        );
+        // A balanced assignment does not churn: 4.0 vs 1+1+1, and the
+        // only move (the 4.0 task) would overload the other core.
+        let mut balanced = vec![0, 1, 1, 1];
+        assert_eq!(p.rebalance(&mut balanced, &ms, 2), 0);
+        assert_eq!(balanced, vec![0, 1, 1, 1]);
+        // Single core: nothing to do.
+        let mut solo = vec![0, 0, 0, 0];
+        assert_eq!(p.rebalance(&mut solo, &ms, 1), 0);
+    }
+
+    #[test]
+    fn static_shard_partitions_contiguously() {
+        let mut p = StaticShard::default();
+        p.reset(3, 7);
+        let m = metrics(1.0, 300.0);
+        let (e, b, pk) = (vec![0.0; 3], vec![0.0; 3], vec![300.0; 3]);
+        let picks: Vec<usize> = (0..7)
+            .map(|i| p.choose(&ctx(3, i, &m, &e, &b, &pk)))
+            .collect();
+        assert_eq!(picks, vec![0, 0, 0, 1, 1, 2, 2]);
+        // More cores than tasks: the clamped shards land on the front
+        // cores.
+        p.reset(5, 2);
+        let picks: Vec<usize> = (0..2)
+            .map(|i| p.choose(&ctx(5, i, &m, &e, &b, &pk)))
+            .collect();
+        assert_eq!(picks, vec![0, 1]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Deterministic JSON rendering of a [`ScenarioResult`] — the `tadfa`
+//! CLI's output and the CI golden-report artifact.
+//!
+//! The report contains **no timing, host, or date information**: every
+//! field is a pure function of the scenario configuration, so two runs
+//! of the same spec produce byte-identical files (the property the
+//! golden job diffs). Numbers are printed with Rust's shortest
+//! round-trip `f64` formatting; fingerprints as zero-padded hex.
+
+use crate::json::{escape as json_string, number as json_num};
+use crate::runner::ScenarioResult;
+
+/// A fingerprint as `"0x…"` (32 hex digits, zero-padded).
+pub fn hex_fingerprint(fp: u128) -> String {
+    format!("0x{fp:032x}")
+}
+
+/// Renders the machine-readable scenario report.
+///
+/// Schema (one object):
+///
+/// * `scenario`, `mapping`, `cores`, `migrations` — run identity;
+/// * `fingerprint` — [`ScenarioResult::fingerprint`] as hex, the value
+///   the `tadfa check` golden gate compares;
+/// * `tasks[]` — per task: `name`, `core`, `arrival_s`, `start_s`,
+///   `length_s`, `peak_k`, `energy_j`, `fingerprint`;
+/// * `per_core[]` — per core: `core`, `tasks` (count), `energy_j`,
+///   `busy_s`, `peak_k`;
+/// * `die` — `transient_peak_k`, `transient_peak_time_s`,
+///   `steady_peak_k`, `steady_converged`, `steady_sweeps`,
+///   `makespan_s`.
+pub fn render_report(r: &ScenarioResult) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"scenario\": {},\n", json_string(&r.name)));
+    out.push_str(&format!("  \"mapping\": {},\n", json_string(&r.mapping)));
+    out.push_str(&format!("  \"cores\": {},\n", r.cores));
+    out.push_str(&format!("  \"migrations\": {},\n", r.migrations));
+    out.push_str(&format!(
+        "  \"fingerprint\": {},\n",
+        json_string(&hex_fingerprint(r.fingerprint()))
+    ));
+    out.push_str("  \"tasks\": [\n");
+    for (i, t) in r.tasks.iter().enumerate() {
+        let comma = if i + 1 < r.tasks.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": {}, \"core\": {}, \"arrival_s\": {}, \"start_s\": {}, \
+             \"length_s\": {}, \"peak_k\": {}, \"energy_j\": {}, \"fingerprint\": {}}}{comma}\n",
+            json_string(&t.name),
+            t.core,
+            json_num(t.arrival),
+            json_num(t.start),
+            json_num(t.length),
+            json_num(t.peak_temperature),
+            json_num(t.energy),
+            json_string(&hex_fingerprint(t.fingerprint)),
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"per_core\": [\n");
+    for (i, c) in r.per_core.iter().enumerate() {
+        let comma = if i + 1 < r.per_core.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"core\": {}, \"tasks\": {}, \"energy_j\": {}, \"busy_s\": {}, \
+             \"peak_k\": {}}}{comma}\n",
+            c.core,
+            c.tasks.len(),
+            json_num(c.energy),
+            json_num(c.busy),
+            json_num(c.peak_temperature),
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"die\": {\n");
+    out.push_str(&format!(
+        "    \"transient_peak_k\": {},\n",
+        json_num(r.die.transient_peak)
+    ));
+    out.push_str(&format!(
+        "    \"transient_peak_time_s\": {},\n",
+        json_num(r.die.transient_peak_time)
+    ));
+    out.push_str(&format!(
+        "    \"steady_peak_k\": {},\n",
+        json_num(r.die.steady_peak)
+    ));
+    out.push_str(&format!(
+        "    \"steady_converged\": {},\n",
+        r.die.steady_converged
+    ));
+    out.push_str(&format!(
+        "    \"steady_sweeps\": {},\n",
+        r.die.steady_sweeps
+    ));
+    out.push_str(&format!(
+        "    \"makespan_s\": {}\n",
+        json_num(r.die.makespan)
+    ));
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multicore::MultiCoreFloorplan;
+    use crate::runner::{run_scenario, ScenarioConfig};
+    use crate::task::suite_tasks;
+    use tadfa_thermal::RcParams;
+
+    #[test]
+    fn report_is_valid_json_and_byte_stable() {
+        let die = MultiCoreFloorplan::new(2, 4, 4, RcParams::default(), Some(50.0)).unwrap();
+        let mut cfg = ScenarioConfig::new("r", die, suite_tasks(4, 5e-4, 1e-3), "round-robin");
+        cfg.workers = 2;
+        let a = render_report(&run_scenario(&cfg).unwrap());
+        cfg.workers = 1;
+        let b = render_report(&run_scenario(&cfg).unwrap());
+        assert_eq!(a, b, "reports byte-identical across worker counts");
+
+        let doc = crate::json::parse(&a).unwrap();
+        assert_eq!(doc.get("scenario").unwrap().as_str(), Some("r"));
+        assert_eq!(doc.get("cores").unwrap().as_f64(), Some(2.0));
+        assert_eq!(doc.get("tasks").unwrap().as_array().unwrap().len(), 4);
+        assert_eq!(doc.get("per_core").unwrap().as_array().unwrap().len(), 2);
+        let fp = doc.get("fingerprint").unwrap().as_str().unwrap();
+        assert!(fp.starts_with("0x") && fp.len() == 34, "{fp}");
+        assert!(doc.get("die").unwrap().get("steady_converged").is_some());
+    }
+
+    #[test]
+    fn helpers_escape_and_format() {
+        assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_num(f64::NAN), "null");
+        assert_eq!(hex_fingerprint(0xAB).len(), 34);
+    }
+}

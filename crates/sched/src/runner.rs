@@ -1,0 +1,508 @@
+//! The scenario runner: task set × mapping policy × multi-core die,
+//! executed end to end.
+//!
+//! A scenario runs in three deterministic phases:
+//!
+//! 1. **Analyze** — every task's function goes through the existing
+//!    single-core `Session` pipeline on a parallel
+//!    [`Engine`](tadfa_core::engine::Engine) (batch-parallel, results
+//!    in input order, byte-identical at any worker count). This yields
+//!    one [`ThermalReport`] per task and the derived
+//!    [`TaskMetrics`] the policies consume.
+//! 2. **Map** — the [`MappingPolicy`] places tasks on cores in arrival
+//!    order, then (policy permitting) rebalances; rebalance moves are
+//!    the scenario's migration count. This phase is purely sequential
+//!    and reads only phase-1 metrics, so it cannot observe engine
+//!    scheduling.
+//! 3. **Simulate** — the die-wide coupled RC model (compiled once from
+//!    the [`MultiCoreFloorplan`]) steps the piecewise-constant power
+//!    timeline the mapping implies, recording the transient peak, and
+//!    solves the steady state of the time-averaged power.
+//!
+//! Because every phase is a pure function of the scenario
+//! configuration, [`ScenarioResult::fingerprint`] is byte-identical
+//! across runs and worker counts — the property the CI golden-report
+//! gate enforces.
+
+use crate::multicore::MultiCoreFloorplan;
+use crate::policy::{mapping_policy_by_name, MappingContext};
+use crate::task::{task_metrics, Task, TaskMetrics};
+use tadfa_core::engine::Engine;
+use tadfa_core::{Session, TadfaError, ThermalDfaConfig, ThermalReport};
+use tadfa_thermal::hashing::Fnv128;
+use tadfa_thermal::{SteadyStateOptions, StepScratch, ThermalState};
+
+/// A validated, runnable scenario: die, tasks, policies, analysis
+/// configuration.
+#[derive(Clone, Debug)]
+pub struct ScenarioConfig {
+    /// Display name, echoed into the report.
+    pub name: String,
+    /// The multi-core die.
+    pub die: MultiCoreFloorplan,
+    /// The task set (any order; the runner schedules by arrival).
+    pub tasks: Vec<Task>,
+    /// Mapping-policy name (see
+    /// [`MAPPING_POLICY_NAMES`](crate::MAPPING_POLICY_NAMES)).
+    pub mapping: String,
+    /// Register-assignment policy name for the per-task analysis.
+    pub assignment_policy: String,
+    /// Seed for seeded assignment policies.
+    pub assignment_seed: u64,
+    /// Thermal-DFA configuration for the per-task analysis.
+    pub dfa: ThermalDfaConfig,
+    /// Engine worker threads for the analysis phase. Has no effect on
+    /// any reported value — only on wall-clock time.
+    pub workers: usize,
+}
+
+impl ScenarioConfig {
+    /// A scenario with the workspace-default analysis knobs.
+    pub fn new(
+        name: &str,
+        die: MultiCoreFloorplan,
+        tasks: Vec<Task>,
+        mapping: &str,
+    ) -> ScenarioConfig {
+        ScenarioConfig {
+            name: name.to_string(),
+            die,
+            tasks,
+            mapping: mapping.to_string(),
+            assignment_policy: "first-free".to_string(),
+            assignment_seed: 0,
+            dfa: ThermalDfaConfig::default(),
+            workers: 4,
+        }
+    }
+}
+
+/// One task's scheduling outcome.
+#[derive(Clone, Debug)]
+pub struct TaskOutcome {
+    /// The task's name.
+    pub name: String,
+    /// The core it ran on (after any migration).
+    pub core: usize,
+    /// Arrival time, seconds.
+    pub arrival: f64,
+    /// Start time after queueing, seconds.
+    pub start: f64,
+    /// Core occupancy, seconds.
+    pub length: f64,
+    /// Single-core analysis peak, K.
+    pub peak_temperature: f64,
+    /// Joules deposited per execution.
+    pub energy: f64,
+    /// The task's [`ThermalReport::fingerprint`].
+    pub fingerprint: u128,
+}
+
+/// Aggregates for one core.
+#[derive(Clone, Debug)]
+pub struct CoreSummary {
+    /// Core index.
+    pub core: usize,
+    /// Tasks mapped onto this core (input-order indices).
+    pub tasks: Vec<usize>,
+    /// Total joules mapped onto the core.
+    pub energy: f64,
+    /// Total seconds the core is occupied.
+    pub busy: f64,
+    /// Hottest single-task analysis peak on the core, K (ambient when
+    /// idle).
+    pub peak_temperature: f64,
+}
+
+/// Die-wide thermal outcome.
+#[derive(Clone, Debug)]
+pub struct DieSummary {
+    /// Hottest cell temperature at any timeline breakpoint, K.
+    pub transient_peak: f64,
+    /// When the transient peak was observed, seconds.
+    pub transient_peak_time: f64,
+    /// Steady-state peak under the time-averaged power, K.
+    pub steady_peak: f64,
+    /// Whether the steady-state solve converged.
+    pub steady_converged: bool,
+    /// Gauss–Seidel sweeps the steady solve used.
+    pub steady_sweeps: usize,
+    /// When the last task finishes, seconds.
+    pub makespan: f64,
+}
+
+/// Everything one scenario run produces.
+#[derive(Clone, Debug)]
+pub struct ScenarioResult {
+    /// Scenario name.
+    pub name: String,
+    /// Mapping policy used.
+    pub mapping: String,
+    /// Cores on the die.
+    pub cores: usize,
+    /// Task index → core (final, post-migration).
+    pub assignments: Vec<usize>,
+    /// Rebalance moves the mapping policy performed.
+    pub migrations: usize,
+    /// Per-task outcomes, in input order.
+    pub tasks: Vec<TaskOutcome>,
+    /// Per-core aggregates.
+    pub per_core: Vec<CoreSummary>,
+    /// Die-wide thermal summary.
+    pub die: DieSummary,
+    /// The full per-task analysis reports, in input order (heavier than
+    /// [`ScenarioResult::tasks`]; kept for downstream consumers like
+    /// heat-map rendering).
+    pub reports: Vec<ThermalReport>,
+}
+
+impl ScenarioResult {
+    /// A 128-bit digest of every scheduling and thermal output: task
+    /// report fingerprints, final core assignments, start times,
+    /// migrations, and the die's transient/steady numbers (exact bits).
+    ///
+    /// Two runs fingerprint equal iff the whole scenario reproduced
+    /// bit-identically — the equality the CI golden-report job diffs.
+    pub fn fingerprint(&self) -> u128 {
+        let mut h = Fnv128::new();
+        h.write_u64(self.cores as u64);
+        h.write_u64(self.migrations as u64);
+        h.write_u64(self.tasks.len() as u64);
+        for t in &self.tasks {
+            h.write_u64(t.core as u64);
+            h.write_u64((t.fingerprint >> 64) as u64);
+            h.write_u64(t.fingerprint as u64);
+            h.write_f64(t.start, 0.0);
+            h.write_f64(t.energy, 0.0);
+        }
+        h.write_f64(self.die.transient_peak, 0.0);
+        h.write_f64(self.die.transient_peak_time, 0.0);
+        h.write_f64(self.die.steady_peak, 0.0);
+        h.write_u64(self.die.steady_converged as u64);
+        h.write_u64(self.die.steady_sweeps as u64);
+        h.write_f64(self.die.makespan, 0.0);
+        h.finish()
+    }
+}
+
+/// Runs a scenario end to end — analyze (batch-parallel), map
+/// (sequential), simulate (die-wide transient + steady); see the
+/// crate-level docs for the determinism contract.
+///
+/// # Errors
+///
+/// * [`TadfaError::UnknownPolicy`] for an unknown mapping or assignment
+///   policy name;
+/// * [`TadfaError::InvalidConfig`] for a non-finite/negative task
+///   arrival, a non-positive task length, or zero workers;
+/// * any error the per-task analysis pipeline reports (the first
+///   failing task aborts the scenario — scenarios are specs, so a
+///   failing task is a configuration bug, not data).
+pub fn run_scenario(cfg: &ScenarioConfig) -> Result<ScenarioResult, TadfaError> {
+    let mut mapping = mapping_policy_by_name(&cfg.mapping)
+        .ok_or_else(|| TadfaError::UnknownPolicy(cfg.mapping.clone()))?;
+    for t in &cfg.tasks {
+        if !t.arrival.is_finite() || t.arrival < 0.0 {
+            return Err(TadfaError::InvalidConfig {
+                param: "arrival",
+                value: t.arrival,
+                reason: "task arrivals must be finite and non-negative",
+            });
+        }
+        if !t.length.is_finite() || t.length <= 0.0 {
+            return Err(TadfaError::InvalidConfig {
+                param: "length",
+                value: t.length,
+                reason: "task lengths must be finite and positive",
+            });
+        }
+    }
+
+    // Phase 1: analyze every task on the single-core pipeline.
+    let session = Session::builder()
+        .floorplan(cfg.die.rows(), cfg.die.cols())
+        .rc(cfg.die.rc_params())
+        .dfa_config(cfg.dfa)
+        .policy_name(&cfg.assignment_policy, cfg.assignment_seed)
+        .build()?;
+    let engine = Engine::from_session(&session, cfg.workers)?;
+    let funcs: Vec<_> = cfg.tasks.iter().map(|t| t.func.clone()).collect();
+    let mut reports = Vec::with_capacity(funcs.len());
+    for r in engine.analyze_batch_parallel(&funcs) {
+        reports.push(r?);
+    }
+    let rf = session.register_file();
+    let pm = session.power_model();
+    let metrics: Vec<TaskMetrics> = reports
+        .iter()
+        .map(|r| task_metrics(r, rf, pm, cfg.dfa.seconds_per_cycle))
+        .collect();
+
+    // Phase 2: map tasks to cores in arrival order.
+    let cores = cfg.die.cores();
+    let ambient = cfg.die.rc_params().ambient;
+    let mut order: Vec<usize> = (0..cfg.tasks.len()).collect();
+    order.sort_by(|&a, &b| {
+        cfg.tasks[a]
+            .arrival
+            .partial_cmp(&cfg.tasks[b].arrival)
+            .expect("finite arrivals")
+            .then(a.cmp(&b))
+    });
+    mapping.reset(cores, cfg.tasks.len());
+    let mut assignments = vec![0usize; cfg.tasks.len()];
+    let mut core_energy = vec![0.0f64; cores];
+    let mut core_busy = vec![0.0f64; cores];
+    let mut core_peak = vec![ambient; cores];
+    for (pos, &task) in order.iter().enumerate() {
+        let core = mapping
+            .choose(&MappingContext {
+                cores,
+                task_index: pos,
+                metrics: &metrics[task],
+                core_energy: &core_energy,
+                core_busy_until: &core_busy,
+                core_peak_estimate: &core_peak,
+            })
+            .min(cores - 1);
+        assignments[task] = core;
+        core_energy[core] += metrics[task].energy;
+        core_busy[core] = core_busy[core].max(cfg.tasks[task].arrival) + cfg.tasks[task].length;
+        core_peak[core] = core_peak[core].max(metrics[task].peak_temperature);
+    }
+    let migrations = mapping.rebalance(&mut assignments, &metrics, cores);
+
+    // Final timeline under the post-rebalance assignment.
+    let mut busy_until = vec![0.0f64; cores];
+    let mut starts = vec![0.0f64; cfg.tasks.len()];
+    for &task in &order {
+        let core = assignments[task];
+        let start = busy_until[core].max(cfg.tasks[task].arrival);
+        starts[task] = start;
+        busy_until[core] = start + cfg.tasks[task].length;
+    }
+    let makespan = busy_until.iter().cloned().fold(0.0f64, f64::max);
+
+    // Phase 3: die-wide simulation of the piecewise-constant power
+    // timeline.
+    let solver = cfg.die.compile();
+    let per_core_cells = cfg.die.cells_per_core();
+    let n = cfg.die.num_cells();
+    let mut breakpoints: Vec<f64> = Vec::with_capacity(2 * cfg.tasks.len() + 1);
+    breakpoints.push(0.0);
+    for (i, t) in cfg.tasks.iter().enumerate() {
+        breakpoints.push(starts[i]);
+        breakpoints.push(starts[i] + t.length);
+    }
+    breakpoints.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    breakpoints.dedup();
+
+    let mut state = cfg.die.ambient_state();
+    let mut scratch = StepScratch::new();
+    let mut power = vec![0.0f64; n];
+    let mut transient_peak = state.peak();
+    let mut transient_peak_time = 0.0;
+    for w in breakpoints.windows(2) {
+        let (t0, t1) = (w[0], w[1]);
+        power.iter_mut().for_each(|p| *p = 0.0);
+        for (i, t) in cfg.tasks.iter().enumerate() {
+            if starts[i] <= t0 && t1 <= starts[i] + t.length {
+                let base = assignments[i] * per_core_cells;
+                for (cell, &pw) in metrics[i].power.iter().enumerate() {
+                    power[base + cell] += pw;
+                }
+            }
+        }
+        solver.step_into(&mut state, &power, t1 - t0, &mut scratch);
+        let peak = state.peak();
+        if peak > transient_peak {
+            transient_peak = peak;
+            transient_peak_time = t1;
+        }
+    }
+
+    // Steady state of the time-averaged power.
+    let mut avg_power = vec![0.0f64; n];
+    if makespan > 0.0 {
+        for (i, t) in cfg.tasks.iter().enumerate() {
+            let base = assignments[i] * per_core_cells;
+            for (cell, &pw) in metrics[i].power.iter().enumerate() {
+                avg_power[base + cell] += pw * t.length / makespan;
+            }
+        }
+    }
+    let mut steady = ThermalState::uniform(n, ambient);
+    let stats = solver.steady_state_into(&avg_power, &mut steady, &SteadyStateOptions::default());
+
+    // Assemble.
+    let tasks: Vec<TaskOutcome> = cfg
+        .tasks
+        .iter()
+        .enumerate()
+        .map(|(i, t)| TaskOutcome {
+            name: t.name.clone(),
+            core: assignments[i],
+            arrival: t.arrival,
+            start: starts[i],
+            length: t.length,
+            peak_temperature: metrics[i].peak_temperature,
+            energy: metrics[i].energy,
+            fingerprint: metrics[i].fingerprint,
+        })
+        .collect();
+    let per_core: Vec<CoreSummary> = (0..cores)
+        .map(|core| {
+            let on_core: Vec<usize> = (0..cfg.tasks.len())
+                .filter(|&i| assignments[i] == core)
+                .collect();
+            CoreSummary {
+                core,
+                energy: on_core.iter().map(|&i| metrics[i].energy).sum(),
+                busy: on_core.iter().map(|&i| cfg.tasks[i].length).sum(),
+                peak_temperature: on_core
+                    .iter()
+                    .map(|&i| metrics[i].peak_temperature)
+                    .fold(ambient, f64::max),
+                tasks: on_core,
+            }
+        })
+        .collect();
+
+    Ok(ScenarioResult {
+        name: cfg.name.clone(),
+        mapping: cfg.mapping.clone(),
+        cores,
+        assignments,
+        migrations,
+        tasks,
+        per_core,
+        die: DieSummary {
+            transient_peak,
+            transient_peak_time,
+            steady_peak: steady.peak(),
+            steady_converged: stats.converged,
+            steady_sweeps: stats.sweeps,
+            makespan,
+        },
+        reports,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::suite_tasks;
+    use tadfa_thermal::RcParams;
+
+    fn quad_config(mapping: &str) -> ScenarioConfig {
+        let die = MultiCoreFloorplan::new(4, 4, 4, RcParams::default(), Some(40.0)).unwrap();
+        let mut cfg = ScenarioConfig::new("test", die, suite_tasks(8, 5e-4, 1e-3), mapping);
+        cfg.workers = 2;
+        cfg
+    }
+
+    #[test]
+    fn scenario_runs_and_reports_consistently() {
+        let r = run_scenario(&quad_config("round-robin")).unwrap();
+        assert_eq!(r.cores, 4);
+        assert_eq!(r.tasks.len(), 8);
+        assert_eq!(r.assignments, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        assert_eq!(r.migrations, 0);
+        assert!(r.die.transient_peak > RcParams::default().ambient);
+        assert!(r.die.steady_converged);
+        assert!(r.die.makespan > 0.0);
+        // Per-core partitions cover every task exactly once.
+        let mut seen: Vec<usize> = r.per_core.iter().flat_map(|c| c.tasks.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
+        // Report fingerprints survive into outcomes.
+        for (outcome, report) in r.tasks.iter().zip(&r.reports) {
+            assert_eq!(outcome.fingerprint, report.fingerprint());
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_runs_and_workers() {
+        let base = run_scenario(&quad_config("coolest-core"))
+            .unwrap()
+            .fingerprint();
+        for workers in [1, 3, 8] {
+            let mut cfg = quad_config("coolest-core");
+            cfg.workers = workers;
+            assert_eq!(
+                run_scenario(&cfg).unwrap().fingerprint(),
+                base,
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn policies_disagree_on_placement() {
+        let rr = run_scenario(&quad_config("round-robin")).unwrap();
+        let shard = run_scenario(&quad_config("static-shard")).unwrap();
+        assert_ne!(rr.assignments, shard.assignments);
+        assert_ne!(rr.fingerprint(), shard.fingerprint());
+    }
+
+    #[test]
+    fn unknown_names_and_bad_tasks_are_errors() {
+        let mut cfg = quad_config("no-such-policy");
+        assert!(matches!(
+            run_scenario(&cfg),
+            Err(TadfaError::UnknownPolicy(_))
+        ));
+        cfg.mapping = "round-robin".to_string();
+        cfg.assignment_policy = "bogus".to_string();
+        assert!(matches!(
+            run_scenario(&cfg),
+            Err(TadfaError::UnknownPolicy(_))
+        ));
+        let mut cfg = quad_config("round-robin");
+        cfg.tasks[0].length = 0.0;
+        assert!(matches!(
+            run_scenario(&cfg),
+            Err(TadfaError::InvalidConfig {
+                param: "length",
+                ..
+            })
+        ));
+        let mut cfg = quad_config("round-robin");
+        cfg.tasks[0].arrival = f64::NAN;
+        assert!(matches!(
+            run_scenario(&cfg),
+            Err(TadfaError::InvalidConfig {
+                param: "arrival",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn empty_task_set_is_fine() {
+        let die = MultiCoreFloorplan::new(2, 4, 4, RcParams::default(), None).unwrap();
+        let cfg = ScenarioConfig::new("empty", die, Vec::new(), "round-robin");
+        let r = run_scenario(&cfg).unwrap();
+        assert_eq!(r.tasks.len(), 0);
+        assert_eq!(r.die.makespan, 0.0);
+        let amb = RcParams::default().ambient;
+        assert!((r.die.transient_peak - amb).abs() < 1e-12);
+        assert!((r.die.steady_peak - amb).abs() < 1e-6);
+    }
+
+    #[test]
+    fn thermal_balanced_spreads_a_skewed_stream() {
+        // All tasks arrive at once; round-robin and thermal-balanced
+        // both spread them, but the balanced policy balances energy.
+        let mut cfg = quad_config("thermal-balanced");
+        for t in &mut cfg.tasks {
+            t.arrival = 0.0;
+        }
+        let r = run_scenario(&cfg).unwrap();
+        let energies: Vec<f64> = r.per_core.iter().map(|c| c.energy).collect();
+        let max = energies.iter().cloned().fold(f64::MIN, f64::max);
+        let min = energies.iter().cloned().fold(f64::MAX, f64::min);
+        let total: f64 = energies.iter().sum();
+        assert!(max - min <= total / 2.0, "balanced spread: {energies:?}");
+    }
+}

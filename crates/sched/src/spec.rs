@@ -1,0 +1,654 @@
+//! Declarative scenario specs: the `tadfa` CLI's input format.
+//!
+//! A spec describes a whole multi-core scenario — die layout, task
+//! set, mapping policy, DFA configuration — in TOML (the committed
+//! `scenarios/*.toml` files) or JSON (same sections as an object of
+//! objects). The build container has no crates.io access, so the TOML
+//! reader here covers exactly the subset the specs use: `[section]`
+//! headers, `key = value` pairs with string/number/boolean/array
+//! values, and `#` comments.
+//!
+//! # Spec format
+//!
+//! ```toml
+//! name = "quad-balanced"
+//!
+//! [floorplan]
+//! cores = 4
+//! rows = 8
+//! cols = 8
+//! coupling_resistance = 40.0   # K/W; omit for uncoupled cores
+//!
+//! [tasks]
+//! source = "generated"         # generated | suite | files
+//! count = 12
+//! seed = 42
+//! pressure = 8                 # generated only
+//! arrival_period = 0.0005      # seconds between arrivals
+//! length = 0.001               # seconds each task occupies its core
+//! # files = ["tasks/kernel.tir"]   # files only; relative to the spec
+//!
+//! [schedule]
+//! mapping = "thermal-balanced" # round-robin | coolest-core |
+//!                              # thermal-balanced | static-shard
+//! workers = 4
+//!
+//! [assignment]
+//! policy = "first-free"
+//! seed = 0
+//!
+//! [dfa]
+//! delta = 0.01
+//! max_iterations = 1000
+//! merge = "max"                # max | average
+//! leakage = true
+//! ```
+//!
+//! Every key is optional except `[tasks] source` (and `files` when the
+//! source is `files`); unknown sections or keys are errors, so a typo
+//! cannot silently run a different scenario than the golden report was
+//! recorded for.
+
+use crate::json::{self, JsonValue};
+use crate::multicore::MultiCoreFloorplan;
+use crate::runner::ScenarioConfig;
+use crate::task::{generated_tasks, suite_tasks, Task};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+use tadfa_core::{MergeRule, ThermalDfaConfig};
+use tadfa_thermal::RcParams;
+
+/// A spec loading/validation failure, with context.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SpecError {
+    /// What went wrong, with enough context to fix the spec.
+    pub message: String,
+}
+
+impl SpecError {
+    fn new(message: impl Into<String>) -> SpecError {
+        SpecError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario spec error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// One scalar (or array-of-scalar) spec value.
+#[derive(Clone, PartialEq, Debug)]
+enum SpecValue {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    List(Vec<SpecValue>),
+}
+
+/// Sections → keys → values. Top-level keys live in the `""` section.
+type Sections = BTreeMap<String, BTreeMap<String, SpecValue>>;
+
+/// Loads and validates a scenario spec from disk. The format is chosen
+/// by extension (`.toml` or `.json`); task files referenced by the spec
+/// are resolved relative to the spec's directory.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] describing the first I/O, syntax, or
+/// validation problem.
+pub fn load_spec(path: &Path) -> Result<ScenarioConfig, SpecError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| SpecError::new(format!("cannot read {}: {e}", path.display())))?;
+    let base = path.parent().unwrap_or_else(|| Path::new("."));
+    let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+    let sections = match ext {
+        "toml" => parse_toml(&text)?,
+        "json" => json_sections(&text)?,
+        other => {
+            return Err(SpecError::new(format!(
+                "unknown spec extension '.{other}' for {} (expected .toml or .json)",
+                path.display()
+            )))
+        }
+    };
+    let default_name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("scenario");
+    build_config(&sections, base, default_name)
+}
+
+// ---------------------------------------------------------------- TOML
+
+fn parse_toml(text: &str) -> Result<Sections, SpecError> {
+    let mut sections: Sections = BTreeMap::new();
+    let mut current = String::new();
+    sections.entry(current.clone()).or_default();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |msg: String| SpecError::new(format!("line {}: {msg}", lineno + 1));
+        if let Some(rest) = line.strip_prefix('[') {
+            let name = rest
+                .strip_suffix(']')
+                .ok_or_else(|| at("unterminated section header".to_string()))?
+                .trim();
+            if name.is_empty() {
+                return Err(at("empty section name".to_string()));
+            }
+            current = name.to_string();
+            if sections.contains_key(&current) && !current.is_empty() {
+                return Err(at(format!("duplicate section [{current}]")));
+            }
+            sections.entry(current.clone()).or_default();
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| at(format!("expected 'key = value', got '{line}'")))?;
+        let key = key.trim().to_string();
+        if key.is_empty() {
+            return Err(at("empty key".to_string()));
+        }
+        let value = parse_toml_value(value.trim()).map_err(|e| at(e.message))?;
+        let section = sections.entry(current.clone()).or_default();
+        if section.insert(key.clone(), value).is_some() {
+            return Err(at(format!("duplicate key '{key}'")));
+        }
+    }
+    Ok(sections)
+}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_toml_value(text: &str) -> Result<SpecValue, SpecError> {
+    if let Some(inner) = text.strip_prefix('"') {
+        let inner = inner
+            .strip_suffix('"')
+            .ok_or_else(|| SpecError::new(format!("unterminated string {text}")))?;
+        if inner.contains('"') {
+            return Err(SpecError::new(format!("embedded quote in {text}")));
+        }
+        return Ok(SpecValue::Str(inner.to_string()));
+    }
+    if let Some(inner) = text.strip_prefix('[') {
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or_else(|| SpecError::new(format!("unterminated array {text}")))?
+            .trim();
+        let mut items = Vec::new();
+        if !inner.is_empty() {
+            for item in split_top_level(inner) {
+                items.push(parse_toml_value(item.trim())?);
+            }
+        }
+        return Ok(SpecValue::List(items));
+    }
+    match text {
+        "true" => return Ok(SpecValue::Bool(true)),
+        "false" => return Ok(SpecValue::Bool(false)),
+        _ => {}
+    }
+    text.parse::<f64>()
+        .map(SpecValue::Num)
+        .map_err(|_| SpecError::new(format!("cannot parse value '{text}'")))
+}
+
+/// Splits an array body on commas outside strings (nested arrays are
+/// not part of the spec subset).
+fn split_top_level(body: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_string = false;
+    for (i, c) in body.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            ',' if !in_string => {
+                parts.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&body[start..]);
+    parts
+}
+
+// ---------------------------------------------------------------- JSON
+
+fn json_sections(text: &str) -> Result<Sections, SpecError> {
+    let doc = json::parse(text).map_err(|e| SpecError::new(e.to_string()))?;
+    let members = doc
+        .as_object()
+        .ok_or_else(|| SpecError::new("JSON spec must be an object"))?;
+    let mut sections: Sections = BTreeMap::new();
+    sections.entry(String::new()).or_default();
+    // Duplicates are rejected exactly as the TOML reader rejects them —
+    // a stale copy-pasted section must not silently win.
+    for (key, value) in members {
+        match value {
+            JsonValue::Obj(inner) => {
+                if sections.contains_key(key) {
+                    return Err(SpecError::new(format!("duplicate section \"{key}\"")));
+                }
+                let section = sections.entry(key.clone()).or_default();
+                for (k, v) in inner {
+                    if section.insert(k.clone(), json_scalar(v, k)?).is_some() {
+                        return Err(SpecError::new(format!(
+                            "duplicate key \"{k}\" in section \"{key}\""
+                        )));
+                    }
+                }
+            }
+            other => {
+                let top = sections.entry(String::new()).or_default();
+                if top.insert(key.clone(), json_scalar(other, key)?).is_some() {
+                    return Err(SpecError::new(format!("duplicate top-level key \"{key}\"")));
+                }
+            }
+        }
+    }
+    Ok(sections)
+}
+
+fn json_scalar(v: &JsonValue, key: &str) -> Result<SpecValue, SpecError> {
+    Ok(match v {
+        JsonValue::Str(s) => SpecValue::Str(s.clone()),
+        JsonValue::Num(n) => SpecValue::Num(*n),
+        JsonValue::Bool(b) => SpecValue::Bool(*b),
+        JsonValue::Arr(items) => SpecValue::List(
+            items
+                .iter()
+                .map(|i| json_scalar(i, key))
+                .collect::<Result<_, _>>()?,
+        ),
+        JsonValue::Null | JsonValue::Obj(_) => {
+            return Err(SpecError::new(format!(
+                "key '{key}': null / nested objects are not spec values"
+            )))
+        }
+    })
+}
+
+// ----------------------------------------------------------- semantics
+
+/// Typed access with unknown-key rejection.
+struct Section<'a> {
+    name: &'a str,
+    entries: Option<&'a BTreeMap<String, SpecValue>>,
+}
+
+impl Section<'_> {
+    fn check_keys(&self, allowed: &[&str]) -> Result<(), SpecError> {
+        if let Some(entries) = self.entries {
+            for key in entries.keys() {
+                if !allowed.contains(&key.as_str()) {
+                    return Err(SpecError::new(format!(
+                        "unknown key '{key}' in [{}] (allowed: {})",
+                        self.name,
+                        allowed.join(", ")
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Option<&SpecValue> {
+        self.entries.and_then(|e| e.get(key))
+    }
+
+    fn str(&self, key: &str, default: &str) -> Result<String, SpecError> {
+        match self.get(key) {
+            None => Ok(default.to_string()),
+            Some(SpecValue::Str(s)) => Ok(s.clone()),
+            Some(other) => Err(self.type_err(key, "a string", other)),
+        }
+    }
+
+    fn num(&self, key: &str, default: f64) -> Result<f64, SpecError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(SpecValue::Num(v)) => Ok(*v),
+            Some(other) => Err(self.type_err(key, "a number", other)),
+        }
+    }
+
+    fn usize(&self, key: &str, default: usize) -> Result<usize, SpecError> {
+        let v = self.num(key, default as f64)?;
+        if v < 0.0 || v.fract() != 0.0 || v > u32::MAX as f64 {
+            return Err(SpecError::new(format!(
+                "[{}] {key} = {v} must be a non-negative integer",
+                self.name
+            )));
+        }
+        Ok(v as usize)
+    }
+
+    fn bool(&self, key: &str, default: bool) -> Result<bool, SpecError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(SpecValue::Bool(b)) => Ok(*b),
+            Some(other) => Err(self.type_err(key, "a boolean", other)),
+        }
+    }
+
+    fn str_list(&self, key: &str) -> Result<Vec<String>, SpecError> {
+        match self.get(key) {
+            None => Ok(Vec::new()),
+            Some(SpecValue::List(items)) => items
+                .iter()
+                .map(|i| match i {
+                    SpecValue::Str(s) => Ok(s.clone()),
+                    other => Err(self.type_err(key, "an array of strings", other)),
+                })
+                .collect(),
+            Some(other) => Err(self.type_err(key, "an array of strings", other)),
+        }
+    }
+
+    fn type_err(&self, key: &str, expected: &str, got: &SpecValue) -> SpecError {
+        SpecError::new(format!(
+            "[{}] {key} must be {expected}, got {got:?}",
+            self.name
+        ))
+    }
+}
+
+fn build_config(
+    sections: &Sections,
+    base: &Path,
+    default_name: &str,
+) -> Result<ScenarioConfig, SpecError> {
+    for name in sections.keys() {
+        if !["", "floorplan", "tasks", "schedule", "assignment", "dfa"].contains(&name.as_str()) {
+            return Err(SpecError::new(format!("unknown section [{name}]")));
+        }
+    }
+    let section = |name: &'static str| Section {
+        name,
+        entries: sections.get(name),
+    };
+
+    let top = Section {
+        name: "top level",
+        entries: sections.get(""),
+    };
+    top.check_keys(&["name"])?;
+    let name = top.str("name", default_name)?;
+
+    let fp = section("floorplan");
+    fp.check_keys(&["cores", "rows", "cols", "coupling_resistance"])?;
+    let cores = fp.usize("cores", 1)?;
+    let rows = fp.usize("rows", 8)?;
+    let cols = fp.usize("cols", 8)?;
+    let coupling = match fp.get("coupling_resistance") {
+        None => None,
+        Some(SpecValue::Num(r)) => Some(*r),
+        Some(other) => return Err(fp.type_err("coupling_resistance", "a number", other)),
+    };
+    let die = MultiCoreFloorplan::new(cores, rows, cols, RcParams::default(), coupling)
+        .map_err(|e| SpecError::new(format!("[floorplan]: {e}")))?;
+
+    let tasks_sec = section("tasks");
+    tasks_sec.check_keys(&[
+        "source",
+        "count",
+        "seed",
+        "pressure",
+        "arrival_period",
+        "length",
+        "files",
+    ])?;
+    let source = tasks_sec.str("source", "")?;
+    let arrival_period = tasks_sec.num("arrival_period", 5e-4)?;
+    let length = tasks_sec.num("length", 1e-3)?;
+    let count = tasks_sec.usize("count", 8)?;
+    let tasks: Vec<Task> = match source.as_str() {
+        "generated" => generated_tasks(
+            count,
+            tasks_sec.usize("seed", 42)? as u64,
+            tasks_sec.usize("pressure", 8)?,
+            arrival_period,
+            length,
+        ),
+        "suite" => suite_tasks(count, arrival_period, length),
+        "files" => {
+            let files = tasks_sec.str_list("files")?;
+            if files.is_empty() {
+                return Err(SpecError::new(
+                    "[tasks] source = \"files\" needs a non-empty 'files' array",
+                ));
+            }
+            let mut tasks = Vec::with_capacity(files.len());
+            for (k, file) in files.iter().enumerate() {
+                let path = base.join(file);
+                let src = std::fs::read_to_string(&path).map_err(|e| {
+                    SpecError::new(format!("cannot read task file {}: {e}", path.display()))
+                })?;
+                let func = tadfa_ir::parse_function(&src)
+                    .map_err(|e| SpecError::new(format!("task file {}: {e}", path.display())))?;
+                tasks.push(Task {
+                    name: func.name().to_string(),
+                    func,
+                    arrival: k as f64 * arrival_period,
+                    length,
+                });
+            }
+            tasks
+        }
+        "" => {
+            return Err(SpecError::new(
+                "[tasks] source is required (generated | suite | files)",
+            ))
+        }
+        other => {
+            return Err(SpecError::new(format!(
+                "[tasks] unknown source '{other}' (generated | suite | files)"
+            )))
+        }
+    };
+
+    let sched = section("schedule");
+    sched.check_keys(&["mapping", "workers"])?;
+    let mapping = sched.str("mapping", "round-robin")?;
+    let workers = sched.usize("workers", 4)?;
+
+    let assign = section("assignment");
+    assign.check_keys(&["policy", "seed"])?;
+    let assignment_policy = assign.str("policy", "first-free")?;
+    let assignment_seed = assign.usize("seed", 0)? as u64;
+
+    let dfa_sec = section("dfa");
+    dfa_sec.check_keys(&["delta", "max_iterations", "merge", "leakage"])?;
+    let defaults = ThermalDfaConfig::default();
+    let merge = match dfa_sec.str("merge", "max")?.as_str() {
+        "max" => MergeRule::Max,
+        "average" => MergeRule::Average,
+        other => {
+            return Err(SpecError::new(format!(
+                "[dfa] unknown merge rule '{other}' (max | average)"
+            )))
+        }
+    };
+    let dfa = ThermalDfaConfig {
+        delta: dfa_sec.num("delta", defaults.delta)?,
+        max_iterations: dfa_sec.usize("max_iterations", defaults.max_iterations)?,
+        merge,
+        leakage_feedback: dfa_sec.bool("leakage", defaults.leakage_feedback)?,
+        ..defaults
+    };
+
+    Ok(ScenarioConfig {
+        name,
+        die,
+        tasks,
+        mapping,
+        assignment_policy,
+        assignment_seed,
+        dfa,
+        workers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_to_config(toml: &str) -> Result<ScenarioConfig, SpecError> {
+        build_config(&parse_toml(toml)?, Path::new("."), "unnamed")
+    }
+
+    const GOOD: &str = r#"
+        name = "quad"  # a comment
+        [floorplan]
+        cores = 4
+        rows = 6
+        cols = 6
+        coupling_resistance = 40.0
+        [tasks]
+        source = "generated"
+        count = 6
+        seed = 9
+        arrival_period = 0.0005
+        length = 0.001
+        [schedule]
+        mapping = "coolest-core"
+        workers = 2
+        [assignment]
+        policy = "round-robin"
+        seed = 3
+        [dfa]
+        delta = 0.05
+        merge = "average"
+        leakage = false
+    "#;
+
+    #[test]
+    fn toml_spec_roundtrips_every_section() {
+        let cfg = parse_to_config(GOOD).unwrap();
+        assert_eq!(cfg.name, "quad");
+        assert_eq!(cfg.die.cores(), 4);
+        assert_eq!(cfg.die.rows(), 6);
+        assert_eq!(cfg.die.coupling_resistance(), Some(40.0));
+        assert_eq!(cfg.tasks.len(), 6);
+        assert!((cfg.tasks[2].arrival - 1e-3).abs() < 1e-15);
+        assert_eq!(cfg.mapping, "coolest-core");
+        assert_eq!(cfg.workers, 2);
+        assert_eq!(cfg.assignment_policy, "round-robin");
+        assert_eq!(cfg.assignment_seed, 3);
+        assert_eq!(cfg.dfa.delta, 0.05);
+        assert_eq!(cfg.dfa.merge, MergeRule::Average);
+        assert!(!cfg.dfa.leakage_feedback);
+    }
+
+    #[test]
+    fn defaults_fill_every_optional_key() {
+        let cfg = parse_to_config("[tasks]\nsource = \"suite\"\n").unwrap();
+        assert_eq!(cfg.name, "unnamed");
+        assert_eq!(cfg.die.cores(), 1);
+        assert_eq!(cfg.die.rows(), 8);
+        assert_eq!(cfg.die.coupling_resistance(), None);
+        assert_eq!(cfg.tasks.len(), 8);
+        assert_eq!(cfg.mapping, "round-robin");
+        assert_eq!(cfg.workers, 4);
+        assert_eq!(cfg.assignment_policy, "first-free");
+        assert_eq!(cfg.dfa.delta, ThermalDfaConfig::default().delta);
+    }
+
+    #[test]
+    fn unknown_sections_keys_and_values_are_rejected() {
+        assert!(parse_to_config("[bogus]\nx = 1\n").is_err());
+        assert!(parse_to_config("[tasks]\nsource = \"suite\"\nbogus = 1\n").is_err());
+        assert!(parse_to_config("[tasks]\nsource = \"nope\"\n").is_err());
+        assert!(parse_to_config("[tasks]\n").is_err(), "source required");
+        assert!(parse_to_config("[tasks]\nsource = \"files\"\n").is_err());
+        assert!(parse_to_config("[tasks]\nsource = \"suite\"\ncount = 1.5\n").is_err());
+        assert!(
+            parse_to_config("[dfa]\nmerge = \"median\"\n[tasks]\nsource = \"suite\"\n").is_err()
+        );
+        assert!(parse_toml("key value\n").is_err());
+        assert!(parse_toml("[unterminated\n").is_err());
+        assert!(parse_toml("k = \"open\n").is_err());
+        assert!(
+            parse_toml("[a]\nx = 1\n[a]\ny = 2\n").is_err(),
+            "duplicate section"
+        );
+        assert!(parse_toml("x = 1\nx = 2\n").is_err(), "duplicate key");
+    }
+
+    #[test]
+    fn json_spec_parses_like_toml() {
+        let json = r#"{
+            "name": "duo",
+            "floorplan": {"cores": 2, "rows": 4, "cols": 4},
+            "tasks": {"source": "suite", "count": 3},
+            "schedule": {"mapping": "static-shard", "workers": 1}
+        }"#;
+        let cfg = build_config(&json_sections(json).unwrap(), Path::new("."), "x").unwrap();
+        assert_eq!(cfg.name, "duo");
+        assert_eq!(cfg.die.cores(), 2);
+        assert_eq!(cfg.tasks.len(), 3);
+        assert_eq!(cfg.mapping, "static-shard");
+        assert!(json_sections("[1, 2]").is_err(), "spec must be an object");
+        assert!(json_sections(r#"{"tasks": {"source": null}}"#).is_err());
+        // Duplicates are errors, exactly like the TOML path.
+        assert!(
+            json_sections(r#"{"schedule": {"mapping": "a"}, "schedule": {"mapping": "b"}}"#)
+                .is_err(),
+            "duplicate section"
+        );
+        assert!(
+            json_sections(r#"{"schedule": {"mapping": "a", "mapping": "b"}}"#).is_err(),
+            "duplicate key"
+        );
+        assert!(
+            json_sections(r#"{"name": "x", "name": "y"}"#).is_err(),
+            "duplicate top-level key"
+        );
+    }
+
+    #[test]
+    fn comments_respect_strings() {
+        assert_eq!(
+            strip_comment(r##"key = "a#b" # real comment"##),
+            r##"key = "a#b" "##
+        );
+        assert_eq!(strip_comment("plain"), "plain");
+    }
+
+    #[test]
+    fn file_tasks_load_through_the_ir_parser() {
+        let dir = std::env::temp_dir().join("tadfa_spec_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("t.tir"),
+            "func @double(%0) {\nblock0:\n  %1 = add %0, %0\n  ret %1\n}\n",
+        )
+        .unwrap();
+        let toml = "[tasks]\nsource = \"files\"\nfiles = [\"t.tir\"]\n";
+        let cfg = build_config(&parse_toml(toml).unwrap(), &dir, "x").unwrap();
+        assert_eq!(cfg.tasks.len(), 1);
+        assert_eq!(cfg.tasks[0].name, "double");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

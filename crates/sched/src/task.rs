@@ -1,0 +1,194 @@
+//! The task model: an IR function plus when it arrives and how long it
+//! occupies a core.
+//!
+//! A [`Task`] is the scheduler's unit of work. Its *power profile* is
+//! not stored — it is derived deterministically from the task's
+//! analyzed (register-allocated) form by [`task_metrics`]: per-register
+//! access counts converted through the session's
+//! [`PowerModel`] into a per-cell average power vector over the task's
+//! length. That vector is what the die-wide simulation deposits on the
+//! task's core.
+
+use tadfa_core::ThermalReport;
+use tadfa_ir::Function;
+use tadfa_thermal::{PowerModel, RegisterFile};
+use tadfa_workloads::{generate, standard_suite, GeneratorConfig};
+
+/// One schedulable unit: an IR function with arrival time and length.
+#[derive(Clone, Debug)]
+pub struct Task {
+    /// Display name ("gen3", "matmul-0", …).
+    pub name: String,
+    /// The program the task executes.
+    pub func: Function,
+    /// Arrival time, seconds since scenario start.
+    pub arrival: f64,
+    /// Seconds the task occupies its core once started.
+    pub length: f64,
+}
+
+/// Deterministic per-task facts derived from the task's analysis
+/// report — everything the mapping policies and the die simulation
+/// read.
+#[derive(Clone, Debug)]
+pub struct TaskMetrics {
+    /// Peak temperature the single-core thermal DFA predicted, K.
+    pub peak_temperature: f64,
+    /// Straight-line cycle count (sum of instruction and terminator
+    /// latencies over the allocated form).
+    pub cycles: u64,
+    /// Joules one straight-line execution deposits in the register
+    /// file.
+    pub energy: f64,
+    /// Per-core-cell average power over the task's length, W.
+    pub power: Vec<f64>,
+    /// The task's [`ThermalReport::fingerprint`].
+    pub fingerprint: u128,
+}
+
+/// Derives a task's [`TaskMetrics`] from its analysis report.
+///
+/// Access counting mirrors the thermal DFA's transfer function: every
+/// instruction use whose virtual register has a physical assignment
+/// counts one read, every def one write, and terminator uses count
+/// reads; spill-resident values contribute nothing. The counts convert
+/// to a **sustained natural power** vector via
+/// [`PowerModel::power_vector`] over the straight-line execution time
+/// `cycles × seconds_per_cycle` — the same "executing continuously at
+/// its natural rate" abstraction the thermal DFA steps with, so a task
+/// deposits that power for as long as it occupies its core. The
+/// estimate is straight-line (loop-unaware) and deterministic by
+/// construction.
+///
+/// # Panics
+///
+/// Panics if `seconds_per_cycle` is not positive (validated upstream
+/// by `ThermalDfaConfig`).
+pub fn task_metrics(
+    report: &ThermalReport,
+    rf: &RegisterFile,
+    pm: PowerModel,
+    seconds_per_cycle: f64,
+) -> TaskMetrics {
+    let mut reads = vec![0u64; rf.num_regs()];
+    let mut writes = vec![0u64; rf.num_regs()];
+    let mut cycles: u64 = 0;
+    let func = &report.func;
+    for bb in func.block_ids() {
+        for &id in func.block(bb).insts() {
+            let inst = func.inst(id);
+            cycles += u64::from(inst.op.latency());
+            for &u in inst.uses() {
+                if let Some(p) = report.assignment.preg_of(u) {
+                    reads[p.index()] += 1;
+                }
+            }
+            if let Some(d) = inst.def() {
+                if let Some(p) = report.assignment.preg_of(d) {
+                    writes[p.index()] += 1;
+                }
+            }
+        }
+        if let Some(t) = func.terminator(bb) {
+            cycles += u64::from(t.latency());
+            for u in t.uses() {
+                if let Some(p) = report.assignment.preg_of(u) {
+                    reads[p.index()] += 1;
+                }
+            }
+        }
+    }
+    let total_reads: u64 = reads.iter().sum();
+    let total_writes: u64 = writes.iter().sum();
+    let energy = total_reads as f64 * pm.read_energy + total_writes as f64 * pm.write_energy;
+    let natural = cycles.max(1) as f64 * seconds_per_cycle;
+    TaskMetrics {
+        peak_temperature: report.peak_temperature(),
+        cycles,
+        energy,
+        power: pm.power_vector(rf, &reads, &writes, natural),
+        fingerprint: report.fingerprint(),
+    }
+}
+
+/// A seeded batch of generated tasks: task `k` uses generator seed
+/// `seed + k`, arrives at `k · arrival_period`, and runs for `length`
+/// seconds. `pressure` is the generator's register-pressure knob.
+pub fn generated_tasks(
+    count: usize,
+    seed: u64,
+    pressure: usize,
+    arrival_period: f64,
+    length: f64,
+) -> Vec<Task> {
+    (0..count)
+        .map(|k| Task {
+            name: format!("gen{k}"),
+            func: generate(&GeneratorConfig {
+                seed: seed.wrapping_add(k as u64),
+                pressure,
+                ..GeneratorConfig::default()
+            }),
+            arrival: k as f64 * arrival_period,
+            length,
+        })
+        .collect()
+}
+
+/// `count` tasks cycling through the standard workload suite, with the
+/// same arrival/length law as [`generated_tasks`].
+pub fn suite_tasks(count: usize, arrival_period: f64, length: f64) -> Vec<Task> {
+    let suite = standard_suite();
+    (0..count)
+        .map(|k| {
+            let w = &suite[k % suite.len()];
+            Task {
+                name: format!("{}-{k}", w.name),
+                func: w.func.clone(),
+                arrival: k as f64 * arrival_period,
+                length,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tadfa_core::Session;
+
+    #[test]
+    fn generated_and_suite_tasks_are_deterministic() {
+        let a = generated_tasks(4, 7, 6, 1e-3, 2e-3);
+        let b = generated_tasks(4, 7, 6, 1e-3, 2e-3);
+        assert_eq!(a.len(), 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.arrival, y.arrival);
+            assert_eq!(x.func.num_insts(), y.func.num_insts());
+        }
+        assert!((a[3].arrival - 3e-3).abs() < 1e-15);
+        let s = suite_tasks(13, 1e-3, 2e-3);
+        assert_eq!(s.len(), 13);
+        assert_eq!(s[0].name, "matmul-0");
+        assert_eq!(s[11].name, "matmul-11", "suite cycles");
+    }
+
+    #[test]
+    fn metrics_match_the_analysis() {
+        let mut session = Session::builder().floorplan(4, 4).build().unwrap();
+        let w = tadfa_workloads::fibonacci();
+        let report = session.analyze(&w.func).unwrap();
+        let spc = session.dfa_config().seconds_per_cycle;
+        let m = task_metrics(&report, session.register_file(), session.power_model(), spc);
+        assert_eq!(m.fingerprint, report.fingerprint());
+        assert!((m.peak_temperature - report.peak_temperature()).abs() < 1e-12);
+        assert!(m.cycles > 0);
+        assert!(m.energy > 0.0);
+        assert_eq!(m.power.len(), 16);
+        // Sustained natural power × natural duration = deposited energy.
+        let total: f64 = m.power.iter().sum();
+        let natural = m.cycles as f64 * spc;
+        assert!((total * natural - m.energy).abs() < m.energy * 1e-9);
+    }
+}

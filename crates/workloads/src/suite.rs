@@ -47,23 +47,26 @@ pub fn replicated_suite(copies: usize) -> Vec<Workload> {
     (0..copies).flat_map(|_| standard_suite()).collect()
 }
 
-/// Splits `items` into `n` contiguous shards whose sizes differ by at
-/// most one, preserving order — concatenating the shards reproduces the
-/// input. The front shards take the remainder, so shard sizes are
-/// monotonically non-increasing. With `n` larger than the item count,
-/// the tail shards are empty.
+/// Splits `items` into at most `n` contiguous shards whose sizes differ
+/// by at most one, preserving order — concatenating the shards
+/// reproduces the input. The front shards take the remainder, so shard
+/// sizes are monotonically non-increasing.
+///
+/// The function is **total**: `n` is clamped to `1..=len` (at least one
+/// shard, never an empty trailing shard), so `n = 0` behaves like
+/// `n = 1` and `n > len` yields `len` singleton shards. An empty input
+/// yields one empty shard. Callers that need exactly one shard per
+/// consumer (e.g. per-core task partitioning with more cores than
+/// tasks) should treat missing tail shards as empty.
 ///
 /// This is the distribution helper for fanning a suite out over
 /// engines on separate machines (or separate engine calls): because
 /// analysis is order-stable, sharding never changes any individual
-/// report.
-///
-/// # Panics
-///
-/// Panics if `n` is zero.
+/// report. The scheduler's `static-shard` mapping policy uses it to
+/// partition a task set contiguously across cores.
 pub fn shard<T>(items: Vec<T>, n: usize) -> Vec<Vec<T>> {
-    assert!(n > 0, "cannot shard into zero shards");
     let len = items.len();
+    let n = n.clamp(1, len.max(1));
     let base = len / n;
     let remainder = len % n;
     let mut shards = Vec::with_capacity(n);
@@ -164,19 +167,33 @@ mod tests {
     }
 
     #[test]
-    fn shard_handles_more_shards_than_items() {
+    fn shard_clamps_more_shards_than_items() {
+        // n > len: one singleton shard per item, no empty tails.
         let shards = shard(vec![1, 2], 5);
-        assert_eq!(shards.len(), 5);
-        assert_eq!(shards[0], vec![1]);
-        assert_eq!(shards[1], vec![2]);
-        assert!(shards[2..].iter().all(|s| s.is_empty()));
+        assert_eq!(shards, vec![vec![1], vec![2]]);
+        // Empty input: one empty shard.
         let empty: Vec<Vec<u8>> = shard(Vec::new(), 3);
-        assert_eq!(empty.len(), 3);
+        assert_eq!(empty, vec![Vec::<u8>::new()]);
     }
 
     #[test]
-    #[should_panic(expected = "zero shards")]
-    fn zero_shards_panics() {
-        let _ = shard(vec![1], 0);
+    fn shard_is_total_on_zero_shards() {
+        // n = 0 behaves like n = 1 instead of panicking.
+        assert_eq!(shard(vec![1, 2, 3], 0), vec![vec![1, 2, 3]]);
+        let empty: Vec<Vec<u8>> = shard(Vec::new(), 0);
+        assert_eq!(empty, vec![Vec::<u8>::new()]);
+    }
+
+    #[test]
+    fn shard_never_produces_empty_shards_for_nonempty_input() {
+        for len in 1..12usize {
+            for n in 0..15usize {
+                let shards = shard((0..len).collect::<Vec<_>>(), n);
+                assert!(shards.iter().all(|s| !s.is_empty()), "len={len} n={n}");
+                assert_eq!(shards.len(), n.clamp(1, len), "len={len} n={n}");
+                let flat: Vec<usize> = shards.concat();
+                assert_eq!(flat, (0..len).collect::<Vec<_>>(), "len={len} n={n}");
+            }
+        }
     }
 }

@@ -1,0 +1,215 @@
+//! `tadfa-bench` — the perf-trend gate over committed quickbench JSON.
+//!
+//! Compares the repository's committed `BENCH_*.json` (the baseline
+//! perf trajectory, tracked since PR 3) against a freshly emitted one:
+//!
+//! * **Determinism (hard):** the `suite_digest` metric — the fold of
+//!   every standard-suite report fingerprint — is recomputed in-process
+//!   via `tadfa_bench::suite_digest()` and must match both files.
+//!   Drift means analysis results changed; that always fails, because
+//!   shared-runner noise cannot move a fingerprint.
+//! * **Speed (gated):** each benchmark's median ns/op may regress at
+//!   most `--max-regress` (default 25%) against the baseline. On
+//!   shared CI runners, set `SOLVER_BENCH_NO_ENFORCE=1` to make speed
+//!   regressions report-only (the PR-3 escape hatch); determinism stays
+//!   enforced.
+//!
+//! ```text
+//! tadfa-bench compare <baseline.json> <fresh.json> [--max-regress 0.25]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` drift/regression, `2` usage error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use tadfa::sched::json::{self, JsonValue};
+
+const USAGE: &str = "\
+tadfa-bench — perf-trend gate over quickbench JSON
+
+USAGE:
+    tadfa-bench compare <baseline.json> <fresh.json> [--max-regress <fraction>]
+
+Fails (exit 1) on suite-fingerprint drift, and on any benchmark whose
+median ns/op regressed more than the threshold — unless
+SOLVER_BENCH_NO_ENFORCE is set, which downgrades speed regressions
+(never fingerprint drift) to warnings.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand '{other}'\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn load(path: &Path) -> Result<JsonValue, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// `name → median_ns` for every benchmark in a quickbench JSON file.
+fn medians(doc: &JsonValue) -> Vec<(String, f64)> {
+    doc.get("benches")
+        .and_then(JsonValue::as_array)
+        .map(|rows| {
+            rows.iter()
+                .filter_map(|row| {
+                    let name = row.get("name")?.as_str()?.to_string();
+                    let median = row.get("median_ns")?.as_f64()?;
+                    Some((name, median))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn digest_of(doc: &JsonValue) -> Option<String> {
+    doc.get("metrics")?
+        .get("suite_digest")?
+        .as_str()
+        .map(str::to_string)
+}
+
+fn cmd_compare(args: &[String]) -> ExitCode {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut max_regress = 0.25f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--max-regress" => {
+                let v = match it.next() {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("--max-regress needs a value\n\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                };
+                max_regress = match v.parse::<f64>() {
+                    Ok(f) if f > 0.0 && f.is_finite() => f,
+                    _ => {
+                        eprintln!("--max-regress needs a positive fraction, got '{v}'");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag '{flag}'\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+    let [baseline_path, fresh_path] = paths.as_slice() else {
+        eprintln!("compare needs exactly <baseline.json> <fresh.json>\n\n{USAGE}");
+        return ExitCode::from(2);
+    };
+
+    let (baseline, fresh) = match (load(baseline_path), load(fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Determinism gate: recompute the digest and diff it against both
+    // files. This is never downgraded by the no-enforce escape hatch.
+    let recomputed = tadfa::sched::hex_fingerprint(tadfa_bench::suite_digest());
+    let mut hard_failures = 0;
+    for (label, doc, path) in [
+        ("baseline", &baseline, baseline_path),
+        ("fresh", &fresh, fresh_path),
+    ] {
+        match digest_of(doc) {
+            Some(d) if d == recomputed => {
+                println!("suite digest {label}: {d} (matches this build)");
+            }
+            Some(d) => {
+                eprintln!(
+                    "FINGERPRINT DRIFT: {label} {} records suite digest {d}, \
+                     this build computes {recomputed}",
+                    path.display()
+                );
+                hard_failures += 1;
+            }
+            None => {
+                eprintln!(
+                    "FINGERPRINT DRIFT: {label} {} has no metrics.suite_digest \
+                     (regenerate it with the solver_kernels quickbench)",
+                    path.display()
+                );
+                hard_failures += 1;
+            }
+        }
+    }
+
+    // Speed gate: per-bench median ns/op trend.
+    let base_medians = medians(&baseline);
+    let fresh_medians = medians(&fresh);
+    let mut regressions: Vec<String> = Vec::new();
+    let mut improvements = 0usize;
+    println!(
+        "\n{:<40} {:>14} {:>14} {:>9}",
+        "bench", "baseline ns", "fresh ns", "ratio"
+    );
+    for (name, base_ns) in &base_medians {
+        let Some((_, fresh_ns)) = fresh_medians.iter().find(|(n, _)| n == name) else {
+            // A vanished benchmark is structural drift (rename,
+            // truncated run), not runner noise — it fails even under
+            // the no-enforce escape hatch.
+            eprintln!(
+                "STRUCTURAL DRIFT: bench '{name}' present in baseline, missing from fresh run"
+            );
+            hard_failures += 1;
+            continue;
+        };
+        let ratio = fresh_ns / base_ns.max(1e-12);
+        println!("{name:<40} {base_ns:>14.0} {fresh_ns:>14.0} {ratio:>8.2}x");
+        if ratio > 1.0 + max_regress {
+            regressions.push(format!(
+                "{name}: median {base_ns:.0} ns → {fresh_ns:.0} ns ({:+.1}% > +{:.0}% budget)",
+                (ratio - 1.0) * 100.0,
+                max_regress * 100.0
+            ));
+        } else if ratio < 1.0 / (1.0 + max_regress) {
+            improvements += 1;
+        }
+    }
+    if improvements > 0 {
+        println!(
+            "\n{improvements} bench(es) improved beyond the threshold — consider \
+             refreshing the committed baseline."
+        );
+    }
+
+    if hard_failures > 0 {
+        eprintln!(
+            "\nFAIL: {hard_failures} hard failure(s) — fingerprint or structural drift, \
+             never downgraded by SOLVER_BENCH_NO_ENFORCE."
+        );
+        return ExitCode::from(1);
+    }
+    if !regressions.is_empty() {
+        let enforce = std::env::var_os("SOLVER_BENCH_NO_ENFORCE").is_none();
+        eprintln!("\n{} speed regression(s):", regressions.len());
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        if enforce {
+            eprintln!("FAIL: perf-trend gate (set SOLVER_BENCH_NO_ENFORCE=1 on shared runners).");
+            return ExitCode::from(1);
+        }
+        eprintln!("(report-only: SOLVER_BENCH_NO_ENFORCE is set)");
+    }
+    println!("\nOK: perf trend within budget, fingerprints stable.");
+    ExitCode::SUCCESS
+}

@@ -56,6 +56,7 @@ pub use tadfa_dataflow as dataflow;
 pub use tadfa_ir as ir;
 pub use tadfa_opt as opt;
 pub use tadfa_regalloc as regalloc;
+pub use tadfa_sched as sched;
 pub use tadfa_sim as sim;
 pub use tadfa_thermal as thermal;
 pub use tadfa_workloads as workloads;
@@ -74,6 +75,10 @@ pub mod prelude {
     pub use tadfa_regalloc::{
         allocate_coloring, allocate_linear_scan, AssignmentPolicy, Chessboard, ColdestFirst,
         FarthestSpread, FirstFree, RandomPolicy, RegAllocConfig, RoundRobin,
+    };
+    pub use tadfa_sched::{
+        mapping_policy_by_name, run_scenario, MappingPolicy, MultiCoreFloorplan, ScenarioConfig,
+        ScenarioResult, Task,
     };
     pub use tadfa_sim::{compare_maps, simulate_trace, CosimConfig, Interpreter};
     pub use tadfa_thermal::{

@@ -177,7 +177,8 @@ fn batch_reports_are_order_stable_and_size_independent() {
 
 /// Sharding a suite (the distribution helper for multi-engine fan-out)
 /// never changes a report: concatenated shard results equal the whole
-/// batch's.
+/// batch's. `shard` is total, so even degenerate shard counts stitch
+/// back to the identical batch.
 #[test]
 fn sharded_batches_reproduce_the_whole_batch() {
     let session = Session::builder().floorplan(8, 8).build().unwrap();
@@ -185,9 +186,40 @@ fn sharded_batches_reproduce_the_whole_batch() {
     let funcs = suite_funcs();
     let whole = fingerprints(engine.analyze_batch_parallel(&funcs));
 
-    let mut stitched = Vec::new();
-    for shard in tadfa::workloads::shard(funcs, 3) {
-        stitched.extend(fingerprints(engine.analyze_batch_parallel(&shard)));
+    for n in [0, 3, 100] {
+        let mut stitched = Vec::new();
+        for shard in tadfa::workloads::shard(funcs.clone(), n) {
+            stitched.extend(fingerprints(engine.analyze_batch_parallel(&shard)));
+        }
+        assert_eq!(whole, stitched, "n={n}");
     }
-    assert_eq!(whole, stitched);
+}
+
+/// The scheduler layer rides the engine's determinism: a multi-core
+/// scenario (analysis fan-out + mapping + die simulation) fingerprints
+/// identically at every worker count, including workers ≫ tasks.
+#[test]
+fn scheduler_output_is_deterministic_across_worker_counts() {
+    use tadfa::sched::{run_scenario, MultiCoreFloorplan, ScenarioConfig};
+
+    let die = MultiCoreFloorplan::new(3, 4, 4, RcParams::default(), Some(35.0)).unwrap();
+    let tasks = tadfa::sched::suite_tasks(5, 4e-4, 1e-3);
+    let run = |workers: usize, mapping: &str| {
+        let mut cfg = ScenarioConfig::new("det", die.clone(), tasks.clone(), mapping);
+        cfg.workers = workers;
+        run_scenario(&cfg).unwrap().fingerprint()
+    };
+    // Two policies here (the other two are covered by the sched crate's
+    // unit tests and tests/multicore_scenarios.rs — same invariant, no
+    // need to re-run all four at every layer); 16 workers ≫ 5 tasks.
+    for mapping in ["round-robin", "static-shard"] {
+        let base = run(1, mapping);
+        for workers in [2, 16] {
+            assert_eq!(
+                run(workers, mapping),
+                base,
+                "{mapping} at {workers} workers"
+            );
+        }
+    }
 }
