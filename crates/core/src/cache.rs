@@ -28,7 +28,11 @@
 //! only when they touch the same shard at the same instant; entries are
 //! shared [`Arc`]s, so a hit clones a pointer, not the state vectors.
 //! Insertion stops (lookups continue) once `capacity` entries are
-//! resident, bounding memory on unbounded streams.
+//! resident, bounding memory on unbounded streams — and every store
+//! turned away at the capacity wall is counted
+//! ([`CacheStats::rejected_stores`]), so a long-lived service can tell
+//! "the working set fits" apart from "the cache silently stopped
+//! absorbing new work" without guessing from hit rates.
 
 use crate::dfa::ThermalDfaResult;
 use std::collections::HashMap;
@@ -81,6 +85,8 @@ pub struct SolveCache {
     entries: AtomicUsize,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Stores turned away because the cache was at capacity.
+    rejected: AtomicU64,
     capacity: usize,
     quantum: f64,
 }
@@ -108,6 +114,7 @@ impl SolveCache {
             entries: AtomicUsize::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
             capacity,
             quantum,
         }
@@ -143,11 +150,23 @@ impl SolveCache {
         }
     }
 
-    /// Stores one fixpoint result. A no-op once the cache is at
-    /// capacity; concurrent stores of the same key keep the first (with
-    /// quantum 0 both are bit-identical anyway).
+    /// Stores one fixpoint result. Once the cache is at capacity the
+    /// store is rejected and counted ([`CacheStats::rejected_stores`])
+    /// instead of inserted; concurrent stores of the same key keep the
+    /// first (with quantum 0 both are bit-identical anyway — a same-key
+    /// re-store is neither an insertion nor a rejection).
     pub fn store(&self, key: u128, result: &Arc<ThermalDfaResult>) {
         if self.entries.load(Ordering::Relaxed) >= self.capacity {
+            // Re-storing a key that is already resident is not a lost
+            // insert, so only count genuinely new work turned away.
+            let resident = self
+                .shard(key)
+                .lock()
+                .expect("cache shard poisoned")
+                .contains_key(&key);
+            if !resident {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+            }
             return;
         }
         let mut shard = self.shard(key).lock().expect("cache shard poisoned");
@@ -176,14 +195,16 @@ impl SolveCache {
         self.entries.store(0, Ordering::Relaxed);
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.rejected.store(0, Ordering::Relaxed);
     }
 
-    /// Hit/miss counters and occupancy.
+    /// Hit/miss/rejected-store counters and occupancy.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.len(),
+            rejected_stores: self.rejected.load(Ordering::Relaxed),
         }
     }
 }
@@ -197,6 +218,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries resident.
     pub entries: usize,
+    /// New-key stores turned away because the cache was at capacity —
+    /// nonzero means the working set outgrew the cache and later
+    /// repetitions of the rejected profiles re-solve from scratch.
+    pub rejected_stores: u64,
 }
 
 impl CacheStats {
@@ -260,13 +285,55 @@ mod tests {
         }
         assert_eq!(c.len(), 1, "capacity respected");
         assert!(c.fetch(key).is_some());
+        assert_eq!(c.stats().rejected_stores, 4, "each lost insert counted");
+        // Re-storing the resident key at capacity is not a lost insert.
+        c.store(key, &result);
+        assert_eq!(c.stats().rejected_stores, 4);
+    }
+
+    /// The satellite contract: at capacity under concurrent stores, the
+    /// cache keeps serving lookups, counts every rejected new-key store,
+    /// and the first writer of the resident key wins.
+    #[test]
+    fn concurrent_stores_at_capacity_count_rejections() {
+        let c = SolveCache::with_capacity_and_quantum(1, 0.0);
+        let (key, result) = solved();
+        c.store(key, &result);
+        let resident = c.fetch(key).expect("resident before the store storm");
+
+        const THREADS: u64 = 4;
+        const STORES_PER_THREAD: u64 = 64;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let c = &c;
+                let result = &result;
+                scope.spawn(move || {
+                    for i in 0..STORES_PER_THREAD {
+                        // Distinct keys per thread, all doomed: the one
+                        // capacity slot is already taken.
+                        c.store(key ^ (1 + t * STORES_PER_THREAD + i) as u128, result);
+                        // Lookups of the resident key keep being served.
+                        assert!(c.fetch(key).is_some());
+                    }
+                });
+            }
+        });
+
+        let s = c.stats();
+        assert_eq!(c.len(), 1, "capacity still respected");
+        assert_eq!(s.rejected_stores, THREADS * STORES_PER_THREAD);
+        assert_eq!(s.hits, 1 + THREADS * STORES_PER_THREAD);
+        // First writer wins: the resident entry is still the original.
+        let back = c.fetch(key).expect("still resident");
+        assert!(Arc::ptr_eq(&back, &resident));
     }
 
     #[test]
     fn clear_resets_entries_and_counters() {
-        let c = SolveCache::new();
+        let c = SolveCache::with_capacity_and_quantum(1, 0.0);
         let (key, result) = solved();
         c.store(key, &result);
+        c.store(key ^ 1, &result);
         let _ = c.fetch(key);
         c.clear();
         assert!(c.is_empty());
@@ -275,7 +342,8 @@ mod tests {
             CacheStats {
                 hits: 0,
                 misses: 0,
-                entries: 0
+                entries: 0,
+                rejected_stores: 0
             }
         );
     }

@@ -58,6 +58,7 @@ use crate::error::TadfaError;
 use crate::session::{Session, SessionCore, ThermalReport};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 use tadfa_ir::Function;
 use tadfa_regalloc::{policy_by_name, AssignmentPolicy};
 use tadfa_thermal::RegisterFile;
@@ -121,6 +122,31 @@ impl PolicyFactory {
                 .ok_or_else(|| TadfaError::UnknownPolicy(name.clone())),
             FactoryInner::Custom(f) => Ok(f()),
         }
+    }
+}
+
+/// Request-scoped overrides for one batch call — the knobs a long-lived
+/// service applies per request without rebuilding the engine (or
+/// discarding its warm [`SolveCache`]).
+///
+/// Neither knob can change a computed result: the worker count only
+/// moves wall-clock time (results stay input-ordered and
+/// byte-identical), and a deadline only turns *unstarted* items into
+/// [`TadfaError::DeadlineExceeded`] — every item that does run produces
+/// exactly the bytes it would have produced without the deadline.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct BatchOptions {
+    /// Worker threads for this call only; `None` keeps the engine's
+    /// count, `Some(0)` is clamped to 1.
+    pub workers: Option<usize>,
+    /// Abandon items not yet started once this instant passes.
+    pub deadline: Option<Instant>,
+}
+
+impl BatchOptions {
+    /// Whether the deadline (if any) has already passed.
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 }
 
@@ -274,6 +300,19 @@ impl Engine {
         &self,
         funcs: &[Function],
     ) -> Vec<Result<ThermalReport, TadfaError>> {
+        self.analyze_batch_parallel_opts(funcs, &BatchOptions::default())
+    }
+
+    /// [`Engine::analyze_batch_parallel`] with request-scoped
+    /// [`BatchOptions`]: a per-call worker count and/or a deadline past
+    /// which unstarted items come back as
+    /// [`TadfaError::DeadlineExceeded`]. Items that run are
+    /// byte-identical to an unoptioned call.
+    pub fn analyze_batch_parallel_opts(
+        &self,
+        funcs: &[Function],
+        opts: &BatchOptions,
+    ) -> Vec<Result<ThermalReport, TadfaError>> {
         let tasks: Vec<Task<'_>> = funcs
             .iter()
             .map(|f| Task {
@@ -282,7 +321,7 @@ impl Engine {
                 func: f,
             })
             .collect();
-        self.execute(&tasks)
+        self.execute(&tasks, opts)
     }
 
     /// Runs the full `configs × funcs` grid on the worker pool — the
@@ -333,7 +372,7 @@ impl Engine {
                 })
             })
             .collect();
-        let reports = self.execute(&tasks);
+        let reports = self.execute(&tasks, &BatchOptions::default());
 
         Ok(reports
             .into_iter()
@@ -348,13 +387,20 @@ impl Engine {
 
     /// The worker pool: scoped threads pulling tasks off a shared
     /// atomic index, each with its own scratch buffers, writing into
-    /// per-slot result cells so output order equals input order.
-    fn execute(&self, tasks: &[Task<'_>]) -> Vec<Result<ThermalReport, TadfaError>> {
+    /// per-slot result cells so output order equals input order. A
+    /// passed deadline turns every not-yet-claimed task into
+    /// [`TadfaError::DeadlineExceeded`] (checked per claim, so the
+    /// remainder drains in microseconds).
+    fn execute(
+        &self,
+        tasks: &[Task<'_>],
+        opts: &BatchOptions,
+    ) -> Vec<Result<ThermalReport, TadfaError>> {
         let n = tasks.len();
         if n == 0 {
             return Vec::new();
         }
-        let workers = self.workers.min(n);
+        let workers = opts.workers.unwrap_or(self.workers).max(1).min(n);
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<Result<ThermalReport, TadfaError>>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
@@ -367,6 +413,11 @@ impl Engine {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
+                        }
+                        if opts.expired() {
+                            *slots[i].lock().expect("result slot poisoned") =
+                                Some(Err(TadfaError::DeadlineExceeded));
+                            continue;
                         }
                         let task = &tasks[i];
                         let result = task
@@ -448,6 +499,55 @@ mod tests {
                 .collect();
             assert_eq!(sequential, parallel, "workers={workers}");
         }
+    }
+
+    #[test]
+    fn batch_options_override_workers_without_moving_results() {
+        let s = session();
+        let engine = Engine::from_session(&s, 2).unwrap();
+        let funcs: Vec<Function> = (2..6).map(kernel).collect();
+        let base: Vec<u128> = engine
+            .analyze_batch_parallel(&funcs)
+            .into_iter()
+            .map(|r| r.unwrap().fingerprint())
+            .collect();
+        for workers in [Some(0), Some(1), Some(7)] {
+            let opts = BatchOptions {
+                workers,
+                deadline: None,
+            };
+            let got: Vec<u128> = engine
+                .analyze_batch_parallel_opts(&funcs, &opts)
+                .into_iter()
+                .map(|r| r.unwrap().fingerprint())
+                .collect();
+            assert_eq!(base, got, "workers={workers:?}");
+        }
+    }
+
+    #[test]
+    fn expired_deadline_abandons_unstarted_items_cleanly() {
+        let s = session();
+        let engine = Engine::from_session(&s, 2).unwrap();
+        let funcs: Vec<Function> = (2..6).map(kernel).collect();
+        let opts = BatchOptions {
+            workers: None,
+            deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+        };
+        let results = engine.analyze_batch_parallel_opts(&funcs, &opts);
+        assert_eq!(results.len(), funcs.len());
+        for r in results {
+            assert!(matches!(r, Err(TadfaError::DeadlineExceeded)));
+        }
+        // A generous deadline changes nothing.
+        let opts = BatchOptions {
+            workers: None,
+            deadline: Some(Instant::now() + std::time::Duration::from_secs(3600)),
+        };
+        assert!(engine
+            .analyze_batch_parallel_opts(&funcs, &opts)
+            .iter()
+            .all(|r| r.is_ok()));
     }
 
     #[test]

@@ -65,6 +65,11 @@ pub enum TadfaError {
     },
     /// No built-in assignment policy has the given name.
     UnknownPolicy(String),
+    /// A batch item was abandoned because the caller's deadline passed
+    /// before a worker could start it. Items already finished keep
+    /// their (deterministic) results; only the unstarted remainder
+    /// reports this error.
+    DeadlineExceeded,
     /// The session's assignment policy was installed as an object and
     /// cannot be recreated per engine worker; carries the policy's
     /// name. Use a named policy or a custom
@@ -108,6 +113,9 @@ impl fmt::Display for TadfaError {
             }
             TadfaError::UnknownPolicy(name) => {
                 write!(f, "unknown assignment policy '{name}'")
+            }
+            TadfaError::DeadlineExceeded => {
+                write!(f, "deadline exceeded before the item was started")
             }
             TadfaError::UnsharablePolicy(name) => {
                 write!(

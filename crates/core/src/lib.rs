@@ -64,7 +64,7 @@ pub use cache::{CacheStats, SolveCache};
 pub use config::{Convergence, MergeRule, ThermalDfaConfig};
 pub use critical::{CriticalConfig, CriticalSet};
 pub use dfa::{DfaScratch, ThermalDfa, ThermalDfaResult};
-pub use engine::{Engine, PolicyFactory, SweepCell, SweepConfig};
+pub use engine::{BatchOptions, Engine, PolicyFactory, SweepCell, SweepConfig};
 pub use error::TadfaError;
 pub use grid::AnalysisGrid;
 pub use predictive::{PlacementPrior, PredictiveConfig, PredictiveDfa, PredictiveResult};

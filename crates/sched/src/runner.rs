@@ -27,10 +27,12 @@
 use crate::multicore::MultiCoreFloorplan;
 use crate::policy::{mapping_policy_by_name, MappingContext};
 use crate::task::{task_metrics, Task, TaskMetrics};
+use std::sync::Arc;
 use tadfa_core::engine::Engine;
-use tadfa_core::{Session, TadfaError, ThermalDfaConfig, ThermalReport};
+use tadfa_core::{CacheStats, Session, SessionCore, TadfaError, ThermalDfaConfig, ThermalReport};
+use tadfa_ir::Function;
 use tadfa_thermal::hashing::Fnv128;
-use tadfa_thermal::{SteadyStateOptions, StepScratch, ThermalState};
+use tadfa_thermal::{CompiledModel, SteadyStateOptions, StepScratch, ThermalState};
 
 /// A validated, runnable scenario: die, tasks, policies, analysis
 /// configuration.
@@ -185,213 +187,315 @@ impl ScenarioResult {
     }
 }
 
-/// Runs a scenario end to end — analyze (batch-parallel), map
-/// (sequential), simulate (die-wide transient + steady); see the
-/// crate-level docs for the determinism contract.
+/// Request-scoped overrides for one [`PreparedScenario::run_with`]
+/// call — the per-request knobs a long-lived service forwards without
+/// rebuilding the scenario's engine: a worker count for this run only
+/// and a deadline past which the run aborts cleanly with
+/// [`TadfaError::DeadlineExceeded`]. Neither can change a computed
+/// result; this is the engine's
+/// [`BatchOptions`](tadfa_core::engine::BatchOptions) under the
+/// runner's vocabulary (same type, no translation layer).
+pub use tadfa_core::engine::BatchOptions as RunOverrides;
+
+/// A scenario resolved once and runnable many times: the validated
+/// [`ScenarioConfig`] plus the shared session core, parallel engine
+/// (with its [`SolveCache`](tadfa_core::SolveCache)), compiled die
+/// solver, and cloned task functions — everything `run_scenario` used
+/// to rebuild per call.
 ///
-/// # Errors
-///
-/// * [`TadfaError::UnknownPolicy`] for an unknown mapping or assignment
-///   policy name;
-/// * [`TadfaError::InvalidConfig`] for a non-finite/negative task
-///   arrival, a non-positive task length, or zero workers;
-/// * any error the per-task analysis pipeline reports (the first
-///   failing task aborts the scenario — scenarios are specs, so a
-///   failing task is a configuration bug, not data).
-pub fn run_scenario(cfg: &ScenarioConfig) -> Result<ScenarioResult, TadfaError> {
-    let mut mapping = mapping_policy_by_name(&cfg.mapping)
-        .ok_or_else(|| TadfaError::UnknownPolicy(cfg.mapping.clone()))?;
-    for t in &cfg.tasks {
-        if !t.arrival.is_finite() || t.arrival < 0.0 {
-            return Err(TadfaError::InvalidConfig {
-                param: "arrival",
-                value: t.arrival,
-                reason: "task arrivals must be finite and non-negative",
-            });
+/// This is the unit a persistent service holds per scenario: repeated
+/// [`run_with`](PreparedScenario::run_with) calls share the solve
+/// cache, so repetitions of the same task profiles are answered from
+/// memory — and because the cache keys on exact bits (quantum 0), a
+/// cache-warm run is **byte-identical** to a cold one, which is the
+/// service's golden-equality contract. Every field is immutable shared
+/// state (`Send + Sync`), so one `&PreparedScenario` can serve
+/// concurrent requests from many service threads.
+#[derive(Debug)]
+pub struct PreparedScenario {
+    cfg: ScenarioConfig,
+    core: Arc<SessionCore>,
+    engine: Engine,
+    solver: CompiledModel,
+    funcs: Vec<Function>,
+}
+
+impl PreparedScenario {
+    /// Validates the configuration and builds the reusable state: the
+    /// session, the engine, and the compiled die-wide solver.
+    ///
+    /// # Errors
+    ///
+    /// * [`TadfaError::UnknownPolicy`] for an unknown mapping or
+    ///   assignment policy name;
+    /// * [`TadfaError::InvalidConfig`] for a non-finite/negative task
+    ///   arrival, a non-positive task length, or zero workers;
+    /// * any session/engine construction error.
+    pub fn prepare(cfg: ScenarioConfig) -> Result<PreparedScenario, TadfaError> {
+        // Fail fast on names and task timing so a service rejects a bad
+        // spec at load time, not on the first request.
+        mapping_policy_by_name(&cfg.mapping)
+            .ok_or_else(|| TadfaError::UnknownPolicy(cfg.mapping.clone()))?;
+        for t in &cfg.tasks {
+            if !t.arrival.is_finite() || t.arrival < 0.0 {
+                return Err(TadfaError::InvalidConfig {
+                    param: "arrival",
+                    value: t.arrival,
+                    reason: "task arrivals must be finite and non-negative",
+                });
+            }
+            if !t.length.is_finite() || t.length <= 0.0 {
+                return Err(TadfaError::InvalidConfig {
+                    param: "length",
+                    value: t.length,
+                    reason: "task lengths must be finite and positive",
+                });
+            }
         }
-        if !t.length.is_finite() || t.length <= 0.0 {
-            return Err(TadfaError::InvalidConfig {
-                param: "length",
-                value: t.length,
-                reason: "task lengths must be finite and positive",
-            });
+        let session = Session::builder()
+            .floorplan(cfg.die.rows(), cfg.die.cols())
+            .rc(cfg.die.rc_params())
+            .dfa_config(cfg.dfa)
+            .policy_name(&cfg.assignment_policy, cfg.assignment_seed)
+            .build()?;
+        let engine = Engine::from_session(&session, cfg.workers)?;
+        let core = session.shared_core();
+        let solver = cfg.die.compile();
+        let funcs: Vec<Function> = cfg.tasks.iter().map(|t| t.func.clone()).collect();
+        Ok(PreparedScenario {
+            cfg,
+            core,
+            engine,
+            solver,
+            funcs,
+        })
+    }
+
+    /// The validated configuration this scenario was prepared from.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.cfg
+    }
+
+    /// The shared analysis engine (and through it, the solve cache a
+    /// service surfaces in its `stats` responses).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Counters of the engine's solve cache, accumulated across every
+    /// run of this prepared scenario.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.engine.cache_stats()
+    }
+
+    /// Runs the scenario with its configured knobs.
+    ///
+    /// # Errors
+    ///
+    /// See [`PreparedScenario::run_with`].
+    pub fn run(&self) -> Result<ScenarioResult, TadfaError> {
+        self.run_with(&RunOverrides::default())
+    }
+
+    /// Runs the scenario end to end — analyze (batch-parallel on the
+    /// shared engine), map (sequential), simulate (die-wide transient +
+    /// steady) — honouring per-request overrides; see the crate-level
+    /// docs for the determinism contract.
+    ///
+    /// # Errors
+    ///
+    /// * [`TadfaError::DeadlineExceeded`] if the override deadline
+    ///   passed before every task's analysis was started;
+    /// * any error the per-task analysis pipeline reports (the first
+    ///   failing task aborts the scenario — scenarios are specs, so a
+    ///   failing task is a configuration bug, not data).
+    pub fn run_with(&self, over: &RunOverrides) -> Result<ScenarioResult, TadfaError> {
+        let cfg = &self.cfg;
+
+        // Phase 1: analyze every task on the single-core pipeline.
+        let mut reports = Vec::with_capacity(self.funcs.len());
+        for r in self.engine.analyze_batch_parallel_opts(&self.funcs, over) {
+            reports.push(r?);
         }
-    }
+        let rf = self.core.register_file();
+        let pm = self.core.power_model();
+        let metrics: Vec<TaskMetrics> = reports
+            .iter()
+            .map(|r| task_metrics(r, rf, pm, cfg.dfa.seconds_per_cycle))
+            .collect();
 
-    // Phase 1: analyze every task on the single-core pipeline.
-    let session = Session::builder()
-        .floorplan(cfg.die.rows(), cfg.die.cols())
-        .rc(cfg.die.rc_params())
-        .dfa_config(cfg.dfa)
-        .policy_name(&cfg.assignment_policy, cfg.assignment_seed)
-        .build()?;
-    let engine = Engine::from_session(&session, cfg.workers)?;
-    let funcs: Vec<_> = cfg.tasks.iter().map(|t| t.func.clone()).collect();
-    let mut reports = Vec::with_capacity(funcs.len());
-    for r in engine.analyze_batch_parallel(&funcs) {
-        reports.push(r?);
-    }
-    let rf = session.register_file();
-    let pm = session.power_model();
-    let metrics: Vec<TaskMetrics> = reports
-        .iter()
-        .map(|r| task_metrics(r, rf, pm, cfg.dfa.seconds_per_cycle))
-        .collect();
+        // Phase 2: map tasks to cores in arrival order.
+        let mut mapping = mapping_policy_by_name(&cfg.mapping)
+            .ok_or_else(|| TadfaError::UnknownPolicy(cfg.mapping.clone()))?;
+        let cores = cfg.die.cores();
+        let ambient = cfg.die.rc_params().ambient;
+        let mut order: Vec<usize> = (0..cfg.tasks.len()).collect();
+        order.sort_by(|&a, &b| {
+            cfg.tasks[a]
+                .arrival
+                .partial_cmp(&cfg.tasks[b].arrival)
+                .expect("finite arrivals")
+                .then(a.cmp(&b))
+        });
+        mapping.reset(cores, cfg.tasks.len());
+        let mut assignments = vec![0usize; cfg.tasks.len()];
+        let mut core_energy = vec![0.0f64; cores];
+        let mut core_busy = vec![0.0f64; cores];
+        let mut core_peak = vec![ambient; cores];
+        for (pos, &task) in order.iter().enumerate() {
+            let core = mapping
+                .choose(&MappingContext {
+                    cores,
+                    task_index: pos,
+                    metrics: &metrics[task],
+                    core_energy: &core_energy,
+                    core_busy_until: &core_busy,
+                    core_peak_estimate: &core_peak,
+                })
+                .min(cores - 1);
+            assignments[task] = core;
+            core_energy[core] += metrics[task].energy;
+            core_busy[core] = core_busy[core].max(cfg.tasks[task].arrival) + cfg.tasks[task].length;
+            core_peak[core] = core_peak[core].max(metrics[task].peak_temperature);
+        }
+        let migrations = mapping.rebalance(&mut assignments, &metrics, cores);
 
-    // Phase 2: map tasks to cores in arrival order.
-    let cores = cfg.die.cores();
-    let ambient = cfg.die.rc_params().ambient;
-    let mut order: Vec<usize> = (0..cfg.tasks.len()).collect();
-    order.sort_by(|&a, &b| {
-        cfg.tasks[a]
-            .arrival
-            .partial_cmp(&cfg.tasks[b].arrival)
-            .expect("finite arrivals")
-            .then(a.cmp(&b))
-    });
-    mapping.reset(cores, cfg.tasks.len());
-    let mut assignments = vec![0usize; cfg.tasks.len()];
-    let mut core_energy = vec![0.0f64; cores];
-    let mut core_busy = vec![0.0f64; cores];
-    let mut core_peak = vec![ambient; cores];
-    for (pos, &task) in order.iter().enumerate() {
-        let core = mapping
-            .choose(&MappingContext {
-                cores,
-                task_index: pos,
-                metrics: &metrics[task],
-                core_energy: &core_energy,
-                core_busy_until: &core_busy,
-                core_peak_estimate: &core_peak,
-            })
-            .min(cores - 1);
-        assignments[task] = core;
-        core_energy[core] += metrics[task].energy;
-        core_busy[core] = core_busy[core].max(cfg.tasks[task].arrival) + cfg.tasks[task].length;
-        core_peak[core] = core_peak[core].max(metrics[task].peak_temperature);
-    }
-    let migrations = mapping.rebalance(&mut assignments, &metrics, cores);
+        // Final timeline under the post-rebalance assignment.
+        let mut busy_until = vec![0.0f64; cores];
+        let mut starts = vec![0.0f64; cfg.tasks.len()];
+        for &task in &order {
+            let core = assignments[task];
+            let start = busy_until[core].max(cfg.tasks[task].arrival);
+            starts[task] = start;
+            busy_until[core] = start + cfg.tasks[task].length;
+        }
+        let makespan = busy_until.iter().cloned().fold(0.0f64, f64::max);
 
-    // Final timeline under the post-rebalance assignment.
-    let mut busy_until = vec![0.0f64; cores];
-    let mut starts = vec![0.0f64; cfg.tasks.len()];
-    for &task in &order {
-        let core = assignments[task];
-        let start = busy_until[core].max(cfg.tasks[task].arrival);
-        starts[task] = start;
-        busy_until[core] = start + cfg.tasks[task].length;
-    }
-    let makespan = busy_until.iter().cloned().fold(0.0f64, f64::max);
-
-    // Phase 3: die-wide simulation of the piecewise-constant power
-    // timeline.
-    let solver = cfg.die.compile();
-    let per_core_cells = cfg.die.cells_per_core();
-    let n = cfg.die.num_cells();
-    let mut breakpoints: Vec<f64> = Vec::with_capacity(2 * cfg.tasks.len() + 1);
-    breakpoints.push(0.0);
-    for (i, t) in cfg.tasks.iter().enumerate() {
-        breakpoints.push(starts[i]);
-        breakpoints.push(starts[i] + t.length);
-    }
-    breakpoints.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
-    breakpoints.dedup();
-
-    let mut state = cfg.die.ambient_state();
-    let mut scratch = StepScratch::new();
-    let mut power = vec![0.0f64; n];
-    let mut transient_peak = state.peak();
-    let mut transient_peak_time = 0.0;
-    for w in breakpoints.windows(2) {
-        let (t0, t1) = (w[0], w[1]);
-        power.iter_mut().for_each(|p| *p = 0.0);
+        // Phase 3: die-wide simulation of the piecewise-constant power
+        // timeline.
+        let solver = &self.solver;
+        let per_core_cells = cfg.die.cells_per_core();
+        let n = cfg.die.num_cells();
+        let mut breakpoints: Vec<f64> = Vec::with_capacity(2 * cfg.tasks.len() + 1);
+        breakpoints.push(0.0);
         for (i, t) in cfg.tasks.iter().enumerate() {
-            if starts[i] <= t0 && t1 <= starts[i] + t.length {
+            breakpoints.push(starts[i]);
+            breakpoints.push(starts[i] + t.length);
+        }
+        breakpoints.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        breakpoints.dedup();
+
+        let mut state = cfg.die.ambient_state();
+        let mut scratch = StepScratch::new();
+        let mut power = vec![0.0f64; n];
+        let mut transient_peak = state.peak();
+        let mut transient_peak_time = 0.0;
+        for w in breakpoints.windows(2) {
+            let (t0, t1) = (w[0], w[1]);
+            power.iter_mut().for_each(|p| *p = 0.0);
+            for (i, t) in cfg.tasks.iter().enumerate() {
+                if starts[i] <= t0 && t1 <= starts[i] + t.length {
+                    let base = assignments[i] * per_core_cells;
+                    for (cell, &pw) in metrics[i].power.iter().enumerate() {
+                        power[base + cell] += pw;
+                    }
+                }
+            }
+            solver.step_into(&mut state, &power, t1 - t0, &mut scratch);
+            let peak = state.peak();
+            if peak > transient_peak {
+                transient_peak = peak;
+                transient_peak_time = t1;
+            }
+        }
+
+        // Steady state of the time-averaged power.
+        let mut avg_power = vec![0.0f64; n];
+        if makespan > 0.0 {
+            for (i, t) in cfg.tasks.iter().enumerate() {
                 let base = assignments[i] * per_core_cells;
                 for (cell, &pw) in metrics[i].power.iter().enumerate() {
-                    power[base + cell] += pw;
+                    avg_power[base + cell] += pw * t.length / makespan;
                 }
             }
         }
-        solver.step_into(&mut state, &power, t1 - t0, &mut scratch);
-        let peak = state.peak();
-        if peak > transient_peak {
-            transient_peak = peak;
-            transient_peak_time = t1;
-        }
-    }
+        let mut steady = ThermalState::uniform(n, ambient);
+        let stats =
+            solver.steady_state_into(&avg_power, &mut steady, &SteadyStateOptions::default());
 
-    // Steady state of the time-averaged power.
-    let mut avg_power = vec![0.0f64; n];
-    if makespan > 0.0 {
-        for (i, t) in cfg.tasks.iter().enumerate() {
-            let base = assignments[i] * per_core_cells;
-            for (cell, &pw) in metrics[i].power.iter().enumerate() {
-                avg_power[base + cell] += pw * t.length / makespan;
-            }
-        }
-    }
-    let mut steady = ThermalState::uniform(n, ambient);
-    let stats = solver.steady_state_into(&avg_power, &mut steady, &SteadyStateOptions::default());
+        // Assemble.
+        let tasks: Vec<TaskOutcome> = cfg
+            .tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| TaskOutcome {
+                name: t.name.clone(),
+                core: assignments[i],
+                arrival: t.arrival,
+                start: starts[i],
+                length: t.length,
+                peak_temperature: metrics[i].peak_temperature,
+                energy: metrics[i].energy,
+                fingerprint: metrics[i].fingerprint,
+            })
+            .collect();
+        let per_core: Vec<CoreSummary> = (0..cores)
+            .map(|core| {
+                let on_core: Vec<usize> = (0..cfg.tasks.len())
+                    .filter(|&i| assignments[i] == core)
+                    .collect();
+                CoreSummary {
+                    core,
+                    energy: on_core.iter().map(|&i| metrics[i].energy).sum(),
+                    busy: on_core.iter().map(|&i| cfg.tasks[i].length).sum(),
+                    peak_temperature: on_core
+                        .iter()
+                        .map(|&i| metrics[i].peak_temperature)
+                        .fold(ambient, f64::max),
+                    tasks: on_core,
+                }
+            })
+            .collect();
 
-    // Assemble.
-    let tasks: Vec<TaskOutcome> = cfg
-        .tasks
-        .iter()
-        .enumerate()
-        .map(|(i, t)| TaskOutcome {
-            name: t.name.clone(),
-            core: assignments[i],
-            arrival: t.arrival,
-            start: starts[i],
-            length: t.length,
-            peak_temperature: metrics[i].peak_temperature,
-            energy: metrics[i].energy,
-            fingerprint: metrics[i].fingerprint,
+        Ok(ScenarioResult {
+            name: cfg.name.clone(),
+            mapping: cfg.mapping.clone(),
+            cores,
+            assignments,
+            migrations,
+            tasks,
+            per_core,
+            die: DieSummary {
+                transient_peak,
+                transient_peak_time,
+                steady_peak: steady.peak(),
+                steady_converged: stats.converged,
+                steady_sweeps: stats.sweeps,
+                makespan,
+            },
+            reports,
         })
-        .collect();
-    let per_core: Vec<CoreSummary> = (0..cores)
-        .map(|core| {
-            let on_core: Vec<usize> = (0..cfg.tasks.len())
-                .filter(|&i| assignments[i] == core)
-                .collect();
-            CoreSummary {
-                core,
-                energy: on_core.iter().map(|&i| metrics[i].energy).sum(),
-                busy: on_core.iter().map(|&i| cfg.tasks[i].length).sum(),
-                peak_temperature: on_core
-                    .iter()
-                    .map(|&i| metrics[i].peak_temperature)
-                    .fold(ambient, f64::max),
-                tasks: on_core,
-            }
-        })
-        .collect();
+    }
+}
 
-    Ok(ScenarioResult {
-        name: cfg.name.clone(),
-        mapping: cfg.mapping.clone(),
-        cores,
-        assignments,
-        migrations,
-        tasks,
-        per_core,
-        die: DieSummary {
-            transient_peak,
-            transient_peak_time,
-            steady_peak: steady.peak(),
-            steady_converged: stats.converged,
-            steady_sweeps: stats.sweeps,
-            makespan,
-        },
-        reports,
-    })
+/// Runs a scenario end to end, building (and discarding) the prepared
+/// state for one shot — the batch entry point. Long-lived callers
+/// should [`PreparedScenario::prepare`] once and run many times to keep
+/// the solve cache warm; both paths produce byte-identical results.
+///
+/// # Errors
+///
+/// Everything [`PreparedScenario::prepare`] and
+/// [`PreparedScenario::run`] report.
+pub fn run_scenario(cfg: &ScenarioConfig) -> Result<ScenarioResult, TadfaError> {
+    PreparedScenario::prepare(cfg.clone())?.run()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::task::suite_tasks;
+    use std::time::Instant;
     use tadfa_thermal::RcParams;
 
     fn quad_config(mapping: &str) -> ScenarioConfig {
@@ -435,6 +539,55 @@ mod tests {
                 "workers={workers}"
             );
         }
+    }
+
+    #[test]
+    fn prepared_scenario_warm_runs_are_byte_identical() {
+        let prepared = PreparedScenario::prepare(quad_config("coolest-core")).unwrap();
+        let cold = prepared.run().unwrap();
+        let stats_cold = prepared.cache_stats();
+        assert!(stats_cold.misses > 0, "cold run populated the cache");
+
+        // A warm re-run — even at a different worker count — answers
+        // repeated solves from the cache and reproduces every byte.
+        let warm = prepared
+            .run_with(&RunOverrides {
+                workers: Some(1),
+                deadline: None,
+            })
+            .unwrap();
+        assert_eq!(cold.fingerprint(), warm.fingerprint());
+        assert_eq!(
+            crate::report::render_report(&cold),
+            crate::report::render_report(&warm)
+        );
+        let stats_warm = prepared.cache_stats();
+        assert!(stats_warm.hits > stats_cold.hits, "warm run hit the cache");
+
+        // And both equal the one-shot batch path.
+        let one_shot = run_scenario(&quad_config("coolest-core")).unwrap();
+        assert_eq!(cold.fingerprint(), one_shot.fingerprint());
+    }
+
+    #[test]
+    fn prepared_scenario_is_shareable_across_threads() {
+        fn assert_shareable<T: Send + Sync>() {}
+        assert_shareable::<PreparedScenario>();
+    }
+
+    #[test]
+    fn prepared_scenario_deadline_fails_cleanly_and_recovers() {
+        let prepared = PreparedScenario::prepare(quad_config("round-robin")).unwrap();
+        let expired = RunOverrides {
+            workers: None,
+            deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+        };
+        assert!(matches!(
+            prepared.run_with(&expired),
+            Err(TadfaError::DeadlineExceeded)
+        ));
+        // The prepared state survives an abandoned run intact.
+        assert!(prepared.run().is_ok());
     }
 
     #[test]

@@ -55,7 +55,7 @@ use crate::runner::ScenarioConfig;
 use crate::task::{generated_tasks, suite_tasks, Task};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use tadfa_core::{MergeRule, ThermalDfaConfig};
 use tadfa_thermal::RcParams;
 
@@ -122,6 +122,71 @@ pub fn load_spec(path: &Path) -> Result<ScenarioConfig, SpecError> {
         .and_then(|s| s.to_str())
         .unwrap_or("scenario");
     build_config(&sections, base, default_name)
+}
+
+/// Loads every scenario spec in a directory — the resolution step the
+/// `tadfa` CLI, the `tadfa-serve` service, and the `tadfa-load` client
+/// all share, so they can never disagree about what "the committed
+/// scenarios" means.
+///
+/// Non-recursive: each `*.toml` / `*.json` file directly in `dir` is
+/// loaded through [`load_spec`] (subdirectories such as `golden/` are
+/// ignored). Entries come back sorted by file stem, which is also the
+/// key golden reports are filed under (`golden/<stem>.json`).
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] for an unreadable directory, an empty spec
+/// set, two specs sharing a stem (`x.toml` + `x.json` — their golden
+/// reports would collide), or the first spec that fails to load.
+pub fn load_spec_dir(dir: &Path) -> Result<Vec<(String, ScenarioConfig)>, SpecError> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| SpecError::new(format!("cannot read spec dir {}: {e}", dir.display())))?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let path = entry
+            .map_err(|e| SpecError::new(format!("cannot read spec dir {}: {e}", dir.display())))?
+            .path();
+        if path.is_file()
+            && matches!(
+                path.extension().and_then(|e| e.to_str()),
+                Some("toml") | Some("json")
+            )
+        {
+            paths.push(path);
+        }
+    }
+    let mut stemmed: Vec<(String, PathBuf)> = paths
+        .into_iter()
+        .map(|path| {
+            let stem = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("scenario")
+                .to_string();
+            (stem, path)
+        })
+        .collect();
+    // Sorted by stem, not path: "foo" < "foo-bar" even though the path
+    // "foo-bar.toml" < "foo.json" (`-` sorts before `.`).
+    stemmed.sort();
+    let mut specs: Vec<(String, ScenarioConfig)> = Vec::with_capacity(stemmed.len());
+    for (stem, path) in stemmed {
+        if specs.iter().any(|(name, _)| *name == stem) {
+            return Err(SpecError::new(format!(
+                "duplicate scenario stem '{stem}' in {} (one golden slot per stem)",
+                dir.display()
+            )));
+        }
+        specs.push((stem, load_spec(&path)?));
+    }
+    if specs.is_empty() {
+        return Err(SpecError::new(format!(
+            "no *.toml / *.json scenario specs in {}",
+            dir.display()
+        )));
+    }
+    Ok(specs)
 }
 
 // ---------------------------------------------------------------- TOML
@@ -634,6 +699,47 @@ mod tests {
             r##"key = "a#b" "##
         );
         assert_eq!(strip_comment("plain"), "plain");
+    }
+
+    #[test]
+    fn spec_dir_loads_sorted_and_rejects_collisions() {
+        let dir = std::env::temp_dir().join(format!("tadfa_spec_dir_{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("golden")).unwrap();
+        std::fs::write(dir.join("b_two.toml"), "[tasks]\nsource = \"suite\"\n").unwrap();
+        std::fs::write(
+            dir.join("a_one.json"),
+            r#"{"tasks": {"source": "suite", "count": 2}}"#,
+        )
+        .unwrap();
+        // Subdirectories (the golden reports) are not specs.
+        std::fs::write(dir.join("golden/a_one.json"), "{}").unwrap();
+        // Non-spec files are ignored.
+        std::fs::write(dir.join("README.md"), "notes").unwrap();
+        // Stem order differs from path order here: the path
+        // "b_two-x.json" sorts before "b_two.toml" ('-' < '.'), but the
+        // stem "b_two" sorts before "b_two-x".
+        std::fs::write(
+            dir.join("b_two-x.json"),
+            r#"{"tasks": {"source": "suite", "count": 1}}"#,
+        )
+        .unwrap();
+
+        let specs = load_spec_dir(&dir).unwrap();
+        let names: Vec<&str> = specs.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a_one", "b_two", "b_two-x"], "sorted by stem");
+        assert_eq!(specs[0].1.tasks.len(), 2);
+
+        // A stem collision would make two specs fight over one golden.
+        std::fs::write(dir.join("a_one.toml"), "[tasks]\nsource = \"suite\"\n").unwrap();
+        assert!(load_spec_dir(&dir).unwrap_err().message.contains("a_one"));
+
+        // An empty directory is a configuration error, not an empty Ok,
+        // and so is an unreadable one.
+        let empty = dir.join("none");
+        std::fs::create_dir_all(&empty).unwrap();
+        assert!(load_spec_dir(&empty).unwrap_err().message.contains("no "));
+        assert!(load_spec_dir(&dir.join("missing")).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

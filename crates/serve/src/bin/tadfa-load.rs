@@ -1,0 +1,476 @@
+//! `tadfa-load` — replay client and load generator for `tadfa-serve`.
+//!
+//! Resolves the committed scenario specs (through the same
+//! `load_spec_dir` the service and offline CLI use), replays them
+//! against a live server at a configurable client concurrency, and
+//! asserts every response fingerprint is **byte-identical** to the
+//! committed `scenarios/golden/` reports — the service ≡ offline-CLI
+//! determinism gate. Repeating the replay (`--repeat`) makes later
+//! rounds cache-warm, so the gate also proves warm results equal cold
+//! ones.
+//!
+//! ```text
+//! tadfa-load --spawn <tadfa-serve-bin> | --connect <addr:port>
+//!            [--scenarios <dir>] [--golden <dir>] [--concurrency N]
+//!            [--repeat R] [--workers W] [--shutdown]
+//! ```
+//!
+//! `--spawn` launches the given service binary in pipe mode as a child
+//! (and always shuts it down at the end); `--connect` talks to an
+//! already-running TCP server (and sends `shutdown` only with
+//! `--shutdown`). `queue-full` rejections are retried with backoff —
+//! backpressure is load shedding, not wrong results — and counted in
+//! the summary.
+//!
+//! Exit codes: `0` every response matched its golden, `1` any
+//! mismatch or request error, `2` usage or configuration error.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+use tadfa_sched::{json, load_spec_dir};
+use tadfa_serve::protocol::{self, kind, ParsedResponse};
+
+const USAGE: &str = "\
+tadfa-load — golden-replay client / load generator for tadfa-serve
+
+USAGE:
+    tadfa-load --spawn <tadfa-serve-bin> | --connect <addr:port>
+               [--scenarios <dir>]   (default: scenarios)
+               [--golden <dir>]      (default: <scenarios>/golden)
+               [--concurrency N]     (default: 1)
+               [--repeat R]          (default: 2 — round 2+ is cache-warm)
+               [--workers W]         (per-request engine worker override)
+               [--shutdown]          (also shut down a --connect server)
+
+Replays every committed scenario spec against the server and fails
+unless every response fingerprint is byte-identical to the committed
+golden report — at any concurrency, cold or warm.";
+
+struct Args {
+    spawn: Option<PathBuf>,
+    connect: Option<String>,
+    scenarios: PathBuf,
+    golden: Option<PathBuf>,
+    concurrency: usize,
+    repeat: usize,
+    workers: Option<usize>,
+    shutdown: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut parsed = Args {
+        spawn: None,
+        connect: None,
+        scenarios: PathBuf::from("scenarios"),
+        golden: None,
+        concurrency: 1,
+        repeat: 2,
+        workers: None,
+        shutdown: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{arg} needs a value"))
+        };
+        match arg.as_str() {
+            "--spawn" => parsed.spawn = Some(PathBuf::from(value()?)),
+            "--connect" => parsed.connect = Some(value()?),
+            "--scenarios" => parsed.scenarios = PathBuf::from(value()?),
+            "--golden" => parsed.golden = Some(PathBuf::from(value()?)),
+            "--concurrency" => {
+                parsed.concurrency = value()?
+                    .parse()
+                    .map_err(|_| "--concurrency needs a positive integer".to_string())?
+            }
+            "--repeat" => {
+                parsed.repeat = value()?
+                    .parse()
+                    .map_err(|_| "--repeat needs a positive integer".to_string())?
+            }
+            "--workers" => {
+                parsed.workers = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| "--workers needs an integer".to_string())?,
+                )
+            }
+            "--shutdown" => parsed.shutdown = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if parsed.spawn.is_some() == parsed.connect.is_some() {
+        return Err("exactly one of --spawn / --connect is required".to_string());
+    }
+    if parsed.concurrency == 0 || parsed.repeat == 0 {
+        return Err("--concurrency and --repeat must be positive".to_string());
+    }
+    Ok(parsed)
+}
+
+/// The transport: a line writer plus the pending-response router the
+/// background reader thread feeds. Dropping the writer (spawn mode)
+/// is the server's EOF.
+struct Client {
+    writer: Mutex<Box<dyn Write + Send>>,
+    pending: Arc<Mutex<HashMap<u64, mpsc::Sender<ParsedResponse>>>>,
+    /// Set by the reader thread on EOF: the server is gone, so callers
+    /// registering afterwards must fail fast instead of waiting out
+    /// the response timeout.
+    dead: Arc<AtomicBool>,
+}
+
+impl Client {
+    /// Registers interest in `id`, sends the request line, and waits
+    /// for the routed response.
+    fn call(&self, id: u64, line: &str) -> Result<ParsedResponse, String> {
+        let (tx, rx) = mpsc::channel();
+        self.pending
+            .lock()
+            .expect("pending map poisoned")
+            .insert(id, tx);
+        // Checked *after* registering: either the reader's EOF drain
+        // saw our sender and dropped it, or we see the dead flag here —
+        // no window where a caller waits on a connection that is gone.
+        if self.dead.load(Ordering::Relaxed) {
+            self.pending
+                .lock()
+                .expect("pending map poisoned")
+                .remove(&id);
+            return Err(format!("request {id}: connection closed"));
+        }
+        {
+            let mut w = self.writer.lock().expect("writer poisoned");
+            writeln!(w, "{line}").map_err(|e| format!("request {id}: write failed: {e}"))?;
+            w.flush()
+                .map_err(|e| format!("request {id}: flush failed: {e}"))?;
+        }
+        rx.recv_timeout(Duration::from_secs(600))
+            .map_err(|_| format!("request {id}: no response (server gone or stalled)"))
+    }
+}
+
+/// Runs the reader side: every response line is routed to the caller
+/// that registered its id. On EOF the dead flag is raised and the
+/// pending map drained, so every waiter — current or future — fails
+/// fast instead of timing out.
+fn spawn_reader(
+    reader: impl BufRead + Send + 'static,
+    pending: Arc<Mutex<HashMap<u64, mpsc::Sender<ParsedResponse>>>>,
+    dead: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            match protocol::parse_response(&line) {
+                Ok(resp) => {
+                    let tx = resp
+                        .id
+                        .and_then(|id| pending.lock().expect("pending map poisoned").remove(&id));
+                    match tx {
+                        Some(tx) => {
+                            let _ = tx.send(resp);
+                        }
+                        None => eprintln!("tadfa-load: uncorrelated response: {line}"),
+                    }
+                }
+                Err(e) => eprintln!("tadfa-load: unparseable response ({e}): {line}"),
+            }
+        }
+        // EOF: raise the flag first, then wake every current waiter by
+        // dropping its sender.
+        dead.store(true, Ordering::Relaxed);
+        pending.lock().expect("pending map poisoned").clear();
+    })
+}
+
+#[derive(Default)]
+struct Summary {
+    ok: usize,
+    mismatches: Vec<String>,
+    errors: Vec<String>,
+    queue_full_retries: u64,
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) if e.is_empty() => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("{e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Resolve the committed scenario set through the shared resolver
+    // and collect each stem's committed golden fingerprint.
+    let stems: Vec<String> = match load_spec_dir(&args.scenarios) {
+        Ok(specs) => specs.into_iter().map(|(stem, _)| stem).collect(),
+        Err(e) => {
+            eprintln!("tadfa-load: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let golden_dir = args
+        .golden
+        .clone()
+        .unwrap_or_else(|| args.scenarios.join("golden"));
+    let mut goldens: HashMap<String, String> = HashMap::new();
+    for stem in &stems {
+        let path = golden_dir.join(format!("{stem}.json"));
+        let fingerprint = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))
+            .and_then(|text| {
+                json::parse(&text)
+                    .map_err(|e| format!("{}: {e}", path.display()))?
+                    .get("fingerprint")
+                    .and_then(|v| v.as_str().map(str::to_string))
+                    .ok_or_else(|| format!("{}: no \"fingerprint\" field", path.display()))
+            });
+        match fingerprint {
+            Ok(fp) => {
+                goldens.insert(stem.clone(), fp);
+            }
+            Err(e) => {
+                eprintln!("tadfa-load: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Bring up the transport.
+    let pending: Arc<Mutex<HashMap<u64, mpsc::Sender<ParsedResponse>>>> =
+        Arc::new(Mutex::new(HashMap::new()));
+    let dead = Arc::new(AtomicBool::new(false));
+    let mut child = None;
+    let client = if let Some(bin) = &args.spawn {
+        let mut spawned = match std::process::Command::new(bin)
+            .arg("--scenarios")
+            .arg(&args.scenarios)
+            .arg("--pipe")
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+        {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("tadfa-load: cannot spawn {}: {e}", bin.display());
+                return ExitCode::from(2);
+            }
+        };
+        let stdin = spawned.stdin.take().expect("piped stdin");
+        let stdout = spawned.stdout.take().expect("piped stdout");
+        spawn_reader(
+            BufReader::new(stdout),
+            Arc::clone(&pending),
+            Arc::clone(&dead),
+        );
+        child = Some(spawned);
+        Client {
+            writer: Mutex::new(Box::new(stdin)),
+            pending,
+            dead,
+        }
+    } else {
+        let addr = args.connect.as_deref().expect("connect mode");
+        let stream = match std::net::TcpStream::connect(addr) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("tadfa-load: cannot connect to {addr}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let read_half = match stream.try_clone() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("tadfa-load: cannot clone stream: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        spawn_reader(
+            BufReader::new(read_half),
+            Arc::clone(&pending),
+            Arc::clone(&dead),
+        );
+        Client {
+            writer: Mutex::new(Box::new(stream)),
+            pending,
+            dead,
+        }
+    };
+    let client = Arc::new(client);
+
+    // The replay plan: every scenario, `repeat` rounds (round 2+ hits
+    // the warm cache), spread over `concurrency` client threads.
+    let jobs: Vec<&String> = (0..args.repeat).flat_map(|_| stems.iter()).collect();
+    let next = AtomicUsize::new(0);
+    let summary = Mutex::new(Summary::default());
+    std::thread::scope(|scope| {
+        for _ in 0..args.concurrency.min(jobs.len()) {
+            scope.spawn(|| loop {
+                let j = next.fetch_add(1, Ordering::Relaxed);
+                if j >= jobs.len() {
+                    break;
+                }
+                let stem = jobs[j];
+                let id = (j + 1) as u64;
+                let workers = args
+                    .workers
+                    .map_or(String::new(), |w| format!(", \"workers\": {w}"));
+                let line = format!(
+                    "{{\"id\": {id}, \"op\": \"run-scenario\", \"scenario\": {}{workers}}}",
+                    json::escape(stem)
+                );
+                let mut backoffs = 0u64;
+                loop {
+                    match client.call(id, &line) {
+                        Ok(resp) if resp.ok => {
+                            let mut s = summary.lock().expect("summary poisoned");
+                            match (resp.fingerprint.as_deref(), goldens.get(stem.as_str())) {
+                                (Some(got), Some(want)) if got == *want => s.ok += 1,
+                                (got, want) => s.mismatches.push(format!(
+                                    "{stem}: response fingerprint {} != golden {}",
+                                    got.unwrap_or("<missing>"),
+                                    want.map_or("<missing>", String::as_str),
+                                )),
+                            }
+                            break;
+                        }
+                        Ok(resp) if resp.error.as_deref() == Some(kind::QUEUE_FULL) => {
+                            // Backpressure is load shedding, not a wrong
+                            // answer: retry with backoff, bounded.
+                            backoffs += 1;
+                            if backoffs > 200 {
+                                summary
+                                    .lock()
+                                    .expect("summary poisoned")
+                                    .errors
+                                    .push(format!("{stem}: still queue-full after 200 retries"));
+                                break;
+                            }
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Ok(resp) => {
+                            summary
+                                .lock()
+                                .expect("summary poisoned")
+                                .errors
+                                .push(format!(
+                                    "{stem}: {} ({})",
+                                    resp.error.as_deref().unwrap_or("error"),
+                                    resp.message.as_deref().unwrap_or("no message"),
+                                ));
+                            break;
+                        }
+                        Err(e) => {
+                            summary
+                                .lock()
+                                .expect("summary poisoned")
+                                .errors
+                                .push(format!("{stem}: {e}"));
+                            break;
+                        }
+                    }
+                }
+                summary.lock().expect("summary poisoned").queue_full_retries += backoffs;
+            });
+        }
+    });
+    let summary = summary.into_inner().expect("summary poisoned");
+
+    // Pull the server's own counters (best effort) and shut down.
+    let stats_id = (jobs.len() + 1) as u64;
+    match client.call(
+        stats_id,
+        &format!("{{\"id\": {stats_id}, \"op\": \"stats\"}}"),
+    ) {
+        Ok(resp) => println!("server stats: {}", render_stats(&resp)),
+        Err(e) => eprintln!("tadfa-load: stats unavailable: {e}"),
+    }
+    if args.spawn.is_some() || args.shutdown {
+        let id = stats_id + 1;
+        let _ = client.call(id, &format!("{{\"id\": {id}, \"op\": \"shutdown\"}}"));
+    }
+    if let Some(mut child) = child {
+        drop(client); // closes the child's stdin
+        let _ = child.wait();
+    }
+
+    // Report.
+    println!(
+        "tadfa-load: {} request(s) over {} scenario(s) (concurrency {}, repeat {}): \
+         {} ok, {} mismatch(es), {} error(s), {} queue-full retries",
+        jobs.len(),
+        stems.len(),
+        args.concurrency,
+        args.repeat,
+        summary.ok,
+        summary.mismatches.len(),
+        summary.errors.len(),
+        summary.queue_full_retries,
+    );
+    for m in &summary.mismatches {
+        eprintln!("MISMATCH {m}");
+    }
+    for e in &summary.errors {
+        eprintln!("ERROR {e}");
+    }
+    if !summary.mismatches.is_empty() || !summary.errors.is_empty() {
+        eprintln!("FAIL: service responses drifted from the committed goldens.");
+        return ExitCode::from(1);
+    }
+    println!(
+        "OK: every response fingerprint matches {} (cache-warm service \u{2261} offline batch).",
+        golden_dir.display()
+    );
+    ExitCode::SUCCESS
+}
+
+/// One line of the interesting server counters out of a stats
+/// response (falls back to the raw document on surprises).
+fn render_stats(resp: &ParsedResponse) -> String {
+    let Some(scenarios) = resp.doc.get("scenarios").and_then(|v| v.as_array()) else {
+        return format!("{:?}", resp.doc);
+    };
+    let mut parts: Vec<String> = Vec::new();
+    for s in scenarios {
+        let name = s.get("name").and_then(|v| v.as_str()).unwrap_or("?");
+        let runs = s.get("runs").and_then(|v| v.as_f64()).unwrap_or(0.0);
+        let (mut hits, mut misses, mut rejected) = (0.0, 0.0, 0.0);
+        if let Some(c) = s.get("cache") {
+            hits = c.get("hits").and_then(|v| v.as_f64()).unwrap_or(0.0);
+            misses = c.get("misses").and_then(|v| v.as_f64()).unwrap_or(0.0);
+            rejected = c
+                .get("rejected_stores")
+                .and_then(|v| v.as_f64())
+                .unwrap_or(0.0);
+        }
+        parts.push(format!(
+            "{name}: {runs} runs, cache {hits}h/{misses}m/{rejected}r"
+        ));
+    }
+    if let Some(q) = resp.doc.get("queue") {
+        parts.push(format!(
+            "queue accepted {} rejected {} peak {}",
+            q.get("accepted").and_then(|v| v.as_f64()).unwrap_or(0.0),
+            q.get("rejected").and_then(|v| v.as_f64()).unwrap_or(0.0),
+            q.get("peak_depth").and_then(|v| v.as_f64()).unwrap_or(0.0),
+        ));
+    }
+    parts.join("; ")
+}

@@ -1,0 +1,109 @@
+//! `tadfa-serve` — the persistent analysis service.
+//!
+//! Loads every scenario spec in a directory once, prepares a warm
+//! engine + solve cache per scenario, and serves `run-scenario` /
+//! `analyze` / `stats` requests over the JSON-lines protocol until
+//! EOF or a `shutdown` request. Pipe mode (stdin/stdout, the default)
+//! is what CI and `tadfa-load --spawn` drive; `--listen` serves TCP.
+//!
+//! ```text
+//! tadfa-serve [--scenarios <dir>] [--pipe | --listen <addr:port>]
+//!             [--queue-capacity N] [--service-workers N] [--engine-workers N]
+//! ```
+//!
+//! Exit codes: `0` clean shutdown, `2` usage or configuration error.
+//! All diagnostics go to stderr — stdout is the protocol channel.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tadfa_serve::{Server, ServerConfig};
+
+const USAGE: &str = "\
+tadfa-serve — persistent thermal-scenario analysis service
+
+USAGE:
+    tadfa-serve [--scenarios <dir>] [--pipe | --listen <addr:port>]
+                [--queue-capacity N] [--service-workers N] [--engine-workers N]
+
+Loads every scenarios/*.toml|json spec once, then serves JSON-lines
+requests ({\"id\": 1, \"op\": \"run-scenario\", \"scenario\": \"<stem>\"},
+analyze, stats, ping, shutdown) against warm engines. Pipe mode (the
+default) speaks the protocol on stdin/stdout; --listen serves TCP.
+Requests beyond --queue-capacity are rejected with a queue-full error,
+never buffered unboundedly.";
+
+fn main() -> ExitCode {
+    let mut cfg = ServerConfig::default();
+    let mut listen: Option<String> = None;
+    let mut pipe = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    let usize_arg = |name: &str, v: Option<&String>| -> Result<usize, String> {
+        v.ok_or_else(|| format!("{name} needs a value"))?
+            .parse::<usize>()
+            .map_err(|_| format!("{name} needs a non-negative integer"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scenarios" => match it.next() {
+                Some(dir) => cfg.scenario_dir = PathBuf::from(dir),
+                None => return usage_error("--scenarios needs a directory"),
+            },
+            "--pipe" => pipe = true,
+            "--listen" => match it.next() {
+                Some(addr) => listen = Some(addr.clone()),
+                None => return usage_error("--listen needs an <addr:port>"),
+            },
+            "--queue-capacity" => match usize_arg(arg, it.next()) {
+                Ok(v) => cfg.queue_capacity = v,
+                Err(e) => return usage_error(&e),
+            },
+            "--service-workers" => match usize_arg(arg, it.next()) {
+                Ok(v) => cfg.service_workers = v,
+                Err(e) => return usage_error(&e),
+            },
+            "--engine-workers" => match usize_arg(arg, it.next()) {
+                Ok(v) => cfg.engine_workers = Some(v),
+                Err(e) => return usage_error(&e),
+            },
+            "--help" | "-h" | "help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument '{other}'")),
+        }
+    }
+    if pipe && listen.is_some() {
+        return usage_error("--pipe and --listen are mutually exclusive");
+    }
+
+    let server = match Server::load(&cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("tadfa-serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!(
+        "tadfa-serve: loaded {} scenario(s) from {}: {}",
+        server.scenario_names().len(),
+        cfg.scenario_dir.display(),
+        server.scenario_names().join(", ")
+    );
+
+    let result = match listen {
+        Some(addr) => server.run_tcp(&addr),
+        None => server.run_pipe(),
+    };
+    if let Err(e) = result {
+        eprintln!("tadfa-serve: {e}");
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("{message}\n\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,51 @@
+//! # tadfa-serve — the persistent analysis service
+//!
+//! Everything below this crate is batch-and-exit: the `tadfa` CLI
+//! builds a fresh engine per invocation, so the solve cache and
+//! compiled solver plans are thrown away between requests. This crate
+//! is the first layer that makes the workspace a *server*: a
+//! [`Server`] loads the scenario-spec environment once, holds a warm
+//! [`PreparedScenario`](tadfa_sched::PreparedScenario) (engine +
+//! sharded solve cache) per spec, and serves requests over a
+//! JSON-lines protocol — TCP for deployment, stdin/stdout pipe mode
+//! for CI — through a bounded admission queue that rejects on
+//! overload instead of buffering without bound.
+//!
+//! * [`protocol`] — the wire format: `run-scenario` / `analyze` /
+//!   `stats` / `ping` / `shutdown` requests, responses correlated by
+//!   id (out-of-order under concurrency), machine-readable error
+//!   kinds;
+//! * [`queue`] — the [`AdmissionQueue`]: bounded, non-blocking
+//!   admission with counted rejections (backpressure by `queue-full`
+//!   error, never by hang);
+//! * [`service`] — the [`Server`]: environment loading, the worker
+//!   pool, per-request worker-count and deadline overrides, and the
+//!   `stats` counters (including the solve cache's
+//!   `rejected_stores`).
+//!
+//! Two binaries ship with the crate: `tadfa-serve` (the service) and
+//! `tadfa-load` (the replay client / load generator that asserts every
+//! response fingerprint equals the committed `scenarios/golden/`
+//! reports — the service ≡ offline-CLI determinism gate CI runs on
+//! every push).
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use tadfa_serve::{Server, ServerConfig};
+//!
+//! let server = Server::load(&ServerConfig::default())?;
+//! server.run_pipe()?; // serve stdin/stdout until EOF or shutdown
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod protocol;
+pub mod queue;
+pub mod service;
+
+pub use protocol::{parse_request, parse_response, Op, ParsedResponse, Request, RequestError};
+pub use queue::{AdmissionQueue, QueueStats, RejectReason};
+pub use service::{sink, ServeError, Server, ServerConfig, Sink};

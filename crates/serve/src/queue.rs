@@ -1,0 +1,218 @@
+//! The bounded admission queue: backpressure by rejection, never by
+//! unbounded buffering.
+//!
+//! A service that buffers without bound converts overload into memory
+//! exhaustion and unbounded latency; this queue converts it into an
+//! immediate, well-formed `queue-full` error the client can retry.
+//! [`AdmissionQueue::try_push`] never blocks — a request either takes
+//! one of the `capacity` slots or is handed straight back.
+//! [`AdmissionQueue::pop`] blocks service workers until work arrives
+//! or the queue is closed, at which point the remaining backlog drains
+//! and workers see `None`.
+//!
+//! Every admission decision is counted ([`QueueStats`]), so the
+//! service's `stats` response can show how much load the queue turned
+//! away — the overload signal a load balancer or client backoff loop
+//! consumes.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A bounded multi-producer multi-consumer queue that rejects rather
+/// than blocks on overflow.
+#[derive(Debug)]
+pub struct AdmissionQueue<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    accepted: u64,
+    rejected: u64,
+    peak_depth: usize,
+}
+
+/// Why [`AdmissionQueue::try_push`] turned a request away.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Every admission slot was taken — a retryable overload signal.
+    Full,
+    /// The queue is closed (shutdown) — retrying is pointless.
+    Closed,
+}
+
+/// A point-in-time snapshot of a queue's admission counters.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Requests admitted into the queue.
+    pub accepted: u64,
+    /// Requests turned away because the queue was full (or closed).
+    pub rejected: u64,
+    /// Deepest backlog ever observed.
+    pub peak_depth: usize,
+    /// Current backlog.
+    pub depth: usize,
+    /// Admission slots (the backpressure bound).
+    pub capacity: usize,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// A queue with `capacity` admission slots (clamped to at least 1).
+    pub fn new(capacity: usize) -> AdmissionQueue<T> {
+        AdmissionQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+                accepted: 0,
+                rejected: 0,
+                peak_depth: 0,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Admits `item`, or hands it back immediately when every slot is
+    /// taken or the queue is closed. Never blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err((item, reason))` on rejection so the caller can
+    /// answer the client without losing the request context — and can
+    /// tell retryable overflow ([`RejectReason::Full`]) apart from
+    /// terminal shutdown ([`RejectReason::Closed`]).
+    pub fn try_push(&self, item: T) -> Result<(), (T, RejectReason)> {
+        let mut s = self.state.lock().expect("queue poisoned");
+        if s.closed {
+            s.rejected += 1;
+            return Err((item, RejectReason::Closed));
+        }
+        if s.items.len() >= self.capacity {
+            s.rejected += 1;
+            return Err((item, RejectReason::Full));
+        }
+        s.items.push_back(item);
+        s.accepted += 1;
+        let depth = s.items.len();
+        s.peak_depth = s.peak_depth.max(depth);
+        drop(s);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Takes the oldest admitted item, blocking while the queue is
+    /// open and empty. Returns `None` once the queue is closed *and*
+    /// drained — the worker-exit signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.ready.wait(s).expect("queue poisoned");
+        }
+    }
+
+    /// Closes admission: further pushes are rejected, the backlog still
+    /// drains, and blocked poppers wake to observe the close.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// The admission counters.
+    pub fn stats(&self) -> QueueStats {
+        let s = self.state.lock().expect("queue poisoned");
+        QueueStats {
+            accepted: s.accepted,
+            rejected: s.rejected,
+            peak_depth: s.peak_depth,
+            depth: s.items.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_above_capacity_and_recovers_after_pop() {
+        let q = AdmissionQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(
+            q.try_push(3),
+            Err((3, RejectReason::Full)),
+            "slot-less push handed back as retryable overflow"
+        );
+        assert_eq!(q.pop(), Some(1), "FIFO");
+        assert!(q.try_push(4).is_ok(), "slot freed by pop");
+        let s = q.stats();
+        assert_eq!(
+            (s.accepted, s.rejected, s.peak_depth, s.depth),
+            (3, 1, 2, 2)
+        );
+        assert_eq!(s.capacity, 2);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let q = AdmissionQueue::new(0);
+        assert!(q.try_push(1).is_ok());
+        assert_eq!(q.try_push(2), Err((2, RejectReason::Full)));
+    }
+
+    #[test]
+    fn close_drains_backlog_then_wakes_poppers() {
+        let q = AdmissionQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(
+            q.try_push(3),
+            Err((3, RejectReason::Closed)),
+            "closed queue admits nothing, and says why"
+        );
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None, "drained + closed = worker exit");
+    }
+
+    #[test]
+    fn blocked_poppers_wake_on_push_and_on_close() {
+        let q = std::sync::Arc::new(AdmissionQueue::new(4));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = std::sync::Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for v in 0..16 {
+            while q.try_push(v).is_err() {
+                std::thread::yield_now();
+            }
+        }
+        q.close();
+        let mut all: Vec<i32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..16).collect::<Vec<_>>(), "every item exactly once");
+    }
+}

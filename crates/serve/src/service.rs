@@ -1,0 +1,547 @@
+//! The persistent analysis service.
+//!
+//! A [`Server`] loads a scenario-spec environment **once** — every
+//! `scenarios/*.toml|json` spec resolved through the same
+//! [`load_spec_dir`] the offline CLI uses, each prepared into a
+//! [`PreparedScenario`] holding a warm engine and solve cache — and
+//! then serves `run-scenario` / `analyze` / `stats` requests against
+//! that shared state for its whole lifetime. This is the cache-warm,
+//! long-lived worker shape: request N+1 reuses every fixpoint request
+//! N solved.
+//!
+//! # Request flow
+//!
+//! ```text
+//! connection reader ──parse──► AdmissionQueue ──pop──► service worker
+//!        │                        │ (bounded)               │ handle()
+//!        │ ping/shutdown          │ full → queue-full       │
+//!        └──── answered inline    └──── error, never block  └──► sink
+//! ```
+//!
+//! Readers ([`Server::attach`]) never compute: they parse, answer
+//! `ping`/`shutdown` inline, and either admit the request into the
+//! bounded [`AdmissionQueue`] or answer `queue-full` immediately —
+//! overload degrades into clean rejections, not latency or memory.
+//! Service workers ([`Server::start_workers`]) pop, execute, and write
+//! the response to the request's connection sink (a mutex-serialized
+//! writer, so concurrent responses interleave by whole lines).
+//!
+//! # Determinism contract
+//!
+//! A `run-scenario` response's fingerprint is **byte-identical** to
+//! the offline `tadfa run` golden for the same spec, no matter how
+//! warm the cache is, how many requests run concurrently, or what
+//! per-request worker count was asked for. The solve cache keys on
+//! exact bits (quantum 0) and scenario runs share no mutable state,
+//! so the service cannot drift from the batch CLI — `tadfa-load`
+//! replays the committed specs against a live server and CI fails if
+//! even one byte of fingerprint moves.
+
+use crate::protocol::{self, kind, Op, Request};
+use crate::queue::{AdmissionQueue, QueueStats, RejectReason};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use tadfa_core::TadfaError;
+use tadfa_sched::json::escape;
+use tadfa_sched::spec::SpecError;
+use tadfa_sched::{load_spec_dir, PreparedScenario, RunOverrides};
+
+/// How a [`Server`] is built: where the scenario environment lives and
+/// how much concurrency/buffering it gets.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Directory of `*.toml` / `*.json` scenario specs to load once at
+    /// startup.
+    pub scenario_dir: PathBuf,
+    /// Admission-queue slots; a request arriving with every slot taken
+    /// is rejected with `queue-full` (never buffered unboundedly).
+    pub queue_capacity: usize,
+    /// Service worker threads executing admitted requests.
+    pub service_workers: usize,
+    /// Override every scenario's configured engine worker count (the
+    /// deployment knob; per-request `workers` still wins per call).
+    pub engine_workers: Option<usize>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            scenario_dir: PathBuf::from("scenarios"),
+            queue_capacity: 64,
+            service_workers: 4,
+            engine_workers: None,
+        }
+    }
+}
+
+/// A service startup failure.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The scenario environment failed to resolve.
+    Spec(SpecError),
+    /// A resolved scenario failed to prepare (engine/session build).
+    Prepare {
+        /// The failing scenario's stem.
+        scenario: String,
+        /// Why preparation failed.
+        source: TadfaError,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Spec(e) => write!(f, "{e}"),
+            ServeError::Prepare { scenario, source } => {
+                write!(f, "cannot prepare scenario '{scenario}': {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Spec(e) => Some(e),
+            ServeError::Prepare { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<SpecError> for ServeError {
+    fn from(e: SpecError) -> ServeError {
+        ServeError::Spec(e)
+    }
+}
+
+/// A connection's response sink: whole lines, serialized by the mutex.
+pub type Sink = Arc<Mutex<Box<dyn Write + Send>>>;
+
+/// Wraps a writer into a [`Sink`].
+pub fn sink(w: impl Write + Send + 'static) -> Sink {
+    Arc::new(Mutex::new(Box::new(w)))
+}
+
+/// Writes one response line to a sink (errors ignored: a vanished
+/// client must not take the service down).
+fn write_line(out: &Sink, line: &str) {
+    let mut w = out.lock().expect("sink poisoned");
+    let _ = writeln!(w, "{line}");
+    let _ = w.flush();
+}
+
+/// One admitted unit of work: the request, when it was admitted (the
+/// deadline epoch), and where its response goes.
+struct Job {
+    request: Request,
+    admitted: Instant,
+    out: Sink,
+}
+
+/// One loaded scenario environment plus its served-request counters.
+struct ScenarioEnv {
+    prepared: PreparedScenario,
+    runs: AtomicU64,
+    analyzes: AtomicU64,
+}
+
+/// The shared server state; [`Server`] handles are cheap clones.
+struct Inner {
+    envs: BTreeMap<String, ScenarioEnv>,
+    queue: AdmissionQueue<Job>,
+    service_workers: usize,
+    shutdown: AtomicBool,
+    served_ok: AtomicU64,
+    served_err: AtomicU64,
+}
+
+/// The persistent analysis service. See the [module docs](self) for
+/// the request flow and determinism contract.
+#[derive(Clone)]
+pub struct Server {
+    inner: Arc<Inner>,
+}
+
+impl fmt::Debug for Server {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Server")
+            .field("scenarios", &self.inner.envs.len())
+            .field("queue", &self.inner.queue.stats())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Loads the scenario environment and prepares every scenario's
+    /// engine — the one-time startup cost a persistent service
+    /// amortizes over its whole lifetime.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ServeError`] for an unloadable spec directory or
+    /// the first scenario that fails to prepare.
+    pub fn load(cfg: &ServerConfig) -> Result<Server, ServeError> {
+        let mut envs = BTreeMap::new();
+        for (stem, mut scenario_cfg) in load_spec_dir(&cfg.scenario_dir)? {
+            if let Some(w) = cfg.engine_workers {
+                scenario_cfg.workers = w.max(1);
+            }
+            let prepared =
+                PreparedScenario::prepare(scenario_cfg).map_err(|source| ServeError::Prepare {
+                    scenario: stem.clone(),
+                    source,
+                })?;
+            envs.insert(
+                stem,
+                ScenarioEnv {
+                    prepared,
+                    runs: AtomicU64::new(0),
+                    analyzes: AtomicU64::new(0),
+                },
+            );
+        }
+        Ok(Server {
+            inner: Arc::new(Inner {
+                envs,
+                queue: AdmissionQueue::new(cfg.queue_capacity),
+                service_workers: cfg.service_workers.max(1),
+                shutdown: AtomicBool::new(false),
+                served_ok: AtomicU64::new(0),
+                served_err: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The loaded scenario stems, sorted (the `scenario` values
+    /// requests may name).
+    pub fn scenario_names(&self) -> Vec<&str> {
+        self.inner.envs.keys().map(String::as_str).collect()
+    }
+
+    /// Whether a `shutdown` request has been observed.
+    pub fn shutting_down(&self) -> bool {
+        self.inner.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// The admission queue's counters.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.inner.queue.stats()
+    }
+
+    /// Executes one request synchronously and renders its response
+    /// line. This is the computation the service workers run per
+    /// admitted job; it is public so embedders and tests can drive the
+    /// service without threads or sockets.
+    pub fn handle(&self, req: &Request, admitted: Instant) -> String {
+        match self.dispatch(req, admitted) {
+            Ok(line) => {
+                self.inner.served_ok.fetch_add(1, Ordering::Relaxed);
+                line
+            }
+            Err(line) => {
+                self.inner.served_err.fetch_add(1, Ordering::Relaxed);
+                line
+            }
+        }
+    }
+
+    fn env(&self, id: u64, stem: &str) -> Result<&ScenarioEnv, String> {
+        self.inner.envs.get(stem).ok_or_else(|| {
+            protocol::error_response(
+                Some(id),
+                kind::UNKNOWN_SCENARIO,
+                &format!(
+                    "no scenario '{stem}' loaded (available: {})",
+                    self.scenario_names().join(", ")
+                ),
+            )
+        })
+    }
+
+    /// `Ok` carries a success line, `Err` an error line — the split
+    /// the served-ok/served-err counters key on.
+    fn dispatch(&self, req: &Request, admitted: Instant) -> Result<String, String> {
+        let id = req.id;
+        let deadline = |ms: &Option<u64>| ms.map(|ms| admitted + Duration::from_millis(ms));
+        match &req.op {
+            Op::RunScenario {
+                scenario,
+                workers,
+                deadline_ms,
+            } => {
+                let env = self.env(id, scenario)?;
+                let over = RunOverrides {
+                    workers: *workers,
+                    deadline: deadline(deadline_ms),
+                };
+                match env.prepared.run_with(&over) {
+                    Ok(result) => {
+                        env.runs.fetch_add(1, Ordering::Relaxed);
+                        Ok(protocol::scenario_response(id, scenario, &result))
+                    }
+                    Err(TadfaError::DeadlineExceeded) => Err(protocol::error_response(
+                        Some(id),
+                        kind::DEADLINE_EXCEEDED,
+                        &format!("scenario '{scenario}' abandoned: deadline passed"),
+                    )),
+                    Err(e) => Err(protocol::error_response(
+                        Some(id),
+                        kind::ANALYSIS_FAILED,
+                        &e.to_string(),
+                    )),
+                }
+            }
+            Op::Analyze {
+                scenario,
+                source,
+                workers,
+                deadline_ms,
+            } => {
+                let env = self.env(id, scenario)?;
+                let func = tadfa_ir::parse_function(source).map_err(|e| {
+                    protocol::error_response(
+                        Some(id),
+                        kind::ANALYSIS_FAILED,
+                        &format!("source does not parse: {e}"),
+                    )
+                })?;
+                let opts = RunOverrides {
+                    workers: *workers,
+                    deadline: deadline(deadline_ms),
+                };
+                let funcs = [func];
+                let mut results = env
+                    .prepared
+                    .engine()
+                    .analyze_batch_parallel_opts(&funcs, &opts);
+                match results.pop().expect("one item in, one result out") {
+                    Ok(report) => {
+                        env.analyzes.fetch_add(1, Ordering::Relaxed);
+                        Ok(protocol::analyze_response(
+                            id,
+                            scenario,
+                            funcs[0].name(),
+                            report.fingerprint(),
+                            report.peak_temperature(),
+                            report.convergence().is_converged(),
+                        ))
+                    }
+                    Err(TadfaError::DeadlineExceeded) => Err(protocol::error_response(
+                        Some(id),
+                        kind::DEADLINE_EXCEEDED,
+                        "analysis abandoned: deadline passed",
+                    )),
+                    Err(e) => Err(protocol::error_response(
+                        Some(id),
+                        kind::ANALYSIS_FAILED,
+                        &e.to_string(),
+                    )),
+                }
+            }
+            Op::Stats => Ok(self.stats_response(id)),
+            Op::Ping => Ok(protocol::pong_response(id)),
+            Op::Shutdown => Ok(protocol::shutdown_response(id)),
+        }
+    }
+
+    /// Renders the `stats` response: per-scenario request and cache
+    /// counters (sorted by stem), queue admission counters, and served
+    /// totals. The `rejected_stores` field is the capacity-overflow
+    /// signal the solve cache counts instead of dropping silently.
+    fn stats_response(&self, id: u64) -> String {
+        let mut scenarios = String::new();
+        for (i, (stem, env)) in self.inner.envs.iter().enumerate() {
+            let c = env.prepared.cache_stats();
+            if i > 0 {
+                scenarios.push_str(", ");
+            }
+            scenarios.push_str(&format!(
+                "{{\"name\": {}, \"runs\": {}, \"analyzes\": {}, \"cache\": \
+                 {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \"rejected_stores\": {}}}}}",
+                escape(stem),
+                env.runs.load(Ordering::Relaxed),
+                env.analyzes.load(Ordering::Relaxed),
+                c.hits,
+                c.misses,
+                c.entries,
+                c.rejected_stores,
+            ));
+        }
+        let q = self.inner.queue.stats();
+        format!(
+            "{{\"id\": {id}, \"ok\": true, \"op\": \"stats\", \"scenarios\": [{scenarios}], \
+             \"queue\": {{\"accepted\": {}, \"rejected\": {}, \"peak_depth\": {}, \
+             \"depth\": {}, \"capacity\": {}}}, \
+             \"requests\": {{\"ok\": {}, \"errors\": {}}}}}",
+            q.accepted,
+            q.rejected,
+            q.peak_depth,
+            q.depth,
+            q.capacity,
+            self.inner.served_ok.load(Ordering::Relaxed),
+            self.inner.served_err.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Spawns `n` service workers that pop admitted jobs, execute them,
+    /// and write responses to each job's sink. Workers exit when the
+    /// queue is closed and drained; join the handles to wait for that.
+    pub fn start_workers(&self, n: usize) -> Vec<std::thread::JoinHandle<()>> {
+        (0..n.max(1))
+            .map(|_| {
+                let server = self.clone();
+                std::thread::spawn(move || {
+                    while let Some(job) = server.inner.queue.pop() {
+                        let line = server.handle(&job.request, job.admitted);
+                        write_line(&job.out, &line);
+                    }
+                })
+            })
+            .collect()
+    }
+
+    /// Runs one connection's read loop until EOF or `shutdown`:
+    /// parse each line, answer `ping`/`shutdown` inline, admit
+    /// everything else into the bounded queue — or answer `queue-full`
+    /// immediately when no slot is free. Returns `true` when the loop
+    /// ended because this connection requested shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read errors from the connection; write errors are
+    /// swallowed (a vanished client must not take the service down).
+    pub fn attach(&self, reader: impl BufRead, out: &Sink) -> std::io::Result<bool> {
+        for line in reader.lines() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match protocol::parse_request(line) {
+                Err(e) => write_line(
+                    out,
+                    &protocol::error_response(e.id, kind::BAD_REQUEST, &e.message),
+                ),
+                Ok(req) => match req.op {
+                    // Liveness probes bypass the queue: a loaded
+                    // service must still answer "are you there".
+                    Op::Ping => write_line(out, &protocol::pong_response(req.id)),
+                    Op::Shutdown => {
+                        self.inner.shutdown.store(true, Ordering::Relaxed);
+                        self.inner.queue.close();
+                        write_line(out, &protocol::shutdown_response(req.id));
+                        return Ok(true);
+                    }
+                    _ => {
+                        let job = Job {
+                            request: req,
+                            admitted: Instant::now(),
+                            out: Arc::clone(out),
+                        };
+                        if let Err((job, reason)) = self.inner.queue.try_push(job) {
+                            let (error_kind, message) = match reason {
+                                RejectReason::Full => (
+                                    kind::QUEUE_FULL,
+                                    format!(
+                                        "admission queue full (capacity {}); retry later",
+                                        self.inner.queue.stats().capacity
+                                    ),
+                                ),
+                                RejectReason::Closed => (
+                                    kind::SHUTTING_DOWN,
+                                    "service is shutting down; do not retry here".to_string(),
+                                ),
+                            };
+                            write_line(
+                                out,
+                                &protocol::error_response(
+                                    Some(job.request.id),
+                                    error_kind,
+                                    &message,
+                                ),
+                            );
+                        }
+                    }
+                },
+            }
+        }
+        Ok(false)
+    }
+
+    /// Closes the admission queue (drain-and-exit signal for workers).
+    pub fn close(&self) {
+        self.inner.queue.close();
+    }
+
+    /// Serves one stdin/stdout session — the CI pipe mode. Workers are
+    /// started, the read loop runs to EOF or `shutdown`, then the
+    /// backlog drains and every worker is joined before returning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stdin read errors.
+    pub fn run_pipe(&self) -> std::io::Result<()> {
+        let workers = self.start_workers(self.inner.service_workers);
+        let out = sink(std::io::stdout());
+        let result = self.attach(std::io::stdin().lock(), &out);
+        self.close();
+        for w in workers {
+            let _ = w.join();
+        }
+        result.map(|_| ())
+    }
+
+    /// Serves TCP connections on `addr` until a client sends
+    /// `shutdown`: one reader thread per connection, all feeding the
+    /// one bounded queue and shared worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/accept errors.
+    pub fn run_tcp(&self, addr: &str) -> std::io::Result<()> {
+        let listener = TcpListener::bind(addr)?;
+        eprintln!(
+            "tadfa-serve: listening on {} ({} scenarios loaded)",
+            listener.local_addr()?,
+            self.inner.envs.len()
+        );
+        // Non-blocking accept so the loop can observe shutdown.
+        listener.set_nonblocking(true)?;
+        let workers = self.start_workers(self.inner.service_workers);
+        while !self.shutting_down() {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    // Accepted sockets inherit O_NONBLOCK from the
+                    // listener on some platforms (macOS/BSD); the
+                    // per-connection read loop needs blocking reads.
+                    if stream.set_nonblocking(false).is_err() {
+                        continue;
+                    }
+                    let server = self.clone();
+                    std::thread::spawn(move || {
+                        let Ok(read_half) = stream.try_clone() else {
+                            return;
+                        };
+                        let out = sink(stream);
+                        let _ = server.attach(BufReader::new(read_half), &out);
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.close();
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}

@@ -14,31 +14,42 @@
 //!   regressions report-only (the PR-3 escape hatch); determinism stays
 //!   enforced.
 //!
+//! The `append-history` subcommand turns one fresh run into a dated
+//! JSON-line appended to the committed `BENCH_history/trend.jsonl`,
+//! so the perf trajectory becomes diffable across PRs (CI uploads the
+//! appended file as an artifact on every push).
+//!
 //! ```text
 //! tadfa-bench compare <baseline.json> <fresh.json> [--max-regress 0.25]
+//! tadfa-bench append-history <fresh.json> <history.jsonl> --date <YYYY-MM-DD> [--commit <sha>]
 //! ```
 //!
 //! Exit codes: `0` clean, `1` drift/regression, `2` usage error.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use tadfa::sched::json::{self, JsonValue};
+use tadfa::sched::json::{self, escape, number, JsonValue};
 
 const USAGE: &str = "\
 tadfa-bench — perf-trend gate over quickbench JSON
 
 USAGE:
     tadfa-bench compare <baseline.json> <fresh.json> [--max-regress <fraction>]
+    tadfa-bench append-history <fresh.json> <history.jsonl> --date <YYYY-MM-DD> [--commit <sha>]
 
-Fails (exit 1) on suite-fingerprint drift, and on any benchmark whose
-median ns/op regressed more than the threshold — unless
+compare fails (exit 1) on suite-fingerprint drift, and on any benchmark
+whose median ns/op regressed more than the threshold — unless
 SOLVER_BENCH_NO_ENFORCE is set, which downgrades speed regressions
-(never fingerprint drift) to warnings.";
+(never fingerprint drift) to warnings.
+
+append-history appends one dated JSON line — suite digest plus every
+benchmark's median ns/op — to the trend file, creating it if missing.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("compare") => cmd_compare(&args[1..]),
+        Some("append-history") => cmd_append_history(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             println!("{USAGE}");
             ExitCode::SUCCESS
@@ -77,6 +88,108 @@ fn digest_of(doc: &JsonValue) -> Option<String> {
         .get("suite_digest")?
         .as_str()
         .map(str::to_string)
+}
+
+/// Appends one dated trend line (suite digest + per-bench medians +
+/// the recorded scalar metrics) to the history file.
+fn cmd_append_history(args: &[String]) -> ExitCode {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut date: Option<String> = None;
+    let mut commit: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--date" => date = it.next().cloned(),
+            "--commit" => commit = it.next().cloned(),
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag '{flag}'\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+    let [fresh_path, history_path] = paths.as_slice() else {
+        eprintln!("append-history needs exactly <fresh.json> <history.jsonl>\n\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let Some(date) = date else {
+        eprintln!("append-history needs --date <YYYY-MM-DD>\n\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    // Loose shape check: enough to keep the trend file sortable.
+    let date_ok = date.len() == 10
+        && date.chars().enumerate().all(|(i, c)| {
+            if i == 4 || i == 7 {
+                c == '-'
+            } else {
+                c.is_ascii_digit()
+            }
+        });
+    if !date_ok {
+        eprintln!("--date must look like YYYY-MM-DD, got '{date}'");
+        return ExitCode::from(2);
+    }
+
+    let fresh = match load(fresh_path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(digest) = digest_of(&fresh) else {
+        eprintln!(
+            "{} has no metrics.suite_digest (regenerate it with the solver_kernels quickbench)",
+            fresh_path.display()
+        );
+        return ExitCode::from(2);
+    };
+
+    let mut line = String::with_capacity(512);
+    line.push_str(&format!(
+        "{{\"date\": {}, \"suite_digest\": {}",
+        escape(&date),
+        escape(&digest)
+    ));
+    if let Some(commit) = &commit {
+        line.push_str(&format!(", \"commit\": {}", escape(commit)));
+    }
+    line.push_str(", \"median_ns\": {");
+    for (i, (name, median)) in medians(&fresh).iter().enumerate() {
+        if i > 0 {
+            line.push_str(", ");
+        }
+        line.push_str(&format!("{}: {}", escape(name), number(*median)));
+    }
+    line.push_str("}, \"metrics\": {");
+    let metric_members = fresh
+        .get("metrics")
+        .and_then(JsonValue::as_object)
+        .unwrap_or(&[]);
+    let mut wrote = 0;
+    for (key, value) in metric_members {
+        if let Some(v) = value.as_f64() {
+            if wrote > 0 {
+                line.push_str(", ");
+            }
+            line.push_str(&format!("{}: {}", escape(key), number(v)));
+            wrote += 1;
+        }
+    }
+    line.push_str("}}");
+
+    use std::io::Write;
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(history_path)
+        .and_then(|mut f| writeln!(f, "{line}"));
+    if let Err(e) = result {
+        eprintln!("cannot append to {}: {e}", history_path.display());
+        return ExitCode::from(2);
+    }
+    println!("appended {date} entry to {}", history_path.display());
+    ExitCode::SUCCESS
 }
 
 fn cmd_compare(args: &[String]) -> ExitCode {

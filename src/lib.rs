@@ -57,6 +57,7 @@ pub use tadfa_ir as ir;
 pub use tadfa_opt as opt;
 pub use tadfa_regalloc as regalloc;
 pub use tadfa_sched as sched;
+pub use tadfa_serve as serve;
 pub use tadfa_sim as sim;
 pub use tadfa_thermal as thermal;
 pub use tadfa_workloads as workloads;
@@ -64,10 +65,10 @@ pub use tadfa_workloads as workloads;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use tadfa_core::{
-        AnalysisGrid, CacheStats, Convergence, CriticalConfig, CriticalSet, Engine, MergeRule,
-        PlacementPrior, PolicyFactory, PredictiveConfig, PredictiveDfa, Session, SessionBuilder,
-        SessionCore, SolveCache, SweepCell, SweepConfig, TadfaError, ThermalDfa, ThermalDfaConfig,
-        ThermalReport,
+        AnalysisGrid, BatchOptions, CacheStats, Convergence, CriticalConfig, CriticalSet, Engine,
+        MergeRule, PlacementPrior, PolicyFactory, PredictiveConfig, PredictiveDfa, Session,
+        SessionBuilder, SessionCore, SolveCache, SweepCell, SweepConfig, TadfaError, ThermalDfa,
+        ThermalDfaConfig, ThermalReport,
     };
     pub use tadfa_dataflow::{DefUse, Liveness};
     pub use tadfa_ir::{Cfg, Function, FunctionBuilder, Opcode, PReg, VReg, Verifier};
