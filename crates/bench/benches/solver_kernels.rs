@@ -14,6 +14,9 @@
 //!    acceptance bar is ≥ 3×.
 //! 3. **Identity** — compiled reports fingerprint byte-identical to
 //!    reference reports (asserted, not just printed).
+//! 4. **Interprocedural memoization** — warm `analyze_module` (callee
+//!    summaries + fixpoints served from the solve cache) vs full
+//!    re-analysis of the same module.
 //!
 //! Machine-readable output: `BENCH_solver.json` at the workspace root
 //! (override with `BENCH_SOLVER_JSON`), written via
@@ -179,6 +182,77 @@ fn bench_analyze_batch(h: &mut Harness, funcs: &[Function]) -> (f64, f64, f64) {
     )
 }
 
+/// Times interprocedural module analysis through the memoized-summary
+/// path (a warm engine whose solve cache holds every callee summary
+/// and fixpoint) against full re-analysis (a cache-free sequential
+/// session that rebuilds everything per round), in interleaved pairs
+/// like the batch bench. Returns the median per-pair speedup.
+fn bench_module_summaries(h: &mut Harness) -> f64 {
+    let module = tadfa_workloads::generate_module(&tadfa_workloads::ModuleGeneratorConfig {
+        depth: 2,
+        fanout: 2,
+        leaves: 4,
+        shared_hot_callees: 2,
+        layer_width: 3,
+        exprs_per_function: 8,
+        ..tadfa_workloads::ModuleGeneratorConfig::default()
+    });
+    let session = Session::builder()
+        .floorplan(8, 8)
+        .policy_name("first-free", 0)
+        .build()
+        .expect("bench session is valid");
+    let engine = tadfa_core::Engine::from_session(&session, 1).expect("engine builds");
+
+    let run_summarized = || {
+        engine
+            .analyze_module(&module)
+            .expect("module analyzes")
+            .peak_temperature()
+    };
+    let run_reanalysis = || {
+        let mut session = Session::builder()
+            .floorplan(8, 8)
+            .policy_name("first-free", 0)
+            .build()
+            .expect("bench session is valid");
+        session
+            .analyze_module(&module)
+            .expect("module analyzes")
+            .peak_temperature()
+    };
+
+    // Warmup fills the summary + result memos; identity is asserted
+    // here too — the memoized path must not move a byte.
+    let warm = engine.analyze_module(&module).expect("module analyzes");
+    let fresh = run_reanalysis();
+    assert_eq!(
+        warm.peak_temperature(),
+        fresh,
+        "memoized summaries must be byte-identical to re-analysis"
+    );
+
+    const ROUNDS: usize = 12;
+    let mut summarized_samples = Vec::with_capacity(ROUNDS);
+    let mut reanalysis_samples = Vec::with_capacity(ROUNDS);
+    let mut ratios = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        let t0 = std::time::Instant::now();
+        black_box(run_summarized());
+        let s = t0.elapsed();
+        let t0 = std::time::Instant::now();
+        black_box(run_reanalysis());
+        let r = t0.elapsed();
+        summarized_samples.push(s);
+        reanalysis_samples.push(r);
+        ratios.push(r.as_secs_f64() / s.as_secs_f64().max(1e-12));
+    }
+    h.record_samples("analyze_module/summarized/warm", summarized_samples);
+    h.record_samples("analyze_module/reanalysis/cold", reanalysis_samples);
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    ratios[ratios.len() / 2]
+}
+
 fn main() {
     let funcs: Vec<Function> = standard_suite().into_iter().map(|w| w.func).collect();
     println!(
@@ -191,6 +265,7 @@ fn main() {
     let (naive_step_ns, stencil_step_ns) = bench_step_kernels(&mut h);
 
     let (compiled_s, reference_s, batch_speedup) = bench_analyze_batch(&mut h, &funcs);
+    let module_speedup = bench_module_summaries(&mut h);
 
     h.report();
     println!();
@@ -202,6 +277,9 @@ fn main() {
         "analyze_batch:   reference {}  →  compiled {}  ({batch_speedup:.2}x cold, 1 thread, {throughput:.1} funcs/s)",
         fmt_duration(std::time::Duration::from_secs_f64(reference_s)),
         fmt_duration(std::time::Duration::from_secs_f64(compiled_s)),
+    );
+    println!(
+        "analyze_module:  memoized summaries + warm caches {module_speedup:.2}x over full re-analysis"
     );
 
     let path = std::env::var("BENCH_SOLVER_JSON").map_or_else(
@@ -226,6 +304,7 @@ fn main() {
             ("step_kernel_speedup", kernel_speedup),
             ("analyze_batch_cold_1thread_speedup", batch_speedup),
             ("analyze_batch_funcs_per_sec", throughput),
+            ("analyze_module_summarized_speedup", module_speedup),
             ("suite_functions", funcs.len() as f64),
         ],
         &[("suite_digest", &digest)],

@@ -35,6 +35,7 @@
 //! absorbing new work" without guessing from hit rates.
 
 use crate::dfa::ThermalDfaResult;
+use crate::summary::ThermalSummary;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -79,12 +80,23 @@ const DEFAULT_CAPACITY: usize = 4096;
 #[derive(Debug)]
 pub struct SolveCache {
     shards: Vec<Mutex<HashMap<u128, Arc<ThermalDfaResult>>>>,
+    /// Thermal summaries (the interprocedural memo), sharded like the
+    /// fixpoint results but keyed in their own map: a function's
+    /// summary and its whole-fixpoint result share the same signature
+    /// key and must not collide.
+    summary_shards: Vec<Mutex<HashMap<u128, Arc<ThermalSummary>>>>,
     /// Resident entries across all shards, maintained atomically so the
     /// capacity check on the store path never touches another shard's
     /// lock.
     entries: AtomicUsize,
+    /// Resident summaries, counted separately (summaries are far
+    /// smaller than fixpoint results, so each map gets the full
+    /// capacity).
+    summary_entries: AtomicUsize,
     hits: AtomicU64,
     misses: AtomicU64,
+    summary_hits: AtomicU64,
+    summary_stores: AtomicU64,
     /// Stores turned away because the cache was at capacity.
     rejected: AtomicU64,
     capacity: usize,
@@ -111,9 +123,13 @@ impl SolveCache {
     pub fn with_capacity_and_quantum(capacity: usize, quantum: f64) -> SolveCache {
         SolveCache {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            summary_shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             entries: AtomicUsize::new(0),
+            summary_entries: AtomicUsize::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            summary_hits: AtomicU64::new(0),
+            summary_stores: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             capacity,
             quantum,
@@ -176,6 +192,46 @@ impl SolveCache {
         }
     }
 
+    /// The thermal summary cached under `key`, if present. Counts a
+    /// [`CacheStats::summary_hits`] hit; a miss is not an event (the
+    /// caller flattens and stores, which
+    /// [`CacheStats::summary_stores`] counts).
+    pub fn fetch_summary(&self, key: u128) -> Option<Arc<ThermalSummary>> {
+        let hit = self.summary_shards[(key as usize) & (SHARDS - 1)]
+            .lock()
+            .expect("cache shard poisoned")
+            .get(&key)
+            .cloned();
+        if hit.is_some() {
+            self.summary_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Stores one thermal summary. Same capacity discipline as
+    /// [`store`](SolveCache::store) (summaries have their own entry
+    /// budget); only a genuinely new insertion counts as a
+    /// [`CacheStats::summary_stores`].
+    pub fn store_summary(&self, key: u128, summary: &Arc<ThermalSummary>) {
+        let shard = &self.summary_shards[(key as usize) & (SHARDS - 1)];
+        if self.summary_entries.load(Ordering::Relaxed) >= self.capacity {
+            let resident = shard
+                .lock()
+                .expect("cache shard poisoned")
+                .contains_key(&key);
+            if !resident {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+            }
+            return;
+        }
+        let mut shard = shard.lock().expect("cache shard poisoned");
+        if let std::collections::hash_map::Entry::Vacant(slot) = shard.entry(key) {
+            slot.insert(Arc::clone(summary));
+            self.summary_entries.fetch_add(1, Ordering::Relaxed);
+            self.summary_stores.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Number of resident entries (approximate under concurrent
     /// insertion).
     pub fn len(&self) -> usize {
@@ -192,9 +248,15 @@ impl SolveCache {
         for s in &self.shards {
             s.lock().expect("cache shard poisoned").clear();
         }
+        for s in &self.summary_shards {
+            s.lock().expect("cache shard poisoned").clear();
+        }
         self.entries.store(0, Ordering::Relaxed);
+        self.summary_entries.store(0, Ordering::Relaxed);
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.summary_hits.store(0, Ordering::Relaxed);
+        self.summary_stores.store(0, Ordering::Relaxed);
         self.rejected.store(0, Ordering::Relaxed);
     }
 
@@ -205,6 +267,8 @@ impl SolveCache {
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.len(),
             rejected_stores: self.rejected.load(Ordering::Relaxed),
+            summary_hits: self.summary_hits.load(Ordering::Relaxed),
+            summary_stores: self.summary_stores.load(Ordering::Relaxed),
         }
     }
 }
@@ -222,6 +286,12 @@ pub struct CacheStats {
     /// nonzero means the working set outgrew the cache and later
     /// repetitions of the rejected profiles re-solve from scratch.
     pub rejected_stores: u64,
+    /// Summary lookups answered from the cache — each one is a callee
+    /// whose trace was *not* re-flattened.
+    pub summary_hits: u64,
+    /// Summaries flattened and inserted — each distinct function body
+    /// costs exactly one of these per cache lifetime.
+    pub summary_stores: u64,
 }
 
 impl CacheStats {
@@ -343,8 +413,47 @@ mod tests {
                 hits: 0,
                 misses: 0,
                 entries: 0,
-                rejected_stores: 0
+                rejected_stores: 0,
+                summary_hits: 0,
+                summary_stores: 0
             }
         );
+    }
+
+    #[test]
+    fn summary_memo_counts_stores_once_and_hits_thereafter() {
+        let c = SolveCache::new();
+        let (key, _) = solved();
+        assert!(c.fetch_summary(key).is_none(), "cold");
+        let sum = {
+            let mut b = FunctionBuilder::new("f");
+            let x = b.param();
+            let y = b.mul(x, x);
+            b.ret(Some(y));
+            let mut f = b.finish();
+            let rf = RegisterFile::new(Floorplan::grid(4, 4));
+            let alloc =
+                allocate_linear_scan(&mut f, &rf, &mut FirstFree, &RegAllocConfig::default())
+                    .unwrap();
+            let grid = AnalysisGrid::full(&rf, RcParams::default());
+            let dfa = ThermalDfa::new(
+                &f,
+                &alloc.assignment,
+                &grid,
+                PowerModel::default(),
+                ThermalDfaConfig::default(),
+            )
+            .unwrap();
+            Arc::new(dfa.summarize(0.0))
+        };
+        c.store_summary(key, &sum);
+        c.store_summary(key, &sum); // re-store is not a second store
+        assert!(c.fetch_summary(key).is_some());
+        assert!(c.fetch_summary(key).is_some());
+        let s = c.stats();
+        assert_eq!((s.summary_stores, s.summary_hits), (1, 2));
+        // The summary map is independent of the result map: same key,
+        // no collision, no result entry.
+        assert_eq!(s.entries, 0);
     }
 }

@@ -25,8 +25,10 @@ use crate::cache::SolveCache;
 use crate::config::{Convergence, MergeRule, ThermalDfaConfig};
 use crate::error::TadfaError;
 use crate::grid::AnalysisGrid;
+use crate::summary::{SummaryStep, ThermalSummary};
+use std::collections::HashMap;
 use std::sync::Arc;
-use tadfa_ir::{BlockId, Cfg, Function, Inst, InstId, Terminator, VReg};
+use tadfa_ir::{BlockId, Cfg, Function, Inst, InstId, Opcode, Terminator, VReg};
 use tadfa_regalloc::Assignment;
 use tadfa_thermal::{
     CompiledModel, LeakageParams, PowerModel, StepSchedule, StepScratch, ThermalState,
@@ -166,6 +168,9 @@ pub struct ThermalDfa<'a> {
     grid: &'a AnalysisGrid,
     power_model: PowerModel,
     config: ThermalDfaConfig,
+    /// Per-call-site callee summary, indexed by arena slot; empty for
+    /// call-free functions (the intraprocedural common case).
+    call_summaries: Vec<Option<Arc<ThermalSummary>>>,
 }
 
 impl<'a> ThermalDfa<'a> {
@@ -174,7 +179,10 @@ impl<'a> ThermalDfa<'a> {
     /// # Errors
     ///
     /// Returns [`TadfaError::InvalidConfig`] if `config` fails
-    /// validation.
+    /// validation, and [`TadfaError::CallsRequireModule`] if `func`
+    /// contains `call` instructions — those need callee summaries,
+    /// which only [`ThermalDfa::with_summaries`] (via the module-level
+    /// entry points) supplies.
     pub fn new(
         func: &'a Function,
         assignment: &'a Assignment,
@@ -183,13 +191,85 @@ impl<'a> ThermalDfa<'a> {
         config: ThermalDfaConfig,
     ) -> Result<ThermalDfa<'a>, TadfaError> {
         config.validate()?;
+        for (_bb, id) in func.inst_ids_in_layout_order() {
+            let inst = func.inst(id);
+            if inst.op == Opcode::Call {
+                return Err(TadfaError::CallsRequireModule {
+                    function: func.name().to_string(),
+                    callee: inst.callee_name().unwrap_or("?").to_string(),
+                });
+            }
+        }
         Ok(ThermalDfa {
             func,
             assignment,
             grid,
             power_model,
             config,
+            call_summaries: Vec::new(),
         })
+    }
+
+    /// Creates the call-aware analysis: every `call` in `func` is
+    /// resolved to its callee's [`ThermalSummary`], which the fixpoint
+    /// replays at the call site instead of stepping through the callee
+    /// body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TadfaError::InvalidConfig`] if `config` fails
+    /// validation, [`TadfaError::MissingSummary`] if a callee has no
+    /// summary in `summaries` (the module entry points summarise in
+    /// bottom-up call-graph order, so this indicates misuse), and
+    /// [`TadfaError::StateSizeMismatch`] if a summary was computed on a
+    /// grid of a different size.
+    pub fn with_summaries(
+        func: &'a Function,
+        assignment: &'a Assignment,
+        grid: &'a AnalysisGrid,
+        power_model: PowerModel,
+        config: ThermalDfaConfig,
+        summaries: &HashMap<String, Arc<ThermalSummary>>,
+    ) -> Result<ThermalDfa<'a>, TadfaError> {
+        config.validate()?;
+        let mut call_summaries: Vec<Option<Arc<ThermalSummary>>> = Vec::new();
+        for (_bb, id) in func.inst_ids_in_layout_order() {
+            let inst = func.inst(id);
+            if inst.op != Opcode::Call {
+                continue;
+            }
+            let callee = inst.callee_name().unwrap_or("?");
+            let sum = summaries
+                .get(callee)
+                .ok_or_else(|| TadfaError::MissingSummary {
+                    function: func.name().to_string(),
+                    callee: callee.to_string(),
+                })?;
+            if sum.num_points() != grid.num_points() {
+                return Err(TadfaError::StateSizeMismatch {
+                    expected: grid.num_points(),
+                    got: sum.num_points(),
+                });
+            }
+            if call_summaries.is_empty() {
+                call_summaries.resize(func.arena_len(), None);
+            }
+            call_summaries[id.index()] = Some(Arc::clone(sum));
+        }
+        Ok(ThermalDfa {
+            func,
+            assignment,
+            grid,
+            power_model,
+            config,
+            call_summaries,
+        })
+    }
+
+    /// The callee summary attached to a call site, if any.
+    #[inline]
+    fn call_summary(&self, id: InstId) -> Option<&Arc<ThermalSummary>> {
+        self.call_summaries.get(id.index()).and_then(Option::as_ref)
     }
 
     /// The analysis-point/energy pairs an instruction's register accesses
@@ -407,6 +487,15 @@ impl<'a> ThermalDfa<'a> {
                     h.write_u64(point as u64);
                     h.write_f64(energy, quantum);
                 }
+                // A call site's transfer function includes the callee's
+                // replayed trace, so the callee summary's own signature
+                // is part of this function's key: change the callee's
+                // body and every (transitive) caller re-keys.
+                if let Some(sum) = self.call_summary(id) {
+                    let sig = sum.signature();
+                    h.write_u64((sig >> 64) as u64);
+                    h.write_u64(sig as u64);
+                }
             }
             if let Some(t) = func.terminator(bb) {
                 h.write_u64(t.latency() as u64);
@@ -418,6 +507,55 @@ impl<'a> ThermalDfa<'a> {
             }
         }
         h.finish()
+    }
+
+    /// Flattens this function into a [`ThermalSummary`]: its blocks'
+    /// instruction and terminator steps in reverse post-order (each
+    /// block once — loop bodies contribute one iteration, matching the
+    /// fixpoint's per-sweep walk), with every call site's callee
+    /// summary spliced in transitively. Replaying the summary on a
+    /// thermal state is exact for any entry state, including under
+    /// leakage feedback, because it runs the same solver steps the
+    /// sweeps run.
+    ///
+    /// `quantum` keys the embedded [`signature`](ThermalSummary::signature)
+    /// (use the memo cache's quantum; `0.0` for bit-exact keying).
+    pub fn summarize(&self, quantum: f64) -> ThermalSummary {
+        let cfg = Cfg::compute(self.func);
+        let mut accesses = Vec::new();
+        let plan = self.build_plan(&cfg, &mut accesses);
+        let mut steps: Vec<SummaryStep> = Vec::new();
+        let mut deposits: Vec<(u32, f64)> = Vec::new();
+        let push_span =
+            |span: PlanSpan, steps: &mut Vec<SummaryStep>, deposits: &mut Vec<(u32, f64)>| {
+                let start = deposits.len() as u32;
+                deposits.extend_from_slice(&plan.deposits[span.start as usize..span.end as usize]);
+                steps.push(SummaryStep {
+                    start,
+                    end: deposits.len() as u32,
+                    sched: span.sched,
+                });
+            };
+        let func = self.func;
+        for &bb in cfg.rpo() {
+            for &id in func.block(bb).insts() {
+                push_span(plan.inst[id.index()], &mut steps, &mut deposits);
+                if let Some(sum) = self.call_summary(id) {
+                    sum.splice_into(&mut steps, &mut deposits);
+                }
+            }
+            if func.terminator(bb).is_some() {
+                push_span(plan.term[bb.index()], &mut steps, &mut deposits);
+            }
+        }
+        ThermalSummary::from_parts(
+            steps,
+            deposits,
+            plan.leak,
+            self.config.leakage_feedback,
+            self.grid.num_points(),
+            self.signature_with(&cfg, quantum),
+        )
     }
 
     fn merge(&self, states: &[&ThermalState]) -> ThermalState {
@@ -558,7 +696,7 @@ impl<'a> ThermalDfa<'a> {
                     &mut state,
                     step,
                 ),
-                None => self.sweep_reference(cfg, &initial, &mut state, accesses, power),
+                None => self.sweep_reference(cfg, &initial, &mut state, accesses, power, step),
             };
 
             // The first sweep necessarily "changes" everything from
@@ -635,6 +773,12 @@ impl<'a> ThermalDfa<'a> {
 
             for &id in func.block(bb).insts() {
                 self.advance_planned(walker, plan, plan.inst[id.index()], step, compiled);
+                // At a call site, replay the callee's summarised trace:
+                // the state after the call is the state after the
+                // callee returns.
+                if let Some(sum) = self.call_summary(id) {
+                    sum.apply(walker, compiled, step);
+                }
                 // Compare-and-remember against the flat matrix row,
                 // allocation-free. (Fusing this into the kernel pass
                 // itself benches *slower* — the tracking stores defeat
@@ -705,6 +849,12 @@ impl<'a> ThermalDfa<'a> {
     /// One sweep over the program through the retained pre-optimization
     /// path, verbatim: per-sweep access resolution, per-visit state
     /// clones, dense power zeroing, the naive allocating solver.
+    ///
+    /// Call sites replay the callee summary through the very same
+    /// routine the compiled sweep uses — summary replay *is* the
+    /// definition of call thermal semantics, there is no "reference
+    /// callee walk" — so the two paths stay bit-identical on modules
+    /// too.
     fn sweep_reference(
         &self,
         cfg: &Cfg,
@@ -712,6 +862,7 @@ impl<'a> ThermalDfa<'a> {
         state: &mut SweepState,
         accesses: &mut Vec<(usize, f64)>,
         power: &mut PowerScratch,
+        step: &mut StepScratch,
     ) -> f64 {
         let func = self.func;
         let mut max_change: f64 = 0.0;
@@ -737,6 +888,9 @@ impl<'a> ThermalDfa<'a> {
                 let inst = func.inst(id);
                 self.fill_access_energies(inst, accesses);
                 self.advance_reference(&mut s, accesses, inst.op.latency(), power);
+                if let Some(sum) = self.call_summary(id) {
+                    sum.apply(&mut s, self.grid.compiled(), step);
+                }
                 let change = match &state.after[id.index()] {
                     Some(prev) => prev.linf_distance(&s),
                     None => f64::INFINITY,

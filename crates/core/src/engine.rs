@@ -55,11 +55,13 @@ use crate::config::ThermalDfaConfig;
 use crate::critical::CriticalConfig;
 use crate::dfa::DfaScratch;
 use crate::error::TadfaError;
-use crate::session::{Session, SessionCore, ThermalReport};
+use crate::session::{ModuleReport, Session, SessionCore, ThermalReport};
+use crate::summary::ThermalSummary;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
-use tadfa_ir::Function;
+use tadfa_ir::{CallGraph, Function, Module};
 use tadfa_regalloc::{policy_by_name, AssignmentPolicy};
 use tadfa_thermal::RegisterFile;
 
@@ -319,9 +321,80 @@ impl Engine {
                 core: &self.core,
                 factory: &self.factory,
                 func: f,
+                summaries: None,
             })
             .collect();
         self.execute(&tasks, opts)
+    }
+
+    /// Analyzes a whole module on the worker pool, byte-identical to
+    /// [`Session::analyze_module`] and invariant under the worker
+    /// count.
+    ///
+    /// Two phases: first the call graph's condensation is walked
+    /// bottom-up **sequentially**, flattening (and memoising in the
+    /// engine's cache) every function's [`ThermalSummary`] — cheap,
+    /// solver-free work whose order callers depend on; then every
+    /// function's fixpoint report runs **in parallel**, each call site
+    /// replaying its callee's summary. Repeated bodies — within the
+    /// module or across calls — are answered from the summary memo and
+    /// the solve cache ([`Engine::cache_stats`] exposes both).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TadfaError::Verify`] if the module fails verification
+    /// (unknown callee, call arity mismatch, recursive call cycle) and
+    /// the first member error otherwise — unlike the independent items
+    /// of a batch, a module's reports stand together.
+    pub fn analyze_module(&self, module: &Module) -> Result<ModuleReport, TadfaError> {
+        self.analyze_module_opts(module, &BatchOptions::default())
+    }
+
+    /// [`Engine::analyze_module`] with request-scoped [`BatchOptions`].
+    /// A deadline that expires mid-module fails the whole call with
+    /// [`TadfaError::DeadlineExceeded`] (module reports are
+    /// all-or-nothing).
+    pub fn analyze_module_opts(
+        &self,
+        module: &Module,
+        opts: &BatchOptions,
+    ) -> Result<ModuleReport, TadfaError> {
+        tadfa_ir::verify_module(module)?;
+        let cg = CallGraph::build(module);
+
+        // Phase 1: bottom-up summaries, sequential (callers need their
+        // callees' summaries; the flatten is solver-free and memoised).
+        let mut summaries: HashMap<String, Arc<ThermalSummary>> = HashMap::new();
+        for idx in cg.bottom_up() {
+            let func = &module.functions()[idx];
+            let mut policy = self.factory.instantiate(self.core.register_file())?;
+            let sum =
+                self.core
+                    .summarize_with(func, &summaries, policy.as_mut(), Some(&self.cache))?;
+            summaries.insert(func.name().to_string(), sum);
+        }
+
+        // Phase 2: per-function fixpoint reports, parallel. Every task
+        // reads the complete summary table; input order (module order)
+        // is preserved by the executor.
+        let tasks: Vec<Task<'_>> = module
+            .functions()
+            .iter()
+            .map(|f| Task {
+                core: &self.core,
+                factory: &self.factory,
+                func: f,
+                summaries: Some(&summaries),
+            })
+            .collect();
+        let reports = self
+            .execute(&tasks, opts)
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ModuleReport::from_parts(
+            module.names().map(String::from).collect(),
+            reports,
+        ))
     }
 
     /// Runs the full `configs × funcs` grid on the worker pool — the
@@ -369,6 +442,7 @@ impl Engine {
                     core,
                     factory,
                     func: f,
+                    summaries: None,
                 })
             })
             .collect();
@@ -423,13 +497,20 @@ impl Engine {
                         let result = task
                             .factory
                             .instantiate(task.core.register_file())
-                            .and_then(|mut policy| {
-                                task.core.analyze_with(
+                            .and_then(|mut policy| match task.summaries {
+                                Some(summaries) => task.core.analyze_with_summaries(
+                                    task.func,
+                                    summaries,
+                                    policy.as_mut(),
+                                    &mut scratch,
+                                    Some(&self.cache),
+                                ),
+                                None => task.core.analyze_with(
                                     task.func,
                                     policy.as_mut(),
                                     &mut scratch,
                                     Some(&self.cache),
-                                )
+                                ),
                             });
                         *slots[i].lock().expect("result slot poisoned") = Some(result);
                     }
@@ -449,11 +530,13 @@ impl Engine {
 }
 
 /// One unit of work: analyze `func` against `core` under a policy from
-/// `factory`.
+/// `factory`, resolving call sites against `summaries` when the task
+/// belongs to a module analysis.
 struct Task<'a> {
     core: &'a Arc<SessionCore>,
     factory: &'a PolicyFactory,
     func: &'a Function,
+    summaries: Option<&'a HashMap<String, Arc<ThermalSummary>>>,
 }
 
 #[cfg(test)]
@@ -626,6 +709,40 @@ mod tests {
 
         engine.clear_cache();
         assert_eq!(engine.cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn module_analysis_matches_sequential_and_any_worker_count() {
+        let mut callee = FunctionBuilder::new("hot");
+        let x = callee.param();
+        let mut v = x;
+        for _ in 0..5 {
+            v = callee.mul(v, v);
+        }
+        callee.ret(Some(v));
+        let mut funcs = vec![callee.finish()];
+        for i in 0..3 {
+            let mut b = FunctionBuilder::new(format!("caller{i}"));
+            let x = b.param();
+            let r = b.call("hot", &[x]);
+            let z = b.add(r, x);
+            b.ret(Some(z));
+            funcs.push(b.finish());
+        }
+        let module = Module::from_functions(funcs).unwrap();
+
+        let mut s = session();
+        let sequential = s.analyze_module(&module).unwrap().fingerprint();
+        for workers in [1, 4, 7] {
+            let engine = Engine::from_session(&s, workers).unwrap();
+            let cold = engine.analyze_module(&module).unwrap().fingerprint();
+            let warm = engine.analyze_module(&module).unwrap().fingerprint();
+            assert_eq!(sequential, cold, "workers={workers}");
+            assert_eq!(cold, warm, "workers={workers} warm");
+            let stats = engine.cache_stats();
+            assert!(stats.summary_stores > 0, "{stats:?}");
+            assert!(stats.summary_hits > 0, "warm pass reuses: {stats:?}");
+        }
     }
 
     #[test]

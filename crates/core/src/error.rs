@@ -75,6 +75,30 @@ pub enum TadfaError {
     /// name. Use a named policy or a custom
     /// [`PolicyFactory`](crate::engine::PolicyFactory).
     UnsharablePolicy(String),
+    /// A function containing `call` instructions was offered to a
+    /// single-function entry point. Calls are resolved against callee
+    /// summaries, which only the module-level analysis
+    /// ([`Session::analyze_module`](crate::Session::analyze_module),
+    /// [`Engine::analyze_module`](crate::engine::Engine::analyze_module))
+    /// computes.
+    CallsRequireModule {
+        /// The function containing the call.
+        function: String,
+        /// The callee it invokes.
+        callee: String,
+    },
+    /// A call-aware analysis was constructed without a summary for one
+    /// of its callees — the bottom-up order was violated (internal
+    /// misuse; the module entry points always summarise callees first).
+    MissingSummary {
+        /// The caller being analysed.
+        function: String,
+        /// The callee whose summary is missing.
+        callee: String,
+    },
+    /// Module-level IR verification failed (unknown callee, call arity
+    /// mismatch, recursive call cycle, or a per-function check).
+    Verify(tadfa_ir::VerifyError),
     /// Register allocation failed.
     Alloc(RegAllocError),
     /// Thermal-model construction or validation failed.
@@ -125,6 +149,21 @@ impl fmt::Display for TadfaError {
                      custom PolicyFactory"
                 )
             }
+            TadfaError::CallsRequireModule { function, callee } => {
+                write!(
+                    f,
+                    "function '@{function}' calls '@{callee}'; analyze it \
+                     through a module entry point so callees are summarised"
+                )
+            }
+            TadfaError::MissingSummary { function, callee } => {
+                write!(
+                    f,
+                    "no summary for '@{callee}' while analysing '@{function}' \
+                     (callees must be summarised bottom-up first)"
+                )
+            }
+            TadfaError::Verify(e) => write!(f, "module verification failed: {e}"),
             TadfaError::Alloc(e) => write!(f, "register allocation failed: {e}"),
             TadfaError::Thermal(e) => write!(f, "thermal model rejected: {e}"),
         }
@@ -134,6 +173,7 @@ impl fmt::Display for TadfaError {
 impl Error for TadfaError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
+            TadfaError::Verify(e) => Some(e),
             TadfaError::Alloc(e) => Some(e),
             TadfaError::Thermal(e) => Some(e),
             _ => None,
@@ -150,6 +190,12 @@ impl From<RegAllocError> for TadfaError {
 impl From<ThermalError> for TadfaError {
     fn from(e: ThermalError) -> TadfaError {
         TadfaError::Thermal(e)
+    }
+}
+
+impl From<tadfa_ir::VerifyError> for TadfaError {
+    fn from(e: tadfa_ir::VerifyError) -> TadfaError {
+        TadfaError::Verify(e)
     }
 }
 
@@ -173,6 +219,28 @@ mod tests {
         let e: TadfaError = RegAllocError::TooFewRegisters { available: 1 }.into();
         assert!(matches!(e, TadfaError::Alloc(_)));
         assert!(e.to_string().contains("too small"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn interprocedural_errors_name_both_functions() {
+        let e = TadfaError::CallsRequireModule {
+            function: "main".into(),
+            callee: "leaf".into(),
+        };
+        assert!(e.to_string().contains("@main") && e.to_string().contains("@leaf"));
+        let e = TadfaError::MissingSummary {
+            function: "main".into(),
+            callee: "leaf".into(),
+        };
+        assert!(e.to_string().contains("@leaf"));
+        let e: TadfaError = tadfa_ir::VerifyError::UnknownCallee {
+            function: "main".into(),
+            callee: "ghost".into(),
+        }
+        .into();
+        assert!(matches!(e, TadfaError::Verify(_)));
+        assert!(e.to_string().contains("@ghost"), "{e}");
         assert!(e.source().is_some());
     }
 

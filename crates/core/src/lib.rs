@@ -59,6 +59,7 @@ mod error;
 mod grid;
 mod predictive;
 mod session;
+mod summary;
 
 pub use cache::{CacheStats, SolveCache};
 pub use config::{Convergence, MergeRule, ThermalDfaConfig};
@@ -68,4 +69,5 @@ pub use engine::{BatchOptions, Engine, PolicyFactory, SweepCell, SweepConfig};
 pub use error::TadfaError;
 pub use grid::AnalysisGrid;
 pub use predictive::{PlacementPrior, PredictiveConfig, PredictiveDfa, PredictiveResult};
-pub use session::{Session, SessionBuilder, SessionCore, ThermalReport};
+pub use session::{ModuleReport, Session, SessionBuilder, SessionCore, ThermalReport};
+pub use summary::ThermalSummary;

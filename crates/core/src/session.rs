@@ -60,8 +60,10 @@ use crate::dfa::{DfaScratch, ThermalDfa, ThermalDfaResult};
 use crate::error::TadfaError;
 use crate::grid::AnalysisGrid;
 use crate::predictive::{PredictiveConfig, PredictiveDfa, PredictiveResult};
+use crate::summary::ThermalSummary;
+use std::collections::HashMap;
 use std::sync::Arc;
-use tadfa_ir::Function;
+use tadfa_ir::{CallGraph, Function, Module};
 use tadfa_regalloc::{
     allocate_linear_scan, policy_by_name, AllocStats, Assignment, AssignmentPolicy, RegAllocConfig,
 };
@@ -349,6 +351,161 @@ impl SessionCore {
         self.analyze_inner(func, policy, &mut DfaScratch::default(), None, true)
     }
 
+    /// [`analyze_with`](SessionCore::analyze_with) for a function whose
+    /// `call` sites resolve against already-computed callee
+    /// `summaries` — the engine's worker-side entry point for module
+    /// members. Callee-free functions behave exactly as
+    /// [`analyze_with`](SessionCore::analyze_with).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TadfaError::Alloc`] if register allocation fails and
+    /// [`TadfaError::MissingSummary`] if a callee has no summary.
+    pub fn analyze_with_summaries(
+        &self,
+        func: &Function,
+        summaries: &HashMap<String, Arc<ThermalSummary>>,
+        policy: &mut dyn AssignmentPolicy,
+        scratch: &mut DfaScratch,
+        cache: Option<&SolveCache>,
+    ) -> Result<ThermalReport, TadfaError> {
+        let mut allocated = func.clone();
+        let alloc = allocate_linear_scan(&mut allocated, &self.rf, policy, &self.alloc)?;
+        let dfa = ThermalDfa::with_summaries(
+            &allocated,
+            &alloc.assignment,
+            &self.grid,
+            self.power,
+            self.dfa,
+            summaries,
+        )?;
+        let dfa = dfa.run_with(scratch, cache);
+        self.finish_report(allocated, alloc, dfa)
+    }
+
+    /// Allocates `func` and flattens its [`ThermalSummary`], resolving
+    /// call sites against already-computed callee `summaries`. With a
+    /// `cache` the summary is memoised under the function's
+    /// [`signature`](ThermalDfa::signature): the flatten runs at most
+    /// once per distinct function body per cache lifetime, no matter
+    /// how many modules or callers share it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TadfaError::Alloc`] if register allocation fails and
+    /// [`TadfaError::MissingSummary`] if a callee has no summary.
+    pub fn summarize_with(
+        &self,
+        func: &Function,
+        summaries: &HashMap<String, Arc<ThermalSummary>>,
+        policy: &mut dyn AssignmentPolicy,
+        cache: Option<&SolveCache>,
+    ) -> Result<Arc<ThermalSummary>, TadfaError> {
+        let mut allocated = func.clone();
+        let alloc = allocate_linear_scan(&mut allocated, &self.rf, policy, &self.alloc)?;
+        let dfa = ThermalDfa::with_summaries(
+            &allocated,
+            &alloc.assignment,
+            &self.grid,
+            self.power,
+            self.dfa,
+            summaries,
+        )?;
+        Ok(self.memo_summary(&dfa, cache))
+    }
+
+    /// Runs the whole interprocedural pipeline for a module: verify
+    /// (unknown callees, arity mismatches, and recursive cycles are
+    /// typed errors), build the call graph, then walk its condensation
+    /// bottom-up — every callee is summarised before any caller — and
+    /// analyze each function with callee summaries replayed at its call
+    /// sites. This is the sequential reference the parallel
+    /// [`Engine::analyze_module`](crate::engine::Engine::analyze_module)
+    /// is byte-identical to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TadfaError::Verify`] for a module that fails
+    /// verification (including [recursion]) and [`TadfaError::Alloc`]
+    /// if any member fails allocation; the first failing function
+    /// aborts the module.
+    ///
+    /// [recursion]: tadfa_ir::VerifyError::RecursiveCall
+    pub fn analyze_module_with(
+        &self,
+        module: &Module,
+        policy: &mut dyn AssignmentPolicy,
+        scratch: &mut DfaScratch,
+        cache: Option<&SolveCache>,
+    ) -> Result<ModuleReport, TadfaError> {
+        tadfa_ir::verify_module(module)?;
+        let cg = CallGraph::build(module);
+        let mut summaries: HashMap<String, Arc<ThermalSummary>> = HashMap::new();
+        let mut reports: Vec<Option<ThermalReport>> = (0..module.len()).map(|_| None).collect();
+        for idx in cg.bottom_up() {
+            let func = &module.functions()[idx];
+            let (report, summary) =
+                self.analyze_module_function(func, &summaries, policy, scratch, cache)?;
+            summaries.insert(func.name().to_string(), summary);
+            reports[idx] = Some(report);
+        }
+        Ok(ModuleReport {
+            names: module.names().map(String::from).collect(),
+            reports: reports
+                .into_iter()
+                .map(|r| r.expect("bottom-up order covers every function"))
+                .collect(),
+        })
+    }
+
+    /// One module member's report *and* summary from a single
+    /// allocation — the sequential module walk's inner step.
+    fn analyze_module_function(
+        &self,
+        func: &Function,
+        summaries: &HashMap<String, Arc<ThermalSummary>>,
+        policy: &mut dyn AssignmentPolicy,
+        scratch: &mut DfaScratch,
+        cache: Option<&SolveCache>,
+    ) -> Result<(ThermalReport, Arc<ThermalSummary>), TadfaError> {
+        let mut allocated = func.clone();
+        let alloc = allocate_linear_scan(&mut allocated, &self.rf, policy, &self.alloc)?;
+        let dfa = ThermalDfa::with_summaries(
+            &allocated,
+            &alloc.assignment,
+            &self.grid,
+            self.power,
+            self.dfa,
+            summaries,
+        )?;
+        let summary = self.memo_summary(&dfa, cache);
+        let result = dfa.run_with(scratch, cache);
+        let report = self.finish_report(allocated, alloc, result)?;
+        Ok((report, summary))
+    }
+
+    /// The summary for `dfa`'s function, answered from the cache's
+    /// summary memo when an identical body (same signature) was
+    /// flattened before.
+    fn memo_summary(
+        &self,
+        dfa: &ThermalDfa<'_>,
+        cache: Option<&SolveCache>,
+    ) -> Arc<ThermalSummary> {
+        match cache {
+            Some(cache) => {
+                let key = dfa.signature(cache.quantum());
+                if let Some(hit) = cache.fetch_summary(key) {
+                    return hit;
+                }
+                let sum = Arc::new(dfa.summarize(cache.quantum()));
+                cache.store_summary(key, &sum);
+                sum
+            }
+            None => Arc::new(dfa.summarize(0.0)),
+        }
+    }
+
     fn analyze_inner(
         &self,
         func: &Function,
@@ -371,6 +528,17 @@ impl SessionCore {
         } else {
             dfa.run_with(scratch, cache)
         };
+        self.finish_report(allocated, alloc, dfa)
+    }
+
+    /// The pipeline tail shared by every analysis entry point:
+    /// criticality ranking and upsampling onto the physical floorplan.
+    fn finish_report(
+        &self,
+        allocated: Function,
+        alloc: tadfa_regalloc::AllocationResult,
+        dfa: Arc<ThermalDfaResult>,
+    ) -> Result<ThermalReport, TadfaError> {
         let critical = CriticalSet::identify(
             &allocated,
             &alloc.assignment,
@@ -515,6 +683,30 @@ impl Session {
     pub fn analyze(&mut self, func: &Function) -> Result<ThermalReport, TadfaError> {
         self.core
             .analyze_with(func, self.policy.as_mut(), &mut self.scratch, None)
+    }
+
+    /// Runs the interprocedural pipeline for a whole module: verifies
+    /// it (unknown callees, call arity mismatches, and recursive call
+    /// cycles are typed [`TadfaError::Verify`] errors), walks the call
+    /// graph's condensation bottom-up so every callee is summarised
+    /// before its callers, and analyzes each function with callee
+    /// [`ThermalSummary`] traces replayed at its call sites instead of
+    /// stepping through callee bodies.
+    ///
+    /// Like [`Session::analyze`], the call is a pure function of the
+    /// session configuration and the module: reports come back in
+    /// module order with deterministic, worker-count-independent
+    /// fingerprints (the parallel
+    /// [`Engine::analyze_module`](crate::engine::Engine::analyze_module)
+    /// is byte-identical).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TadfaError::Verify`] if the module fails verification
+    /// and [`TadfaError::Alloc`] if any member fails allocation.
+    pub fn analyze_module(&mut self, module: &Module) -> Result<ModuleReport, TadfaError> {
+        self.core
+            .analyze_module_with(module, self.policy.as_mut(), &mut self.scratch, None)
     }
 
     /// Analyzes a batch of functions, reusing the session's grid, power
@@ -759,6 +951,85 @@ impl ThermalReport {
     }
 }
 
+/// Everything one [`Session::analyze_module`] /
+/// [`Engine::analyze_module`](crate::engine::Engine::analyze_module)
+/// call produces: one [`ThermalReport`] per module function, in module
+/// order.
+#[derive(Clone, Debug)]
+pub struct ModuleReport {
+    names: Vec<String>,
+    reports: Vec<ThermalReport>,
+}
+
+impl ModuleReport {
+    pub(crate) fn from_parts(names: Vec<String>, reports: Vec<ThermalReport>) -> ModuleReport {
+        ModuleReport { names, reports }
+    }
+
+    /// Number of functions analyzed.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Whether the module was empty.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// Per-function reports, in module order.
+    pub fn reports(&self) -> &[ThermalReport] {
+        &self.reports
+    }
+
+    /// Consumes the module report, yielding the per-function reports in
+    /// module order (for callers that re-index them under their own
+    /// scheme, like the scenario runner's task list).
+    pub fn into_reports(self) -> Vec<ThermalReport> {
+        self.reports
+    }
+
+    /// The report for the function named `name`, if present.
+    pub fn report(&self, name: &str) -> Option<&ThermalReport> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| &self.reports[i])
+    }
+
+    /// Function names, in module order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(String::as_str)
+    }
+
+    /// The hottest temperature predicted anywhere in the module, K.
+    pub fn peak_temperature(&self) -> f64 {
+        self.reports
+            .iter()
+            .map(ThermalReport::peak_temperature)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// A 128-bit digest folding every member's
+    /// [`ThermalReport::fingerprint`] together with its name, in module
+    /// order — the equality the module-level determinism guarantees
+    /// (parallel == sequential, warm cache == cold, any worker count)
+    /// are stated in.
+    pub fn fingerprint(&self) -> u128 {
+        let mut h = Fnv128::new();
+        h.write_u64(self.reports.len() as u64);
+        for (name, report) in self.names.iter().zip(&self.reports) {
+            h.write_u64(name.len() as u64);
+            for b in name.bytes() {
+                h.write_u64(b as u64);
+            }
+            let fp = report.fingerprint();
+            h.write_u64((fp >> 64) as u64);
+            h.write_u64(fp as u64);
+        }
+        h.finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -898,6 +1169,99 @@ mod tests {
         assert_eq!(s.policy_spec(), Some(("chessboard", 3)));
         s.set_policy(Box::new(FirstFree));
         assert_eq!(s.policy_spec(), None);
+    }
+
+    fn leaf() -> Function {
+        let mut b = FunctionBuilder::new("leaf");
+        let x = b.param();
+        let mut v = x;
+        for _ in 0..4 {
+            v = b.mul(v, v);
+        }
+        b.ret(Some(v));
+        b.finish()
+    }
+
+    fn caller_of(name: &str, callee: &str) -> Function {
+        let mut b = FunctionBuilder::new(name);
+        let x = b.param();
+        let y = b.add(x, x);
+        let r = b.call(callee, &[y]);
+        let z = b.add(r, y);
+        b.ret(Some(z));
+        b.finish()
+    }
+
+    #[test]
+    fn analyze_rejects_functions_with_calls() {
+        let mut s = Session::builder().build().unwrap();
+        let e = s.analyze(&caller_of("main", "leaf")).unwrap_err();
+        assert!(
+            matches!(e, TadfaError::CallsRequireModule { ref function, ref callee }
+                     if function == "main" && callee == "leaf"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn analyze_module_reports_every_function_in_order() {
+        let module = Module::from_functions([leaf(), caller_of("main", "leaf")]).unwrap();
+        let mut s = Session::builder().build().unwrap();
+        let r = s.analyze_module(&module).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.names().collect::<Vec<_>>(), ["leaf", "main"]);
+        for rep in r.reports() {
+            assert!(rep.convergence().is_converged());
+        }
+        // The caller replays the callee's trace, so it ends hotter than
+        // its own instructions alone would make it.
+        let main = r.report("main").unwrap();
+        let leaf = r.report("leaf").unwrap();
+        assert!(main.peak_temperature() > main.ambient());
+        assert!(r.peak_temperature() >= leaf.peak_temperature());
+        // Pure function of (config, module): a fresh session agrees.
+        let mut s2 = Session::builder().build().unwrap();
+        assert_eq!(
+            r.fingerprint(),
+            s2.analyze_module(&module).unwrap().fingerprint()
+        );
+    }
+
+    #[test]
+    fn analyze_module_rejects_recursion_with_a_typed_error() {
+        let module = Module::from_functions([caller_of("a", "b"), caller_of("b", "a")]).unwrap();
+        let mut s = Session::builder().build().unwrap();
+        let e = s.analyze_module(&module).unwrap_err();
+        assert!(
+            matches!(
+                e,
+                TadfaError::Verify(tadfa_ir::VerifyError::RecursiveCall { .. })
+            ),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn call_sites_make_callers_hotter_than_call_free_twins() {
+        // Same caller body with the call replaced by a mov: the summary
+        // replay must inject the callee's heat.
+        let module = Module::from_functions([leaf(), caller_of("main", "leaf")]).unwrap();
+        let mut s = Session::builder().build().unwrap();
+        let with_call = s.analyze_module(&module).unwrap();
+        let twin = {
+            let mut b = FunctionBuilder::new("main");
+            let x = b.param();
+            let y = b.add(x, x);
+            let r = b.mov(y);
+            let z = b.add(r, y);
+            b.ret(Some(z));
+            b.finish()
+        };
+        let without = s.analyze(&twin).unwrap();
+        assert!(
+            with_call.report("main").unwrap().peak_temperature() > without.peak_temperature(),
+            "callee heat must reach the caller"
+        );
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! Per-function thermal summaries — the unit of interprocedural
+//! analysis.
+//!
+//! A [`ThermalSummary`] captures *what a function's execution does to
+//! the RC model*: the ordered trace of sparse power deposits and step
+//! schedules its instructions walk through, flattened over the
+//! function's blocks in reverse post-order (each block contributing one
+//! iteration). Applying the summary to a thermal state advances it
+//! exactly as stepping through the function body would under the same
+//! flattened order — for **any** entry state, because the trace replays
+//! the same solver entry point ([`CompiledModel::step_sparse_into`])
+//! the intraprocedural sweeps use, including fused leakage feedback.
+//!
+//! That exactness is what makes summaries compose: a callee's summary
+//! is spliced verbatim into its callers' summaries (transitively), and
+//! the thermal DFA replays it at every call site instead of re-walking
+//! the callee's body. Summaries are content-keyed by the same
+//! [`signature`](crate::ThermalDfa::signature) hash that keys whole
+//! fixpoint solves, so the [`SolveCache`](crate::SolveCache) memoises
+//! them across callers, analyses, and service requests: a hot callee's
+//! trace is flattened once, no matter how many functions call it.
+
+use tadfa_thermal::{CompiledModel, LeakageParams, StepSchedule, StepScratch, ThermalState};
+
+/// One RC step of a summary trace: a slice of the summary's deposit
+/// table plus the precomputed sub-step schedule for its duration.
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct SummaryStep {
+    pub(crate) start: u32,
+    pub(crate) end: u32,
+    pub(crate) sched: StepSchedule,
+}
+
+/// The memoisable thermal effect of one function: an ordered, flattened
+/// deposit trace that advances any entry state exactly as analysing the
+/// function body (blocks once each, in reverse post-order) would.
+///
+/// Built by [`ThermalDfa::summarize`](crate::ThermalDfa::summarize);
+/// applied at call sites by the module-level analysis entry points
+/// ([`Session::analyze_module`](crate::Session::analyze_module),
+/// [`Engine::analyze_module`](crate::engine::Engine::analyze_module)).
+#[derive(Clone, Debug)]
+pub struct ThermalSummary {
+    steps: Vec<SummaryStep>,
+    deposits: Vec<(u32, f64)>,
+    leak: LeakageParams,
+    leakage_feedback: bool,
+    num_points: usize,
+    signature: u128,
+}
+
+impl ThermalSummary {
+    pub(crate) fn from_parts(
+        steps: Vec<SummaryStep>,
+        deposits: Vec<(u32, f64)>,
+        leak: LeakageParams,
+        leakage_feedback: bool,
+        num_points: usize,
+        signature: u128,
+    ) -> ThermalSummary {
+        ThermalSummary {
+            steps,
+            deposits,
+            leak,
+            leakage_feedback,
+            num_points,
+            signature,
+        }
+    }
+
+    /// Number of analysis points the summary's deposits address — must
+    /// match the caller's grid.
+    pub fn num_points(&self) -> usize {
+        self.num_points
+    }
+
+    /// Number of RC steps replaying the summary advances the state by —
+    /// one per instruction and terminator of the summarised function,
+    /// plus every step of every (transitively) spliced callee.
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// The content signature the summary was computed under — the same
+    /// quantized power-profile hash that keys whole fixpoint solves
+    /// ([`ThermalDfa::signature`](crate::ThermalDfa::signature)), so
+    /// two functions with identical bodies share one cached summary.
+    pub fn signature(&self) -> u128 {
+        self.signature
+    }
+
+    /// Replays the trace on `state` — the call-site transfer function.
+    pub(crate) fn apply(
+        &self,
+        state: &mut ThermalState,
+        compiled: &CompiledModel,
+        step: &mut StepScratch,
+    ) {
+        let leak = self.leakage_feedback.then_some(&self.leak);
+        for s in &self.steps {
+            let deposits = &self.deposits[s.start as usize..s.end as usize];
+            compiled.step_sparse_into(state, deposits, &s.sched, leak, step);
+        }
+    }
+
+    /// Appends this summary's trace to a caller's under-construction
+    /// trace, rebasing deposit spans — how callee effects become part
+    /// of caller summaries (transitive composition).
+    pub(crate) fn splice_into(&self, steps: &mut Vec<SummaryStep>, deposits: &mut Vec<(u32, f64)>) {
+        for s in &self.steps {
+            let start = deposits.len() as u32;
+            deposits.extend_from_slice(&self.deposits[s.start as usize..s.end as usize]);
+            steps.push(SummaryStep {
+                start,
+                end: deposits.len() as u32,
+                sched: s.sched,
+            });
+        }
+    }
+}

@@ -25,7 +25,9 @@ impl ExprKey {
     /// is not a candidate (memory ops, nops, plain copies).
     pub fn of(inst: &tadfa_ir::Inst) -> Option<ExprKey> {
         match inst.op {
-            Opcode::Load | Opcode::Store | Opcode::Nop | Opcode::Mov => None,
+            // Calls are excluded too: they have side effects and two calls
+            // to the same callee are not interchangeable values.
+            Opcode::Load | Opcode::Store | Opcode::Nop | Opcode::Mov | Opcode::Call => None,
             op => {
                 let mut srcs = inst.srcs.clone();
                 if op.is_commutative() {

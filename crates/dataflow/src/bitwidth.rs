@@ -246,6 +246,7 @@ fn transfer_op(op: Opcode, imm: Option<i64>, srcs: &[Interval]) -> Interval {
         | Opcode::CmpGe => Interval::new(0, 1),
         Opcode::Select => srcs[1].join(srcs[2]),
         Opcode::Load => Interval::TOP,
+        Opcode::Call => Interval::TOP, // callee result unknown intraprocedurally
         Opcode::Store | Opcode::Nop => Interval::BOTTOM, // no value produced
     }
 }

@@ -254,6 +254,17 @@ impl FunctionBuilder {
         self.emit(Inst::nop());
     }
 
+    /// Emits `call @callee(args…)` and returns the result register.
+    ///
+    /// The callee is resolved by name when the enclosing
+    /// [`Module`](crate::Module) is verified, so functions can be built
+    /// in any order.
+    pub fn call(&mut self, callee: impl Into<String>, args: &[VReg]) -> VReg {
+        let dst = self.func.new_vreg();
+        self.emit(Inst::call(dst, callee, args.to_vec()));
+        dst
+    }
+
     /// Terminates the current block with an unconditional jump and clears
     /// the cursor.
     pub fn jump(&mut self, dest: BlockId) {

@@ -1,0 +1,301 @@
+//! Call graphs over [`Module`]s: adjacency, Tarjan SCC condensation, and
+//! the bottom-up analysis order used by interprocedural passes.
+//!
+//! Interprocedural thermal analysis computes a summary per function and
+//! applies it at call sites, so callees must be analyzed before their
+//! callers. [`CallGraph::bottom_up`] yields exactly that order (reverse
+//! topological over the SCC condensation). Recursion — any SCC with more
+//! than one function, or a self-call — has no bottom-up order; it is
+//! surfaced via [`CallGraph::recursive_sccs`] and rejected by the module
+//! verifier.
+
+use crate::inst::Opcode;
+use crate::module::Module;
+
+/// The static call graph of a [`Module`].
+///
+/// Nodes are module-order function indices; edges run from caller to
+/// callee, deduplicated, in first-call-site order (deterministic for a
+/// given module). Calls to names not present in the module produce no
+/// edge — the verifier reports those separately.
+///
+/// # Examples
+///
+/// ```
+/// use tadfa_ir::{parse_module, CallGraph};
+///
+/// let m = parse_module(
+///     "func @leaf(%0) {\nblock0:\n  %1 = add %0, %0\n  ret %1\n}\n\n\
+///      func @main(%0) {\nblock0:\n  %1 = call @leaf(%0)\n  ret %1\n}",
+/// )
+/// .unwrap();
+/// let cg = CallGraph::build(&m);
+/// assert!(!cg.has_recursion());
+/// let order: Vec<&str> = cg.bottom_up().map(|i| cg.name(i)).collect();
+/// assert_eq!(order, vec!["leaf", "main"]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CallGraph {
+    names: Vec<String>,
+    callees: Vec<Vec<usize>>,
+    /// SCCs in reverse topological order of the condensation: every SCC
+    /// appears after all SCCs it calls into.
+    sccs: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of `module`.
+    pub fn build(module: &Module) -> CallGraph {
+        let names: Vec<String> = module.names().map(str::to_string).collect();
+        let mut callees: Vec<Vec<usize>> = vec![Vec::new(); names.len()];
+        for (i, f) in module.functions().iter().enumerate() {
+            for bb in f.block_ids() {
+                for &id in f.block(bb).insts() {
+                    let inst = f.inst(id);
+                    if inst.op != Opcode::Call {
+                        continue;
+                    }
+                    let target = inst.callee_name().and_then(|name| module.index_of(name));
+                    if let Some(j) = target {
+                        if !callees[i].contains(&j) {
+                            callees[i].push(j);
+                        }
+                    }
+                }
+            }
+        }
+        let sccs = tarjan(&callees);
+        CallGraph {
+            names,
+            callees,
+            sccs,
+        }
+    }
+
+    /// Number of functions (nodes).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The name of function `i` (module-order index).
+    pub fn name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// The module-order index of the named function.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// The functions `i` calls, deduplicated, in first-call-site order.
+    pub fn callees(&self, i: usize) -> &[usize] {
+        &self.callees[i]
+    }
+
+    /// The strongly connected components, in reverse topological order of
+    /// the condensation: every SCC appears after every SCC it calls into,
+    /// so iterating in order visits callees before callers.
+    pub fn sccs(&self) -> &[Vec<usize>] {
+        &self.sccs
+    }
+
+    /// Whether the SCC at `scc_index` is recursive: more than one member,
+    /// or a single function that calls itself.
+    pub fn is_recursive_scc(&self, scc_index: usize) -> bool {
+        let scc = &self.sccs[scc_index];
+        scc.len() > 1 || self.callees[scc[0]].contains(&scc[0])
+    }
+
+    /// The recursive SCCs, each as the member function names in module
+    /// order (deterministic). Empty iff the call graph is acyclic.
+    pub fn recursive_sccs(&self) -> Vec<Vec<String>> {
+        let mut out = Vec::new();
+        for (k, scc) in self.sccs.iter().enumerate() {
+            if self.is_recursive_scc(k) {
+                let mut members: Vec<usize> = scc.clone();
+                members.sort_unstable();
+                out.push(members.iter().map(|&i| self.names[i].clone()).collect());
+            }
+        }
+        out
+    }
+
+    /// Whether any function is part of a recursive cycle (including
+    /// self-calls).
+    pub fn has_recursion(&self) -> bool {
+        (0..self.sccs.len()).any(|k| self.is_recursive_scc(k))
+    }
+
+    /// Function indices in bottom-up (reverse-topological) order: every
+    /// callee before every caller. Within a recursive SCC the members are
+    /// emitted in Tarjan pop order; callers needing a true bottom-up
+    /// order should reject recursion first via [`CallGraph::has_recursion`].
+    pub fn bottom_up(&self) -> impl Iterator<Item = usize> + '_ {
+        self.sccs.iter().flat_map(|scc| scc.iter().copied())
+    }
+}
+
+/// Iterative Tarjan SCC. Returns SCCs in pop order, which for a call
+/// graph is reverse topological: an SCC is completed only after every
+/// SCC reachable from it.
+fn tarjan(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    const UNSEEN: usize = usize::MAX;
+    let n = adj.len();
+    let mut index = vec![UNSEEN; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    // (node, next-edge cursor) frames for an explicit DFS.
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNSEEN {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut cursor)) = frames.last_mut() {
+            if let Some(&w) = adj[v].get(*cursor) {
+                *cursor += 1;
+                if index[w] == UNSEEN {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(scc);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+
+    fn leaf(name: &str) -> crate::Function {
+        let mut b = FunctionBuilder::new(name);
+        let x = b.param();
+        b.ret(Some(x));
+        b.finish()
+    }
+
+    fn caller(name: &str, callees: &[&str]) -> crate::Function {
+        let mut b = FunctionBuilder::new(name);
+        let mut v = b.param();
+        for c in callees {
+            v = b.call(*c, &[v]);
+        }
+        b.ret(Some(v));
+        b.finish()
+    }
+
+    #[test]
+    fn diamond_orders_callees_first() {
+        // main -> {a, b} -> leaf
+        let m = Module::from_functions([
+            caller("main", &["a", "b"]),
+            caller("a", &["leaf"]),
+            caller("b", &["leaf"]),
+            leaf("leaf"),
+        ])
+        .unwrap();
+        let cg = CallGraph::build(&m);
+        assert!(!cg.has_recursion());
+        assert_eq!(cg.callees(cg.index_of("main").unwrap()).len(), 2);
+        let order: Vec<&str> = cg.bottom_up().map(|i| cg.name(i)).collect();
+        let pos = |n: &str| order.iter().position(|x| *x == n).unwrap();
+        assert!(pos("leaf") < pos("a"), "{order:?}");
+        assert!(pos("leaf") < pos("b"), "{order:?}");
+        assert!(pos("a") < pos("main"), "{order:?}");
+        assert!(pos("b") < pos("main"), "{order:?}");
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn repeated_calls_deduplicate() {
+        let m = Module::from_functions([caller("m", &["f", "f", "f"]), leaf("f")]).unwrap();
+        let cg = CallGraph::build(&m);
+        assert_eq!(cg.callees(0), &[1]);
+    }
+
+    #[test]
+    fn self_recursion_detected() {
+        let m = Module::from_functions([caller("loopy", &["loopy"])]).unwrap();
+        let cg = CallGraph::build(&m);
+        assert!(cg.has_recursion());
+        assert_eq!(cg.recursive_sccs(), vec![vec!["loopy".to_string()]]);
+    }
+
+    #[test]
+    fn mutual_recursion_detected() {
+        let m = Module::from_functions([
+            caller("even", &["odd"]),
+            caller("odd", &["even"]),
+            leaf("base"),
+        ])
+        .unwrap();
+        let cg = CallGraph::build(&m);
+        assert!(cg.has_recursion());
+        let sccs = cg.recursive_sccs();
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0], vec!["even".to_string(), "odd".to_string()]);
+    }
+
+    #[test]
+    fn unknown_callee_produces_no_edge() {
+        let m = Module::from_functions([caller("m", &["ghost"])]).unwrap();
+        let cg = CallGraph::build(&m);
+        assert!(cg.callees(0).is_empty());
+        assert!(!cg.has_recursion());
+    }
+
+    #[test]
+    fn chain_is_fully_ordered() {
+        // a -> b -> c -> d, declared in calling order on purpose.
+        let m = Module::from_functions([
+            caller("a", &["b"]),
+            caller("b", &["c"]),
+            caller("c", &["d"]),
+            leaf("d"),
+        ])
+        .unwrap();
+        let cg = CallGraph::build(&m);
+        let order: Vec<&str> = cg.bottom_up().map(|i| cg.name(i)).collect();
+        assert_eq!(order, vec!["d", "c", "b", "a"]);
+    }
+}

@@ -64,10 +64,16 @@ pub enum Opcode {
     /// No operation. Consumes one cycle; used for thermal cool-down
     /// insertion (§4 of the paper).
     Nop,
+    /// `dst = call @callee(args…)` — direct call to a named function in
+    /// the enclosing [`Module`](crate::Module). Variable arity: the
+    /// sources are the argument registers in order, and the callee name
+    /// lives on [`Inst::callee`]. Calls are only meaningful inside a
+    /// module; the module verifier resolves the callee and checks arity.
+    Call,
 }
 
 /// All opcodes, in declaration order. Useful for exhaustive tests.
-pub const ALL_OPCODES: [Opcode; 24] = [
+pub const ALL_OPCODES: [Opcode; 25] = [
     Opcode::Const,
     Opcode::Mov,
     Opcode::Add,
@@ -92,6 +98,7 @@ pub const ALL_OPCODES: [Opcode; 24] = [
     Opcode::Load,
     Opcode::Store,
     Opcode::Nop,
+    Opcode::Call,
 ];
 
 impl Opcode {
@@ -122,6 +129,7 @@ impl Opcode {
             Opcode::Load => "load",
             Opcode::Store => "store",
             Opcode::Nop => "nop",
+            Opcode::Call => "call",
         }
     }
 
@@ -152,14 +160,17 @@ impl Opcode {
             "load" => Opcode::Load,
             "store" => Opcode::Store,
             "nop" => Opcode::Nop,
+            "call" => Opcode::Call,
             _ => return None,
         })
     }
 
-    /// Number of source registers the opcode requires.
+    /// Number of source registers the opcode requires. [`Opcode::Call`]
+    /// is variable-arity (see [`Opcode::has_variable_srcs`]); its entry
+    /// here is the minimum of zero arguments.
     pub fn num_srcs(self) -> usize {
         match self {
-            Opcode::Const | Opcode::Nop => 0,
+            Opcode::Const | Opcode::Nop | Opcode::Call => 0,
             Opcode::Mov | Opcode::Neg | Opcode::Not | Opcode::Load => 1,
             Opcode::Add
             | Opcode::Sub
@@ -180,6 +191,13 @@ impl Opcode {
             | Opcode::Store => 2,
             Opcode::Select => 3,
         }
+    }
+
+    /// Whether the opcode's source-register count is not fixed (call
+    /// arguments). Arity checks for these opcodes need the enclosing
+    /// module (the callee's parameter list), not just the opcode.
+    pub fn has_variable_srcs(self) -> bool {
+        matches!(self, Opcode::Call)
     }
 
     /// Whether the opcode writes a destination register.
@@ -212,9 +230,11 @@ impl Opcode {
     }
 
     /// Whether the opcode has an observable side effect beyond its
-    /// destination register (memory writes).
+    /// destination register (memory writes, transfers of control into a
+    /// callee). Side-effecting instructions are never dead-code
+    /// eliminated or reordered across each other.
     pub fn has_side_effect(self) -> bool {
-        matches!(self, Opcode::Store)
+        matches!(self, Opcode::Store | Opcode::Call)
     }
 
     /// Latency in cycles on the modelled in-order core.
@@ -270,6 +290,8 @@ pub struct Inst {
     pub imm: Option<i64>,
     /// Memory slot for `Load`/`Store`.
     pub slot: Option<MemSlot>,
+    /// Callee name for `Call`.
+    pub callee: Option<String>,
 }
 
 impl Inst {
@@ -281,6 +303,7 @@ impl Inst {
             srcs: Vec::new(),
             imm: Some(imm),
             slot: None,
+            callee: None,
         }
     }
 
@@ -292,6 +315,7 @@ impl Inst {
             srcs: vec![src],
             imm: None,
             slot: None,
+            callee: None,
         }
     }
 
@@ -310,6 +334,7 @@ impl Inst {
             srcs: vec![src],
             imm: None,
             slot: None,
+            callee: None,
         }
     }
 
@@ -327,6 +352,7 @@ impl Inst {
             srcs: vec![a, b],
             imm: None,
             slot: None,
+            callee: None,
         }
     }
 
@@ -338,6 +364,7 @@ impl Inst {
             srcs: vec![c, a, b],
             imm: None,
             slot: None,
+            callee: None,
         }
     }
 
@@ -349,6 +376,7 @@ impl Inst {
             srcs: vec![index],
             imm: None,
             slot: Some(slot),
+            callee: None,
         }
     }
 
@@ -360,6 +388,7 @@ impl Inst {
             srcs: vec![index, value],
             imm: None,
             slot: Some(slot),
+            callee: None,
         }
     }
 
@@ -371,7 +400,29 @@ impl Inst {
             srcs: Vec::new(),
             imm: None,
             slot: None,
+            callee: None,
         }
+    }
+
+    /// `dst = call @callee(args…)` — direct call to a named function.
+    ///
+    /// The callee is resolved by name against the enclosing
+    /// [`Module`](crate::Module); the module verifier checks that it
+    /// exists and that `args` matches its parameter count.
+    pub fn call(dst: VReg, callee: impl Into<String>, args: Vec<VReg>) -> Inst {
+        Inst {
+            op: Opcode::Call,
+            dst: Some(dst),
+            srcs: args,
+            imm: None,
+            slot: None,
+            callee: Some(callee.into()),
+        }
+    }
+
+    /// The callee name of a `Call` instruction, if this is one.
+    pub fn callee_name(&self) -> Option<&str> {
+        self.callee.as_deref()
     }
 
     /// The register defined by this instruction, if any.
@@ -489,35 +540,23 @@ mod tests {
 
     #[test]
     fn mnemonic_roundtrip() {
-        for op in [
-            Opcode::Const,
-            Opcode::Mov,
-            Opcode::Add,
-            Opcode::Sub,
-            Opcode::Mul,
-            Opcode::Div,
-            Opcode::Rem,
-            Opcode::And,
-            Opcode::Or,
-            Opcode::Xor,
-            Opcode::Shl,
-            Opcode::Shr,
-            Opcode::Neg,
-            Opcode::Not,
-            Opcode::CmpEq,
-            Opcode::CmpNe,
-            Opcode::CmpLt,
-            Opcode::CmpLe,
-            Opcode::CmpGt,
-            Opcode::CmpGe,
-            Opcode::Select,
-            Opcode::Load,
-            Opcode::Store,
-            Opcode::Nop,
-        ] {
+        for op in crate::ALL_OPCODES {
             assert_eq!(Opcode::from_mnemonic(op.mnemonic()), Some(op), "{op}");
         }
         assert_eq!(Opcode::from_mnemonic("bogus"), None);
+    }
+
+    #[test]
+    fn call_shape() {
+        let c = Inst::call(VReg::new(4), "helper", vec![VReg::new(0), VReg::new(1)]);
+        assert_eq!(c.def(), Some(VReg::new(4)));
+        assert_eq!(c.uses().len(), 2);
+        assert_eq!(c.callee_name(), Some("helper"));
+        assert_eq!(c.rf_accesses(), 3, "arg reads plus result write");
+        assert!(Opcode::Call.has_variable_srcs());
+        assert!(Opcode::Call.has_side_effect());
+        assert!(Opcode::Call.has_dst());
+        assert_eq!(Opcode::Call.latency(), 1);
     }
 
     #[test]

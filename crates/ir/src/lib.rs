@@ -53,22 +53,26 @@
 #![warn(missing_debug_implementations)]
 
 mod builder;
+mod callgraph;
 mod cfg;
 mod dom;
 mod entities;
 mod function;
 mod inst;
 mod loops;
+mod module;
 mod parser;
 mod printer;
 mod verifier;
 
 pub use builder::FunctionBuilder;
+pub use callgraph::CallGraph;
 pub use cfg::Cfg;
 pub use dom::DomTree;
 pub use entities::{BlockId, InstId, MemSlot, PReg, VReg};
 pub use function::{Block, Function, SlotInfo};
 pub use inst::{Inst, Opcode, Terminator, ALL_OPCODES};
 pub use loops::{LoopInfo, NaturalLoop};
-pub use parser::{parse_function, ParseError};
-pub use verifier::{Verifier, VerifyError};
+pub use module::{DuplicateFunction, Module};
+pub use parser::{parse_function, parse_module, ParseError};
+pub use verifier::{verify_module, verify_module_all, Verifier, VerifyError};

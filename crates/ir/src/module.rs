@@ -1,0 +1,191 @@
+//! Modules: named collections of functions.
+//!
+//! A [`Module`] is the unit of *inter*procedural analysis: call
+//! instructions ([`Opcode::Call`](crate::Opcode::Call)) resolve their
+//! callee by name against the enclosing module, the
+//! [`CallGraph`](crate::CallGraph) is built from a module, and the
+//! module verifier ([`Verifier::verify_module`](crate::Verifier)) checks
+//! the properties no single function can see: callee existence, call
+//! arity, and freedom from recursion.
+
+use crate::function::Function;
+use std::fmt;
+
+/// An ordered collection of uniquely named [`Function`]s.
+///
+/// Function order is preserved (it is the program order of the source
+/// text) and is part of the module's identity: analyses report results
+/// in module order.
+///
+/// # Examples
+///
+/// ```
+/// use tadfa_ir::{FunctionBuilder, Module};
+///
+/// let mut leaf = FunctionBuilder::new("leaf");
+/// let x = leaf.param();
+/// leaf.ret(Some(x));
+///
+/// let mut main = FunctionBuilder::new("main");
+/// let a = main.param();
+/// let r = main.call("leaf", &[a]);
+/// main.ret(Some(r));
+///
+/// let mut m = Module::new();
+/// m.push(leaf.finish()).unwrap();
+/// m.push(main.finish()).unwrap();
+/// assert_eq!(m.len(), 2);
+/// assert_eq!(m.function("main").unwrap().name(), "main");
+/// ```
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Module {
+    funcs: Vec<Function>,
+}
+
+/// Error returned by [`Module::push`] when a function's name is already
+/// taken.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DuplicateFunction(
+    /// The name that was already present.
+    pub String,
+);
+
+impl fmt::Display for DuplicateFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "duplicate function '@{}'", self.0)
+    }
+}
+
+impl std::error::Error for DuplicateFunction {}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new() -> Module {
+        Module::default()
+    }
+
+    /// Builds a module from functions in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DuplicateFunction`] if two functions share a name.
+    pub fn from_functions(
+        funcs: impl IntoIterator<Item = Function>,
+    ) -> Result<Module, DuplicateFunction> {
+        let mut m = Module::new();
+        for f in funcs {
+            m.push(f)?;
+        }
+        Ok(m)
+    }
+
+    /// Appends a function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DuplicateFunction`] (leaving the module unchanged) if a
+    /// function with the same name is already present.
+    pub fn push(&mut self, f: Function) -> Result<(), DuplicateFunction> {
+        if self.function(f.name()).is_some() {
+            return Err(DuplicateFunction(f.name().to_string()));
+        }
+        self.funcs.push(f);
+        Ok(())
+    }
+
+    /// The functions, in module order.
+    pub fn functions(&self) -> &[Function] {
+        &self.funcs
+    }
+
+    /// Looks a function up by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.funcs.iter().find(|f| f.name() == name)
+    }
+
+    /// The module-order index of the named function.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.funcs.iter().position(|f| f.name() == name)
+    }
+
+    /// Number of functions.
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Whether the module has no functions.
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+
+    /// Function names in module order.
+    pub fn names(&self) -> impl Iterator<Item = &str> + '_ {
+        self.funcs.iter().map(Function::name)
+    }
+}
+
+impl fmt::Display for Module {
+    /// Prints the module in the canonical text format accepted by
+    /// [`crate::parse_module`]: the functions in order, separated by
+    /// blank lines.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, func) in self.funcs.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{func}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::parser::parse_module;
+
+    fn named(name: &str) -> Function {
+        let mut b = FunctionBuilder::new(name);
+        let x = b.param();
+        b.ret(Some(x));
+        b.finish()
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let mut m = Module::new();
+        assert!(m.is_empty());
+        m.push(named("a")).unwrap();
+        m.push(named("b")).unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.index_of("b"), Some(1));
+        assert_eq!(m.index_of("c"), None);
+        assert!(m.function("a").is_some());
+        assert_eq!(m.names().collect::<Vec<_>>(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut m = Module::new();
+        m.push(named("a")).unwrap();
+        let e = m.push(named("a")).unwrap_err();
+        assert_eq!(e, DuplicateFunction("a".to_string()));
+        assert!(e.to_string().contains("@a"));
+        assert_eq!(m.len(), 1, "module unchanged");
+        assert!(Module::from_functions([named("x"), named("x")]).is_err());
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse_module() {
+        let mut caller = FunctionBuilder::new("caller");
+        let x = caller.param();
+        let r = caller.call("a", &[x]);
+        caller.ret(Some(r));
+        let m = Module::from_functions([named("a"), caller.finish()]).unwrap();
+        let text = m.to_string();
+        let m2 = parse_module(&text).unwrap();
+        assert_eq!(m2.to_string(), text);
+        assert_eq!(m2.len(), 2);
+    }
+}

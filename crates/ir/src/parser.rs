@@ -179,6 +179,85 @@ pub fn parse_function(src: &str) -> Result<Function, ParseError> {
     Ok(func)
 }
 
+/// Parses a whole module: any number of `func @name(...) { ... }`
+/// definitions separated by blank lines or comments.
+///
+/// Function order in the text is preserved. Reported error lines are
+/// relative to the whole module source.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for malformed functions (as
+/// [`parse_function`] would), for text outside any function body, and
+/// for duplicate function names.
+///
+/// # Examples
+///
+/// ```
+/// let src = "\
+/// func @leaf(%0) {
+/// block0:
+///   ret %0
+/// }
+///
+/// func @main(%0) {
+/// block0:
+///   %1 = call @leaf(%0)
+///   ret %1
+/// }
+/// ";
+/// let m = tadfa_ir::parse_module(src)?;
+/// assert_eq!(m.len(), 2);
+/// assert!(m.function("leaf").is_some());
+/// # Ok::<(), tadfa_ir::ParseError>(())
+/// ```
+pub fn parse_module(src: &str) -> Result<crate::Module, ParseError> {
+    let mut module = crate::Module::new();
+    // Split the source into chunks, one per top-level `func` header,
+    // tracking each chunk's starting line so errors keep module-relative
+    // line numbers.
+    let mut chunk_start: Option<usize> = None; // 0-based line index
+    let mut depth_closed = true;
+    let lines: Vec<&str> = src.lines().collect();
+    let mut chunks: Vec<(usize, usize)> = Vec::new(); // (start, end) 0-based, end exclusive
+    for (i, raw) in lines.iter().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with("func ") || line.starts_with("func@") {
+            if !depth_closed {
+                return err(i + 1, "function header before previous '}'");
+            }
+            chunk_start = Some(i);
+            depth_closed = false;
+        } else if chunk_start.is_none() {
+            return err(i + 1, format!("text outside any function: '{line}'"));
+        } else if line == "}" {
+            if depth_closed {
+                return err(i + 1, "unmatched '}'");
+            }
+            chunks.push((chunk_start.expect("inside a function"), i + 1));
+            depth_closed = true;
+        }
+    }
+    if !depth_closed {
+        return err(lines.len(), "missing closing '}'");
+    }
+    for (start, end) in chunks {
+        let chunk = lines[start..end].join("\n");
+        let f = parse_function(&chunk).map_err(|e| ParseError {
+            line: e.line + start,
+            message: e.message,
+        })?;
+        let name = f.name().to_string();
+        if module.push(f).is_err() {
+            return err(start + 1, format!("duplicate function '@{name}'"));
+        }
+    }
+    Ok(module)
+}
+
 fn strip_comment(line: &str) -> &str {
     match line.find('#') {
         Some(i) => &line[..i],
@@ -336,6 +415,39 @@ fn parse_line(
         let (slot, index) = parse_mem_ref(ln, rest.trim(), slots)?;
         return Ok(Parsed::Inst(Inst::load(dst, slot, index)));
     }
+    // Call: `%d = call @name(%a, %b)`
+    if let Some(rest) = rhs.strip_prefix("call ") {
+        let rest = rest.trim();
+        let rest = match rest.strip_prefix('@') {
+            Some(r) => r,
+            None => return err(ln, format!("call expects '@callee(...)', got '{rest}'")),
+        };
+        let open = match rest.find('(') {
+            Some(i) => i,
+            None => return err(ln, "expected '(' after callee name"),
+        };
+        let close = match rest.rfind(')') {
+            Some(i) if i >= open => i,
+            _ => return err(ln, "expected closing ')' in call"),
+        };
+        let callee = rest[..open].trim();
+        if callee.is_empty() {
+            return err(ln, "empty callee name");
+        }
+        if !rest[close + 1..].trim().is_empty() {
+            return err(ln, "unexpected text after call argument list");
+        }
+        let args_src = rest[open + 1..close].trim();
+        let args: Vec<VReg> = if args_src.is_empty() {
+            Vec::new()
+        } else {
+            args_src
+                .split(',')
+                .map(|a| parse_vreg(ln, a.trim()))
+                .collect::<Result<_, _>>()?
+        };
+        return Ok(Parsed::Inst(Inst::call(dst, callee, args)));
+    }
     let (mnemonic, args) = match rhs.find(' ') {
         Some(i) => (&rhs[..i], rhs[i + 1..].trim()),
         None => (rhs, ""),
@@ -344,6 +456,9 @@ fn parse_line(
         Some(op) => op,
         None => return err(ln, format!("unknown opcode '{mnemonic}'")),
     };
+    if op.has_variable_srcs() {
+        return err(ln, format!("{op} expects '{op} @callee(...)' syntax"));
+    }
     let srcs: Vec<VReg> = if args.is_empty() {
         Vec::new()
     } else {
@@ -366,6 +481,7 @@ fn parse_line(
         srcs,
         imm: None,
         slot: None,
+        callee: None,
     }))
 }
 

@@ -72,6 +72,21 @@ impl fmt::Display for DisplayInst<'_> {
                 )
             }
             Opcode::Nop => write!(f, "nop"),
+            Opcode::Call => {
+                write!(
+                    f,
+                    "{} = call @{}(",
+                    i.dst.unwrap(),
+                    i.callee.as_deref().unwrap_or("?")
+                )?;
+                for (k, s) in i.srcs.iter().enumerate() {
+                    if k > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                write!(f, ")")
+            }
             _ => {
                 write!(f, "{} = {}", i.dst.unwrap(), i.op.mnemonic())?;
                 for (k, s) in i.srcs.iter().enumerate() {
@@ -141,6 +156,20 @@ mod tests {
         assert!(text.contains("br %3, block1, block2"), "{text}");
         assert!(text.contains("jump block2"), "{text}");
         assert!(text.contains("ret %2"), "{text}");
+    }
+
+    #[test]
+    fn prints_calls() {
+        let mut b = FunctionBuilder::new("caller");
+        let x = b.param();
+        let y = b.param();
+        let r = b.call("helper", &[x, y]);
+        let none = b.call("thunk", &[]);
+        let s = b.add(r, none);
+        b.ret(Some(s));
+        let text = b.finish().to_string();
+        assert!(text.contains("= call @helper(%0, %1)"), "{text}");
+        assert!(text.contains("= call @thunk()"), "{text}");
     }
 
     #[test]

@@ -1,8 +1,11 @@
 //! Structural and dataflow validity checks for functions.
 
+use crate::callgraph::CallGraph;
 use crate::cfg::Cfg;
 use crate::entities::{BlockId, InstId, VReg};
 use crate::function::Function;
+use crate::inst::Opcode;
+use crate::module::Module;
 use std::error::Error;
 use std::fmt;
 
@@ -31,6 +34,20 @@ pub enum VerifyError {
     BadSlot(InstId),
     /// A register may be read before any definition reaches it.
     UseBeforeDef { block: BlockId, reg: VReg },
+    /// A call is missing its callee name, or a non-call carries one.
+    BadCallee(InstId),
+    /// A call references a function not present in the module.
+    UnknownCallee { function: String, callee: String },
+    /// A call passes the wrong number of arguments for its callee.
+    CallArityMismatch {
+        function: String,
+        callee: String,
+        expected: usize,
+        actual: usize,
+    },
+    /// The module's call graph contains a cycle (direct or mutual
+    /// recursion); members are listed in module order.
+    RecursiveCall { cycle: Vec<String> },
     /// The function has no blocks at all.
     Empty,
 }
@@ -63,6 +80,33 @@ impl fmt::Display for VerifyError {
             VerifyError::BadSlot(i) => write!(f, "{i} has a missing or invalid memory slot"),
             VerifyError::UseBeforeDef { block, reg } => {
                 write!(f, "{reg} may be used before definition in {block}")
+            }
+            VerifyError::BadCallee(i) => {
+                write!(f, "{i} has a missing or spurious callee name")
+            }
+            VerifyError::UnknownCallee { function, callee } => {
+                write!(f, "@{function} calls unknown function @{callee}")
+            }
+            VerifyError::CallArityMismatch {
+                function,
+                callee,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "@{function} calls @{callee} with {actual} arguments, expected {expected}"
+                )
+            }
+            VerifyError::RecursiveCall { cycle } => {
+                write!(f, "recursive call cycle: ")?;
+                for (k, name) in cycle.iter().enumerate() {
+                    if k > 0 {
+                        write!(f, " -> ")?;
+                    }
+                    write!(f, "@{name}")?;
+                }
+                Ok(())
             }
             VerifyError::Empty => write!(f, "function has no blocks"),
         }
@@ -150,13 +194,21 @@ impl<'f> Verifier<'f> {
             }
             for &id in f.block(bb).insts() {
                 let inst = f.inst(id);
-                let expected = inst.op.num_srcs();
-                if inst.srcs.len() != expected {
-                    errors.push(VerifyError::BadOperandCount {
-                        inst: id,
-                        expected,
-                        actual: inst.srcs.len(),
-                    });
+                // Variable-arity ops (calls) have no fixed operand count;
+                // argument counts are checked against the callee signature
+                // by `verify_module`.
+                if !inst.op.has_variable_srcs() {
+                    let expected = inst.op.num_srcs();
+                    if inst.srcs.len() != expected {
+                        errors.push(VerifyError::BadOperandCount {
+                            inst: id,
+                            expected,
+                            actual: inst.srcs.len(),
+                        });
+                    }
+                }
+                if (inst.op == Opcode::Call) != inst.callee.is_some() {
+                    errors.push(VerifyError::BadCallee(id));
                 }
                 if inst.op.has_dst() != inst.dst.is_some() {
                     errors.push(VerifyError::BadDestination {
@@ -293,6 +345,87 @@ impl<'f> Verifier<'f> {
     }
 }
 
+/// Verifies a [`Module`]: every function individually, then the
+/// interprocedural invariants no single function can check.
+///
+/// Module-level checks:
+///
+/// * every `call` targets a function present in the module;
+/// * every `call` passes exactly as many arguments as the callee has
+///   parameters;
+/// * the call graph is acyclic — recursion (direct or mutual) is
+///   rejected, because interprocedural thermal summaries are computed
+///   bottom-up and a cycle has no bottom-up order.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] discovered; use
+/// [`verify_module_all`] for the full list.
+///
+/// # Examples
+///
+/// ```
+/// use tadfa_ir::{parse_module, verify_module};
+/// let m = parse_module(
+///     "func @leaf(%0) {\nblock0:\n  ret %0\n}\n\n\
+///      func @main(%0) {\nblock0:\n  %1 = call @leaf(%0)\n  ret %1\n}",
+/// )
+/// .unwrap();
+/// assert!(verify_module(&m).is_ok());
+/// ```
+pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
+    match verify_module_all(module) {
+        errors if errors.is_empty() => Ok(()),
+        mut errors => Err(errors.remove(0)),
+    }
+}
+
+/// Runs every module-level check (see [`verify_module`]) and returns all
+/// failures.
+pub fn verify_module_all(module: &Module) -> Vec<VerifyError> {
+    let mut errors = Vec::new();
+    for f in module.functions() {
+        errors.extend(Verifier::new(f).run_all());
+    }
+    for f in module.functions() {
+        for bb in f.block_ids() {
+            for &id in f.block(bb).insts() {
+                let inst = f.inst(id);
+                if inst.op != Opcode::Call {
+                    continue;
+                }
+                // A call without a callee name was already reported as
+                // BadCallee by the per-function pass.
+                let Some(callee) = inst.callee_name() else {
+                    continue;
+                };
+                match module.function(callee) {
+                    None => errors.push(VerifyError::UnknownCallee {
+                        function: f.name().to_string(),
+                        callee: callee.to_string(),
+                    }),
+                    Some(target) => {
+                        let expected = target.params().len();
+                        if inst.srcs.len() != expected {
+                            errors.push(VerifyError::CallArityMismatch {
+                                function: f.name().to_string(),
+                                callee: callee.to_string(),
+                                expected,
+                                actual: inst.srcs.len(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let cg = CallGraph::build(module);
+    for cycle in cg.recursive_sccs() {
+        errors.push(VerifyError::RecursiveCall { cycle });
+    }
+    errors
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,6 +469,7 @@ mod tests {
                 srcs: vec![v],
                 imm: None,
                 slot: None,
+                callee: None,
             },
         );
         f.set_terminator(b0, Terminator::Ret(None));
@@ -364,6 +498,7 @@ mod tests {
                 srcs: vec![],
                 imm: None,
                 slot: None,
+                callee: None,
             },
         );
         f.set_terminator(b0, Terminator::Ret(None));
@@ -388,6 +523,7 @@ mod tests {
                 srcs: vec![v, v],
                 imm: None,
                 slot: Some(s),
+                callee: None,
             },
         );
         f.set_terminator(b0, Terminator::Ret(None));
@@ -415,6 +551,7 @@ mod tests {
                 srcs: vec![v],
                 imm: None,
                 slot: None,
+                callee: None,
             },
         );
         f.set_terminator(b0, Terminator::Ret(None));
@@ -480,6 +617,147 @@ mod tests {
         b.ret(Some(x));
         let f = b.finish();
         assert!(Verifier::new(&f).run().is_ok());
+    }
+
+    fn ret_param(name: &str) -> Function {
+        let mut b = FunctionBuilder::new(name);
+        let x = b.param();
+        b.ret(Some(x));
+        b.finish()
+    }
+
+    fn call_one(name: &str, callee: &str, nargs: usize) -> Function {
+        let mut b = FunctionBuilder::new(name);
+        let x = b.param();
+        let r = b.call(callee, &vec![x; nargs]);
+        b.ret(Some(r));
+        b.finish()
+    }
+
+    #[test]
+    fn calls_pass_function_level_checks() {
+        let f = call_one("c", "helper", 3);
+        assert!(Verifier::new(&f).run().is_ok());
+    }
+
+    #[test]
+    fn call_without_callee_name_reported() {
+        let mut f = Function::new("bad");
+        let b0 = f.add_block();
+        f.set_entry(b0);
+        let v = f.new_vreg();
+        f.push_inst(
+            b0,
+            Inst {
+                op: Opcode::Call,
+                dst: Some(v),
+                srcs: vec![],
+                imm: None,
+                slot: None,
+                callee: None,
+            },
+        );
+        f.set_terminator(b0, Terminator::Ret(None));
+        let errors = Verifier::new(&f).run_all();
+        assert!(
+            errors
+                .iter()
+                .any(|e| matches!(e, VerifyError::BadCallee(_))),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn non_call_with_callee_name_reported() {
+        let mut f = Function::new("bad");
+        let b0 = f.add_block();
+        f.set_entry(b0);
+        let v = f.new_vreg();
+        f.push_inst(
+            b0,
+            Inst {
+                op: Opcode::Const,
+                dst: Some(v),
+                srcs: vec![],
+                imm: Some(1),
+                slot: None,
+                callee: Some("ghost".to_string()),
+            },
+        );
+        f.set_terminator(b0, Terminator::Ret(None));
+        let errors = Verifier::new(&f).run_all();
+        assert!(
+            errors
+                .iter()
+                .any(|e| matches!(e, VerifyError::BadCallee(_))),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn module_with_resolved_calls_verifies() {
+        let m = crate::Module::from_functions([ret_param("leaf"), call_one("main", "leaf", 1)])
+            .unwrap();
+        assert!(verify_module(&m).is_ok());
+        assert!(verify_module_all(&m).is_empty());
+    }
+
+    #[test]
+    fn unknown_callee_rejected() {
+        let m = crate::Module::from_functions([call_one("main", "ghost", 1)]).unwrap();
+        let e = verify_module(&m).unwrap_err();
+        assert_eq!(
+            e,
+            VerifyError::UnknownCallee {
+                function: "main".to_string(),
+                callee: "ghost".to_string(),
+            }
+        );
+        assert!(e.to_string().contains("@ghost"), "{e}");
+    }
+
+    #[test]
+    fn call_arity_mismatch_rejected() {
+        let m = crate::Module::from_functions([ret_param("leaf"), call_one("main", "leaf", 2)])
+            .unwrap();
+        let e = verify_module(&m).unwrap_err();
+        assert_eq!(
+            e,
+            VerifyError::CallArityMismatch {
+                function: "main".to_string(),
+                callee: "leaf".to_string(),
+                expected: 1,
+                actual: 2,
+            }
+        );
+        assert!(e.to_string().contains("expected 1"), "{e}");
+    }
+
+    #[test]
+    fn self_recursion_rejected() {
+        let m = crate::Module::from_functions([call_one("loopy", "loopy", 1)]).unwrap();
+        let e = verify_module(&m).unwrap_err();
+        assert_eq!(
+            e,
+            VerifyError::RecursiveCall {
+                cycle: vec!["loopy".to_string()],
+            }
+        );
+        assert!(e.to_string().contains("@loopy"), "{e}");
+    }
+
+    #[test]
+    fn mutual_recursion_rejected() {
+        let m =
+            crate::Module::from_functions([call_one("even", "odd", 1), call_one("odd", "even", 1)])
+                .unwrap();
+        let e = verify_module(&m).unwrap_err();
+        assert_eq!(
+            e,
+            VerifyError::RecursiveCall {
+                cycle: vec!["even".to_string(), "odd".to_string()],
+            }
+        );
     }
 
     #[test]

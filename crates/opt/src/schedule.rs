@@ -10,7 +10,8 @@ use tadfa_ir::{BlockId, Function, InstId, Opcode};
 
 /// Dependence edges between the instructions of one block (by local
 /// position): RAW, WAR, WAW, and a conservative memory order (two memory
-/// operations are ordered if at least one of them is a store).
+/// operations — loads, stores, or calls — are ordered if at least one of
+/// them has a side effect).
 fn build_deps(func: &Function, insts: &[InstId]) -> Vec<Vec<usize>> {
     let n = insts.len();
     let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -21,9 +22,9 @@ fn build_deps(func: &Function, insts: &[InstId]) -> Vec<Vec<usize>> {
             let raw = ii.def().is_some_and(|d| ij.uses().contains(&d));
             let war = ij.def().is_some_and(|d| ii.uses().contains(&d));
             let waw = ii.def().is_some() && ii.def() == ij.def();
-            let mem = (ii.op == Opcode::Load || ii.op == Opcode::Store)
-                && (ij.op == Opcode::Load || ij.op == Opcode::Store)
-                && (ii.op == Opcode::Store || ij.op == Opcode::Store);
+            let mem_i = matches!(ii.op, Opcode::Load | Opcode::Store | Opcode::Call);
+            let mem_j = matches!(ij.op, Opcode::Load | Opcode::Store | Opcode::Call);
+            let mem = mem_i && mem_j && (ii.op.has_side_effect() || ij.op.has_side_effect());
             if raw || war || waw || mem {
                 preds[j].push(i);
             }

@@ -30,7 +30,7 @@ use crate::task::{task_metrics, Task, TaskMetrics};
 use std::sync::Arc;
 use tadfa_core::engine::Engine;
 use tadfa_core::{CacheStats, Session, SessionCore, TadfaError, ThermalDfaConfig, ThermalReport};
-use tadfa_ir::Function;
+use tadfa_ir::{Function, Module};
 use tadfa_thermal::hashing::Fnv128;
 use tadfa_thermal::{CompiledModel, SteadyStateOptions, StepScratch, ThermalState};
 
@@ -56,6 +56,13 @@ pub struct ScenarioConfig {
     /// Engine worker threads for the analysis phase. Has no effect on
     /// any reported value — only on wall-clock time.
     pub workers: usize,
+    /// When set, the tasks are the functions of this module (one task
+    /// per function, in module order) and the analysis phase runs
+    /// interprocedurally through
+    /// [`Engine::analyze_module_opts`](tadfa_core::engine::Engine::analyze_module_opts),
+    /// so tasks may `call` each other and callee bodies are summarised
+    /// once, bottom-up. `None` keeps the per-function batch path.
+    pub module: Option<Module>,
 }
 
 impl ScenarioConfig {
@@ -75,6 +82,7 @@ impl ScenarioConfig {
             assignment_seed: 0,
             dfa: ThermalDfaConfig::default(),
             workers: 4,
+            module: None,
         }
     }
 }
@@ -236,6 +244,18 @@ impl PreparedScenario {
         // spec at load time, not on the first request.
         mapping_policy_by_name(&cfg.mapping)
             .ok_or_else(|| TadfaError::UnknownPolicy(cfg.mapping.clone()))?;
+        if let Some(module) = &cfg.module {
+            // Unknown callees, arity mismatches and recursion are spec
+            // bugs; surface them at load time, not on the first request.
+            tadfa_ir::verify_module(module)?;
+            if module.len() != cfg.tasks.len() {
+                return Err(TadfaError::InvalidConfig {
+                    param: "module",
+                    value: module.len() as f64,
+                    reason: "a module scenario needs one task per module function, in order",
+                });
+            }
+        }
         for t in &cfg.tasks {
             if !t.arrival.is_finite() || t.arrival < 0.0 {
                 return Err(TadfaError::InvalidConfig {
@@ -312,11 +332,23 @@ impl PreparedScenario {
     pub fn run_with(&self, over: &RunOverrides) -> Result<ScenarioResult, TadfaError> {
         let cfg = &self.cfg;
 
-        // Phase 1: analyze every task on the single-core pipeline.
-        let mut reports = Vec::with_capacity(self.funcs.len());
-        for r in self.engine.analyze_batch_parallel_opts(&self.funcs, over) {
-            reports.push(r?);
-        }
+        // Phase 1: analyze every task on the single-core pipeline. A
+        // module scenario goes through the interprocedural entry point
+        // (summaries bottom-up, then per-function fixpoints); reports
+        // come back in module order, which is also task order.
+        let reports: Vec<ThermalReport> = match &cfg.module {
+            Some(module) => self
+                .engine
+                .analyze_module_opts(module, over)?
+                .into_reports(),
+            None => {
+                let mut reports = Vec::with_capacity(self.funcs.len());
+                for r in self.engine.analyze_batch_parallel_opts(&self.funcs, over) {
+                    reports.push(r?);
+                }
+                reports
+            }
+        };
         let rf = self.core.register_file();
         let pm = self.core.power_model();
         let metrics: Vec<TaskMetrics> = reports
@@ -588,6 +620,74 @@ mod tests {
         ));
         // The prepared state survives an abandoned run intact.
         assert!(prepared.run().is_ok());
+    }
+
+    #[test]
+    fn module_scenarios_run_interprocedurally_and_reproduce() {
+        let module = tadfa_ir::parse_module(
+            "func @hot(%0) {\nblock0:\n  %1 = mul %0, %0\n  %2 = mul %1, %1\n  \
+             %3 = mul %2, %2\n  ret %3\n}\n\n\
+             func @a(%0) {\nblock0:\n  %1 = call @hot(%0)\n  ret %1\n}\n\n\
+             func @b(%0) {\nblock0:\n  %1 = call @hot(%0)\n  %2 = add %1, %0\n  ret %2\n}\n",
+        )
+        .unwrap();
+        let die = MultiCoreFloorplan::new(2, 4, 4, RcParams::default(), Some(40.0)).unwrap();
+        let tasks: Vec<Task> = module
+            .functions()
+            .iter()
+            .enumerate()
+            .map(|(k, f)| Task {
+                name: f.name().to_string(),
+                func: f.clone(),
+                arrival: k as f64 * 5e-4,
+                length: 1e-3,
+            })
+            .collect();
+        let mut cfg = ScenarioConfig::new("module", die, tasks, "coolest-core");
+        cfg.module = Some(module);
+        let base = run_scenario(&cfg).unwrap();
+        assert_eq!(base.tasks.len(), 3);
+        assert_eq!(base.tasks[0].name, "hot");
+        // Callers replay the callee's steps, so they run hotter than
+        // the callee alone.
+        assert!(base.tasks[1].peak_temperature > RcParams::default().ambient);
+        for workers in [1, 3] {
+            let mut cfg = cfg.clone();
+            cfg.workers = workers;
+            assert_eq!(
+                run_scenario(&cfg).unwrap().fingerprint(),
+                base.fingerprint(),
+                "workers={workers}"
+            );
+        }
+
+        // A mismatched task list is rejected at prepare time, and so is
+        // a recursive module.
+        let mut short = cfg.clone();
+        short.tasks.pop();
+        assert!(matches!(
+            PreparedScenario::prepare(short),
+            Err(TadfaError::InvalidConfig {
+                param: "module",
+                ..
+            })
+        ));
+        let rec = tadfa_ir::parse_module(
+            "func @loop(%0) {\nblock0:\n  %1 = call @loop(%0)\n  ret %1\n}\n",
+        )
+        .unwrap();
+        let mut bad = cfg.clone();
+        bad.tasks = vec![Task {
+            name: "loop".to_string(),
+            func: rec.functions()[0].clone(),
+            arrival: 0.0,
+            length: 1e-3,
+        }];
+        bad.module = Some(rec);
+        assert!(matches!(
+            PreparedScenario::prepare(bad),
+            Err(TadfaError::Verify(_))
+        ));
     }
 
     #[test]

@@ -20,13 +20,15 @@
 //! coupling_resistance = 40.0   # K/W; omit for uncoupled cores
 //!
 //! [tasks]
-//! source = "generated"         # generated | suite | files
+//! source = "generated"         # generated | suite | files | module
 //! count = 12
 //! seed = 42
 //! pressure = 8                 # generated only
 //! arrival_period = 0.0005      # seconds between arrivals
 //! length = 0.001               # seconds each task occupies its core
 //! # files = ["tasks/kernel.tir"]   # files only; relative to the spec
+//! # module = "tasks/prog.tir"      # module only; one task per function,
+//! #                                # analyzed interprocedurally
 //!
 //! [schedule]
 //! mapping = "thermal-balanced" # round-robin | coolest-core |
@@ -483,11 +485,18 @@ fn build_config(
         "arrival_period",
         "length",
         "files",
+        "module",
     ])?;
     let source = tasks_sec.str("source", "")?;
+    if source != "module" && tasks_sec.get("module").is_some() {
+        return Err(SpecError::new(
+            "[tasks] 'module' is only meaningful with source = \"module\"",
+        ));
+    }
     let arrival_period = tasks_sec.num("arrival_period", 5e-4)?;
     let length = tasks_sec.num("length", 1e-3)?;
     let count = tasks_sec.usize("count", 8)?;
+    let mut module = None;
     let tasks: Vec<Task> = match source.as_str() {
         "generated" => generated_tasks(
             count,
@@ -521,14 +530,43 @@ fn build_config(
             }
             tasks
         }
+        "module" => {
+            let file = tasks_sec.str("module", "")?;
+            if file.is_empty() {
+                return Err(SpecError::new(
+                    "[tasks] source = \"module\" needs a 'module' file path",
+                ));
+            }
+            let path = base.join(&file);
+            let src = std::fs::read_to_string(&path).map_err(|e| {
+                SpecError::new(format!("cannot read module file {}: {e}", path.display()))
+            })?;
+            let parsed = tadfa_ir::parse_module(&src)
+                .map_err(|e| SpecError::new(format!("module file {}: {e}", path.display())))?;
+            // One task per function, in module order — the same order
+            // the interprocedural analysis reports come back in.
+            let tasks = parsed
+                .functions()
+                .iter()
+                .enumerate()
+                .map(|(k, func)| Task {
+                    name: func.name().to_string(),
+                    func: func.clone(),
+                    arrival: k as f64 * arrival_period,
+                    length,
+                })
+                .collect();
+            module = Some(parsed);
+            tasks
+        }
         "" => {
             return Err(SpecError::new(
-                "[tasks] source is required (generated | suite | files)",
+                "[tasks] source is required (generated | suite | files | module)",
             ))
         }
         other => {
             return Err(SpecError::new(format!(
-                "[tasks] unknown source '{other}' (generated | suite | files)"
+                "[tasks] unknown source '{other}' (generated | suite | files | module)"
             )))
         }
     };
@@ -572,6 +610,7 @@ fn build_config(
         assignment_seed,
         dfa,
         workers,
+        module,
     })
 }
 
@@ -739,6 +778,34 @@ mod tests {
         std::fs::create_dir_all(&empty).unwrap();
         assert!(load_spec_dir(&empty).unwrap_err().message.contains("no "));
         assert!(load_spec_dir(&dir.join("missing")).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn module_tasks_load_in_module_order_and_keep_the_module() {
+        let dir = std::env::temp_dir().join("tadfa_spec_module_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("prog.tir"),
+            "func @leaf(%0) {\nblock0:\n  %1 = mul %0, %0\n  ret %1\n}\n\n\
+             func @main(%0) {\nblock0:\n  %1 = call @leaf(%0)\n  ret %1\n}\n",
+        )
+        .unwrap();
+        let toml = "[tasks]\nsource = \"module\"\nmodule = \"prog.tir\"\narrival_period = 0.001\n";
+        let cfg = build_config(&parse_toml(toml).unwrap(), &dir, "x").unwrap();
+        assert_eq!(cfg.tasks.len(), 2);
+        assert_eq!(cfg.tasks[0].name, "leaf");
+        assert_eq!(cfg.tasks[1].name, "main");
+        assert!((cfg.tasks[1].arrival - 0.001).abs() < 1e-15);
+        let module = cfg.module.as_ref().expect("module kept for analysis");
+        assert_eq!(module.len(), 2);
+
+        // A module source without a path, and a 'module' key on any
+        // other source, are both spec errors.
+        let missing = "[tasks]\nsource = \"module\"\n";
+        assert!(build_config(&parse_toml(missing).unwrap(), &dir, "x").is_err());
+        let stray = "[tasks]\nsource = \"suite\"\nmodule = \"prog.tir\"\n";
+        assert!(build_config(&parse_toml(stray).unwrap(), &dir, "x").is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -2,7 +2,8 @@
 //!
 //! Loads every scenario spec in a directory once, prepares a warm
 //! engine + solve cache per scenario, and serves `run-scenario` /
-//! `analyze` / `stats` requests over the JSON-lines protocol until
+//! `analyze` / `analyze-module` / `stats` requests over the
+//! JSON-lines protocol until
 //! EOF or a `shutdown` request. Pipe mode (stdin/stdout, the default)
 //! is what CI and `tadfa-load --spawn` drive; `--listen` serves TCP.
 //!
@@ -27,7 +28,8 @@ USAGE:
 
 Loads every scenarios/*.toml|json spec once, then serves JSON-lines
 requests ({\"id\": 1, \"op\": \"run-scenario\", \"scenario\": \"<stem>\"},
-analyze, stats, ping, shutdown) against warm engines. Pipe mode (the
+analyze, analyze-module, stats, ping, shutdown) against warm
+engines. Pipe mode (the
 default) speaks the protocol on stdin/stdout; --listen serves TCP.
 Requests beyond --queue-capacity are rejected with a queue-full error,
 never buffered unboundedly.";

@@ -13,9 +13,10 @@
 //! {"id": 1, "op": "run-scenario", "scenario": "solo_baseline"}
 //! {"id": 2, "op": "run-scenario", "scenario": "octa_shard", "workers": 2, "deadline_ms": 5000}
 //! {"id": 3, "op": "analyze", "scenario": "solo_baseline", "source": "func @f(%0) { ... }"}
-//! {"id": 4, "op": "stats"}
-//! {"id": 5, "op": "ping"}
-//! {"id": 6, "op": "shutdown"}
+//! {"id": 4, "op": "analyze-module", "scenario": "solo_baseline", "source": "func @leaf(%0) { ... } func @main(%0) { ... }"}
+//! {"id": 5, "op": "stats"}
+//! {"id": 6, "op": "ping"}
+//! {"id": 7, "op": "shutdown"}
 //! ```
 //!
 //! `id` is a non-negative integer chosen by the client; `workers` and
@@ -88,6 +89,19 @@ pub enum Op {
         /// Per-request deadline, milliseconds from admission.
         deadline_ms: Option<u64>,
     },
+    /// Analyze a whole IR module interprocedurally (functions may
+    /// `call` each other; callee bodies are summarised once, bottom-up)
+    /// in a loaded scenario's environment.
+    AnalyzeModule {
+        /// Scenario stem whose session/engine/cache to analyze under.
+        scenario: String,
+        /// The module (one or more functions), in `.tir` text form.
+        source: String,
+        /// Per-request engine worker override.
+        workers: Option<usize>,
+        /// Per-request deadline, milliseconds from admission.
+        deadline_ms: Option<u64>,
+    },
     /// Report service counters (per-scenario cache stats, queue depth).
     Stats,
     /// Liveness probe; answered immediately, never queued.
@@ -150,7 +164,9 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
 
     let allowed: &[&str] = match op_name {
         "run-scenario" => &["id", "op", "scenario", "workers", "deadline_ms"],
-        "analyze" => &["id", "op", "scenario", "source", "workers", "deadline_ms"],
+        "analyze" | "analyze-module" => {
+            &["id", "op", "scenario", "source", "workers", "deadline_ms"]
+        }
         "stats" | "ping" | "shutdown" => &["id", "op"],
         other => return Err(fail(format!("unknown op '{other}'"))),
     };
@@ -185,6 +201,12 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
             deadline_ms: u64_field("deadline_ms")?,
         },
         "analyze" => Op::Analyze {
+            scenario: str_field("scenario")?,
+            source: str_field("source")?,
+            workers: u64_field("workers")?.map(|w| w as usize),
+            deadline_ms: u64_field("deadline_ms")?,
+        },
+        "analyze-module" => Op::AnalyzeModule {
             scenario: str_field("scenario")?,
             source: str_field("source")?,
             workers: u64_field("workers")?.map(|w| w as usize),
@@ -232,6 +254,33 @@ pub fn analyze_response(
          \"function\": {}, \"fingerprint\": {}, \"peak_k\": {}, \"converged\": {converged}}}",
         escape(stem),
         escape(func),
+        escape(&hex_fingerprint(fingerprint)),
+        number(peak_k),
+    )
+}
+
+/// The success response for `analyze-module`: the module fingerprint
+/// (folding every function's name and report fingerprint, in module
+/// order), the function names, and the module-wide headline numbers.
+pub fn analyze_module_response(
+    id: u64,
+    stem: &str,
+    functions: &[&str],
+    fingerprint: u128,
+    peak_k: f64,
+    converged: bool,
+) -> String {
+    let mut names = String::new();
+    for (i, f) in functions.iter().enumerate() {
+        if i > 0 {
+            names.push_str(", ");
+        }
+        names.push_str(&escape(f));
+    }
+    format!(
+        "{{\"id\": {id}, \"ok\": true, \"op\": \"analyze-module\", \"scenario\": {}, \
+         \"functions\": [{names}], \"fingerprint\": {}, \"peak_k\": {}, \"converged\": {converged}}}",
+        escape(stem),
         escape(&hex_fingerprint(fingerprint)),
         number(peak_k),
     )

@@ -149,6 +149,7 @@ struct ScenarioEnv {
     prepared: PreparedScenario,
     runs: AtomicU64,
     analyzes: AtomicU64,
+    module_analyzes: AtomicU64,
 }
 
 /// The shared server state; [`Server`] handles are cheap clones.
@@ -203,6 +204,7 @@ impl Server {
                     prepared,
                     runs: AtomicU64::new(0),
                     analyzes: AtomicU64::new(0),
+                    module_analyzes: AtomicU64::new(0),
                 },
             );
         }
@@ -344,6 +346,53 @@ impl Server {
                     )),
                 }
             }
+            Op::AnalyzeModule {
+                scenario,
+                source,
+                workers,
+                deadline_ms,
+            } => {
+                let env = self.env(id, scenario)?;
+                let module = tadfa_ir::parse_module(source).map_err(|e| {
+                    protocol::error_response(
+                        Some(id),
+                        kind::ANALYSIS_FAILED,
+                        &format!("source does not parse: {e}"),
+                    )
+                })?;
+                let opts = RunOverrides {
+                    workers: *workers,
+                    deadline: deadline(deadline_ms),
+                };
+                match env.prepared.engine().analyze_module_opts(&module, &opts) {
+                    Ok(report) => {
+                        env.module_analyzes.fetch_add(1, Ordering::Relaxed);
+                        let names: Vec<&str> = report.names().collect();
+                        let converged = report
+                            .reports()
+                            .iter()
+                            .all(|r| r.convergence().is_converged());
+                        Ok(protocol::analyze_module_response(
+                            id,
+                            scenario,
+                            &names,
+                            report.fingerprint(),
+                            report.peak_temperature(),
+                            converged,
+                        ))
+                    }
+                    Err(TadfaError::DeadlineExceeded) => Err(protocol::error_response(
+                        Some(id),
+                        kind::DEADLINE_EXCEEDED,
+                        "module analysis abandoned: deadline passed",
+                    )),
+                    Err(e) => Err(protocol::error_response(
+                        Some(id),
+                        kind::ANALYSIS_FAILED,
+                        &e.to_string(),
+                    )),
+                }
+            }
             Op::Stats => Ok(self.stats_response(id)),
             Op::Ping => Ok(protocol::pong_response(id)),
             Op::Shutdown => Ok(protocol::shutdown_response(id)),
@@ -362,15 +411,19 @@ impl Server {
                 scenarios.push_str(", ");
             }
             scenarios.push_str(&format!(
-                "{{\"name\": {}, \"runs\": {}, \"analyzes\": {}, \"cache\": \
-                 {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \"rejected_stores\": {}}}}}",
+                "{{\"name\": {}, \"runs\": {}, \"analyzes\": {}, \"module_analyzes\": {}, \
+                 \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \
+                 \"rejected_stores\": {}, \"summary_hits\": {}, \"summary_stores\": {}}}}}",
                 escape(stem),
                 env.runs.load(Ordering::Relaxed),
                 env.analyzes.load(Ordering::Relaxed),
+                env.module_analyzes.load(Ordering::Relaxed),
                 c.hits,
                 c.misses,
                 c.entries,
                 c.rejected_stores,
+                c.summary_hits,
+                c.summary_stores,
             ));
         }
         let q = self.inner.queue.stats();

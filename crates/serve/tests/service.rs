@@ -277,6 +277,70 @@ fn analyze_reuses_a_scenario_environment_deterministically() {
     assert_eq!(resp.error.as_deref(), Some(kind::ANALYSIS_FAILED));
 }
 
+#[test]
+fn analyze_module_summarises_callees_and_reports_summary_stats() {
+    let server = server(8, 1);
+    let stem = server.scenario_names()[0].to_string();
+    let source = "func @hot(%0) {\nblock0:\n  %1 = mul %0, %0\n  %2 = mul %1, %1\n  ret %2\n}\n\n\
+                  func @caller(%0) {\nblock0:\n  %1 = call @hot(%0)\n  %2 = add %1, %0\n  ret %2\n}\n";
+    let line = format!(
+        "{{\"id\": 1, \"op\": \"analyze-module\", \"scenario\": \"{stem}\", \"source\": {}}}",
+        tadfa_sched::json::escape(source)
+    );
+    let req = parse_request(&line).unwrap();
+    let a = parse_response(&server.handle(&req, Instant::now())).unwrap();
+    assert!(a.ok, "analyze-module succeeds: {a:?}");
+    let names: Vec<&str> = a
+        .doc
+        .get("functions")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_str().unwrap())
+        .collect();
+    assert_eq!(names, ["hot", "caller"], "module order");
+    assert!(a.doc.get("peak_k").unwrap().as_f64().unwrap() > 0.0);
+    assert_eq!(a.doc.get("converged").unwrap().as_bool(), Some(true));
+    // Same module, warm cache: identical fingerprint.
+    let b = parse_response(&server.handle(&req, Instant::now())).unwrap();
+    assert_eq!(a.fingerprint, b.fingerprint);
+
+    // A recursive module is a clean analysis error, not a hang.
+    let rec = "func @loop(%0) {\nblock0:\n  %1 = call @loop(%0)\n  ret %1\n}\n";
+    let req = parse_request(&format!(
+        "{{\"id\": 2, \"op\": \"analyze-module\", \"scenario\": \"{stem}\", \"source\": {}}}",
+        tadfa_sched::json::escape(rec)
+    ))
+    .unwrap();
+    let resp = parse_response(&server.handle(&req, Instant::now())).unwrap();
+    assert_eq!(resp.error.as_deref(), Some(kind::ANALYSIS_FAILED));
+    assert!(resp.message.unwrap().contains("recursi"), "names the cycle");
+
+    // The stats response surfaces the summary-cache counters and the
+    // module-analyze count.
+    let stats = server.handle(
+        &parse_request(r#"{"id": 9, "op": "stats"}"#).unwrap(),
+        Instant::now(),
+    );
+    let stats = parse_response(&stats).unwrap();
+    let scenarios = stats.doc.get("scenarios").unwrap().as_array().unwrap();
+    let env = scenarios
+        .iter()
+        .find(|s| s.get("name").and_then(|v| v.as_str()) == Some(stem.as_str()))
+        .expect("stats lists the scenario");
+    assert_eq!(
+        env.get("module_analyzes").and_then(|v| v.as_f64()),
+        Some(2.0)
+    );
+    let cache = env.get("cache").unwrap();
+    assert!(cache.get("summary_stores").unwrap().as_f64().unwrap() >= 1.0);
+    assert!(
+        cache.get("summary_hits").unwrap().as_f64().unwrap() >= 1.0,
+        "the warm repeat reused the memoized summary"
+    );
+}
+
 /// The CI smoke job, in-tree: the real binaries, pipe mode, 1 and 4
 /// client concurrency, every committed scenario, golden-diffed.
 #[test]

@@ -30,6 +30,13 @@ pub enum SimError {
     },
     /// Execution reached a block without a terminator.
     MissingTerminator(BlockId),
+    /// Execution reached a `call`; the single-function interpreter cannot
+    /// execute calls — run callees individually or use the thermal
+    /// module analysis, which summarizes callees instead of executing them.
+    UnsupportedCall {
+        /// The callee that was invoked.
+        callee: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -46,6 +53,9 @@ impl fmt::Display for SimError {
             }
             SimError::MissingTerminator(bb) => {
                 write!(f, "execution reached unterminated {bb}")
+            }
+            SimError::UnsupportedCall { callee } => {
+                write!(f, "interpreter cannot execute call @{callee}")
             }
         }
     }
@@ -74,5 +84,9 @@ mod tests {
         assert!(e.to_string().contains("100-cycle"));
         let e = SimError::MissingTerminator(BlockId::new(2));
         assert!(e.to_string().contains("block2"));
+        let e = SimError::UnsupportedCall {
+            callee: "leaf".to_string(),
+        };
+        assert!(e.to_string().contains("@leaf"));
     }
 }

@@ -215,6 +215,11 @@ impl<'a> Interpreter<'a> {
                         None
                     }
                     Opcode::Nop => None,
+                    Opcode::Call => {
+                        return Err(SimError::UnsupportedCall {
+                            callee: inst.callee_name().unwrap_or("?").to_string(),
+                        });
+                    }
                 };
 
                 if let (Some(d), Some(v)) = (inst.def(), value) {

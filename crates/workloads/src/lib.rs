@@ -4,7 +4,9 @@
 //! reproduction (DAC 2009): eleven hand-built kernels spanning the
 //! loop/pressure regimes the paper reasons about, a seeded random program
 //! generator with a register-pressure knob (the §2 caveat experiment),
-//! and pre-packaged suites for the experiment binaries.
+//! a seeded module generator with call-graph depth/fan-out/shared-callee
+//! knobs (the interprocedural analysis workload), and pre-packaged
+//! suites for the experiment binaries.
 //!
 //! ## Example
 //!
@@ -24,6 +26,7 @@
 
 mod generator;
 mod kernels;
+mod modules;
 mod suite;
 
 pub use generator::{generate, GeneratorConfig};
@@ -31,4 +34,5 @@ pub use kernels::{
     bubble_sort, butterfly, checksum, dot_product, fibonacci, fir, histogram, matmul, popcount,
     saxpy, stencil, Workload,
 };
+pub use modules::{generate_module, ModuleGeneratorConfig};
 pub use suite::{irregular_batch, pressure_ladder, replicated_suite, shard, standard_suite};

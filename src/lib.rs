@@ -6,14 +6,14 @@
 //!
 //! | crate | contents |
 //! |-------|----------|
-//! | [`ir`] | three-address IR, CFG, dominators, loops, parser, verifier |
+//! | [`ir`] | three-address IR (with direct calls + modules), CFG, dominators, loops, call graph, parser, verifier |
 //! | [`dataflow`] | worklist solver, liveness, reaching defs, available exprs, bitwidth, live intervals |
 //! | [`thermal`] | register-file floorplan, RC compact model, power model, heat maps |
 //! | [`regalloc`] | linear-scan + coloring allocators, Fig. 1 assignment policies |
 //! | [`core`] | **the paper**: the [`Session`](crate::prelude::Session) façade, the thermal DFA (Fig. 2), δ-convergence, critical variables, predictive mode, the parallel [`engine`] |
 //! | [`opt`] | §4 optimizations: spill-critical, splitting, scheduling, promotion, NOPs |
 //! | [`sim`] | IR interpreter, access traces, thermal co-simulation (ground truth) |
-//! | [`workloads`] | benchmark kernels + seeded program generator |
+//! | [`workloads`] | benchmark kernels + seeded program and module generators |
 //!
 //! ## Quickstart
 //!
@@ -66,9 +66,9 @@ pub use tadfa_workloads as workloads;
 pub mod prelude {
     pub use tadfa_core::{
         AnalysisGrid, BatchOptions, CacheStats, Convergence, CriticalConfig, CriticalSet, Engine,
-        MergeRule, PlacementPrior, PolicyFactory, PredictiveConfig, PredictiveDfa, Session,
-        SessionBuilder, SessionCore, SolveCache, SweepCell, SweepConfig, TadfaError, ThermalDfa,
-        ThermalDfaConfig, ThermalReport,
+        MergeRule, ModuleReport, PlacementPrior, PolicyFactory, PredictiveConfig, PredictiveDfa,
+        Session, SessionBuilder, SessionCore, SolveCache, SweepCell, SweepConfig, TadfaError,
+        ThermalDfa, ThermalDfaConfig, ThermalReport, ThermalSummary,
     };
     pub use tadfa_dataflow::{DefUse, Liveness};
     pub use tadfa_ir::{Cfg, Function, FunctionBuilder, Opcode, PReg, VReg, Verifier};

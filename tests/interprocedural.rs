@@ -1,0 +1,146 @@
+//! Interprocedural acceptance tests: the memoized-summary contract.
+//!
+//! The acceptance criterion from the interprocedural tentpole, in
+//! executable form: a module where **M callers share one hot callee**
+//! must flatten the callee's thermal summary exactly once (observable
+//! through the solve cache's `summary_stores` counter), and the module
+//! report's fingerprint must be byte-identical across the sequential
+//! session path, any engine worker count, and cold vs. cache-warm runs.
+
+use tadfa::ir::{FunctionBuilder, Module};
+use tadfa::prelude::*;
+use tadfa::workloads::{generate_module, ModuleGeneratorConfig};
+
+/// A compute-heavy, call-free leaf: the shared hot callee.
+fn hot_leaf() -> Function {
+    let mut b = FunctionBuilder::new("hot");
+    let p = b.param();
+    let mut v = p;
+    for _ in 0..6 {
+        v = b.mul(v, v);
+    }
+    b.ret(Some(v));
+    b.finish()
+}
+
+/// Caller `k`: a distinct straight-line prefix (so every caller has its
+/// own signature), then a call into the shared hot callee.
+fn caller(k: usize) -> Function {
+    let mut b = FunctionBuilder::new(format!("caller{k}"));
+    let p = b.param();
+    let mut v = p;
+    for i in 0..=k {
+        let c = b.iconst(i as i64 + 1);
+        v = b.add(v, c);
+    }
+    let r = b.call("hot", &[v]);
+    let out = b.add(v, r);
+    b.ret(Some(out));
+    b.finish()
+}
+
+/// One hot leaf + `m` callers of it, leaf first (any order would do —
+/// the analysis orders bottom-up itself).
+fn shared_callee_module(m: usize) -> Module {
+    let mut funcs = vec![hot_leaf()];
+    funcs.extend((0..m).map(caller));
+    Module::from_functions(funcs).expect("unique names")
+}
+
+#[test]
+fn shared_callee_is_flattened_once_and_fingerprints_are_invariant() {
+    const M: usize = 6;
+    let module = shared_callee_module(M);
+    let n_funcs = (M + 1) as u64;
+
+    // The sequential session path defines the reference bytes.
+    let mut session = Session::builder().floorplan(6, 6).build().unwrap();
+    let seq = session.analyze_module(&module).unwrap();
+    assert_eq!(seq.len(), M + 1);
+    for (name, report) in seq.names().zip(seq.reports()) {
+        assert!(report.convergence().is_converged(), "{name}");
+    }
+    let base = seq.fingerprint();
+
+    for workers in [1, 4, 7] {
+        let session = Session::builder().floorplan(6, 6).build().unwrap();
+        let engine = Engine::from_session(&session, workers).unwrap();
+
+        // Cold: every function's summary is flattened and stored
+        // exactly once — the shared callee is NOT re-flattened per
+        // call site or per caller.
+        let cold = engine.analyze_module(&module).unwrap();
+        assert_eq!(cold.fingerprint(), base, "cold, workers={workers}");
+        let stats = engine.cache_stats();
+        assert_eq!(
+            stats.summary_stores, n_funcs,
+            "one store per function, workers={workers}"
+        );
+        assert_eq!(stats.summary_hits, 0, "nothing to reuse cold");
+
+        // Warm: all summaries come straight from the memo, and the
+        // bytes do not move.
+        let warm = engine.analyze_module(&module).unwrap();
+        assert_eq!(warm.fingerprint(), base, "warm, workers={workers}");
+        let stats = engine.cache_stats();
+        assert_eq!(
+            stats.summary_stores, n_funcs,
+            "warm run re-flattens nothing, workers={workers}"
+        );
+        assert_eq!(
+            stats.summary_hits, n_funcs,
+            "warm run reuses every summary, workers={workers}"
+        );
+    }
+}
+
+#[test]
+fn callers_run_hotter_than_the_callee_alone() {
+    let module = shared_callee_module(3);
+    let mut session = Session::builder().floorplan(6, 6).build().unwrap();
+    let report = session.analyze_module(&module).unwrap();
+    let hot_peak = report.report("hot").unwrap().peak_temperature();
+    for k in 0..3 {
+        let caller_peak = report
+            .report(&format!("caller{k}"))
+            .unwrap()
+            .peak_temperature();
+        assert!(
+            caller_peak > hot_peak,
+            "caller{k} replays the callee's steps on top of its own: \
+             {caller_peak} vs {hot_peak}"
+        );
+    }
+    assert_eq!(report.peak_temperature(), {
+        let mut peak = f64::NEG_INFINITY;
+        for r in report.reports() {
+            peak = peak.max(r.peak_temperature());
+        }
+        peak
+    });
+}
+
+#[test]
+fn generated_modules_analyze_deterministically_at_any_worker_count() {
+    let module = generate_module(&ModuleGeneratorConfig {
+        depth: 2,
+        fanout: 2,
+        leaves: 3,
+        shared_hot_callees: 2,
+        ..ModuleGeneratorConfig::default()
+    });
+    let mut session = Session::builder().floorplan(6, 6).build().unwrap();
+    let seq = session.analyze_module(&module).unwrap();
+    for (name, report) in seq.names().zip(seq.reports()) {
+        assert!(report.convergence().is_converged(), "{name}");
+    }
+    for workers in [1, 4] {
+        let session = Session::builder().floorplan(6, 6).build().unwrap();
+        let engine = Engine::from_session(&session, workers).unwrap();
+        assert_eq!(
+            engine.analyze_module(&module).unwrap().fingerprint(),
+            seq.fingerprint(),
+            "workers={workers}"
+        );
+    }
+}

@@ -95,6 +95,36 @@ fn text_roundtrip_is_identity() {
     }
 }
 
+/// Printer/parser round-trip is the identity on generated modules —
+/// the multi-function format including `call` instructions.
+#[test]
+fn module_text_roundtrip_is_identity() {
+    use tadfa::workloads::{generate_module, ModuleGeneratorConfig};
+    let mut rng = StdRng::seed_from_u64(0xE6);
+    for case in 0..16 {
+        let config = ModuleGeneratorConfig {
+            seed: rng.gen_range(0u64..u64::MAX),
+            depth: rng.gen_range(0usize..3),
+            fanout: rng.gen_range(0usize..3),
+            leaves: rng.gen_range(1usize..4),
+            shared_hot_callees: rng.gen_range(0usize..3),
+            layer_width: rng.gen_range(1usize..3),
+            exprs_per_function: rng.gen_range(1usize..6),
+        };
+        let module = generate_module(&config);
+        let text = module.to_string();
+        assert!(text.contains("call @"), "case {case}: main always calls");
+        let reparsed =
+            tadfa::ir::parse_module(&text).unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert_eq!(text, reparsed.to_string(), "case {case}");
+        assert_eq!(module.len(), reparsed.len(), "case {case}");
+        assert!(
+            tadfa::ir::verify_module(&reparsed).is_ok(),
+            "case {case}: reparsed module verifies"
+        );
+    }
+}
+
 /// RC steady state is monotone in power: more power anywhere never
 /// cools anything.
 #[test]
