@@ -34,6 +34,7 @@
 //! "the working set fits" apart from "the cache silently stopped
 //! absorbing new work" without guessing from hit rates.
 
+use crate::codec::{ByteReader, ByteWriter, CodecError};
 use crate::dfa::ThermalDfaResult;
 use crate::summary::ThermalSummary;
 use std::collections::HashMap;
@@ -99,8 +100,84 @@ pub struct SolveCache {
     summary_stores: AtomicU64,
     /// Stores turned away because the cache was at capacity.
     rejected: AtomicU64,
+    /// Entries inserted through the preload path (disk warm-up) rather
+    /// than solved here.
+    preloaded: AtomicU64,
+    /// When enabled, every genuinely new insertion is also appended
+    /// here so a persistence tier can drain it to disk. `None` (the
+    /// default) keeps the store path free of the extra lock.
+    spill_log: Mutex<Option<Vec<SpillEntry>>>,
     capacity: usize,
     quantum: f64,
+}
+
+/// One cache insertion, captured for the persistence tier: which map it
+/// went into, under which signature key, with the value itself.
+#[derive(Clone, Debug)]
+pub struct SpillEntry {
+    /// The quantized signature the value is cached under.
+    pub key: u128,
+    /// The cached value.
+    pub value: SpillValue,
+}
+
+/// The payload of a [`SpillEntry`] — a whole fixpoint result or an
+/// interprocedural summary, mirroring the cache's two keyed maps.
+#[derive(Clone, Debug)]
+pub enum SpillValue {
+    /// A whole-fixpoint [`ThermalDfaResult`].
+    Result(Arc<ThermalDfaResult>),
+    /// An interprocedural [`ThermalSummary`].
+    Summary(Arc<ThermalSummary>),
+}
+
+/// Record-kind tag for an encoded result entry.
+const SPILL_KIND_RESULT: u8 = 0;
+/// Record-kind tag for an encoded summary entry.
+const SPILL_KIND_SUMMARY: u8 = 1;
+
+impl SpillEntry {
+    /// Serialises the entry (kind tag + key + value payload) with the
+    /// exact-bits codec of [`crate::codec`].
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match &self.value {
+            SpillValue::Result(r) => {
+                w.put_u8(SPILL_KIND_RESULT);
+                w.put_u128(self.key);
+                let mut bytes = w.into_bytes();
+                bytes.extend_from_slice(&r.encode());
+                bytes
+            }
+            SpillValue::Summary(s) => {
+                w.put_u8(SPILL_KIND_SUMMARY);
+                w.put_u128(self.key);
+                let mut bytes = w.into_bytes();
+                bytes.extend_from_slice(&s.encode());
+                bytes
+            }
+        }
+    }
+
+    /// Decodes one entry from the bytes [`to_bytes`](Self::to_bytes)
+    /// produced.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`] on truncated, corrupted, or
+    /// version-mismatched input — never panics, whatever the bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<SpillEntry, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        let kind = r.get_u8()?;
+        let key = r.get_u128()?;
+        let payload = &bytes[bytes.len() - r.remaining()..];
+        let value = match kind {
+            SPILL_KIND_RESULT => SpillValue::Result(Arc::new(ThermalDfaResult::decode(payload)?)),
+            SPILL_KIND_SUMMARY => SpillValue::Summary(Arc::new(ThermalSummary::decode(payload)?)),
+            t => return Err(CodecError::BadTag(t)),
+        };
+        Ok(SpillEntry { key, value })
+    }
 }
 
 impl Default for SolveCache {
@@ -131,8 +208,38 @@ impl SolveCache {
             summary_hits: AtomicU64::new(0),
             summary_stores: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            preloaded: AtomicU64::new(0),
+            spill_log: Mutex::new(None),
             capacity,
             quantum,
+        }
+    }
+
+    /// Turns on the spill log: from now on every genuinely new
+    /// insertion (result or summary) is also recorded for
+    /// [`drain_spill_log`](SolveCache::drain_spill_log) to collect.
+    /// Idempotent; entries already resident are not back-filled.
+    pub fn enable_spill_log(&self) {
+        let mut log = self.spill_log.lock().expect("spill log poisoned");
+        if log.is_none() {
+            *log = Some(Vec::new());
+        }
+    }
+
+    /// Takes every spill entry recorded since the last drain (empty
+    /// when the log is disabled or nothing new was inserted).
+    pub fn drain_spill_log(&self) -> Vec<SpillEntry> {
+        self.spill_log
+            .lock()
+            .expect("spill log poisoned")
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    fn spill(&self, key: u128, value: SpillValue) {
+        if let Some(log) = self.spill_log.lock().expect("spill log poisoned").as_mut() {
+            log.push(SpillEntry { key, value });
         }
     }
 
@@ -189,6 +296,50 @@ impl SolveCache {
         if let std::collections::hash_map::Entry::Vacant(slot) = shard.entry(key) {
             slot.insert(Arc::clone(result));
             self.entries.fetch_add(1, Ordering::Relaxed);
+            drop(shard);
+            self.spill(key, SpillValue::Result(Arc::clone(result)));
+        }
+    }
+
+    /// Inserts a fixpoint result recovered from the persistence tier.
+    /// Unlike [`store`](SolveCache::store) this touches neither the
+    /// hit/miss counters nor the spill log (a preloaded entry must not
+    /// be re-spilled to the segment it came from); it is counted in
+    /// [`CacheStats::preloaded`] instead. Returns whether the entry
+    /// was inserted (`false`: already resident or at capacity —
+    /// silently, since warm-up is best-effort).
+    pub fn preload(&self, key: u128, result: Arc<ThermalDfaResult>) -> bool {
+        if self.entries.load(Ordering::Relaxed) >= self.capacity {
+            return false;
+        }
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        if let std::collections::hash_map::Entry::Vacant(slot) = shard.entry(key) {
+            slot.insert(result);
+            self.entries.fetch_add(1, Ordering::Relaxed);
+            self.preloaded.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inserts a thermal summary recovered from the persistence tier —
+    /// the summary twin of [`preload`](SolveCache::preload): no
+    /// counter side effects beyond [`CacheStats::preloaded`], no spill
+    /// log, no [`CacheStats::summary_stores`].
+    pub fn preload_summary(&self, key: u128, summary: Arc<ThermalSummary>) -> bool {
+        if self.summary_entries.load(Ordering::Relaxed) >= self.capacity {
+            return false;
+        }
+        let shard = &self.summary_shards[(key as usize) & (SHARDS - 1)];
+        let mut shard = shard.lock().expect("cache shard poisoned");
+        if let std::collections::hash_map::Entry::Vacant(slot) = shard.entry(key) {
+            slot.insert(summary);
+            self.summary_entries.fetch_add(1, Ordering::Relaxed);
+            self.preloaded.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
         }
     }
 
@@ -229,6 +380,8 @@ impl SolveCache {
             slot.insert(Arc::clone(summary));
             self.summary_entries.fetch_add(1, Ordering::Relaxed);
             self.summary_stores.fetch_add(1, Ordering::Relaxed);
+            drop(shard);
+            self.spill(key, SpillValue::Summary(Arc::clone(summary)));
         }
     }
 
@@ -258,6 +411,10 @@ impl SolveCache {
         self.summary_hits.store(0, Ordering::Relaxed);
         self.summary_stores.store(0, Ordering::Relaxed);
         self.rejected.store(0, Ordering::Relaxed);
+        self.preloaded.store(0, Ordering::Relaxed);
+        if let Some(log) = self.spill_log.lock().expect("spill log poisoned").as_mut() {
+            log.clear();
+        }
     }
 
     /// Hit/miss/rejected-store counters and occupancy.
@@ -269,6 +426,7 @@ impl SolveCache {
             rejected_stores: self.rejected.load(Ordering::Relaxed),
             summary_hits: self.summary_hits.load(Ordering::Relaxed),
             summary_stores: self.summary_stores.load(Ordering::Relaxed),
+            preloaded: self.preloaded.load(Ordering::Relaxed),
         }
     }
 }
@@ -292,6 +450,9 @@ pub struct CacheStats {
     /// Summaries flattened and inserted — each distinct function body
     /// costs exactly one of these per cache lifetime.
     pub summary_stores: u64,
+    /// Entries (results + summaries) warmed in from the persistence
+    /// tier at startup rather than solved in this process.
+    pub preloaded: u64,
 }
 
 impl CacheStats {
@@ -415,7 +576,8 @@ mod tests {
                 entries: 0,
                 rejected_stores: 0,
                 summary_hits: 0,
-                summary_stores: 0
+                summary_stores: 0,
+                preloaded: 0
             }
         );
     }
@@ -455,5 +617,115 @@ mod tests {
         // The summary map is independent of the result map: same key,
         // no collision, no result entry.
         assert_eq!(s.entries, 0);
+    }
+
+    fn summarized() -> (u128, Arc<ThermalSummary>) {
+        let mut b = FunctionBuilder::new("g");
+        let x = b.param();
+        let y = b.add(x, x);
+        b.ret(Some(y));
+        let mut f = b.finish();
+        let rf = RegisterFile::new(Floorplan::grid(4, 4));
+        let alloc =
+            allocate_linear_scan(&mut f, &rf, &mut FirstFree, &RegAllocConfig::default()).unwrap();
+        let grid = AnalysisGrid::full(&rf, RcParams::default());
+        let dfa = ThermalDfa::new(
+            &f,
+            &alloc.assignment,
+            &grid,
+            PowerModel::default(),
+            ThermalDfaConfig::default(),
+        )
+        .unwrap();
+        (dfa.signature(0.0), Arc::new(dfa.summarize(0.0)))
+    }
+
+    /// The persistence contract end-to-end in memory: new insertions
+    /// land in the spill log, survive an encode/decode round trip with
+    /// exact bits, and preload into a fresh cache where they serve
+    /// ordinary hits.
+    #[test]
+    fn spill_log_round_trips_through_bytes_into_a_fresh_cache() {
+        let c = SolveCache::new();
+        c.enable_spill_log();
+        let (rkey, result) = solved();
+        let (skey, summary) = summarized();
+        c.store(rkey, &result);
+        c.store(rkey, &result); // re-store: no second spill entry
+        c.store_summary(skey, &summary);
+        let spilled = c.drain_spill_log();
+        assert_eq!(spilled.len(), 2);
+        assert!(c.drain_spill_log().is_empty(), "drain empties the log");
+
+        let warm = SolveCache::new();
+        for entry in &spilled {
+            let bytes = entry.to_bytes();
+            let back = SpillEntry::from_bytes(&bytes).expect("round trip");
+            assert_eq!(back.key, entry.key);
+            match back.value {
+                SpillValue::Result(r) => assert!(warm.preload(back.key, r)),
+                SpillValue::Summary(s) => assert!(warm.preload_summary(back.key, s)),
+            }
+        }
+        assert_eq!(warm.stats().preloaded, 2);
+        assert_eq!((warm.stats().hits, warm.stats().summary_stores), (0, 0));
+
+        let r = warm.fetch(rkey).expect("preloaded result serves hits");
+        // Exact bits survived the byte round trip.
+        assert_eq!(
+            r.peak_map().temps(),
+            result.peak_map().temps(),
+            "bit-identical peak map"
+        );
+        assert_eq!(r.residual_history, result.residual_history);
+        assert_eq!(r.convergence, result.convergence);
+        let s = warm.fetch_summary(skey).expect("preloaded summary");
+        assert_eq!(s.signature(), summary.signature());
+        assert_eq!(s.num_steps(), summary.num_steps());
+        assert_eq!(warm.stats().hits, 1);
+    }
+
+    /// Preloading must not echo entries back into the spill log (they
+    /// would be re-written to the segment they were just read from) and
+    /// must not count as solver-side stores.
+    #[test]
+    fn preload_is_invisible_to_spill_log_and_store_counters() {
+        let c = SolveCache::new();
+        c.enable_spill_log();
+        let (rkey, result) = solved();
+        let (skey, summary) = summarized();
+        assert!(c.preload(rkey, Arc::clone(&result)));
+        assert!(!c.preload(rkey, result), "second preload: already resident");
+        assert!(c.preload_summary(skey, summary));
+        assert!(c.drain_spill_log().is_empty(), "preloads are not spilled");
+        let s = c.stats();
+        assert_eq!((s.preloaded, s.summary_stores, s.misses), (2, 0, 0));
+    }
+
+    /// Hostile bytes: every truncation prefix and a flipped kind tag
+    /// decode to typed errors, never panics.
+    #[test]
+    fn corrupted_spill_bytes_decode_to_errors() {
+        let (rkey, result) = solved();
+        let entry = SpillEntry {
+            key: rkey,
+            value: SpillValue::Result(result),
+        };
+        let bytes = entry.to_bytes();
+        for cut in 0..bytes.len().min(64) {
+            assert!(SpillEntry::from_bytes(&bytes[..cut]).is_err());
+        }
+        let mut bad_kind = bytes.clone();
+        bad_kind[0] = 9;
+        assert!(matches!(
+            SpillEntry::from_bytes(&bad_kind),
+            Err(CodecError::BadTag(9))
+        ));
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(matches!(
+            SpillEntry::from_bytes(&trailing),
+            Err(CodecError::TrailingBytes(_))
+        ));
     }
 }

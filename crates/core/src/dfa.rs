@@ -22,6 +22,7 @@
 //! configured [`MergeRule`](crate::MergeRule).
 
 use crate::cache::SolveCache;
+use crate::codec::{ByteReader, ByteWriter, CodecError};
 use crate::config::{Convergence, MergeRule, ThermalDfaConfig};
 use crate::error::TadfaError;
 use crate::grid::AnalysisGrid;
@@ -974,6 +975,121 @@ impl ThermalDfaResult {
     /// Number of instructions with a computed state.
     pub fn num_states(&self) -> usize {
         self.after.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Serialises the result into the spill codec (exact `f64` bit
+    /// patterns — see [`crate::codec`]). [`decode`](Self::decode)
+    /// reconstructs a result that behaves identically, fingerprints and
+    /// all.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u8(crate::codec::CODEC_VERSION);
+        w.put_u64(self.num_points as u64);
+        w.put_f64(self.ambient);
+        for states in [&self.after, &self.block_entry, &self.block_exit] {
+            w.put_u64(states.len() as u64);
+            for s in states {
+                match s {
+                    None => w.put_u8(0),
+                    Some(s) => {
+                        w.put_u8(1);
+                        w.put_u64(s.temps().len() as u64);
+                        for &t in s.temps() {
+                            w.put_f64(t);
+                        }
+                    }
+                }
+            }
+        }
+        match self.convergence {
+            Convergence::Converged { iterations } => {
+                w.put_u8(0);
+                w.put_u64(iterations as u64);
+                w.put_f64(0.0);
+            }
+            Convergence::DidNotConverge {
+                iterations,
+                residual,
+            } => {
+                w.put_u8(1);
+                w.put_u64(iterations as u64);
+                w.put_f64(residual);
+            }
+        }
+        w.put_u64(self.residual_history.len() as u64);
+        for &r in &self.residual_history {
+            w.put_f64(r);
+        }
+        w.into_bytes()
+    }
+
+    /// Reconstructs a result from [`encode`](Self::encode)d bytes.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`] on truncated, corrupted, or
+    /// version-mismatched input — never panics, whatever the bytes.
+    pub fn decode(bytes: &[u8]) -> Result<ThermalDfaResult, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        let version = r.get_u8()?;
+        if version != crate::codec::CODEC_VERSION {
+            return Err(CodecError::Version(version));
+        }
+        let num_points = r.get_u64()? as usize;
+        let ambient = r.get_f64()?;
+        let mut vecs: Vec<Vec<Option<ThermalState>>> = Vec::with_capacity(3);
+        for _ in 0..3 {
+            let n = r.get_u64()?;
+            let n = r.checked_len(n, 1)?;
+            let mut states = Vec::with_capacity(n);
+            for _ in 0..n {
+                match r.get_u8()? {
+                    0 => states.push(None),
+                    1 => {
+                        let len = r.get_u64()?;
+                        let len = r.checked_len(len, 8)?;
+                        let mut temps = Vec::with_capacity(len);
+                        for _ in 0..len {
+                            temps.push(r.get_f64()?);
+                        }
+                        states.push(Some(ThermalState::from_vec(temps)));
+                    }
+                    t => return Err(CodecError::BadTag(t)),
+                }
+            }
+            vecs.push(states);
+        }
+        let block_exit = vecs.pop().expect("three state vectors");
+        let block_entry = vecs.pop().expect("three state vectors");
+        let after = vecs.pop().expect("three state vectors");
+        let convergence = match r.get_u8()? {
+            0 => {
+                let iterations = r.get_u64()? as usize;
+                let _ = r.get_f64()?;
+                Convergence::Converged { iterations }
+            }
+            1 => Convergence::DidNotConverge {
+                iterations: r.get_u64()? as usize,
+                residual: r.get_f64()?,
+            },
+            t => return Err(CodecError::BadTag(t)),
+        };
+        let n = r.get_u64()?;
+        let n = r.checked_len(n, 8)?;
+        let mut residual_history = Vec::with_capacity(n);
+        for _ in 0..n {
+            residual_history.push(r.get_f64()?);
+        }
+        r.finish()?;
+        Ok(ThermalDfaResult {
+            after,
+            block_entry,
+            block_exit,
+            convergence,
+            residual_history,
+            ambient,
+            num_points,
+        })
     }
 }
 

@@ -291,6 +291,12 @@ impl Engine {
         self.cache.clear()
     }
 
+    /// The engine's solve cache — direct access for persistence tiers
+    /// that spill new entries to disk and preload them on restart.
+    pub fn cache(&self) -> &SolveCache {
+        &self.cache
+    }
+
     /// Analyzes a batch of functions on the worker pool.
     ///
     /// Results come back in input order, one independent `Result` per

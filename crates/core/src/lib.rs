@@ -51,6 +51,7 @@
 #![warn(missing_debug_implementations)]
 
 mod cache;
+pub mod codec;
 mod config;
 mod critical;
 mod dfa;
@@ -61,7 +62,7 @@ mod predictive;
 mod session;
 mod summary;
 
-pub use cache::{CacheStats, SolveCache};
+pub use cache::{CacheStats, SolveCache, SpillEntry, SpillValue};
 pub use config::{Convergence, MergeRule, ThermalDfaConfig};
 pub use critical::{CriticalConfig, CriticalSet};
 pub use dfa::{DfaScratch, ThermalDfa, ThermalDfaResult};

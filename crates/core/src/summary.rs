@@ -20,6 +20,7 @@
 //! them across callers, analyses, and service requests: a hot callee's
 //! trace is flattened once, no matter how many functions call it.
 
+use crate::codec::{ByteReader, ByteWriter, CodecError};
 use tadfa_thermal::{CompiledModel, LeakageParams, StepSchedule, StepScratch, ThermalState};
 
 /// One RC step of a summary trace: a slice of the summary's deposit
@@ -116,5 +117,95 @@ impl ThermalSummary {
                 sched: s.sched,
             });
         }
+    }
+
+    /// Serialises the summary into the spill codec (exact `f64` bit
+    /// patterns — see [`crate::codec`]). [`decode`](Self::decode)
+    /// reconstructs a summary whose replay is bit-identical.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u8(crate::codec::CODEC_VERSION);
+        w.put_u128(self.signature);
+        w.put_u64(self.num_points as u64);
+        w.put_u8(u8::from(self.leakage_feedback));
+        w.put_f64(self.leak.per_cell);
+        w.put_f64(self.leak.temp_coeff);
+        w.put_f64(self.leak.reference_temp);
+        w.put_u64(self.steps.len() as u64);
+        for s in &self.steps {
+            w.put_u32(s.start);
+            w.put_u32(s.end);
+            w.put_u32(s.sched.n_sub());
+            w.put_f64(s.sched.sub_step());
+        }
+        w.put_u64(self.deposits.len() as u64);
+        for &(idx, watts) in &self.deposits {
+            w.put_u32(idx);
+            w.put_f64(watts);
+        }
+        w.into_bytes()
+    }
+
+    /// Reconstructs a summary from [`encode`](Self::encode)d bytes.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`] on truncated, corrupted, or
+    /// version-mismatched input — never panics, whatever the bytes.
+    pub fn decode(bytes: &[u8]) -> Result<ThermalSummary, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        let version = r.get_u8()?;
+        if version != crate::codec::CODEC_VERSION {
+            return Err(CodecError::Version(version));
+        }
+        let signature = r.get_u128()?;
+        let num_points = r.get_u64()? as usize;
+        let leakage_feedback = match r.get_u8()? {
+            0 => false,
+            1 => true,
+            t => return Err(CodecError::BadTag(t)),
+        };
+        let leak = LeakageParams {
+            per_cell: r.get_f64()?,
+            temp_coeff: r.get_f64()?,
+            reference_temp: r.get_f64()?,
+        };
+        let n = r.get_u64()?;
+        let n = r.checked_len(n, 20)?;
+        let mut steps = Vec::with_capacity(n);
+        for _ in 0..n {
+            let start = r.get_u32()?;
+            let end = r.get_u32()?;
+            if start > end {
+                return Err(CodecError::BadLength(u64::from(start)));
+            }
+            let n_sub = r.get_u32()?;
+            let sub_step = r.get_f64()?;
+            steps.push(SummaryStep {
+                start,
+                end,
+                sched: StepSchedule::from_raw(n_sub, sub_step),
+            });
+        }
+        let n = r.get_u64()?;
+        let n = r.checked_len(n, 12)?;
+        let mut deposits = Vec::with_capacity(n);
+        for _ in 0..n {
+            deposits.push((r.get_u32()?, r.get_f64()?));
+        }
+        // Every span must address real deposits, or replaying would
+        // index out of bounds.
+        if let Some(s) = steps.iter().find(|s| s.end as usize > deposits.len()) {
+            return Err(CodecError::BadLength(u64::from(s.end)));
+        }
+        r.finish()?;
+        Ok(ThermalSummary {
+            steps,
+            deposits,
+            leak,
+            leakage_feedback,
+            num_points,
+            signature,
+        })
     }
 }

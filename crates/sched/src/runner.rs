@@ -308,6 +308,13 @@ impl PreparedScenario {
         self.engine.cache_stats()
     }
 
+    /// The scenario's solve cache itself — the handle a persistence
+    /// tier uses to enable the spill log, drain new entries to disk,
+    /// and preload recovered entries on restart.
+    pub fn solve_cache(&self) -> &tadfa_core::SolveCache {
+        self.engine.cache()
+    }
+
     /// Runs the scenario with its configured knobs.
     ///
     /// # Errors

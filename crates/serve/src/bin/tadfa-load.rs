@@ -1,55 +1,90 @@
-//! `tadfa-load` — replay client and load generator for `tadfa-serve`.
+//! `tadfa-load` — replay client and load harness for `tadfa-serve`.
 //!
 //! Resolves the committed scenario specs (through the same
 //! `load_spec_dir` the service and offline CLI use), replays them
-//! against a live server at a configurable client concurrency, and
-//! asserts every response fingerprint is **byte-identical** to the
-//! committed `scenarios/golden/` reports — the service ≡ offline-CLI
-//! determinism gate. Repeating the replay (`--repeat`) makes later
-//! rounds cache-warm, so the gate also proves warm results equal cold
-//! ones.
+//! against a live server, and asserts every response fingerprint is
+//! **byte-identical** to the committed `scenarios/golden/` reports —
+//! the service ≡ offline-CLI determinism gate. Repeating the replay
+//! (`--repeat`) makes later rounds cache-warm, so the gate also proves
+//! warm results equal cold ones.
+//!
+//! Beyond the correctness gate it is a load harness: every request is
+//! individually timed (client-observed, admission retries included),
+//! `--warmup` runs untimed rounds first, `--sweep` replays the whole
+//! plan at several client concurrency levels, and exact
+//! p50/p99/p999 quantiles are computed from the raw samples (the
+//! server's own histogram is ~3%-accurate; the harness keeps every
+//! sample and is exact). `--slo-p99-ms` turns the latency report into
+//! a gate: any measured level whose p99 exceeds the budget fails the
+//! run. `--bench-out` writes a `BENCH_solver.json`-style document,
+//! `--trend-out` (with `--date`) appends a dated JSON line to the
+//! benchmark history, and `--samples-out` dumps the raw samples as
+//! CSV for offline analysis.
 //!
 //! ```text
 //! tadfa-load --spawn <tadfa-serve-bin> | --connect <addr:port>
 //!            [--scenarios <dir>] [--golden <dir>] [--concurrency N]
-//!            [--repeat R] [--workers W] [--shutdown]
+//!            [--sweep N,M,...] [--warmup R] [--repeat R] [--workers W]
+//!            [--slo-p99-ms MS] [--bench-out <file>] [--samples-out <file>]
+//!            [--trend-out <file> --date YYYY-MM-DD]
+//!            [--expect-preloaded N] [--expect-cache-hits N]
+//!            [--serve-arg ARG]... [--shutdown]
 //! ```
 //!
 //! `--spawn` launches the given service binary in pipe mode as a child
-//! (and always shuts it down at the end); `--connect` talks to an
+//! (and always shuts it down at the end); extra `--serve-arg` values
+//! are passed through to it, so a caller can e.g. spawn with
+//! `--serve-arg --cache-dir --serve-arg /tmp/cache` to exercise the
+//! persistent solve-cache tier. `--connect` talks to an
 //! already-running TCP server (and sends `shutdown` only with
-//! `--shutdown`). `queue-full` rejections are retried with backoff —
-//! backpressure is load shedding, not wrong results — and counted in
-//! the summary.
+//! `--shutdown`). `queue-full` and `slo-shed` rejections are retried
+//! with backoff — backpressure is load shedding, not wrong results —
+//! and counted in the summary. `--expect-preloaded` /
+//! `--expect-cache-hits` assert minimums against the server's own
+//! stats counters, which is how the crash-restart gate proves the
+//! second server start really served out of the persisted cache.
 //!
-//! Exit codes: `0` every response matched its golden, `1` any
-//! mismatch or request error, `2` usage or configuration error.
+//! Exit codes: `0` every response matched its golden and every gate
+//! held, `1` any mismatch, request error, SLO breach, or failed
+//! expectation, `2` usage or configuration error.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tadfa_sched::{json, load_spec_dir};
 use tadfa_serve::protocol::{self, kind, ParsedResponse};
 
 const USAGE: &str = "\
-tadfa-load — golden-replay client / load generator for tadfa-serve
+tadfa-load — golden-replay client / load harness for tadfa-serve
 
 USAGE:
     tadfa-load --spawn <tadfa-serve-bin> | --connect <addr:port>
                [--scenarios <dir>]   (default: scenarios)
                [--golden <dir>]      (default: <scenarios>/golden)
                [--concurrency N]     (default: 1)
+               [--sweep N,M,...]     (saturation sweep: replay at each level)
+               [--warmup R]          (untimed warmup rounds per level; default 0)
                [--repeat R]          (default: 2 — round 2+ is cache-warm)
                [--workers W]         (per-request engine worker override)
+               [--slo-p99-ms MS]     (fail if any level's p99 exceeds this)
+               [--bench-out <file>]  (write BENCH_serve.json-style report)
+               [--samples-out <file>](write raw latency samples as CSV)
+               [--trend-out <file>]  (append a dated history line; needs --date)
+               [--date YYYY-MM-DD]   (date stamp for --trend-out)
+               [--expect-preloaded N](fail unless server preloaded >= N entries)
+               [--expect-cache-hits N](fail unless server cache hits >= N)
+               [--serve-arg ARG]     (extra arg for the --spawn server; repeatable)
                [--shutdown]          (also shut down a --connect server)
 
 Replays every committed scenario spec against the server and fails
 unless every response fingerprint is byte-identical to the committed
-golden report — at any concurrency, cold or warm.";
+golden report — at any concurrency, cold or warm. Every request is
+timed; with --sweep the whole replay runs once per concurrency level
+and the report carries exact p50/p99/p999 per level.";
 
 struct Args {
     spawn: Option<PathBuf>,
@@ -57,8 +92,18 @@ struct Args {
     scenarios: PathBuf,
     golden: Option<PathBuf>,
     concurrency: usize,
+    sweep: Option<Vec<usize>>,
+    warmup: usize,
     repeat: usize,
     workers: Option<usize>,
+    slo_p99_ms: Option<f64>,
+    bench_out: Option<PathBuf>,
+    samples_out: Option<PathBuf>,
+    trend_out: Option<PathBuf>,
+    date: Option<String>,
+    expect_preloaded: Option<f64>,
+    expect_cache_hits: Option<f64>,
+    serve_args: Vec<String>,
     shutdown: bool,
 }
 
@@ -69,8 +114,18 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         scenarios: PathBuf::from("scenarios"),
         golden: None,
         concurrency: 1,
+        sweep: None,
+        warmup: 0,
         repeat: 2,
         workers: None,
+        slo_p99_ms: None,
+        bench_out: None,
+        samples_out: None,
+        trend_out: None,
+        date: None,
+        expect_preloaded: None,
+        expect_cache_hits: None,
+        serve_args: Vec::new(),
         shutdown: false,
     };
     let mut it = args.iter();
@@ -90,6 +145,21 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--concurrency needs a positive integer".to_string())?
             }
+            "--sweep" => {
+                let levels: Result<Vec<usize>, _> =
+                    value()?.split(',').map(|s| s.trim().parse()).collect();
+                match levels {
+                    Ok(levels) if !levels.is_empty() && levels.iter().all(|&l| l > 0) => {
+                        parsed.sweep = Some(levels)
+                    }
+                    _ => return Err("--sweep needs comma-separated positive integers".to_string()),
+                }
+            }
+            "--warmup" => {
+                parsed.warmup = value()?
+                    .parse()
+                    .map_err(|_| "--warmup needs a non-negative integer".to_string())?
+            }
             "--repeat" => {
                 parsed.repeat = value()?
                     .parse()
@@ -102,6 +172,36 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                         .map_err(|_| "--workers needs an integer".to_string())?,
                 )
             }
+            "--slo-p99-ms" => {
+                let ms: f64 = value()?
+                    .parse()
+                    .map_err(|_| "--slo-p99-ms needs a number".to_string())?;
+                if !ms.is_finite() || ms <= 0.0 {
+                    return Err("--slo-p99-ms needs a positive number".to_string());
+                }
+                parsed.slo_p99_ms = Some(ms);
+            }
+            "--bench-out" => parsed.bench_out = Some(PathBuf::from(value()?)),
+            "--samples-out" => parsed.samples_out = Some(PathBuf::from(value()?)),
+            "--trend-out" => parsed.trend_out = Some(PathBuf::from(value()?)),
+            "--date" => parsed.date = Some(value()?),
+            "--expect-preloaded" => {
+                parsed.expect_preloaded = Some(
+                    value()?
+                        .parse::<u64>()
+                        .map_err(|_| "--expect-preloaded needs an integer".to_string())?
+                        as f64,
+                )
+            }
+            "--expect-cache-hits" => {
+                parsed.expect_cache_hits = Some(
+                    value()?
+                        .parse::<u64>()
+                        .map_err(|_| "--expect-cache-hits needs an integer".to_string())?
+                        as f64,
+                )
+            }
+            "--serve-arg" => parsed.serve_args.push(value()?),
             "--shutdown" => parsed.shutdown = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument '{other}'")),
@@ -112,6 +212,12 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
     }
     if parsed.concurrency == 0 || parsed.repeat == 0 {
         return Err("--concurrency and --repeat must be positive".to_string());
+    }
+    if parsed.trend_out.is_some() && parsed.date.is_none() {
+        return Err("--trend-out needs --date YYYY-MM-DD".to_string());
+    }
+    if !parsed.serve_args.is_empty() && parsed.spawn.is_none() {
+        return Err("--serve-arg only makes sense with --spawn".to_string());
     }
     Ok(parsed)
 }
@@ -195,12 +301,186 @@ fn spawn_reader(
     })
 }
 
+/// One replay pass: correctness tallies plus (when timed) raw
+/// per-request latency samples.
 #[derive(Default)]
-struct Summary {
+struct Phase {
     ok: usize,
     mismatches: Vec<String>,
     errors: Vec<String>,
     queue_full_retries: u64,
+    shed_retries: u64,
+    /// `(scenario, client-observed latency ns)` per successful
+    /// request; empty for untimed (warmup) passes.
+    samples: Vec<(String, u64)>,
+}
+
+impl Phase {
+    fn absorb(&mut self, other: Phase) {
+        self.ok += other.ok;
+        self.mismatches.extend(other.mismatches);
+        self.errors.extend(other.errors);
+        self.queue_full_retries += other.queue_full_retries;
+        self.shed_retries += other.shed_retries;
+    }
+}
+
+/// Replays every scenario `rounds` times over `concurrency` client
+/// threads. Each request's latency spans from first send to final
+/// response, *including* bounded `queue-full` / `slo-shed` retries —
+/// the latency a real caller observes under backpressure.
+#[allow(clippy::too_many_arguments)]
+fn replay(
+    client: &Arc<Client>,
+    stems: &[String],
+    goldens: &HashMap<String, String>,
+    rounds: usize,
+    concurrency: usize,
+    workers: Option<usize>,
+    next_id: &AtomicU64,
+    timed: bool,
+) -> Phase {
+    let jobs: Vec<&String> = (0..rounds).flat_map(|_| stems.iter()).collect();
+    let next = AtomicUsize::new(0);
+    let phase = Mutex::new(Phase::default());
+    std::thread::scope(|scope| {
+        for _ in 0..concurrency.min(jobs.len().max(1)) {
+            scope.spawn(|| loop {
+                let j = next.fetch_add(1, Ordering::Relaxed);
+                if j >= jobs.len() {
+                    break;
+                }
+                let stem = jobs[j];
+                let id = next_id.fetch_add(1, Ordering::Relaxed);
+                let workers_field =
+                    workers.map_or(String::new(), |w| format!(", \"workers\": {w}"));
+                let line = format!(
+                    "{{\"id\": {id}, \"op\": \"run-scenario\", \"scenario\": {}{workers_field}}}",
+                    json::escape(stem)
+                );
+                let started = Instant::now();
+                let (mut full_retries, mut shed_retries) = (0u64, 0u64);
+                loop {
+                    match client.call(id, &line) {
+                        Ok(resp) if resp.ok => {
+                            let elapsed = started.elapsed().as_nanos() as u64;
+                            let mut s = phase.lock().expect("phase poisoned");
+                            match (resp.fingerprint.as_deref(), goldens.get(stem.as_str())) {
+                                (Some(got), Some(want)) if got == *want => {
+                                    s.ok += 1;
+                                    if timed {
+                                        s.samples.push((stem.clone(), elapsed));
+                                    }
+                                }
+                                (got, want) => s.mismatches.push(format!(
+                                    "{stem}: response fingerprint {} != golden {}",
+                                    got.unwrap_or("<missing>"),
+                                    want.map_or("<missing>", String::as_str),
+                                )),
+                            }
+                            break;
+                        }
+                        Ok(resp)
+                            if matches!(
+                                resp.error.as_deref(),
+                                Some(kind::QUEUE_FULL) | Some(kind::SLO_SHED)
+                            ) =>
+                        {
+                            // Backpressure — a full queue or an SLO
+                            // shed — is load shedding, not a wrong
+                            // answer: retry with backoff, bounded.
+                            if resp.error.as_deref() == Some(kind::SLO_SHED) {
+                                shed_retries += 1;
+                            } else {
+                                full_retries += 1;
+                            }
+                            if full_retries + shed_retries > 200 {
+                                phase
+                                    .lock()
+                                    .expect("phase poisoned")
+                                    .errors
+                                    .push(format!("{stem}: still shed after 200 retries"));
+                                break;
+                            }
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Ok(resp) => {
+                            phase.lock().expect("phase poisoned").errors.push(format!(
+                                "{stem}: {} ({})",
+                                resp.error.as_deref().unwrap_or("error"),
+                                resp.message.as_deref().unwrap_or("no message"),
+                            ));
+                            break;
+                        }
+                        Err(e) => {
+                            phase
+                                .lock()
+                                .expect("phase poisoned")
+                                .errors
+                                .push(format!("{stem}: {e}"));
+                            break;
+                        }
+                    }
+                }
+                let mut s = phase.lock().expect("phase poisoned");
+                s.queue_full_retries += full_retries;
+                s.shed_retries += shed_retries;
+            });
+        }
+    });
+    phase.into_inner().expect("phase poisoned")
+}
+
+/// Exact quantile of a sorted sample set: the value at 1-based rank
+/// `ceil(q * n)`, clamped into range — the nearest-rank definition
+/// the service histogram approximates.
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// One measured concurrency level of the sweep.
+struct LevelReport {
+    concurrency: usize,
+    requests: usize,
+    elapsed: Duration,
+    p50_ns: u64,
+    p99_ns: u64,
+    p999_ns: u64,
+    mean_ns: u64,
+    max_ns: u64,
+    throughput_rps: f64,
+}
+
+impl LevelReport {
+    fn from_phase(concurrency: usize, phase: &Phase, elapsed: Duration) -> LevelReport {
+        let mut sorted: Vec<u64> = phase.samples.iter().map(|(_, ns)| *ns).collect();
+        sorted.sort_unstable();
+        let sum: u128 = sorted.iter().map(|&ns| ns as u128).sum();
+        let n = sorted.len();
+        LevelReport {
+            concurrency,
+            requests: n,
+            elapsed,
+            p50_ns: quantile(&sorted, 0.50),
+            p99_ns: quantile(&sorted, 0.99),
+            p999_ns: quantile(&sorted, 0.999),
+            mean_ns: if n == 0 { 0 } else { (sum / n as u128) as u64 },
+            max_ns: sorted.last().copied().unwrap_or(0),
+            throughput_rps: if elapsed.as_secs_f64() > 0.0 {
+                n as f64 / elapsed.as_secs_f64()
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
 }
 
 fn main() -> ExitCode {
@@ -263,6 +543,7 @@ fn main() -> ExitCode {
             .arg("--scenarios")
             .arg(&args.scenarios)
             .arg("--pipe")
+            .args(&args.serve_args)
             .stdin(std::process::Stdio::piped())
             .stdout(std::process::Stdio::piped())
             .spawn()
@@ -315,95 +596,63 @@ fn main() -> ExitCode {
     };
     let client = Arc::new(client);
 
-    // The replay plan: every scenario, `repeat` rounds (round 2+ hits
-    // the warm cache), spread over `concurrency` client threads.
-    let jobs: Vec<&String> = (0..args.repeat).flat_map(|_| stems.iter()).collect();
-    let next = AtomicUsize::new(0);
-    let summary = Mutex::new(Summary::default());
-    std::thread::scope(|scope| {
-        for _ in 0..args.concurrency.min(jobs.len()) {
-            scope.spawn(|| loop {
-                let j = next.fetch_add(1, Ordering::Relaxed);
-                if j >= jobs.len() {
-                    break;
-                }
-                let stem = jobs[j];
-                let id = (j + 1) as u64;
-                let workers = args
-                    .workers
-                    .map_or(String::new(), |w| format!(", \"workers\": {w}"));
-                let line = format!(
-                    "{{\"id\": {id}, \"op\": \"run-scenario\", \"scenario\": {}{workers}}}",
-                    json::escape(stem)
-                );
-                let mut backoffs = 0u64;
-                loop {
-                    match client.call(id, &line) {
-                        Ok(resp) if resp.ok => {
-                            let mut s = summary.lock().expect("summary poisoned");
-                            match (resp.fingerprint.as_deref(), goldens.get(stem.as_str())) {
-                                (Some(got), Some(want)) if got == *want => s.ok += 1,
-                                (got, want) => s.mismatches.push(format!(
-                                    "{stem}: response fingerprint {} != golden {}",
-                                    got.unwrap_or("<missing>"),
-                                    want.map_or("<missing>", String::as_str),
-                                )),
-                            }
-                            break;
-                        }
-                        Ok(resp) if resp.error.as_deref() == Some(kind::QUEUE_FULL) => {
-                            // Backpressure is load shedding, not a wrong
-                            // answer: retry with backoff, bounded.
-                            backoffs += 1;
-                            if backoffs > 200 {
-                                summary
-                                    .lock()
-                                    .expect("summary poisoned")
-                                    .errors
-                                    .push(format!("{stem}: still queue-full after 200 retries"));
-                                break;
-                            }
-                            std::thread::sleep(Duration::from_millis(10));
-                        }
-                        Ok(resp) => {
-                            summary
-                                .lock()
-                                .expect("summary poisoned")
-                                .errors
-                                .push(format!(
-                                    "{stem}: {} ({})",
-                                    resp.error.as_deref().unwrap_or("error"),
-                                    resp.message.as_deref().unwrap_or("no message"),
-                                ));
-                            break;
-                        }
-                        Err(e) => {
-                            summary
-                                .lock()
-                                .expect("summary poisoned")
-                                .errors
-                                .push(format!("{stem}: {e}"));
-                            break;
-                        }
-                    }
-                }
-                summary.lock().expect("summary poisoned").queue_full_retries += backoffs;
-            });
+    // The sweep plan: each concurrency level replays every scenario
+    // `warmup` untimed rounds, then `repeat` timed rounds. Without
+    // --sweep there is exactly one level (--concurrency).
+    let levels = args.sweep.clone().unwrap_or_else(|| vec![args.concurrency]);
+    let next_id = AtomicU64::new(1);
+    let mut totals = Phase::default();
+    let mut reports: Vec<LevelReport> = Vec::new();
+    let mut all_samples: Vec<(usize, String, u64)> = Vec::new();
+    for &level in &levels {
+        if args.warmup > 0 {
+            totals.absorb(replay(
+                &client,
+                &stems,
+                &goldens,
+                args.warmup,
+                level,
+                args.workers,
+                &next_id,
+                false,
+            ));
         }
-    });
-    let summary = summary.into_inner().expect("summary poisoned");
+        let started = Instant::now();
+        let phase = replay(
+            &client,
+            &stems,
+            &goldens,
+            args.repeat,
+            level,
+            args.workers,
+            &next_id,
+            true,
+        );
+        let elapsed = started.elapsed();
+        reports.push(LevelReport::from_phase(level, &phase, elapsed));
+        for (stem, ns) in &phase.samples {
+            all_samples.push((level, stem.clone(), *ns));
+        }
+        totals.absorb(phase);
+    }
 
-    // Pull the server's own counters (best effort) and shut down.
-    let stats_id = (jobs.len() + 1) as u64;
+    // Pull the server's own counters and shut down.
+    let stats_id = next_id.fetch_add(1, Ordering::Relaxed);
+    let mut preloaded_total = 0.0f64;
+    let mut cache_hits_total = 0.0f64;
     match client.call(
         stats_id,
         &format!("{{\"id\": {stats_id}, \"op\": \"stats\"}}"),
     ) {
-        Ok(resp) => println!("server stats: {}", render_stats(&resp)),
+        Ok(resp) => {
+            preloaded_total = sum_cache_field(&resp, "preloaded");
+            cache_hits_total = sum_cache_field(&resp, "hits");
+            println!("server stats: {}", render_stats(&resp));
+        }
         Err(e) => eprintln!("tadfa-load: stats unavailable: {e}"),
     }
     if args.spawn.is_some() || args.shutdown {
-        let id = stats_id + 1;
+        let id = next_id.fetch_add(1, Ordering::Relaxed);
         let _ = client.call(id, &format!("{{\"id\": {id}, \"op\": \"shutdown\"}}"));
     }
     if let Some(mut child) = child {
@@ -412,33 +661,225 @@ fn main() -> ExitCode {
     }
 
     // Report.
+    let requests_total: usize = reports.iter().map(|r| r.requests).sum();
     println!(
-        "tadfa-load: {} request(s) over {} scenario(s) (concurrency {}, repeat {}): \
-         {} ok, {} mismatch(es), {} error(s), {} queue-full retries",
-        jobs.len(),
+        "tadfa-load: {} timed request(s) over {} scenario(s) (levels {:?}, warmup {}, repeat {}): \
+         {} ok, {} mismatch(es), {} error(s), {} queue-full + {} shed retries",
+        requests_total,
         stems.len(),
-        args.concurrency,
+        levels,
+        args.warmup,
         args.repeat,
-        summary.ok,
-        summary.mismatches.len(),
-        summary.errors.len(),
-        summary.queue_full_retries,
+        totals.ok,
+        totals.mismatches.len(),
+        totals.errors.len(),
+        totals.queue_full_retries,
+        totals.shed_retries,
     );
-    for m in &summary.mismatches {
+    for r in &reports {
+        println!(
+            "  c{}: {} requests in {:.2}s ({:.1} req/s) p50 {:.2}ms p99 {:.2}ms \
+             p999 {:.2}ms mean {:.2}ms max {:.2}ms",
+            r.concurrency,
+            r.requests,
+            r.elapsed.as_secs_f64(),
+            r.throughput_rps,
+            ms(r.p50_ns),
+            ms(r.p99_ns),
+            ms(r.p999_ns),
+            ms(r.mean_ns),
+            ms(r.max_ns),
+        );
+    }
+    for m in &totals.mismatches {
         eprintln!("MISMATCH {m}");
     }
-    for e in &summary.errors {
+    for e in &totals.errors {
         eprintln!("ERROR {e}");
     }
-    if !summary.mismatches.is_empty() || !summary.errors.is_empty() {
+
+    // Artifact exports — before the gates, so a breached SLO still
+    // leaves the evidence on disk.
+    if let Some(path) = &args.samples_out {
+        let mut csv = String::from("concurrency,scenario,latency_ns\n");
+        for (level, stem, ns) in &all_samples {
+            csv.push_str(&format!("{level},{stem},{ns}\n"));
+        }
+        if let Err(e) = std::fs::write(path, csv) {
+            eprintln!("tadfa-load: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = &args.bench_out {
+        let doc = bench_document(&args, &stems, &reports, preloaded_total, cache_hits_total);
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("tadfa-load: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {}", path.display());
+    }
+    if let Some(path) = &args.trend_out {
+        let date = args.date.as_deref().expect("checked in parse_args");
+        let line = trend_line(date, &reports, requests_total);
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| writeln!(f, "{line}"));
+        if let Err(e) = appended {
+            eprintln!("tadfa-load: cannot append {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("appended trend line to {}", path.display());
+    }
+
+    // Gates: goldens first, then expectations, then the latency SLO.
+    if !totals.mismatches.is_empty() || !totals.errors.is_empty() {
         eprintln!("FAIL: service responses drifted from the committed goldens.");
         return ExitCode::from(1);
+    }
+    if let Some(want) = args.expect_preloaded {
+        if preloaded_total < want {
+            eprintln!(
+                "FAIL: server preloaded {preloaded_total} cache entr(ies), expected >= {want} \
+                 — the persistent cache tier did not survive the restart."
+            );
+            return ExitCode::from(1);
+        }
+        println!("OK: server preloaded {preloaded_total} entr(ies) (>= {want}).");
+    }
+    if let Some(want) = args.expect_cache_hits {
+        if cache_hits_total < want {
+            eprintln!(
+                "FAIL: server cache hits {cache_hits_total}, expected >= {want} \
+                 — requests were not served out of the warm cache."
+            );
+            return ExitCode::from(1);
+        }
+        println!("OK: server cache hits {cache_hits_total} (>= {want}).");
+    }
+    if let Some(slo_ms) = args.slo_p99_ms {
+        let breached: Vec<&LevelReport> =
+            reports.iter().filter(|r| ms(r.p99_ns) > slo_ms).collect();
+        if !breached.is_empty() {
+            for r in &breached {
+                eprintln!(
+                    "SLO BREACH c{}: p99 {:.2}ms > budget {slo_ms}ms",
+                    r.concurrency,
+                    ms(r.p99_ns)
+                );
+            }
+            eprintln!("FAIL: latency SLO breached at {} level(s).", breached.len());
+            return ExitCode::from(1);
+        }
+        println!("OK: p99 within the {slo_ms}ms SLO at every level.");
     }
     println!(
         "OK: every response fingerprint matches {} (cache-warm service \u{2261} offline batch).",
         golden_dir.display()
     );
     ExitCode::SUCCESS
+}
+
+/// Sums one per-scenario cache counter across every scenario in a
+/// stats response (0.0 when absent — no cache block, no scenarios).
+fn sum_cache_field(resp: &ParsedResponse, field: &str) -> f64 {
+    resp.doc
+        .get("scenarios")
+        .and_then(|v| v.as_array())
+        .map(|scenarios| {
+            scenarios
+                .iter()
+                .filter_map(|s| {
+                    s.get("cache")
+                        .and_then(|c| c.get(field))
+                        .and_then(|v| v.as_f64())
+                })
+                .sum()
+        })
+        .unwrap_or(0.0)
+}
+
+/// The `BENCH_serve.json` document: one bench entry per measured
+/// concurrency level, in the `BENCH_solver.json` shape — a `benches`
+/// array plus a flat `metrics` object.
+fn bench_document(
+    args: &Args,
+    stems: &[String],
+    reports: &[LevelReport],
+    preloaded: f64,
+    cache_hits: f64,
+) -> String {
+    let benches: Vec<String> = reports
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"name\": \"serve/replay/c{}\", \"samples\": {}, \"p50_ns\": {}, \
+                 \"p99_ns\": {}, \"p999_ns\": {}, \"mean_ns\": {}, \"max_ns\": {}, \
+                 \"throughput_rps\": {:.3}}}",
+                r.concurrency,
+                r.requests,
+                r.p50_ns,
+                r.p99_ns,
+                r.p999_ns,
+                r.mean_ns,
+                r.max_ns,
+                r.throughput_rps
+            )
+        })
+        .collect();
+    let peak_rps = reports
+        .iter()
+        .map(|r| r.throughput_rps)
+        .fold(0.0f64, f64::max);
+    let best_p99 = reports.iter().map(|r| r.p99_ns).min().unwrap_or(0);
+    let requests_total: usize = reports.iter().map(|r| r.requests).sum();
+    let mut metrics = vec![
+        format!("    \"scenarios\": {}", stems.len()),
+        format!("    \"levels\": {}", reports.len()),
+        format!("    \"warmup_rounds\": {}", args.warmup),
+        format!("    \"repeat_rounds\": {}", args.repeat),
+        format!("    \"requests_total\": {requests_total}"),
+        format!("    \"peak_throughput_rps\": {peak_rps:.3}"),
+        format!("    \"best_p99_ns\": {best_p99}"),
+        format!("    \"cache_preloaded\": {preloaded}"),
+        format!("    \"cache_hits\": {cache_hits}"),
+    ];
+    if let Some(slo) = args.slo_p99_ms {
+        metrics.push(format!("    \"slo_p99_ms\": {slo}"));
+    }
+    format!(
+        "{{\n  \"benches\": [\n{}\n  ],\n  \"metrics\": {{\n{}\n  }}\n}}\n",
+        benches.join(",\n"),
+        metrics.join(",\n")
+    )
+}
+
+/// One dated JSON line for `BENCH_history/trend.jsonl` — the service
+/// suite's counterpart to the solver benchmark lines (`"suite":
+/// "serve"` distinguishes them from `tadfa-bench append-history`
+/// output).
+fn trend_line(date: &str, reports: &[LevelReport], requests_total: usize) -> String {
+    let per_level = |f: fn(&LevelReport) -> u64| {
+        reports
+            .iter()
+            .map(|r| format!("\"serve/replay/c{}\": {}", r.concurrency, f(r)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let peak_rps = reports
+        .iter()
+        .map(|r| r.throughput_rps)
+        .fold(0.0f64, f64::max);
+    format!(
+        "{{\"date\": {}, \"suite\": \"serve\", \"p50_ns\": {{{}}}, \"p99_ns\": {{{}}}, \
+         \"metrics\": {{\"peak_throughput_rps\": {:.3}, \"requests_total\": {}}}}}",
+        json::escape(date),
+        per_level(|r| r.p50_ns),
+        per_level(|r| r.p99_ns),
+        peak_rps,
+        requests_total
+    )
 }
 
 /// One line of the interesting server counters out of a stats
@@ -451,7 +892,7 @@ fn render_stats(resp: &ParsedResponse) -> String {
     for s in scenarios {
         let name = s.get("name").and_then(|v| v.as_str()).unwrap_or("?");
         let runs = s.get("runs").and_then(|v| v.as_f64()).unwrap_or(0.0);
-        let (mut hits, mut misses, mut rejected) = (0.0, 0.0, 0.0);
+        let (mut hits, mut misses, mut rejected, mut preloaded) = (0.0, 0.0, 0.0, 0.0);
         if let Some(c) = s.get("cache") {
             hits = c.get("hits").and_then(|v| v.as_f64()).unwrap_or(0.0);
             misses = c.get("misses").and_then(|v| v.as_f64()).unwrap_or(0.0);
@@ -459,9 +900,10 @@ fn render_stats(resp: &ParsedResponse) -> String {
                 .get("rejected_stores")
                 .and_then(|v| v.as_f64())
                 .unwrap_or(0.0);
+            preloaded = c.get("preloaded").and_then(|v| v.as_f64()).unwrap_or(0.0);
         }
         parts.push(format!(
-            "{name}: {runs} runs, cache {hits}h/{misses}m/{rejected}r"
+            "{name}: {runs} runs, cache {hits}h/{misses}m/{rejected}r/{preloaded}p"
         ));
     }
     if let Some(q) = resp.doc.get("queue") {
@@ -470,6 +912,14 @@ fn render_stats(resp: &ParsedResponse) -> String {
             q.get("accepted").and_then(|v| v.as_f64()).unwrap_or(0.0),
             q.get("rejected").and_then(|v| v.as_f64()).unwrap_or(0.0),
             q.get("peak_depth").and_then(|v| v.as_f64()).unwrap_or(0.0),
+        ));
+    }
+    if let Some(l) = resp.doc.get("latency") {
+        parts.push(format!(
+            "latency p50 {:.2}ms p99 {:.2}ms ({} obs)",
+            l.get("p50_ns").and_then(|v| v.as_f64()).unwrap_or(0.0) / 1e6,
+            l.get("p99_ns").and_then(|v| v.as_f64()).unwrap_or(0.0) / 1e6,
+            l.get("count").and_then(|v| v.as_f64()).unwrap_or(0.0),
         ));
     }
     parts.join("; ")

@@ -10,7 +10,15 @@
 //! ```text
 //! tadfa-serve [--scenarios <dir>] [--pipe | --listen <addr:port>]
 //!             [--queue-capacity N] [--service-workers N] [--engine-workers N]
+//!             [--cache-dir <dir>] [--warm-golden <dir>] [--shed-after-ms N]
+//!             [--reactor-shards N] [--max-line-bytes N] [--stall-timeout-ms N]
 //! ```
+//!
+//! `--cache-dir` turns on the persistent solve-cache tier (preload at
+//! startup, spill new entries per request); `--warm-golden` runs every
+//! scenario once at startup and fingerprint-verifies it against its
+//! committed golden; `--shed-after-ms` is the queueing-latency SLO
+//! beyond which waiting requests are shed instead of computed.
 //!
 //! Exit codes: `0` clean shutdown, `2` usage or configuration error.
 //! All diagnostics go to stderr — stdout is the protocol channel.
@@ -25,14 +33,22 @@ tadfa-serve — persistent thermal-scenario analysis service
 USAGE:
     tadfa-serve [--scenarios <dir>] [--pipe | --listen <addr:port>]
                 [--queue-capacity N] [--service-workers N] [--engine-workers N]
+                [--cache-dir <dir>] [--warm-golden <dir>] [--shed-after-ms N]
+                [--reactor-shards N] [--max-line-bytes N] [--stall-timeout-ms N]
 
 Loads every scenarios/*.toml|json spec once, then serves JSON-lines
 requests ({\"id\": 1, \"op\": \"run-scenario\", \"scenario\": \"<stem>\"},
-analyze, analyze-module, stats, ping, shutdown) against warm
+analyze, analyze-module, stats, reload, ping, shutdown) against warm
 engines. Pipe mode (the
-default) speaks the protocol on stdin/stdout; --listen serves TCP.
+default) speaks the protocol on stdin/stdout; --listen serves TCP
+through reactor shards that scale to thousands of connections.
 Requests beyond --queue-capacity are rejected with a queue-full error,
-never buffered unboundedly.";
+never buffered unboundedly; requests older than --shed-after-ms are
+shed with an slo-shed error instead of computed late. --cache-dir
+persists every solve-cache entry to checksummed segment files and
+preloads them at the next start; --warm-golden <dir> runs each
+scenario once at startup and refuses to serve on any fingerprint
+mismatch with the committed goldens.";
 
 fn main() -> ExitCode {
     let mut cfg = ServerConfig::default();
@@ -67,6 +83,30 @@ fn main() -> ExitCode {
             },
             "--engine-workers" => match usize_arg(arg, it.next()) {
                 Ok(v) => cfg.engine_workers = Some(v),
+                Err(e) => return usage_error(&e),
+            },
+            "--cache-dir" => match it.next() {
+                Some(dir) => cfg.cache_dir = Some(PathBuf::from(dir)),
+                None => return usage_error("--cache-dir needs a directory"),
+            },
+            "--warm-golden" => match it.next() {
+                Some(dir) => cfg.warm_golden = Some(PathBuf::from(dir)),
+                None => return usage_error("--warm-golden needs a directory"),
+            },
+            "--shed-after-ms" => match usize_arg(arg, it.next()) {
+                Ok(v) => cfg.shed_after_ms = Some(v as u64),
+                Err(e) => return usage_error(&e),
+            },
+            "--reactor-shards" => match usize_arg(arg, it.next()) {
+                Ok(v) => cfg.reactor_shards = v,
+                Err(e) => return usage_error(&e),
+            },
+            "--max-line-bytes" => match usize_arg(arg, it.next()) {
+                Ok(v) => cfg.max_line_bytes = v,
+                Err(e) => return usage_error(&e),
+            },
+            "--stall-timeout-ms" => match usize_arg(arg, it.next()) {
+                Ok(v) => cfg.stall_timeout_ms = v as u64,
                 Err(e) => return usage_error(&e),
             },
             "--help" | "-h" | "help" => {

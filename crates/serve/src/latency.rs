@@ -1,0 +1,219 @@
+//! Lock-free log-bucketed latency histograms (p50/p99/p999).
+//!
+//! An [`LatencyHistogram`] is a fixed array of atomic counters over
+//! logarithmically spaced nanosecond buckets — the HDR idea cut to
+//! what a service needs: `record` is one atomic increment on the hot
+//! path (no lock, no allocation, safe from any worker thread), and
+//! quantiles come out with bounded relative error (each power-of-two
+//! range is split into 32 sub-buckets, so a reported quantile is
+//! within ~3% of the true value). That error bound is why the service
+//! can publish p999 from a counter array instead of keeping raw
+//! samples; the load harness (`tadfa-load`), which *can* afford raw
+//! samples, keeps them and reports exact quantiles as a cross-check.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: each power-of-two range is split into
+/// `2^SUB_BITS` linear sub-buckets (~3% worst-case relative error).
+const SUB_BITS: u32 = 5;
+const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+/// Bucket count covering the full `u64` nanosecond range.
+const BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * (SUB_BUCKETS as usize);
+
+/// The bucket a nanosecond value lands in.
+fn bucket_index(ns: u64) -> usize {
+    if ns < SUB_BUCKETS {
+        return ns as usize;
+    }
+    let top = 63 - ns.leading_zeros(); // >= SUB_BITS here
+    let shift = top - SUB_BITS;
+    let major = (top - SUB_BITS + 1) as u64;
+    let minor = (ns >> shift) & (SUB_BUCKETS - 1);
+    (major * SUB_BUCKETS + minor) as usize
+}
+
+/// A representative (midpoint) nanosecond value for a bucket.
+fn bucket_value(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB_BUCKETS {
+        return idx;
+    }
+    let major = idx / SUB_BUCKETS - 1;
+    let minor = idx % SUB_BUCKETS;
+    let base = (SUB_BUCKETS + minor) << major;
+    let width = 1u64 << major;
+    base + width / 2
+}
+
+/// A concurrent log-bucketed histogram of nanosecond latencies.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one latency observation.
+    pub fn record(&self, ns: u64) {
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) in nanoseconds, `0` when empty.
+    /// Within the bucket resolution (~3% relative error); `max`
+    /// in the snapshot is exact.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        // Rank of the target observation, 1-based, clamped into range.
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_value(i);
+            }
+        }
+        self.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time summary (concurrent recording may make the
+    /// fields mutually off by in-flight increments; each field is
+    /// itself consistent).
+    pub fn snapshot(&self) -> LatencySnapshot {
+        let count = self.count();
+        LatencySnapshot {
+            count,
+            mean_ns: self
+                .sum_ns
+                .load(Ordering::Relaxed)
+                .checked_div(count)
+                .unwrap_or(0),
+            p50_ns: self.quantile(0.50),
+            p99_ns: self.quantile(0.99),
+            p999_ns: self.quantile(0.999),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time latency summary, all nanoseconds.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean_ns: u64,
+    /// Median.
+    pub p50_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// 99.9th percentile.
+    pub p999_ns: u64,
+    /// Largest observation (exact).
+    pub max_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = LatencyHistogram::new();
+        for ns in 0..SUB_BUCKETS {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), SUB_BUCKETS);
+        assert_eq!(h.quantile(0.0), 0);
+        // Below SUB_BUCKETS every value has its own bucket.
+        assert_eq!(h.quantile(1.0), SUB_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_are_within_bucket_resolution() {
+        let h = LatencyHistogram::new();
+        // 1..=1000 microseconds, one sample each.
+        for us in 1..=1000u64 {
+            h.record(us * 1000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        let within = |got: u64, want: u64| {
+            let err = (got as f64 - want as f64).abs() / want as f64;
+            assert!(err < 0.04, "got {got}, want ~{want} (err {err:.3})");
+        };
+        within(s.p50_ns, 500_000);
+        within(s.p99_ns, 990_000);
+        within(s.p999_ns, 999_000);
+        assert_eq!(s.max_ns, 1_000_000);
+        within(s.mean_ns, 500_500);
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow_bucketing() {
+        let h = LatencyHistogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.snapshot().max_ns, u64::MAX);
+        assert!(h.quantile(1.0) > u64::MAX / 2);
+    }
+
+    #[test]
+    fn bucket_value_lies_inside_its_bucket() {
+        for ns in [0u64, 1, 31, 32, 33, 100, 1_000, 123_456, 10_u64.pow(9)] {
+            let idx = bucket_index(ns);
+            let rep = bucket_value(idx);
+            assert_eq!(
+                bucket_index(rep),
+                idx,
+                "representative of bucket({ns}) escaped its bucket"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = LatencyHistogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        h.record(t * 1_000_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.snapshot().count, 4000);
+    }
+}

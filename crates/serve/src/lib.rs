@@ -42,10 +42,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod latency;
+pub mod persist;
 pub mod protocol;
 pub mod queue;
 pub mod service;
 
+pub use latency::{LatencyHistogram, LatencySnapshot};
+pub use persist::{LoadReport, PersistStats, SegmentStore};
 pub use protocol::{parse_request, parse_response, Op, ParsedResponse, Request, RequestError};
 pub use queue::{AdmissionQueue, QueueStats, RejectReason};
 pub use service::{sink, ServeError, Server, ServerConfig, Sink};

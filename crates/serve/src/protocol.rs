@@ -15,8 +15,9 @@
 //! {"id": 3, "op": "analyze", "scenario": "solo_baseline", "source": "func @f(%0) { ... }"}
 //! {"id": 4, "op": "analyze-module", "scenario": "solo_baseline", "source": "func @leaf(%0) { ... } func @main(%0) { ... }"}
 //! {"id": 5, "op": "stats"}
-//! {"id": 6, "op": "ping"}
-//! {"id": 7, "op": "shutdown"}
+//! {"id": 6, "op": "reload"}
+//! {"id": 7, "op": "ping"}
+//! {"id": 8, "op": "shutdown"}
 //! ```
 //!
 //! `id` is a non-negative integer chosen by the client; `workers` and
@@ -55,6 +56,15 @@ pub mod kind {
     pub const DEADLINE_EXCEEDED: &str = "deadline-exceeded";
     /// The analysis itself failed (bad IR source, allocation failure).
     pub const ANALYSIS_FAILED: &str = "analysis-failed";
+    /// The request line exceeded the configured size cap before a
+    /// newline arrived; the connection is closed after this response.
+    pub const REQUEST_TOO_LARGE: &str = "request-too-large";
+    /// The request waited past the latency SLO before a worker could
+    /// start it, so it was shed without computing — retrying later (or
+    /// elsewhere) beats serving a uselessly late answer.
+    pub const SLO_SHED: &str = "slo-shed";
+    /// A `reload` failed; the previous environment stays in service.
+    pub const RELOAD_FAILED: &str = "reload-failed";
 }
 
 /// One parsed request.
@@ -104,6 +114,10 @@ pub enum Op {
     },
     /// Report service counters (per-scenario cache stats, queue depth).
     Stats,
+    /// Re-resolve and re-prepare the scenario directory, atomically
+    /// swapping the environment; in-flight requests finish against
+    /// whichever environment they resolve.
+    Reload,
     /// Liveness probe; answered immediately, never queued.
     Ping,
     /// Stop accepting requests, drain, and exit.
@@ -167,7 +181,7 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
         "analyze" | "analyze-module" => {
             &["id", "op", "scenario", "source", "workers", "deadline_ms"]
         }
-        "stats" | "ping" | "shutdown" => &["id", "op"],
+        "stats" | "reload" | "ping" | "shutdown" => &["id", "op"],
         other => return Err(fail(format!("unknown op '{other}'"))),
     };
     for (key, _) in members {
@@ -213,6 +227,7 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
             deadline_ms: u64_field("deadline_ms")?,
         },
         "stats" => Op::Stats,
+        "reload" => Op::Reload,
         "ping" => Op::Ping,
         "shutdown" => Op::Shutdown,
         _ => unreachable!("op validated above"),
@@ -289,6 +304,12 @@ pub fn analyze_module_response(
 /// The success response for `ping`.
 pub fn pong_response(id: u64) -> String {
     format!("{{\"id\": {id}, \"ok\": true, \"op\": \"ping\"}}")
+}
+
+/// The success response for `reload`: how many scenarios the fresh
+/// environment serves.
+pub fn reload_response(id: u64, scenarios: usize) -> String {
+    format!("{{\"id\": {id}, \"ok\": true, \"op\": \"reload\", \"scenarios\": {scenarios}}}")
 }
 
 /// The success response for `shutdown` (sent before the service
@@ -391,6 +412,7 @@ mod tests {
         assert!(matches!(r.op, Op::Analyze { .. }));
         for (op, expected) in [
             ("stats", Op::Stats),
+            ("reload", Op::Reload),
             ("ping", Op::Ping),
             ("shutdown", Op::Shutdown),
         ] {

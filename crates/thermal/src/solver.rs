@@ -145,6 +145,27 @@ pub struct StepSchedule {
     h: f64,
 }
 
+impl StepSchedule {
+    /// Number of explicit-Euler sub-steps the schedule runs.
+    pub fn n_sub(&self) -> u32 {
+        self.n_sub
+    }
+
+    /// The sub-step size, seconds (0.0 when `n_sub` is 0).
+    pub fn sub_step(&self) -> f64 {
+        self.h
+    }
+
+    /// Reassembles a schedule from its raw parts — the persistence
+    /// round-trip constructor. The parts must come from
+    /// [`StepSchedule::n_sub`] / [`StepSchedule::sub_step`] of a
+    /// schedule built for the *same* compiled model, or stepping with
+    /// it can violate the model's stability limit.
+    pub fn from_raw(n_sub: u32, sub_step: f64) -> StepSchedule {
+        StepSchedule { n_sub, h: sub_step }
+    }
+}
+
 /// Tolerance and sweep budget of the Gauss–Seidel steady-state solver.
 ///
 /// The defaults reproduce the historical hard-coded values (1 µK L∞
