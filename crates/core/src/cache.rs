@@ -343,6 +343,30 @@ impl SolveCache {
         }
     }
 
+    /// Preloads a batch of recovered [`SpillEntry`] values — the bulk
+    /// warm-recovery surface the persistence tier and the fleet
+    /// supervisor use. Each entry is dispatched to
+    /// [`preload`](SolveCache::preload) /
+    /// [`preload_summary`](SolveCache::preload_summary), so the
+    /// first-wins, no-spill-log, counted-in-`preloaded` semantics hold
+    /// per entry; duplicate keys in the batch (e.g. segment
+    /// directories carrying records from several process lifetimes)
+    /// collapse to the oldest occurrence. Returns how many entries
+    /// were actually inserted.
+    pub fn preload_entries(&self, entries: impl IntoIterator<Item = SpillEntry>) -> u64 {
+        let mut inserted = 0u64;
+        for entry in entries {
+            let took = match entry.value {
+                SpillValue::Result(r) => self.preload(entry.key, r),
+                SpillValue::Summary(s) => self.preload_summary(entry.key, s),
+            };
+            if took {
+                inserted += 1;
+            }
+        }
+        inserted
+    }
+
     /// The thermal summary cached under `key`, if present. Counts a
     /// [`CacheStats::summary_hits`] hit; a miss is not an event (the
     /// caller flattens and stores, which

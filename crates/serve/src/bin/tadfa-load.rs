@@ -22,27 +22,48 @@
 //! CSV for offline analysis.
 //!
 //! ```text
-//! tadfa-load --spawn <tadfa-serve-bin> | --connect <addr:port>
+//! tadfa-load --spawn <tadfa-serve-bin> | --spawn-fleet <tadfa-fleet-bin>
+//!            | --connect <addr:port>
 //!            [--scenarios <dir>] [--golden <dir>] [--concurrency N]
 //!            [--sweep N,M,...] [--warmup R] [--repeat R] [--workers W]
 //!            [--slo-p99-ms MS] [--bench-out <file>] [--samples-out <file>]
-//!            [--trend-out <file> --date YYYY-MM-DD]
+//!            [--trend-out <file> --date YYYY-MM-DD] [--bench-label L]
 //!            [--expect-preloaded N] [--expect-cache-hits N]
-//!            [--serve-arg ARG]... [--shutdown]
+//!            [--serve-arg ARG]... [--fleet-arg ARG]... [--shutdown]
+//!            [--chaos kill-worker:<sec> | hang-worker:<sec>]
+//!            [--fleet-state <dir>] [--expect-rejoin-ms MS]
 //! ```
 //!
 //! `--spawn` launches the given service binary in pipe mode as a child
 //! (and always shuts it down at the end); extra `--serve-arg` values
 //! are passed through to it, so a caller can e.g. spawn with
 //! `--serve-arg --cache-dir --serve-arg /tmp/cache` to exercise the
-//! persistent solve-cache tier. `--connect` talks to an
-//! already-running TCP server (and sends `shutdown` only with
-//! `--shutdown`). `queue-full` and `slo-shed` rejections are retried
-//! with backoff — backpressure is load shedding, not wrong results —
-//! and counted in the summary. `--expect-preloaded` /
-//! `--expect-cache-hits` assert minimums against the server's own
-//! stats counters, which is how the crash-restart gate proves the
-//! second server start really served out of the persisted cache.
+//! persistent solve-cache tier. `--spawn-fleet` launches a
+//! `tadfa-fleet` supervisor+router instead (on an ephemeral TCP port,
+//! extra `--fleet-arg` values passed through) and replays against the
+//! fleet — same bytes, same goldens, same gates. `--connect` talks to
+//! an already-running TCP server (and sends `shutdown` only with
+//! `--shutdown`). `queue-full`, `slo-shed`, and `fleet-overloaded`
+//! rejections are retried with backoff — backpressure is load
+//! shedding, not wrong results — and counted in the summary.
+//! `--expect-preloaded` / `--expect-cache-hits` assert minimums
+//! against the server's own stats counters, which is how the
+//! crash-restart gate proves the second server start really served out
+//! of the persisted cache.
+//!
+//! # Chaos mode
+//!
+//! `--chaos kill-worker:<sec>` (SIGKILL) or `--chaos hang-worker:<sec>`
+//! (SIGSTOP) injects a worker failure `<sec>` seconds into the replay:
+//! the victim is the *primary* shard owner of the first scenario —
+//! guaranteed to be in the request path — found through the fleet's
+//! `--fleet-state` pid files. The replay keeps running through the
+//! failure, and the standard gates then assert the fleet's robustness
+//! contract: zero client-visible errors, every fingerprint still
+//! byte-identical to golden. `--expect-rejoin-ms` additionally polls
+//! fleet stats until the victim worker is healthy again **with a warm
+//! cache** (nonzero `preloaded`), failing if recovery takes longer
+//! than the budget.
 //!
 //! Exit codes: `0` every response matched its golden and every gate
 //! held, `1` any mismatch, request error, SLO breach, or failed
@@ -57,37 +78,51 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 use tadfa_sched::{json, load_spec_dir};
 use tadfa_serve::protocol::{self, kind, ParsedResponse};
+use tadfa_serve::shard_of;
 
 const USAGE: &str = "\
 tadfa-load — golden-replay client / load harness for tadfa-serve
 
 USAGE:
-    tadfa-load --spawn <tadfa-serve-bin> | --connect <addr:port>
+    tadfa-load --spawn <tadfa-serve-bin> | --spawn-fleet <tadfa-fleet-bin>
+               | --connect <addr:port>
                [--scenarios <dir>]   (default: scenarios)
                [--golden <dir>]      (default: <scenarios>/golden)
                [--concurrency N]     (default: 1)
                [--sweep N,M,...]     (saturation sweep: replay at each level)
                [--warmup R]          (untimed warmup rounds per level; default 0)
-               [--repeat R]          (default: 2 — round 2+ is cache-warm)
+               [--repeat R]          (default: 2, raised for sweeps — see below)
                [--workers W]         (per-request engine worker override)
                [--slo-p99-ms MS]     (fail if any level's p99 exceeds this)
                [--bench-out <file>]  (write BENCH_serve.json-style report)
                [--samples-out <file>](write raw latency samples as CSV)
                [--trend-out <file>]  (append a dated history line; needs --date)
                [--date YYYY-MM-DD]   (date stamp for --trend-out)
+               [--bench-label L]     (bench/trend suite label; default serve)
                [--expect-preloaded N](fail unless server preloaded >= N entries)
                [--expect-cache-hits N](fail unless server cache hits >= N)
                [--serve-arg ARG]     (extra arg for the --spawn server; repeatable)
+               [--fleet-arg ARG]     (extra arg for the --spawn-fleet binary)
                [--shutdown]          (also shut down a --connect server)
+               [--chaos kill-worker:<sec> | hang-worker:<sec>]
+                                     (SIGKILL / SIGSTOP a fleet worker mid-replay)
+               [--fleet-state <dir>] (fleet --state-dir, for chaos pid files)
+               [--expect-rejoin-ms MS](fail unless the chaos victim rejoins
+                                      healthy + warm within this budget)
 
 Replays every committed scenario spec against the server and fails
 unless every response fingerprint is byte-identical to the committed
 golden report — at any concurrency, cold or warm. Every request is
 timed; with --sweep the whole replay runs once per concurrency level
-and the report carries exact p50/p99/p999 per level.";
+and the report carries exact p50/p99/p999 per level. Unless --repeat
+is given explicitly, sweeps raise the per-level rounds so every level
+collects >= 100 samples (the minimum that can resolve a p99); a
+warning is printed for any level whose sample count still cannot
+resolve a reported percentile.";
 
 struct Args {
     spawn: Option<PathBuf>,
+    spawn_fleet: Option<PathBuf>,
     connect: Option<String>,
     scenarios: PathBuf,
     golden: Option<PathBuf>,
@@ -95,21 +130,52 @@ struct Args {
     sweep: Option<Vec<usize>>,
     warmup: usize,
     repeat: usize,
+    /// Whether `--repeat` was given on the command line; only an
+    /// implicit default is raised to make sweep percentiles resolvable.
+    repeat_explicit: bool,
     workers: Option<usize>,
     slo_p99_ms: Option<f64>,
     bench_out: Option<PathBuf>,
     samples_out: Option<PathBuf>,
     trend_out: Option<PathBuf>,
     date: Option<String>,
+    bench_label: String,
     expect_preloaded: Option<f64>,
     expect_cache_hits: Option<f64>,
     serve_args: Vec<String>,
+    fleet_args: Vec<String>,
     shutdown: bool,
+    chaos: Option<(ChaosKind, u64)>,
+    fleet_state: Option<PathBuf>,
+    expect_rejoin_ms: Option<u64>,
+}
+
+/// Which failure `--chaos` injects into the fleet mid-replay.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ChaosKind {
+    /// SIGKILL: abrupt crash — exercises failover + supervised restart.
+    KillWorker,
+    /// SIGSTOP: silent hang — exercises health demotion, failover, and
+    /// the supervisor's hung-worker kill.
+    HangWorker,
+}
+
+fn parse_chaos(spec: &str) -> Result<(ChaosKind, u64), String> {
+    let err = || format!("--chaos needs kill-worker:<sec> or hang-worker:<sec>, got '{spec}'");
+    let (kind, secs) = spec.split_once(':').ok_or_else(err)?;
+    let kind = match kind {
+        "kill-worker" => ChaosKind::KillWorker,
+        "hang-worker" => ChaosKind::HangWorker,
+        _ => return Err(err()),
+    };
+    let secs: u64 = secs.parse().map_err(|_| err())?;
+    Ok((kind, secs))
 }
 
 fn parse_args(args: &[String]) -> Result<Args, String> {
     let mut parsed = Args {
         spawn: None,
+        spawn_fleet: None,
         connect: None,
         scenarios: PathBuf::from("scenarios"),
         golden: None,
@@ -117,16 +183,22 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         sweep: None,
         warmup: 0,
         repeat: 2,
+        repeat_explicit: false,
         workers: None,
         slo_p99_ms: None,
         bench_out: None,
         samples_out: None,
         trend_out: None,
         date: None,
+        bench_label: "serve".to_string(),
         expect_preloaded: None,
         expect_cache_hits: None,
         serve_args: Vec::new(),
+        fleet_args: Vec::new(),
         shutdown: false,
+        chaos: None,
+        fleet_state: None,
+        expect_rejoin_ms: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -137,6 +209,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         };
         match arg.as_str() {
             "--spawn" => parsed.spawn = Some(PathBuf::from(value()?)),
+            "--spawn-fleet" => parsed.spawn_fleet = Some(PathBuf::from(value()?)),
             "--connect" => parsed.connect = Some(value()?),
             "--scenarios" => parsed.scenarios = PathBuf::from(value()?),
             "--golden" => parsed.golden = Some(PathBuf::from(value()?)),
@@ -163,7 +236,8 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
             "--repeat" => {
                 parsed.repeat = value()?
                     .parse()
-                    .map_err(|_| "--repeat needs a positive integer".to_string())?
+                    .map_err(|_| "--repeat needs a positive integer".to_string())?;
+                parsed.repeat_explicit = true;
             }
             "--workers" => {
                 parsed.workers = Some(
@@ -202,13 +276,32 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                 )
             }
             "--serve-arg" => parsed.serve_args.push(value()?),
+            "--fleet-arg" => parsed.fleet_args.push(value()?),
             "--shutdown" => parsed.shutdown = true,
+            "--chaos" => parsed.chaos = Some(parse_chaos(&value()?)?),
+            "--fleet-state" => parsed.fleet_state = Some(PathBuf::from(value()?)),
+            "--expect-rejoin-ms" => {
+                parsed.expect_rejoin_ms = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| "--expect-rejoin-ms needs an integer".to_string())?,
+                )
+            }
+            "--bench-label" => parsed.bench_label = value()?,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
-    if parsed.spawn.is_some() == parsed.connect.is_some() {
-        return Err("exactly one of --spawn / --connect is required".to_string());
+    let modes = [
+        parsed.spawn.is_some(),
+        parsed.spawn_fleet.is_some(),
+        parsed.connect.is_some(),
+    ]
+    .iter()
+    .filter(|&&m| m)
+    .count();
+    if modes != 1 {
+        return Err("exactly one of --spawn / --spawn-fleet / --connect is required".to_string());
     }
     if parsed.concurrency == 0 || parsed.repeat == 0 {
         return Err("--concurrency and --repeat must be positive".to_string());
@@ -218,6 +311,15 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
     }
     if !parsed.serve_args.is_empty() && parsed.spawn.is_none() {
         return Err("--serve-arg only makes sense with --spawn".to_string());
+    }
+    if !parsed.fleet_args.is_empty() && parsed.spawn_fleet.is_none() {
+        return Err("--fleet-arg only makes sense with --spawn-fleet".to_string());
+    }
+    if parsed.chaos.is_some() && parsed.fleet_state.is_none() {
+        return Err("--chaos needs --fleet-state <dir> (the fleet's --state-dir)".to_string());
+    }
+    if parsed.expect_rejoin_ms.is_some() && parsed.chaos.is_none() {
+        return Err("--expect-rejoin-ms only makes sense with --chaos".to_string());
     }
     Ok(parsed)
 }
@@ -310,6 +412,7 @@ struct Phase {
     errors: Vec<String>,
     queue_full_retries: u64,
     shed_retries: u64,
+    overload_retries: u64,
     /// `(scenario, client-observed latency ns)` per successful
     /// request; empty for untimed (warmup) passes.
     samples: Vec<(String, u64)>,
@@ -322,6 +425,7 @@ impl Phase {
         self.errors.extend(other.errors);
         self.queue_full_retries += other.queue_full_retries;
         self.shed_retries += other.shed_retries;
+        self.overload_retries += other.overload_retries;
     }
 }
 
@@ -359,7 +463,7 @@ fn replay(
                     json::escape(stem)
                 );
                 let started = Instant::now();
-                let (mut full_retries, mut shed_retries) = (0u64, 0u64);
+                let (mut full_retries, mut shed_retries, mut overload_retries) = (0u64, 0u64, 0u64);
                 loop {
                     match client.call(id, &line) {
                         Ok(resp) if resp.ok => {
@@ -383,18 +487,21 @@ fn replay(
                         Ok(resp)
                             if matches!(
                                 resp.error.as_deref(),
-                                Some(kind::QUEUE_FULL) | Some(kind::SLO_SHED)
+                                Some(kind::QUEUE_FULL)
+                                    | Some(kind::SLO_SHED)
+                                    | Some(kind::FLEET_OVERLOADED)
                             ) =>
                         {
-                            // Backpressure — a full queue or an SLO
-                            // shed — is load shedding, not a wrong
-                            // answer: retry with backoff, bounded.
-                            if resp.error.as_deref() == Some(kind::SLO_SHED) {
-                                shed_retries += 1;
-                            } else {
-                                full_retries += 1;
+                            // Backpressure — a full queue, an SLO
+                            // shed, or a fleet-level shed — is load
+                            // shedding, not a wrong answer: retry
+                            // with backoff, bounded.
+                            match resp.error.as_deref() {
+                                Some(kind::SLO_SHED) => shed_retries += 1,
+                                Some(kind::FLEET_OVERLOADED) => overload_retries += 1,
+                                _ => full_retries += 1,
                             }
-                            if full_retries + shed_retries > 200 {
+                            if full_retries + shed_retries + overload_retries > 200 {
                                 phase
                                     .lock()
                                     .expect("phase poisoned")
@@ -425,6 +532,7 @@ fn replay(
                 let mut s = phase.lock().expect("phase poisoned");
                 s.queue_full_retries += full_retries;
                 s.shed_retries += shed_retries;
+                s.overload_retries += overload_retries;
             });
         }
     });
@@ -485,7 +593,7 @@ fn ms(ns: u64) -> f64 {
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let args = match parse_args(&argv) {
+    let mut args = match parse_args(&argv) {
         Ok(a) => a,
         Err(e) if e.is_empty() => {
             println!("{USAGE}");
@@ -533,6 +641,23 @@ fn main() -> ExitCode {
         }
     }
 
+    // A sweep exists to measure tail latency, and a nearest-rank p99
+    // needs at least 100 samples per level to resolve at all. Unless
+    // --repeat was given explicitly, raise the per-level rounds to hit
+    // that floor.
+    if args.sweep.is_some() && !args.repeat_explicit && !stems.is_empty() {
+        let min_rounds = 100_usize.div_ceil(stems.len());
+        if min_rounds > args.repeat {
+            eprintln!(
+                "tadfa-load: raising --repeat {} -> {min_rounds} so each sweep level \
+                 collects >= 100 samples (pass --repeat to override)",
+                args.repeat
+            );
+            args.repeat = min_rounds;
+        }
+    }
+    let args = args;
+
     // Bring up the transport.
     let pending: Arc<Mutex<HashMap<u64, mpsc::Sender<ParsedResponse>>>> =
         Arc::new(Mutex::new(HashMap::new()));
@@ -568,14 +693,60 @@ fn main() -> ExitCode {
             dead,
         }
     } else {
-        let addr = args.connect.as_deref().expect("connect mode");
-        let stream = match std::net::TcpStream::connect(addr) {
+        let addr = if let Some(bin) = &args.spawn_fleet {
+            // Launch the fleet on an ephemeral port and learn the
+            // front address from its startup banner; everything else
+            // on its stderr (worker lines included) is relayed.
+            let mut spawned = match std::process::Command::new(bin)
+                .arg("--listen")
+                .arg("127.0.0.1:0")
+                .arg("--scenarios")
+                .arg(&args.scenarios)
+                .args(&args.fleet_args)
+                .stderr(std::process::Stdio::piped())
+                .spawn()
+            {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("tadfa-load: cannot spawn {}: {e}", bin.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let stderr = spawned.stderr.take().expect("piped stderr");
+            let (addr_tx, addr_rx) = mpsc::channel();
+            std::thread::spawn(move || {
+                for line in BufReader::new(stderr).lines() {
+                    let Ok(line) = line else { break };
+                    if let Some(rest) = line.strip_prefix("tadfa-fleet: listening on ") {
+                        let addr = rest.split_whitespace().next().unwrap_or("").to_string();
+                        let _ = addr_tx.send(addr);
+                    }
+                    eprintln!("{line}");
+                }
+            });
+            let addr = match addr_rx.recv_timeout(Duration::from_secs(120)) {
+                Ok(a) => a,
+                Err(_) => {
+                    eprintln!("tadfa-load: fleet never reported its listen address");
+                    let _ = spawned.kill();
+                    return ExitCode::from(2);
+                }
+            };
+            child = Some(spawned);
+            addr
+        } else {
+            args.connect.clone().expect("connect mode")
+        };
+        let stream = match std::net::TcpStream::connect(&addr) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("tadfa-load: cannot connect to {addr}: {e}");
                 return ExitCode::from(2);
             }
         };
+        // Request lines are small; Nagle queuing them behind a delayed
+        // ACK would add ~40ms to every measured latency.
+        let _ = stream.set_nodelay(true);
         let read_half = match stream.try_clone() {
             Ok(s) => s,
             Err(e) => {
@@ -595,6 +766,17 @@ fn main() -> ExitCode {
         }
     };
     let client = Arc::new(client);
+
+    // Chaos injection runs on its own timer, concurrent with the
+    // sweep: the replay must sail through the failure.
+    let chaos_handle: Option<std::thread::JoinHandle<Option<usize>>> =
+        args.chaos.map(|(kind, secs)| {
+            let state_dir = args.fleet_state.clone().expect("checked in parse_args");
+            let stem = stems.first().cloned().unwrap_or_default();
+            std::thread::spawn(move || {
+                inject_chaos(kind, Duration::from_secs(secs), &state_dir, &stem)
+            })
+        });
 
     // The sweep plan: each concurrency level replays every scenario
     // `warmup` untimed rounds, then `repeat` timed rounds. Without
@@ -636,6 +818,26 @@ fn main() -> ExitCode {
         totals.absorb(phase);
     }
 
+    // The chaos victim (if any) must rejoin the fleet healthy *and*
+    // warm within the recovery budget — polled through the same stats
+    // op a real operator would watch.
+    let mut rejoin_failure: Option<String> = None;
+    if let Some(handle) = chaos_handle {
+        let victim = handle.join().ok().flatten();
+        match (victim, args.expect_rejoin_ms) {
+            (Some(victim), Some(budget_ms)) => {
+                if let Err(e) = wait_for_rejoin(&client, &next_id, victim, budget_ms) {
+                    rejoin_failure = Some(e);
+                }
+            }
+            (None, Some(_)) => {
+                rejoin_failure =
+                    Some("chaos injection never fired; no victim to wait for".to_string());
+            }
+            _ => {}
+        }
+    }
+
     // Pull the server's own counters and shut down.
     let stats_id = next_id.fetch_add(1, Ordering::Relaxed);
     let mut preloaded_total = 0.0f64;
@@ -651,7 +853,7 @@ fn main() -> ExitCode {
         }
         Err(e) => eprintln!("tadfa-load: stats unavailable: {e}"),
     }
-    if args.spawn.is_some() || args.shutdown {
+    if args.spawn.is_some() || args.spawn_fleet.is_some() || args.shutdown {
         let id = next_id.fetch_add(1, Ordering::Relaxed);
         let _ = client.call(id, &format!("{{\"id\": {id}, \"op\": \"shutdown\"}}"));
     }
@@ -664,7 +866,7 @@ fn main() -> ExitCode {
     let requests_total: usize = reports.iter().map(|r| r.requests).sum();
     println!(
         "tadfa-load: {} timed request(s) over {} scenario(s) (levels {:?}, warmup {}, repeat {}): \
-         {} ok, {} mismatch(es), {} error(s), {} queue-full + {} shed retries",
+         {} ok, {} mismatch(es), {} error(s), {} queue-full + {} shed + {} fleet-overloaded retries",
         requests_total,
         stems.len(),
         levels,
@@ -675,6 +877,7 @@ fn main() -> ExitCode {
         totals.errors.len(),
         totals.queue_full_retries,
         totals.shed_retries,
+        totals.overload_retries,
     );
     for r in &reports {
         println!(
@@ -690,6 +893,18 @@ fn main() -> ExitCode {
             ms(r.mean_ns),
             ms(r.max_ns),
         );
+        // A nearest-rank quantile q needs >= 1/(1-q) samples to be
+        // distinguishable from max; below that the number is printed
+        // but means "max", which a reader should know.
+        for (label, need) in [("p99", 100usize), ("p999", 1000usize)] {
+            if r.requests > 0 && r.requests < need {
+                eprintln!(
+                    "  warning: c{}: {} sample(s) cannot resolve {label} \
+                     (needs >= {need}); the reported {label} degenerates toward max",
+                    r.concurrency, r.requests,
+                );
+            }
+        }
     }
     for m in &totals.mismatches {
         eprintln!("MISMATCH {m}");
@@ -720,7 +935,7 @@ fn main() -> ExitCode {
     }
     if let Some(path) = &args.trend_out {
         let date = args.date.as_deref().expect("checked in parse_args");
-        let line = trend_line(date, &reports, requests_total);
+        let line = trend_line(date, &args.bench_label, &reports, requests_total);
         let appended = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
@@ -733,9 +948,14 @@ fn main() -> ExitCode {
         println!("appended trend line to {}", path.display());
     }
 
-    // Gates: goldens first, then expectations, then the latency SLO.
+    // Gates: goldens first, then recovery, then expectations, then the
+    // latency SLO.
     if !totals.mismatches.is_empty() || !totals.errors.is_empty() {
         eprintln!("FAIL: service responses drifted from the committed goldens.");
+        return ExitCode::from(1);
+    }
+    if let Some(msg) = rejoin_failure {
+        eprintln!("FAIL: {msg}");
         return ExitCode::from(1);
     }
     if let Some(want) = args.expect_preloaded {
@@ -810,11 +1030,12 @@ fn bench_document(
     preloaded: f64,
     cache_hits: f64,
 ) -> String {
+    let label = &args.bench_label;
     let benches: Vec<String> = reports
         .iter()
         .map(|r| {
             format!(
-                "    {{\"name\": \"serve/replay/c{}\", \"samples\": {}, \"p50_ns\": {}, \
+                "    {{\"name\": \"{label}/replay/c{}\", \"samples\": {}, \"p50_ns\": {}, \
                  \"p99_ns\": {}, \"p999_ns\": {}, \"mean_ns\": {}, \"max_ns\": {}, \
                  \"throughput_rps\": {:.3}}}",
                 r.concurrency,
@@ -859,11 +1080,11 @@ fn bench_document(
 /// suite's counterpart to the solver benchmark lines (`"suite":
 /// "serve"` distinguishes them from `tadfa-bench append-history`
 /// output).
-fn trend_line(date: &str, reports: &[LevelReport], requests_total: usize) -> String {
+fn trend_line(date: &str, label: &str, reports: &[LevelReport], requests_total: usize) -> String {
     let per_level = |f: fn(&LevelReport) -> u64| {
         reports
             .iter()
-            .map(|r| format!("\"serve/replay/c{}\": {}", r.concurrency, f(r)))
+            .map(|r| format!("\"{label}/replay/c{}\": {}", r.concurrency, f(r)))
             .collect::<Vec<_>>()
             .join(", ")
     };
@@ -872,14 +1093,129 @@ fn trend_line(date: &str, reports: &[LevelReport], requests_total: usize) -> Str
         .map(|r| r.throughput_rps)
         .fold(0.0f64, f64::max);
     format!(
-        "{{\"date\": {}, \"suite\": \"serve\", \"p50_ns\": {{{}}}, \"p99_ns\": {{{}}}, \
+        "{{\"date\": {}, \"suite\": {}, \"p50_ns\": {{{}}}, \"p99_ns\": {{{}}}, \
          \"metrics\": {{\"peak_throughput_rps\": {:.3}, \"requests_total\": {}}}}}",
         json::escape(date),
+        json::escape(label),
         per_level(|r| r.p50_ns),
         per_level(|r| r.p99_ns),
         peak_rps,
         requests_total
     )
+}
+
+/// Waits out the chaos delay, then signals the victim worker — the
+/// *primary* shard owner of `victim_stem`, so the failure is
+/// guaranteed to sit in the replay's request path. Worker pids come
+/// from the fleet supervisor's `--state-dir` pid files. Returns the
+/// victim's worker index, or `None` if no pid could be found.
+fn inject_chaos(
+    kind: ChaosKind,
+    delay: Duration,
+    state_dir: &std::path::Path,
+    victim_stem: &str,
+) -> Option<usize> {
+    std::thread::sleep(delay);
+    let mut pids: Vec<u32> = Vec::new();
+    loop {
+        let path = state_dir.join(format!("worker-{}.pid", pids.len()));
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            break;
+        };
+        match text.trim().parse::<u32>() {
+            Ok(pid) => pids.push(pid),
+            Err(_) => break,
+        }
+    }
+    if pids.is_empty() {
+        eprintln!(
+            "tadfa-load: chaos: no worker-*.pid files under {} — nothing to kill",
+            state_dir.display()
+        );
+        return None;
+    }
+    let victim = shard_of(victim_stem, pids.len());
+    let pid = pids[victim];
+    let signal = match kind {
+        ChaosKind::KillWorker => "-KILL",
+        ChaosKind::HangWorker => "-STOP",
+    };
+    match std::process::Command::new("kill")
+        .arg(signal)
+        .arg(pid.to_string())
+        .status()
+    {
+        Ok(status) if status.success() => {
+            eprintln!("tadfa-load: chaos: sent {signal} to worker-{victim} (pid {pid})");
+            Some(victim)
+        }
+        Ok(status) => {
+            eprintln!("tadfa-load: chaos: kill {signal} {pid} exited {status}");
+            None
+        }
+        Err(e) => {
+            eprintln!("tadfa-load: chaos: cannot run kill: {e}");
+            None
+        }
+    }
+}
+
+/// Polls fleet stats until the chaos victim is `healthy` again with a
+/// warm cache (nonzero `preloaded` — it really restarted and reloaded
+/// its segments, rather than never having died). Errs once the budget
+/// is exhausted: recovery must be *bounded*, not just eventual.
+fn wait_for_rejoin(
+    client: &Arc<Client>,
+    next_id: &AtomicU64,
+    victim: usize,
+    budget_ms: u64,
+) -> Result<(), String> {
+    let started = Instant::now();
+    let mut last_seen = String::from("no fleet stats observed");
+    loop {
+        let id = next_id.fetch_add(1, Ordering::Relaxed);
+        if let Ok(resp) = client.call(id, &format!("{{\"id\": {id}, \"op\": \"stats\"}}")) {
+            if let Some((state, restarts, preloaded)) = worker_entry(&resp, victim) {
+                if state == "healthy" && restarts > 0.0 && preloaded > 0.0 {
+                    println!(
+                        "OK: worker-{victim} rejoined healthy and warm ({preloaded} preloaded, \
+                         {restarts} restart(s)) in {:.0}ms (budget {budget_ms}ms).",
+                        started.elapsed().as_secs_f64() * 1e3,
+                    );
+                    return Ok(());
+                }
+                last_seen = format!("state {state}, {restarts} restart(s), {preloaded} preloaded");
+            }
+        }
+        if started.elapsed() >= Duration::from_millis(budget_ms) {
+            return Err(format!(
+                "worker-{victim} did not rejoin healthy + warm within {budget_ms}ms \
+                 (last seen: {last_seen})"
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+/// Pulls `(state, restarts, preloaded)` for one worker out of a fleet
+/// stats response's `fleet.workers` array.
+fn worker_entry(resp: &ParsedResponse, victim: usize) -> Option<(String, f64, f64)> {
+    resp.doc
+        .get("fleet")?
+        .get("workers")?
+        .as_array()?
+        .iter()
+        .find(|w| w.get("worker").and_then(|v| v.as_f64()) == Some(victim as f64))
+        .map(|w| {
+            (
+                w.get("state")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("?")
+                    .to_string(),
+                w.get("restarts").and_then(|v| v.as_f64()).unwrap_or(0.0),
+                w.get("preloaded").and_then(|v| v.as_f64()).unwrap_or(0.0),
+            )
+        })
 }
 
 /// One line of the interesting server counters out of a stats

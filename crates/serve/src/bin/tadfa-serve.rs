@@ -11,14 +11,20 @@
 //! tadfa-serve [--scenarios <dir>] [--pipe | --listen <addr:port>]
 //!             [--queue-capacity N] [--service-workers N] [--engine-workers N]
 //!             [--cache-dir <dir>] [--warm-golden <dir>] [--shed-after-ms N]
-//!             [--reactor-shards N] [--max-line-bytes N] [--stall-timeout-ms N]
+//!             [--reactor-shards N] [--idle-sleep-us N]
+//!             [--max-line-bytes N] [--stall-timeout-ms N]
+//!             [--compact-cache]
 //! ```
 //!
 //! `--cache-dir` turns on the persistent solve-cache tier (preload at
 //! startup, spill new entries per request); `--warm-golden` runs every
 //! scenario once at startup and fingerprint-verifies it against its
 //! committed golden; `--shed-after-ms` is the queueing-latency SLO
-//! beyond which waiting requests are shed instead of computed.
+//! beyond which waiting requests are shed instead of computed;
+//! `--idle-sleep-us` caps the reactor shards' idle backoff;
+//! `--compact-cache` (with `--cache-dir`) compacts every scenario's
+//! segment directory — dropping duplicate-key records accumulated
+//! across process lifetimes — and exits instead of serving.
 //!
 //! Exit codes: `0` clean shutdown, `2` usage or configuration error.
 //! All diagnostics go to stderr — stdout is the protocol channel.
@@ -34,7 +40,8 @@ USAGE:
     tadfa-serve [--scenarios <dir>] [--pipe | --listen <addr:port>]
                 [--queue-capacity N] [--service-workers N] [--engine-workers N]
                 [--cache-dir <dir>] [--warm-golden <dir>] [--shed-after-ms N]
-                [--reactor-shards N] [--max-line-bytes N] [--stall-timeout-ms N]
+                [--reactor-shards N] [--idle-sleep-us N]
+                [--max-line-bytes N] [--stall-timeout-ms N] [--compact-cache]
 
 Loads every scenarios/*.toml|json spec once, then serves JSON-lines
 requests ({\"id\": 1, \"op\": \"run-scenario\", \"scenario\": \"<stem>\"},
@@ -48,12 +55,18 @@ shed with an slo-shed error instead of computed late. --cache-dir
 persists every solve-cache entry to checksummed segment files and
 preloads them at the next start; --warm-golden <dir> runs each
 scenario once at startup and refuses to serve on any fingerprint
-mismatch with the committed goldens.";
+mismatch with the committed goldens. --idle-sleep-us caps the reactor
+shards' idle-sleep backoff (lower = snappier wake after a lull,
+higher = less idle CPU). --compact-cache rewrites every scenario's
+segment directory under --cache-dir dropping duplicate-key records,
+then exits without serving (safe: a crash mid-compaction never loses
+pre-compaction data).";
 
 fn main() -> ExitCode {
     let mut cfg = ServerConfig::default();
     let mut listen: Option<String> = None;
     let mut pipe = false;
+    let mut compact = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -101,6 +114,11 @@ fn main() -> ExitCode {
                 Ok(v) => cfg.reactor_shards = v,
                 Err(e) => return usage_error(&e),
             },
+            "--idle-sleep-us" => match usize_arg(arg, it.next()) {
+                Ok(v) => cfg.idle_sleep_us = v as u64,
+                Err(e) => return usage_error(&e),
+            },
+            "--compact-cache" => compact = true,
             "--max-line-bytes" => match usize_arg(arg, it.next()) {
                 Ok(v) => cfg.max_line_bytes = v,
                 Err(e) => return usage_error(&e),
@@ -118,6 +136,9 @@ fn main() -> ExitCode {
     }
     if pipe && listen.is_some() {
         return usage_error("--pipe and --listen are mutually exclusive");
+    }
+    if compact {
+        return compact_cache(&cfg);
     }
 
     let server = match Server::load(&cfg) {
@@ -143,6 +164,49 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     ExitCode::SUCCESS
+}
+
+/// `--compact-cache`: compact every scenario segment directory under
+/// `--cache-dir` and exit. Runs *instead of* serving — compaction must
+/// never race a live appender on the same directory.
+fn compact_cache(cfg: &ServerConfig) -> ExitCode {
+    let Some(root) = &cfg.cache_dir else {
+        return usage_error("--compact-cache needs --cache-dir");
+    };
+    let entries = match std::fs::read_dir(root) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("tadfa-serve: cannot read {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let mut failed = false;
+    for entry in entries.flatten() {
+        let dir = entry.path();
+        if !dir.is_dir() {
+            continue;
+        }
+        match tadfa_serve::persist::compact_dir(&dir) {
+            Ok(r) => eprintln!(
+                "tadfa-serve: compacted {}: {} unique record(s) kept, \
+                 {} duplicate(s) dropped, {} corrupt skipped, {} -> 1 segment(s)",
+                dir.display(),
+                r.unique,
+                r.duplicates,
+                r.skipped,
+                r.segments_before,
+            ),
+            Err(e) => {
+                eprintln!("tadfa-serve: compaction of {} failed: {e}", dir.display());
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn usage_error(message: &str) -> ExitCode {

@@ -21,13 +21,23 @@
 //! * [`service`] — the [`Server`]: environment loading, the worker
 //!   pool, per-request worker-count and deadline overrides, and the
 //!   `stats` counters (including the solve cache's
-//!   `rejected_stores`).
+//!   `rejected_stores`);
+//! * [`fleet`] / [`router`] / [`health`] — the self-healing multi-
+//!   process layer: a supervisor that spawns and resurrects N
+//!   `tadfa-serve` workers (each with its own cache slice for warm,
+//!   golden-verified recovery), a sharding router front-end speaking
+//!   the same protocol with bounded retry/backoff and primary→backup
+//!   failover, and the typed worker health state machine
+//!   (starting/healthy/degraded/dead) driven by `ping`/`stats`
+//!   probes.
 //!
-//! Two binaries ship with the crate: `tadfa-serve` (the service) and
-//! `tadfa-load` (the replay client / load generator that asserts every
+//! Three binaries ship with the crate: `tadfa-serve` (the
+//! single-process service), `tadfa-fleet` (the supervised worker
+//! fleet behind one router socket), and `tadfa-load` (the replay
+//! client / load generator / chaos harness that asserts every
 //! response fingerprint equals the committed `scenarios/golden/`
 //! reports — the service ≡ offline-CLI determinism gate CI runs on
-//! every push).
+//! every push, including while a worker is being killed under it).
 //!
 //! ## Example
 //!
@@ -42,14 +52,20 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod fleet;
+pub mod health;
 pub mod latency;
 pub mod persist;
 pub mod protocol;
 pub mod queue;
+pub mod router;
 pub mod service;
 
+pub use fleet::{Fleet, FleetConfig, FleetError, FleetState, SlotSnapshot, WorkerSlot};
+pub use health::{HealthPolicy, HealthState, HealthTracker, ProbeKind};
 pub use latency::{LatencyHistogram, LatencySnapshot};
-pub use persist::{LoadReport, PersistStats, SegmentStore};
+pub use persist::{CompactPlan, CompactReport, LoadReport, PersistStats, SegmentStore};
 pub use protocol::{parse_request, parse_response, Op, ParsedResponse, Request, RequestError};
 pub use queue::{AdmissionQueue, QueueStats, RejectReason};
+pub use router::{shard_of, Router, RouterPolicy};
 pub use service::{sink, ServeError, Server, ServerConfig, Sink};

@@ -48,7 +48,7 @@ use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use tadfa_core::SpillEntry;
+use tadfa_core::{SpillEntry, SpillValue};
 
 /// Magic bytes opening every segment file (format version in the tail
 /// byte).
@@ -120,6 +120,27 @@ pub struct SegmentStore {
     appended: AtomicU64,
 }
 
+/// The segment files in `dir`, sorted by index (replay order).
+fn sorted_segments(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
+    let mut segment_paths: Vec<(u64, PathBuf)> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().and_then(|e| e.to_str()) != Some(SEGMENT_EXT) {
+            continue;
+        }
+        let idx = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .and_then(|s| s.strip_prefix("seg-"))
+            .and_then(|s| s.parse::<u64>().ok());
+        if let Some(idx) = idx {
+            segment_paths.push((idx, path));
+        }
+    }
+    segment_paths.sort();
+    Ok(segment_paths)
+}
+
 impl SegmentStore {
     /// Opens (creating if needed) the segment directory for one
     /// scenario: replays every existing segment into a [`LoadReport`]
@@ -132,22 +153,7 @@ impl SegmentStore {
     /// and counted, per the module contract.
     pub fn open(dir: &Path) -> std::io::Result<(SegmentStore, LoadReport)> {
         fs::create_dir_all(dir)?;
-        let mut segment_paths: Vec<(u64, PathBuf)> = Vec::new();
-        for entry in fs::read_dir(dir)? {
-            let path = entry?.path();
-            if path.extension().and_then(|e| e.to_str()) != Some(SEGMENT_EXT) {
-                continue;
-            }
-            let idx = path
-                .file_stem()
-                .and_then(|s| s.to_str())
-                .and_then(|s| s.strip_prefix("seg-"))
-                .and_then(|s| s.parse::<u64>().ok());
-            if let Some(idx) = idx {
-                segment_paths.push((idx, path));
-            }
-        }
-        segment_paths.sort();
+        let segment_paths = sorted_segments(dir)?;
 
         let mut report = LoadReport::default();
         for (_, path) in &segment_paths {
@@ -277,6 +283,167 @@ fn load_segment(path: &Path, report: &mut LoadReport) {
     }
 }
 
+/// What a compaction pass over one segment directory found and did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Distinct `(kind, key)` records kept (first occurrence wins —
+    /// the same rule the cache's preload applies, and harmless either
+    /// way because the solve is deterministic).
+    pub unique: u64,
+    /// Duplicate-key records dropped (later lifetimes re-solving and
+    /// re-spilling what an earlier lifetime already persisted).
+    pub duplicates: u64,
+    /// Corrupt/undecodable records dropped (they were unreadable
+    /// before compaction too — nothing loadable is lost).
+    pub skipped: u64,
+    /// Segment files present before compaction.
+    pub segments_before: u64,
+    /// Old segment files removed by [`compact_finish`].
+    pub removed: u64,
+}
+
+/// The durable intermediate state between [`compact_write`] and
+/// [`compact_finish`] — the crash-safety seam.
+#[derive(Debug)]
+pub struct CompactPlan {
+    /// What phase one found.
+    pub report: CompactReport,
+    /// The pre-compaction segment files, still intact on disk.
+    pub old_segments: Vec<PathBuf>,
+    /// The freshly written compacted segment (`None` when there was
+    /// nothing to write: no segments, or no decodable records).
+    pub new_segment: Option<PathBuf>,
+}
+
+/// Phase one of compaction: read every segment in `dir`, drop
+/// duplicate-key records (first occurrence wins), and write the
+/// survivors as **one new segment** — via a `.tmp` file, fsynced, then
+/// renamed to the next unused `seg-NNNN.tadc` index. The old segments
+/// are untouched.
+///
+/// Crash contract (proved by the fault-injection suite): a crash
+/// before the rename leaves only a `.tmp` file, which the loader
+/// ignores (wrong extension) — the directory is exactly its
+/// pre-compaction self. A crash after the rename but before
+/// [`compact_finish`] leaves old and new segments side by side; every
+/// record is then present at least once, the loader reads them all,
+/// and the cache's first-wins preload collapses the duplicates. At no
+/// point is pre-compaction data unreachable.
+///
+/// Must not run concurrently with a live appender on the same
+/// directory (the fleet supervisor only compacts a worker that is
+/// down; `tadfa-serve --compact-cache` runs instead of serving).
+///
+/// # Errors
+///
+/// Real I/O errors only (unreadable directory, failed write/fsync/
+/// rename); corrupt record *contents* are skipped and counted.
+pub fn compact_write(dir: &Path) -> std::io::Result<CompactPlan> {
+    let segments = sorted_segments(dir)?;
+    let mut report = CompactReport {
+        segments_before: segments.len() as u64,
+        ..CompactReport::default()
+    };
+    if segments.is_empty() {
+        return Ok(CompactPlan {
+            report,
+            old_segments: Vec::new(),
+            new_segment: None,
+        });
+    }
+    let mut load = LoadReport::default();
+    for (_, path) in &segments {
+        load_segment(path, &mut load);
+    }
+    report.skipped = load.records_skipped;
+
+    let mut seen = std::collections::HashSet::new();
+    let mut kept: Vec<SpillEntry> = Vec::new();
+    for entry in load.entries {
+        let tag = match &entry.value {
+            SpillValue::Result(_) => 0u8,
+            SpillValue::Summary(_) => 1u8,
+        };
+        if seen.insert((tag, entry.key)) {
+            kept.push(entry);
+        } else {
+            report.duplicates += 1;
+        }
+    }
+    report.unique = kept.len() as u64;
+
+    let old_segments: Vec<PathBuf> = segments.iter().map(|(_, p)| p.clone()).collect();
+    if kept.is_empty() {
+        // Nothing decodable to carry forward; finishing will just
+        // remove the (empty or unreadable) old segments.
+        return Ok(CompactPlan {
+            report,
+            old_segments,
+            new_segment: None,
+        });
+    }
+
+    let next_idx = segments.last().map_or(0, |(i, _)| i + 1);
+    let final_path = dir.join(format!("seg-{next_idx:04}.{SEGMENT_EXT}"));
+    let tmp_path = dir.join(format!("seg-{next_idx:04}.tmp"));
+    {
+        let mut w = BufWriter::new(File::create(&tmp_path)?);
+        w.write_all(MAGIC)?;
+        for entry in &kept {
+            let payload = entry.to_bytes();
+            let len = u32::try_from(payload.len()).expect("record under 4 GiB");
+            w.write_all(&len.to_le_bytes())?;
+            w.write_all(&fnv1a64(&payload).to_le_bytes())?;
+            w.write_all(&payload)?;
+        }
+        w.flush()?;
+        // Unlike the append path (process-crash model), compaction is
+        // about to *delete* the only other copies — so the new segment
+        // must survive machine death before the rename makes it real.
+        w.get_ref().sync_all()?;
+    }
+    fs::rename(&tmp_path, &final_path)?;
+    // Best-effort directory fsync so the rename itself is durable.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(CompactPlan {
+        report,
+        old_segments,
+        new_segment: Some(final_path),
+    })
+}
+
+/// Phase two of compaction: remove the pre-compaction segments. Only
+/// safe after [`compact_write`] returned — by then every surviving
+/// record is durable in the new segment.
+///
+/// # Errors
+///
+/// The first removal error; segments already removed stay removed
+/// (re-running compaction converges).
+pub fn compact_finish(plan: &mut CompactPlan) -> std::io::Result<()> {
+    for path in &plan.old_segments {
+        fs::remove_file(path)?;
+        plan.report.removed += 1;
+    }
+    plan.old_segments.clear();
+    Ok(())
+}
+
+/// Full compaction of one scenario segment directory: [`compact_write`]
+/// then [`compact_finish`].
+///
+/// # Errors
+///
+/// Any I/O error from either phase; the crash contract above bounds
+/// the damage (data loss is impossible, leftover duplicates are not).
+pub fn compact_dir(dir: &Path) -> std::io::Result<CompactReport> {
+    let mut plan = compact_write(dir)?;
+    compact_finish(&mut plan)?;
+    Ok(plan.report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,6 +478,53 @@ mod tests {
             .collect();
         names.sort();
         assert_eq!(names, vec!["seg-0000.tadc", "seg-0001.tadc"]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compacting_an_empty_directory_is_a_no_op() {
+        let dir = tempdir("compact-empty");
+        fs::create_dir_all(&dir).unwrap();
+        let report = compact_dir(&dir).unwrap();
+        assert_eq!(report, CompactReport::default());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_collapses_empty_segments_and_ignores_tmp_files() {
+        let dir = tempdir("compact-headers");
+        // Three header-only segments from three past lifetimes.
+        for _ in 0..3 {
+            drop(SegmentStore::open(&dir).unwrap());
+        }
+        let report = compact_dir(&dir).unwrap();
+        assert_eq!(report.segments_before, 3);
+        assert_eq!(report.unique, 0);
+        assert_eq!(report.removed, 3);
+        // A stray .tmp (crash before rename) is invisible to open().
+        fs::write(dir.join("seg-0099.tmp"), b"garbage").unwrap();
+        let (_, load) = SegmentStore::open(&dir).unwrap();
+        assert_eq!(load.records_skipped, 0, ".tmp files are not segments");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_skips_corrupt_records_without_erroring() {
+        let dir = tempdir("compact-corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        // A segment whose single record checksums but does not decode.
+        let payload = b"not a spill entry";
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        fs::write(dir.join("seg-0000.tadc"), &bytes).unwrap();
+        let plan = compact_write(&dir).unwrap();
+        assert_eq!(plan.report.skipped, 1);
+        assert_eq!(plan.report.unique, 0);
+        assert!(plan.new_segment.is_none(), "nothing decodable to rewrite");
+        assert_eq!(plan.old_segments.len(), 1, "originals intact until finish");
+        assert!(plan.old_segments[0].exists());
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -65,6 +65,12 @@ pub mod kind {
     pub const SLO_SHED: &str = "slo-shed";
     /// A `reload` failed; the previous environment stays in service.
     pub const RELOAD_FAILED: &str = "reload-failed";
+    /// The fleet router shed the request: its own admission queue was
+    /// full, or no worker answered within the retry budget and another
+    /// retry would breach the request's deadline. Retryable — nothing
+    /// was computed — and the typed form of graceful degradation (the
+    /// router degrades loudly rather than hanging or dropping).
+    pub const FLEET_OVERLOADED: &str = "fleet-overloaded";
 }
 
 /// One parsed request.

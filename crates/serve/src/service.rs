@@ -90,7 +90,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
-use tadfa_core::{SpillValue, TadfaError};
+use tadfa_core::TadfaError;
 use tadfa_sched::json::{self, escape};
 use tadfa_sched::spec::SpecError;
 use tadfa_sched::{hex_fingerprint, load_spec_dir, PreparedScenario, RunOverrides};
@@ -127,6 +127,14 @@ pub struct ServerConfig {
     pub stall_timeout_ms: u64,
     /// Reactor shard threads sharing the connection set.
     pub reactor_shards: usize,
+    /// Cap, in microseconds, on a reactor shard's idle sleep. An idle
+    /// shard backs off exponentially (starting at 50 µs, doubling per
+    /// quiet pass) up to this cap, and snaps back to the floor the
+    /// moment any connection makes progress — so a burst after a lull
+    /// pays at most one cap-length sleep of latency, while a fleet of
+    /// idle workers stops burning a 1 ms-resolution polling loop per
+    /// shard.
+    pub idle_sleep_us: u64,
     /// When set, run every scenario once at startup and verify its
     /// fingerprint against `<dir>/<stem>.json` before serving (also
     /// populates the cache — and, with `cache_dir`, the disk tier).
@@ -145,6 +153,7 @@ impl Default for ServerConfig {
             max_line_bytes: 1 << 20,
             stall_timeout_ms: 10_000,
             reactor_shards: 2,
+            idle_sleep_us: 1_000,
             warm_golden: None,
         }
     }
@@ -231,7 +240,7 @@ pub fn sink(w: impl Write + Send + 'static) -> Sink {
 
 /// Writes one response line to a sink (errors ignored: a vanished
 /// client must not take the service down).
-fn write_line(out: &Sink, line: &str) {
+pub fn write_line(out: &Sink, line: &str) {
     let mut w = out.lock().expect("sink poisoned");
     let _ = writeln!(w, "{line}");
     let _ = w.flush();
@@ -856,6 +865,9 @@ impl Server {
             }
             match listener.accept() {
                 Ok((stream, _)) => {
+                    // Request/response lines are small; Nagle queuing
+                    // them behind a delayed ACK costs ~40ms per hop.
+                    let _ = stream.set_nodelay(true);
                     injectors[next % shard_count]
                         .lock()
                         .expect("injector poisoned")
@@ -914,16 +926,7 @@ fn build_envs(cfg: &ServerConfig) -> Result<EnvMap, ServeError> {
                         source,
                     })?;
                 let cache = prepared.solve_cache();
-                for entry in report.entries {
-                    match entry.value {
-                        SpillValue::Result(r) => {
-                            cache.preload(entry.key, r);
-                        }
-                        SpillValue::Summary(s) => {
-                            cache.preload_summary(entry.key, s);
-                        }
-                    }
-                }
+                cache.preload_entries(report.entries);
                 cache.enable_spill_log();
                 Some(store)
             }
@@ -1118,6 +1121,11 @@ enum LineOutcome {
 /// loop, reap the closed/abusive, sleep only when nothing moved.
 fn reactor_shard(server: Server, injector: Arc<Mutex<Vec<TcpStream>>>) {
     let stall = Duration::from_millis(server.inner.cfg.stall_timeout_ms.max(1));
+    // Idle backoff: 50 µs floor, doubling per quiet pass, capped by
+    // config, reset to the floor on any progress.
+    const IDLE_FLOOR_US: u64 = 50;
+    let idle_cap_us = server.inner.cfg.idle_sleep_us.max(IDLE_FLOOR_US);
+    let mut idle_us = IDLE_FLOOR_US;
     let mut conns: Vec<Conn> = Vec::new();
     let mut scratch = vec![0u8; 16 * 1024];
     loop {
@@ -1171,8 +1179,11 @@ fn reactor_shard(server: Server, injector: Arc<Mutex<Vec<TcpStream>>>) {
         if shutdown {
             return;
         }
-        if !any_progress {
-            std::thread::sleep(Duration::from_millis(1));
+        if any_progress {
+            idle_us = IDLE_FLOOR_US;
+        } else {
+            std::thread::sleep(Duration::from_micros(idle_us));
+            idle_us = (idle_us * 2).min(idle_cap_us);
         }
     }
 }

@@ -308,6 +308,111 @@ fn flipped_checksum_byte_skips_only_that_record() {
     assert_eq!(loaded, pristine_loaded - 1.0, "the rest still load");
 }
 
+/// Duplicates the data segment under a higher segment number — the
+/// duplicate-key shape compaction exists to clean up (same entries
+/// appended across process lifetimes). Returns the record count of the
+/// duplicated segment's source.
+fn duplicate_data_segment(cache: &Path) {
+    let seg = data_segment(cache);
+    std::fs::copy(&seg, cache.join("solo_baseline/seg-0900.tadc")).expect("segment duplicates");
+}
+
+#[test]
+fn compact_cache_collapses_duplicates_to_one_segment_and_stays_golden() {
+    let tmp = TempDir::new("compact");
+    let (scenarios, cache) = populated_cache(&tmp);
+    let (pristine_loaded, _) = restart_and_verify(&scenarios, &cache);
+    duplicate_data_segment(&cache);
+
+    // The CLI entry point CI and the fleet supervisor use.
+    let status = Command::new(env!("CARGO_BIN_EXE_tadfa-serve"))
+        .arg("--compact-cache")
+        .arg("--cache-dir")
+        .arg(&cache)
+        .status()
+        .expect("compactor runs");
+    assert!(status.success(), "compaction exits 0");
+
+    assert_eq!(
+        segments(&cache).len(),
+        1,
+        "compaction leaves exactly one segment"
+    );
+    let (loaded, skipped) = restart_and_verify(&scenarios, &cache);
+    assert_eq!(loaded, pristine_loaded, "every unique record survived");
+    assert_eq!(skipped, 0.0, "the compacted segment is pristine");
+}
+
+#[test]
+fn crash_mid_compaction_never_loses_precompaction_data() {
+    let tmp = TempDir::new("compact-crash");
+    let (scenarios, cache) = populated_cache(&tmp);
+    let dir = cache.join("solo_baseline");
+
+    // Baseline: how many entries a clean restart preloads.
+    let mut srv = PipeServer::start(&scenarios, &["--cache-dir", cache.to_str().unwrap()]);
+    let pristine_preloaded = cache_total(&srv.call(STATS), "preloaded");
+    assert!(pristine_preloaded > 0.0);
+    srv.shutdown();
+    duplicate_data_segment(&cache);
+
+    // Crash shape 1 — before the rename: the compactor dies leaving
+    // only its temp file. A `.tmp` is invisible to the loader, so the
+    // next start sees exactly the pre-compaction data.
+    std::fs::write(dir.join("seg-0901.tmp"), b"half-written garbage").expect("stray tmp");
+    let mut srv = PipeServer::start(&scenarios, &["--cache-dir", cache.to_str().unwrap()]);
+    let stats = srv.call(STATS);
+    assert_eq!(
+        cache_total(&stats, "preloaded"),
+        pristine_preloaded,
+        "stray tmp changes nothing: duplicates collapse first-wins at preload"
+    );
+    let resp = srv.call(RUN);
+    assert_eq!(
+        resp.fingerprint.as_deref().expect("fingerprint present"),
+        golden_fingerprint(&scenarios),
+        "still golden with a torn compaction on disk"
+    );
+    srv.kill();
+    std::fs::remove_file(dir.join("seg-0901.tmp")).expect("stray tmp removable");
+
+    // Crash shape 2 — between the phases: the compacted segment is
+    // durable but the old segments were never deleted. Everything
+    // coexists; preload is first-wins over identical values, so the
+    // entry count and the answers are unchanged.
+    let plan = tadfa_serve::persist::compact_write(&dir).expect("compaction write phase");
+    assert!(plan.new_segment.is_some(), "there was data to compact");
+    assert!(plan.report.duplicates > 0, "the duplicate segment was seen");
+    let mut srv = PipeServer::start(&scenarios, &["--cache-dir", cache.to_str().unwrap()]);
+    let stats = srv.call(STATS);
+    assert_eq!(
+        cache_total(&stats, "preloaded"),
+        pristine_preloaded,
+        "old + compacted segments coexisting lose nothing"
+    );
+    let resp = srv.call(RUN);
+    assert_eq!(
+        resp.fingerprint.as_deref().expect("fingerprint present"),
+        golden_fingerprint(&scenarios),
+        "still golden between the compaction phases"
+    );
+    srv.kill();
+
+    // Rerunning compaction after the crash converges: one segment,
+    // same entries, same bytes.
+    tadfa_serve::persist::compact_dir(&dir).expect("compaction converges");
+    assert_eq!(segments(&cache).len(), 1, "converged to one segment");
+    let mut srv = PipeServer::start(&scenarios, &["--cache-dir", cache.to_str().unwrap()]);
+    let stats = srv.call(STATS);
+    assert_eq!(cache_total(&stats, "preloaded"), pristine_preloaded);
+    let resp = srv.call(RUN);
+    assert_eq!(
+        resp.fingerprint.as_deref().expect("fingerprint present"),
+        golden_fingerprint(&scenarios)
+    );
+    srv.shutdown();
+}
+
 #[test]
 fn truncated_segment_abandons_the_tail_without_panicking() {
     let tmp = TempDir::new("truncated");
