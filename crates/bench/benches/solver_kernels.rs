@@ -10,8 +10,11 @@
 //! 2. **End-to-end speed** — cold, single-thread `analyze_batch` over
 //!    the standard suite through the compiled path vs the
 //!    pre-optimization reference path
-//!    (`SessionCore::analyze_with_reference_solver`). The PR 3
-//!    acceptance bar is ≥ 3×.
+//!    (`SessionCore::analyze_with_reference_solver`). Two bars: the
+//!    interleaved-pair speedup must stay ≥ 5× (PR 3's 3× bar,
+//!    tightened once the fused explicit-SIMD kernels landed), and
+//!    absolute throughput must stay ≥ 2× the pre-SIMD committed
+//!    baseline of ~901 funcs/s (the PR 9 bar).
 //! 3. **Identity** — compiled reports fingerprint byte-identical to
 //!    reference reports (asserted, not just printed).
 //! 4. **Interprocedural memoization** — warm `analyze_module` (callee
@@ -42,6 +45,28 @@ const STEPS_PER_SAMPLE: usize = 10_000;
 /// The per-instruction stepping regime of the DFA: dt well under the
 /// stability limit, so exactly one sub-step per call.
 const INSTRUCTION_DT: f64 = 3e-6;
+
+/// `analyze_batch_funcs_per_sec` as committed in `BENCH_solver.json`
+/// before the fused explicit-SIMD kernels landed. The PR 9 acceptance
+/// bar is ≥ 2x this number on the bench host (see
+/// docs/KERNEL_OPTIMIZATION_GUIDE.md for the campaign that got there).
+const PRE_SIMD_FUNCS_PER_SEC: f64 = 901.0;
+
+/// Best-effort host CPU model for `BENCH_solver.json` metadata.
+/// `.cargo/config.toml` pins `-C target-cpu=native`, so every number in
+/// the bench document is relative to this machine; recording the model
+/// makes cross-host comparisons visibly apples-to-oranges.
+fn host_cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|text| {
+            text.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|m| m.trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".to_string())
+}
 
 fn bench_step_kernels(h: &mut Harness) -> (f64, f64) {
     let model = ThermalModel::new(Floorplan::grid(8, 8), RcParams::default());
@@ -296,6 +321,7 @@ fn main() {
     // Formatted through the same helper the tadfa-bench gate uses to
     // recompute it, so the string comparison cannot drift by format.
     let digest = tadfa_sched::hex_fingerprint(tadfa_bench::suite_digest());
+    let cpu = host_cpu_model();
     h.export_json_with_text(
         &path,
         &[
@@ -307,21 +333,41 @@ fn main() {
             ("analyze_module_summarized_speedup", module_speedup),
             ("suite_functions", funcs.len() as f64),
         ],
-        &[("suite_digest", &digest)],
+        &[("suite_digest", &digest), ("bench_host_cpu", &cpu)],
     )
     .expect("write BENCH_solver.json");
-    println!("wrote {}", path.display());
+    println!("wrote {} (host: {cpu})", path.display());
 
-    // The acceptance bar. Shared CI runners can be contended or
-    // throttled, so they set SOLVER_BENCH_NO_ENFORCE=1 and treat this
+    // The acceptance bars. Shared CI runners can be contended or
+    // throttled, so they set SOLVER_BENCH_NO_ENFORCE=1 and treat these
     // as a reporting smoke test; local/dev runs enforce by default.
+    //
+    // * PR 3: the interleaved-pair speedup over the retained reference
+    //   solver, tightened from 3x to 5x once the fused explicit-SIMD
+    //   kernels landed (measured 6.7x; the interleaving makes this
+    //   ratio robust to frequency drift, so a 5x bar is not twitchy).
+    // * PR 9: absolute throughput ≥ 2x the pre-SIMD committed baseline.
+    let funcs_bar = 2.0 * PRE_SIMD_FUNCS_PER_SEC;
     if std::env::var_os("SOLVER_BENCH_NO_ENFORCE").is_none() {
         assert!(
-            batch_speedup >= 3.0,
-            "PR 3 acceptance bar: cold single-thread analyze_batch speedup \
-             {batch_speedup:.2}x < 3x"
+            batch_speedup >= 5.0,
+            "acceptance bar: cold single-thread analyze_batch speedup \
+             {batch_speedup:.2}x < 5x"
         );
-    } else if batch_speedup < 3.0 {
-        println!("WARNING: speedup {batch_speedup:.2}x below the 3x bar (not enforced)");
+        assert!(
+            throughput >= funcs_bar,
+            "PR 9 acceptance bar: analyze_batch throughput {throughput:.1} funcs/s \
+             < 2x the pre-SIMD baseline ({funcs_bar:.0} funcs/s)"
+        );
+    } else {
+        if batch_speedup < 5.0 {
+            println!("WARNING: speedup {batch_speedup:.2}x below the 5x bar (not enforced)");
+        }
+        if throughput < funcs_bar {
+            println!(
+                "WARNING: throughput {throughput:.1} funcs/s below the 2x-baseline bar \
+                 ({funcs_bar:.0} funcs/s, not enforced)"
+            );
+        }
     }
 }

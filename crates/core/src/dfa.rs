@@ -32,7 +32,7 @@ use std::sync::Arc;
 use tadfa_ir::{BlockId, Cfg, Function, Inst, InstId, Opcode, Terminator, VReg};
 use tadfa_regalloc::Assignment;
 use tadfa_thermal::{
-    CompiledModel, LeakageParams, PowerModel, StepSchedule, StepScratch, ThermalState,
+    CompiledModel, LeakageParams, PowerModel, SolverMode, StepSchedule, StepScratch, ThermalState,
 };
 
 /// Reusable buffers for one worker's fixpoint runs.
@@ -124,6 +124,18 @@ impl AfterMatrix {
             return f64::INFINITY;
         }
         ThermalState::linf_update_slices(row, new.temps())
+    }
+
+    /// One instruction's row plus whether it held a previous state,
+    /// marking it visited. On `false` the row contents are garbage and
+    /// the caller must overwrite them (first sweep); on `true` the row
+    /// is the previous sweep's state and can feed the solver's fused
+    /// change tracking directly.
+    #[inline]
+    fn visit_row(&mut self, idx: usize) -> (&mut [f64], bool) {
+        let was_init = self.init[idx];
+        self.init[idx] = true;
+        (&mut self.data[idx * self.n..(idx + 1) * self.n], was_init)
     }
 }
 
@@ -392,7 +404,44 @@ impl<'a> ThermalDfa<'a> {
     ) {
         let deposits = &plan.deposits[span.start as usize..span.end as usize];
         let leak = self.config.leakage_feedback.then_some(&plan.leak);
-        compiled.step_sparse_into(state, deposits, &span.sched, leak, step);
+        compiled.step_sparse_mode_into(
+            state,
+            deposits,
+            &span.sched,
+            leak,
+            self.config.solver_mode,
+            step,
+        );
+    }
+
+    /// [`advance_planned`](Self::advance_planned) with the change
+    /// tracking fused into the kernel's store loop: `prev` holds the
+    /// instruction's previous-sweep state, the return is the L∞ change
+    /// against it, and `prev` is overwritten with the new state — all
+    /// in the same pass that writes the solver output. Bit-identical
+    /// (state, change, and `prev` contents) to `advance_planned`
+    /// followed by [`ThermalState::linf_update_slices`].
+    #[inline]
+    fn advance_tracked(
+        &self,
+        state: &mut ThermalState,
+        plan: &StepPlan,
+        span: PlanSpan,
+        step: &mut StepScratch,
+        compiled: &CompiledModel,
+        prev: &mut [f64],
+    ) -> f64 {
+        let deposits = &plan.deposits[span.start as usize..span.end as usize];
+        let leak = self.config.leakage_feedback.then_some(&plan.leak);
+        compiled.step_sparse_tracked_into(
+            state,
+            deposits,
+            &span.sched,
+            leak,
+            self.config.solver_mode,
+            step,
+            prev,
+        )
     }
 
     /// The pre-optimization transfer function, retained verbatim —
@@ -461,6 +510,10 @@ impl<'a> ThermalDfa<'a> {
         h.write_f64(self.config.seconds_per_cycle, quantum);
         h.write_f64(self.config.time_scale, quantum);
         h.write_u64(self.config.leakage_feedback as u64);
+        h.write_u64(match self.config.solver_mode {
+            SolverMode::Exact => 0,
+            SolverMode::Fast => 1,
+        });
         // Leakage model (read/write energies are folded in per access).
         h.write_f64(self.power_model.leakage_per_cell, quantum);
         h.write_f64(self.power_model.leakage_temp_coeff, quantum);
@@ -773,26 +826,55 @@ impl<'a> ThermalDfa<'a> {
             }
 
             for &id in func.block(bb).insts() {
-                self.advance_planned(walker, plan, plan.inst[id.index()], step, compiled);
-                // At a call site, replay the callee's summarised trace:
-                // the state after the call is the state after the
-                // callee returns.
+                // At a call site, advance untracked and replay the
+                // callee's summarised trace (the state after the call
+                // is the state after the callee returns), then
+                // compare-and-remember separately: the summary replay
+                // runs outside the tracked kernel.
                 if let Some(sum) = self.call_summary(id) {
-                    sum.apply(walker, compiled, step);
+                    self.advance_planned(walker, plan, plan.inst[id.index()], step, compiled);
+                    sum.apply(walker, compiled, self.config.solver_mode, step);
+                    max_change = max_change.max(after.update(id.index(), walker));
+                    continue;
                 }
-                // Compare-and-remember against the flat matrix row,
-                // allocation-free. (Fusing this into the kernel pass
-                // itself benches *slower* — the tracking stores defeat
-                // the stencil loop's vectorization — so it stays a
-                // separate 4-lane pass.)
-                max_change = max_change.max(after.update(id.index(), walker));
+                // Non-call fast path: the change tracking is fused into
+                // the explicit-lane kernel's store loop — the matrix
+                // row is compared and overwritten in the same pass that
+                // writes the new temperatures, so the old separate
+                // compare-and-remember sweep over the row disappears.
+                let (row, was_init) = after.visit_row(id.index());
+                if was_init {
+                    let change = self.advance_tracked(
+                        walker,
+                        plan,
+                        plan.inst[id.index()],
+                        step,
+                        compiled,
+                        row,
+                    );
+                    max_change = max_change.max(change);
+                } else {
+                    self.advance_planned(walker, plan, plan.inst[id.index()], step, compiled);
+                    row.copy_from_slice(walker.temps());
+                    max_change = f64::INFINITY;
+                }
             }
-            if func.terminator(bb).is_some() {
-                self.advance_planned(walker, plan, plan.term[bb.index()], step, compiled);
-            }
-            let exit_change = match &mut state.exit[bb.index()] {
-                Some(prev) => prev.linf_update_from(walker),
-                slot => {
+            let exit_change = match (&mut state.exit[bb.index()], func.terminator(bb).is_some()) {
+                // The terminator advance fuses its change tracking
+                // against the block's previous exit state the same way.
+                (Some(prev), true) => self.advance_tracked(
+                    walker,
+                    plan,
+                    plan.term[bb.index()],
+                    step,
+                    compiled,
+                    prev.temps_mut(),
+                ),
+                (Some(prev), false) => prev.linf_update_from(walker),
+                (slot, has_term) => {
+                    if has_term {
+                        self.advance_planned(walker, plan, plan.term[bb.index()], step, compiled);
+                    }
                     *slot = Some(walker.clone());
                     f64::INFINITY
                 }
@@ -890,7 +972,7 @@ impl<'a> ThermalDfa<'a> {
                 self.fill_access_energies(inst, accesses);
                 self.advance_reference(&mut s, accesses, inst.op.latency(), power);
                 if let Some(sum) = self.call_summary(id) {
-                    sum.apply(&mut s, self.grid.compiled(), step);
+                    sum.apply(&mut s, self.grid.compiled(), self.config.solver_mode, step);
                 }
                 let change = match &state.after[id.index()] {
                     Some(prev) => prev.linf_distance(&s),

@@ -72,3 +72,4 @@ pub use grid::AnalysisGrid;
 pub use predictive::{PlacementPrior, PredictiveConfig, PredictiveDfa, PredictiveResult};
 pub use session::{ModuleReport, Session, SessionBuilder, SessionCore, ThermalReport};
 pub use summary::ThermalSummary;
+pub use tadfa_thermal::SolverMode;

@@ -57,8 +57,8 @@ pub use policy::{
 };
 pub use report::{hex_fingerprint, render_report};
 pub use runner::{
-    run_scenario, CoreSummary, DieSummary, PreparedScenario, RunOverrides, ScenarioConfig,
-    ScenarioResult, TaskOutcome,
+    golden_gate_guard, run_scenario, CoreSummary, DieSummary, PreparedScenario, RunOverrides,
+    ScenarioConfig, ScenarioResult, TaskOutcome,
 };
 pub use spec::{load_spec, load_spec_dir, SpecError};
 pub use task::{generated_tasks, suite_tasks, task_metrics, Task, TaskMetrics};

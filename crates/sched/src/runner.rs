@@ -29,7 +29,9 @@ use crate::policy::{mapping_policy_by_name, MappingContext};
 use crate::task::{task_metrics, Task, TaskMetrics};
 use std::sync::Arc;
 use tadfa_core::engine::Engine;
-use tadfa_core::{CacheStats, Session, SessionCore, TadfaError, ThermalDfaConfig, ThermalReport};
+use tadfa_core::{
+    CacheStats, Session, SessionCore, SolverMode, TadfaError, ThermalDfaConfig, ThermalReport,
+};
 use tadfa_ir::{Function, Module};
 use tadfa_thermal::hashing::Fnv128;
 use tadfa_thermal::{CompiledModel, SteadyStateOptions, StepScratch, ThermalState};
@@ -85,6 +87,24 @@ impl ScenarioConfig {
             module: None,
         }
     }
+}
+
+/// The golden-gate guard: committed golden fingerprints are **exact**
+/// solver contracts, so the `tadfa check` subcommand (and the in-tree
+/// scenario gate) refuse a spec that requests the
+/// reassociation-permitting [`SolverMode::Fast`] unless the caller
+/// explicitly opted in (`--allow-fast`). Fast-mode runs are
+/// deterministic on one build, but their fingerprints are not
+/// comparable to exact-mode goldens — see `docs/DETERMINISM.md`.
+pub fn golden_gate_guard(cfg: &ScenarioConfig, allow_fast: bool) -> Result<(), String> {
+    if cfg.dfa.solver_mode == SolverMode::Fast && !allow_fast {
+        return Err(format!(
+            "scenario '{}' requests solver = \"fast\": golden fingerprints are exact-mode \
+             contracts; pass --allow-fast to gate a fast-mode golden deliberately",
+            cfg.name
+        ));
+    }
+    Ok(())
 }
 
 /// One task's scheduling outcome.
@@ -459,8 +479,12 @@ impl PreparedScenario {
             }
         }
         let mut steady = ThermalState::uniform(n, ambient);
-        let stats =
-            solver.steady_state_into(&avg_power, &mut steady, &SteadyStateOptions::default());
+        let stats = solver.steady_state_mode_into(
+            &avg_power,
+            &mut steady,
+            &SteadyStateOptions::default(),
+            cfg.dfa.solver_mode,
+        );
 
         // Assemble.
         let tasks: Vec<TaskOutcome> = cfg

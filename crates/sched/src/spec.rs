@@ -58,7 +58,7 @@ use crate::task::{generated_tasks, suite_tasks, Task};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
-use tadfa_core::{MergeRule, ThermalDfaConfig};
+use tadfa_core::{MergeRule, SolverMode, ThermalDfaConfig};
 use tadfa_thermal::RcParams;
 
 /// A spec loading/validation failure, with context.
@@ -582,7 +582,7 @@ fn build_config(
     let assignment_seed = assign.usize("seed", 0)? as u64;
 
     let dfa_sec = section("dfa");
-    dfa_sec.check_keys(&["delta", "max_iterations", "merge", "leakage"])?;
+    dfa_sec.check_keys(&["delta", "max_iterations", "merge", "leakage", "solver"])?;
     let defaults = ThermalDfaConfig::default();
     let merge = match dfa_sec.str("merge", "max")?.as_str() {
         "max" => MergeRule::Max,
@@ -593,11 +593,18 @@ fn build_config(
             )))
         }
     };
+    let solver_raw = dfa_sec.str("solver", SolverMode::default().as_str())?;
+    let solver_mode = SolverMode::parse(&solver_raw).ok_or_else(|| {
+        SpecError::new(format!(
+            "[dfa] unknown solver mode '{solver_raw}' (exact | fast)"
+        ))
+    })?;
     let dfa = ThermalDfaConfig {
         delta: dfa_sec.num("delta", defaults.delta)?,
         max_iterations: dfa_sec.usize("max_iterations", defaults.max_iterations)?,
         merge,
         leakage_feedback: dfa_sec.bool("leakage", defaults.leakage_feedback)?,
+        solver_mode,
         ..defaults
     };
 

@@ -50,6 +50,7 @@ pub mod constants;
 mod error;
 mod floorplan;
 pub mod hashing;
+mod lanes;
 mod map;
 mod power;
 mod rc;
@@ -62,7 +63,7 @@ pub use map::{render_ascii, render_ascii_auto, render_numeric, to_csv};
 pub use power::PowerModel;
 pub use rc::{RcParams, ThermalModel};
 pub use solver::{
-    CompiledModel, KernelKind, LeakageParams, SteadyStateOptions, SteadyStateStats, StepSchedule,
-    StepScratch,
+    CompiledModel, KernelKind, LeakageParams, SolverMode, SteadyStateOptions, SteadyStateStats,
+    StepSchedule, StepScratch,
 };
 pub use state::{MapStats, ThermalState};

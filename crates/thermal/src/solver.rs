@@ -59,8 +59,53 @@
 //! ```
 
 use crate::error::ThermalError;
+use crate::lanes::{LANES, W8};
 use crate::rc::{RcParams, ThermalModel};
 use crate::state::ThermalState;
+
+/// Numeric contract a solve runs under.
+///
+/// The default, [`SolverMode::Exact`], preserves the naive solvers'
+/// floating-point operation order bit for bit — the contract every
+/// fingerprint, golden report, and cache key in the workspace is built
+/// on (see `docs/DETERMINISM.md`).
+///
+/// [`SolverMode::Fast`] is the opt-in reassociation-permitting variant:
+/// it may precompute `h / cap` (turning the per-cell `h·flow/cap`
+/// divide into a multiply) and reciprocal Gauss–Seidel denominators.
+/// Results stay deterministic for a fixed build/machine but are **not**
+/// bit-identical to `Exact`; the divergence is bounded (asserted at
+/// ≤ 1e-9 K per transient step sequence and ≤ 1e-5 K per steady solve
+/// in this crate's tests) and golden gates refuse it unless explicitly
+/// requested.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum SolverMode {
+    /// Bit-exact kernels — the fingerprint-stable default.
+    #[default]
+    Exact,
+    /// Reassociation-permitting kernels with a bounded-divergence
+    /// contract. Never used unless explicitly configured.
+    Fast,
+}
+
+impl SolverMode {
+    /// The spec/JSON spelling (`"exact"` / `"fast"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SolverMode::Exact => "exact",
+            SolverMode::Fast => "fast",
+        }
+    }
+
+    /// Parses the spec/JSON spelling accepted by scenario files.
+    pub fn parse(s: &str) -> Option<SolverMode> {
+        match s {
+            "exact" => Some(SolverMode::Exact),
+            "fast" => Some(SolverMode::Fast),
+            _ => None,
+        }
+    }
+}
 
 /// Which inner kernel a [`CompiledModel`] executes.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -88,6 +133,11 @@ pub struct StepScratch {
     pub(crate) next: Vec<f64>,
     /// Dense `access + leakage` staging for the sub-stepped leaky path.
     dense_power: Vec<f64>,
+    /// Maintained-all-zero scatter target for the single-sub-step sparse
+    /// path: deposits are scattered in, the fused kernel runs over it,
+    /// and the touched cells are re-zeroed — O(accesses) bookkeeping for
+    /// a dense-power kernel pass.
+    sparse_power: Vec<f64>,
 }
 
 impl StepScratch {
@@ -236,11 +286,18 @@ pub struct CompiledModel {
     /// as the naive sweep folds it (`g_vert`, then `+ g_lat` per
     /// neighbour) so quotients stay bit-identical.
     gs_den: Vec<f64>,
+    /// Per-cell reciprocal of `gs_den` — only the opt-in
+    /// [`SolverMode::Fast`] steady sweep reads it.
+    gs_rden: Vec<f64>,
     /// Per-edge conductances parallel to `col_idx` — populated only by
     /// [`CompiledModel::from_weighted_graph`]. Empty means every edge
     /// carries the uniform `g_lat` (the grid constructors), and the
     /// kernels run their historical, bit-identical uniform loops.
     edge_g: Vec<f64>,
+    /// Model-constant lane splats, broadcast once at compile time so
+    /// per-step [`LaneCtx`] construction only splats the step- and
+    /// leakage-dependent values.
+    lanes: ModelLanes,
 }
 
 impl CompiledModel {
@@ -274,6 +331,7 @@ impl CompiledModel {
             row_ptr.push(col_idx.len() as u32);
             gs_den.push(den);
         }
+        let gs_rden = gs_den.iter().map(|&d| 1.0 / d).collect();
 
         CompiledModel {
             rows: fp.rows(),
@@ -288,7 +346,9 @@ impl CompiledModel {
             row_ptr,
             col_idx,
             gs_den,
+            gs_rden,
             edge_g: Vec::new(),
+            lanes: ModelLanes::new(g_vert, g_lat, params.ambient, params.cell_capacitance),
         }
     }
 
@@ -370,6 +430,7 @@ impl CompiledModel {
             row_ptr.push(col_idx.len() as u32);
             gs_den.push(den);
         }
+        let gs_rden = gs_den.iter().map(|&d| 1.0 / d).collect();
 
         Ok(CompiledModel {
             // The stencil kernel never runs on a weighted plan; the
@@ -386,7 +447,9 @@ impl CompiledModel {
             row_ptr,
             col_idx,
             gs_den,
+            gs_rden,
             edge_g,
+            lanes: ModelLanes::new(g_vert, g_lat, params.ambient, params.cell_capacitance),
         })
     }
 
@@ -469,13 +532,14 @@ impl CompiledModel {
             return;
         }
         scratch.ensure(self.n);
-        self.run_substeps::<false>(
+        self.run_substeps::<false, false>(
             state,
             power,
             &NO_LEAK,
             sched.n_sub as usize,
             sched.h,
             &mut scratch.next,
+            None,
         );
     }
 
@@ -531,7 +595,7 @@ impl CompiledModel {
         if n_sub == 1 {
             // One sub-step: the "current" temperatures are the pre-step
             // temperatures, so leakage can fold into the kernel.
-            self.run_substeps::<true>(state, power, leak, n_sub, h, &mut scratch.next);
+            self.run_substeps::<true, false>(state, power, leak, n_sub, h, &mut scratch.next, None);
         } else {
             // Freeze leakage at the pre-step state, then step plainly.
             let dense = &mut scratch.dense_power;
@@ -542,7 +606,15 @@ impl CompiledModel {
                     .zip(state.temps())
                     .map(|(&p, &t)| p + leak_at(leak, t)),
             );
-            self.run_substeps::<false>(state, dense, &NO_LEAK, n_sub, h, &mut scratch.next);
+            self.run_substeps::<false, false>(
+                state,
+                dense,
+                &NO_LEAK,
+                n_sub,
+                h,
+                &mut scratch.next,
+                None,
+            );
         }
     }
 
@@ -551,12 +623,13 @@ impl CompiledModel {
     /// pre-summed); every unlisted cell has zero access power. With
     /// `leak`, temperature-dependent leakage is fused into the kernel.
     ///
-    /// This is the thermal DFA's innermost call: the dense power vector
-    /// never materialises on the single-sub-step path — the kernel runs
-    /// with implicit-zero power, then the O(accesses) deposit cells are
-    /// recomputed with their actual power. Bit-identical to scattering
-    /// the deposits into a dense zero vector (adding leakage) and
-    /// calling the dense entry points, because `0.0 + x` is exact.
+    /// This is the thermal DFA's innermost call: on the single-sub-step
+    /// path the deposits are scattered into a maintained-all-zero dense
+    /// buffer, one fused kernel pass runs over it, and the touched
+    /// cells are re-zeroed — O(accesses) bookkeeping around a single
+    /// grid pass. Bit-identical to scattering the deposits into a dense
+    /// zero vector (adding leakage) and calling the dense entry points,
+    /// because `0.0 + x` is exact.
     ///
     /// # Panics
     ///
@@ -571,113 +644,264 @@ impl CompiledModel {
         leak: Option<&LeakageParams>,
         scratch: &mut StepScratch,
     ) {
+        self.step_sparse_mode_into(state, deposits, sched, leak, SolverMode::Exact, scratch);
+    }
+
+    /// [`step_sparse_into`](CompiledModel::step_sparse_into) under an
+    /// explicit [`SolverMode`]. `Exact` is bit-identical to the naive
+    /// solvers; `Fast` obeys the bounded-divergence contract on
+    /// [`SolverMode`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tadfa_thermal::{Floorplan, RcParams, SolverMode, StepScratch, ThermalModel};
+    ///
+    /// let model = ThermalModel::new(Floorplan::grid(4, 4), RcParams::default());
+    /// let solver = model.compile();
+    /// let sched = solver.schedule(1e-4);
+    /// let mut scratch = StepScratch::new();
+    ///
+    /// let mut exact = model.ambient_state();
+    /// let mut fast = model.ambient_state();
+    /// for _ in 0..100 {
+    ///     solver.step_sparse_mode_into(
+    ///         &mut exact, &[(5, 1e-3)], &sched, None, SolverMode::Exact, &mut scratch);
+    ///     solver.step_sparse_mode_into(
+    ///         &mut fast, &[(5, 1e-3)], &sched, None, SolverMode::Fast, &mut scratch);
+    /// }
+    /// // Fast reassociates (h·flow/cap → flow·(h/cap)) but stays within
+    /// // the documented divergence bound of the exact trajectory.
+    /// let diff = exact.linf_distance(&fast);
+    /// assert!(diff <= 1e-9, "divergence {diff}");
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// As [`step_sparse_into`](CompiledModel::step_sparse_into).
+    #[inline]
+    pub fn step_sparse_mode_into(
+        &self,
+        state: &mut ThermalState,
+        deposits: &[(u32, f64)],
+        sched: &StepSchedule,
+        leak: Option<&LeakageParams>,
+        mode: SolverMode,
+        scratch: &mut StepScratch,
+    ) {
+        match (leak, mode) {
+            (Some(lp), SolverMode::Exact) => {
+                self.sparse_impl::<true, false, false>(state, deposits, sched, lp, scratch, &mut [])
+            }
+            (Some(lp), SolverMode::Fast) => {
+                self.sparse_impl::<true, false, true>(state, deposits, sched, lp, scratch, &mut [])
+            }
+            (None, SolverMode::Exact) => self.sparse_impl::<false, false, false>(
+                state,
+                deposits,
+                sched,
+                &NO_LEAK,
+                scratch,
+                &mut [],
+            ),
+            (None, SolverMode::Fast) => self.sparse_impl::<false, false, true>(
+                state,
+                deposits,
+                sched,
+                &NO_LEAK,
+                scratch,
+                &mut [],
+            ),
+        };
+    }
+
+    /// [`step_sparse_mode_into`](CompiledModel::step_sparse_mode_into)
+    /// with the fixpoint's compare-and-copy **fused into the kernel**:
+    /// advances `state`, then returns the L∞ distance between the new
+    /// temperatures and `prev` while overwriting `prev` with them — all
+    /// in the same pass over the grid.
+    ///
+    /// Exactly equivalent (bit for bit, including the returned change)
+    /// to calling the untracked entry and then
+    /// [`ThermalState::linf_update_slices`]`(prev, state.temps())`: the
+    /// per-lane `max` folds it splits off are exactly associative. With
+    /// sub-stepping, only the final sub-step is tracked — the
+    /// intermediate temperatures never existed for the untracked +
+    /// `linf` composition either.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tadfa_thermal::{Floorplan, RcParams, SolverMode, StepScratch, ThermalModel,
+    ///                     ThermalState};
+    ///
+    /// let model = ThermalModel::new(Floorplan::grid(4, 4), RcParams::default());
+    /// let solver = model.compile();
+    /// let sched = solver.schedule(1e-4);
+    /// let mut scratch = StepScratch::new();
+    ///
+    /// let mut tracked = model.ambient_state();
+    /// let mut prev = vec![solver.ambient(); 16];
+    /// let change = solver.step_sparse_tracked_into(
+    ///     &mut tracked, &[(5, 1e-3)], &sched, None, SolverMode::Exact,
+    ///     &mut scratch, &mut prev);
+    ///
+    /// // Bit-identical to stepping untracked and folding separately.
+    /// let mut plain = model.ambient_state();
+    /// let mut prev2 = vec![solver.ambient(); 16];
+    /// solver.step_sparse_into(&mut plain, &[(5, 1e-3)], &sched, None, &mut scratch);
+    /// let expect = ThermalState::linf_update_slices(&mut prev2, plain.temps());
+    /// assert_eq!(tracked.temps(), plain.temps());
+    /// assert_eq!(change.to_bits(), expect.to_bits());
+    /// assert_eq!(prev, prev2);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// As [`step_sparse_into`](CompiledModel::step_sparse_into), plus if
+    /// `prev.len()` differs from the cell count.
+    #[allow(clippy::too_many_arguments)] // the DFA's innermost call: every arg is hot-path state
+    #[inline]
+    pub fn step_sparse_tracked_into(
+        &self,
+        state: &mut ThermalState,
+        deposits: &[(u32, f64)],
+        sched: &StepSchedule,
+        leak: Option<&LeakageParams>,
+        mode: SolverMode,
+        scratch: &mut StepScratch,
+        prev: &mut [f64],
+    ) -> f64 {
+        assert_eq!(prev.len(), self.n, "prev size mismatch");
+        match (leak, mode) {
+            (Some(lp), SolverMode::Exact) => {
+                self.sparse_impl::<true, true, false>(state, deposits, sched, lp, scratch, prev)
+            }
+            (Some(lp), SolverMode::Fast) => {
+                self.sparse_impl::<true, true, true>(state, deposits, sched, lp, scratch, prev)
+            }
+            (None, SolverMode::Exact) => self
+                .sparse_impl::<false, true, false>(state, deposits, sched, &NO_LEAK, scratch, prev),
+            (None, SolverMode::Fast) => self
+                .sparse_impl::<false, true, true>(state, deposits, sched, &NO_LEAK, scratch, prev),
+        }
+    }
+
+    /// The one sparse-stepping implementation behind the public
+    /// entries, monomorphized over leakage, change tracking, and mode.
+    fn sparse_impl<const LEAKY: bool, const TRACK: bool, const FAST: bool>(
+        &self,
+        state: &mut ThermalState,
+        deposits: &[(u32, f64)],
+        sched: &StepSchedule,
+        leak: &LeakageParams,
+        scratch: &mut StepScratch,
+        prev: &mut [f64],
+    ) -> f64 {
         assert_eq!(state.len(), self.n, "state size mismatch");
         // Out-of-range deposit cells panic at the indexing site (the
-        // fixup / dense-staging loops); no up-front scan needed.
+        // scatter loops); no up-front scan needed.
         debug_assert!(deposits.iter().all(|&(_, w)| w >= 0.0), "negative power");
         if sched.n_sub == 0 {
-            return;
+            // A zero-dt step leaves the state untouched; tracking still
+            // owes the caller the compare-and-copy against `prev`.
+            return if TRACK {
+                ThermalState::linf_update_slices(prev, state.temps())
+            } else {
+                0.0
+            };
         }
         scratch.ensure(self.n);
         if sched.n_sub == 1 {
-            let t = state.temps();
-            let next = &mut scratch.next;
-            match leak {
-                Some(lp) => {
-                    self.substep_dispatch::<true, false>(t, &[], lp, next, sched.h);
-                    self.fixup_cells::<true>(t, lp, next, deposits, sched.h);
-                }
-                None => {
-                    self.substep_dispatch::<false, false>(t, &[], &NO_LEAK, next, sched.h);
-                    self.fixup_cells::<false>(t, &NO_LEAK, next, deposits, sched.h);
-                }
+            // Scatter into the maintained-all-zero buffer, run ONE fused
+            // kernel pass (step + leakage + power + change tracking),
+            // then restore the zeros. `0.0 + w` is exact, so this is
+            // bit-identical to a dense pass over the scattered vector.
+            let StepScratch {
+                next, sparse_power, ..
+            } = scratch;
+            if sparse_power.len() != self.n {
+                sparse_power.clear();
+                sparse_power.resize(self.n, 0.0);
+            }
+            for &(p, w) in deposits {
+                sparse_power[p as usize] += w;
+            }
+            let change = self.substep_dispatch::<LEAKY, TRACK, FAST>(
+                state.temps(),
+                sparse_power,
+                leak,
+                next,
+                prev,
+                sched.h,
+            );
+            for &(p, _) in deposits {
+                sparse_power[p as usize] = 0.0;
             }
             state.swap_buffer(next);
-            return;
+            return change;
         }
         // Sub-stepped: stage the dense power once (leakage frozen at the
         // pre-step temperatures, matching the reference semantics), then
         // run the dense kernel.
-        let dense = &mut scratch.dense_power;
-        dense.clear();
-        dense.resize(self.n, 0.0);
+        let StepScratch {
+            next, dense_power, ..
+        } = scratch;
+        dense_power.clear();
+        dense_power.resize(self.n, 0.0);
         for &(p, w) in deposits {
-            dense[p as usize] += w;
+            dense_power[p as usize] += w;
         }
-        if let Some(lp) = leak {
-            for (pd, &t) in dense.iter_mut().zip(state.temps()) {
-                *pd += leak_at(lp, t);
+        if LEAKY {
+            for (pd, &t) in dense_power.iter_mut().zip(state.temps()) {
+                *pd += leak_at(leak, t);
             }
         }
-        self.run_substeps::<false>(
+        self.run_substeps::<false, FAST>(
             state,
-            dense,
+            dense_power,
             &NO_LEAK,
             sched.n_sub as usize,
             sched.h,
-            &mut scratch.next,
-        );
+            next,
+            if TRACK { Some(prev) } else { None },
+        )
     }
 
-    /// Recomputes the listed cells with their actual access power —
-    /// the sparse path's O(accesses) correction after an implicit-zero
-    /// kernel pass. Uses the CSR adjacency (whose neighbour order
-    /// matches the stencil's), so it serves both kernels.
+    /// One sub-step through the selected kernel. Returns the tracked L∞
+    /// change (0.0 when `!TRACK`; `prev` must then be empty).
     #[inline]
-    fn fixup_cells<const LEAKY: bool>(
-        &self,
-        t: &[f64],
-        leak: &LeakageParams,
-        next: &mut [f64],
-        deposits: &[(u32, f64)],
-        h: f64,
-    ) {
-        let (g_vert, g_lat, amb, cap) = (self.g_vert, self.g_lat, self.ambient, self.cap);
-        let weighted = !self.edge_g.is_empty();
-        for &(p, w) in deposits {
-            let i = p as usize;
-            let ti = t[i];
-            let pw = if LEAKY { w + leak_at(leak, ti) } else { w };
-            let mut flow = pw - (ti - amb) * g_vert;
-            let (s, e) = (self.row_ptr[i] as usize, self.row_ptr[i + 1] as usize);
-            if weighted {
-                for (&j, &g) in self.col_idx[s..e].iter().zip(&self.edge_g[s..e]) {
-                    flow -= (ti - t[j as usize]) * g;
-                }
-            } else {
-                for &j in &self.col_idx[s..e] {
-                    flow -= (ti - t[j as usize]) * g_lat;
-                }
-            }
-            next[i] = ti + h * flow / cap;
-        }
-    }
-
-    /// One sub-step through the selected kernel.
-    #[inline]
-    fn substep_dispatch<const LEAKY: bool, const POWERED: bool>(
+    fn substep_dispatch<const LEAKY: bool, const TRACK: bool, const FAST: bool>(
         &self,
         t: &[f64],
         power: &[f64],
         leak: &LeakageParams,
         next: &mut [f64],
+        prev: &mut [f64],
         h: f64,
-    ) {
+    ) -> f64 {
         match self.kernel {
-            KernelKind::Stencil => self.substep_stencil::<LEAKY, POWERED>(t, power, leak, next, h),
-            KernelKind::Csr if self.edge_g.is_empty() => {
-                self.substep_csr::<LEAKY, POWERED, false>(t, power, leak, next, h)
+            KernelKind::Stencil => {
+                self.substep_stencil::<LEAKY, TRACK, FAST>(t, power, leak, next, prev, h)
             }
-            KernelKind::Csr => self.substep_csr::<LEAKY, POWERED, true>(t, power, leak, next, h),
+            KernelKind::Csr if self.edge_g.is_empty() => {
+                self.substep_csr::<LEAKY, TRACK, FAST, false>(t, power, leak, next, prev, h)
+            }
+            KernelKind::Csr => {
+                self.substep_csr::<LEAKY, TRACK, FAST, true>(t, power, leak, next, prev, h)
+            }
         }
     }
 
     /// Executes `n_sub` Euler sub-steps through the selected kernel.
     /// When `LEAKY`, each cell's power is `power[i] + leak(T_i)` of the
     /// current sub-step's temperatures (callers guarantee `n_sub == 1`
-    /// when that must equal the pre-step temperatures).
+    /// when that must equal the pre-step temperatures). With `track`,
+    /// the **final** sub-step fuses the compare-and-copy against the
+    /// given previous temperatures and the L∞ change is returned.
+    #[allow(clippy::too_many_arguments)]
     #[inline]
-    fn run_substeps<const LEAKY: bool>(
+    fn run_substeps<const LEAKY: bool, const FAST: bool>(
         &self,
         state: &mut ThermalState,
         power: &[f64],
@@ -685,14 +909,46 @@ impl CompiledModel {
         n_sub: usize,
         h: f64,
         next: &mut Vec<f64>,
-    ) {
-        for _ in 0..n_sub {
-            self.substep_dispatch::<LEAKY, true>(state.temps(), power, leak, next, h);
+        mut track: Option<&mut [f64]>,
+    ) -> f64 {
+        let mut change = 0.0;
+        for k in 0..n_sub {
+            if k + 1 == n_sub {
+                if let Some(prev) = track.take() {
+                    change = self.substep_dispatch::<LEAKY, true, FAST>(
+                        state.temps(),
+                        power,
+                        leak,
+                        next,
+                        prev,
+                        h,
+                    );
+                } else {
+                    self.substep_dispatch::<LEAKY, false, FAST>(
+                        state.temps(),
+                        power,
+                        leak,
+                        next,
+                        &mut [],
+                        h,
+                    );
+                }
+            } else {
+                self.substep_dispatch::<LEAKY, false, FAST>(
+                    state.temps(),
+                    power,
+                    leak,
+                    next,
+                    &mut [],
+                    h,
+                );
+            }
             // The freshly computed temperatures become the state by
             // pointer swap; the old state vector becomes next round's
             // scratch. No copy, no allocation, identical values.
             state.swap_buffer(next);
         }
+        change
     }
 
     /// Solves the steady state into a caller-owned `out` state
@@ -709,13 +965,55 @@ impl CompiledModel {
         out: &mut ThermalState,
         opts: &SteadyStateOptions,
     ) -> SteadyStateStats {
+        self.steady_state_mode_into(power, out, opts, SolverMode::Exact)
+    }
+
+    /// [`steady_state_into`](CompiledModel::steady_state_into) under an
+    /// explicit [`SolverMode`]: `Fast` replaces each cell's
+    /// Gauss–Seidel divide with a multiply by the precomputed
+    /// reciprocal denominator (bounded divergence, not bit-exact).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tadfa_thermal::{Floorplan, RcParams, SolverMode, SteadyStateOptions, ThermalModel};
+    ///
+    /// let model = ThermalModel::new(Floorplan::grid(4, 4), RcParams::default());
+    /// let solver = model.compile();
+    /// let mut power = vec![0.0; 16];
+    /// power[5] = 1e-3;
+    /// let opts = SteadyStateOptions::default();
+    ///
+    /// let mut exact = solver.ambient_state();
+    /// let mut fast = solver.ambient_state();
+    /// solver.steady_state_mode_into(&power, &mut exact, &opts, SolverMode::Exact);
+    /// let stats = solver.steady_state_mode_into(&power, &mut fast, &opts, SolverMode::Fast);
+    /// assert!(stats.converged);
+    /// assert!(exact.linf_distance(&fast) <= 1e-5); // bounded divergence
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power.len()` differs from the cell count.
+    pub fn steady_state_mode_into(
+        &self,
+        power: &[f64],
+        out: &mut ThermalState,
+        opts: &SteadyStateOptions,
+        mode: SolverMode,
+    ) -> SteadyStateStats {
         assert_eq!(power.len(), self.n, "power vector size mismatch");
         out.reset_uniform(self.n, self.ambient);
         let mut stats = SteadyStateStats::start();
         for _ in 0..opts.max_sweeps {
-            let max_delta = match self.kernel {
-                KernelKind::Stencil => self.gs_sweep_stencil(out.temps_mut(), power),
-                KernelKind::Csr => self.gs_sweep_csr(out.temps_mut(), power),
+            let t = out.temps_mut();
+            let max_delta = match (self.kernel, mode) {
+                (KernelKind::Stencil, SolverMode::Exact) => {
+                    self.gs_sweep_stencil::<false>(t, power)
+                }
+                (KernelKind::Stencil, SolverMode::Fast) => self.gs_sweep_stencil::<true>(t, power),
+                (KernelKind::Csr, SolverMode::Exact) => self.gs_sweep_csr::<false>(t, power),
+                (KernelKind::Csr, SolverMode::Fast) => self.gs_sweep_csr::<true>(t, power),
             };
             stats.sweeps += 1;
             stats.residual = max_delta;
@@ -735,132 +1033,348 @@ impl CompiledModel {
         out
     }
 
-    /// One explicit-Euler sub-step via the grid stencil. Rows come in
-    /// three bands (first, interior, last), each monomorphized over its
-    /// neighbour-existence pattern by [`CompiledModel::stencil_row`],
-    /// so every row's inner loop is branch-free; per-row slice windows
-    /// also hoist the bounds checks, leaving the loops
-    /// auto-vectorizable.
-    fn substep_stencil<const LEAKY: bool, const POWERED: bool>(
+    /// One explicit-Euler sub-step via the grid stencil, fully fused:
+    /// power deposit + temperature-dependent leakage + Euler update +
+    /// (optionally) the fixpoint's compare-and-copy, one pass over the
+    /// grid in explicit 8-wide lanes ([`crate::lanes::W8`]). Rows come
+    /// in three bands (first, interior, last), each monomorphized over
+    /// its vertical-neighbour pattern by [`CompiledModel::stencil_row`].
+    /// Returns the tracked L∞ change (0.0 when `!TRACK`).
+    fn substep_stencil<const LEAKY: bool, const TRACK: bool, const FAST: bool>(
         &self,
         t: &[f64],
         power: &[f64],
         leak: &LeakageParams,
         next: &mut [f64],
+        prev: &mut [f64],
         h: f64,
-    ) {
+    ) -> f64 {
+        let ctx = LaneCtx::new(self, leak, h, FAST);
         let rows = self.rows;
+        // Exactly-one-chunk rows (the 8-wide register files every
+        // shipped floorplan uses) take the specialized whole-grid pass:
+        // rolling row registers, no per-row slicing, masked vertical
+        // edges — bit-identical by the same masked-conductance argument
+        // as the lateral edges.
+        if self.cols == LANES {
+            return self.stencil_pass_w8::<LEAKY, TRACK, FAST>(t, power, next, prev, &ctx);
+        }
+        // Lane-wise change accumulators are folded across all rows and
+        // reduced to a scalar exactly once — `max` is exactly
+        // associative, so deferring the horizontal reduction cannot
+        // change the result, and per-row `reduce_max` calls are the
+        // single most expensive instruction sequence in the pass.
+        let (mut vacc, mut sacc) = (ctx.zero, 0.0f64);
         if rows == 1 {
-            self.stencil_row::<LEAKY, POWERED, false, false>(t, power, leak, next, 0, h);
-            return;
+            let (v, s) = self.stencil_row::<LEAKY, false, false, TRACK, FAST>(
+                t, power, leak, next, prev, 0, h, &ctx,
+            );
+            vacc = v;
+            sacc = s;
+        } else {
+            let (v, s) = self.stencil_row::<LEAKY, false, true, TRACK, FAST>(
+                t, power, leak, next, prev, 0, h, &ctx,
+            );
+            vacc = vacc.max(v);
+            sacc = sacc.max(s);
+            for r in 1..rows - 1 {
+                let (v, s) = self.stencil_row::<LEAKY, true, true, TRACK, FAST>(
+                    t, power, leak, next, prev, r, h, &ctx,
+                );
+                vacc = vacc.max(v);
+                sacc = sacc.max(s);
+            }
+            let (v, s) = self.stencil_row::<LEAKY, true, false, TRACK, FAST>(
+                t,
+                power,
+                leak,
+                next,
+                prev,
+                rows - 1,
+                h,
+                &ctx,
+            );
+            vacc = vacc.max(v);
+            sacc = sacc.max(s);
         }
-        self.stencil_row::<LEAKY, POWERED, false, true>(t, power, leak, next, 0, h);
-        for r in 1..rows - 1 {
-            self.stencil_row::<LEAKY, POWERED, true, true>(t, power, leak, next, r, h);
+        if TRACK {
+            vacc.reduce_max().max(sacc)
+        } else {
+            0.0
         }
-        self.stencil_row::<LEAKY, POWERED, true, false>(t, power, leak, next, rows - 1, h);
     }
 
-    /// One row of the stencil sub-step, monomorphized over whether the
-    /// row above (`UP`) / below (`DOWN`) exists. When `!POWERED`, the
-    /// access-power vector is implicitly all-zero and never read (the
-    /// sparse path fixes the deposit cells afterwards).
+    /// The whole-grid fused pass for grids exactly one chunk wide
+    /// (`cols == LANES`) — the shipped 8-wide register files, hence the
+    /// hottest loop in the repository.
+    ///
+    /// Compared with the generic per-row path it removes every per-row
+    /// cost: function-call and slicing overhead, bounds-checked lane
+    /// loads, and re-loading the three neighbour rows (the current row
+    /// becomes the next row's `up` register, the prefetched row below
+    /// becomes the next `ti`). The vertical edges use the same
+    /// masked-conductance trick as the lateral ones: the first/last row
+    /// reads *itself* as its missing neighbour against a conductance of
+    /// `0.0`, so the masked term is exactly `(ti − ti)·0.0 = +0.0` and
+    /// subtracting it reproduces the unmasked flow bit for bit.
+    ///
+    /// Returns the tracked L∞ change (0.0 when `!TRACK`); `prev`'s
+    /// compare-and-overwrite semantics match
+    /// [`stencil_row`](Self::stencil_row).
     #[inline(always)]
-    fn stencil_row<const LEAKY: bool, const POWERED: bool, const UP: bool, const DOWN: bool>(
+    fn stencil_pass_w8<const LEAKY: bool, const TRACK: bool, const FAST: bool>(
         &self,
         t: &[f64],
         power: &[f64],
-        leak: &LeakageParams,
         next: &mut [f64],
-        r: usize,
-        h: f64,
-    ) {
-        let cols = self.cols;
-        let (g_vert, g_lat, amb, cap) = (self.g_vert, self.g_lat, self.ambient, self.cap);
-        let base = r * cols;
-        if cols == 1 {
-            euler_cell::<LEAKY, POWERED>(
-                t, power, leak, next, base, cols, UP, DOWN, false, false, g_vert, g_lat, amb, h,
-                cap,
-            );
-            return;
+        prev: &mut [f64],
+        ctx: &LaneCtx,
+    ) -> f64 {
+        let rows = self.rows;
+        let n = rows * LANES;
+        assert!(t.len() >= n && power.len() >= n && next.len() >= n);
+        if TRACK {
+            assert!(prev.len() >= n);
         }
-        euler_cell::<LEAKY, POWERED>(
-            t, power, leak, next, base, cols, UP, DOWN, false, true, g_vert, g_lat, amb, h, cap,
-        );
-        {
-            // Interior columns: length-`cols` windows over each involved
-            // row let the compiler hoist every bounds check out of the
-            // loop (`c ± 1` and `c` are provably in range); the `UP` /
-            // `DOWN` constants leave it branch-free.
-            let row = &t[base..base + cols];
-            let up_row = if UP { &t[base - cols..base] } else { &row[..0] };
-            let down_row = if DOWN {
-                &t[base + cols..base + 2 * cols]
+        let tp = t.as_ptr();
+        let pp = power.as_ptr();
+        let np = next.as_mut_ptr();
+        let prevp = prev.as_mut_ptr();
+        let mut acc = ctx.zero;
+        // SAFETY: every `load`/`store` below reads or writes lanes
+        // `[base, base + LANES)` with `base = r·LANES` and `r < rows`
+        // (or the explicitly guarded `base + 2·LANES` prefetch with
+        // `r + 2 < rows`), all `< n` — in range by the length asserts
+        // above. `t`, `power`, `next`, and `prev` are distinct slices
+        // (solver state, scratch power, scratch out-buffer, caller's
+        // tracking row), so no load observes a store of this pass.
+        unsafe {
+            let mut ti = W8::load(tp);
+            let mut down = if rows > 1 {
+                W8::load(tp.add(LANES))
             } else {
-                &row[..0]
+                ti
             };
-            let p = if POWERED {
-                &power[base..base + cols]
-            } else {
-                &row[..0]
-            };
-            let out = &mut next[base..base + cols];
-            for c in 1..cols - 1 {
-                let ti = row[c];
-                let access = if POWERED { p[c] } else { 0.0 };
+            let mut up = ti; // dummy: masked by gu = 0 on the first row
+            for r in 0..rows {
+                let base = r * LANES;
+                let access = W8::load(pp.add(base));
                 let pw = if LEAKY {
-                    access + leak_at(leak, ti)
+                    let lk = ctx
+                        .pc
+                        .mul(ctx.one.add(ctx.co.mul(ti.sub(ctx.tr))))
+                        .max(ctx.zero);
+                    access.add(lk)
                 } else {
                     access
                 };
-                let mut flow = pw - (ti - amb) * g_vert;
-                if UP {
-                    flow -= (ti - up_row[c]) * g_lat;
+                let gu = if r == 0 { ctx.zero } else { ctx.g };
+                let gd = if r + 1 == rows { ctx.zero } else { ctx.g };
+                let mut flow = pw.sub(ti.sub(ctx.amb).mul(ctx.gv));
+                flow = flow.sub(ti.sub(up).mul(gu));
+                flow = flow.sub(ti.sub(down).mul(gd));
+                flow = flow.sub(ti.sub(ti.shift_head_dup()).mul(ctx.gl_first));
+                flow = flow.sub(ti.sub(ti.shift_tail_dup()).mul(ctx.gr_last));
+                let out_v = if FAST {
+                    ti.add(flow.mul(ctx.step)) // step = h/cap
+                } else {
+                    ti.add(ctx.step.mul(flow).div(ctx.cap)) // step = h
+                };
+                out_v.store(np.add(base));
+                if TRACK {
+                    let pv = W8::load(prevp.add(base));
+                    acc = acc.max(out_v.sub(pv).abs());
+                    out_v.store(prevp.add(base));
                 }
-                if DOWN {
-                    flow -= (ti - down_row[c]) * g_lat;
-                }
-                flow -= (ti - row[c - 1]) * g_lat;
-                flow -= (ti - row[c + 1]) * g_lat;
-                out[c] = ti + h * flow / cap;
+                up = ti;
+                ti = down;
+                down = if r + 2 < rows {
+                    W8::load(tp.add(base + 2 * LANES))
+                } else {
+                    ti // dummy: masked by gd = 0 on the last row
+                };
             }
         }
-        euler_cell::<LEAKY, POWERED>(
-            t,
-            power,
-            leak,
-            next,
-            base + cols - 1,
-            cols,
-            UP,
-            DOWN,
-            true,
-            false,
-            g_vert,
-            g_lat,
-            amb,
-            h,
-            cap,
-        );
+        if TRACK {
+            acc.reduce_max()
+        } else {
+            0.0
+        }
+    }
+
+    /// One row of the fused stencil sub-step, monomorphized over whether
+    /// the row above (`UP`) / below (`DOWN`) exists.
+    ///
+    /// Full 8-lane chunks run through [`W8`]; the missing left/right
+    /// neighbour at a row edge is handled by the *masked-conductance*
+    /// trick — the edge lane reads the cell itself as its neighbour and
+    /// multiplies by a conductance lane of `0.0`, so the masked term is
+    /// exactly `(ti − ti)·0.0 = +0.0` and `flow − (+0.0)` reproduces
+    /// `flow` bit for bit (only a `−0.0 − (−0.0)` difference could
+    /// perturb bits, and self-as-neighbour rules it out). The `cols %
+    /// 8` tail — and every row of grids narrower than 8 — runs the
+    /// scalar cell loop with the same fold order. Per-lane operation
+    /// order matches the naive solver exactly: leakage
+    /// `(pc·(1+co·(T−Tr))).max(0)`, then `flow = pw − (T−amb)·g_vert`,
+    /// then the up/down/left/right conductance terms in
+    /// `Floorplan::neighbors` order, then `T + h·flow/cap`
+    /// (`T + flow·(h/cap)` under `FAST`).
+    ///
+    /// Returns this row's tracked change as a `(lane, scalar-tail)`
+    /// accumulator pair — the caller folds rows lane-wise and performs
+    /// the horizontal reduction once per sub-step (both zero when
+    /// `!TRACK`). When `TRACK`, the row of `prev` is overwritten with
+    /// the new temperatures (lane `max` folds are exactly associative,
+    /// so the split accumulators cannot change the result).
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    fn stencil_row<
+        const LEAKY: bool,
+        const UP: bool,
+        const DOWN: bool,
+        const TRACK: bool,
+        const FAST: bool,
+    >(
+        &self,
+        t: &[f64],
+        power: &[f64],
+        leak: &LeakageParams,
+        next: &mut [f64],
+        prev: &mut [f64],
+        r: usize,
+        h: f64,
+        ctx: &LaneCtx,
+    ) -> (W8, f64) {
+        let cols = self.cols;
+        let (g_vert, g_lat, amb, cap) = (self.g_vert, self.g_lat, self.ambient, self.cap);
+        let base = r * cols;
+        let row = &t[base..base + cols];
+        // Never read when the corresponding neighbour row is absent
+        // (`UP` / `DOWN` are compile-time constants).
+        let up_row = if UP { &t[base - cols..base] } else { row };
+        let down_row = if DOWN {
+            &t[base + cols..base + 2 * cols]
+        } else {
+            row
+        };
+        let p = &power[base..base + cols];
+        let out = &mut next[base..base + cols];
+        let prow: &mut [f64] = if TRACK {
+            &mut prev[base..base + cols]
+        } else {
+            &mut []
+        };
+
+        let mut acc = ctx.zero;
+        let mut scalar_acc = 0.0f64;
+        let mut c0 = 0;
+        while c0 + LANES <= cols {
+            let ti = W8::read(&row[c0..]);
+            let access = W8::read(&p[c0..]);
+            let pw = if LEAKY {
+                // (pc · (1 + co·(ti − tr))).max(0), scalar op for op.
+                let lk = ctx
+                    .pc
+                    .mul(ctx.one.add(ctx.co.mul(ti.sub(ctx.tr))))
+                    .max(ctx.zero);
+                access.add(lk)
+            } else {
+                access
+            };
+            let mut flow = pw.sub(ti.sub(ctx.amb).mul(ctx.gv));
+            if UP {
+                flow = flow.sub(ti.sub(W8::read(&up_row[c0..])).mul(ctx.g));
+            }
+            if DOWN {
+                flow = flow.sub(ti.sub(W8::read(&down_row[c0..])).mul(ctx.g));
+            }
+            let first = c0 == 0;
+            let last = c0 + LANES == cols;
+            let left = if first {
+                ti.shift_head_dup()
+            } else {
+                W8::read(&row[c0 - 1..])
+            };
+            let gl = if first { ctx.gl_first } else { ctx.g };
+            flow = flow.sub(ti.sub(left).mul(gl));
+            let right = if last {
+                ti.shift_tail_dup()
+            } else {
+                W8::read(&row[c0 + 1..])
+            };
+            let gr = if last { ctx.gr_last } else { ctx.g };
+            flow = flow.sub(ti.sub(right).mul(gr));
+            let out_v = if FAST {
+                ti.add(flow.mul(ctx.step)) // step = h/cap
+            } else {
+                ti.add(ctx.step.mul(flow).div(ctx.cap)) // step = h
+            };
+            out_v.write(&mut out[c0..]);
+            if TRACK {
+                let pv = W8::read(&prow[c0..]);
+                acc = acc.max(out_v.sub(pv).abs());
+                out_v.write(&mut prow[c0..]);
+            }
+            c0 += LANES;
+        }
+        // Scalar tail (and whole rows of grids narrower than 8 lanes):
+        // identical fold order, edge neighbours simply skipped.
+        for c in c0..cols {
+            let ti = row[c];
+            let access = p[c];
+            let pw = if LEAKY {
+                access + leak_at(leak, ti)
+            } else {
+                access
+            };
+            let mut flow = pw - (ti - amb) * g_vert;
+            if UP {
+                flow -= (ti - up_row[c]) * g_lat;
+            }
+            if DOWN {
+                flow -= (ti - down_row[c]) * g_lat;
+            }
+            if c > 0 {
+                flow -= (ti - row[c - 1]) * g_lat;
+            }
+            if c + 1 < cols {
+                flow -= (ti - row[c + 1]) * g_lat;
+            }
+            let nv = if FAST {
+                ti + flow * ctx.hcap
+            } else {
+                ti + h * flow / cap
+            };
+            out[c] = nv;
+            if TRACK {
+                scalar_acc = scalar_acc.max((nv - prow[c]).abs());
+                prow[c] = nv;
+            }
+        }
+        (acc, scalar_acc)
     }
 
     /// One explicit-Euler sub-step via the generic CSR adjacency. When
     /// `WEIGHTED`, each edge carries its own conductance from `edge_g`
     /// (the weighted-graph plans); otherwise every edge is the uniform
-    /// `g_lat`, byte-for-byte the historical loop.
-    fn substep_csr<const LEAKY: bool, const POWERED: bool, const WEIGHTED: bool>(
+    /// `g_lat`, byte-for-byte the historical loop. Change tracking
+    /// (`TRACK`) and the fast-mode update fuse exactly as in the
+    /// stencil kernel; returns the tracked L∞ change (0.0 otherwise).
+    fn substep_csr<const LEAKY: bool, const TRACK: bool, const FAST: bool, const WEIGHTED: bool>(
         &self,
         t: &[f64],
         power: &[f64],
         leak: &LeakageParams,
         next: &mut [f64],
+        prev: &mut [f64],
         h: f64,
-    ) {
+    ) -> f64 {
         let (g_vert, g_lat, amb, cap) = (self.g_vert, self.g_lat, self.ambient, self.cap);
+        let hcap = h / cap;
+        let mut change = 0.0f64;
         for i in 0..self.n {
             let ti = t[i];
-            let access = if POWERED { power[i] } else { 0.0 };
+            let access = power[i];
             let pw = if LEAKY {
                 access + leak_at(leak, ti)
             } else {
@@ -877,30 +1391,50 @@ impl CompiledModel {
                     flow -= (ti - t[j as usize]) * g_lat;
                 }
             }
-            next[i] = ti + h * flow / cap;
+            let nv = if FAST {
+                ti + flow * hcap
+            } else {
+                ti + h * flow / cap
+            };
+            next[i] = nv;
+            if TRACK {
+                change = change.max((nv - prev[i]).abs());
+                prev[i] = nv;
+            }
         }
+        change
     }
 
     /// One Gauss–Seidel sweep via the grid stencil; returns the L∞
     /// update. Cells update in index order (N and W neighbours already
     /// carry this sweep's values), exactly like the naive sweep.
-    fn gs_sweep_stencil(&self, t: &mut [f64], power: &[f64]) -> f64 {
+    ///
+    /// This sweep stays deliberately **scalar and single-pass**: the
+    /// west neighbour is this sweep's fresh value, so each cell's
+    /// update chains through the previous cell's divide — the sweep is
+    /// latency-bound on that recurrence, and the row-independent
+    /// numerator terms execute for free in the divide's shadow.
+    /// Widening them into a separate prefix pass was tried and
+    /// **regressed** `steady/stencil/32x32` by ~30% (the extra buffer
+    /// traffic is pure overhead; see docs/KERNEL_OPTIMIZATION_GUIDE.md,
+    /// "rejected attempts"). `FAST` multiplies by the precomputed
+    /// reciprocal denominator, which genuinely shortens the chain.
+    fn gs_sweep_stencil<const FAST: bool>(&self, t: &mut [f64], power: &[f64]) -> f64 {
         let (rows, cols) = (self.rows, self.cols);
         let (g_vert, g_lat, amb) = (self.g_vert, self.g_lat, self.ambient);
-        let den = &self.gs_den;
         let mut max_delta: f64 = 0.0;
         for r in 0..rows {
             let up = r > 0;
             let down = r + 1 < rows;
             let base = r * cols;
             if cols == 1 {
-                max_delta = max_delta.max(gs_cell(
-                    t, power, base, cols, up, down, false, false, g_vert, g_lat, amb, den[base],
+                max_delta = max_delta.max(self.gs_cell::<FAST>(
+                    t, power, base, cols, up, down, false, false, g_vert, g_lat, amb,
                 ));
                 continue;
             }
-            max_delta = max_delta.max(gs_cell(
-                t, power, base, cols, up, down, false, true, g_vert, g_lat, amb, den[base],
+            max_delta = max_delta.max(self.gs_cell::<FAST>(
+                t, power, base, cols, up, down, false, true, g_vert, g_lat, amb,
             ));
             if up && down {
                 // Same slice-window trick as the transient kernel;
@@ -911,36 +1445,85 @@ impl CompiledModel {
                 let (row, tail) = rest.split_at_mut(cols);
                 let down_row = &tail[..cols];
                 let p = &power[base..base + cols];
-                let den_row = &den[base..base + cols];
+                let den_row = &self.gs_den[base..base + cols];
+                let rden_row = &self.gs_rden[base..base + cols];
                 for c in 1..cols - 1 {
                     let mut num = p[c] + amb * g_vert;
                     num += up_row[c] * g_lat;
                     num += down_row[c] * g_lat;
                     num += row[c - 1] * g_lat;
                     num += row[c + 1] * g_lat;
-                    let new = num / den_row[c];
+                    let new = if FAST {
+                        num * rden_row[c]
+                    } else {
+                        num / den_row[c]
+                    };
                     max_delta = max_delta.max((new - row[c]).abs());
                     row[c] = new;
                 }
             } else {
                 #[allow(clippy::needless_range_loop)]
                 for i in base + 1..base + cols - 1 {
-                    max_delta = max_delta.max(gs_cell(
-                        t, power, i, cols, up, down, true, true, g_vert, g_lat, amb, den[i],
+                    max_delta = max_delta.max(self.gs_cell::<FAST>(
+                        t, power, i, cols, up, down, true, true, g_vert, g_lat, amb,
                     ));
                 }
             }
             let i = base + cols - 1;
-            max_delta = max_delta.max(gs_cell(
-                t, power, i, cols, up, down, true, false, g_vert, g_lat, amb, den[i],
-            ));
+            max_delta = max_delta.max(
+                self.gs_cell::<FAST>(t, power, i, cols, up, down, true, false, g_vert, g_lat, amb),
+            );
         }
         max_delta
     }
 
+    /// One Gauss–Seidel cell update at flat index `i`, folding the
+    /// neighbour terms in the naive sweep's exact order (up, down,
+    /// left, right). Shared by the row-edge and degenerate-row paths of
+    /// [`gs_sweep_stencil`](CompiledModel::gs_sweep_stencil).
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn gs_cell<const FAST: bool>(
+        &self,
+        t: &mut [f64],
+        power: &[f64],
+        i: usize,
+        cols: usize,
+        up: bool,
+        down: bool,
+        left: bool,
+        right: bool,
+        g_vert: f64,
+        g_lat: f64,
+        amb: f64,
+    ) -> f64 {
+        let mut num = power[i] + amb * g_vert;
+        if up {
+            num += t[i - cols] * g_lat;
+        }
+        if down {
+            num += t[i + cols] * g_lat;
+        }
+        if left {
+            num += t[i - 1] * g_lat;
+        }
+        if right {
+            num += t[i + 1] * g_lat;
+        }
+        let new = if FAST {
+            num * self.gs_rden[i]
+        } else {
+            num / self.gs_den[i]
+        };
+        let delta = (new - t[i]).abs();
+        t[i] = new;
+        delta
+    }
+
     /// One Gauss–Seidel sweep via the generic CSR adjacency (per-edge
-    /// conductances when the plan is weighted).
-    fn gs_sweep_csr(&self, t: &mut [f64], power: &[f64]) -> f64 {
+    /// conductances when the plan is weighted). `FAST` multiplies by
+    /// the precomputed reciprocal denominator instead of dividing.
+    fn gs_sweep_csr<const FAST: bool>(&self, t: &mut [f64], power: &[f64]) -> f64 {
         let (g_vert, g_lat, amb) = (self.g_vert, self.g_lat, self.ambient);
         let weighted = !self.edge_g.is_empty();
         let mut max_delta: f64 = 0.0;
@@ -956,7 +1539,11 @@ impl CompiledModel {
                     num += t[j as usize] * g_lat;
                 }
             }
-            let new = num / self.gs_den[i];
+            let new = if FAST {
+                num * self.gs_rden[i]
+            } else {
+                num / self.gs_den[i]
+            };
             max_delta = max_delta.max((new - t[i]).abs());
             t[i] = new;
         }
@@ -964,87 +1551,100 @@ impl CompiledModel {
     }
 }
 
-/// One explicit-Euler cell with compile-time-known neighbour presence.
-/// `#[inline(always)]` so each call site specializes on the constant
-/// flags; the accumulation order (up, down, left, right) matches
-/// `Floorplan::neighbors` for bit-identity.
-#[allow(clippy::too_many_arguments)]
-#[inline(always)]
-fn euler_cell<const LEAKY: bool, const POWERED: bool>(
-    t: &[f64],
-    power: &[f64],
-    leak: &LeakageParams,
-    next: &mut [f64],
-    i: usize,
-    cols: usize,
-    up: bool,
-    down: bool,
-    left: bool,
-    right: bool,
-    g_vert: f64,
-    g_lat: f64,
-    amb: f64,
-    h: f64,
-    cap: f64,
-) {
-    let ti = t[i];
-    let access = if POWERED { power[i] } else { 0.0 };
-    let pw = if LEAKY {
-        access + leak_at(leak, ti)
-    } else {
-        access
-    };
-    let mut flow = pw - (ti - amb) * g_vert;
-    if up {
-        flow -= (ti - t[i - cols]) * g_lat;
-    }
-    if down {
-        flow -= (ti - t[i + cols]) * g_lat;
-    }
-    if left {
-        flow -= (ti - t[i - 1]) * g_lat;
-    }
-    if right {
-        flow -= (ti - t[i + 1]) * g_lat;
-    }
-    next[i] = ti + h * flow / cap;
+/// Per-sub-step splatted coefficients for the lane stencil kernel —
+/// built once per [`CompiledModel::substep_stencil`] call.
+#[derive(Copy, Clone)]
+struct LaneCtx {
+    /// `g_vert` splat.
+    gv: W8,
+    /// `g_lat` splat.
+    g: W8,
+    /// `g_lat` with lane 0 zeroed — the left-conductance mask of a
+    /// row's first chunk (lane 0 has no west neighbour).
+    gl_first: W8,
+    /// `g_lat` with lane 7 zeroed — the right-conductance mask of a
+    /// chunk ending exactly at the row edge.
+    gr_last: W8,
+    /// Ambient splat.
+    amb: W8,
+    /// `h` under Exact (the update is `h·flow/cap`), `h/cap` under
+    /// Fast (the update is `flow·(h/cap)`).
+    step: W8,
+    /// `cap` splat (read only by the Exact update).
+    cap: W8,
+    /// Leakage `per_cell` splat.
+    pc: W8,
+    /// Leakage `temp_coeff` splat.
+    co: W8,
+    /// Leakage `reference_temp` splat.
+    tr: W8,
+    /// `1.0` splat.
+    one: W8,
+    /// `+0.0` splat (leak clamp + change accumulator seed).
+    zero: W8,
+    /// Scalar `h/cap` for the fast-mode tail cells.
+    hcap: f64,
 }
 
-/// One Gauss–Seidel cell update; returns `|new − old|`. Accumulation
-/// order matches `Floorplan::neighbors` for bit-identity.
-#[allow(clippy::too_many_arguments)]
-#[inline(always)]
-fn gs_cell(
-    t: &mut [f64],
-    power: &[f64],
-    i: usize,
-    cols: usize,
-    up: bool,
-    down: bool,
-    left: bool,
-    right: bool,
-    g_vert: f64,
-    g_lat: f64,
-    amb: f64,
-    den: f64,
-) -> f64 {
-    let mut num = power[i] + amb * g_vert;
-    if up {
-        num += t[i - cols] * g_lat;
+impl LaneCtx {
+    #[inline]
+    fn new(m: &CompiledModel, leak: &LeakageParams, h: f64, fast: bool) -> LaneCtx {
+        let l = &m.lanes;
+        // The scalar divide (and its lane broadcast) is paid only by
+        // the reassociation-permitting fast mode; the exact update
+        // divides by `cap` inside the kernel instead.
+        let hcap = if fast { h / m.cap } else { h };
+        LaneCtx {
+            gv: l.gv,
+            g: l.g,
+            gl_first: l.gl_first,
+            gr_last: l.gr_last,
+            amb: l.amb,
+            step: W8::splat(if fast { hcap } else { h }),
+            cap: l.cap,
+            pc: W8::splat(leak.per_cell),
+            co: W8::splat(leak.temp_coeff),
+            tr: W8::splat(leak.reference_temp),
+            one: l.one,
+            zero: l.zero,
+            hcap,
+        }
     }
-    if down {
-        num += t[i + cols] * g_lat;
+}
+
+/// The model-constant subset of [`LaneCtx`], broadcast once per
+/// [`CompiledModel`] so the per-step context only splats the values
+/// that actually vary between calls (step size and leakage
+/// coefficients).
+#[derive(Copy, Clone, Debug)]
+struct ModelLanes {
+    gv: W8,
+    g: W8,
+    gl_first: W8,
+    gr_last: W8,
+    amb: W8,
+    cap: W8,
+    one: W8,
+    zero: W8,
+}
+
+impl ModelLanes {
+    fn new(g_vert: f64, g_lat: f64, ambient: f64, cap: f64) -> ModelLanes {
+        let mut gl = [g_lat; LANES];
+        gl[0] = 0.0;
+        let mut gr = [g_lat; LANES];
+        gr[LANES - 1] = 0.0;
+        ModelLanes {
+            gv: W8::splat(g_vert),
+            g: W8::splat(g_lat),
+            gl_first: W8::from_array(gl),
+            gr_last: W8::from_array(gr),
+            amb: W8::splat(ambient),
+            cap: W8::splat(cap),
+            one: W8::splat(1.0),
+            zero: W8::splat(0.0),
+        }
     }
-    if left {
-        num += t[i - 1] * g_lat;
-    }
-    if right {
-        num += t[i + 1] * g_lat;
-    }
-    let new = num / den;
-    let delta = (new - t[i]).abs();
-    t[i] = new;
-    delta
 }
 
 #[cfg(test)]

@@ -2,6 +2,7 @@
 //! metrics every experiment reports.
 
 use crate::floorplan::Floorplan;
+use crate::lanes::{LANES, W8};
 use serde::{Deserialize, Serialize};
 
 /// Temperatures (Kelvin) of every floorplan cell at one point in time.
@@ -207,24 +208,28 @@ impl ThermalState {
     #[inline]
     pub fn linf_update_slices(prev: &mut [f64], new: &[f64]) -> f64 {
         assert_eq!(prev.len(), new.len(), "state size mismatch");
-        // Four accumulators break the serial `max` dependency chain
+        // Explicit 8-wide lanes break the serial `max` dependency chain
         // (the fixpoint's single hottest non-solver pass). `f64::max`
         // is exactly associative and commutative on the non-NaN values
-        // it keeps, so the lane split cannot change the result.
-        let mut m = [0.0f64; 4];
-        let mut a4 = prev.chunks_exact_mut(4);
-        let mut b4 = new.chunks_exact(4);
-        for (a, b) in (&mut a4).zip(&mut b4) {
-            for k in 0..4 {
-                m[k] = m[k].max((a[k] - b[k]).abs());
-                a[k] = b[k];
-            }
+        // it keeps, so the lane split cannot change the result; the
+        // per-lane `(a − b).abs()` is the scalar expression verbatim
+        // (negation and sign-clear are exact).
+        let mut acc = W8::splat(0.0);
+        let mut scalar = 0.0f64;
+        let n = prev.len();
+        let mut i = 0;
+        while i + LANES <= n {
+            let nv = W8::read(&new[i..]);
+            let pv = W8::read(&prev[i..]);
+            acc = acc.max(nv.sub(pv).abs());
+            nv.write(&mut prev[i..]);
+            i += LANES;
         }
-        for (a, &b) in a4.into_remainder().iter_mut().zip(b4.remainder()) {
-            m[0] = m[0].max((*a - b).abs());
+        for (a, &b) in prev[i..].iter_mut().zip(&new[i..]) {
+            scalar = scalar.max((*a - b).abs());
             *a = b;
         }
-        m[0].max(m[1]).max(m[2]).max(m[3])
+        acc.reduce_max().max(scalar)
     }
 
     /// Root-mean-square distance to another state (accuracy metric for

@@ -8,7 +8,8 @@
 //! under steady-state iteration.
 
 use tadfa_thermal::{
-    CompiledModel, Floorplan, KernelKind, RcParams, SteadyStateOptions, StepScratch, ThermalModel,
+    CompiledModel, Floorplan, KernelKind, LeakageParams, RcParams, SolverMode, SteadyStateOptions,
+    StepScratch, ThermalModel, ThermalState,
 };
 
 /// Deterministic xorshift64* generator — enough randomness for property
@@ -31,6 +32,10 @@ impl Rng {
     }
 }
 
+/// Degenerate shapes, odd row widths, and every dispatch tier of the
+/// widened stencil: widths below one 8-lane chunk, exactly one chunk
+/// (the whole-grid `stencil_pass_w8` specialization, single- and
+/// multi-row), full-chunks-plus-tail, and multiple full chunks.
 const SHAPES: &[(usize, usize)] = &[
     (1, 1),
     (1, 2),
@@ -42,7 +47,14 @@ const SHAPES: &[(usize, usize)] = &[
     (5, 2),
     (3, 3),
     (4, 7),
+    (1, 8),
+    (2, 8),
+    (5, 8),
     (8, 8),
+    (16, 8),
+    (3, 11),
+    (7, 13),
+    (2, 16),
 ];
 
 fn random_power(rng: &mut Rng, n: usize) -> Vec<f64> {
@@ -143,6 +155,147 @@ fn step_into_scratch_reuse_never_changes_bits() {
         solver.step_into(&mut fresh, &power, 5e-4, &mut StepScratch::new());
         solver.step_into(&mut reused, &power, 5e-4, &mut scratch);
         assert_eq!(bits(fresh.temps()), bits(reused.temps()), "{rows}x{cols}");
+    }
+}
+
+#[test]
+fn tracked_sparse_path_matches_untracked_plus_separate_linf() {
+    // The DFA's fused change-tracking entry: one kernel pass that steps
+    // AND folds the L∞ delta against `prev` must produce the same
+    // temperature bits and the same delta bits as stepping untracked
+    // and diffing afterwards (max is exactly associative, so fusing the
+    // fold into the store loop cannot move a bit).
+    let mut rng = Rng(0x7721_aa00_17de_c0de);
+    let leak = LeakageParams {
+        per_cell: 1e-4,
+        temp_coeff: 0.01,
+        reference_temp: 300.0,
+    };
+    for &(rows, cols) in SHAPES {
+        let model = ThermalModel::new(Floorplan::grid(rows, cols), RcParams::default());
+        let solver = model.compile();
+        let n = rows * cols;
+        let deposits: Vec<(u32, f64)> = (0..n.min(5))
+            .map(|i| (((i * 7) % n) as u32, rng.next_f64() * 1e-3))
+            .collect();
+        let sched = solver.schedule(5e-4);
+
+        for leak_opt in [None, Some(&leak)] {
+            let mut tracked = model.ambient_state();
+            let mut untracked = model.ambient_state();
+            let mut scratch = StepScratch::new();
+            let mut prev_tracked = vec![solver.ambient() - 1.0; n];
+            let mut prev_untracked = prev_tracked.clone();
+
+            let delta_tracked = solver.step_sparse_tracked_into(
+                &mut tracked,
+                &deposits,
+                &sched,
+                leak_opt,
+                SolverMode::Exact,
+                &mut scratch,
+                &mut prev_tracked,
+            );
+            solver.step_sparse_mode_into(
+                &mut untracked,
+                &deposits,
+                &sched,
+                leak_opt,
+                SolverMode::Exact,
+                &mut scratch,
+            );
+            let delta_untracked =
+                ThermalState::linf_update_slices(&mut prev_untracked, untracked.temps());
+
+            assert_eq!(
+                bits(tracked.temps()),
+                bits(untracked.temps()),
+                "temps {rows}x{cols} leak={}",
+                leak_opt.is_some()
+            );
+            assert_eq!(
+                delta_tracked.to_bits(),
+                delta_untracked.to_bits(),
+                "delta {rows}x{cols} leak={}",
+                leak_opt.is_some()
+            );
+            assert_eq!(
+                bits(&prev_tracked),
+                bits(&prev_untracked),
+                "prev {rows}x{cols} leak={}",
+                leak_opt.is_some()
+            );
+        }
+    }
+}
+
+#[test]
+fn fast_mode_divergence_stays_bounded() {
+    // `SolverMode::Fast` may reassociate (precomputed h/C and 1/den
+    // factors), so it is NOT bit-identical — its contract is a bounded
+    // divergence from Exact: ≤ 1e-9 K over a 100-step transient and
+    // ≤ 1e-5 K per steady solve (see docs/DETERMINISM.md).
+    let mut rng = Rng(0xfa57_0000_b07d_ed00);
+    for &(rows, cols) in SHAPES {
+        let model = ThermalModel::new(Floorplan::grid(rows, cols), RcParams::default());
+        let solver = model.compile();
+        let n = rows * cols;
+        let power = random_power(&mut rng, n);
+        let deposits: Vec<(u32, f64)> = power
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p > 0.0)
+            .map(|(i, &p)| (i as u32, p))
+            .collect();
+        let sched = solver.schedule(5e-4);
+
+        let mut exact = model.ambient_state();
+        let mut fast = model.ambient_state();
+        let mut scratch = StepScratch::new();
+        for _ in 0..100 {
+            solver.step_sparse_mode_into(
+                &mut exact,
+                &deposits,
+                &sched,
+                None,
+                SolverMode::Exact,
+                &mut scratch,
+            );
+            solver.step_sparse_mode_into(
+                &mut fast,
+                &deposits,
+                &sched,
+                None,
+                SolverMode::Fast,
+                &mut scratch,
+            );
+        }
+        let transient_div = exact
+            .temps()
+            .iter()
+            .zip(fast.temps())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(
+            transient_div <= 1e-9,
+            "{rows}x{cols}: transient fast-mode divergence {transient_div:e} > 1e-9 K"
+        );
+
+        let mut exact_ss = solver.ambient_state();
+        let mut fast_ss = solver.ambient_state();
+        let opts = SteadyStateOptions::default();
+        solver.steady_state_mode_into(&power, &mut exact_ss, &opts, SolverMode::Exact);
+        solver.steady_state_mode_into(&power, &mut fast_ss, &opts, SolverMode::Fast);
+        let steady_div = exact_ss
+            .temps()
+            .iter()
+            .zip(fast_ss.temps())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(
+            steady_div <= 1e-5,
+            "{rows}x{cols}: steady fast-mode divergence {steady_div:e} > 1e-5 K"
+        );
     }
 }
 

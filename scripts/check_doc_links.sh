@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Fails if any Markdown file in the repo contains a relative link whose
+# target does not exist on disk — the docs-link gate CI runs, usable
+# locally as `scripts/check_doc_links.sh`.
+#
+# Checked: `[text](relative/path.md)` and `[text](path#anchor)` forms.
+# Skipped: absolute URLs (anything with a scheme, i.e. a `:` in the
+# target), pure in-page anchors (`#section`), and files under target/
+# and .git/.
+set -u
+cd "$(dirname "$0")/.."
+
+status=0
+checked=0
+while IFS='|' read -r file link; do
+    target="${link%%#*}"
+    [ -z "$target" ] && continue # pure anchor
+    checked=$((checked + 1))
+    if [ ! -e "$(dirname "$file")/$target" ]; then
+        echo "dangling link in $file: ($link)" >&2
+        status=1
+    fi
+done < <(
+    grep -RoE --include='*.md' --exclude-dir=target --exclude-dir=.git \
+        '\]\([^)#:[:space:]]+(#[^)]*)?\)' . |
+        sed -E 's/^([^:]+):\]\((.*)\)$/\1|\2/'
+)
+
+echo "checked $checked relative link(s)"
+exit $status

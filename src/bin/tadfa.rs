@@ -19,7 +19,8 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use tadfa::sched::{
-    json, load_spec, render_report, run_scenario, ScenarioResult, MAPPING_POLICY_NAMES,
+    golden_gate_guard, json, load_spec, render_report, run_scenario, ScenarioConfig,
+    ScenarioResult, MAPPING_POLICY_NAMES,
 };
 
 const USAGE: &str = "\
@@ -27,14 +28,16 @@ tadfa — multi-core thermal scenario runner
 
 USAGE:
     tadfa run <spec.toml|spec.json> [--out <file>] [--workers N]
-    tadfa check <spec> --expected <report.json> [--workers N]
+    tadfa check <spec> --expected <report.json> [--workers N] [--allow-fast]
     tadfa policies
     tadfa help
 
 `run` prints the deterministic JSON report to stdout (or --out FILE).
 `check` re-runs the spec and compares the scenario fingerprint against
-the expected report — the CI golden gate. `policies` lists the built-in
-mapping policies.";
+the expected report — the CI golden gate. Specs requesting the
+reassociation-permitting `solver = \"fast\"` are refused by `check`
+unless --allow-fast is given (golden fingerprints are exact-mode
+contracts). `policies` lists the built-in mapping policies.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -64,6 +67,7 @@ struct CommonArgs {
     workers: Option<usize>,
     out: Option<PathBuf>,
     expected: Option<PathBuf>,
+    allow_fast: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<CommonArgs, String> {
@@ -71,6 +75,7 @@ fn parse_args(args: &[String]) -> Result<CommonArgs, String> {
     let mut workers = None;
     let mut out = None;
     let mut expected = None;
+    let mut allow_fast = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -85,6 +90,7 @@ fn parse_args(args: &[String]) -> Result<CommonArgs, String> {
             "--expected" => {
                 expected = Some(PathBuf::from(it.next().ok_or("--expected needs a path")?))
             }
+            "--allow-fast" => allow_fast = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
             path if spec.is_none() => spec = Some(PathBuf::from(path)),
             extra => return Err(format!("unexpected argument '{extra}'")),
@@ -95,16 +101,21 @@ fn parse_args(args: &[String]) -> Result<CommonArgs, String> {
         workers,
         out,
         expected,
+        allow_fast,
     })
 }
 
-/// Loads, overrides, runs. Shared by `run` and `check`.
-fn execute(spec: &Path, workers: Option<usize>) -> Result<ScenarioResult, String> {
+/// Loads a spec and applies command-line overrides.
+fn load_with_overrides(spec: &Path, workers: Option<usize>) -> Result<ScenarioConfig, String> {
     let mut cfg = load_spec(spec).map_err(|e| e.to_string())?;
     if let Some(w) = workers {
         cfg.workers = w;
     }
-    run_scenario(&cfg).map_err(|e| format!("scenario '{}' failed: {e}", cfg.name))
+    Ok(cfg)
+}
+
+fn execute(cfg: &ScenarioConfig) -> Result<ScenarioResult, String> {
+    run_scenario(cfg).map_err(|e| format!("scenario '{}' failed: {e}", cfg.name))
 }
 
 fn cmd_run(args: &[String]) -> ExitCode {
@@ -119,7 +130,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
         eprintln!("--expected only applies to `check`\n\n{USAGE}");
         return ExitCode::from(2);
     }
-    let result = match execute(&args.spec, args.workers) {
+    let result = match load_with_overrides(&args.spec, args.workers).and_then(|cfg| execute(&cfg)) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("{e}");
@@ -177,7 +188,18 @@ fn cmd_check(args: &[String]) -> ExitCode {
         }
     };
 
-    let result = match execute(&args.spec, args.workers) {
+    let cfg = match load_with_overrides(&args.spec, args.workers) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(e) = golden_gate_guard(&cfg, args.allow_fast) {
+        eprintln!("{e}");
+        return ExitCode::from(2);
+    }
+    let result = match execute(&cfg) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("{e}");
