@@ -14,10 +14,20 @@
 //!   power profile derived deterministically from its analysis;
 //! * [`MappingPolicy`] — pluggable task→core placement (round-robin,
 //!   coolest-core, thermal-balanced with migration counting,
-//!   static-shard over [`tadfa_workloads::shard`]);
+//!   static-shard over [`tadfa_workloads::shard`], single-core);
+//! * [`DtmPolicy`] — pluggable **dynamic thermal management** closing
+//!   the loop between the die solver and the scheduler at fixed control
+//!   epochs: DVFS ladders ([`DvfsLadder`]), hard throttling
+//!   ([`HardThrottle`]), temperature-triggered migration
+//!   ([`MigrateHottest`]);
+//! * [`CovertConfig`] — the thermal covert-channel scenario family: a
+//!   sender modulates heat on its core, a receiver decodes bits from a
+//!   neighbour's temperature trace, and the report carries the
+//!   channel's bandwidth/BER per (mapping × DTM) combination;
 //! * [`run_scenario`] — analyze (batch-parallel) → map (sequential) →
-//!   simulate (die-wide transient + steady), producing a
-//!   [`ScenarioResult`] whose [`fingerprint`](ScenarioResult::fingerprint)
+//!   simulate (closed-loop discrete-event transient + steady),
+//!   producing a [`ScenarioResult`] whose
+//!   [`fingerprint`](ScenarioResult::fingerprint)
 //!   is byte-identical across runs and worker counts;
 //! * [`spec`] / [`report`](render_report) — the declarative TOML/JSON
 //!   scenario format the `tadfa` CLI loads, and the deterministic JSON
@@ -42,6 +52,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod covert;
+mod dtm;
 pub mod json;
 mod multicore;
 mod policy;
@@ -50,15 +62,20 @@ mod runner;
 pub mod spec;
 mod task;
 
-pub use multicore::{naive_coupled_step, MultiCoreFloorplan};
+pub use covert::{covert_tasks, decode, CovertConfig, CovertSummary};
+pub use dtm::{
+    dtm_policy_from_config, DtmAction, DtmConfig, DtmContext, DtmPolicy, DtmSummary, DvfsLadder,
+    HardThrottle, MigrateHottest, NoDtm, DTM_POLICY_INFO, DTM_POLICY_NAMES,
+};
+pub use multicore::{naive_coupled_step, CoreClass, MultiCoreFloorplan};
 pub use policy::{
     mapping_policy_by_name, CoolestCoreFirst, MappingContext, MappingPolicy, RoundRobinMapping,
-    StaticShard, ThermalBalanced, MAPPING_POLICY_NAMES,
+    SingleCore, StaticShard, ThermalBalanced, MAPPING_POLICY_INFO, MAPPING_POLICY_NAMES,
 };
 pub use report::{hex_fingerprint, render_report};
 pub use runner::{
     golden_gate_guard, run_scenario, CoreSummary, DieSummary, PreparedScenario, RunOverrides,
     ScenarioConfig, ScenarioResult, TaskOutcome,
 };
-pub use spec::{load_spec, load_spec_dir, SpecError};
+pub use spec::{load_spec, load_spec_dir, parse_spec_toml, SpecError, SPEC_FIELDS};
 pub use task::{generated_tasks, suite_tasks, task_metrics, Task, TaskMetrics};

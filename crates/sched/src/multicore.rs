@@ -25,6 +25,54 @@
 
 use tadfa_thermal::{CompiledModel, Floorplan, RcParams, ThermalError, ThermalState};
 
+/// A heterogeneous core class, big.LITTLE style: a named power/speed
+/// bin a die tile belongs to.
+///
+/// Classes scale *what a core does with work*, not the die's thermal
+/// network: a "big" core deposits `power_scale ×` the task's analyzed
+/// power and retires work `speed_scale ×` faster, while the RC grid
+/// (and hence the solver plan, sub-step schedule and bit-identity
+/// contracts) is shared by every tile. A scale of exactly `1.0` is
+/// guaranteed to leave the corresponding quantity bit-identical to a
+/// class-less die (see [`tadfa_thermal::accumulate_scaled`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CoreClass {
+    /// Display name of the class (e.g. `"big"`, `"little"`).
+    pub name: String,
+    /// Factor applied to the power a task deposits on this core.
+    pub power_scale: f64,
+    /// Factor applied to this core's execution speed (task length on
+    /// the core is `length / speed_scale`).
+    pub speed_scale: f64,
+}
+
+impl CoreClass {
+    /// A unit class: scales nothing, byte-compatible with no class.
+    pub fn unit(name: &str) -> CoreClass {
+        CoreClass {
+            name: name.to_string(),
+            power_scale: 1.0,
+            speed_scale: 1.0,
+        }
+    }
+
+    fn checked(&self) -> Result<(), ThermalError> {
+        for (param, v) in [
+            ("power_scale", self.power_scale),
+            ("speed_scale", self.speed_scale),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(ThermalError::InvalidParam {
+                    param,
+                    value: v,
+                    reason: "core class scales must be positive and finite",
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
 /// A die of `cores` identical `rows × cols` register-file floorplans
 /// tiled in a horizontal strip, cell-indexed core-major: global cell
 /// `core · rows·cols + local`, with `local` row-major within the core.
@@ -53,6 +101,7 @@ pub struct MultiCoreFloorplan {
     cols: usize,
     rc: RcParams,
     coupling_resistance: Option<f64>,
+    classes: Option<Vec<CoreClass>>,
 }
 
 impl MultiCoreFloorplan {
@@ -101,7 +150,60 @@ impl MultiCoreFloorplan {
             cols,
             rc,
             coupling_resistance,
+            classes: None,
         })
+    }
+
+    /// Assigns one [`CoreClass`] per core (big.LITTLE-style binning).
+    ///
+    /// Classes only rescale power deposits and execution speed; the
+    /// thermal network (and every compiled-solver bit-identity
+    /// contract) is untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParam`] if the class count does
+    /// not equal the core count or any scale is non-positive or
+    /// non-finite.
+    pub fn with_core_classes(
+        mut self,
+        classes: Vec<CoreClass>,
+    ) -> Result<MultiCoreFloorplan, ThermalError> {
+        if classes.len() != self.cores {
+            return Err(ThermalError::InvalidParam {
+                param: "core_classes",
+                value: classes.len() as f64,
+                reason: "need exactly one class per core",
+            });
+        }
+        for c in &classes {
+            c.checked()?;
+        }
+        self.classes = Some(classes);
+        Ok(self)
+    }
+
+    /// The per-core classes, if this die is heterogeneous.
+    pub fn core_classes(&self) -> Option<&[CoreClass]> {
+        self.classes.as_deref()
+    }
+
+    /// Power-deposit factor of `core` (`1.0` on a homogeneous die).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range on a heterogeneous die.
+    pub fn power_scale(&self, core: usize) -> f64 {
+        self.classes.as_ref().map_or(1.0, |c| c[core].power_scale)
+    }
+
+    /// Execution-speed factor of `core` (`1.0` on a homogeneous die).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range on a heterogeneous die.
+    pub fn speed_scale(&self, core: usize) -> f64 {
+        self.classes.as_ref().map_or(1.0, |c| c[core].speed_scale)
     }
 
     /// Number of cores on the die.
@@ -481,6 +583,43 @@ mod tests {
                 .map(|t| t.to_bits())
                 .collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn core_classes_validate_and_default_to_unit() {
+        let d = die(2, None);
+        assert!(d.core_classes().is_none());
+        assert_eq!(d.power_scale(0), 1.0);
+        assert_eq!(d.speed_scale(1), 1.0);
+
+        let classes = vec![
+            CoreClass {
+                name: "big".into(),
+                power_scale: 1.5,
+                speed_scale: 2.0,
+            },
+            CoreClass::unit("little"),
+        ];
+        let h = die(2, None).with_core_classes(classes).unwrap();
+        assert_eq!(h.power_scale(0), 1.5);
+        assert_eq!(h.speed_scale(0), 2.0);
+        assert_eq!(h.power_scale(1), 1.0);
+        assert_eq!(h.core_classes().unwrap()[1].name, "little");
+
+        // Wrong arity and bad scales are refused.
+        assert!(die(2, None)
+            .with_core_classes(vec![CoreClass::unit("x")])
+            .is_err());
+        assert!(die(2, None)
+            .with_core_classes(vec![
+                CoreClass::unit("a"),
+                CoreClass {
+                    name: "b".into(),
+                    power_scale: 0.0,
+                    speed_scale: 1.0,
+                },
+            ])
+            .is_err());
     }
 
     #[test]

@@ -39,6 +39,9 @@ pub trait MappingPolicy: std::fmt::Debug {
     /// The policy's registry name.
     fn name(&self) -> &'static str;
 
+    /// One-line human description, printed by `tadfa policies`.
+    fn description(&self) -> &'static str;
+
     /// Restores the initial state for a die of `cores` cores and a
     /// scenario of `task_count` tasks.
     fn reset(&mut self, cores: usize, task_count: usize);
@@ -72,6 +75,10 @@ impl MappingPolicy for RoundRobinMapping {
         "round-robin"
     }
 
+    fn description(&self) -> &'static str {
+        "cores in rotation, ignoring thermals (the baseline)"
+    }
+
     fn reset(&mut self, _cores: usize, _task_count: usize) {
         self.next = 0;
     }
@@ -92,6 +99,10 @@ pub struct CoolestCoreFirst;
 impl MappingPolicy for CoolestCoreFirst {
     fn name(&self) -> &'static str {
         "coolest-core"
+    }
+
+    fn description(&self) -> &'static str {
+        "greedy: each task to the core with the lowest peak estimate"
     }
 
     fn reset(&mut self, _cores: usize, _task_count: usize) {}
@@ -118,6 +129,10 @@ pub struct ThermalBalanced;
 impl MappingPolicy for ThermalBalanced {
     fn name(&self) -> &'static str {
         "thermal-balanced"
+    }
+
+    fn description(&self) -> &'static str {
+        "least-loaded by energy, with a migration-counted rebalance pass"
     }
 
     fn reset(&mut self, _cores: usize, _task_count: usize) {}
@@ -198,6 +213,10 @@ impl MappingPolicy for StaticShard {
         "static-shard"
     }
 
+    fn description(&self) -> &'static str {
+        "contiguous block partitioning of the arrival stream"
+    }
+
     fn reset(&mut self, cores: usize, task_count: usize) {
         self.core_of.clear();
         let indices: Vec<usize> = (0..task_count).collect();
@@ -211,6 +230,29 @@ impl MappingPolicy for StaticShard {
 
     fn choose(&mut self, ctx: &MappingContext<'_>) -> usize {
         self.core_of.get(ctx.task_index).copied().unwrap_or(0)
+    }
+}
+
+/// Everything onto core 0 — the serializing policy. Sounds useless
+/// until you need it: it is the covert-channel *sender pinning*
+/// (modulate one core, listen on its neighbour) and the single-core
+/// baseline any multi-core speedup or DTM study compares against.
+#[derive(Debug, Default)]
+pub struct SingleCore;
+
+impl MappingPolicy for SingleCore {
+    fn name(&self) -> &'static str {
+        "single-core"
+    }
+
+    fn description(&self) -> &'static str {
+        "everything onto core 0 (covert-channel sender pinning, baselines)"
+    }
+
+    fn reset(&mut self, _cores: usize, _task_count: usize) {}
+
+    fn choose(&mut self, _ctx: &MappingContext<'_>) -> usize {
+        0
     }
 }
 
@@ -241,17 +283,45 @@ pub fn mapping_policy_by_name(name: &str) -> Option<Box<dyn MappingPolicy>> {
         "coolest-core" => Box::new(CoolestCoreFirst),
         "thermal-balanced" => Box::new(ThermalBalanced),
         "static-shard" => Box::new(StaticShard::default()),
+        "single-core" => Box::new(SingleCore),
         _ => return None,
     })
 }
 
 /// The names accepted by [`mapping_policy_by_name`], in canonical
 /// order.
-pub const MAPPING_POLICY_NAMES: [&str; 4] = [
+pub const MAPPING_POLICY_NAMES: [&str; 5] = [
     "round-robin",
     "coolest-core",
     "thermal-balanced",
     "static-shard",
+    "single-core",
+];
+
+/// Name and one-line description of every built-in mapping policy —
+/// what `tadfa policies` prints. Kept in [`MAPPING_POLICY_NAMES`]
+/// order (a unit test pins the correspondence).
+pub const MAPPING_POLICY_INFO: [(&str, &str); 5] = [
+    (
+        "round-robin",
+        "cores in rotation, ignoring thermals (the baseline)",
+    ),
+    (
+        "coolest-core",
+        "greedy: each task to the core with the lowest peak estimate",
+    ),
+    (
+        "thermal-balanced",
+        "least-loaded by energy, with a migration-counted rebalance pass",
+    ),
+    (
+        "static-shard",
+        "contiguous block partitioning of the arrival stream",
+    ),
+    (
+        "single-core",
+        "everything onto core 0 (covert-channel sender pinning, baselines)",
+    ),
 ];
 
 #[cfg(test)]
@@ -288,11 +358,24 @@ mod tests {
 
     #[test]
     fn registry_covers_all_names() {
-        for name in MAPPING_POLICY_NAMES {
+        for (name, info) in MAPPING_POLICY_NAMES.iter().zip(MAPPING_POLICY_INFO) {
             let p = mapping_policy_by_name(name).unwrap();
-            assert_eq!(p.name(), name);
+            assert_eq!(p.name(), *name);
+            assert_eq!(info.0, *name, "info table tracks the name table");
+            assert_eq!(p.description(), info.1, "info table tracks descriptions");
         }
         assert!(mapping_policy_by_name("bogus").is_none());
+    }
+
+    #[test]
+    fn single_core_serializes_everything() {
+        let mut p = SingleCore;
+        p.reset(4, 3);
+        let m = metrics(1.0, 300.0);
+        let (e, b, pk) = (vec![0.0; 4], vec![0.0; 4], vec![300.0; 4]);
+        for i in 0..3 {
+            assert_eq!(p.choose(&ctx(4, i, &m, &e, &b, &pk)), 0);
+        }
     }
 
     #[test]

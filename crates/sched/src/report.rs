@@ -28,7 +28,15 @@ pub fn hex_fingerprint(fp: u128) -> String {
 ///   `busy_s`, `peak_k`;
 /// * `die` — `transient_peak_k`, `transient_peak_time_s`,
 ///   `steady_peak_k`, `steady_converged`, `steady_sweeps`,
-///   `makespan_s`.
+///   `makespan_s`;
+/// * `dtm` — only when the scenario configured a DTM policy: `policy`,
+///   `epochs`, `level_changes`, `throttle_events`, `migrations`;
+/// * `covert` — only when covert-channel instrumented: `bits`,
+///   `errors`, `ber`, `raw_bps`, `bandwidth_bps`, `threshold_k`,
+///   `swing_k`, `decoded`.
+///
+/// The optional blocks render only when configured, so historical
+/// (DTM-free) golden reports are byte-for-byte unchanged.
 pub fn render_report(r: &ScenarioResult) -> String {
     let mut out = String::with_capacity(1024);
     out.push_str("{\n");
@@ -36,6 +44,31 @@ pub fn render_report(r: &ScenarioResult) -> String {
     out.push_str(&format!("  \"mapping\": {},\n", json_string(&r.mapping)));
     out.push_str(&format!("  \"cores\": {},\n", r.cores));
     out.push_str(&format!("  \"migrations\": {},\n", r.migrations));
+    if let Some(d) = &r.dtm {
+        out.push_str(&format!(
+            "  \"dtm\": {{\"policy\": {}, \"epochs\": {}, \"level_changes\": {}, \
+             \"throttle_events\": {}, \"migrations\": {}}},\n",
+            json_string(&d.policy),
+            d.epochs,
+            d.level_changes,
+            d.throttle_events,
+            d.migrations,
+        ));
+    }
+    if let Some(c) = &r.covert {
+        out.push_str(&format!(
+            "  \"covert\": {{\"bits\": {}, \"errors\": {}, \"ber\": {}, \"raw_bps\": {}, \
+             \"bandwidth_bps\": {}, \"threshold_k\": {}, \"swing_k\": {}, \"decoded\": {}}},\n",
+            c.bits,
+            c.errors,
+            json_num(c.ber),
+            json_num(c.raw_bps),
+            json_num(c.bandwidth_bps),
+            json_num(c.threshold_k),
+            json_num(c.swing_k),
+            json_string(&c.decoded),
+        ));
+    }
     out.push_str(&format!(
         "  \"fingerprint\": {},\n",
         json_string(&hex_fingerprint(r.fingerprint()))

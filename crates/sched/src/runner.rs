@@ -24,6 +24,8 @@
 //! across runs and worker counts — the property the CI golden-report
 //! gate enforces.
 
+use crate::covert::{decode, CovertConfig, CovertSummary};
+use crate::dtm::{self, DtmConfig, DtmSummary};
 use crate::multicore::MultiCoreFloorplan;
 use crate::policy::{mapping_policy_by_name, MappingContext};
 use crate::task::{task_metrics, Task, TaskMetrics};
@@ -34,7 +36,7 @@ use tadfa_core::{
 };
 use tadfa_ir::{Function, Module};
 use tadfa_thermal::hashing::Fnv128;
-use tadfa_thermal::{CompiledModel, SteadyStateOptions, StepScratch, ThermalState};
+use tadfa_thermal::{CompiledModel, SteadyStateOptions, ThermalState};
 
 /// A validated, runnable scenario: die, tasks, policies, analysis
 /// configuration.
@@ -65,6 +67,14 @@ pub struct ScenarioConfig {
     /// so tasks may `call` each other and callee bodies are summarised
     /// once, bottom-up. `None` keeps the per-function batch path.
     pub module: Option<Module>,
+    /// Dynamic thermal management for the simulation phase. `None` (and
+    /// the explicit `"none"` policy) keep the open-loop timeline
+    /// bit-identical to historical runs — see `docs/DETERMINISM.md`.
+    pub dtm: Option<DtmConfig>,
+    /// Covert-channel instrumentation: when set, the simulator samples
+    /// the receiver core's tile peak on the bit grid and the result
+    /// carries a decoded [`CovertSummary`].
+    pub covert: Option<CovertConfig>,
 }
 
 impl ScenarioConfig {
@@ -85,6 +95,8 @@ impl ScenarioConfig {
             dfa: ThermalDfaConfig::default(),
             workers: 4,
             module: None,
+            dtm: None,
+            covert: None,
         }
     }
 }
@@ -180,6 +192,10 @@ pub struct ScenarioResult {
     pub per_core: Vec<CoreSummary>,
     /// Die-wide thermal summary.
     pub die: DieSummary,
+    /// What the DTM controller did, when one was configured.
+    pub dtm: Option<DtmSummary>,
+    /// What the covert-channel receiver decoded, when instrumented.
+    pub covert: Option<CovertSummary>,
     /// The full per-task analysis reports, in input order (heavier than
     /// [`ScenarioResult::tasks`]; kept for downstream consumers like
     /// heat-map rendering).
@@ -211,6 +227,27 @@ impl ScenarioResult {
         h.write_u64(self.die.steady_converged as u64);
         h.write_u64(self.die.steady_sweeps as u64);
         h.write_f64(self.die.makespan, 0.0);
+        // Closed-loop blocks fold in only when configured, so the
+        // fingerprints of historical (DTM-free) scenarios are unchanged.
+        if let Some(d) = &self.dtm {
+            for b in d.policy.bytes() {
+                h.write_u64(b as u64);
+            }
+            h.write_u64(d.epochs as u64);
+            h.write_u64(d.level_changes as u64);
+            h.write_u64(d.throttle_events as u64);
+            h.write_u64(d.migrations as u64);
+        }
+        if let Some(c) = &self.covert {
+            h.write_u64(c.bits as u64);
+            h.write_u64(c.errors as u64);
+            h.write_f64(c.bandwidth_bps, 0.0);
+            h.write_f64(c.threshold_k, 0.0);
+            h.write_f64(c.swing_k, 0.0);
+            for b in c.decoded.bytes() {
+                h.write_u64(b as u64);
+            }
+        }
         h.finish()
     }
 }
@@ -275,6 +312,12 @@ impl PreparedScenario {
                     reason: "a module scenario needs one task per module function, in order",
                 });
             }
+        }
+        if let Some(dtm) = &cfg.dtm {
+            dtm.validate()?;
+        }
+        if let Some(covert) = &cfg.covert {
+            covert.validate(cfg.die.cores())?;
         }
         for t in &cfg.tasks {
             if !t.arrival.is_finite() || t.arrival < 0.0 {
@@ -419,72 +462,39 @@ impl PreparedScenario {
         }
         let migrations = mapping.rebalance(&mut assignments, &metrics, cores);
 
-        // Final timeline under the post-rebalance assignment.
-        let mut busy_until = vec![0.0f64; cores];
-        let mut starts = vec![0.0f64; cfg.tasks.len()];
-        for &task in &order {
-            let core = assignments[task];
-            let start = busy_until[core].max(cfg.tasks[task].arrival);
-            starts[task] = start;
-            busy_until[core] = start + cfg.tasks[task].length;
-        }
-        let makespan = busy_until.iter().cloned().fold(0.0f64, f64::max);
-
-        // Phase 3: die-wide simulation of the piecewise-constant power
-        // timeline.
-        let solver = &self.solver;
-        let per_core_cells = cfg.die.cells_per_core();
-        let n = cfg.die.num_cells();
-        let mut breakpoints: Vec<f64> = Vec::with_capacity(2 * cfg.tasks.len() + 1);
-        breakpoints.push(0.0);
-        for (i, t) in cfg.tasks.iter().enumerate() {
-            breakpoints.push(starts[i]);
-            breakpoints.push(starts[i] + t.length);
-        }
-        breakpoints.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
-        breakpoints.dedup();
-
-        let mut state = cfg.die.ambient_state();
-        let mut scratch = StepScratch::new();
-        let mut power = vec![0.0f64; n];
-        let mut transient_peak = state.peak();
-        let mut transient_peak_time = 0.0;
-        for w in breakpoints.windows(2) {
-            let (t0, t1) = (w[0], w[1]);
-            power.iter_mut().for_each(|p| *p = 0.0);
-            for (i, t) in cfg.tasks.iter().enumerate() {
-                if starts[i] <= t0 && t1 <= starts[i] + t.length {
-                    let base = assignments[i] * per_core_cells;
-                    for (cell, &pw) in metrics[i].power.iter().enumerate() {
-                        power[base + cell] += pw;
-                    }
-                }
-            }
-            solver.step_into(&mut state, &power, t1 - t0, &mut scratch);
-            let peak = state.peak();
-            if peak > transient_peak {
-                transient_peak = peak;
-                transient_peak_time = t1;
-            }
-        }
+        // Phase 3: closed-loop die-wide simulation. Without DTM (or
+        // with the explicit "none" policy) the event set degenerates to
+        // the open-loop start/finish breakpoints and the simulator
+        // reproduces the historical timeline bit for bit — the golden
+        // gate's refactor contract (see `crate::dtm` docs).
+        let sample_times: Vec<f64> = cfg
+            .covert
+            .as_ref()
+            .map_or_else(Vec::new, CovertConfig::sample_times);
+        let sim = dtm::simulate(&dtm::SimInput {
+            die: &cfg.die,
+            solver: &self.solver,
+            tasks: &cfg.tasks,
+            metrics: &metrics,
+            order: &order,
+            assignments: &assignments,
+            dtm: cfg.dtm.as_ref(),
+            sample_times: &sample_times,
+            sample_core: cfg.covert.as_ref().map_or(0, |c| c.receiver_core),
+        })?;
+        let assignments = sim.final_core;
 
         // Steady state of the time-averaged power.
-        let mut avg_power = vec![0.0f64; n];
-        if makespan > 0.0 {
-            for (i, t) in cfg.tasks.iter().enumerate() {
-                let base = assignments[i] * per_core_cells;
-                for (cell, &pw) in metrics[i].power.iter().enumerate() {
-                    avg_power[base + cell] += pw * t.length / makespan;
-                }
-            }
-        }
+        let n = cfg.die.num_cells();
         let mut steady = ThermalState::uniform(n, ambient);
-        let stats = solver.steady_state_mode_into(
-            &avg_power,
+        let stats = self.solver.steady_state_mode_into(
+            &sim.avg_power,
             &mut steady,
             &SteadyStateOptions::default(),
             cfg.dfa.solver_mode,
         );
+
+        let covert = cfg.covert.as_ref().map(|c| decode(c, &sim.samples));
 
         // Assemble.
         let tasks: Vec<TaskOutcome> = cfg
@@ -495,8 +505,8 @@ impl PreparedScenario {
                 name: t.name.clone(),
                 core: assignments[i],
                 arrival: t.arrival,
-                start: starts[i],
-                length: t.length,
+                start: sim.starts[i],
+                length: sim.occupancy[i],
                 peak_temperature: metrics[i].peak_temperature,
                 energy: metrics[i].energy,
                 fingerprint: metrics[i].fingerprint,
@@ -510,7 +520,7 @@ impl PreparedScenario {
                 CoreSummary {
                     core,
                     energy: on_core.iter().map(|&i| metrics[i].energy).sum(),
-                    busy: on_core.iter().map(|&i| cfg.tasks[i].length).sum(),
+                    busy: on_core.iter().map(|&i| sim.occupancy[i]).sum(),
                     peak_temperature: on_core
                         .iter()
                         .map(|&i| metrics[i].peak_temperature)
@@ -529,13 +539,15 @@ impl PreparedScenario {
             tasks,
             per_core,
             die: DieSummary {
-                transient_peak,
-                transient_peak_time,
+                transient_peak: sim.transient_peak,
+                transient_peak_time: sim.transient_peak_time,
                 steady_peak: steady.peak(),
                 steady_converged: stats.converged,
                 steady_sweeps: stats.sweeps,
-                makespan,
+                makespan: sim.makespan,
             },
+            dtm: sim.dtm,
+            covert,
             reports,
         })
     }

@@ -18,22 +18,37 @@
 //! rows = 8
 //! cols = 8
 //! coupling_resistance = 40.0   # K/W; omit for uncoupled cores
+//! # core_classes = ["big", "big", "little", "little"]   # one class per
+//! #                                # core; each needs a [class.<name>]
 //!
 //! [tasks]
-//! source = "generated"         # generated | suite | files | module
+//! source = "generated"         # generated | suite | files | module | covert
 //! count = 12
 //! seed = 42
 //! pressure = 8                 # generated only
 //! arrival_period = 0.0005      # seconds between arrivals
 //! length = 0.001               # seconds each task occupies its core
+//! arrivals = "bursty"          # uniform | bursty | diurnal
+//! burst = 4                    # bursty only: tasks per group
+//! burst_gap = 0.005            # bursty only: idle seconds between groups
+//! # cycle = 0.01               # diurnal only: square-wave period
+//! # sparse_factor = 5.0        # diurnal only: sparse-phase spacing ×
 //! # files = ["tasks/kernel.tir"]   # files only; relative to the spec
 //! # module = "tasks/prog.tir"      # module only; one task per function,
 //! #                                # analyzed interprocedurally
 //!
 //! [schedule]
 //! mapping = "thermal-balanced" # round-robin | coolest-core |
-//!                              # thermal-balanced | static-shard
+//!                              # thermal-balanced | static-shard |
+//!                              # single-core
 //! workers = 4
+//!
+//! [dtm]                        # optional: closed-loop thermal control
+//! policy = "throttle"          # none | dvfs | throttle | migrate
+//! epoch = 0.0002               # control period, seconds
+//! cap = 315.0                  # temperature cap, K
+//! hysteresis = 1.0             # release band below the cap, K
+//! levels = [1.0, 0.75, 0.5]    # dvfs only: descending frequency ladder
 //!
 //! [assignment]
 //! policy = "first-free"
@@ -46,13 +61,53 @@
 //! leakage = true
 //! ```
 //!
+//! A covert-channel scenario replaces `[tasks]` generation with a
+//! sender/receiver pair (and may add heterogeneous tiles):
+//!
+//! ```toml
+//! name = "covert-demo"
+//!
+//! [floorplan]
+//! cores = 2
+//! rows = 4
+//! cols = 4
+//! coupling_resistance = 2.0
+//! core_classes = ["big", "little"]
+//!
+//! [class.big]
+//! power_scale = 1.0
+//! speed_scale = 1.0
+//!
+//! [class.little]
+//! power_scale = 0.6
+//! speed_scale = 0.8
+//!
+//! [tasks]
+//! source = "covert"            # sender stream comes from [covert]
+//!
+//! [covert]
+//! pattern = "1011001110"       # transmitted bits
+//! bit_period = 0.002           # seconds per bit window
+//! duty = 0.5                   # heat fraction of a '1' window
+//! receiver_core = 1            # whose temperature the receiver reads
+//! pressure = 10                # sender kernel heat knob
+//! seed = 7                     # sender kernel seed
+//!
+//! [schedule]
+//! mapping = "single-core"      # pin the sender to core 0
+//! ```
+//!
 //! Every key is optional except `[tasks] source` (and `files` when the
 //! source is `files`); unknown sections or keys are errors, so a typo
 //! cannot silently run a different scenario than the golden report was
-//! recorded for.
+//! recorded for. The full field-by-field reference lives in
+//! `docs/SCENARIO_AUTHORING.md`, which is tested against
+//! [`SPEC_FIELDS`].
 
+use crate::covert::{covert_tasks, CovertConfig};
+use crate::dtm::DtmConfig;
 use crate::json::{self, JsonValue};
-use crate::multicore::MultiCoreFloorplan;
+use crate::multicore::{CoreClass, MultiCoreFloorplan};
 use crate::runner::ScenarioConfig;
 use crate::task::{generated_tasks, suite_tasks, Task};
 use std::collections::BTreeMap;
@@ -60,6 +115,76 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 use tadfa_core::{MergeRule, SolverMode, ThermalDfaConfig};
 use tadfa_thermal::RcParams;
+use tadfa_workloads::{bursty_arrivals, diurnal_arrivals};
+
+/// Every section and key the spec reader accepts — the single source of
+/// truth the field-by-field reference in `docs/SCENARIO_AUTHORING.md`
+/// is tested against. The `""` section holds top-level keys;
+/// `"class.<name>"` stands for the heterogeneous-tile sections, one per
+/// class named by `[floorplan] core_classes`.
+pub const SPEC_FIELDS: &[(&str, &[&str])] = &[
+    ("", &["name"]),
+    (
+        "floorplan",
+        &[
+            "cores",
+            "rows",
+            "cols",
+            "coupling_resistance",
+            "core_classes",
+        ],
+    ),
+    (
+        "tasks",
+        &[
+            "source",
+            "count",
+            "seed",
+            "pressure",
+            "arrival_period",
+            "length",
+            "files",
+            "module",
+            "arrivals",
+            "burst",
+            "burst_gap",
+            "cycle",
+            "sparse_factor",
+        ],
+    ),
+    ("schedule", &["mapping", "workers"]),
+    ("assignment", &["policy", "seed"]),
+    (
+        "dfa",
+        &["delta", "max_iterations", "merge", "leakage", "solver"],
+    ),
+    ("dtm", &["policy", "epoch", "cap", "hysteresis", "levels"]),
+    (
+        "covert",
+        &[
+            "pattern",
+            "bit_period",
+            "duty",
+            "receiver_core",
+            "pressure",
+            "seed",
+        ],
+    ),
+    ("class.<name>", &["power_scale", "speed_scale"]),
+];
+
+fn allowed_keys(section: &str) -> &'static [&'static str] {
+    let lookup = if section.starts_with("class.") {
+        "class.<name>"
+    } else {
+        section
+    };
+    SPEC_FIELDS
+        .iter()
+        .find(|(name, _)| *name == lookup)
+        .map(|(_, keys)| *keys)
+        .expect("every parsed section is in SPEC_FIELDS")
+}
 
 /// A spec loading/validation failure, with context.
 #[derive(Clone, PartialEq, Debug)]
@@ -447,7 +572,21 @@ fn build_config(
     default_name: &str,
 ) -> Result<ScenarioConfig, SpecError> {
     for name in sections.keys() {
-        if !["", "floorplan", "tasks", "schedule", "assignment", "dfa"].contains(&name.as_str()) {
+        let known = [
+            "",
+            "floorplan",
+            "tasks",
+            "schedule",
+            "assignment",
+            "dfa",
+            "dtm",
+            "covert",
+        ]
+        .contains(&name.as_str());
+        let class = name
+            .strip_prefix("class.")
+            .is_some_and(|class| !class.is_empty());
+        if !known && !class {
             return Err(SpecError::new(format!("unknown section [{name}]")));
         }
     }
@@ -460,11 +599,11 @@ fn build_config(
         name: "top level",
         entries: sections.get(""),
     };
-    top.check_keys(&["name"])?;
+    top.check_keys(allowed_keys(""))?;
     let name = top.str("name", default_name)?;
 
     let fp = section("floorplan");
-    fp.check_keys(&["cores", "rows", "cols", "coupling_resistance"])?;
+    fp.check_keys(allowed_keys("floorplan"))?;
     let cores = fp.usize("cores", 1)?;
     let rows = fp.usize("rows", 8)?;
     let cols = fp.usize("cols", 8)?;
@@ -473,31 +612,146 @@ fn build_config(
         Some(SpecValue::Num(r)) => Some(*r),
         Some(other) => return Err(fp.type_err("coupling_resistance", "a number", other)),
     };
-    let die = MultiCoreFloorplan::new(cores, rows, cols, RcParams::default(), coupling)
+    let mut die = MultiCoreFloorplan::new(cores, rows, cols, RcParams::default(), coupling)
         .map_err(|e| SpecError::new(format!("[floorplan]: {e}")))?;
 
+    // Heterogeneous tiles: `core_classes` names one class per core, each
+    // defined by a `[class.<name>]` section. Every defined class must be
+    // used and every used class defined, so a typo cannot silently run a
+    // homogeneous die.
+    let class_names = fp.str_list("core_classes")?;
+    let defined: Vec<&str> = sections
+        .keys()
+        .filter_map(|s| s.strip_prefix("class."))
+        .collect();
+    if class_names.is_empty() {
+        if let Some(stray) = defined.first() {
+            return Err(SpecError::new(format!(
+                "[class.{stray}] is defined but [floorplan] core_classes does not use it"
+            )));
+        }
+    } else {
+        if class_names.len() != cores {
+            return Err(SpecError::new(format!(
+                "[floorplan] core_classes names {} classes for {cores} cores (need one each)",
+                class_names.len()
+            )));
+        }
+        for stray in &defined {
+            if !class_names.iter().any(|n| n == stray) {
+                return Err(SpecError::new(format!(
+                    "[class.{stray}] is defined but [floorplan] core_classes does not use it"
+                )));
+            }
+        }
+        let mut classes = Vec::with_capacity(class_names.len());
+        for class in &class_names {
+            let key = format!("class.{class}");
+            let entries = sections.get(&key).ok_or_else(|| {
+                SpecError::new(format!(
+                    "core class '{class}' has no [class.{class}] section"
+                ))
+            })?;
+            let sec = Section {
+                name: "class",
+                entries: Some(entries),
+            };
+            sec.check_keys(allowed_keys("class.<name>"))?;
+            classes.push(CoreClass {
+                name: class.clone(),
+                power_scale: sec.num("power_scale", 1.0)?,
+                speed_scale: sec.num("speed_scale", 1.0)?,
+            });
+        }
+        die = die
+            .with_core_classes(classes)
+            .map_err(|e| SpecError::new(format!("[floorplan] core_classes: {e}")))?;
+    }
+
+    // The covert section parses before [tasks] because the "covert"
+    // task source derives its whole stream from it.
+    let covert_sec = section("covert");
+    covert_sec.check_keys(allowed_keys("covert"))?;
+    let covert: Option<CovertConfig> = if sections.contains_key("covert") {
+        let d = CovertConfig::default();
+        let cfg = CovertConfig {
+            pattern: covert_sec.str("pattern", &d.pattern)?,
+            bit_period: covert_sec.num("bit_period", d.bit_period)?,
+            duty: covert_sec.num("duty", d.duty)?,
+            receiver_core: covert_sec.usize("receiver_core", d.receiver_core)?,
+            pressure: covert_sec.usize("pressure", d.pressure)?,
+            seed: covert_sec.usize("seed", d.seed as usize)? as u64,
+        };
+        cfg.validate(die.cores())
+            .map_err(|e| SpecError::new(format!("[covert]: {e}")))?;
+        Some(cfg)
+    } else {
+        None
+    };
+
+    let dtm_sec = section("dtm");
+    dtm_sec.check_keys(allowed_keys("dtm"))?;
+    let dtm: Option<DtmConfig> = if sections.contains_key("dtm") {
+        let d = DtmConfig::default();
+        let levels = match dtm_sec.get("levels") {
+            None => d.levels.clone(),
+            Some(SpecValue::List(items)) => items
+                .iter()
+                .map(|i| match i {
+                    SpecValue::Num(v) => Ok(*v),
+                    other => Err(dtm_sec.type_err("levels", "an array of numbers", other)),
+                })
+                .collect::<Result<_, _>>()?,
+            Some(other) => return Err(dtm_sec.type_err("levels", "an array of numbers", other)),
+        };
+        let cfg = DtmConfig {
+            policy: dtm_sec.str("policy", &d.policy)?,
+            epoch: dtm_sec.num("epoch", d.epoch)?,
+            cap: dtm_sec.num("cap", d.cap)?,
+            hysteresis: dtm_sec.num("hysteresis", d.hysteresis)?,
+            levels,
+        };
+        cfg.validate()
+            .map_err(|e| SpecError::new(format!("[dtm]: {e}")))?;
+        Some(cfg)
+    } else {
+        None
+    };
+
     let tasks_sec = section("tasks");
-    tasks_sec.check_keys(&[
-        "source",
-        "count",
-        "seed",
-        "pressure",
-        "arrival_period",
-        "length",
-        "files",
-        "module",
-    ])?;
+    tasks_sec.check_keys(allowed_keys("tasks"))?;
     let source = tasks_sec.str("source", "")?;
     if source != "module" && tasks_sec.get("module").is_some() {
         return Err(SpecError::new(
             "[tasks] 'module' is only meaningful with source = \"module\"",
         ));
     }
+    if source == "covert" {
+        // The covert sender stream is derived entirely from [covert];
+        // any other [tasks] key would silently be ignored.
+        if let Some(entries) = sections.get("tasks") {
+            if let Some(stray) = entries.keys().find(|k| *k != "source") {
+                return Err(SpecError::new(format!(
+                    "[tasks] '{stray}' has no effect with source = \"covert\" \
+                     (the sender stream comes from [covert])"
+                )));
+            }
+        }
+        if covert.is_none() {
+            return Err(SpecError::new(
+                "[tasks] source = \"covert\" needs a [covert] section",
+            ));
+        }
+    } else if covert.is_some() {
+        return Err(SpecError::new(
+            "[covert] requires [tasks] source = \"covert\" (the section defines the sender)",
+        ));
+    }
     let arrival_period = tasks_sec.num("arrival_period", 5e-4)?;
     let length = tasks_sec.num("length", 1e-3)?;
     let count = tasks_sec.usize("count", 8)?;
     let mut module = None;
-    let tasks: Vec<Task> = match source.as_str() {
+    let mut tasks: Vec<Task> = match source.as_str() {
         "generated" => generated_tasks(
             count,
             tasks_sec.usize("seed", 42)? as u64,
@@ -559,30 +813,100 @@ fn build_config(
             module = Some(parsed);
             tasks
         }
+        "covert" => covert_tasks(covert.as_ref().expect("checked above")),
         "" => {
             return Err(SpecError::new(
-                "[tasks] source is required (generated | suite | files | module)",
+                "[tasks] source is required (generated | suite | files | module | covert)",
             ))
         }
         other => {
             return Err(SpecError::new(format!(
-                "[tasks] unknown source '{other}' (generated | suite | files | module)"
+                "[tasks] unknown source '{other}' (generated | suite | files | module | covert)"
             )))
         }
     };
 
+    // Arrival shape: the sources above lay tasks on the uniform
+    // `k · arrival_period` ladder; "bursty" / "diurnal" re-time the same
+    // task list with the tadfa_workloads generators. The covert source
+    // owns its timing (bit windows), so a shape key is rejected there by
+    // the only-source check above.
+    let arrivals = tasks_sec.str("arrivals", "uniform")?;
+    for (key, wants) in [
+        ("burst", "bursty"),
+        ("burst_gap", "bursty"),
+        ("cycle", "diurnal"),
+        ("sparse_factor", "diurnal"),
+    ] {
+        if arrivals != wants && tasks_sec.get(key).is_some() {
+            return Err(SpecError::new(format!(
+                "[tasks] '{key}' is only meaningful with arrivals = \"{wants}\""
+            )));
+        }
+    }
+    match arrivals.as_str() {
+        "uniform" => {}
+        "bursty" => {
+            let burst = tasks_sec.usize("burst", 4)?;
+            let gap = tasks_sec.num("burst_gap", 10.0 * arrival_period)?;
+            if burst == 0 {
+                return Err(SpecError::new("[tasks] burst must be at least 1"));
+            }
+            if !(arrival_period.is_finite()
+                && arrival_period >= 0.0
+                && gap.is_finite()
+                && gap >= 0.0)
+            {
+                return Err(SpecError::new(
+                    "[tasks] bursty arrivals need finite, non-negative arrival_period and burst_gap",
+                ));
+            }
+            let times = bursty_arrivals(tasks.len(), burst, arrival_period, gap);
+            for (t, at) in tasks.iter_mut().zip(times) {
+                t.arrival = at;
+            }
+        }
+        "diurnal" => {
+            let cycle = tasks_sec.num("cycle", 20.0 * arrival_period)?;
+            let sparse = tasks_sec.num("sparse_factor", 5.0)?;
+            if !(arrival_period.is_finite()
+                && arrival_period > 0.0
+                && cycle.is_finite()
+                && cycle > 0.0)
+            {
+                return Err(SpecError::new(
+                    "[tasks] diurnal arrivals need finite, positive arrival_period and cycle",
+                ));
+            }
+            if !(sparse.is_finite() && sparse >= 1.0) {
+                return Err(SpecError::new(
+                    "[tasks] sparse_factor must be finite and at least 1",
+                ));
+            }
+            let times = diurnal_arrivals(tasks.len(), arrival_period, cycle, sparse);
+            for (t, at) in tasks.iter_mut().zip(times) {
+                t.arrival = at;
+            }
+        }
+        other => {
+            return Err(SpecError::new(format!(
+                "[tasks] unknown arrivals shape '{other}' (uniform | bursty | diurnal)"
+            )))
+        }
+    }
+
     let sched = section("schedule");
-    sched.check_keys(&["mapping", "workers"])?;
+    sched.check_keys(allowed_keys("schedule"))?;
     let mapping = sched.str("mapping", "round-robin")?;
     let workers = sched.usize("workers", 4)?;
 
     let assign = section("assignment");
-    assign.check_keys(&["policy", "seed"])?;
+    assign.check_keys(allowed_keys("assignment"))?;
     let assignment_policy = assign.str("policy", "first-free")?;
     let assignment_seed = assign.usize("seed", 0)? as u64;
 
     let dfa_sec = section("dfa");
-    dfa_sec.check_keys(&["delta", "max_iterations", "merge", "leakage", "solver"])?;
+    dfa_sec.check_keys(allowed_keys("dfa"))?;
     let defaults = ThermalDfaConfig::default();
     let merge = match dfa_sec.str("merge", "max")?.as_str() {
         "max" => MergeRule::Max,
@@ -618,7 +942,23 @@ fn build_config(
         dfa,
         workers,
         module,
+        dtm,
+        covert,
     })
+}
+
+/// Parses a TOML scenario spec from a string — the programmatic sibling
+/// of [`load_spec`] and the entry the documentation tests use to keep
+/// every example block in `docs/SCENARIO_AUTHORING.md` loadable.
+/// Task files referenced by the spec resolve relative to the current
+/// directory.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] describing the first syntax or validation
+/// problem.
+pub fn parse_spec_toml(text: &str, default_name: &str) -> Result<ScenarioConfig, SpecError> {
+    build_config(&parse_toml(text)?, Path::new("."), default_name)
 }
 
 #[cfg(test)]
@@ -830,5 +1170,179 @@ mod tests {
         assert_eq!(cfg.tasks.len(), 1);
         assert_eq!(cfg.tasks[0].name, "double");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn core_classes_build_heterogeneous_dies_and_reject_typos() {
+        let good = "[floorplan]\ncores = 2\ncore_classes = [\"big\", \"little\"]\n\
+                    [class.big]\npower_scale = 1.0\n\
+                    [class.little]\npower_scale = 0.5\nspeed_scale = 0.7\n\
+                    [tasks]\nsource = \"suite\"\n";
+        let cfg = parse_to_config(good).unwrap();
+        assert_eq!(cfg.die.power_scale(0), 1.0);
+        assert_eq!(cfg.die.power_scale(1), 0.5);
+        assert_eq!(cfg.die.speed_scale(1), 0.7);
+
+        // Arity mismatch: one class name for two cores.
+        let short = "[floorplan]\ncores = 2\ncore_classes = [\"big\"]\n\
+                     [class.big]\n\n[tasks]\nsource = \"suite\"\n";
+        assert!(parse_to_config(short)
+            .unwrap_err()
+            .message
+            .contains("2 cores"));
+
+        // Used but undefined class.
+        let undefined = "[floorplan]\ncores = 1\ncore_classes = [\"big\"]\n\
+                         [tasks]\nsource = \"suite\"\n";
+        assert!(parse_to_config(undefined)
+            .unwrap_err()
+            .message
+            .contains("no [class.big]"));
+
+        // Defined but unused class.
+        let unused = "[floorplan]\ncores = 1\n[class.ghost]\npower_scale = 2.0\n\
+                      [tasks]\nsource = \"suite\"\n";
+        assert!(parse_to_config(unused)
+            .unwrap_err()
+            .message
+            .contains("does not use it"));
+
+        // Unknown key inside a class section.
+        let stray = "[floorplan]\ncores = 1\ncore_classes = [\"a\"]\n\
+                     [class.a]\nvoltage = 1.1\n[tasks]\nsource = \"suite\"\n";
+        assert!(parse_to_config(stray)
+            .unwrap_err()
+            .message
+            .contains("voltage"));
+    }
+
+    #[test]
+    fn dtm_section_parses_validates_and_rejects_strays() {
+        let good = "[tasks]\nsource = \"suite\"\n\
+                    [dtm]\npolicy = \"dvfs\"\nepoch = 0.0002\ncap = 320.0\n\
+                    hysteresis = 0.5\nlevels = [1.0, 0.75, 0.5]\n";
+        let cfg = parse_to_config(good).unwrap();
+        let dtm = cfg.dtm.expect("[dtm] installs a controller");
+        assert_eq!(dtm.policy, "dvfs");
+        assert_eq!(dtm.cap, 320.0);
+        assert_eq!(dtm.levels, vec![1.0, 0.75, 0.5]);
+
+        // No [dtm] section ⇒ no controller at all (not a "none" one).
+        assert!(parse_to_config("[tasks]\nsource = \"suite\"\n")
+            .unwrap()
+            .dtm
+            .is_none());
+
+        // Validation runs: an unknown policy is rejected at parse time.
+        let bad_policy = "[tasks]\nsource = \"suite\"\n[dtm]\npolicy = \"clamp\"\n";
+        assert!(parse_to_config(bad_policy).is_err());
+        // Unknown keys are rejected like everywhere else.
+        let stray = "[tasks]\nsource = \"suite\"\n[dtm]\nperiod = 0.1\n";
+        assert!(parse_to_config(stray)
+            .unwrap_err()
+            .message
+            .contains("period"));
+        // levels must be numeric.
+        let bad_levels = "[tasks]\nsource = \"suite\"\n[dtm]\nlevels = [\"hi\"]\n";
+        assert!(parse_to_config(bad_levels).is_err());
+    }
+
+    #[test]
+    fn covert_section_and_source_require_each_other() {
+        let good = "[floorplan]\ncores = 2\ncols = 4\nrows = 4\n\
+                    coupling_resistance = 2.0\n\
+                    [tasks]\nsource = \"covert\"\n\
+                    [covert]\npattern = \"101\"\nbit_period = 0.002\n\
+                    receiver_core = 1\n";
+        let cfg = parse_to_config(good).unwrap();
+        let covert = cfg.covert.expect("[covert] kept for the runner");
+        assert_eq!(covert.pattern, "101");
+        assert_eq!(covert.receiver_core, 1);
+        assert!(!cfg.tasks.is_empty(), "sender stream derived from [covert]");
+
+        // source = "covert" without the section.
+        let orphan_source = "[tasks]\nsource = \"covert\"\n";
+        assert!(parse_to_config(orphan_source)
+            .unwrap_err()
+            .message
+            .contains("[covert]"));
+
+        // [covert] without the source (the die must be big enough for
+        // the section itself to validate, or that error wins).
+        let orphan_section = "[floorplan]\ncores = 2\n\
+                              [tasks]\nsource = \"suite\"\n[covert]\npattern = \"1\"\n";
+        assert!(parse_to_config(orphan_section)
+            .unwrap_err()
+            .message
+            .contains("source = \"covert\""));
+
+        // Any [tasks] key besides `source` is dead weight under covert.
+        let stray = "[floorplan]\ncores = 2\n\
+                     [tasks]\nsource = \"covert\"\ncount = 4\n\
+                     [covert]\nreceiver_core = 1\n";
+        assert!(parse_to_config(stray)
+            .unwrap_err()
+            .message
+            .contains("count"));
+
+        // Validation sees the die: receiver must be a real core.
+        let off_die = "[tasks]\nsource = \"covert\"\n[covert]\nreceiver_core = 5\n";
+        assert!(parse_to_config(off_die).is_err());
+    }
+
+    #[test]
+    fn arrival_shapes_retime_tasks_and_gate_their_keys() {
+        let bursty = "[tasks]\nsource = \"suite\"\ncount = 8\n\
+                      arrival_period = 0.001\narrivals = \"bursty\"\n\
+                      burst = 4\nburst_gap = 0.01\n";
+        let cfg = parse_to_config(bursty).unwrap();
+        // Group 0 at 0,1,2,3 ms; group 1 starts after the gap.
+        assert!((cfg.tasks[3].arrival - 0.003).abs() < 1e-12);
+        assert!(cfg.tasks[4].arrival > 0.01);
+
+        let diurnal = "[tasks]\nsource = \"suite\"\ncount = 6\n\
+                       arrival_period = 0.001\narrivals = \"diurnal\"\n\
+                       cycle = 0.004\nsparse_factor = 4.0\n";
+        let cfg = parse_to_config(diurnal).unwrap();
+        let times: Vec<f64> = cfg.tasks.iter().map(|t| t.arrival).collect();
+        assert!(times.windows(2).all(|w| w[1] > w[0]), "monotone arrivals");
+
+        // Shape keys are gated to their shape.
+        let wrong = "[tasks]\nsource = \"suite\"\nburst = 4\n";
+        assert!(parse_to_config(wrong)
+            .unwrap_err()
+            .message
+            .contains("bursty"));
+        let wrong2 = "[tasks]\nsource = \"suite\"\narrivals = \"bursty\"\ncycle = 0.1\n";
+        assert!(parse_to_config(wrong2)
+            .unwrap_err()
+            .message
+            .contains("diurnal"));
+        let unknown = "[tasks]\nsource = \"suite\"\narrivals = \"poisson\"\n";
+        assert!(parse_to_config(unknown)
+            .unwrap_err()
+            .message
+            .contains("poisson"));
+        // Degenerate parameters are spec errors, not generator panics.
+        let zero_burst = "[tasks]\nsource = \"suite\"\narrivals = \"bursty\"\nburst = 0\n";
+        assert!(parse_to_config(zero_burst).is_err());
+        let bad_sparse =
+            "[tasks]\nsource = \"suite\"\narrivals = \"diurnal\"\nsparse_factor = 0.5\n";
+        assert!(parse_to_config(bad_sparse).is_err());
+    }
+
+    #[test]
+    fn spec_fields_table_matches_the_sections_the_builder_accepts() {
+        // Every section named in SPEC_FIELDS resolves through
+        // allowed_keys (the "" top level and the class.<name> pattern
+        // included) — the table and the checker cannot drift apart.
+        for (section, keys) in SPEC_FIELDS {
+            let probe = if *section == "class.<name>" {
+                "class.anything".to_string()
+            } else {
+                (*section).to_string()
+            };
+            assert_eq!(allowed_keys(&probe), *keys, "section [{section}]");
+        }
     }
 }

@@ -60,7 +60,7 @@ mod state;
 pub use error::ThermalError;
 pub use floorplan::{Floorplan, RegisterFile};
 pub use map::{render_ascii, render_ascii_auto, render_numeric, to_csv};
-pub use power::PowerModel;
+pub use power::{accumulate_scaled, PowerModel};
 pub use rc::{RcParams, ThermalModel};
 pub use solver::{
     CompiledModel, KernelKind, LeakageParams, SolverMode, SteadyStateOptions, SteadyStateStats,

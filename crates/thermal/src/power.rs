@@ -113,6 +113,32 @@ impl PowerModel {
     }
 }
 
+/// Accumulates `src` into `dst` scaled by `scale` — the per-core-class
+/// power deposit hook a heterogeneous die uses (big.LITTLE power
+/// binning, DVFS power factors).
+///
+/// The `scale == 1.0` case adds `src` verbatim with **no multiply**, so
+/// a homogeneous unscaled deposit is guaranteed bit-identical to plain
+/// `dst[i] += src[i]` accumulation — the contract that keeps scenarios
+/// without core classes or DVFS byte-identical to their pre-class
+/// goldens.
+///
+/// # Panics
+///
+/// Panics if the slices disagree in length.
+pub fn accumulate_scaled(dst: &mut [f64], src: &[f64], scale: f64) {
+    assert_eq!(dst.len(), src.len(), "power vector size mismatch");
+    if scale == 1.0 {
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d += s;
+        }
+    } else {
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d += s * scale;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,5 +195,27 @@ mod tests {
     #[should_panic(expected = "duration must be positive")]
     fn zero_duration_rejected() {
         PowerModel::default().access_power(1, 1, 0.0);
+    }
+
+    #[test]
+    fn accumulate_scaled_unit_scale_is_bitwise_plain_add() {
+        let src = [1e-3, 0.3e-3, 7.77e-5, 0.0];
+        let mut scaled = [300.1, 299.9, 301.5, 300.0];
+        let mut plain = scaled;
+        accumulate_scaled(&mut scaled, &src, 1.0);
+        for (p, &s) in plain.iter_mut().zip(&src) {
+            *p += s;
+        }
+        let a: Vec<u64> = scaled.iter().map(|x| x.to_bits()).collect();
+        let b: Vec<u64> = plain.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn accumulate_scaled_applies_the_factor() {
+        let src = [2.0, 4.0];
+        let mut dst = [1.0, 1.0];
+        accumulate_scaled(&mut dst, &src, 0.5);
+        assert_eq!(dst, [2.0, 3.0]);
     }
 }

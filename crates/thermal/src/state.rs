@@ -116,6 +116,20 @@ impl ThermalState {
         self.temps.iter().copied().fold(f64::INFINITY, f64::min)
     }
 
+    /// Hottest cell temperature inside `[start, end)` — the per-tile
+    /// sensor a multi-core scheduler's DTM controller reads (each core
+    /// is a contiguous cell range of the die state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or reversed.
+    pub fn peak_in(&self, start: usize, end: usize) -> f64 {
+        self.temps[start..end]
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
     /// Index of the hottest cell (first if tied).
     pub fn argmax(&self) -> usize {
         let mut best = 0;
@@ -380,6 +394,16 @@ mod tests {
         let stats = MapStats::of(&s, &fp);
         assert_eq!(stats.range(), 10.0);
         assert!(stats.stddev > 4.0 && stats.stddev < 4.5);
+    }
+
+    #[test]
+    fn peak_in_reads_only_the_requested_tile() {
+        let mut s = ThermalState::uniform(8, 300.0);
+        s.set(1, 330.0); // core 0 hotspot
+        s.set(6, 311.0); // core 1 hotspot
+        assert_eq!(s.peak_in(0, 4), 330.0);
+        assert_eq!(s.peak_in(4, 8), 311.0);
+        assert_eq!(s.peak_in(0, 8), s.peak());
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Deterministic task-arrival generators: uniform, bursty, diurnal.
+//!
+//! A scheduler scenario needs arrival *times*, not just tasks. The
+//! uniform ladder (`k · period`) that the original scenario families
+//! used models a steady pipeline; real embedded workloads cluster
+//! (interrupt bursts) and breathe (day/night duty cycles), and a DTM
+//! policy only earns its keep under such non-uniform load.
+//!
+//! All three generators are pure integer-and-f64-arithmetic functions of
+//! their arguments — no RNG, no wall clock, no transcendentals — so the
+//! produced timestamps are bit-identical on every platform and run,
+//! which is what lets scenarios built on them carry committed golden
+//! fingerprints. In particular the diurnal generator models its duty
+//! cycle as a square wave (alternating dense/sparse phases) rather than
+//! a sinusoid: `f64::cos` is not guaranteed cross-platform bit-stable,
+//! a square wave built from multiply/add is.
+
+/// Uniform arrival ladder: task `k` arrives at `k * period`.
+///
+/// This is exactly the expression the generated/suite scenario sources
+/// have always used, factored out so every source shares one formula.
+///
+/// # Panics
+///
+/// Panics if `period` is not finite and non-negative.
+pub fn uniform_arrivals(count: usize, period: f64) -> Vec<f64> {
+    assert!(
+        period.is_finite() && period >= 0.0,
+        "period must be finite and >= 0"
+    );
+    (0..count).map(|k| k as f64 * period).collect()
+}
+
+/// Bursty arrivals: tasks come in back-to-back groups of `burst`,
+/// tightly spaced `period` apart inside a group, with an idle gap of
+/// `gap` between the last task of one group and the first of the next.
+///
+/// With `burst == 1` every task is its own group, so the schedule
+/// degenerates to a uniform ladder of period `gap`.
+///
+/// # Panics
+///
+/// Panics if `burst` is zero or either duration is not finite ≥ 0.
+pub fn bursty_arrivals(count: usize, burst: usize, period: f64, gap: f64) -> Vec<f64> {
+    assert!(burst > 0, "burst size must be positive");
+    assert!(
+        period.is_finite() && period >= 0.0 && gap.is_finite() && gap >= 0.0,
+        "burst period/gap must be finite and >= 0"
+    );
+    let mut out = Vec::with_capacity(count);
+    for k in 0..count {
+        let group = (k / burst) as f64;
+        let within = (k % burst) as f64;
+        // Group g starts at g * (gap + (burst-1)*period): each earlier
+        // group contributes its own span plus one inter-group gap.
+        let span = (burst - 1) as f64 * period;
+        out.push(group * (gap + span) + within * period);
+    }
+    out
+}
+
+/// Diurnal arrivals: a square-wave duty cycle of length `cycle` whose
+/// first half packs tasks densely (`period` apart) and whose second
+/// half spaces them out by `sparse_factor * period`.
+///
+/// Tasks are laid down one after another, each advancing a running
+/// clock by the spacing of the phase the *previous* task landed in —
+/// the usual discrete approximation of a time-varying rate. The phase
+/// test compares the running clock against the half-cycle boundary
+/// using only multiply/divide/floor, keeping the stream bit-stable.
+///
+/// # Panics
+///
+/// Panics if any duration is not finite and positive, or
+/// `sparse_factor < 1.0`.
+pub fn diurnal_arrivals(count: usize, period: f64, cycle: f64, sparse_factor: f64) -> Vec<f64> {
+    assert!(
+        period.is_finite() && period > 0.0 && cycle.is_finite() && cycle > 0.0,
+        "period and cycle must be finite and positive"
+    );
+    assert!(
+        sparse_factor.is_finite() && sparse_factor >= 1.0,
+        "sparse_factor must be finite and >= 1"
+    );
+    let mut out = Vec::with_capacity(count);
+    let mut t = 0.0_f64;
+    for _ in 0..count {
+        out.push(t);
+        // Which half of the cycle does this task sit in?
+        let phase = t - (t / cycle).floor() * cycle;
+        let dense = phase * 2.0 < cycle;
+        t += if dense {
+            period
+        } else {
+            sparse_factor * period
+        };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_matches_the_classic_ladder() {
+        let a = uniform_arrivals(4, 0.5);
+        assert_eq!(a, vec![0.0, 0.5, 1.0, 1.5]);
+        // Bitwise-identical to the historical inline expression.
+        for (k, &t) in a.iter().enumerate() {
+            assert_eq!(t.to_bits(), (k as f64 * 0.5).to_bits());
+        }
+    }
+
+    #[test]
+    fn bursty_groups_and_gaps() {
+        let a = bursty_arrivals(6, 3, 0.1, 1.0);
+        // Group 0: 0.0, 0.1, 0.2; group 1 starts 1.0 + 0.2 later.
+        assert_eq!(a[0], 0.0);
+        assert!((a[2] - 0.2).abs() < 1e-12);
+        assert!((a[3] - 1.2).abs() < 1e-12);
+        assert!((a[5] - 1.4).abs() < 1e-12);
+        // burst = 1 degenerates to a uniform ladder of the gap.
+        assert_eq!(bursty_arrivals(3, 1, 0.1, 2.0), vec![0.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn diurnal_is_monotone_and_switches_rate() {
+        let a = diurnal_arrivals(20, 0.1, 1.0, 5.0);
+        for w in a.windows(2) {
+            assert!(w[1] > w[0], "arrivals strictly increase");
+        }
+        // Dense phase spacing is `period`, sparse phase 5×.
+        assert!((a[1] - a[0] - 0.1).abs() < 1e-12);
+        let gaps: Vec<f64> = a.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(
+            gaps.iter().any(|g| (*g - 0.5).abs() < 1e-9),
+            "some sparse gaps appear: {gaps:?}"
+        );
+    }
+
+    #[test]
+    fn generators_are_reproducible() {
+        assert_eq!(
+            bursty_arrivals(64, 4, 0.05, 0.7),
+            bursty_arrivals(64, 4, 0.05, 0.7)
+        );
+        assert_eq!(
+            diurnal_arrivals(64, 0.05, 1.0, 3.0),
+            diurnal_arrivals(64, 0.05, 1.0, 3.0)
+        );
+    }
+}

@@ -24,11 +24,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod arrivals;
 mod generator;
 mod kernels;
 mod modules;
 mod suite;
 
+pub use arrivals::{bursty_arrivals, diurnal_arrivals, uniform_arrivals};
 pub use generator::{generate, GeneratorConfig};
 pub use kernels::{
     bubble_sort, butterfly, checksum, dot_product, fibonacci, fir, histogram, matmul, popcount,

@@ -20,7 +20,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use tadfa::sched::{
     golden_gate_guard, json, load_spec, render_report, run_scenario, ScenarioConfig,
-    ScenarioResult, MAPPING_POLICY_NAMES,
+    ScenarioResult, DTM_POLICY_INFO, MAPPING_POLICY_INFO,
 };
 
 const USAGE: &str = "\
@@ -37,7 +37,7 @@ USAGE:
 the expected report — the CI golden gate. Specs requesting the
 reassociation-permitting `solver = \"fast\"` are refused by `check`
 unless --allow-fast is given (golden fingerprints are exact-mode
-contracts). `policies` lists the built-in mapping policies.";
+contracts). `policies` lists the built-in mapping and DTM policies.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,8 +45,14 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("policies") => {
-            for name in MAPPING_POLICY_NAMES {
-                println!("{name}");
+            println!("Mapping policies:");
+            for (name, what) in MAPPING_POLICY_INFO {
+                println!("  {name:<17} {what}");
+            }
+            println!();
+            println!("DTM policies:");
+            for (name, what) in DTM_POLICY_INFO {
+                println!("  {name:<17} {what}");
             }
             ExitCode::SUCCESS
         }

@@ -1,0 +1,104 @@
+//! Acceptance tests for the thermal covert-channel scenario family:
+//!
+//! * the measured channel bandwidth **differs** across at least three
+//!   committed (mapping × DTM) combinations — the channel is a real
+//!   physical effect the DTM layer modulates, not a constant;
+//! * hard throttling degrades the channel (lower bandwidth, more bit
+//!   errors) relative to the unmanaged die, while the naive DVFS ladder
+//!   does *not* — slowing the sender makes it heat longer, which
+//!   cleans up the very signal DVFS was hoped to suppress;
+//! * covert results are byte-identical across worker counts (the same
+//!   invariance contract every other scenario obeys).
+
+use std::collections::BTreeSet;
+use std::path::Path;
+use tadfa::sched::{load_spec, render_report, run_scenario, CovertSummary};
+
+fn run_committed(stem: &str) -> (CovertSummary, String) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("scenarios")
+        .join(format!("{stem}.toml"));
+    let cfg = load_spec(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    let result = run_scenario(&cfg).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    let covert = result
+        .covert
+        .clone()
+        .unwrap_or_else(|| panic!("{stem} is not covert-instrumented"));
+    (covert, render_report(&result))
+}
+
+/// Bandwidth across the committed (mapping × DTM) combinations takes at
+/// least three distinct values — the acceptance bar for the family.
+#[test]
+fn bandwidth_differs_across_mapping_dtm_combos() {
+    let combos = [
+        "covert_pinned_none",
+        "covert_pinned_throttle",
+        "covert_pinned_dvfs",
+    ];
+    let mut seen = BTreeSet::new();
+    for stem in combos {
+        let (covert, _) = run_committed(stem);
+        assert!(covert.bits > 0, "{stem}: no bits measured");
+        assert!(
+            covert.bandwidth_bps >= 0.0 && covert.bandwidth_bps <= covert.raw_bps,
+            "{stem}: bandwidth {} outside [0, raw {}]",
+            covert.bandwidth_bps,
+            covert.raw_bps
+        );
+        seen.insert(covert.bandwidth_bps.to_bits());
+    }
+    assert!(
+        seen.len() >= 3,
+        "expected ≥3 distinct bandwidths across combos, got {seen:?}"
+    );
+}
+
+/// Throttling under the cap degrades the channel; the naive DVFS ladder
+/// does not (and must log actual level changes to prove it engaged).
+#[test]
+fn throttle_degrades_channel_dvfs_does_not() {
+    let (none, _) = run_committed("covert_pinned_none");
+    let (throttle, throttle_report) = run_committed("covert_pinned_throttle");
+    let (dvfs, _) = run_committed("covert_pinned_dvfs");
+
+    assert!(
+        throttle.bandwidth_bps < none.bandwidth_bps,
+        "throttle must reduce bandwidth: {} vs {}",
+        throttle.bandwidth_bps,
+        none.bandwidth_bps
+    );
+    assert!(
+        throttle.errors > none.errors,
+        "throttle must inject bit errors: {} vs {}",
+        throttle.errors,
+        none.errors
+    );
+    assert!(
+        throttle_report.contains("\"throttle_events\""),
+        "throttle run reports its DTM accounting"
+    );
+    assert!(
+        dvfs.bandwidth_bps >= none.bandwidth_bps,
+        "naive DVFS does not degrade the channel: {} vs {}",
+        dvfs.bandwidth_bps,
+        none.bandwidth_bps
+    );
+}
+
+/// Covert + DTM scenarios obey the worker-invariance contract: the full
+/// rendered report is byte-identical at 1 and 7 workers.
+#[test]
+fn covert_reports_are_worker_invariant() {
+    for stem in ["covert_pinned_none", "covert_pinned_throttle"] {
+        let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("scenarios")
+            .join(format!("{stem}.toml"));
+        let mut cfg = load_spec(&path).unwrap();
+        cfg.workers = 1;
+        let one = render_report(&run_scenario(&cfg).unwrap());
+        cfg.workers = 7;
+        let seven = render_report(&run_scenario(&cfg).unwrap());
+        assert_eq!(one, seven, "{stem}: workers 1 vs 7");
+    }
+}

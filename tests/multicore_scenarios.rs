@@ -173,8 +173,8 @@ fn committed_scenarios_match_their_golden_reports() {
         checked += 1;
     }
     assert!(
-        checked >= 4,
-        "expected ≥4 committed scenarios, found {checked}"
+        checked >= 10,
+        "expected ≥10 committed scenarios (incl. covert/DTM family), found {checked}"
     );
 }
 

@@ -1,0 +1,74 @@
+//! Keeps `docs/SCENARIO_AUTHORING.md` honest against the spec reader:
+//!
+//! * every fenced ```toml example in the guide must load through the
+//!   real parser (`parse_spec_toml`) — examples cannot rot;
+//! * every section and key the reader accepts (`SPEC_FIELDS`, the
+//!   parser's single source of truth) must be mentioned in the guide —
+//!   new spec fields cannot land undocumented.
+
+use std::path::Path;
+use tadfa::sched::{parse_spec_toml, SPEC_FIELDS};
+
+fn guide_text() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("docs/SCENARIO_AUTHORING.md");
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// Extracts the bodies of every fenced ```toml code block.
+fn toml_blocks(text: &str) -> Vec<String> {
+    let mut blocks = Vec::new();
+    let mut current: Option<String> = None;
+    for line in text.lines() {
+        match &mut current {
+            None if line.trim_start().starts_with("```toml") => current = Some(String::new()),
+            None => {}
+            Some(body) => {
+                if line.trim_start().starts_with("```") {
+                    blocks.push(current.take().unwrap());
+                } else {
+                    body.push_str(line);
+                    body.push('\n');
+                }
+            }
+        }
+    }
+    assert!(current.is_none(), "unterminated ```toml fence in guide");
+    blocks
+}
+
+/// Every ```toml example in the authoring guide parses and validates.
+#[test]
+fn every_example_block_in_the_guide_parses() {
+    let text = guide_text();
+    let blocks = toml_blocks(&text);
+    assert!(
+        blocks.len() >= 3,
+        "expected ≥3 toml examples in the guide, found {}",
+        blocks.len()
+    );
+    for (i, block) in blocks.iter().enumerate() {
+        let cfg = parse_spec_toml(block, "guide-example")
+            .unwrap_or_else(|e| panic!("guide example #{}: {e}\n---\n{block}", i + 1));
+        assert!(!cfg.tasks.is_empty(), "guide example #{}: no tasks", i + 1);
+    }
+}
+
+/// Every parser-accepted section and key is documented in the guide.
+#[test]
+fn every_spec_field_is_documented() {
+    let text = guide_text();
+    for (section, keys) in SPEC_FIELDS {
+        if !section.is_empty() {
+            assert!(
+                text.contains(&format!("[{section}]")),
+                "guide does not mention section [{section}]"
+            );
+        }
+        for key in *keys {
+            assert!(
+                text.contains(&format!("`{key}`")),
+                "guide does not document key '{key}' of section [{section}]"
+            );
+        }
+    }
+}
